@@ -1,0 +1,379 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sec. 6) plus the worked examples (Figs. 1-3),
+   the synchronization-window measurement, the method-comparison
+   ablation, and Bechamel micro-benchmarks of the substrate.
+
+   Usage: main.exe [target ...]
+     targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
+              ablate micro all quick
+   No arguments = "all" (paper-scale; several minutes). Adding "quick"
+   runs the selected harnesses at reduced scale. *)
+
+open Nbsc_value
+open Nbsc_core
+open Nbsc_sim
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let header title =
+  say "";
+  say "==============================================================";
+  say "%s" title;
+  say "=============================================================="
+
+let pp_points ~x_label points =
+  say "%-10s %14s %14s  %s" x_label "rel.throughput" "rel.resp.time" "status";
+  List.iter
+    (fun p ->
+       say "%-10.4f %14.4f %14.4f  %s" p.Experiment.x
+         p.Experiment.rel_throughput p.Experiment.rel_response
+         (match p.Experiment.tf_done_at with
+          | Some t -> Printf.sprintf "done@%d" t
+          | None ->
+            if p.Experiment.tf_completed then "done" else "still running"))
+    points
+
+(* {1 Worked examples} *)
+
+let fig1 () =
+  header "Figure 1 - example full outer join transformation";
+  let r_schema =
+    Schema.make ~key:[ "a" ]
+      [ Schema.column ~nullable:false "a" Value.TInt;
+        Schema.column "b" Value.TText; Schema.column "c" Value.TInt ]
+  in
+  let s_schema =
+    Schema.make ~key:[ "c" ]
+      [ Schema.column ~nullable:false "c" Value.TInt;
+        Schema.column "d" Value.TText ]
+  in
+  let db = Nbsc_engine.Db.create () in
+  ignore (Nbsc_engine.Db.create_table db ~name:"R" r_schema);
+  ignore (Nbsc_engine.Db.create_table db ~name:"S" s_schema);
+  let row vs = Row.make vs in
+  (match
+     Nbsc_engine.Db.load db ~table:"R"
+       [ row [ Value.Int 1; Value.Text "John"; Value.Int 1 ];
+         row [ Value.Int 2; Value.Text "Karen"; Value.Int 1 ];
+         row [ Value.Int 3; Value.Text "Mary"; Value.Int 3 ] ]
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load R");
+  (match
+     Nbsc_engine.Db.load db ~table:"S"
+       [ row [ Value.Int 1; Value.Text "as" ];
+         row [ Value.Int 3; Value.Text "Oslo" ] ]
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load S");
+  say "R:";
+  say "%s"
+    (Format.asprintf "%a" Nbsc_relalg.Relalg.pp (Nbsc_engine.Db.snapshot db "R"));
+  say "S:";
+  say "%s"
+    (Format.asprintf "%a" Nbsc_relalg.Relalg.pp (Nbsc_engine.Db.snapshot db "S"));
+  let spec =
+    { Spec.r_table = "R"; s_table = "S"; t_table = "T";
+      join_r = [ "c" ]; join_s = [ "c" ]; t_join = [ "c" ];
+      r_carry = [ "a"; "b" ]; s_carry = [ "d" ]; many_to_many = false }
+  in
+  let tf =
+    Transform.foj db
+      ~config:{ Transform.default_config with Transform.drop_sources = false }
+      spec
+  in
+  (match Transform.run tf with Ok () -> () | Error m -> failwith m);
+  say "T = R FOJ S (produced by the non-blocking transformation):";
+  say "%s"
+    (Format.asprintf "%a" Nbsc_relalg.Relalg.pp (Nbsc_engine.Db.snapshot db "T"))
+
+let fig2 () =
+  header "Figure 2 - lock compatibility matrix for T (non-blocking sync)";
+  say "%s" (Format.asprintf "%a" Nbsc_lock.Compat.pp_figure2 ());
+  (* The 36 cells from the paper, row-major (true = compatible). *)
+  let expected =
+    [ [ true; true; true; true; true; false ];
+      [ true; true; true; true; true; false ];
+      [ true; true; true; false; false; false ];
+      [ true; true; false; true; true; false ];
+      [ true; true; false; true; true; false ];
+      [ false; false; false; false; false; false ] ]
+  in
+  if Nbsc_lock.Compat.figure2_cells () = expected then
+    say "matches the paper's matrix: yes (36/36 cells)"
+  else say "matches the paper's matrix: NO - MISMATCH"
+
+let fig3 () =
+  header "Figure 3 / Example 1 - example split transformation";
+  let t_schema =
+    Schema.make ~key:[ "id" ]
+      [ Schema.column ~nullable:false "id" Value.TInt;
+        Schema.column "name" Value.TText;
+        Schema.column "postal_code" Value.TInt;
+        Schema.column "city" Value.TText ]
+  in
+  let db = Nbsc_engine.Db.create () in
+  ignore (Nbsc_engine.Db.create_table db ~name:"Customer" t_schema);
+  let row i n p c =
+    Row.make [ Value.Int i; Value.Text n; Value.Int p; Value.Text c ]
+  in
+  (match
+     Nbsc_engine.Db.load db ~table:"Customer"
+       [ row 1 "Peter" 7050 "Trondheim";
+         row 2 "Mark" 5020 "Bergen";
+         row 3 "Gary" 50 "Oslo";
+         row 134 "Jen" 7050 "Trondheim" ]
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load Customer");
+  say "Customer:";
+  say "%s"
+    (Format.asprintf "%a" Nbsc_relalg.Relalg.pp
+       (Nbsc_engine.Db.snapshot db "Customer"));
+  let spec =
+    { Spec.t_table' = "Customer"; r_table' = "CustomerAddr";
+      s_table' = "Place"; r_cols = [ "id"; "name"; "postal_code" ];
+      s_cols = [ "postal_code"; "city" ]; split_key = [ "postal_code" ];
+      assume_consistent = false }
+  in
+  let tf =
+    Transform.split db
+      ~config:{ Transform.default_config with Transform.drop_sources = false }
+      spec
+  in
+  (match Transform.run tf with Ok () -> () | Error m -> failwith m);
+  say "CustomerAddr (R):";
+  say "%s"
+    (Format.asprintf "%a" Nbsc_relalg.Relalg.pp
+       (Nbsc_engine.Db.snapshot db "CustomerAddr"));
+  say "Place (S), with reference counters:";
+  let s_tbl = Nbsc_engine.Db.table db "Place" in
+  Nbsc_storage.Table.iter s_tbl (fun _ record ->
+      say "  %s" (Format.asprintf "%a" Nbsc_storage.Record.pp record))
+
+(* {1 Figure 4} *)
+
+let paper_note lines = List.iter (fun l -> say "  paper: %s" l) lines
+
+let workloads = [ 50.; 60.; 70.; 80.; 90.; 100. ]
+
+let fig4a setup =
+  header
+    "Figure 4(a) - rel. throughput during initial population (split, 20% \
+     updates on T)";
+  paper_note [ "~0.94 at 100% workload rising to ~0.99-1.00 at 50%" ];
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4ab_population ~setup ~workloads ())
+
+let fig4b setup =
+  header
+    "Figure 4(b) - rel. response time during initial population (split, 20% \
+     updates on T)";
+  paper_note [ "~1.05 at 40-50% workload rising to ~1.25-1.30 at 100%" ];
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4ab_population ~setup ~workloads:(40. :: workloads) ())
+
+let fig4c setup =
+  header
+    "Figure 4(c) - rel. throughput during log propagation, 20% vs 80% updates \
+     on T";
+  paper_note
+    [ "20% mix: ~0.96-0.98 across workloads; 80% mix: falling to ~0.88-0.92";
+      "(the 80% mix needs ~4x the propagation priority)" ];
+  say "-- 20%% of updates on T --";
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4c_propagation ~setup ~source_share:0.2
+       ~workloads:(40. :: workloads) ());
+  say "-- 80%% of updates on T --";
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4c_propagation ~setup ~source_share:0.8
+       ~workloads:(40. :: workloads) ())
+
+let fig4d setup =
+  header
+    "Figure 4(d) - completion time and interference vs priority (75% workload)";
+  paper_note
+    [ "completion time ~1/priority; below a threshold (paper: ~0.5%) the";
+      "transformation never finishes; interference grows with priority" ];
+  pp_points ~x_label:"priority"
+    (Experiment.fig4d_priority ~setup ~workload_pct:75.
+       ~priorities:[ 0.0005; 0.001; 0.002; 0.005; 0.01; 0.02; 0.04; 0.08 ] ())
+
+let fig4_foj setup =
+  header "Figure 4(a)/(c) for FOJ (paper: 'very similar results')";
+  say "-- initial population (FOJ of R:scale x S:0.4*scale rows) --";
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4ab_population_foj ~setup ~workloads ());
+  say "-- log propagation, 20%% updates on sources --";
+  pp_points ~x_label:"workload%"
+    (Experiment.fig4c_propagation_foj ~setup ~source_share:0.2 ~workloads ())
+
+let sync_bench setup =
+  header "Synchronization window (paper: < 1 ms, non-blocking abort)";
+  List.iter
+    (fun strategy ->
+       let r = Experiment.sync_window ~setup ~strategy () in
+       say "%-22s final-iteration records=%d wall=%s forced aborts=%d"
+         r.Experiment.strategy_name r.Experiment.final_records
+         (match r.Experiment.wall_ns with
+          | Some ns -> Printf.sprintf "%.4f ms" (float_of_int ns /. 1e6)
+          | None -> "n/a")
+         r.Experiment.forced_aborts)
+    [ Transform.Nonblocking_abort; Transform.Nonblocking_commit;
+      Transform.Blocking_commit ]
+
+let ablate setup =
+  header "Ablations: iteration-analysis threshold and batch size";
+  say "-- sync_lag_threshold sweep (latch window vs eagerness) --";
+  List.iter
+    (fun r -> say "%s" (Format.asprintf "%a" Experiment.pp_threshold_row r))
+    (Experiment.threshold_sweep ~setup
+       ~thresholds:[ 0; 2; 8; 64; 512; 4096 ] ());
+  say "-- batch-size sweep --";
+  List.iter
+    (fun r -> say "%s" (Format.asprintf "%a" Experiment.pp_batch_row r))
+    (Experiment.batch_sweep ~setup ~batches:[ 4; 16; 64; 256; 1024 ] ());
+  say "-- iteration-analysis policies (paper Sec. 3.3's three bases) --";
+  List.iter
+    (fun r -> say "%s" (Format.asprintf "%a" Experiment.pp_policy_row r))
+    (Experiment.policy_comparison ~setup ())
+
+let methods setup =
+  header "Method comparison (ablation): log-based vs blocking vs triggers";
+  List.iter
+    (fun row -> say "%s" (Format.asprintf "%a" Experiment.pp_method_row row))
+    (Experiment.method_comparison ~setup ~workload_pct:75. ())
+
+(* {1 Micro-benchmarks (Bechamel)} *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel; ns per operation)";
+  let open Bechamel in
+  let open Toolkit in
+  let log = Nbsc_wal.Log.create () in
+  let table =
+    Nbsc_storage.Table.create ~name:"bench"
+      ~indexes:[ ("by_c", [ "c" ]) ]
+      (Schema.make ~key:[ "a" ]
+         [ Schema.column ~nullable:false "a" Value.TInt;
+           Schema.column "b" Value.TText; Schema.column "c" Value.TInt ])
+  in
+  let n = ref 0 in
+  let locks = Nbsc_lock.Lock_table.create () in
+  let key_of i = Row.make [ Value.Int i ] in
+  let sample_row =
+    Row.make [ Value.Int 1; Value.Text "hello world"; Value.Int 42 ]
+  in
+  for i = 0 to 9_999 do
+    ignore
+      (Nbsc_storage.Table.insert table
+         ~lsn:(Nbsc_wal.Lsn.of_int (i + 1))
+         (Row.make
+            [ Value.Int i; Value.Text ("b" ^ string_of_int i);
+              Value.Int (i mod 97) ]))
+  done;
+  let tests =
+    [ Test.make ~name:"log append+get"
+        (Staged.stage (fun () ->
+             incr n;
+             let lsn =
+               Nbsc_wal.Log.append log ~txn:1 ~prev_lsn:Nbsc_wal.Lsn.zero
+                 (Nbsc_wal.Log_record.Op
+                    (Nbsc_wal.Log_record.Insert
+                       { table = "t"; row = sample_row }))
+             in
+             ignore (Nbsc_wal.Log.get log lsn)));
+      Test.make ~name:"log record encode/decode"
+        (Staged.stage (fun () ->
+             let r =
+               { Nbsc_wal.Log_record.lsn = Nbsc_wal.Lsn.of_int 7;
+                 txn = 3;
+                 prev_lsn = Nbsc_wal.Lsn.of_int 6;
+                 body =
+                   Nbsc_wal.Log_record.Op
+                     (Nbsc_wal.Log_record.Insert
+                        { table = "t"; row = sample_row })
+               }
+             in
+             ignore (Nbsc_wal.Log_record.decode (Nbsc_wal.Log_record.encode r))));
+      Test.make ~name:"lock acquire+release"
+        (Staged.stage (fun () ->
+             incr n;
+             let key = key_of (!n mod 1024) in
+             ignore
+               (Nbsc_lock.Lock_table.acquire locks ~owner:1 ~table:"t" ~key
+                  { Nbsc_lock.Compat.mode = Nbsc_lock.Compat.X;
+                    provenance = Nbsc_lock.Compat.Native });
+             Nbsc_lock.Lock_table.release locks ~owner:1 ~table:"t" ~key));
+      Test.make ~name:"table point lookup"
+        (Staged.stage (fun () ->
+             incr n;
+             ignore (Nbsc_storage.Table.find table (key_of (!n mod 10_000)))));
+      Test.make ~name:"secondary index lookup"
+        (Staged.stage (fun () ->
+             incr n;
+             ignore
+               (Nbsc_storage.Table.index_lookup table ~index:"by_c"
+                  (Row.make [ Value.Int (!n mod 97) ]))));
+      Test.make ~name:"table update"
+        (Staged.stage (fun () ->
+             incr n;
+             ignore
+               (Nbsc_storage.Table.update table
+                  ~lsn:(Nbsc_wal.Lsn.of_int (100_000 + !n))
+                  ~key:(key_of (!n mod 10_000))
+                  [ (1, Value.Text "updated") ])))
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"nbsc" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+       match Analyze.OLS.estimates est with
+       | Some [ e ] -> rows := (name, e) :: !rows
+       | _ -> rows := (name, nan) :: !rows)
+    results;
+  List.iter
+    (fun (name, e) -> say "%-32s %10.1f ns/op" name e)
+    (List.sort compare !rows)
+
+(* {1 Driver} *)
+
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  let quick = List.mem "quick" args in
+  let setup =
+    if quick then Experiment.quick_setup else Experiment.default_setup
+  in
+  let sync_setup =
+    if quick then Experiment.quick_setup
+    else { Experiment.quick_setup with Experiment.scale = 10_000 }
+  in
+  let targets =
+    match List.filter (fun a -> a <> "quick") args with
+    | [] -> [ "all" ]
+    | ts -> ts
+  in
+  let wants t = List.mem "all" targets || List.mem t targets in
+  if wants "fig1" then fig1 ();
+  if wants "fig2" then fig2 ();
+  if wants "fig3" then fig3 ();
+  if wants "fig4a" then fig4a setup;
+  if wants "fig4b" then fig4b setup;
+  if wants "fig4c" then fig4c setup;
+  if wants "fig4d" then fig4d setup;
+  if wants "foj" then fig4_foj setup;
+  if wants "sync" then sync_bench sync_setup;
+  if wants "methods" then methods sync_setup;
+  if wants "ablate" then ablate sync_setup;
+  if wants "micro" then micro ();
+  say "";
+  say "done."

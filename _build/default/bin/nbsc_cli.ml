@@ -1,0 +1,273 @@
+(* nbsc — command-line front end.
+
+   Subcommands:
+     demo     run a narrated demo transformation (foj | split | m2m)
+     figure   regenerate one of the paper's figures (4a 4b 4c 4d)
+     sync     measure the synchronization window per strategy
+     matrix   print the Figure 2 lock-compatibility matrix
+     log      run a small transformation and dump the resulting log *)
+
+open Cmdliner
+open Nbsc_value
+open Nbsc_core
+module Db = Nbsc_engine.Db
+module Manager = Nbsc_txn.Manager
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* {1 demo} *)
+
+let build_foj_db ~rows =
+  let db = Db.create () in
+  let col = Schema.column in
+  ignore
+    (Db.create_table db ~name:"R"
+       (Schema.make ~key:[ "a" ]
+          [ col ~nullable:false "a" Value.TInt; col "b" Value.TText;
+            col "c" Value.TInt ]));
+  ignore
+    (Db.create_table db ~name:"S"
+       (Schema.make ~key:[ "c" ]
+          [ col ~nullable:false "c" Value.TInt; col "d" Value.TText ]));
+  (match
+     Db.load db ~table:"R"
+       (List.init rows (fun i ->
+            Row.make
+              [ Value.Int i; Value.Text (Printf.sprintf "r%d" i);
+                Value.Int (i mod 97) ]))
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load");
+  (match
+     Db.load db ~table:"S"
+       (List.init 97 (fun c ->
+            Row.make [ Value.Int c; Value.Text (Printf.sprintf "s%d" c) ]))
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load");
+  db
+
+let foj_spec ~m2m =
+  { Spec.r_table = "R"; s_table = "S"; t_table = "T";
+    join_r = [ "c" ]; join_s = [ "c" ]; t_join = [ "c" ];
+    r_carry = [ "a"; "b" ]; s_carry = [ "d" ]; many_to_many = m2m }
+
+let build_split_db ~rows =
+  let db = Db.create () in
+  let col = Schema.column in
+  ignore
+    (Db.create_table db ~name:"T"
+       (Schema.make ~key:[ "a" ]
+          [ col ~nullable:false "a" Value.TInt; col "b" Value.TText;
+            col "c" Value.TInt; col "d" Value.TText ]));
+  (match
+     Db.load db ~table:"T"
+       (List.init rows (fun i ->
+            let c = i mod 53 in
+            Row.make
+              [ Value.Int i; Value.Text (Printf.sprintf "t%d" i); Value.Int c;
+                Value.Text (Printf.sprintf "city%d" c) ]))
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load");
+  db
+
+let split_spec =
+  { Spec.t_table' = "T"; r_table' = "R"; s_table' = "S";
+    r_cols = [ "a"; "b"; "c" ]; s_cols = [ "c"; "d" ];
+    split_key = [ "c" ]; assume_consistent = true }
+
+let run_demo which rows =
+  let config =
+    { Transform.default_config with
+      Transform.drop_sources = false;
+      scan_batch = 64;
+      propagate_batch = 64 }
+  in
+  let db, tf =
+    match which with
+    | `Foj ->
+      let db = build_foj_db ~rows in
+      (db, Transform.foj db ~config (foj_spec ~m2m:false))
+    | `M2m ->
+      let db = build_foj_db ~rows in
+      (db, Transform.foj db ~config (foj_spec ~m2m:true))
+    | `Split ->
+      let db = build_split_db ~rows in
+      (db, Transform.split db ~config split_spec)
+  in
+  let mgr = Db.manager db in
+  let rng = Random.State.make [| 99 |] in
+  let writes = ref 0 in
+  let source = match which with `Split -> "T" | `Foj | `M2m -> "R" in
+  let between () =
+    if Transform.routing tf = `Sources then begin
+      incr writes;
+      let txn = Manager.begin_txn mgr in
+      (match
+         Manager.update mgr ~txn ~table:source
+           ~key:(Row.make [ Value.Int (Random.State.int rng rows) ])
+           [ (1, Value.Text (Printf.sprintf "w%d" !writes)) ]
+       with
+       | Ok () -> ignore (Manager.commit mgr txn)
+       | Error _ -> ignore (Manager.abort mgr txn))
+    end
+  in
+  (match Transform.run ~between tf with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  say "%a" Transform.pp_progress (Transform.progress tf);
+  say "concurrent writes while transforming: %d" !writes;
+  List.iter
+    (fun t -> say "table %-3s %6d rows" t (Db.row_count db t))
+    (Transform.targets tf);
+  `Ok ()
+
+let demo_kind =
+  let parse = function
+    | "foj" -> Ok `Foj
+    | "split" -> Ok `Split
+    | "m2m" -> Ok `M2m
+    | s -> Error (`Msg (Printf.sprintf "unknown demo %S (foj|split|m2m)" s))
+  in
+  let print ppf = function
+    | `Foj -> Format.pp_print_string ppf "foj"
+    | `Split -> Format.pp_print_string ppf "split"
+    | `M2m -> Format.pp_print_string ppf "m2m"
+  in
+  Arg.conv (parse, print)
+
+let demo_cmd =
+  let kind =
+    Arg.(required & pos 0 (some demo_kind) None
+         & info [] ~docv:"KIND" ~doc:"foj, split or m2m")
+  in
+  let rows =
+    Arg.(value & opt int 5000 & info [ "rows" ] ~doc:"source table size")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"run a narrated non-blocking transformation")
+    Term.(ret (const run_demo $ kind $ rows))
+
+(* {1 figure} *)
+
+let run_figure name quick =
+  let module E = Nbsc_sim.Experiment in
+  let setup = if quick then E.quick_setup else E.default_setup in
+  let workloads = [ 50.; 60.; 70.; 80.; 90.; 100. ] in
+  let print points = List.iter (fun p -> say "%a" E.pp_point p) points in
+  match name with
+  | "4a" | "4b" ->
+    print (E.fig4ab_population ~setup ~workloads ());
+    `Ok ()
+  | "4c" ->
+    say "-- 20%% updates on T --";
+    print (E.fig4c_propagation ~setup ~source_share:0.2 ~workloads ());
+    say "-- 80%% updates on T --";
+    print (E.fig4c_propagation ~setup ~source_share:0.8 ~workloads ());
+    `Ok ()
+  | "4d" ->
+    print
+      (E.fig4d_priority ~setup ~workload_pct:75.
+         ~priorities:[ 0.0005; 0.001; 0.002; 0.005; 0.01; 0.02; 0.04; 0.08 ]
+         ());
+    `Ok ()
+  | other ->
+    `Error (false, Printf.sprintf "unknown figure %S (4a|4b|4c|4d)" other)
+
+let figure_cmd =
+  let fig_name =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIGURE" ~doc:"4a, 4b, 4c or 4d")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"reduced scale, fast")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"regenerate one of the paper's figures")
+    Term.(ret (const run_figure $ fig_name $ quick))
+
+(* {1 sync} *)
+
+let run_sync () =
+  let module E = Nbsc_sim.Experiment in
+  List.iter
+    (fun strategy ->
+       let r = E.sync_window ~strategy () in
+       say "%-22s final-iteration records=%d wall=%s forced aborts=%d"
+         r.E.strategy_name r.E.final_records
+         (match r.E.wall_ns with
+          | Some ns -> Printf.sprintf "%.4f ms" (float_of_int ns /. 1e6)
+          | None -> "n/a")
+         r.E.forced_aborts)
+    [ Transform.Nonblocking_abort; Transform.Nonblocking_commit;
+      Transform.Blocking_commit ];
+  `Ok ()
+
+let sync_cmd =
+  Cmd.v
+    (Cmd.info "sync" ~doc:"measure the synchronization window per strategy")
+    Term.(ret (const run_sync $ const ()))
+
+(* {1 matrix} *)
+
+let matrix_cmd =
+  Cmd.v
+    (Cmd.info "matrix" ~doc:"print the Figure 2 lock-compatibility matrix")
+    Term.(
+      ret
+        (const (fun () ->
+             say "%a" Nbsc_lock.Compat.pp_figure2 ();
+             `Ok ())
+         $ const ()))
+
+(* {1 log} *)
+
+let run_log rows =
+  let db = build_foj_db ~rows in
+  let tf =
+    Transform.foj db
+      ~config:{ Transform.default_config with Transform.drop_sources = false }
+      (foj_spec ~m2m:false)
+  in
+  let mgr = Db.manager db in
+  let n = ref 0 in
+  (match
+     Transform.run tf ~between:(fun () ->
+         incr n;
+         if !n <= 3 then begin
+           let txn = Manager.begin_txn mgr in
+           (match
+              Manager.update mgr ~txn ~table:"R"
+                ~key:(Row.make [ Value.Int (!n - 1) ])
+                [ (1, Value.Text "touched") ]
+            with
+            | Ok () -> ignore (Manager.commit mgr txn)
+            | Error _ -> ignore (Manager.abort mgr txn))
+         end)
+   with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  Nbsc_wal.Log.iter (Db.log db) (fun r ->
+      say "%a" Nbsc_wal.Log_record.pp r);
+  `Ok ()
+
+let log_cmd =
+  let rows =
+    Arg.(value & opt int 5 & info [ "rows" ] ~doc:"source table size")
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:"run a small transformation and dump the write-ahead log")
+    Term.(ret (const run_log $ rows))
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "nbsc" ~version:"1.0.0"
+             ~doc:"online, non-blocking relational schema changes")
+          [ demo_cmd; figure_cmd; sync_cmd; matrix_cmd; log_cmd ]))

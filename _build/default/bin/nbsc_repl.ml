@@ -1,0 +1,99 @@
+(* nbsc-repl — an interactive SQL-ish shell over the engine.
+
+     dune exec bin/nbsc_repl.exe
+     dune exec bin/nbsc_repl.exe -- --data /path/to/dir   # durable
+
+   With --data the database lives in a directory (snapshot + journaled
+   WAL): kill the shell mid-transaction and reopen — committed work is
+   replayed, in-flight transactions are rolled back. CHECKPOINT;
+   rewrites the snapshot and truncates the WAL (run it after CREATE
+   TABLE: DDL is persisted by snapshots, not the WAL).
+
+   Statements end with ';'. Try:
+
+     CREATE TABLE r (a INT NOT NULL, b TEXT, c INT, PRIMARY KEY (a));
+     CREATE TABLE s (c INT NOT NULL, d TEXT, PRIMARY KEY (c));
+     INSERT INTO r VALUES (1, 'John', 1), (2, 'Karen', 1), (3, 'Mary', 3);
+     INSERT INTO s VALUES (1, 'as'), (3, 'Oslo');
+     TRANSFORM JOIN r, s INTO t ON r.c = s.c CARRY r (a, b) CARRY s (d);
+     TRANSFORM RUN;
+     SELECT * FROM t;
+
+   The prompt stays responsive while a transformation runs: use
+   TRANSFORM STEP between your own statements to interleave, exactly
+   like an application would. *)
+
+let () =
+  let data_dir =
+    match Array.to_list Sys.argv with
+    | _ :: "--data" :: dir :: _ -> Some dir
+    | _ -> None
+  in
+  let persist =
+    match data_dir with
+    | None -> None
+    | Some dir ->
+      let p =
+        if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
+          Nbsc_engine.Persist.open_dir ~dir
+        else Nbsc_engine.Persist.create_dir ~dir
+      in
+      (match p with
+       | Ok p ->
+         (match Nbsc_engine.Persist.last_recovery p with
+          | Some report ->
+            Format.printf "recovered: %a@." Nbsc_engine.Recovery.pp_report
+              report
+          | None -> ());
+         Some p
+       | Error e ->
+         Format.printf "cannot open %s: %a@." dir Nbsc_engine.Persist.pp_error e;
+         exit 1)
+  in
+  let db =
+    match persist with
+    | Some p -> Nbsc_engine.Persist.db p
+    | None -> Nbsc_engine.Db.create ()
+  in
+  let session = Nbsc_sql.Exec.create db in
+  let buffer = Buffer.create 256 in
+  print_endline "nbsc-repl — online, non-blocking schema changes.";
+  print_endline
+    (match data_dir with
+     | Some dir -> Printf.sprintf "Durable database in %s.  Statements end with ';'.  Ctrl-D quits." dir
+     | None -> "In-memory database.  Statements end with ';'.  Ctrl-D quits.");
+  let prompt () =
+    print_string (if Buffer.length buffer = 0 then "nbsc> " else "  ... ");
+    flush stdout
+  in
+  let run_buffered () =
+    let input = Buffer.contents buffer in
+    Buffer.clear buffer;
+    if String.trim input <> "" then
+      if String.uppercase_ascii (String.trim input) = "CHECKPOINT;" then
+        match persist with
+        | None -> print_endline "error: CHECKPOINT needs --data"
+        | Some p ->
+          (match Nbsc_engine.Persist.checkpoint p with
+           | Ok () -> print_endline "checkpointed; WAL truncated"
+           | Error e ->
+             Format.printf "error: %a@." Nbsc_engine.Persist.pp_error e)
+      else
+        match Nbsc_sql.Exec.exec_string session input with
+        | Ok outs ->
+          List.iter (fun o -> print_endline (Nbsc_sql.Exec.render o)) outs
+        | Error m -> Printf.printf "error: %s\n" m
+  in
+  try
+    prompt ();
+    while true do
+      let line = input_line stdin in
+      Buffer.add_string buffer line;
+      Buffer.add_char buffer '\n';
+      if String.contains line ';' then run_buffered ();
+      prompt ()
+    done
+  with End_of_file ->
+    run_buffered ();
+    (match persist with Some p -> Nbsc_engine.Persist.close p | None -> ());
+    print_newline ()

@@ -1,0 +1,1 @@
+examples/customer_split.ml: Array Consistency Db Format List Nbsc_core Nbsc_engine Nbsc_relalg Nbsc_storage Nbsc_txn Nbsc_value Option Printf Row Schema Spec Transform Value

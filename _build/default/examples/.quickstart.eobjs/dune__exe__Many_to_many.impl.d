@@ -1,0 +1,1 @@
+examples/many_to_many.ml: Db Format List Nbsc_core Nbsc_engine Nbsc_relalg Nbsc_txn Nbsc_value Printf Random Row Schema Spec Transform Value

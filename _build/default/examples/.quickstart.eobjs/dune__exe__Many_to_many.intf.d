@@ -1,0 +1,1 @@
+examples/many_to_many.mli:

@@ -1,0 +1,1 @@
+examples/orders_archive.ml: Db Format Hsplit List Matview Nbsc_core Nbsc_engine Nbsc_relalg Nbsc_txn Nbsc_value Option Pred Printf Random Row Schema Spec Transform Value

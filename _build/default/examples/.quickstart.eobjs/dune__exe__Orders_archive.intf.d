@@ -1,0 +1,1 @@
+examples/orders_archive.mli:

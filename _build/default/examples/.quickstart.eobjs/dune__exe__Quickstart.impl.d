@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Format List Nbsc_core Nbsc_engine Nbsc_relalg Nbsc_txn Nbsc_value Printf Row Schema Spec Transform Value

@@ -1,0 +1,1 @@
+examples/telecom_foj.ml: Db Format List Nbsc_core Nbsc_engine Nbsc_storage Nbsc_txn Nbsc_value Printf Random Row Schema Spec Transform Value

@@ -1,0 +1,1 @@
+examples/telecom_foj.mli:

@@ -1,0 +1,1 @@
+lib/baseline/insert_into_select.ml: Catalog Db Foj Latch List Manager Nbsc_core Nbsc_engine Nbsc_lock Nbsc_storage Nbsc_txn Population Spec Split Table

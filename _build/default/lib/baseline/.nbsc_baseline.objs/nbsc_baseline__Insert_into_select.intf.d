@@ -1,0 +1,1 @@
+lib/baseline/insert_into_select.mli: Db Nbsc_core Nbsc_engine Spec

@@ -1,0 +1,1 @@
+lib/baseline/trigger_method.ml: Catalog Db Foj Manager Nbsc_core Nbsc_engine Nbsc_storage Nbsc_txn Population Spec Split Table

@@ -1,0 +1,1 @@
+lib/baseline/trigger_method.mli: Db Nbsc_core Nbsc_engine Spec

@@ -1,0 +1,32 @@
+(** The blocking comparator: [INSERT INTO ... SELECT].
+
+    What every DBMS of the paper's era could do (Sec. 1): lock the
+    involved tables, evaluate the transformation query, insert the
+    result, switch. Correct and simple — and the tables are unavailable
+    for the whole duration, which for large tables "could easily take
+    tens of minutes". The benches run this against the same workloads
+    as the non-blocking framework to regenerate the paper's motivating
+    comparison.
+
+    Implemented as an incremental background job like {!Transform} so
+    the simulator can drive it — but it holds table latches from the
+    first step to the last, so user transactions on the sources stall
+    for the entire transformation. *)
+
+open Nbsc_engine
+open Nbsc_core
+
+type t
+
+val foj : Db.t -> Spec.foj -> t
+(** Creates T (same derived schema and indexes as the framework). *)
+
+val split : Db.t -> Spec.split -> t
+
+val step : t -> limit:int -> [ `Running | `Done ]
+(** Process up to [limit] source rows. The first call latches the
+    source tables; the call that finishes unlatches (and drops the
+    sources). *)
+
+val rows_processed : t -> int
+val finished : t -> bool

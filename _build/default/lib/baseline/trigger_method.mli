@@ -1,0 +1,35 @@
+(** The trigger-based comparator (Ronström's method, paper Sec. 2.1).
+
+    Triggers inside user transactions keep the transformed tables up to
+    date while a reorganizer scans the old tables. The paper's critique
+    is that the triggered maintenance work is paid {e synchronously by
+    user transactions} — the overhead materialized-view research calls
+    significant — whereas the log-based method defers it to a
+    background process.
+
+    This implementation installs a post-operation hook that applies the
+    same propagation rules the framework uses, but immediately and
+    inside the user operation. The simulator charges the triggered rule
+    applications to the user operation's cost, which is exactly the
+    comparison the ablation bench makes. *)
+
+open Nbsc_engine
+open Nbsc_core
+
+type t
+
+val install_foj : Db.t -> Spec.foj -> t
+(** Creates T, populates it from a (latched, instantaneous) scan, and
+    installs the maintenance trigger. *)
+
+val install_split : Db.t -> Spec.split -> t
+
+val uninstall : t -> unit
+(** Remove the hook (the transformed tables stay). *)
+
+val triggered_ops : t -> int
+(** Rule applications performed inside user transactions so far. *)
+
+val last_op_work : t -> int
+(** Rule applications performed by the most recent user operation —
+    what the simulator adds to that operation's cost. *)

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Catalog List Log Log_record Lsn Nbsc_storage Nbsc_value Nbsc_wal Record Row Spec Split Table

@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Catalog Log Lsn Nbsc_storage Nbsc_value Nbsc_wal Row Split

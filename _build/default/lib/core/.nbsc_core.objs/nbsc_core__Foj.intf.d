@@ -1,0 +1,1 @@
+lib/core/foj.mli: Catalog Foj_common Log_record Lsn Nbsc_storage Nbsc_value Nbsc_wal Row Spec

@@ -1,0 +1,1 @@
+lib/core/foj_common.ml: Array Catalog Format List Nbsc_storage Nbsc_value Record Row Schema Spec Table Value

@@ -1,0 +1,1 @@
+lib/core/foj_common.mli: Catalog Lsn Nbsc_storage Nbsc_value Nbsc_wal Record Row Spec Table Value

@@ -1,0 +1,1 @@
+lib/core/foj_mm.ml: Foj Foj_common List Nbsc_storage Nbsc_value Nbsc_wal Record Row Schema Spec String Table Value

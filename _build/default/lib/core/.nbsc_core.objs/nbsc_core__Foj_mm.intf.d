@@ -1,0 +1,1 @@
+lib/core/foj_mm.mli: Foj Log_record Lsn Nbsc_value Nbsc_wal Row

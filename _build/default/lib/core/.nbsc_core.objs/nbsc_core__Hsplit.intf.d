@@ -1,0 +1,1 @@
+lib/core/hsplit.mli: Catalog Log_record Lsn Nbsc_storage Nbsc_value Nbsc_wal Record Row Spec Table

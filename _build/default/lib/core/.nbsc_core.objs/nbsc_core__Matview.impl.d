@@ -1,0 +1,1 @@
+lib/core/matview.ml: Catalog Db Foj Foj_mm List Manager Nbsc_engine Nbsc_storage Nbsc_txn Nbsc_wal Population Propagator Spec

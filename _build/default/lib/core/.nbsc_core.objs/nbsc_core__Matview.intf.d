@@ -1,0 +1,1 @@
+lib/core/matview.mli: Db Nbsc_engine Spec

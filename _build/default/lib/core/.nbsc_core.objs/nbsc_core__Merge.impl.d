@@ -1,0 +1,1 @@
+lib/core/merge.ml: Catalog List Log_record Lsn Nbsc_storage Nbsc_wal Record Spec String Table

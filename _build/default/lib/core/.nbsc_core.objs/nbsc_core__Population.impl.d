@@ -1,0 +1,1 @@
+lib/core/population.ml: Foj Foj_common List Lsn Nbsc_storage Nbsc_value Nbsc_wal Record Row Split Table

@@ -1,0 +1,1 @@
+lib/core/population.mli: Foj Nbsc_storage Record Split Table

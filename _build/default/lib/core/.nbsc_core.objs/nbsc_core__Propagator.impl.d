@@ -1,0 +1,1 @@
+lib/core/propagator.ml: Compat Consistency List Lock_table Log Log_record Lsn Manager Nbsc_lock Nbsc_txn Nbsc_value Nbsc_wal Row String

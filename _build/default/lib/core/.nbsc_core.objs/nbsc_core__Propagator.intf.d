@@ -1,0 +1,1 @@
+lib/core/propagator.mli: Consistency Log_record Lsn Manager Nbsc_txn Nbsc_value Nbsc_wal Row

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Catalog Format Fun List Nbsc_storage Nbsc_value Pred Row Schema String Table

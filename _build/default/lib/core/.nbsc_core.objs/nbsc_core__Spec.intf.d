@@ -1,0 +1,1 @@
+lib/core/spec.mli: Catalog Nbsc_storage Nbsc_value Pred Row Schema

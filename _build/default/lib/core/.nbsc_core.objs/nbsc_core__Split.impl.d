@@ -1,0 +1,1 @@
+lib/core/split.ml: Catalog Fun List Log_record Lsn Nbsc_storage Nbsc_value Nbsc_wal Record Row Schema Spec String Table

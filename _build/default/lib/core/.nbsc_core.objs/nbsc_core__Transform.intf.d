@@ -1,0 +1,1 @@
+lib/core/transform.mli: Analysis Consistency Db Foj Format Hsplit Manager Merge Nbsc_engine Nbsc_txn Spec Split

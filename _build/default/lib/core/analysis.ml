@@ -1,0 +1,69 @@
+type policy =
+  | Remaining_records of int
+  | Iteration_shrink of { factor : float; floor : int }
+  | Estimated_time of { max_steps : float }
+
+type t = {
+  policy : policy;
+  mutable current_cycle : int;   (* records consumed this cycle *)
+  mutable previous_cycle : int option;
+  mutable last_cycle_ok : bool;  (* Iteration_shrink verdict *)
+  mutable rate : float;          (* EWMA of net lag drain per step *)
+  mutable rate_primed : bool;
+  mutable last_lag : int option;
+}
+
+let create policy =
+  { policy;
+    current_cycle = 0;
+    previous_cycle = None;
+    last_cycle_ok = false;
+    rate = 0.;
+    rate_primed = false;
+    last_lag = None }
+
+let observe t ~lag ~consumed =
+  t.current_cycle <- t.current_cycle + consumed;
+  (match t.last_lag with
+   | Some prev ->
+     let drain = float_of_int (prev - lag) in
+     if t.rate_primed then t.rate <- (0.8 *. t.rate) +. (0.2 *. drain)
+     else begin
+       t.rate <- drain;
+       t.rate_primed <- true
+     end
+   | None -> ());
+  t.last_lag <- Some lag
+
+let end_iteration t =
+  (match t.policy with
+   | Iteration_shrink { factor; floor } ->
+     let ok =
+       t.current_cycle <= floor
+       ||
+       match t.previous_cycle with
+       | Some prev ->
+         float_of_int t.current_cycle <= factor *. float_of_int prev
+       | None -> false
+     in
+     t.last_cycle_ok <- ok
+   | Remaining_records _ | Estimated_time _ -> ());
+  t.previous_cycle <- Some t.current_cycle;
+  t.current_cycle <- 0
+
+let ready t ~lag =
+  match t.policy with
+  | Remaining_records n -> lag <= n
+  | Iteration_shrink { floor; _ } -> t.last_cycle_ok || lag <= min floor 1
+  | Estimated_time { max_steps } ->
+    lag = 0
+    || (t.rate > 0. && float_of_int lag /. t.rate <= max_steps)
+
+let default = Remaining_records 8
+
+let pp_policy ppf = function
+  | Remaining_records n -> Format.fprintf ppf "remaining-records<=%d" n
+  | Iteration_shrink { factor; floor } ->
+    Format.fprintf ppf "iteration-shrink(x%.2f, floor %d)" factor floor
+  | Estimated_time { max_steps } ->
+    Format.fprintf ppf "estimated-time<=%.1f steps" max_steps

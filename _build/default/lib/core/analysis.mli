@@ -1,0 +1,48 @@
+(** The iteration analysis (paper, Sec. 3.3).
+
+    "Each log propagation iteration therefore ends with an analysis of
+    the remaining work. Based on the analysis, either another log
+    propagation iteration or the synchronization step is started. The
+    analysis could be based on, e.g. the time used to complete the
+    current iteration, a count of the remaining log records to be
+    propagated, or an estimated remaining propagation time."
+
+    All three bases are implemented. Whatever the policy, the final
+    latched iteration processes exactly the records that remain when
+    the latch is taken, so every policy is ultimately a bound on the
+    blocking window — they differ in how they predict it. *)
+
+type policy =
+  | Remaining_records of int
+      (** "a count of the remaining log records": synchronize when the
+          propagator is at most this many records behind the head. *)
+  | Iteration_shrink of { factor : float; floor : int }
+      (** "the time used to complete the current iteration": iterations
+          must be shrinking — synchronize when the records consumed in
+          the cycle that just caught up are at most [factor] times the
+          previous cycle's (or below [floor] outright). A propagator
+          that cannot keep up never satisfies this, which is the
+          paper's "the synchronization is never started" signal. *)
+  | Estimated_time of { max_steps : float }
+      (** "an estimated remaining propagation time": track the net
+          drain rate (records of lag removed per step, smoothed) and
+          synchronize when lag / rate is at most [max_steps] steps. *)
+
+type t
+
+val create : policy -> t
+
+val observe : t -> lag:int -> consumed:int -> unit
+(** Report one propagation step: the lag after it and the records it
+    consumed. *)
+
+val end_iteration : t -> unit
+(** The propagator just caught up with the head (end of a cycle). *)
+
+val ready : t -> lag:int -> bool
+(** Should synchronization start now? *)
+
+val default : policy
+(** [Remaining_records 8]. *)
+
+val pp_policy : Format.formatter -> policy -> unit

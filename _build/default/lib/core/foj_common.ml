@@ -1,0 +1,143 @@
+open Nbsc_value
+open Nbsc_storage
+
+let r_bit = 1
+let s_bit = 2
+
+let derive_presence (l : Spec.foj_layout) row =
+  let any_non_null positions =
+    List.exists (fun i -> not (Value.is_null (Row.get row i))) positions
+  in
+  (if any_non_null l.Spec.t_r_key_pos then r_bit else 0)
+  lor if any_non_null l.Spec.t_s_key_pos then s_bit else 0
+
+let presence l (record : Record.t) =
+  if record.Record.aux <> 0 then record.Record.aux
+  else derive_presence l record.Record.row
+
+let has_r l record = presence l record land r_bit <> 0
+let has_s l record = presence l record land s_bit <> 0
+
+let t_row_of_sources (l : Spec.foj_layout) ~r ~s =
+  let row = Row.all_null (Schema.arity l.Spec.t_schema) in
+  let copy src mapping =
+    List.iter (fun (src_pos, t_pos) -> row.(t_pos) <- Row.get src src_pos) mapping
+  in
+  (match s with
+   | Some s_row ->
+     copy s_row l.Spec.s_to_t;
+     copy s_row l.Spec.s_join_to_t
+   | None -> ());
+  (match r with
+   | Some r_row ->
+     copy r_row l.Spec.r_to_t;
+     copy r_row l.Spec.r_join_to_t  (* R wins on join columns; equal anyway *)
+   | None -> ());
+  let bits =
+    (match r with Some _ -> r_bit | None -> 0)
+    lor match s with Some _ -> s_bit | None -> 0
+  in
+  (row, bits)
+
+let null_positions positions row =
+  Row.update row (List.map (fun i -> (i, Value.Null)) positions)
+
+let strip_r (l : Spec.foj_layout) row = null_positions l.Spec.t_r_carry_pos row
+let strip_s (l : Spec.foj_layout) row = null_positions l.Spec.t_s_carry_pos row
+
+let graft mapping ~src ~onto =
+  Row.update onto
+    (List.map (fun (src_pos, t_pos) -> (t_pos, Row.get src src_pos)) mapping)
+
+let graft_r (l : Spec.foj_layout) ~r ~onto =
+  graft (l.Spec.r_to_t @ l.Spec.r_join_to_t) ~src:r ~onto
+
+let graft_s (l : Spec.foj_layout) ~s ~onto =
+  graft (l.Spec.s_to_t @ l.Spec.s_join_to_t) ~src:s ~onto
+
+let graft_s_from_t (l : Spec.foj_layout) ~src ~onto =
+  Row.update onto
+    (List.map (fun t_pos -> (t_pos, Row.get src t_pos)) l.Spec.t_s_carry_pos)
+
+let changes_through mapping changes =
+  List.filter_map
+    (fun (pos, v) ->
+       match List.assoc_opt pos mapping with
+       | Some t_pos -> Some (t_pos, v)
+       | None -> None)
+    changes
+
+let r_changes_to_t (l : Spec.foj_layout) changes =
+  changes_through (l.Spec.r_to_t @ l.Spec.r_join_to_t) changes
+
+let s_changes_to_t (l : Spec.foj_layout) changes =
+  changes_through (l.Spec.s_to_t @ l.Spec.s_join_to_t) changes
+
+let touches positions changes =
+  List.exists (fun (pos, _) -> List.mem pos positions) changes
+
+let r_join_changed (l : Spec.foj_layout) changes =
+  touches l.Spec.join_in_r changes
+
+let s_join_changed (l : Spec.foj_layout) changes =
+  touches l.Spec.join_in_s changes
+
+let r_key_of_r_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.r_key_in_r
+
+let join_of_r_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.join_in_r
+
+let s_key_of_s_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.s_key_in_s
+
+let join_of_s_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.join_in_s
+
+let t_key (l : Spec.foj_layout) row =
+  Row.Key.of_row row (Schema.key_positions l.Spec.t_schema)
+
+let r_key_of_t_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.t_r_key_pos
+
+let s_key_of_t_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.t_s_key_pos
+
+let join_of_t_row (l : Spec.foj_layout) row =
+  Row.Key.of_row row l.Spec.t_join_pos
+
+type ctx = {
+  layout : Spec.foj_layout;
+  t_tbl : Table.t;
+}
+
+let make_ctx catalog (layout : Spec.foj_layout) =
+  { layout; t_tbl = Catalog.find catalog layout.Spec.spec.Spec.t_table }
+
+let by_r_key ctx key =
+  Table.index_lookup_records ctx.t_tbl ~index:Spec.ix_by_r_key key
+
+let by_s_key ctx key =
+  Table.index_lookup_records ctx.t_tbl ~index:Spec.ix_by_s_key key
+
+let by_join ctx key =
+  Table.index_lookup_records ctx.t_tbl ~index:Spec.ix_by_join key
+
+let put ctx ~lsn ~presence row =
+  match Table.insert ctx.t_tbl ~lsn ~aux:presence row with
+  | Ok () -> Table.key_of_row ctx.t_tbl row
+  | Error `Duplicate_key ->
+    invalid_arg
+      (Format.asprintf "Foj: rule produced duplicate T key for %a" Row.pp row)
+
+let drop ctx key =
+  match Table.delete ctx.t_tbl ~key with
+  | Ok _ -> key
+  | Error `Not_found ->
+    invalid_arg
+      (Format.asprintf "Foj: rule deleted missing T key %a" Row.Key.pp key)
+
+let rekey ctx ~lsn ~old_key ~presence row =
+  let k1 = drop ctx old_key in
+  let k2 = put ctx ~lsn ~presence row in
+  [ k1; k2 ]

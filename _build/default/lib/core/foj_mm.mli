@@ -1,0 +1,19 @@
+(** FOJ log propagation for many-to-many relationships (paper,
+    Sec. 4.2, "Sketch of Log Propagation for Many-to-Many
+    Relationships" — implemented in full here).
+
+    Each R record may join multiple S records and vice versa, so T's
+    key is the pair of source keys and an operation on a source record
+    touches {e every} T record that record contributed to. The
+    S-null / R-null padding discipline is the same as one-to-many: an
+    unmatched record survives as its side joined with the NULL record,
+    and the rules guarantee a side's survivor exists exactly when no
+    real match does. *)
+
+open Nbsc_value
+open Nbsc_wal
+
+val apply : Foj.t -> lsn:Lsn.t -> Log_record.op -> Row.Key.t list
+(** Propagate one logged source operation under many-to-many
+    semantics. Shares context and statistics with the one-to-many
+    engine ({!Foj.stats}). *)

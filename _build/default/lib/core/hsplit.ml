@@ -1,0 +1,118 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+module LR = Log_record
+
+type stats = {
+  mutable applied : int;
+  mutable ignored : int;
+  mutable foreign : int;
+  mutable migrations : int;
+}
+
+type t = {
+  layout : Spec.hsplit_layout;
+  t_true : Table.t;
+  t_false : Table.t;
+  st : stats;
+}
+
+let create catalog (layout : Spec.hsplit_layout) =
+  { layout;
+    t_true = Catalog.find catalog layout.Spec.hspec.Spec.h_true_table;
+    t_false = Catalog.find catalog layout.Spec.hspec.Spec.h_false_table;
+    st = { applied = 0; ignored = 0; foreign = 0; migrations = 0 } }
+
+let layout t = t.layout
+let true_table t = t.t_true
+let false_table t = t.t_false
+let stats t = t.st
+
+let route t row = if t.layout.Spec.h_route row then t.t_true else t.t_false
+
+let locate t key =
+  match Table.find t.t_true key with
+  | Some r -> Some (t.t_true, r)
+  | None ->
+    (match Table.find t.t_false key with
+     | Some r -> Some (t.t_false, r)
+     | None -> None)
+
+let ingest_initial t (record : Record.t) =
+  let target = route t record.Record.row in
+  match Table.insert target ~lsn:record.Record.lsn record.Record.row with
+  | Ok () -> ()
+  | Error `Duplicate_key -> ()  (* double-fed batch: ignore *)
+
+let rule_insert t ~lsn row =
+  let target = route t row in
+  let key = Table.key_of_row target row in
+  match locate t key with
+  | Some (held_in, _) ->
+    (* Already reflected (the fuzzy scan or an earlier replay); the
+       delete that would precede a re-insert is propagated first, so
+       presence alone means "same or newer state". *)
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name held_in, key) ]
+  | None ->
+    t.st.applied <- t.st.applied + 1;
+    (match Table.insert target ~lsn row with
+     | Ok () -> ()
+     | Error `Duplicate_key -> assert false);
+    [ (Table.name target, key) ]
+
+let rule_delete t ~lsn key =
+  match locate t key with
+  | None ->
+    t.st.ignored <- t.st.ignored + 1;
+    []
+  | Some (held_in, record) when Lsn.(record.Record.lsn >= lsn) ->
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name held_in, key) ]
+  | Some (held_in, _) ->
+    t.st.applied <- t.st.applied + 1;
+    (match Table.delete held_in ~key with
+     | Ok _ -> ()
+     | Error `Not_found -> assert false);
+    [ (Table.name held_in, key) ]
+
+let rule_update t ~lsn key changes =
+  match locate t key with
+  | None ->
+    t.st.ignored <- t.st.ignored + 1;
+    []
+  | Some (held_in, record) when Lsn.(record.Record.lsn >= lsn) ->
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name held_in, key) ]
+  | Some (held_in, record) ->
+    t.st.applied <- t.st.applied + 1;
+    let new_row = Row.update record.Record.row changes in
+    let target = route t new_row in
+    if target == held_in then begin
+      match Table.update held_in ~lsn ~key changes with
+      | Ok _ -> [ (Table.name held_in, key) ]
+      | Error `Not_found -> assert false
+    end
+    else begin
+      (* The predicate flipped: migrate. *)
+      t.st.migrations <- t.st.migrations + 1;
+      (match Table.delete held_in ~key with
+       | Ok _ -> ()
+       | Error `Not_found -> assert false);
+      (match Table.insert target ~lsn new_row with
+       | Ok () -> ()
+       | Error `Duplicate_key -> assert false);
+      [ (Table.name held_in, key); (Table.name target, key) ]
+    end
+
+let apply t ~lsn (op : LR.op) =
+  let source = t.layout.Spec.hspec.Spec.h_source in
+  if not (String.equal (LR.op_table op) source) then begin
+    t.st.foreign <- t.st.foreign + 1;
+    []
+  end
+  else
+    match op with
+    | LR.Insert { row; _ } -> rule_insert t ~lsn row
+    | LR.Delete { key; _ } -> rule_delete t ~lsn key
+    | LR.Update { key; changes; _ } -> rule_update t ~lsn key changes

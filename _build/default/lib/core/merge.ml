@@ -1,0 +1,97 @@
+open Nbsc_wal
+open Nbsc_storage
+module LR = Log_record
+
+type stats = {
+  mutable applied : int;
+  mutable ignored : int;
+  mutable foreign : int;
+  mutable collisions : int;
+}
+
+type t = {
+  layout : Spec.merge_layout;
+  tgt : Table.t;
+  st : stats;
+}
+
+let create catalog (layout : Spec.merge_layout) =
+  { layout;
+    tgt = Catalog.find catalog layout.Spec.mspec.Spec.m_target;
+    st = { applied = 0; ignored = 0; foreign = 0; collisions = 0 } }
+
+let layout t = t.layout
+let target t = t.tgt
+let stats t = t.st
+
+let upsert t ~lsn row =
+  let key = Table.key_of_row t.tgt row in
+  match Table.find t.tgt key with
+  | None ->
+    (match Table.insert t.tgt ~lsn row with
+     | Ok () -> ()
+     | Error `Duplicate_key -> assert false);
+    key
+  | Some existing ->
+    t.st.collisions <- t.st.collisions + 1;
+    if Lsn.(lsn > existing.Record.lsn) then begin
+      match Table.set_record t.tgt ~key (Record.make ~lsn row) with
+      | Ok () -> ()
+      | Error `Not_found -> assert false
+    end;
+    key
+
+let ingest_initial t (record : Record.t) =
+  ignore (upsert t ~lsn:record.Record.lsn record.Record.row)
+
+let rule_insert t ~lsn row =
+  let key = Table.key_of_row t.tgt row in
+  match Table.find t.tgt key with
+  | Some existing when Lsn.(existing.Record.lsn >= lsn) ->
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name t.tgt, key) ]
+  | Some _ | None ->
+    t.st.applied <- t.st.applied + 1;
+    [ (Table.name t.tgt, upsert t ~lsn row) ]
+
+let rule_delete t ~lsn key =
+  match Table.find t.tgt key with
+  | None ->
+    t.st.ignored <- t.st.ignored + 1;
+    []
+  | Some existing when Lsn.(existing.Record.lsn >= lsn) ->
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name t.tgt, key) ]
+  | Some _ ->
+    t.st.applied <- t.st.applied + 1;
+    (match Table.delete t.tgt ~key with
+     | Ok _ -> ()
+     | Error `Not_found -> assert false);
+    [ (Table.name t.tgt, key) ]
+
+let rule_update t ~lsn key changes =
+  match Table.find t.tgt key with
+  | None ->
+    t.st.ignored <- t.st.ignored + 1;
+    []
+  | Some existing when Lsn.(existing.Record.lsn >= lsn) ->
+    t.st.ignored <- t.st.ignored + 1;
+    [ (Table.name t.tgt, key) ]
+  | Some _ ->
+    t.st.applied <- t.st.applied + 1;
+    (match Table.update t.tgt ~lsn ~key changes with
+     | Ok _ -> ()
+     | Error `Not_found -> assert false);
+    [ (Table.name t.tgt, key) ]
+
+let apply t ~lsn (op : LR.op) =
+  let sources = t.layout.Spec.mspec.Spec.m_sources in
+  if not (List.exists (String.equal (LR.op_table op)) sources) then begin
+    t.st.foreign <- t.st.foreign + 1;
+    []
+  end
+  else
+    match op with
+    | LR.Insert { row; _ } -> rule_insert t ~lsn row
+    | LR.Delete { key; _ } -> rule_delete t ~lsn key
+    | LR.Update { key; changes; _ } -> rule_update t ~lsn key changes

@@ -1,0 +1,30 @@
+(** Merge (union) propagation.
+
+    Several same-schema source tables merged into one target. Target
+    records inherit the sources' LSNs; logged operations apply only
+    when newer. On a key collision between sources the highest LSN
+    wins — callers should merge tables with disjoint keys (the spec
+    documents this), but the rule is convergent either way. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+
+type t
+
+val create : Catalog.t -> Spec.merge_layout -> t
+
+val layout : t -> Spec.merge_layout
+val target : t -> Table.t
+
+val ingest_initial : t -> Record.t -> unit
+val apply : t -> lsn:Lsn.t -> Log_record.op -> (string * Row.Key.t) list
+
+type stats = {
+  mutable applied : int;
+  mutable ignored : int;
+  mutable foreign : int;
+  mutable collisions : int;  (** same key seen from two sources *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,37 @@
+(** The initial population step (paper, Sec. 3.2).
+
+    Source tables are read with lock-free fuzzy cursors, in bounded
+    batches so user transactions interleave freely; the transformation
+    operator is applied to the fuzzy result and inserted into the
+    transformed tables. The resulting initial image is inconsistent —
+    that is the point — and the log propagation absorbs it.
+
+    FOJ scans S first (building an in-memory join table), then streams
+    R against it, then emits the unmatched S rows padded with the
+    R-null record. Split streams T, inserting R parts (which inherit
+    the source record's LSN, the rules' state identifier) and
+    reference-counting S parts. *)
+
+open Nbsc_storage
+
+type t
+
+val foj : Foj.t -> r_tbl:Table.t -> s_tbl:Table.t -> t
+val split : Split.t -> t_tbl:Table.t -> t
+
+val scan_one : Table.t -> ingest:(Record.t -> unit) -> t
+(** Generic single-source population: fuzzy-scan the table and feed
+    each record to [ingest] (horizontal split, materialized views). *)
+
+val scan_many : Table.t list -> ingest:(Record.t -> unit) -> t
+(** Several sources scanned in sequence (merge). *)
+
+val step : t -> limit:int -> bool
+(** Do up to [limit] records of work; true when population is done. *)
+
+val finished : t -> bool
+val scanned : t -> int
+(** Source records consumed so far. *)
+
+val produced : t -> int
+(** Target rows written so far. *)

@@ -1,0 +1,146 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_lock
+open Nbsc_txn
+
+type rules = {
+  sources : string list;
+  targets : string list;
+  apply : lsn:Lsn.t -> Log_record.op -> (string * Row.Key.t) list;
+  cc : Consistency.t option;
+  cc_s_table : string option;
+  transfer_locks : bool;
+}
+
+let rules ?cc ?cc_s_table ?(transfer_locks = true) ~sources ~targets ~apply () =
+  { sources; targets; apply; cc; cc_s_table; transfer_locks }
+
+type t = {
+  mgr : Manager.t;
+  rules : rules;
+  cursor : Log.Cursor.t;
+  mutable processed : int;
+  mutable transferred : int;
+  mutable lock_mapper :
+    (table:string -> key:Row.Key.t -> (string * Row.Key.t) list) option;
+}
+
+let create mgr rules ~from =
+  { mgr;
+    rules;
+    cursor = Log.Cursor.make (Manager.log mgr) ~from;
+    processed = 0;
+    transferred = 0;
+    lock_mapper = None }
+
+let provenance_of t table =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> if String.equal s table then Some i else go (i + 1) rest
+  in
+  go 0 t.rules.sources
+
+let note_cc_touches t touched =
+  match t.rules.cc, t.rules.cc_s_table with
+  | Some cc, Some s_table ->
+    List.iter
+      (fun (table, key) ->
+         if String.equal table s_table then Consistency.note_touched cc key)
+      touched
+  | _ -> ()
+
+let transfer_locks t ~owner ~source touched =
+  if not t.rules.transfer_locks then ()
+  else
+  match provenance_of t source with
+  | None -> ()
+  | Some i ->
+    let lock = { Compat.mode = Compat.X; provenance = Compat.Source i } in
+    List.iter
+      (fun (table, key) ->
+         t.transferred <- t.transferred + 1;
+         Lock_table.transfer (Manager.locks t.mgr) ~owner ~table ~key lock)
+      touched
+
+let is_transferred_on_target t ~table (lock : Compat.lock) =
+  (match lock.Compat.provenance with
+   | Compat.Source _ -> true
+   | Compat.Native -> false)
+  && List.mem table t.rules.targets
+
+let release_transferred t ~owner =
+  Lock_table.release_owner_where (Manager.locks t.mgr) ~owner
+    (fun ~table ~lock -> is_transferred_on_target t ~table lock)
+
+let handle_op t ~txn ~lsn op =
+  let source = Log_record.op_table op in
+  if List.exists (String.equal source) t.rules.sources then begin
+    let touched = t.rules.apply ~lsn op in
+    note_cc_touches t touched;
+    transfer_locks t ~owner:txn ~source touched
+  end
+
+let handle_record t (r : Log_record.t) =
+  match r.Log_record.body with
+  | Log_record.Op op -> handle_op t ~txn:r.Log_record.txn ~lsn:r.Log_record.lsn op
+  | Log_record.Clr { op; _ } ->
+    handle_op t ~txn:r.Log_record.txn ~lsn:r.Log_record.lsn op
+  | Log_record.Commit | Log_record.Abort_done ->
+    release_transferred t ~owner:r.Log_record.txn
+  | Log_record.Cc_begin { key; _ } ->
+    (match t.rules.cc with
+     | Some cc -> Consistency.on_cc_begin cc key
+     | None -> ())
+  | Log_record.Cc_ok { key; image; _ } ->
+    (match t.rules.cc with
+     | Some cc -> Consistency.on_cc_ok cc ~lsn:r.Log_record.lsn key image
+     | None -> ())
+  | Log_record.Begin | Log_record.Abort_begin | Log_record.Fuzzy_mark _
+  | Log_record.Checkpoint _ -> ()
+
+let step t ~limit =
+  let consumed = ref 0 in
+  let continue = ref true in
+  while !continue && !consumed < limit do
+    match Log.Cursor.next t.cursor with
+    | None -> continue := false
+    | Some r ->
+      handle_record t r;
+      incr consumed;
+      t.processed <- t.processed + 1
+  done;
+  !consumed
+
+let rec run_to_head t =
+  let n = step t ~limit:max_int in
+  (* Rule application never appends to the log, but the consistency
+     checker does not run inside this loop, so one pass suffices; be
+     defensive anyway. *)
+  if Log.Cursor.lag t.cursor > 0 then n + run_to_head t else n
+
+let lag t = Log.Cursor.lag t.cursor
+let position t = Log.Cursor.position t.cursor
+let records_processed t = t.processed
+let locks_transferred t = t.transferred
+
+let set_lock_mapper t mapper = t.lock_mapper <- Some mapper
+
+let transfer_current_source_locks t =
+  match t.lock_mapper with
+  | None -> invalid_arg "Propagator: no lock mapper installed"
+  | Some mapper ->
+    let locks = Manager.locks t.mgr in
+    List.iteri
+      (fun i source ->
+         List.iter
+           (fun (key, owner, (lock : Compat.lock)) ->
+              if Manager.is_active t.mgr owner then
+                List.iter
+                  (fun (table, tkey) ->
+                     t.transferred <- t.transferred + 1;
+                     Lock_table.transfer locks ~owner ~table ~key:tkey
+                       { Compat.mode = lock.Compat.mode;
+                         provenance = Compat.Source i })
+                  (mapper ~table:source ~key))
+           (Lock_table.locked_resources locks ~table:source))
+      t.rules.sources

@@ -1,0 +1,75 @@
+(** The log propagator (paper, Sec. 3.3).
+
+    Reads the log forward from the first record that might not be
+    reflected in the initial image (the oldest record of any
+    transaction active at the first fuzzy mark) and applies each
+    operation through the transformation's rules. Along the way it
+
+    - {e transfers locks}: every target record a rule touches is locked
+      on behalf of the source transaction with [Source] provenance, and
+      those locks are released when the transaction's commit / abort
+      record is reached (paper, Sec. 3.3 and 4.3) — exactly the
+      machinery the non-blocking synchronization strategies rely on;
+    - drives the {e consistency checker} callbacks when it encounters
+      CC-begin / CC-ok records (split of inconsistent data, Sec. 5.3);
+    - exposes its {e lag} (remaining log records), the quantity the
+      iteration analysis uses to decide when to synchronize. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_txn
+
+(** How the propagator talks to a concrete transformation. *)
+type rules = {
+  sources : string list;
+      (** source tables, in provenance order (index i -> [Source i]) *)
+  targets : string list;
+  apply : lsn:Lsn.t -> Log_record.op -> (string * Row.Key.t) list;
+      (** apply one operation; returns touched (target table, key) *)
+  cc : Consistency.t option;
+  cc_s_table : string option;
+      (** the split S table, whose touches invalidate pending checks *)
+  transfer_locks : bool;
+      (** schema transformations transfer source-transaction locks to
+          the targets (paper, Sec. 3.3); materialized-view maintenance
+          does not — the view never takes over from its sources *)
+}
+
+val rules :
+  ?cc:Consistency.t -> ?cc_s_table:string -> ?transfer_locks:bool ->
+  sources:string list -> targets:string list ->
+  apply:(lsn:Lsn.t -> Log_record.op -> (string * Row.Key.t) list) -> unit ->
+  rules
+(** Convenience constructor; [transfer_locks] defaults to true. *)
+
+type t
+
+val create : Manager.t -> rules -> from:Lsn.t -> t
+
+val step : t -> limit:int -> int
+(** Process up to [limit] log records; returns how many were consumed. *)
+
+val run_to_head : t -> int
+(** The final, latched propagation: consume everything. Returns the
+    number of records consumed — the paper's claim is that this is tiny
+    (sub-millisecond) when the iteration analysis chose well. *)
+
+val lag : t -> int
+val position : t -> Lsn.t
+val records_processed : t -> int
+val locks_transferred : t -> int
+
+val transfer_current_source_locks : t -> unit
+(** Non-blocking-commit synchronization: transfer every lock currently
+    held on a source table to the corresponding target records
+    (paper, Sec. 3.4 / 4.3). Requires lag = 0. *)
+
+val release_transferred : t -> owner:Log_record.txn_id -> unit
+(** Drop one transaction's transferred locks on the targets (used when
+    force-aborting source transactions whose end records will never be
+    propagated because the transformation is being torn down). *)
+
+val set_lock_mapper :
+  t -> (table:string -> key:Row.Key.t -> (string * Row.Key.t) list) -> unit
+(** How a lock on a source record maps to target records; needed by
+    {!transfer_current_source_locks}. *)

@@ -1,0 +1,132 @@
+(** The non-blocking transformation framework (paper, Sec. 3).
+
+    A transformation is an incremental background process: create it
+    (the {e preparation step} — target tables, indexes, validation),
+    then call {!step} repeatedly, interleaved with user transactions at
+    whatever granularity the caller (application, test, or the
+    simulator's priority scheduler) chooses. Each step performs a
+    bounded amount of work:
+
+    + {e initial population} — fuzzy (lock-free) scan of the sources,
+      transformation operator applied, initial image inserted;
+    + {e log propagation} — the redo rules of Sections 4 and 5,
+      transferring source-transaction locks to the targets as it goes;
+    + {e consistency checking} — for split of possibly-inconsistent
+      data, until every S record is C-flagged;
+    + {e synchronization} — one of the paper's three strategies
+      (Sec. 3.4), ending with the source tables dropped.
+
+    User transactions are never blocked except for the final latched
+    propagation iteration, whose size {!progress} reports (the paper
+    measures it under 1 ms). *)
+
+open Nbsc_txn
+open Nbsc_engine
+
+type strategy =
+  | Blocking_commit
+      (** block newcomers, let current transactions finish, then switch
+          — violates the non-blocking requirement; the paper's foil *)
+  | Nonblocking_abort
+      (** latch briefly, switch, force transactions that were active on
+          the sources to abort *)
+  | Nonblocking_commit
+      (** latch briefly, switch, let source transactions continue under
+          two-schema locking (Fig. 2) until they finish *)
+
+type config = {
+  scan_batch : int;       (** source records per population step *)
+  propagate_batch : int;  (** log records per propagation step *)
+  analysis : Analysis.policy;
+      (** the iteration analysis deciding when to attempt
+          synchronization (paper, Sec. 3.3; see {!Analysis.policy}) *)
+  strategy : strategy;
+  drop_sources : bool;    (** drop source tables when done *)
+  sync_gate : unit -> bool;
+      (** consulted before entering synchronization; return [false] to
+          keep propagating (e.g. the DBA wants the switch-over during
+          off-hours, or an experiment wants a steady propagation
+          phase). Default: always true. *)
+}
+
+val default_config : config
+(** [{ scan_batch = 256; propagate_batch = 256;
+      analysis = Analysis.default; strategy = Nonblocking_abort;
+      drop_sources = true; sync_gate = fun () -> true }] *)
+
+type phase =
+  | Populating
+  | Propagating
+  | Checking        (** consistency checker active (split, Sec. 5.3) *)
+  | Quiescing       (** blocking commit: waiting for old transactions *)
+  | Draining        (** switched; old source transactions finishing *)
+  | Done
+  | Failed of string
+
+type progress = {
+  p_phase : phase;
+  iterations : int;       (** times the propagator caught up with the log head *)
+  scanned : int;          (** fuzzy-scanned source records *)
+  produced : int;         (** initial-image rows written *)
+  propagated : int;       (** log records consumed *)
+  lag : int;              (** log records still to consume *)
+  locks_transferred : int;
+  final_records : int;    (** size of the final latched iteration *)
+  unknown_flags : int;    (** U-flagged S records remaining (split) *)
+  forced_aborts : int;    (** transactions killed by non-blocking abort *)
+}
+
+type t
+
+val foj : Db.t -> ?config:config -> Spec.foj -> t
+(** Preparation step for a full outer join transformation: validates
+    the spec, creates T with its three indexes, writes the first fuzzy
+    mark. @raise Invalid_argument on an invalid spec. *)
+
+val split : Db.t -> ?config:config -> Spec.split -> t
+(** Preparation step for a split transformation; also adds the
+    split-column index to the source table (the consistency checker
+    reads through it). *)
+
+val hsplit : Db.t -> ?config:config -> Spec.hsplit -> t
+(** Horizontal (selection) split — one of the "other relational
+    operators" the paper's conclusion calls for. Same four-step
+    framework and synchronization strategies. *)
+
+val merge : Db.t -> ?config:config -> Spec.merge -> t
+(** Merge (union) of same-schema tables — the reverse of [hsplit]. *)
+
+val step : t -> [ `Running | `Done | `Failed of string ]
+(** One bounded slice of background work. *)
+
+val run : ?between:(unit -> unit) -> t -> (unit, string) result
+(** Drive to completion, invoking [between] between steps so callers
+    can interleave user transactions. *)
+
+val phase : t -> phase
+val progress : t -> progress
+
+val routing : t -> [ `Sources | `Targets ]
+(** Which schema version new transactions should use — flips exactly at
+    the synchronization point. *)
+
+val sources : t -> string list
+val targets : t -> string list
+
+val abort : t -> unit
+(** Stop the transformation: log propagation ceases, transformed tables
+    are deleted, transferred locks dropped, latches and freezes lifted
+    (paper, Sec. 6: "aborting the transformation simply means that log
+    propagation is stopped, and the transformed tables are deleted").
+    No effect once [Done]. *)
+
+val pp_phase : Format.formatter -> phase -> unit
+val pp_progress : Format.formatter -> progress -> unit
+
+(** Access to the underlying machinery, for tests and benches. *)
+val manager : t -> Manager.t
+val foj_engine : t -> Foj.t option
+val split_engine : t -> Split.t option
+val hsplit_engine : t -> Hsplit.t option
+val merge_engine : t -> Merge.t option
+val checker : t -> Consistency.t option

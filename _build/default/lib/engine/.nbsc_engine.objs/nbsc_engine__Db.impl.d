@@ -1,0 +1,1 @@
+lib/engine/db.ml: Catalog List Manager Nbsc_relalg Nbsc_storage Nbsc_txn Table

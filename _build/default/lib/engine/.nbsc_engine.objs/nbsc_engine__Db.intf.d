@@ -1,0 +1,1 @@
+lib/engine/db.mli: Catalog Manager Nbsc_relalg Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Row Schema Table

@@ -1,0 +1,1 @@
+lib/engine/persist.ml: Db Filename Format List Log Log_record Nbsc_txn Nbsc_wal Recovery Snapshot String Sys

@@ -1,0 +1,1 @@
+lib/engine/persist.mli: Db Format Nbsc_txn Recovery

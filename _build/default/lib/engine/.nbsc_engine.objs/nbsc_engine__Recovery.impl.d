@@ -1,0 +1,1 @@
+lib/engine/recovery.ml: Apply Catalog Format Hashtbl Int List Log Log_record Lsn Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Record Schema String Table

@@ -1,0 +1,1 @@
+lib/engine/recovery.mli: Catalog Format Log Log_record Nbsc_storage Nbsc_value Nbsc_wal Schema

@@ -1,0 +1,1 @@
+lib/engine/snapshot.ml: Catalog Codec Db Format List Log Lsn Manager Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Record Schema String Table Value

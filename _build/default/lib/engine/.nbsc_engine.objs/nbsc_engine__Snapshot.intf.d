@@ -1,0 +1,1 @@
+lib/engine/snapshot.mli: Db Format Manager Nbsc_txn

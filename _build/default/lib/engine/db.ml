@@ -1,0 +1,50 @@
+open Nbsc_storage
+open Nbsc_txn
+
+type t = {
+  cat : Catalog.t;
+  mgr : Manager.t;
+}
+
+let create () =
+  let cat = Catalog.create () in
+  { cat; mgr = Manager.create cat }
+
+let of_parts cat ~log = { cat; mgr = Manager.create ~log cat }
+
+let catalog t = t.cat
+let manager t = t.mgr
+let log t = Manager.log t.mgr
+
+let create_table t ?indexes ~name schema =
+  Catalog.create_table t.cat ?indexes ~name schema
+
+let table t name = Catalog.find t.cat name
+
+let with_txn t f =
+  let txn = Manager.begin_txn t.mgr in
+  match f txn with
+  | Ok v ->
+    (match Manager.commit t.mgr txn with
+     | Ok () -> Ok v
+     | Error e ->
+       ignore (Manager.abort t.mgr txn);
+       Error e)
+  | Error e ->
+    ignore (Manager.abort t.mgr txn);
+    Error e
+
+let load t ~table rows =
+  with_txn t (fun txn ->
+      List.fold_left
+        (fun acc row ->
+           match acc with
+           | Error _ as e -> e
+           | Ok () -> Manager.insert t.mgr ~txn ~table row)
+        (Ok ()) rows)
+
+let snapshot t name =
+  let tbl = table t name in
+  Nbsc_relalg.Relalg.make (Table.schema tbl) (Table.to_rows tbl)
+
+let row_count t name = Table.cardinality (table t name)

@@ -1,0 +1,42 @@
+(** Database facade.
+
+    Bundles a catalog and a transaction manager and offers the
+    conveniences everything above the substrate uses: one-shot
+    auto-committed statements, bulk loads, and state snapshots for
+    comparing against the relational-algebra oracle. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+
+type t
+
+val create : unit -> t
+
+val of_parts : Nbsc_storage.Catalog.t -> log:Nbsc_wal.Log.t -> t
+(** Wrap an existing catalog (e.g. one restored from a snapshot) with a
+    fresh transaction manager over the given log. *)
+
+val catalog : t -> Catalog.t
+val manager : t -> Manager.t
+val log : t -> Nbsc_wal.Log.t
+
+val create_table :
+  t -> ?indexes:(string * string list) list -> name:string -> Schema.t ->
+  Table.t
+
+val table : t -> string -> Table.t
+(** @raise Not_found *)
+
+val with_txn : t -> (Manager.txn_id -> ('a, Manager.error) result) ->
+  ('a, Manager.error) result
+(** Run [f] in a fresh transaction; commit on [Ok], roll back on
+    [Error]. A commit failure also rolls back. *)
+
+val load : t -> table:string -> Row.t list -> (unit, Manager.error) result
+(** Bulk-insert rows in one transaction. *)
+
+val snapshot : t -> string -> Nbsc_relalg.Relalg.t
+(** The table's current rows as a relation (for oracle comparison). *)
+
+val row_count : t -> string -> int

@@ -1,0 +1,137 @@
+open Nbsc_wal
+
+type error =
+  [ `Active_transactions of Nbsc_txn.Manager.txn_id list
+  | `Corrupt of string
+  | `Io of string ]
+
+type t = {
+  dir : string;
+  mutable pdb : Db.t;
+  mutable out : out_channel;
+  mutable report : Recovery.report option;
+  mutable closed : bool;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.nbsc"
+let wal_path dir = Filename.concat dir "wal.nbsc"
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let io f = try Ok (f ()) with Sys_error m -> Error (`Io m)
+
+let write_lines path lines =
+  io (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+           output_string oc l;
+           output_char oc '\n')
+        lines;
+      close_out oc)
+
+let read_lines path =
+  io (fun () ->
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      go [])
+
+let attach_sink t =
+  Log.set_sink (Db.log t.pdb)
+    (Some
+       (fun record ->
+          output_string t.out (Log_record.encode record);
+          output_char t.out '\n';
+          flush t.out))
+
+let create_dir ~dir =
+  let* () =
+    io (fun () -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+  in
+  if Sys.file_exists (snapshot_path dir) then
+    Error (`Io (dir ^ " already holds a database"))
+  else
+    let pdb = Db.create () in
+    let* () =
+      match Snapshot.save pdb with
+      | Ok lines -> write_lines (snapshot_path dir) lines
+      | Error (`Active_transactions _ | `Corrupt _) -> assert false
+    in
+    let* out =
+      io (fun () ->
+          open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
+    in
+    let t = { dir; pdb; out; report = None; closed = false } in
+    attach_sink t;
+    Ok t
+
+let open_dir ~dir =
+  let* snapshot_lines = read_lines (snapshot_path dir) in
+  let* pdb =
+    match Snapshot.load snapshot_lines with
+    | Ok db -> Ok db
+    | Error (`Corrupt _ as e) -> Error (e :> error)
+    | Error (`Active_transactions _) -> assert false
+  in
+  let* wal_lines =
+    if Sys.file_exists (wal_path dir) then read_lines (wal_path dir) else Ok []
+  in
+  (* Crash recovery over the retained log suffix, and the LSN the
+     in-memory log must continue after. *)
+  let* report, wal_head =
+    match wal_lines with
+    | [] -> Ok (None, Log.head (Db.log pdb))  (* the snapshot head *)
+    | lines ->
+      (match Log.of_lines lines with
+       | wal ->
+         Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), Log.head wal)
+       | exception Failure m -> Error (`Corrupt m))
+  in
+  let pdb =
+    Db.of_parts (Db.catalog pdb) ~log:(Log.create ~base:wal_head ())
+  in
+  let* out =
+    io (fun () ->
+        open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
+  in
+  let t = { dir; pdb; out; report; closed = false } in
+  attach_sink t;
+  Ok t
+
+let db t = t.pdb
+
+let checkpoint t =
+  match Snapshot.save t.pdb with
+  | Error e -> Error (e :> error)
+  | Ok lines ->
+    let* () = write_lines (snapshot_path t.dir) lines in
+    (* Truncate the WAL: everything it held is in the snapshot now. *)
+    let* () =
+      io (fun () ->
+          close_out t.out;
+          t.out <- open_out (wal_path t.dir))
+    in
+    attach_sink t;
+    Ok ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Log.set_sink (Db.log t.pdb) None;
+    close_out t.out
+  end
+
+let last_recovery t = t.report
+
+let pp_error ppf = function
+  | `Active_transactions txns ->
+    Format.fprintf ppf "active transactions: [%s]"
+      (String.concat "; " (List.map string_of_int txns))
+  | `Corrupt m -> Format.fprintf ppf "corrupt: %s" m
+  | `Io m -> Format.fprintf ppf "io error: %s" m

@@ -1,0 +1,50 @@
+(** Durability: a database directory with a snapshot file and a
+    continuously-appended write-ahead-log file.
+
+    Layout:
+    {v
+      <dir>/snapshot.nbsc   sharp snapshot (see Snapshot)
+      <dir>/wal.nbsc        one encoded log record per line, appended
+                            and flushed synchronously on every append
+    v}
+
+    {!open_dir} restores the snapshot, replays the WAL file (redo of
+    completed work, rollback of transactions that were in flight at the
+    crash), and re-attaches the WAL sink so new work keeps being
+    journaled. {!checkpoint} rewrites the snapshot and truncates the
+    WAL — the log-truncation step a real system runs periodically. *)
+
+(** {b DDL durability caveat}: the WAL journals data operations only
+    (the paper's log carries no DDL either); table definitions are
+    persisted by snapshots. Run {!checkpoint} after creating or
+    dropping tables, or records written to a table created since the
+    last checkpoint cannot be replayed after a crash. *)
+
+type t
+
+type error =
+  [ `Active_transactions of Nbsc_txn.Manager.txn_id list
+  | `Corrupt of string
+  | `Io of string ]
+
+val create_dir : dir:string -> (t, error) result
+(** Initialize an empty database directory (creates it if missing;
+    refuses a directory that already holds a database). *)
+
+val open_dir : dir:string -> (t, error) result
+(** Open an existing directory, running crash recovery if the WAL holds
+    unfinished transactions. *)
+
+val db : t -> Db.t
+
+val checkpoint : t -> (unit, error) result
+(** Rewrite the snapshot at the current state and truncate the WAL.
+    Requires no active transactions (sharp, like {!Snapshot.save}). *)
+
+val close : t -> unit
+(** Flush and close the WAL channel. The [t] must not be used after. *)
+
+val last_recovery : t -> Recovery.report option
+(** The report from recovery at [open_dir] time, if any replay ran. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,120 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+open Nbsc_txn
+
+type table_def = {
+  def_name : string;
+  def_schema : Schema.t;
+  def_indexes : (string * string list) list;
+}
+
+let table_def ?(indexes = []) def_name def_schema =
+  { def_name; def_schema; def_indexes = indexes }
+
+type report = {
+  redo_applied : int;
+  redo_skipped : int;
+  losers : Log_record.txn_id list;
+  undo_applied : int;
+}
+
+(* Analysis: who never completed, and what was each one's last record? *)
+let analysis log =
+  let last_lsn = Hashtbl.create 64 in
+  let active = Hashtbl.create 64 in
+  Log.iter log (fun r ->
+      let txn = r.Log_record.txn in
+      if txn <> Log_record.system_txn then begin
+        Hashtbl.replace last_lsn txn r.Log_record.lsn;
+        match r.Log_record.body with
+        | Log_record.Begin -> Hashtbl.replace active txn ()
+        | Log_record.Commit | Log_record.Abort_done -> Hashtbl.remove active txn
+        | Log_record.Abort_begin | Log_record.Op _ | Log_record.Clr _
+        | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
+        | Log_record.Checkpoint _ -> ()
+      end);
+  let losers =
+    Hashtbl.fold (fun txn () acc -> txn :: acc) active []
+    |> List.sort Int.compare
+  in
+  (losers, fun txn -> try Hashtbl.find last_lsn txn with Not_found -> Lsn.zero)
+
+let replay_into catalog log =
+  let losers, last_lsn_of = analysis log in
+  (* Redo: history repeats, including CLRs (repeating history, ARIES). *)
+  let redo_applied = ref 0 and redo_skipped = ref 0 in
+  let redo lsn op =
+    match Catalog.find_opt catalog (Log_record.op_table op) with
+    | None -> incr redo_skipped
+    | Some table ->
+      let key = Log_record.op_key (Table.schema table) op in
+      let already_done =
+        match Table.find table key with
+        | Some record -> Lsn.(record.Record.lsn >= lsn)
+        | None -> false
+      in
+      if already_done then incr redo_skipped
+      else begin
+        match Apply.op_to_table table ~lsn op with
+        | Ok () -> incr redo_applied
+        | Error (`Duplicate_key | `Not_found) ->
+          (* Tolerated: overlapping history (a suffix replayed twice, or
+             a delete already reflected in a snapshot) skips. *)
+          incr redo_skipped
+      end
+  in
+  Log.iter log (fun r ->
+      match r.Log_record.body with
+      | Log_record.Op op -> redo r.Log_record.lsn op
+      | Log_record.Clr { op; _ } -> redo r.Log_record.lsn op
+      | Log_record.Begin | Log_record.Commit | Log_record.Abort_begin
+      | Log_record.Abort_done | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _
+      | Log_record.Cc_ok _ | Log_record.Checkpoint _ -> ());
+  (* Undo: roll losers back.  No new log records are produced — the
+     recovered catalog is the deliverable, not a continued log. *)
+  let undo_applied = ref 0 in
+  let undo_lsn = Lsn.next (Log.head log) in
+  let rec undo_chain lsn =
+    if Lsn.(lsn > Lsn.zero) then begin
+      let r = Log.get log lsn in
+      match r.Log_record.body with
+      | Log_record.Op op ->
+        (match Catalog.find_opt catalog (Log_record.op_table op) with
+         | None -> undo_chain r.Log_record.prev_lsn
+         | Some table ->
+           let key = Log_record.op_key (Table.schema table) op in
+           let inverse = Log_record.invert ~key op in
+           (match Apply.op_to_table table ~lsn:undo_lsn inverse with
+            | Ok () -> incr undo_applied
+            | Error (`Duplicate_key | `Not_found) -> ());
+           undo_chain r.Log_record.prev_lsn)
+      | Log_record.Clr { undo_next; _ } -> undo_chain undo_next
+      | Log_record.Begin -> ()
+      | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
+      | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
+      | Log_record.Checkpoint _ -> undo_chain r.Log_record.prev_lsn
+    end
+  in
+  List.iter (fun txn -> undo_chain (last_lsn_of txn)) losers;
+  { redo_applied = !redo_applied;
+    redo_skipped = !redo_skipped;
+    losers;
+    undo_applied = !undo_applied }
+
+let recover ~table_defs log =
+  let catalog = Catalog.create () in
+  List.iter
+    (fun d ->
+       ignore
+         (Catalog.create_table catalog ~indexes:d.def_indexes ~name:d.def_name
+            d.def_schema))
+    table_defs;
+  (catalog, replay_into catalog log)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "redo: %d applied, %d skipped; losers: [%s]; undo: %d applied"
+    r.redo_applied r.redo_skipped
+    (String.concat "; " (List.map string_of_int r.losers))
+    r.undo_applied

@@ -1,0 +1,165 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+open Nbsc_txn
+
+type error =
+  [ `Active_transactions of Manager.txn_id list
+  | `Corrupt of string ]
+
+(* Line format (every payload is a Codec chunk list):
+     H:<head-lsn>
+     T:<name>|<schema chunks>
+     I:<table>|<index name>|<columns...>     (hash index)
+     O:<table>|<index name>|<columns...>     (ordered index)
+     R:<table>|<lsn>|<counter>|<flag>|<aux>|<row chunks>
+   '|' never appears unescaped because each field is itself a
+   length-prefixed chunk inside one Codec string. *)
+
+let encode_schema schema =
+  let cols =
+    List.concat_map
+      (fun c ->
+         [ c.Schema.col_name;
+           (match c.Schema.col_ty with
+            | Value.TInt -> "int"
+            | Value.TFloat -> "float"
+            | Value.TBool -> "bool"
+            | Value.TText -> "text");
+           (if c.Schema.nullable then "1" else "0") ])
+      (Schema.columns schema)
+  in
+  Codec.encode_string_list
+    (string_of_int (Schema.arity schema)
+     :: (cols @ Schema.key_names schema))
+
+let decode_schema s =
+  match Codec.decode_string_list s with
+  | n :: rest ->
+    let n = int_of_string n in
+    let rec take_cols k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | name :: ty :: nullable :: rest ->
+          let col_ty =
+            match ty with
+            | "int" -> Value.TInt
+            | "float" -> Value.TFloat
+            | "bool" -> Value.TBool
+            | "text" -> Value.TText
+            | _ -> failwith "Snapshot: bad column type"
+          in
+          take_cols (k - 1)
+            (Schema.column ~nullable:(nullable = "1") name col_ty :: acc)
+            rest
+        | _ -> failwith "Snapshot: truncated schema"
+    in
+    let cols, key = take_cols n [] rest in
+    Schema.make ~key cols
+  | [] -> failwith "Snapshot: empty schema"
+
+let flag_to_string = function Record.Consistent -> "C" | Record.Unknown -> "U"
+
+let flag_of_string = function
+  | "C" -> Record.Consistent
+  | "U" -> Record.Unknown
+  | _ -> failwith "Snapshot: bad flag"
+
+let save db =
+  let mgr = Db.manager db in
+  match Manager.active_snapshot mgr with
+  | (_ :: _) as active ->
+    Error (`Active_transactions (List.map fst active))
+  | [] ->
+    let buf = ref [] in
+    let emit line = buf := line :: !buf in
+    emit ("H:" ^ Lsn.to_string (Log.head (Db.log db)));
+    List.iter
+      (fun table ->
+         let name = Table.name table in
+         emit
+           ("T:"
+            ^ Codec.encode_string_list
+                [ name; encode_schema (Table.schema table) ]);
+         List.iter
+           (fun (ix_name, columns) ->
+              emit
+                ("I:" ^ Codec.encode_string_list (name :: ix_name :: columns)))
+           (Table.index_definitions table);
+         List.iter
+           (fun (ix_name, columns) ->
+              emit
+                ("O:" ^ Codec.encode_string_list (name :: ix_name :: columns)))
+           (Table.ordered_index_definitions table);
+         Table.iter table (fun _ record ->
+             emit
+               ("R:"
+                ^ Codec.encode_string_list
+                    [ name;
+                      Lsn.to_string record.Record.lsn;
+                      string_of_int record.Record.counter;
+                      flag_to_string record.Record.flag;
+                      string_of_int record.Record.aux;
+                      Codec.encode_row record.Record.row ])))
+      (List.sort
+         (fun a b -> String.compare (Table.name a) (Table.name b))
+         (Catalog.tables (Db.catalog db)));
+    Ok (List.rev !buf)
+
+let load lines =
+  try
+    let head = ref Lsn.zero in
+    let catalog = Catalog.create () in
+    List.iter
+      (fun line ->
+         if String.length line < 2 || line.[1] <> ':' then
+           failwith "Snapshot: malformed line";
+         let payload = String.sub line 2 (String.length line - 2) in
+         match line.[0] with
+         | 'H' -> head := Lsn.of_int (int_of_string payload)
+         | 'T' ->
+           (match Codec.decode_string_list payload with
+            | [ name; schema ] ->
+              ignore
+                (Catalog.create_table catalog ~name (decode_schema schema))
+            | _ -> failwith "Snapshot: bad table line")
+         | 'I' ->
+           (match Codec.decode_string_list payload with
+            | table :: ix_name :: columns ->
+              Table.add_index (Catalog.find catalog table) ~name:ix_name
+                ~columns
+            | _ -> failwith "Snapshot: bad index line")
+         | 'O' ->
+           (match Codec.decode_string_list payload with
+            | table :: ix_name :: columns ->
+              Table.add_ordered_index (Catalog.find catalog table)
+                ~name:ix_name ~columns
+            | _ -> failwith "Snapshot: bad ordered index line")
+         | 'R' ->
+           (match Codec.decode_string_list payload with
+            | [ table; lsn; counter; flag; aux; row ] ->
+              let tbl = Catalog.find catalog table in
+              (match
+                 Table.insert tbl
+                   ~lsn:(Lsn.of_int (int_of_string lsn))
+                   ~counter:(int_of_string counter)
+                   ~flag:(flag_of_string flag)
+                   ~aux:(int_of_string aux)
+                   (Codec.decode_row row)
+               with
+               | Ok () -> ()
+               | Error `Duplicate_key -> failwith "Snapshot: duplicate row")
+            | _ -> failwith "Snapshot: bad row line")
+         | _ -> failwith "Snapshot: unknown line kind")
+      lines;
+    Ok (Db.of_parts catalog ~log:(Log.create ~base:!head ()))
+  with
+  | Failure m -> Error (`Corrupt m)
+  | Not_found -> Error (`Corrupt "reference to unknown table")
+
+let pp_error ppf = function
+  | `Active_transactions txns ->
+    Format.fprintf ppf "active transactions: [%s]"
+      (String.concat "; " (List.map string_of_int txns))
+  | `Corrupt m -> Format.fprintf ppf "corrupt snapshot: %s" m

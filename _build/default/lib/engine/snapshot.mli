@@ -1,0 +1,29 @@
+(** Database snapshots — the sharp checkpoint that lets the log be
+    truncated.
+
+    A snapshot serializes the entire catalog (schemas, indexes) and
+    every record (row, LSN, counter, flag, aux) into text lines; loading
+    one yields a database whose fresh log continues at the snapshot
+    LSN, so record LSNs stay monotonic and the split rules' LSN
+    discipline keeps working across restarts. Recovery after a crash is
+    then: load the latest snapshot, replay the retained log suffix with
+    {!Recovery.recover}-style redo (records at or below the snapshot
+    LSN are skipped by the ordinary record-LSN idempotence check).
+
+    Snapshots are {e sharp}: the database must have no active
+    transactions (quiesce first, or take it from a freshly recovered
+    state). A fuzzy checkpointing scheme would reuse the paper's own
+    fuzzy machinery but is out of scope. *)
+
+open Nbsc_txn
+
+type error =
+  [ `Active_transactions of Manager.txn_id list
+  | `Corrupt of string ]
+
+val save : Db.t -> (string list, error) result
+
+val load : string list -> (Db.t, error) result
+(** The returned database has an empty log based at the snapshot LSN. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/lock/compat.ml: Format List String

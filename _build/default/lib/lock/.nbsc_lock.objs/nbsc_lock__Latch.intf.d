@@ -1,0 +1,1 @@
+lib/lock/latch.mli:

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Compat Hashtbl Int List Nbsc_value Row String

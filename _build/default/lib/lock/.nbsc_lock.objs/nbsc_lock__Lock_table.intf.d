@@ -1,0 +1,1 @@
+lib/lock/lock_table.mli: Compat Nbsc_value Row

@@ -1,0 +1,1 @@
+lib/lock/lock_table_many.ml: Compat Int List Lock_table Nbsc_value Row

@@ -1,0 +1,1 @@
+lib/lock/multigranularity.ml: Compat Format Hashtbl Int List Lock_table

@@ -1,0 +1,1 @@
+lib/lock/multigranularity.mli: Compat Format Lock_table

@@ -1,0 +1,24 @@
+type holder = int
+
+type t = (string, holder) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let try_latch t ~holder ~table =
+  match Hashtbl.find_opt t table with
+  | None ->
+    Hashtbl.replace t table holder;
+    true
+  | Some h -> h = holder
+
+let unlatch t ~holder ~table =
+  match Hashtbl.find_opt t table with
+  | Some h when h = holder -> Hashtbl.remove t table
+  | Some _ | None ->
+    invalid_arg (Printf.sprintf "Latch.unlatch: %d does not hold %s" holder table)
+
+let is_latched t ~table = Hashtbl.mem t table
+let latched_by t ~table = Hashtbl.find_opt t table
+
+let latched_tables t ~holder =
+  Hashtbl.fold (fun table h acc -> if h = holder then table :: acc else acc) t []

@@ -1,0 +1,23 @@
+(** Table latches.
+
+    The synchronization step latches the source tables for one final
+    log propagation iteration (paper, Sec. 3.4): while a table is
+    latched, ongoing transactions attempting to operate on it pause.
+    Latches are short-lived and exclusive; they are held by a process
+    id (the transformation), not by a transaction. *)
+
+type t
+
+type holder = int
+
+val create : unit -> t
+
+val try_latch : t -> holder:holder -> table:string -> bool
+(** [true] if acquired (or already held by [holder]). *)
+
+val unlatch : t -> holder:holder -> table:string -> unit
+(** @raise Invalid_argument if [holder] does not hold the latch. *)
+
+val is_latched : t -> table:string -> bool
+val latched_by : t -> table:string -> holder option
+val latched_tables : t -> holder:holder -> string list

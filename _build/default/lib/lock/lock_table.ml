@@ -1,0 +1,156 @@
+open Nbsc_value
+
+type owner = int
+
+module Resource = struct
+  type t = { table : string; key : Row.Key.t }
+
+  let equal a b = String.equal a.table b.table && Row.Key.equal a.key b.key
+  let hash r = Hashtbl.hash (r.table, Row.Key.hash r.key)
+end
+
+module Rtbl = Hashtbl.Make (Resource)
+
+type t = {
+  grants : (owner * Compat.lock) list Rtbl.t;
+  by_owner : (owner, Resource.t list ref) Hashtbl.t;
+}
+
+type outcome =
+  | Granted
+  | Blocked of owner list
+
+let create () = { grants = Rtbl.create 256; by_owner = Hashtbl.create 64 }
+
+let grants_on t res = try Rtbl.find t.grants res with Not_found -> []
+
+let remember_owner t owner res =
+  let resources =
+    match Hashtbl.find_opt t.by_owner owner with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.by_owner owner r;
+      r
+  in
+  if not (List.exists (Resource.equal res) !resources) then
+    resources := res :: !resources
+
+let stronger (a : Compat.mode) (b : Compat.mode) =
+  match a, b with Compat.X, _ -> true | Compat.S, Compat.S -> true | _ -> false
+
+let acquire t ~owner ~table ~key (lock : Compat.lock) =
+  let res = { Resource.table; key } in
+  let grants = grants_on t res in
+  let conflicts =
+    List.filter_map
+      (fun (o, l) ->
+         if o = owner then None
+         else if Compat.compatible l lock then None
+         else Some o)
+      grants
+    |> List.sort_uniq Int.compare
+  in
+  if conflicts <> [] then Blocked conflicts
+  else begin
+    (* Grant: fold into an existing lock of the same provenance if one
+       exists (possibly upgrading its mode). *)
+    let upgraded = ref false in
+    let grants =
+      List.map
+        (fun (o, l) ->
+           if o = owner && l.Compat.provenance = lock.Compat.provenance then begin
+             upgraded := true;
+             if stronger l.Compat.mode lock.Compat.mode then (o, l)
+             else (o, lock)
+           end
+           else (o, l))
+        grants
+    in
+    let grants = if !upgraded then grants else (owner, lock) :: grants in
+    Rtbl.replace t.grants res grants;
+    remember_owner t owner res;
+    Granted
+  end
+
+let transfer t ~owner ~table ~key (lock : Compat.lock) =
+  let res = { Resource.table; key } in
+  let grants = grants_on t res in
+  let upgraded = ref false in
+  let grants =
+    List.map
+      (fun (o, l) ->
+         if o = owner && l.Compat.provenance = lock.Compat.provenance then begin
+           upgraded := true;
+           if stronger l.Compat.mode lock.Compat.mode then (o, l) else (o, lock)
+         end
+         else (o, l))
+      grants
+  in
+  let grants = if !upgraded then grants else (owner, lock) :: grants in
+  Rtbl.replace t.grants res grants;
+  remember_owner t owner res
+
+let holds t ~owner ~table ~key (lock : Compat.lock) =
+  let res = { Resource.table; key } in
+  List.exists
+    (fun (o, l) ->
+       o = owner
+       && l.Compat.provenance = lock.Compat.provenance
+       && stronger l.Compat.mode lock.Compat.mode)
+    (grants_on t res)
+
+let holders t ~table ~key =
+  grants_on t { Resource.table; key }
+
+let drop_resource_for t res keep =
+  let grants = List.filter keep (grants_on t res) in
+  if grants = [] then Rtbl.remove t.grants res
+  else Rtbl.replace t.grants res grants
+
+let release t ~owner ~table ~key =
+  let res = { Resource.table; key } in
+  drop_resource_for t res (fun (o, _) -> o <> owner)
+
+let release_owner_where t ~owner pred =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> ()
+  | Some resources ->
+    let kept = ref [] in
+    List.iter
+      (fun res ->
+         drop_resource_for t res (fun (o, l) ->
+             o <> owner || not (pred ~table:res.Resource.table ~lock:l));
+         if List.exists (fun (o, _) -> o = owner) (grants_on t res) then
+           kept := res :: !kept)
+      !resources;
+    if !kept = [] then Hashtbl.remove t.by_owner owner
+    else resources := !kept
+
+let release_owner t ~owner =
+  release_owner_where t ~owner (fun ~table:_ ~lock:_ -> true)
+
+let locks_of_owner t ~owner =
+  match Hashtbl.find_opt t.by_owner owner with
+  | None -> []
+  | Some resources ->
+    List.concat_map
+      (fun res ->
+         List.filter_map
+           (fun (o, l) ->
+              if o = owner then Some (res.Resource.table, res.Resource.key, l)
+              else None)
+           (grants_on t res))
+      !resources
+
+let locked_resources t ~table =
+  Rtbl.fold
+    (fun res grants acc ->
+       if String.equal res.Resource.table table then
+         List.fold_left
+           (fun acc (o, l) -> (res.Resource.key, o, l) :: acc)
+           acc grants
+       else acc)
+    t.grants []
+
+let count t = Rtbl.fold (fun _ grants acc -> acc + List.length grants) t.grants 0

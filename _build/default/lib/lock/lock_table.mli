@@ -1,0 +1,65 @@
+(** Record-lock table.
+
+    Tracks granted record locks per (table, key) resource. The engine
+    is cooperative (single OS thread, interleaving driven by callers or
+    the simulator), so [acquire] never sleeps: it either grants or
+    reports the blockers, and the caller decides to retry, wait in the
+    simulator, or die (wait-die is implemented by {!Nbsc_txn}).
+
+    Lock {e transfer} for the non-blocking synchronization strategies is
+    [acquire] with a [Source _] provenance — compatibility then follows
+    the Figure 2 matrix (see {!Compat.compatible}). *)
+
+open Nbsc_value
+
+type owner = int
+(** Transaction id. *)
+
+type t
+
+type outcome =
+  | Granted
+  | Blocked of owner list  (** distinct conflicting owners *)
+
+val create : unit -> t
+
+val acquire :
+  t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> outcome
+(** Re-acquiring an equal-or-weaker lock already held is a no-op grant;
+    S-to-X upgrade succeeds iff no other owner holds a conflicting
+    lock. A transaction's own locks never block it. *)
+
+val transfer :
+  t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> unit
+(** Unconditional grant, used only for lock {e transfer} by the log
+    propagator: a transferred lock logically predates any native lock
+    (the source operation executed first), so compatibility is not
+    re-checked. Outside the narrow case of a compensating operation
+    materializing a record a new transaction already locked, this is
+    equivalent to [acquire] returning [Granted]. *)
+
+val holds :
+  t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> bool
+(** Whether [owner] already holds a lock at least as strong (same
+    provenance class, mode >= requested). *)
+
+val holders : t -> table:string -> key:Row.Key.t -> (owner * Compat.lock) list
+
+val release : t -> owner:owner -> table:string -> key:Row.Key.t -> unit
+(** Drop all locks [owner] has on the resource. *)
+
+val release_owner : t -> owner:owner -> unit
+(** Drop every lock of this owner (commit/abort). *)
+
+val release_owner_where :
+  t -> owner:owner -> (table:string -> lock:Compat.lock -> bool) -> unit
+(** Selective release, e.g. dropping only the transferred locks a
+    propagated abort record frees (paper, Sec. 3.4). *)
+
+val locks_of_owner : t -> owner:owner -> (string * Row.Key.t * Compat.lock) list
+
+val locked_resources : t -> table:string -> (Row.Key.t * owner * Compat.lock) list
+(** Every granted lock on [table] (for tests and for lock transfer). *)
+
+val count : t -> int
+(** Total granted locks (for metrics). *)

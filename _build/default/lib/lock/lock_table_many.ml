@@ -1,0 +1,42 @@
+(* Atomic multi-resource acquisition: used by the non-blocking-commit
+   synchronization strategy, where one user operation must lock the
+   record in its own table AND the corresponding records in the other
+   schema version (paper, Sec. 4.3: "If a transaction cannot get a lock
+   on all implicated records in all tables, it is not allowed to go
+   forward with the operation"). *)
+
+open Nbsc_value
+
+type request = {
+  table : string;
+  key : Row.Key.t;
+  lock : Compat.lock;
+}
+
+let acquire_all t ~owner requests =
+  (* Dry-run: collect every conflict before granting anything. *)
+  let blockers =
+    List.concat_map
+      (fun r ->
+         List.filter_map
+           (fun (o, held) ->
+              if o = owner then None
+              else if Compat.compatible held r.lock then None
+              else Some o)
+           (Lock_table.holders t ~table:r.table ~key:r.key))
+      requests
+    |> List.sort_uniq Int.compare
+  in
+  if blockers <> [] then Lock_table.Blocked blockers
+  else begin
+    List.iter
+      (fun r ->
+         match Lock_table.acquire t ~owner ~table:r.table ~key:r.key r.lock with
+         | Lock_table.Granted -> ()
+         | Lock_table.Blocked _ ->
+           (* Impossible: the dry run found no conflicts and nothing
+              interleaves between the check and the grant. *)
+           assert false)
+      requests;
+    Lock_table.Granted
+  end

@@ -1,0 +1,122 @@
+type mode = IS | IX | S | SIX | X
+
+let standard a b =
+  match a, b with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _ -> false
+
+let implied_intent = function Compat.S -> IS | Compat.X -> IX
+
+type glock = {
+  gmode : mode;
+  gprovenance : Compat.provenance;
+}
+
+let read_only = function IS | S -> true | IX | SIX | X -> false
+
+let compatible a b =
+  match a.gprovenance, b.gprovenance with
+  | Compat.Source _, Compat.Source _ -> true
+  | Compat.Native, Compat.Native -> standard a.gmode b.gmode
+  | Compat.Native, Compat.Source _ | Compat.Source _, Compat.Native ->
+    read_only a.gmode && read_only b.gmode
+
+let all_modes = [ IS; IX; S; SIX; X ]
+
+let all_provenances = [ Compat.Source 0; Compat.Source 1; Compat.Native ]
+
+let matrix () =
+  List.concat_map
+    (fun pm ->
+       List.concat_map
+         (fun pp ->
+            List.concat_map
+              (fun m ->
+                 List.map
+                   (fun m' ->
+                      let a = { gmode = m; gprovenance = pm } in
+                      let b = { gmode = m'; gprovenance = pp } in
+                      (a, b, compatible a b))
+                   all_modes)
+              all_modes)
+         all_provenances)
+    all_provenances
+  (* 3 provenances x 3 provenances x 5 x 5 = 225 cells *)
+
+(* Mode lattice join, for upgrades: the weakest mode at least as strong
+   as both. *)
+let join a b =
+  if a = b then a
+  else
+    match a, b with
+    | X, _ | _, X -> X
+    | SIX, _ | _, SIX -> SIX
+    | S, IX | IX, S -> SIX
+    | S, IS | IS, S -> S
+    | IX, IS | IS, IX -> IX
+    | _ -> X
+
+module Table_locks = struct
+  type t = (string, (Lock_table.owner * glock) list ref) Hashtbl.t
+
+  type outcome =
+    | Granted
+    | Blocked of Lock_table.owner list
+
+  let create () : t = Hashtbl.create 16
+
+  let grants t table =
+    match Hashtbl.find_opt t table with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t table r;
+      r
+
+  let acquire t ~owner ~table glock =
+    let held = grants t table in
+    let requested =
+      (* Upgrade path: join with what this owner already holds in the
+         same provenance class. *)
+      match
+        List.find_opt
+          (fun (o, g) -> o = owner && g.gprovenance = glock.gprovenance)
+          !held
+      with
+      | Some (_, g) -> { glock with gmode = join g.gmode glock.gmode }
+      | None -> glock
+    in
+    let blockers =
+      List.filter_map
+        (fun (o, g) ->
+           if o = owner then None
+           else if compatible g requested then None
+           else Some o)
+        !held
+      |> List.sort_uniq Int.compare
+    in
+    if blockers <> [] then Blocked blockers
+    else begin
+      held :=
+        (owner, requested)
+        :: List.filter
+            (fun (o, g) ->
+               not (o = owner && g.gprovenance = requested.gprovenance))
+            !held;
+      Granted
+    end
+
+  let release_owner t ~owner =
+    Hashtbl.iter
+      (fun _ held -> held := List.filter (fun (o, _) -> o <> owner) !held)
+      t
+
+  let holders t ~table =
+    match Hashtbl.find_opt t table with Some r -> !r | None -> []
+end
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with IS -> "IS" | IX -> "IX" | S -> "S" | SIX -> "SIX" | X -> "X")

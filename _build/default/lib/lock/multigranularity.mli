@@ -1,0 +1,55 @@
+(** Multigranularity locking — the extension the paper notes for its
+    Figure 2 matrix ("The compatibility matrix can easily be extended
+    to multigranularity locking", Sec. 4.3).
+
+    Classic intent modes IS/IX/S/SIX/X at table granularity, combined
+    with lock provenance: locks transferred from the source tables are
+    mutually compatible (their conflicts were resolved at the source),
+    and a transferred lock is compatible with a native one exactly when
+    neither side implies a write (both within {IS, S}) — the same
+    principle as the record-level Figure 2 matrix, lifted to intent
+    modes. *)
+
+type mode = IS | IX | S | SIX | X
+
+val standard : mode -> mode -> bool
+(** The textbook intent-mode matrix. *)
+
+val implied_intent : Compat.mode -> mode
+(** The table-level intent a record lock requires: S -> IS, X -> IX. *)
+
+type glock = {
+  gmode : mode;
+  gprovenance : Compat.provenance;
+}
+
+val compatible : glock -> glock -> bool
+(** The Figure 2 principle over intent modes (see module doc). *)
+
+val matrix : unit -> (glock * glock * bool) list
+(** Every (held, requested, compatible) combination over both modes and
+    the three provenance classes of Figure 2 — 225 cells; tests check
+    its structural properties. *)
+
+(** Table-granularity lock manager using {!compatible}; pairs with the
+    record-level {!Lock_table} (take the intent first, then the record
+    lock). *)
+module Table_locks : sig
+  type t
+
+  type outcome =
+    | Granted
+    | Blocked of Lock_table.owner list
+
+  val create : unit -> t
+
+  val acquire :
+    t -> owner:Lock_table.owner -> table:string -> glock -> outcome
+  (** Re-acquisition upgrades to the join of held and requested mode
+      (e.g. holding S and asking IX yields SIX). *)
+
+  val release_owner : t -> owner:Lock_table.owner -> unit
+  val holders : t -> table:string -> (Lock_table.owner * glock) list
+end
+
+val pp_mode : Format.formatter -> mode -> unit

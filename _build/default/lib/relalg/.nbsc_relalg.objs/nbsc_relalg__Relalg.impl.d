@@ -1,0 +1,1 @@
+lib/relalg/relalg.ml: Array Format Hashtbl List Nbsc_value Printf Row Schema String Value

@@ -1,0 +1,1 @@
+lib/relalg/relalg.mli: Format Nbsc_value Row Schema

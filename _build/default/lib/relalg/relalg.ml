@@ -1,0 +1,240 @@
+open Nbsc_value
+
+type t = {
+  schema : Schema.t;
+  rows : Row.t list;
+}
+
+let make schema rows = { schema; rows }
+
+let dedup_by_key key_positions rows =
+  let seen = Row.Key.Tbl.create 64 in
+  List.filter
+    (fun row ->
+       let k = Row.Key.of_row row key_positions in
+       if Row.Key.Tbl.mem seen k then false
+       else begin
+         Row.Key.Tbl.add seen k ();
+         true
+       end)
+    rows
+
+let subschema src names ~key =
+  let cols =
+    List.map
+      (fun n ->
+         let i = Schema.position src n in
+         List.nth (Schema.columns src) i)
+      names
+  in
+  Schema.make ~key cols
+
+let project r names ~key =
+  let positions = Schema.positions r.schema names in
+  let schema = subschema r.schema names ~key in
+  let rows = List.map (fun row -> Row.project row positions) r.rows in
+  let rows = dedup_by_key (Schema.key_positions schema) rows in
+  { schema; rows }
+
+let select r pred = { r with rows = List.filter pred r.rows }
+
+type foj_spec = {
+  r_join : string list;
+  s_join : string list;
+  out_join : string list;
+  r_cols : string list;
+  s_cols : string list;
+  out_key : string list;
+}
+
+let check_distinct_out names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg
+          (Printf.sprintf "Relalg.full_outer_join: duplicate column %S" a);
+      go rest
+    | _ -> ()
+  in
+  go sorted
+
+let nullable_columns src names =
+  List.map
+    (fun n ->
+       let i = Schema.position src n in
+       let c = List.nth (Schema.columns src) i in
+       { c with Schema.nullable = true })
+    names
+
+let full_outer_join spec r s =
+  check_distinct_out (spec.out_join @ spec.r_cols @ spec.s_cols);
+  let r_join = Schema.positions r.schema spec.r_join in
+  let s_join = Schema.positions s.schema spec.s_join in
+  if List.length r_join <> List.length s_join then
+    invalid_arg "Relalg.full_outer_join: join column count mismatch";
+  if List.length spec.out_join <> List.length r_join then
+    invalid_arg "Relalg.full_outer_join: out_join arity mismatch";
+  let r_out = Schema.positions r.schema spec.r_cols in
+  let s_out = Schema.positions s.schema spec.s_cols in
+  let join_columns =
+    List.map2
+      (fun out_name rn ->
+         let i = Schema.position r.schema rn in
+         let c = List.nth (Schema.columns r.schema) i in
+         { c with Schema.col_name = out_name })
+      spec.out_join spec.r_join
+  in
+  let out_schema =
+    Schema.make ~key:spec.out_key
+      (join_columns
+       @ nullable_columns r.schema spec.r_cols
+       @ nullable_columns s.schema spec.s_cols)
+  in
+  (* Hash S rows by join key.  NULL join values never match (SQL
+     semantics): such rows only appear padded with the opposite side's
+     NULLs. *)
+  let s_by_key = Row.Key.Tbl.create 64 in
+  List.iter
+    (fun srow ->
+       let k = Row.Key.of_row srow s_join in
+       if not (Row.Key.has_null k) then
+         Row.Key.Tbl.replace s_by_key k
+           (srow :: (try Row.Key.Tbl.find s_by_key k with Not_found -> [])))
+    s.rows;
+  let matched_s = Hashtbl.create 64 in
+  let combine rrow srow =
+    let join_vals =
+      match rrow, srow with
+      | Some row, _ -> Row.project row r_join
+      | None, Some row -> Row.project row s_join
+      | None, None -> Row.all_null (List.length r_join)
+    in
+    Array.concat
+      [ join_vals;
+        (match rrow with
+         | Some row -> Row.project row r_out
+         | None -> Row.all_null (List.length r_out));
+        (match srow with
+         | Some row -> Row.project row s_out
+         | None -> Row.all_null (List.length s_out)) ]
+  in
+  let left =
+    List.concat_map
+      (fun rrow ->
+         let k = Row.Key.of_row rrow r_join in
+         let matches =
+           if Row.Key.has_null k then []
+           else try Row.Key.Tbl.find s_by_key k with Not_found -> []
+         in
+         match matches with
+         | [] -> [ combine (Some rrow) None ]
+         | ms ->
+           List.map
+             (fun srow ->
+                Hashtbl.replace matched_s (Row.to_string srow) ();
+                combine (Some rrow) (Some srow))
+             ms)
+      r.rows
+  in
+  let right =
+    List.filter_map
+      (fun srow ->
+         if Hashtbl.mem matched_s (Row.to_string srow) then None
+         else Some (combine None (Some srow)))
+      s.rows
+  in
+  { schema = out_schema; rows = left @ right }
+
+type split_spec = {
+  r_cols' : string list;
+  s_cols' : string list;
+  r_key : string list;
+  s_key : string list;
+}
+
+let split spec t =
+  let r = project t spec.r_cols' ~key:spec.r_key in
+  let s = project t spec.s_cols' ~key:spec.s_key in
+  (* For inconsistent data keep, per split-key, the largest S projection
+     in row order so the oracle is deterministic. *)
+  let s_key_pos = Schema.key_positions s.schema in
+  let best = Row.Key.Tbl.create 64 in
+  List.iter
+    (fun row ->
+       let k = Row.Key.of_row row s_key_pos in
+       match Row.Key.Tbl.find_opt best k with
+       | Some prev when Row.compare prev row >= 0 -> ()
+       | _ -> Row.Key.Tbl.replace best k row)
+    s.rows;
+  let s_rows =
+    List.filter
+      (fun row ->
+         let k = Row.Key.of_row row s_key_pos in
+         Row.equal (Row.Key.Tbl.find best k) row)
+      s.rows
+  in
+  (r, { s with rows = dedup_by_key s_key_pos s_rows })
+
+let split_consistent spec t =
+  let s_pos = Schema.positions t.schema spec.s_cols' in
+  let key_pos = Schema.positions t.schema spec.s_key in
+  let seen = Row.Key.Tbl.create 64 in
+  List.for_all
+    (fun row ->
+       let k = Row.Key.of_row row key_pos in
+       let s_part = Row.project row s_pos in
+       match Row.Key.Tbl.find_opt seen k with
+       | None ->
+         Row.Key.Tbl.add seen k s_part;
+         true
+       | Some prev -> Row.equal prev s_part)
+    t.rows
+
+let split_multiplicity spec t =
+  let key_pos = Schema.positions t.schema spec.s_key in
+  let counts = Row.Key.Tbl.create 64 in
+  List.iter
+    (fun row ->
+       let k = Row.Key.of_row row key_pos in
+       let c = try Row.Key.Tbl.find counts k with Not_found -> 0 in
+       Row.Key.Tbl.replace counts k (c + 1))
+    t.rows;
+  Row.Key.Tbl.fold (fun k c acc -> (k, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Row.Key.compare a b)
+
+let sorted_rows r = List.sort Row.compare r.rows
+
+let equal_as_sets a b =
+  List.length a.rows = List.length b.rows
+  && List.for_all2 Row.equal (sorted_rows a) (sorted_rows b)
+
+let diff_as_sets a b =
+  let only l1 l2 =
+    List.filter (fun r -> not (List.exists (Row.equal r) l2)) l1
+  in
+  (only a.rows b.rows, only b.rows a.rows)
+
+let pp ppf r =
+  let headers =
+    List.map (fun c -> c.Schema.col_name) (Schema.columns r.schema)
+  in
+  let cells = List.map (fun row ->
+      List.map Value.to_string (Array.to_list row)) (sorted_rows r)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+         List.fold_left
+           (fun w cs -> max w (String.length (List.nth cs i)))
+           (String.length h) cells)
+      headers
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cs =
+    String.concat " | " (List.map2 pad cs widths)
+  in
+  Format.fprintf ppf "%s@." (line headers);
+  Format.fprintf ppf "%s@."
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun cs -> Format.fprintf ppf "%s@." (line cs)) cells

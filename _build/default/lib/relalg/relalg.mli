@@ -1,0 +1,89 @@
+(** Pure relational operators on materialized row sets.
+
+    These implement the {e semantics} the transformation framework must
+    converge to: after synchronization, the transformed table of a FOJ
+    transformation must equal [full_outer_join] of the final source
+    tables, and the two tables of a split transformation must equal
+    [split] of the final source (paper, Sections 4 and 5). The engine
+    never uses these on large data except for the initial population;
+    tests use them as the oracle. *)
+
+open Nbsc_value
+
+(** A materialized relation: a schema and its rows (bag semantics; the
+    operators below produce sets keyed by the result key). *)
+type t = {
+  schema : Schema.t;
+  rows : Row.t list;
+}
+
+val make : Schema.t -> Row.t list -> t
+
+val project : t -> string list -> key:string list -> t
+(** [project r cols ~key] keeps [cols] (in order) and re-keys the
+    result. Duplicate result rows are collapsed to one (set semantics,
+    as needed by the split operator's S-side). *)
+
+val select : t -> (Row.t -> bool) -> t
+
+(** Specification of a full outer join of two relations [r] and [s] on
+    equality of [r_join] and [s_join] columns ("USING" semantics: the
+    join attributes appear once in the result, named [out_join], taking
+    the value of whichever side is present). The rest of the result is
+    [r_cols] then [s_cols]; unmatched rows are padded with NULLs on the
+    missing side (the paper's rnull / snull records). This layout is
+    exactly the transformed table's, so tests can compare directly. *)
+type foj_spec = {
+  r_join : string list;
+  s_join : string list;
+  out_join : string list; (** result names of the join attributes *)
+  r_cols : string list;   (** non-join columns of R kept in the result *)
+  s_cols : string list;   (** non-join columns of S kept in the result *)
+  out_key : string list;  (** key of the result schema *)
+}
+
+val full_outer_join : foj_spec -> t -> t -> t
+(** [full_outer_join spec r s]. Result columns are
+    [out_join @ r_cols @ s_cols]; the names must be distinct.
+
+    @raise Invalid_argument if the spec references unknown columns or
+    the output names collide. *)
+
+(** Specification of a vertical split of [t] into [r] (one row per
+    t-row) and [s] (one row per distinct split-key value). The split
+    columns appear in both outputs, matching the paper's requirement
+    that the transformed tables carry a candidate key of each source. *)
+type split_spec = {
+  r_cols' : string list;  (** columns kept in R, must include T's key *)
+  s_cols' : string list;  (** columns kept in S, must include the split key *)
+  r_key : string list;    (** key of R *)
+  s_key : string list;    (** the split attribute(s); key of S *)
+}
+
+val split : split_spec -> t -> t * t
+(** [split spec t] = (R, S). S has set semantics over [s_cols']. If two
+    T rows agree on the split key but disagree on other S columns, the
+    data is {e inconsistent} in the sense of the paper's Example 1; this
+    function keeps the row whose whole S-projection is largest in row
+    order, making the oracle deterministic. Use {!split_consistent} to
+    detect such conflicts. *)
+
+val split_consistent : split_spec -> t -> bool
+(** Whether the functional dependency (split key -> other S columns)
+    holds in [t], i.e. whether the split is information-preserving. *)
+
+val split_multiplicity : split_spec -> t -> (Row.Key.t * int) list
+(** For each split-key value, how many T rows carry it — the reference
+    counter values the split transformation must maintain on S records
+    (paper, Sec. 5; after Gupta et al.). Sorted by key. *)
+
+val equal_as_sets : t -> t -> bool
+(** Row-set equality modulo ordering (schemas must agree on arity;
+    column names are not compared). *)
+
+val diff_as_sets : t -> t -> Row.t list * Row.t list
+(** [(only_in_a, only_in_b)] — for test failure messages. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as an aligned ASCII table (used to regenerate the paper's
+    Figures 1 and 3). *)

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Analysis Format Hashtbl List Metrics Nbsc_core Printf Sim Transform

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Format Nbsc_core

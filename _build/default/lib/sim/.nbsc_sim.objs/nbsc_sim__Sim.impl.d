@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Db Float Foj Format List Manager Metrics Nbsc_baseline Nbsc_core Nbsc_engine Nbsc_txn Nbsc_value Queue Random Row Schema Spec Split Sys Transform Value

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Metrics Nbsc_core Transform

@@ -1,0 +1,62 @@
+type sample_set = {
+  mutable durations : int list;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create () = { durations = []; committed = 0; aborted = 0 }
+
+let record_txn t ~start ~finish =
+  t.durations <- (finish - start) :: t.durations;
+  t.committed <- t.committed + 1
+
+let record_abort t = t.aborted <- t.aborted + 1
+
+type summary = {
+  committed : int;
+  aborted : int;
+  window : int;
+  throughput : float;
+  mean_response : float;
+  p95_response : float;
+  max_response : int;
+}
+
+let summarize (t : sample_set) ~window =
+  let n = t.committed in
+  let sorted = List.sort Int.compare t.durations in
+  let arr = Array.of_list sorted in
+  let total = Array.fold_left ( + ) 0 arr in
+  let pick q =
+    if Array.length arr = 0 then 0
+    else arr.(min (Array.length arr - 1)
+                (int_of_float (q *. float_of_int (Array.length arr))))
+  in
+  { committed = n;
+    aborted = t.aborted;
+    window;
+    throughput =
+      (if window = 0 then 0. else 1000. *. float_of_int n /. float_of_int window);
+    mean_response =
+      (if n = 0 then 0. else float_of_int total /. float_of_int n);
+    p95_response = float_of_int (pick 0.95);
+    max_response = (if Array.length arr = 0 then 0 else arr.(Array.length arr - 1)) }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "committed=%d aborted=%d tput=%.3f/kt mean_rt=%.1f p95=%.0f max=%d"
+    s.committed s.aborted s.throughput s.mean_response s.p95_response
+    s.max_response
+
+type relative = {
+  rel_throughput : float;
+  rel_response : float;
+}
+
+let relative ~baseline ~loaded =
+  { rel_throughput =
+      (if baseline.throughput = 0. then 1.
+       else loaded.throughput /. baseline.throughput);
+    rel_response =
+      (if baseline.mean_response = 0. then 1.
+       else loaded.mean_response /. baseline.mean_response) }

@@ -1,0 +1,36 @@
+(** Measurement of user-transaction throughput and response time.
+
+    The paper's evaluation reports {e relative} performance — during
+    the schema change versus before it — so results come in pairs: a
+    baseline run and a transformation run with identical workload and
+    seed, reduced to ratios. *)
+
+type sample_set
+
+val create : unit -> sample_set
+
+val record_txn : sample_set -> start:int -> finish:int -> unit
+(** A committed user transaction with its virtual start/finish times. *)
+
+val record_abort : sample_set -> unit
+
+type summary = {
+  committed : int;
+  aborted : int;
+  window : int;            (** virtual-time length of the window *)
+  throughput : float;      (** committed transactions per 1000 time units *)
+  mean_response : float;
+  p95_response : float;
+  max_response : int;
+}
+
+val summarize : sample_set -> window:int -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+type relative = {
+  rel_throughput : float;   (** with-change / baseline *)
+  rel_response : float;     (** with-change / baseline (mean) *)
+}
+
+val relative : baseline:summary -> loaded:summary -> relative

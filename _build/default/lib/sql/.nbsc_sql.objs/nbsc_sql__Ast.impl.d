@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Format List Nbsc_value Pred Value

@@ -1,0 +1,1 @@
+lib/sql/exec.mli: Ast Db Nbsc_core Nbsc_engine Nbsc_value Row Transform

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Format Lexer List Nbsc_value Pred String Value

@@ -1,0 +1,89 @@
+open Nbsc_value
+
+type column_def = {
+  cd_name : string;
+  cd_type : Value.ty;
+  cd_not_null : bool;
+}
+
+type statement =
+  | Create_table of {
+      name : string;
+      columns : column_def list;
+      primary_key : string list;
+    }
+  | Drop_table of string
+  | Create_index of { index : string; on_table : string; columns : string list }
+  | Insert of { table : string; rows : Value.t list list }
+  | Update of {
+      table : string;
+      assignments : (string * Value.t) list;
+      where : Pred.t;
+    }
+  | Delete of { table : string; where : Pred.t }
+  | Select of {
+      projection : string list option;
+      table : string;
+      where : Pred.t;
+    }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Show_tables
+  | Transform_join of {
+      r : string;
+      s : string;
+      target : string;
+      join_r : string;
+      join_s : string;
+      carry_r : string list;
+      carry_s : string list;
+      many_to_many : bool;
+    }
+  | Transform_split of {
+      source : string;
+      r_target : string;
+      r_cols : string list;
+      s_target : string;
+      s_cols : string list;
+      split_on : string list;
+      checked : bool;
+    }
+  | Transform_archive of {
+      source : string;
+      match_target : string;
+      rest_target : string;
+      where : Pred.t;
+    }
+  | Transform_merge of { sources : string list; target : string }
+  | Transform_status
+  | Transform_step of int
+  | Transform_run
+  | Transform_abort
+
+let pp ppf = function
+  | Create_table { name; _ } -> Format.fprintf ppf "CREATE TABLE %s" name
+  | Drop_table name -> Format.fprintf ppf "DROP TABLE %s" name
+  | Create_index { index; on_table; _ } ->
+    Format.fprintf ppf "CREATE INDEX %s ON %s" index on_table
+  | Insert { table; rows } ->
+    Format.fprintf ppf "INSERT INTO %s (%d rows)" table (List.length rows)
+  | Update { table; _ } -> Format.fprintf ppf "UPDATE %s" table
+  | Delete { table; _ } -> Format.fprintf ppf "DELETE FROM %s" table
+  | Select { table; _ } -> Format.fprintf ppf "SELECT ... FROM %s" table
+  | Begin_txn -> Format.pp_print_string ppf "BEGIN"
+  | Commit_txn -> Format.pp_print_string ppf "COMMIT"
+  | Rollback_txn -> Format.pp_print_string ppf "ROLLBACK"
+  | Show_tables -> Format.pp_print_string ppf "SHOW TABLES"
+  | Transform_join { r; s; target; _ } ->
+    Format.fprintf ppf "TRANSFORM JOIN %s, %s INTO %s" r s target
+  | Transform_split { source; _ } ->
+    Format.fprintf ppf "TRANSFORM SPLIT %s" source
+  | Transform_archive { source; _ } ->
+    Format.fprintf ppf "TRANSFORM ARCHIVE %s" source
+  | Transform_merge { target; _ } ->
+    Format.fprintf ppf "TRANSFORM MERGE INTO %s" target
+  | Transform_status -> Format.pp_print_string ppf "TRANSFORM STATUS"
+  | Transform_step n -> Format.fprintf ppf "TRANSFORM STEP %d" n
+  | Transform_run -> Format.pp_print_string ppf "TRANSFORM RUN"
+  | Transform_abort -> Format.pp_print_string ppf "TRANSFORM ABORT"

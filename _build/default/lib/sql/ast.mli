@@ -1,0 +1,70 @@
+(** Abstract syntax of the SQL-ish command language.
+
+    Enough surface to drive the engine and the transformation framework
+    interactively: DDL, DML, simple queries, transaction control, and a
+    TRANSFORM family mapping onto {!Nbsc_core.Transform}. *)
+
+open Nbsc_value
+
+type column_def = {
+  cd_name : string;
+  cd_type : Value.ty;
+  cd_not_null : bool;
+}
+
+type statement =
+  | Create_table of {
+      name : string;
+      columns : column_def list;
+      primary_key : string list;
+    }
+  | Drop_table of string
+  | Create_index of { index : string; on_table : string; columns : string list }
+  | Insert of { table : string; rows : Value.t list list }
+  | Update of {
+      table : string;
+      assignments : (string * Value.t) list;
+      where : Pred.t;
+    }
+  | Delete of { table : string; where : Pred.t }
+  | Select of {
+      projection : string list option;  (** None = [*] *)
+      table : string;
+      where : Pred.t;
+    }
+  | Begin_txn
+  | Commit_txn
+  | Rollback_txn
+  | Show_tables
+  | Transform_join of {
+      r : string;
+      s : string;
+      target : string;
+      join_r : string;
+      join_s : string;
+      carry_r : string list;
+      carry_s : string list;
+      many_to_many : bool;
+    }
+  | Transform_split of {
+      source : string;
+      r_target : string;
+      r_cols : string list;
+      s_target : string;
+      s_cols : string list;
+      split_on : string list;
+      checked : bool;
+    }
+  | Transform_archive of {
+      source : string;
+      match_target : string;
+      rest_target : string;
+      where : Pred.t;
+    }
+  | Transform_merge of { sources : string list; target : string }
+  | Transform_status
+  | Transform_step of int
+  | Transform_run
+  | Transform_abort
+
+val pp : Format.formatter -> statement -> unit

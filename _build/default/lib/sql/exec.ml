@@ -1,0 +1,459 @@
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+
+type session = {
+  sdb : Db.t;
+  mutable txn : Manager.txn_id option;
+  mutable tf : Transform.t option;
+}
+
+let create sdb = { sdb; txn = None; tf = None }
+let db s = s.sdb
+let transformation s = s.tf
+
+type outcome =
+  | Message of string
+  | Rows of { header : string list; rows : Row.t list }
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let errf fmt = Format.kasprintf (fun m -> Error m) fmt
+
+let mgr_err e = errf "%a" Manager.pp_error e
+
+(* Run [f txn]; inside an explicit transaction use it, otherwise wrap
+   in an auto-committed one. *)
+let with_txn s f =
+  let mgr = Db.manager s.sdb in
+  match s.txn with
+  | Some txn -> f txn
+  | None ->
+    let txn = Manager.begin_txn mgr in
+    (match f txn with
+     | Ok v ->
+       (match Manager.commit mgr txn with
+        | Ok () -> Ok v
+        | Error e ->
+          ignore (Manager.abort mgr txn);
+          mgr_err e)
+     | Error _ as e ->
+       ignore (Manager.abort mgr txn);
+       e)
+
+let find_table s name =
+  match Catalog.find_opt (Db.catalog s.sdb) name with
+  | Some t -> Ok t
+  | None -> errf "no such table %S" name
+
+(* If the predicate pins every primary-key column with a top-level
+   equality, the row set is at most one probe — no scan needed. *)
+let key_probe schema pred =
+  let rec equalities acc = function
+    | Pred.Cmp (col, Pred.Eq, v) -> (col, v) :: acc
+    | Pred.And (a, b) -> equalities (equalities acc a) b
+    | Pred.True | Pred.False | Pred.Cmp _ | Pred.Is_null _ | Pred.Or _
+    | Pred.Not _ -> acc
+  in
+  let eqs = equalities [] pred in
+  let key_cols = Schema.key_names schema in
+  if List.for_all (fun c -> List.mem_assoc c eqs) key_cols then
+    Some (Row.make (List.map (fun c -> List.assoc c eqs) key_cols))
+  else None
+
+(* Range constraints [lo, hi] a predicate's top-level conjuncts place
+   on one column, exploitable through a single-column ordered index. *)
+let range_probe table pred =
+  let rec conjuncts acc = function
+    | Pred.And (a, b) -> conjuncts (conjuncts acc a) b
+    | p -> p :: acc
+  in
+  let cs = conjuncts [] pred in
+  let bounds col =
+    List.fold_left
+      (fun (lo, hi) c ->
+         let tighter_lo lo cand =
+           match lo with
+           | Some (v, _) when Row.Key.compare v (fst cand) >= 0 -> lo
+           | _ -> Some cand
+         and tighter_hi hi cand =
+           match hi with
+           | Some (v, _) when Row.Key.compare v (fst cand) <= 0 -> hi
+           | _ -> Some cand
+         in
+         match c with
+         | Pred.Cmp (c', op, v) when String.equal c' col ->
+           let k = Row.make [ v ] in
+           (match op with
+            | Pred.Eq -> (tighter_lo lo (k, true), tighter_hi hi (k, true))
+            | Pred.Ge -> (tighter_lo lo (k, true), hi)
+            | Pred.Gt -> (tighter_lo lo (k, false), hi)
+            | Pred.Le -> (lo, tighter_hi hi (k, true))
+            | Pred.Lt -> (lo, tighter_hi hi (k, false))
+            | Pred.Ne -> (lo, hi))
+         | _ -> (lo, hi))
+      (None, None) cs
+  in
+  List.find_map
+    (fun (index, columns) ->
+       match columns with
+       | [ col ] ->
+         (match bounds col with
+          | None, None -> None
+          | lo, hi -> Some (Table.ordered_range table ~index ?lo ?hi ()))
+       | _ -> None)
+    (Table.ordered_index_definitions table)
+
+(* Keys of the rows satisfying a predicate: a primary-key probe when
+   possible, then an ordered-index range, then a lock-free scan (the
+   subsequent per-key operations take the locks). *)
+let matching_keys table pred =
+  let schema = Table.schema table in
+  let p = Pred.compile schema pred in
+  match key_probe schema pred with
+  | Some key ->
+    (match Table.find table key with
+     | Some record when p record.Record.row -> [ key ]
+     | Some _ | None -> [])
+  | None ->
+    (match range_probe table pred with
+     | Some candidates ->
+       List.filter
+         (fun key ->
+            match Table.find table key with
+            | Some record -> p record.Record.row
+            | None -> false)
+         candidates
+     | None ->
+       Table.fold table ~init:[] ~f:(fun acc key record ->
+           if p record.Record.row then key :: acc else acc))
+
+let exec_create s ~name ~columns ~primary_key =
+  if Catalog.mem (Db.catalog s.sdb) name then errf "table %S exists" name
+  else begin
+    match
+      Schema.make ~key:primary_key
+        (List.map
+           (fun { Ast.cd_name; cd_type; cd_not_null } ->
+              Schema.column ~nullable:(not cd_not_null) cd_name cd_type)
+           columns)
+    with
+    | schema ->
+      ignore (Db.create_table s.sdb ~name schema);
+      Ok (Message (Printf.sprintf "table %s created" name))
+    | exception Invalid_argument m -> Error m
+  end
+
+let exec_insert s ~table ~rows =
+  let mgr = Db.manager s.sdb in
+  let* _ = find_table s table in
+  let* n =
+    with_txn s (fun txn ->
+        List.fold_left
+          (fun acc vs ->
+             let* n = acc in
+             match Manager.insert mgr ~txn ~table (Row.make vs) with
+             | Ok () -> Ok (n + 1)
+             | Error e -> mgr_err e)
+          (Ok 0) rows)
+  in
+  Ok (Message (Printf.sprintf "%d row(s) inserted" n))
+
+let exec_update s ~table ~assignments ~where =
+  let mgr = Db.manager s.sdb in
+  let* tbl = find_table s table in
+  let schema = Table.schema tbl in
+  let* changes =
+    List.fold_left
+      (fun acc (col, v) ->
+         let* cs = acc in
+         match Schema.position_opt schema col with
+         | Some i -> Ok ((i, v) :: cs)
+         | None -> errf "no column %S in %S" col table)
+      (Ok []) assignments
+  in
+  (match matching_keys tbl where with
+   | exception Not_found -> errf "WHERE references an unknown column"
+   | keys ->
+     let* n =
+       with_txn s (fun txn ->
+           List.fold_left
+             (fun acc key ->
+                let* n = acc in
+                match Manager.update mgr ~txn ~table ~key changes with
+                | Ok () -> Ok (n + 1)
+                | Error `Not_found -> Ok n  (* raced with a delete *)
+                | Error e -> mgr_err e)
+             (Ok 0) keys)
+     in
+     Ok (Message (Printf.sprintf "%d row(s) updated" n)))
+
+let exec_delete s ~table ~where =
+  let mgr = Db.manager s.sdb in
+  let* tbl = find_table s table in
+  (match matching_keys tbl where with
+   | exception Not_found -> errf "WHERE references an unknown column"
+   | keys ->
+     let* n =
+       with_txn s (fun txn ->
+           List.fold_left
+             (fun acc key ->
+                let* n = acc in
+                match Manager.delete mgr ~txn ~table ~key with
+                | Ok () -> Ok (n + 1)
+                | Error `Not_found -> Ok n
+                | Error e -> mgr_err e)
+             (Ok 0) keys)
+     in
+     Ok (Message (Printf.sprintf "%d row(s) deleted" n)))
+
+let exec_select s ~projection ~table ~where =
+  let* tbl = find_table s table in
+  let schema = Table.schema tbl in
+  let* positions, header =
+    match projection with
+    | None ->
+      Ok
+        ( List.init (Schema.arity schema) Fun.id,
+          List.map (fun c -> c.Schema.col_name) (Schema.columns schema) )
+    | Some cols ->
+      List.fold_left
+        (fun acc col ->
+           let* ps, hs = acc in
+           match Schema.position_opt schema col with
+           | Some i -> Ok (i :: ps, col :: hs)
+           | None -> errf "no column %S in %S" col table)
+        (Ok ([], []))
+        cols
+      |> Result.map (fun (ps, hs) -> (List.rev ps, List.rev hs))
+  in
+  (match Pred.compile schema where with
+   | exception Not_found -> errf "WHERE references an unknown column"
+   | p ->
+     let rows =
+       match key_probe schema where with
+       | Some key ->
+         (match Table.find tbl key with
+          | Some record when p record.Record.row ->
+            [ Row.project record.Record.row positions ]
+          | Some _ | None -> [])
+       | None ->
+         (match range_probe tbl where with
+          | Some candidates ->
+            List.filter_map
+              (fun key ->
+                 match Table.find tbl key with
+                 | Some record when p record.Record.row ->
+                   Some (Row.project record.Record.row positions)
+                 | Some _ | None -> None)
+              candidates
+          | None ->
+            Table.fold tbl ~init:[] ~f:(fun acc _ record ->
+                if p record.Record.row then
+                  Row.project record.Record.row positions :: acc
+                else acc)
+            |> List.sort Row.compare)
+     in
+     Ok (Rows { header; rows }))
+
+(* {1 Transformations} *)
+
+let guard_no_tf s =
+  match s.tf with
+  | Some tf
+    when Transform.phase tf <> Transform.Done
+         && (match Transform.phase tf with
+             | Transform.Failed _ -> false
+             | _ -> true) ->
+    errf "a transformation is already running; TRANSFORM RUN or ABORT it first"
+  | _ -> Ok ()
+
+let start_tf s make =
+  let* () = guard_no_tf s in
+  match make () with
+  | tf ->
+    s.tf <- Some tf;
+    Ok (Message "transformation started; TRANSFORM STEP/RUN/STATUS/ABORT")
+  | exception Invalid_argument m -> Error m
+
+let tf_status tf =
+  Format.asprintf "%a (new transactions -> %s)" Transform.pp_progress
+    (Transform.progress tf)
+    (match Transform.routing tf with
+     | `Sources -> "old schema"
+     | `Targets -> "new schema")
+
+let exec_tf_control s = function
+  | `Status ->
+    (match s.tf with
+     | None -> Ok (Message "no transformation")
+     | Some tf -> Ok (Message (tf_status tf)))
+  | `Step n ->
+    (match s.tf with
+     | None -> errf "no transformation to step"
+     | Some tf ->
+       let rec go k =
+         if k <= 0 then `Running
+         else
+           match Transform.step tf with
+           | `Running -> go (k - 1)
+           | other -> other
+       in
+       (match go n with
+        | `Running -> Ok (Message (tf_status tf))
+        | `Done -> Ok (Message ("done; " ^ tf_status tf))
+        | `Failed m -> errf "transformation failed: %s" m))
+  | `Run ->
+    (match s.tf with
+     | None -> errf "no transformation to run"
+     | Some tf ->
+       (match Transform.run tf with
+        | Ok () -> Ok (Message ("done; " ^ tf_status tf))
+        | Error m -> errf "transformation failed: %s" m))
+  | `Abort ->
+    (match s.tf with
+     | None -> errf "no transformation to abort"
+     | Some tf ->
+       Transform.abort tf;
+       s.tf <- None;
+       Ok (Message "transformation aborted; transformed tables dropped"))
+
+let exec s (stmt : Ast.statement) =
+  let mgr = Db.manager s.sdb in
+  match stmt with
+  | Ast.Create_table { name; columns; primary_key } ->
+    exec_create s ~name ~columns ~primary_key
+  | Ast.Create_index { index; on_table; columns } ->
+    (match Catalog.find_opt (Db.catalog s.sdb) on_table with
+     | None -> errf "no such table %S" on_table
+     | Some tbl ->
+       (match Table.add_ordered_index tbl ~name:index ~columns with
+        | () -> Ok (Message (Printf.sprintf "index %s created" index))
+        | exception Not_found -> errf "unknown column in index %S" index))
+  | Ast.Drop_table name ->
+    (match Catalog.find_opt (Db.catalog s.sdb) name with
+     | None -> errf "no such table %S" name
+     | Some _ ->
+       Catalog.drop (Db.catalog s.sdb) name;
+       Ok (Message (Printf.sprintf "table %s dropped" name)))
+  | Ast.Insert { table; rows } -> exec_insert s ~table ~rows
+  | Ast.Update { table; assignments; where } ->
+    exec_update s ~table ~assignments ~where
+  | Ast.Delete { table; where } -> exec_delete s ~table ~where
+  | Ast.Select { projection; table; where } ->
+    exec_select s ~projection ~table ~where
+  | Ast.Begin_txn ->
+    (match s.txn with
+     | Some _ -> errf "transaction already open"
+     | None ->
+       s.txn <- Some (Manager.begin_txn mgr);
+       Ok (Message "transaction started"))
+  | Ast.Commit_txn ->
+    (match s.txn with
+     | None -> errf "no open transaction"
+     | Some txn ->
+       s.txn <- None;
+       (match Manager.commit mgr txn with
+        | Ok () -> Ok (Message "committed")
+        | Error e ->
+          ignore (Manager.abort mgr txn);
+          mgr_err e))
+  | Ast.Rollback_txn ->
+    (match s.txn with
+     | None -> errf "no open transaction"
+     | Some txn ->
+       s.txn <- None;
+       ignore (Manager.abort mgr txn);
+       Ok (Message "rolled back"))
+  | Ast.Show_tables ->
+    let rows =
+      Catalog.tables (Db.catalog s.sdb)
+      |> List.map (fun t ->
+          Row.make
+            [ Value.Text (Table.name t);
+              Value.Int (Table.cardinality t) ])
+      |> List.sort Row.compare
+    in
+    Ok (Rows { header = [ "table"; "rows" ]; rows })
+  | Ast.Transform_join
+      { r; s = s_tbl; target; join_r; join_s; carry_r; carry_s; many_to_many }
+    ->
+    start_tf s (fun () ->
+        Transform.foj s.sdb
+          { Spec.r_table = r;
+            s_table = s_tbl;
+            t_table = target;
+            join_r = [ join_r ];
+            join_s = [ join_s ];
+            t_join = [ join_r ];
+            r_carry = carry_r;
+            s_carry = carry_s;
+            many_to_many })
+  | Ast.Transform_split
+      { source; r_target; r_cols; s_target; s_cols; split_on; checked } ->
+    start_tf s (fun () ->
+        Transform.split s.sdb
+          { Spec.t_table' = source;
+            r_table' = r_target;
+            s_table' = s_target;
+            r_cols;
+            s_cols;
+            split_key = split_on;
+            assume_consistent = not checked })
+  | Ast.Transform_archive { source; match_target; rest_target; where } ->
+    start_tf s (fun () ->
+        Transform.hsplit s.sdb
+          { Spec.h_source = source;
+            h_true_table = match_target;
+            h_false_table = rest_target;
+            h_pred = where })
+  | Ast.Transform_merge { sources; target } ->
+    start_tf s (fun () ->
+        Transform.merge s.sdb { Spec.m_sources = sources; m_target = target })
+  | Ast.Transform_status -> exec_tf_control s `Status
+  | Ast.Transform_step n -> exec_tf_control s (`Step n)
+  | Ast.Transform_run -> exec_tf_control s `Run
+  | Ast.Transform_abort -> exec_tf_control s `Abort
+
+let exec_string s input =
+  let* stmts = Parser.parse_many input in
+  List.fold_left
+    (fun acc stmt ->
+       let* outs = acc in
+       let* out = exec s stmt in
+       Ok (out :: outs))
+    (Ok []) stmts
+  |> Result.map List.rev
+
+let render = function
+  | Message m -> m
+  | Rows { header; rows } ->
+    let cells =
+      List.map (fun row -> List.map Value.to_string (Array.to_list row)) rows
+    in
+    let widths =
+      List.mapi
+        (fun i h ->
+           List.fold_left
+             (fun w cs -> max w (String.length (List.nth cs i)))
+             (String.length h) cells)
+        header
+    in
+    let pad s w = s ^ String.make (w - String.length s) ' ' in
+    let line cs = String.concat " | " (List.map2 pad cs widths) in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (line header);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+    List.iter
+      (fun cs ->
+         Buffer.add_char buf '\n';
+         Buffer.add_string buf (line cs))
+      cells;
+    Buffer.add_string buf
+      (Printf.sprintf "\n(%d row%s)" (List.length rows)
+         (if List.length rows = 1 then "" else "s"));
+    Buffer.contents buf

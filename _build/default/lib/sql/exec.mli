@@ -1,0 +1,32 @@
+(** Executing parsed statements against a database.
+
+    A session holds an optional explicit transaction (BEGIN/COMMIT) and
+    at most one running transformation; statements outside an explicit
+    transaction auto-commit. SELECT reads without locks (read
+    uncommitted) — the REPL is an inspection tool, not a client
+    library; programs should use {!Nbsc_txn.Manager} directly. *)
+
+open Nbsc_value
+open Nbsc_engine
+open Nbsc_core
+
+type session
+
+val create : Db.t -> session
+val db : session -> Db.t
+
+val transformation : session -> Transform.t option
+(** The transformation started by a TRANSFORM statement, if any. *)
+
+type outcome =
+  | Message of string
+  | Rows of { header : string list; rows : Row.t list }
+
+val exec : session -> Ast.statement -> (outcome, string) result
+
+val exec_string : session -> string -> (outcome list, string) result
+(** Parse and execute a ';'-separated script, stopping at the first
+    error. *)
+
+val render : outcome -> string
+(** Human-readable rendering (aligned table for [Rows]). *)

@@ -1,0 +1,91 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Punct of string
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int i -> Format.fprintf ppf "integer %d" i
+  | Float f -> Format.fprintf ppf "float %g" f
+  | String s -> Format.fprintf ppf "string %S" s
+  | Punct p -> Format.fprintf ppf "%S" p
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let toks = ref [] in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let rec go i =
+    if i >= n then Ok (List.rev (Eof :: !toks))
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then begin
+        (* line comment *)
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident input.[!j] do incr j done;
+        toks := Ident (String.sub input i (!j - i)) :: !toks;
+        go !j
+      end
+      else if is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+      then begin
+        let j = ref (i + 1) in
+        while !j < n && (is_digit input.[!j] || input.[!j] = '.') do incr j done;
+        let text = String.sub input i (!j - i) in
+        (match int_of_string_opt text with
+         | Some v -> toks := Int v :: !toks
+         | None ->
+           (match float_of_string_opt text with
+            | Some v -> toks := Float v :: !toks
+            | None -> raise Exit));
+        go !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then err "unterminated string at offset %d" i
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else begin
+              toks := String (Buffer.contents buf) :: !toks;
+              go (j + 1)
+            end
+          else begin
+            Buffer.add_char buf input.[j];
+            scan (j + 1)
+          end
+        in
+        scan (i + 1)
+      end
+      else
+        let two =
+          if i + 1 < n then String.sub input i 2 else ""
+        in
+        match two with
+        | "<=" | ">=" | "<>" ->
+          toks := Punct two :: !toks;
+          go (i + 2)
+        | _ ->
+          (match c with
+           | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '.' ->
+             toks := Punct (String.make 1 c) :: !toks;
+             go (i + 1)
+           | _ -> err "unexpected character %C at offset %d" c i)
+  in
+  try go 0 with Exit -> Error "malformed number"

@@ -1,0 +1,16 @@
+(** Tokenizer for the SQL-ish language. Keywords are case-insensitive;
+    identifiers keep their case. Strings use single quotes with ['']
+    escaping. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | String of string
+  | Punct of string  (** one of ( ) , ; * = <> < <= > >= . *)
+  | Eof
+
+val tokenize : string -> (token list, string) result
+(** The error is a human-readable message with position. *)
+
+val pp_token : Format.formatter -> token -> unit

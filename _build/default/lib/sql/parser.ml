@@ -1,0 +1,411 @@
+open Nbsc_value
+
+exception Parse_error of string
+
+type cursor = {
+  mutable toks : Lexer.token list;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (Parse_error m)) fmt
+
+let peek c = match c.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance c =
+  match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let next c =
+  let t = peek c in
+  advance c;
+  t
+
+(* Keywords are case-insensitive identifiers. *)
+let kw_of = function
+  | Lexer.Ident s -> Some (String.uppercase_ascii s)
+  | _ -> None
+
+let peek_kw c = kw_of (peek c)
+
+let eat_kw c expected =
+  match peek_kw c with
+  | Some k when k = expected -> advance c
+  | _ -> fail "expected %s, got %a" expected Lexer.pp_token (peek c)
+
+let try_kw c expected =
+  match peek_kw c with
+  | Some k when k = expected ->
+    advance c;
+    true
+  | _ -> false
+
+let eat_punct c p =
+  match peek c with
+  | Lexer.Punct q when q = p -> advance c
+  | t -> fail "expected %S, got %a" p Lexer.pp_token t
+
+let try_punct c p =
+  match peek c with
+  | Lexer.Punct q when q = p ->
+    advance c;
+    true
+  | _ -> false
+
+let ident c =
+  match next c with
+  | Lexer.Ident s -> s
+  | t -> fail "expected an identifier, got %a" Lexer.pp_token t
+
+let comma_sep c item =
+  let rec go acc =
+    let x = item c in
+    if try_punct c "," then go (x :: acc) else List.rev (x :: acc)
+  in
+  go []
+
+let paren_idents c =
+  eat_punct c "(";
+  let xs = comma_sep c ident in
+  eat_punct c ")";
+  xs
+
+let literal c =
+  match next c with
+  | Lexer.Int i -> Value.Int i
+  | Lexer.Float f -> Value.Float f
+  | Lexer.String s -> Value.Text s
+  | Lexer.Ident s ->
+    (match String.uppercase_ascii s with
+     | "TRUE" -> Value.Bool true
+     | "FALSE" -> Value.Bool false
+     | "NULL" -> Value.Null
+     | _ -> fail "expected a literal, got identifier %S" s)
+  | t -> fail "expected a literal, got %a" Lexer.pp_token t
+
+let value_ty c =
+  let name = ident c in
+  match String.uppercase_ascii name with
+  | "INT" | "INTEGER" | "BIGINT" -> Value.TInt
+  | "FLOAT" | "REAL" | "DOUBLE" -> Value.TFloat
+  | "BOOL" | "BOOLEAN" -> Value.TBool
+  | "TEXT" | "VARCHAR" | "STRING" ->
+    (* tolerate VARCHAR(n) *)
+    if try_punct c "(" then begin
+      (match next c with Lexer.Int _ -> () | t -> fail "expected a length, got %a" Lexer.pp_token t);
+      eat_punct c ")"
+    end;
+    Value.TText
+  | other -> fail "unknown type %S" other
+
+(* {1 Predicates} *)
+
+let cmp_op c =
+  match next c with
+  | Lexer.Punct "=" -> Pred.Eq
+  | Lexer.Punct "<>" -> Pred.Ne
+  | Lexer.Punct "<" -> Pred.Lt
+  | Lexer.Punct "<=" -> Pred.Le
+  | Lexer.Punct ">" -> Pred.Gt
+  | Lexer.Punct ">=" -> Pred.Ge
+  | t -> fail "expected a comparison operator, got %a" Lexer.pp_token t
+
+let rec pred_or c =
+  let left = pred_and c in
+  if try_kw c "OR" then Pred.Or (left, pred_or c) else left
+
+and pred_and c =
+  let left = pred_unary c in
+  if try_kw c "AND" then Pred.And (left, pred_and c) else left
+
+and pred_unary c =
+  if try_kw c "NOT" then Pred.Not (pred_unary c) else pred_atom c
+
+and pred_atom c =
+  if try_punct c "(" then begin
+    let p = pred_or c in
+    eat_punct c ")";
+    p
+  end
+  else
+    match peek_kw c with
+    | Some "TRUE" ->
+      advance c;
+      Pred.True
+    | Some "FALSE" ->
+      advance c;
+      Pred.False
+    | _ ->
+      let col = ident c in
+      if try_kw c "IS" then
+        if try_kw c "NOT" then begin
+          eat_kw c "NULL";
+          Pred.Not (Pred.Is_null col)
+        end
+        else begin
+          eat_kw c "NULL";
+          Pred.Is_null col
+        end
+      else
+        let op = cmp_op c in
+        Pred.Cmp (col, op, literal c)
+
+let where_clause c =
+  if try_kw c "WHERE" then pred_or c else Pred.True
+
+(* {1 Statements} *)
+
+let create_index c =
+  let index = ident c in
+  eat_kw c "ON";
+  let on_table = ident c in
+  let columns = paren_idents c in
+  Ast.Create_index { index; on_table; columns }
+
+let create_table c =
+  let name = ident c in
+  eat_punct c "(";
+  let columns = ref [] in
+  let primary_key = ref [] in
+  let rec members () =
+    (match peek_kw c with
+     | Some "PRIMARY" ->
+       advance c;
+       eat_kw c "KEY";
+       primary_key := paren_idents c
+     | _ ->
+       let cd_name = ident c in
+       let cd_type = value_ty c in
+       let cd_not_null =
+         if try_kw c "NOT" then begin
+           eat_kw c "NULL";
+           true
+         end
+         else false
+       in
+       columns := { Ast.cd_name; cd_type; cd_not_null } :: !columns);
+    if try_punct c "," then members ()
+  in
+  members ();
+  eat_punct c ")";
+  if !primary_key = [] then fail "CREATE TABLE needs a PRIMARY KEY clause";
+  Ast.Create_table
+    { name; columns = List.rev !columns; primary_key = !primary_key }
+
+let insert c =
+  eat_kw c "INTO";
+  let table = ident c in
+  eat_kw c "VALUES";
+  let tuple c =
+    eat_punct c "(";
+    let vs = comma_sep c literal in
+    eat_punct c ")";
+    vs
+  in
+  let rows = comma_sep c tuple in
+  Ast.Insert { table; rows }
+
+let update c =
+  let table = ident c in
+  eat_kw c "SET";
+  let assignment c =
+    let col = ident c in
+    eat_punct c "=";
+    (col, literal c)
+  in
+  let assignments = comma_sep c assignment in
+  let where = where_clause c in
+  Ast.Update { table; assignments; where }
+
+let delete c =
+  eat_kw c "FROM";
+  let table = ident c in
+  let where = where_clause c in
+  Ast.Delete { table; where }
+
+let select c =
+  let projection =
+    if try_punct c "*" then None else Some (comma_sep c ident)
+  in
+  eat_kw c "FROM";
+  let table = ident c in
+  let where = where_clause c in
+  Ast.Select { projection; table; where }
+
+(* TRANSFORM JOIN r, s INTO t ON r.c = s.c CARRY r (a, b) CARRY s (d)
+   [MANY TO MANY] *)
+let transform_join c =
+  let r = ident c in
+  eat_punct c ",";
+  let s = ident c in
+  eat_kw c "INTO";
+  let target = ident c in
+  eat_kw c "ON";
+  let qualified c =
+    let t = ident c in
+    eat_punct c ".";
+    (t, ident c)
+  in
+  let t1, col1 = qualified c in
+  eat_punct c "=";
+  let t2, col2 = qualified c in
+  let join_r, join_s =
+    if t1 = r && t2 = s then (col1, col2)
+    else if t1 = s && t2 = r then (col2, col1)
+    else fail "ON clause must relate %s and %s" r s
+  in
+  let carry tbl =
+    eat_kw c "CARRY";
+    let t = ident c in
+    if t <> tbl then fail "expected CARRY %s, got CARRY %s" tbl t;
+    paren_idents c
+  in
+  let carry_r = carry r in
+  let carry_s = carry s in
+  let many_to_many =
+    if try_kw c "MANY" then begin
+      eat_kw c "TO";
+      eat_kw c "MANY";
+      true
+    end
+    else false
+  in
+  Ast.Transform_join
+    { r; s; target; join_r; join_s; carry_r; carry_s; many_to_many }
+
+(* TRANSFORM SPLIT t INTO r (cols) AND s (cols) ON (cols) [CHECKED] *)
+let transform_split c =
+  let source = ident c in
+  eat_kw c "INTO";
+  let r_target = ident c in
+  let r_cols = paren_idents c in
+  eat_kw c "AND";
+  let s_target = ident c in
+  let s_cols = paren_idents c in
+  eat_kw c "ON";
+  let split_on = paren_idents c in
+  let checked = try_kw c "CHECKED" in
+  Ast.Transform_split
+    { source; r_target; r_cols; s_target; s_cols; split_on; checked }
+
+(* TRANSFORM ARCHIVE t INTO matched AND rest WHERE pred *)
+let transform_archive c =
+  let source = ident c in
+  eat_kw c "INTO";
+  let match_target = ident c in
+  eat_kw c "AND";
+  let rest_target = ident c in
+  eat_kw c "WHERE";
+  let where = pred_or c in
+  Ast.Transform_archive { source; match_target; rest_target; where }
+
+(* TRANSFORM MERGE a, b [, ...] INTO t *)
+let transform_merge c =
+  let sources = comma_sep c ident in
+  eat_kw c "INTO";
+  let target = ident c in
+  Ast.Transform_merge { sources; target }
+
+let transform c =
+  match peek_kw c with
+  | Some "JOIN" ->
+    advance c;
+    transform_join c
+  | Some "SPLIT" ->
+    advance c;
+    transform_split c
+  | Some "ARCHIVE" ->
+    advance c;
+    transform_archive c
+  | Some "MERGE" ->
+    advance c;
+    transform_merge c
+  | Some "STATUS" ->
+    advance c;
+    Ast.Transform_status
+  | Some "STEP" ->
+    advance c;
+    (match peek c with
+     | Lexer.Int n ->
+       advance c;
+       Ast.Transform_step n
+     | _ -> Ast.Transform_step 1)
+  | Some "RUN" ->
+    advance c;
+    Ast.Transform_run
+  | Some "ABORT" ->
+    advance c;
+    Ast.Transform_abort
+  | _ ->
+    fail "expected JOIN, SPLIT, ARCHIVE, MERGE, STATUS, STEP, RUN or ABORT \
+          after TRANSFORM"
+
+let statement c =
+  match peek_kw c with
+  | Some "CREATE" ->
+    advance c;
+    (match peek_kw c with
+     | Some "INDEX" ->
+       advance c;
+       create_index c
+     | _ ->
+       eat_kw c "TABLE";
+       create_table c)
+  | Some "DROP" ->
+    advance c;
+    eat_kw c "TABLE";
+    Ast.Drop_table (ident c)
+  | Some "INSERT" ->
+    advance c;
+    insert c
+  | Some "UPDATE" ->
+    advance c;
+    update c
+  | Some "DELETE" ->
+    advance c;
+    delete c
+  | Some "SELECT" ->
+    advance c;
+    select c
+  | Some "BEGIN" ->
+    advance c;
+    Ast.Begin_txn
+  | Some "COMMIT" ->
+    advance c;
+    Ast.Commit_txn
+  | Some ("ROLLBACK" | "ABORT") ->
+    advance c;
+    Ast.Rollback_txn
+  | Some "SHOW" ->
+    advance c;
+    eat_kw c "TABLES";
+    Ast.Show_tables
+  | Some "TRANSFORM" ->
+    advance c;
+    transform c
+  | _ -> fail "expected a statement, got %a" Lexer.pp_token (peek c)
+
+let run input f =
+  match Lexer.tokenize input with
+  | Error m -> Error m
+  | Ok toks -> (
+      let c = { toks } in
+      try Ok (f c) with Parse_error m -> Error m)
+
+let parse input =
+  run input (fun c ->
+      let s = statement c in
+      ignore (try_punct c ";");
+      (match peek c with
+       | Lexer.Eof -> ()
+       | t -> fail "trailing input: %a" Lexer.pp_token t);
+      s)
+
+let parse_many input =
+  run input (fun c ->
+      let rec go acc =
+        match peek c with
+        | Lexer.Eof -> List.rev acc
+        | _ ->
+          let s = statement c in
+          ignore (try_punct c ";");
+          go (s :: acc)
+      in
+      go [])

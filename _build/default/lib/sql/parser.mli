@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the SQL-ish language; see the grammar
+    summary in the repository README and the cases in {!Ast}. *)
+
+val parse : string -> (Ast.statement, string) result
+(** One statement, optionally ';'-terminated. The error is a
+    human-readable message. *)
+
+val parse_many : string -> (Ast.statement list, string) result
+(** A ';'-separated script. *)

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Hashtbl Printf Table

@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Nbsc_value Schema Table

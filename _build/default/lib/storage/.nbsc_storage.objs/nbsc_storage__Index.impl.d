@@ -1,0 +1,1 @@
+lib/storage/index.ml: Nbsc_value Row

@@ -1,0 +1,1 @@
+lib/storage/ordered_index.ml: List Nbsc_value Option Row Seq

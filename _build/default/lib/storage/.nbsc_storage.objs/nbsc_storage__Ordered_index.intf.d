@@ -1,0 +1,1 @@
+lib/storage/ordered_index.mli: Nbsc_value Row

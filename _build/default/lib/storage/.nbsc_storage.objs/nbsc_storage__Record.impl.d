@@ -1,0 +1,1 @@
+lib/storage/record.ml: Format Lsn Nbsc_value Nbsc_wal Row

@@ -1,0 +1,1 @@
+lib/storage/record.mli: Format Lsn Nbsc_value Nbsc_wal Row

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Index List Lsn Nbsc_value Nbsc_wal Ordered_index Printf Record Row Schema String

@@ -1,0 +1,1 @@
+lib/storage/table.mli: Lsn Nbsc_value Nbsc_wal Record Row Schema Value

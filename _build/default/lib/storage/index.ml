@@ -1,0 +1,39 @@
+open Nbsc_value
+
+type t = {
+  name : string;
+  positions : int list;
+  map : unit Row.Key.Tbl.t Row.Key.Tbl.t;  (* projection -> key set *)
+}
+
+let create ~name ~positions = { name; positions; map = Row.Key.Tbl.create 256 }
+
+let name t = t.name
+let positions t = t.positions
+
+let insert t ~key row =
+  let proj = Row.project row t.positions in
+  let set =
+    match Row.Key.Tbl.find_opt t.map proj with
+    | Some s -> s
+    | None ->
+      let s = Row.Key.Tbl.create 4 in
+      Row.Key.Tbl.add t.map proj s;
+      s
+  in
+  Row.Key.Tbl.replace set key ()
+
+let remove t ~key row =
+  let proj = Row.project row t.positions in
+  match Row.Key.Tbl.find_opt t.map proj with
+  | None -> ()
+  | Some set ->
+    Row.Key.Tbl.remove set key;
+    if Row.Key.Tbl.length set = 0 then Row.Key.Tbl.remove t.map proj
+
+let lookup t proj =
+  match Row.Key.Tbl.find_opt t.map proj with
+  | None -> []
+  | Some set -> Row.Key.Tbl.fold (fun k () acc -> k :: acc) set []
+
+let cardinality t = Row.Key.Tbl.length t.map

@@ -1,0 +1,28 @@
+(** Secondary (non-unique) indexes.
+
+    An index maps the projection of a row onto some column positions to
+    the set of primary keys of rows having that projection. The FOJ
+    rules depend on an index over T's join attributes and over the
+    S-key columns of T ("these indexes provide fast lookup on all
+    T-records that are affected by an operation on an S-record",
+    paper Sec. 4.1). *)
+
+open Nbsc_value
+
+type t
+
+val create : name:string -> positions:int list -> t
+val name : t -> string
+val positions : t -> int list
+
+val insert : t -> key:Row.Key.t -> Row.t -> unit
+(** Register [row] (whose primary key is [key]). *)
+
+val remove : t -> key:Row.Key.t -> Row.t -> unit
+(** Unregister; must be called with the row as indexed. *)
+
+val lookup : t -> Row.Key.t -> Row.Key.t list
+(** Primary keys of all rows whose projection equals the given values. *)
+
+val cardinality : t -> int
+(** Number of distinct indexed values (for stats/tests). *)

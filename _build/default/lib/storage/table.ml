@@ -1,0 +1,213 @@
+open Nbsc_value
+open Nbsc_wal
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Record.t Row.Key.Tbl.t;
+  mutable indexes : Index.t list;
+  mutable ordered : Ordered_index.t list;
+  (* Append-only arrival order of keys; the fuzzy cursor walks this like
+     a page scan. Deleted keys become stale entries that lookups skip. *)
+  mutable arrival : Row.Key.t array;
+  mutable arrival_len : int;
+}
+
+let create ?(indexes = []) ~name schema =
+  let mk (index_name, cols) =
+    Index.create ~name:index_name ~positions:(Schema.positions schema cols)
+  in
+  { name;
+    schema;
+    heap = Row.Key.Tbl.create 1024;
+    indexes = List.map mk indexes;
+    ordered = [];
+    arrival = Array.make 1024 [||];
+    arrival_len = 0 }
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = Row.Key.Tbl.length t.heap
+let key_of_row t row = Row.Key.of_row row (Schema.key_positions t.schema)
+let find t key = Row.Key.Tbl.find_opt t.heap key
+let mem t key = Row.Key.Tbl.mem t.heap key
+
+let push_arrival t key =
+  if t.arrival_len >= Array.length t.arrival then begin
+    let bigger = Array.make (Array.length t.arrival * 2) [||] in
+    Array.blit t.arrival 0 bigger 0 t.arrival_len;
+    t.arrival <- bigger
+  end;
+  t.arrival.(t.arrival_len) <- key;
+  t.arrival_len <- t.arrival_len + 1
+
+let index_insert t key row =
+  List.iter (fun ix -> Index.insert ix ~key row) t.indexes;
+  List.iter (fun ix -> Ordered_index.insert ix ~key row) t.ordered
+
+let index_remove t key row =
+  List.iter (fun ix -> Index.remove ix ~key row) t.indexes;
+  List.iter (fun ix -> Ordered_index.remove ix ~key row) t.ordered
+
+let insert t ~lsn ?counter ?flag ?aux row =
+  if Row.arity row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name
+         (Row.arity row) (Schema.arity t.schema));
+  let key = key_of_row t row in
+  if Row.Key.Tbl.mem t.heap key then Error `Duplicate_key
+  else begin
+    Row.Key.Tbl.replace t.heap key (Record.make ?counter ?flag ?aux ~lsn row);
+    index_insert t key row;
+    push_arrival t key;
+    Ok ()
+  end
+
+let check_not_key t changes =
+  let key_positions = Schema.key_positions t.schema in
+  List.iter
+    (fun (i, _) ->
+       if List.mem i key_positions then
+         invalid_arg
+           (Printf.sprintf "Table.update(%s): change touches key column %d"
+              t.name i))
+    changes
+
+let update t ~lsn ~key changes =
+  match Row.Key.Tbl.find_opt t.heap key with
+  | None -> Error `Not_found
+  | Some record ->
+    check_not_key t changes;
+    let row' = Row.update record.Record.row changes in
+    let record' = Record.with_lsn (Record.with_row record row') lsn in
+    index_remove t key record.Record.row;
+    Row.Key.Tbl.replace t.heap key record';
+    index_insert t key row';
+    Ok record'
+
+let set_record t ~key record =
+  match Row.Key.Tbl.find_opt t.heap key with
+  | None -> Error `Not_found
+  | Some old ->
+    if not (Row.Key.equal (key_of_row t record.Record.row) key) then
+      invalid_arg (Printf.sprintf "Table.set_record(%s): key mismatch" t.name);
+    index_remove t key old.Record.row;
+    Row.Key.Tbl.replace t.heap key record;
+    index_insert t key record.Record.row;
+    Ok ()
+
+let delete t ~key =
+  match Row.Key.Tbl.find_opt t.heap key with
+  | None -> Error `Not_found
+  | Some record ->
+    Row.Key.Tbl.remove t.heap key;
+    index_remove t key record.Record.row;
+    Ok record
+
+let index_definitions t =
+  List.map
+    (fun ix ->
+       ( Index.name ix,
+         List.map (fun i -> Schema.name_at t.schema i) (Index.positions ix) ))
+    t.indexes
+
+let ordered_index_definitions t =
+  List.map
+    (fun ix ->
+       ( Ordered_index.name ix,
+         List.map
+           (fun i -> Schema.name_at t.schema i)
+           (Ordered_index.positions ix) ))
+    t.ordered
+
+let add_ordered_index t ~name ~columns =
+  let exists =
+    List.exists (fun ix -> String.equal (Ordered_index.name ix) name) t.ordered
+  in
+  if not exists then begin
+    let ix =
+      Ordered_index.create ~name ~positions:(Schema.positions t.schema columns)
+    in
+    Row.Key.Tbl.iter
+      (fun key r -> Ordered_index.insert ix ~key r.Record.row)
+      t.heap;
+    t.ordered <- ix :: t.ordered
+  end
+
+let find_ordered t name =
+  match
+    List.find_opt (fun ix -> String.equal (Ordered_index.name ix) name) t.ordered
+  with
+  | Some ix -> ix
+  | None -> raise Not_found
+
+let ordered_range t ~index ?lo ?hi () =
+  Ordered_index.range (find_ordered t index) ?lo ?hi ()
+
+let add_index t ~name ~columns =
+  let exists =
+    List.exists (fun ix -> String.equal (Index.name ix) name) t.indexes
+  in
+  if not exists then begin
+    let ix = Index.create ~name ~positions:(Schema.positions t.schema columns) in
+    Row.Key.Tbl.iter (fun key r -> Index.insert ix ~key r.Record.row) t.heap;
+    t.indexes <- ix :: t.indexes
+  end
+
+let find_index t name =
+  match List.find_opt (fun ix -> String.equal (Index.name ix) name) t.indexes with
+  | Some ix -> ix
+  | None -> raise Not_found
+
+let index_lookup t ~index proj = Index.lookup (find_index t index) proj
+
+let index_lookup_records t ~index proj =
+  List.filter_map
+    (fun key ->
+       match find t key with Some r -> Some (key, r) | None -> None)
+    (index_lookup t ~index proj)
+
+let iter t f = Row.Key.Tbl.iter f t.heap
+
+let fold t ~init ~f =
+  Row.Key.Tbl.fold (fun k r acc -> f acc k r) t.heap init
+
+let to_rows t = fold t ~init:[] ~f:(fun acc _ r -> r.Record.row :: acc)
+
+let max_lsn t =
+  fold t ~init:Lsn.zero ~f:(fun acc _ r -> Lsn.max acc r.Record.lsn)
+
+module Fuzzy_cursor = struct
+  type table = t
+
+  type t = {
+    table : table;
+    mutable pos : int;
+    seen : unit Row.Key.Tbl.t;
+    mutable scanned : int;
+  }
+
+  let make table =
+    { table; pos = 0; seen = Row.Key.Tbl.create 1024; scanned = 0 }
+
+  let next_batch c ~limit =
+    let batch = ref [] in
+    let n = ref 0 in
+    while !n < limit && c.pos < c.table.arrival_len do
+      let key = c.table.arrival.(c.pos) in
+      c.pos <- c.pos + 1;
+      if not (Row.Key.Tbl.mem c.seen key) then begin
+        Row.Key.Tbl.replace c.seen key ();
+        match Row.Key.Tbl.find_opt c.table.heap key with
+        | Some record ->
+          batch := record :: !batch;
+          incr n;
+          c.scanned <- c.scanned + 1
+        | None -> ()  (* deleted since arrival: skip, like a page scan *)
+      end
+    done;
+    List.rev !batch
+
+  let finished c = c.pos >= c.table.arrival_len
+  let scanned c = c.scanned
+end

@@ -1,0 +1,106 @@
+(** Heap tables.
+
+    A table is a heap of {!Record.t} keyed by primary key, plus any
+    number of secondary indexes kept in sync on every mutation. All
+    mutators take the LSN of the log record that caused them — storage
+    itself never talks to the log.
+
+    The {b fuzzy cursor} implements the lock-free scan of Hvasshovd et
+    al. used by the initial population step: it walks the heap in
+    insertion order in bounded batches so user transactions can
+    interleave; concurrent updates may or may not be observed, which is
+    exactly the fuzziness the log propagation must absorb. *)
+
+open Nbsc_value
+open Nbsc_wal
+
+type t
+
+val create : ?indexes:(string * string list) list -> name:string ->
+  Schema.t -> t
+(** [create ~name schema ~indexes] where each index is
+    [(index_name, column_names)].
+    @raise Invalid_argument on unknown index columns. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val key_of_row : t -> Row.t -> Row.Key.t
+
+val find : t -> Row.Key.t -> Record.t option
+val mem : t -> Row.Key.t -> bool
+
+val insert : t -> lsn:Lsn.t -> ?counter:int -> ?flag:Record.flag ->
+  ?aux:int -> Row.t -> (unit, [ `Duplicate_key ]) result
+
+val update : t -> lsn:Lsn.t -> key:Row.Key.t -> (int * Value.t) list ->
+  (Record.t, [ `Not_found ]) result
+(** Returns the {e new} record. Updating key columns re-keys the heap
+    (fails [`Duplicate_key] is impossible here: callers that change key
+    columns must delete+insert instead — the engine enforces this; the
+    transformation rules never update T's key columns in place except
+    through their own delete/insert logic).
+    @raise Invalid_argument if the changes touch a key column. *)
+
+val set_record : t -> key:Row.Key.t -> Record.t ->
+  (unit, [ `Not_found ]) result
+(** Replace a record wholesale, preserving the key (used by the split
+    rules to adjust counter/flag/LSN in one step).
+    @raise Invalid_argument if the new row has a different key. *)
+
+val delete : t -> key:Row.Key.t -> (Record.t, [ `Not_found ]) result
+(** Returns the deleted record. *)
+
+val index_definitions : t -> (string * string list) list
+(** Name and column list of every hash index (snapshots rebuild them
+    from this). *)
+
+val ordered_index_definitions : t -> (string * string list) list
+
+val add_ordered_index : t -> name:string -> columns:string list -> unit
+(** Create an ordered (range-capable) index and backfill it. No-op if
+    one with this name exists. @raise Not_found on unknown columns. *)
+
+val ordered_range :
+  t -> index:string -> ?lo:Row.Key.t * bool -> ?hi:Row.Key.t * bool -> unit ->
+  Row.Key.t list
+(** Primary keys whose indexed values lie within the bounds, ascending.
+    @raise Not_found if the ordered index does not exist. *)
+
+val add_index : t -> name:string -> columns:string list -> unit
+(** Create a secondary index and backfill it from current contents
+    (the transformation's preparation step adds a split-column index to
+    the source table this way). No-op if an index with this name
+    already exists.
+    @raise Not_found on unknown columns. *)
+
+val index_lookup : t -> index:string -> Row.Key.t -> Row.Key.t list
+(** Primary keys matching the given indexed values.
+    @raise Not_found if the index does not exist. *)
+
+val index_lookup_records : t -> index:string -> Row.Key.t ->
+  (Row.Key.t * Record.t) list
+
+val iter : t -> (Row.Key.t -> Record.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> Row.Key.t -> Record.t -> 'a) -> 'a
+val to_rows : t -> Row.t list
+
+val max_lsn : t -> Lsn.t
+(** Highest record LSN in the table ([Lsn.zero] when empty). *)
+
+(** Lock-free incremental scan. *)
+module Fuzzy_cursor : sig
+  type table = t
+  type t
+
+  val make : table -> t
+
+  val next_batch : t -> limit:int -> Record.t list
+  (** Up to [limit] more records. Records inserted after the cursor's
+      position may or may not be seen; each key is reported at most
+      once per scan. An empty list means the scan is complete. *)
+
+  val finished : t -> bool
+  val scanned : t -> int
+end

@@ -1,0 +1,1 @@
+lib/txn/apply.ml: Catalog Format Log_record Nbsc_storage Nbsc_wal Table

@@ -1,0 +1,1 @@
+lib/txn/apply.mli: Catalog Format Log_record Lsn Nbsc_storage Nbsc_wal Table

@@ -1,0 +1,1 @@
+lib/txn/manager.ml: Apply Catalog Compat Format Hashtbl Int Latch List Lock_table Lock_table_many Log Log_record Lsn Nbsc_lock Nbsc_storage Nbsc_value Nbsc_wal Record Row Schema String Table

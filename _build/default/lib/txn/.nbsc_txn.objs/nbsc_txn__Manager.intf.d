@@ -1,0 +1,1 @@
+lib/txn/manager.mli: Catalog Compat Format Latch Lock_table Lock_table_many Log Log_record Lsn Nbsc_lock Nbsc_storage Nbsc_value Nbsc_wal Row Value

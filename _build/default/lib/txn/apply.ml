@@ -1,0 +1,29 @@
+open Nbsc_wal
+open Nbsc_storage
+
+type error = [ `No_table of string | `Duplicate_key | `Not_found ]
+
+let op_to_table table ~lsn (op : Log_record.op) =
+  match op with
+  | Log_record.Insert { row; _ } ->
+    (Table.insert table ~lsn row
+     :> (unit, [ `Duplicate_key | `Not_found ]) result)
+  | Log_record.Delete { key; _ } ->
+    (match Table.delete table ~key with
+     | Ok _ -> Ok ()
+     | Error `Not_found -> Error `Not_found)
+  | Log_record.Update { key; changes; _ } ->
+    (match Table.update table ~lsn ~key changes with
+     | Ok _ -> Ok ()
+     | Error `Not_found -> Error `Not_found)
+
+let op catalog ~lsn (operation : Log_record.op) =
+  let table_name = Log_record.op_table operation in
+  match Catalog.find_opt catalog table_name with
+  | None -> Error (`No_table table_name)
+  | Some table -> (op_to_table table ~lsn operation :> (unit, error) result)
+
+let pp_error ppf = function
+  | `No_table t -> Format.fprintf ppf "no such table %S" t
+  | `Duplicate_key -> Format.pp_print_string ppf "duplicate key"
+  | `Not_found -> Format.pp_print_string ppf "record not found"

@@ -1,0 +1,20 @@
+(** Applying logged operations to storage.
+
+    Shared by normal forward execution, transaction rollback, crash
+    recovery redo, and (indirectly) the log propagator. Application is
+    unconditional — idempotence decisions (LSN comparisons) belong to
+    the callers that need them. *)
+
+open Nbsc_wal
+open Nbsc_storage
+
+type error = [ `No_table of string | `Duplicate_key | `Not_found ]
+
+val op : Catalog.t -> lsn:Lsn.t -> Log_record.op -> (unit, error) result
+
+val op_to_table : Table.t -> lsn:Lsn.t -> Log_record.op ->
+  (unit, [ `Duplicate_key | `Not_found ]) result
+(** Same, with the table already resolved (the table name inside the op
+    is ignored) — recovery replays renamed tables this way. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,350 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_lock
+open Nbsc_storage
+
+type txn_id = Log_record.txn_id
+
+type status = Active | Committed | Aborted
+
+type error =
+  [ `Blocked of txn_id list
+  | `Latched of string
+  | `Frozen of string
+  | `Duplicate_key
+  | `Not_found
+  | `No_table of string
+  | `Txn_not_active
+  | `Abort_only
+  | `Key_update ]
+
+type txn = {
+  id : txn_id;
+  mutable txn_status : status;
+  mutable first_lsn : Lsn.t;
+  mutable last_lsn : Lsn.t;
+  mutable abort_only : bool;
+}
+
+type t = {
+  log : Log.t;
+  locks : Lock_table.t;
+  latches : Latch.t;
+  catalog : Catalog.t;
+  txns : (txn_id, txn) Hashtbl.t;  (* all transactions ever, by id *)
+  mutable next_id : txn_id;
+  mutable frozen : (string * txn_id) list;  (* table, cutoff id *)
+  mutable extra_lock_hook :
+    (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
+     Lock_table_many.request list)
+      option;
+  mutable post_op_hook :
+    (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option;
+  mutable n_ops : int;
+  mutable n_commits : int;
+  mutable n_aborts : int;
+  mutable n_blocked : int;
+}
+
+let create ?log catalog =
+  { log = (match log with Some l -> l | None -> Log.create ());
+    locks = Lock_table.create ();
+    latches = Latch.create ();
+    catalog;
+    txns = Hashtbl.create 256;
+    next_id = 1;
+    frozen = [];
+    extra_lock_hook = None;
+    post_op_hook = None;
+    n_ops = 0;
+    n_commits = 0;
+    n_aborts = 0;
+    n_blocked = 0 }
+
+let log t = t.log
+let locks t = t.locks
+let latches t = t.latches
+let catalog t = t.catalog
+
+let begin_txn t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let lsn = Log.append t.log ~txn:id ~prev_lsn:Lsn.zero Log_record.Begin in
+  Hashtbl.replace t.txns id
+    { id; txn_status = Active; first_lsn = lsn; last_lsn = lsn;
+      abort_only = false };
+  id
+
+let find_txn t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some txn -> Some txn
+  | None -> None
+
+let status t id =
+  match find_txn t id with
+  | Some txn -> txn.txn_status
+  | None -> Aborted  (* unknown ids are treated as long gone *)
+
+let is_active t id =
+  match find_txn t id with
+  | Some txn -> txn.txn_status = Active
+  | None -> false
+
+let active_snapshot t =
+  Hashtbl.fold
+    (fun id txn acc ->
+       if txn.txn_status = Active then (id, txn.first_lsn) :: acc else acc)
+    t.txns []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let active_count t = List.length (active_snapshot t)
+
+let mark_abort_only t id =
+  match find_txn t id with
+  | Some txn when txn.txn_status = Active -> txn.abort_only <- true
+  | Some _ | None -> ()
+
+let is_abort_only t id =
+  match find_txn t id with Some txn -> txn.abort_only | None -> false
+
+let set_extra_lock_hook t hook = t.extra_lock_hook <- hook
+let set_post_op_hook t hook = t.post_op_hook <- hook
+
+let fire_post_op t ~txn ~lsn op =
+  match t.post_op_hook with
+  | None -> ()
+  | Some hook -> hook ~txn ~lsn op
+
+let freeze_tables t tables =
+  t.frozen <- List.map (fun table -> (table, t.next_id - 1)) tables
+
+(* Pre-flight checks shared by all operations. *)
+let check_access t txn_id ~table =
+  match find_txn t txn_id with
+  | None -> Error `Txn_not_active
+  | Some txn ->
+    if txn.txn_status <> Active then Error `Txn_not_active
+    else if txn.abort_only then Error `Abort_only
+    else begin
+      match Latch.latched_by t.latches ~table with
+      | Some holder when holder <> txn_id -> Error (`Latched table)
+      | Some _ | None ->
+        (match List.assoc_opt table t.frozen with
+         | Some cutoff when txn_id > cutoff -> Error (`Frozen table)
+         | Some _ | None -> Ok txn)
+    end
+
+let take_lock t txn_id ~table ~key mode =
+  let base =
+    { Lock_table_many.table; key;
+      lock = { Compat.mode; provenance = Compat.Native } }
+  in
+  let extras =
+    match t.extra_lock_hook with
+    | None -> []
+    | Some hook -> hook ~txn:txn_id ~table ~key ~mode
+  in
+  match Lock_table_many.acquire_all t.locks ~owner:txn_id (base :: extras) with
+  | Lock_table.Granted -> Ok ()
+  | Lock_table.Blocked owners ->
+    t.n_blocked <- t.n_blocked + 1;
+    Error (`Blocked owners)
+
+let log_op t txn op =
+  let lsn =
+    Log.append t.log ~txn:txn.id ~prev_lsn:txn.last_lsn (Log_record.Op op)
+  in
+  txn.last_lsn <- lsn;
+  lsn
+
+let resolve_table t name =
+  match Catalog.find_opt t.catalog name with
+  | Some table -> Ok table
+  | None -> Error (`No_table name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let insert t ~txn:txn_id ~table:table_name row =
+  let* txn = check_access t txn_id ~table:table_name in
+  let* table = resolve_table t table_name in
+  let key = Table.key_of_row table row in
+  let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
+  if Table.mem table key then Error `Duplicate_key
+  else begin
+    let op = Log_record.Insert { table = table_name; row } in
+    let lsn = log_op t txn op in
+    (match Table.insert table ~lsn row with
+     | Ok () -> ()
+     | Error `Duplicate_key -> assert false);
+    t.n_ops <- t.n_ops + 1;
+    fire_post_op t ~txn:txn_id ~lsn op;
+    Ok ()
+  end
+
+let update t ~txn:txn_id ~table:table_name ~key changes =
+  let* txn = check_access t txn_id ~table:table_name in
+  let* table = resolve_table t table_name in
+  let key_positions = Schema.key_positions (Table.schema table) in
+  if List.exists (fun (i, _) -> List.mem i key_positions) changes then
+    Error `Key_update
+  else
+    let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
+    match Table.find table key with
+    | None -> Error `Not_found
+    | Some record ->
+      let before =
+        List.map (fun (i, _) -> (i, Row.get record.Record.row i)) changes
+      in
+      let op = Log_record.Update { table = table_name; key; changes; before } in
+      let lsn = log_op t txn op in
+      (match Table.update table ~lsn ~key changes with
+       | Ok _ -> ()
+       | Error `Not_found -> assert false);
+      t.n_ops <- t.n_ops + 1;
+      fire_post_op t ~txn:txn_id ~lsn op;
+      Ok ()
+
+let delete t ~txn:txn_id ~table:table_name ~key =
+  let* txn = check_access t txn_id ~table:table_name in
+  let* table = resolve_table t table_name in
+  let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
+  match Table.find table key with
+  | None -> Error `Not_found
+  | Some record ->
+    let op =
+      Log_record.Delete { table = table_name; key; before = record.Record.row }
+    in
+    let lsn = log_op t txn op in
+    (match Table.delete table ~key with
+     | Ok _ -> ()
+     | Error `Not_found -> assert false);
+    t.n_ops <- t.n_ops + 1;
+    fire_post_op t ~txn:txn_id ~lsn op;
+    Ok ()
+
+let read t ~txn:txn_id ~table:table_name ~key =
+  let* _txn = check_access t txn_id ~table:table_name in
+  let* table = resolve_table t table_name in
+  let* () = take_lock t txn_id ~table:table_name ~key Compat.S in
+  match Table.find table key with
+  | None -> Ok None
+  | Some record -> Ok (Some record.Record.row)
+
+let read_dirty t ~table:table_name ~key =
+  match Catalog.find_opt t.catalog table_name with
+  | None -> None
+  | Some table ->
+    (match Table.find table key with
+     | None -> None
+     | Some record -> Some record.Record.row)
+
+let finish t txn final_status =
+  txn.txn_status <- final_status;
+  Lock_table.release_owner t.locks ~owner:txn.id
+
+let commit t txn_id =
+  match find_txn t txn_id with
+  | None -> Error `Txn_not_active
+  | Some txn ->
+    if txn.txn_status <> Active then Error `Txn_not_active
+    else if txn.abort_only then Error `Abort_only
+    else begin
+      let lsn =
+        Log.append t.log ~txn:txn_id ~prev_lsn:txn.last_lsn Log_record.Commit
+      in
+      txn.last_lsn <- lsn;
+      finish t txn Committed;
+      t.n_commits <- t.n_commits + 1;
+      Ok ()
+    end
+
+(* Rollback: walk the undo chain from last_lsn, applying inverses and
+   emitting CLRs. CLRs themselves are never undone; they skip to their
+   undo_next (ARIES). *)
+let rollback t txn =
+  let append body =
+    let lsn = Log.append t.log ~txn:txn.id ~prev_lsn:txn.last_lsn body in
+    txn.last_lsn <- lsn;
+    lsn
+  in
+  ignore (append Log_record.Abort_begin);
+  let rec undo lsn =
+    if Lsn.(lsn > Lsn.zero) then begin
+      let record = Log.get t.log lsn in
+      match record.Log_record.body with
+      | Log_record.Op op ->
+        let table_name = Log_record.op_table op in
+        (match Catalog.find_opt t.catalog table_name with
+         | None ->
+           (* Table dropped mid-transaction: nothing to undo there. *)
+           undo record.Log_record.prev_lsn
+         | Some table ->
+           let key = Log_record.op_key (Table.schema table) op in
+           let inverse = Log_record.invert ~key op in
+           let clr_lsn =
+             append
+               (Log_record.Clr
+                  { undo_next = record.Log_record.prev_lsn; op = inverse })
+           in
+           (match Apply.op_to_table table ~lsn:clr_lsn inverse with
+            | Ok () -> ()
+            | Error (`Duplicate_key | `Not_found) ->
+              (* Strict 2PL means our updates cannot have been clobbered;
+                 failure here is a bug. *)
+              assert false);
+           undo record.Log_record.prev_lsn)
+      | Log_record.Clr { undo_next; _ } -> undo undo_next
+      | Log_record.Begin -> ()
+      | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
+      | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
+      | Log_record.Checkpoint _ ->
+        undo record.Log_record.prev_lsn
+    end
+  in
+  (* Start below the Abort_begin we just wrote. *)
+  let start =
+    let r = Log.get t.log txn.last_lsn in
+    r.Log_record.prev_lsn
+  in
+  undo start;
+  ignore (append Log_record.Abort_done)
+
+let abort t txn_id =
+  match find_txn t txn_id with
+  | None -> Error `Txn_not_active
+  | Some txn ->
+    if txn.txn_status <> Active then Error `Txn_not_active
+    else begin
+      rollback t txn;
+      finish t txn Aborted;
+      t.n_aborts <- t.n_aborts + 1;
+      Ok ()
+    end
+
+module Stats = struct
+  type counters = {
+    ops : int;
+    commits : int;
+    aborts : int;
+    blocked : int;
+  }
+
+  let get t =
+    { ops = t.n_ops;
+      commits = t.n_commits;
+      aborts = t.n_aborts;
+      blocked = t.n_blocked }
+end
+
+let pp_error ppf = function
+  | `Blocked owners ->
+    Format.fprintf ppf "blocked by [%s]"
+      (String.concat "; " (List.map string_of_int owners))
+  | `Latched table -> Format.fprintf ppf "table %S latched" table
+  | `Frozen table -> Format.fprintf ppf "table %S frozen" table
+  | `Duplicate_key -> Format.pp_print_string ppf "duplicate key"
+  | `Not_found -> Format.pp_print_string ppf "record not found"
+  | `No_table table -> Format.fprintf ppf "no such table %S" table
+  | `Txn_not_active -> Format.pp_print_string ppf "transaction not active"
+  | `Abort_only -> Format.pp_print_string ppf "transaction must abort"
+  | `Key_update -> Format.pp_print_string ppf "primary key update"

@@ -1,0 +1,112 @@
+(** The transaction manager.
+
+    Strict two-phase locking over {!Nbsc_lock.Lock_table}, write-ahead
+    logging of every operation with redo+undo information, rollback via
+    compensating log records (CLRs) per ARIES — the substrate the paper
+    assumes (Sec. 1). The manager is cooperative: a conflicting lock
+    makes an operation return [`Blocked] instead of sleeping; callers
+    (tests, the simulator) decide whether to retry, wait, or abort
+    (wait-die lives in the simulator's client logic).
+
+    Three hooks exist solely for the synchronization strategies:
+    - {!mark_abort_only} — non-blocking abort forces transactions that
+      were active on the source tables to roll back;
+    - {!set_extra_lock_hook} — non-blocking commit requires each lock
+      on a source record to also be taken on the implicated records of
+      the transformed table and vice versa (Sec. 4.3);
+    - {!freeze_tables} — blocking-commit synchronization refuses table
+      access to transactions begun after the freeze point. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_lock
+open Nbsc_storage
+
+type t
+
+type txn_id = Log_record.txn_id
+
+type status = Active | Committed | Aborted
+
+type error =
+  [ `Blocked of txn_id list   (** conflicting lock owners *)
+  | `Latched of string        (** table latched by the transformation *)
+  | `Frozen of string         (** table frozen for new transactions *)
+  | `Duplicate_key
+  | `Not_found
+  | `No_table of string
+  | `Txn_not_active
+  | `Abort_only               (** transaction must roll back *)
+  | `Key_update ]             (** update touches a primary-key column *)
+
+val create : ?log:Log.t -> Catalog.t -> t
+val log : t -> Log.t
+val locks : t -> Lock_table.t
+val latches : t -> Latch.t
+val catalog : t -> Catalog.t
+
+val begin_txn : t -> txn_id
+(** Ids are strictly increasing — age for wait-die. *)
+
+val status : t -> txn_id -> status
+val is_active : t -> txn_id -> bool
+
+val active_snapshot : t -> (txn_id * Lsn.t) list
+(** Active transactions with the LSN of their first log record — the
+    payload of a fuzzy mark (paper, Sec. 3.2). *)
+
+val active_count : t -> int
+
+val insert : t -> txn:txn_id -> table:string -> Row.t -> (unit, error) result
+val update : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
+  (int * Value.t) list -> (unit, error) result
+val delete : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
+  (unit, error) result
+val read : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
+  (Row.t option, error) result
+(** Takes an S lock; [Ok None] if no record has this key. *)
+
+val read_dirty : t -> table:string -> key:Row.Key.t -> Row.t option
+(** Lock-free read, for fuzzy scans and the consistency checker. *)
+
+val commit : t -> txn_id -> (unit, error) result
+val abort : t -> txn_id -> (unit, error) result
+(** Rolls back by walking the undo chain, emitting CLRs; releases
+    locks; writes Abort_begin / Abort_done. *)
+
+val mark_abort_only : t -> txn_id -> unit
+val is_abort_only : t -> txn_id -> bool
+
+val set_extra_lock_hook :
+  t ->
+  (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
+   Lock_table_many.request list) option ->
+  unit
+(** When set, every record lock an operation takes is extended with the
+    hook's extra requests; the whole set is acquired atomically or the
+    operation blocks. *)
+
+val freeze_tables : t -> string list -> unit
+(** Transactions begun after this call get [`Frozen] on these tables;
+    already-running ones proceed. [freeze_tables t []] unfreezes. *)
+
+val set_post_op_hook :
+  t -> (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option -> unit
+(** Called synchronously after every successful write operation —
+    the trigger mechanism of the Ronström-style comparator (the extra
+    work runs inside the user transaction, which is exactly the
+    overhead the paper's log-based method avoids). *)
+
+(** Operation counts, for metrics. *)
+module Stats : sig
+  type counters = {
+    ops : int;
+    commits : int;
+    aborts : int;
+    blocked : int;
+  }
+
+  val get : t -> counters
+end
+
+val pp_error : Format.formatter -> error -> unit

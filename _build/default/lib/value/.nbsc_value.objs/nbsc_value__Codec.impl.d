@@ -1,0 +1,1 @@
+lib/value/codec.ml: Array Buffer List Row String Value

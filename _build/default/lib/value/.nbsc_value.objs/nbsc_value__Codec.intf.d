@@ -1,0 +1,1 @@
+lib/value/codec.mli: Row Value

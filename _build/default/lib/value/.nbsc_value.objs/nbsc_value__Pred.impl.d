@@ -1,0 +1,1 @@
+lib/value/pred.ml: Format List Row Schema String Value

@@ -1,0 +1,1 @@
+lib/value/pred.mli: Format Row Schema Value

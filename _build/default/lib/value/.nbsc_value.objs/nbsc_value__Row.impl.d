@@ -1,0 +1,1 @@
+lib/value/row.ml: Array Format Hashtbl List Map Stdlib Value

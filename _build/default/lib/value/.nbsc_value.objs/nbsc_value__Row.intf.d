@@ -1,0 +1,1 @@
+lib/value/row.mli: Format Hashtbl Map Value

@@ -1,0 +1,1 @@
+lib/value/schema.ml: Array Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/value/value.ml: Format Hashtbl Int64 Stdlib String

@@ -1,0 +1,57 @@
+(* All composite encodings are sequences of length-prefixed chunks:
+   "<len>:<bytes>" repeated. Length prefixes make the format immune to
+   any byte appearing inside a chunk. *)
+
+let put_chunk buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let chunks_of_string s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match String.index_from_opt s i ':' with
+      | None -> failwith "Codec: missing length prefix"
+      | Some j ->
+        let len =
+          try int_of_string (String.sub s i (j - i))
+          with _ -> failwith "Codec: bad length prefix"
+        in
+        if j + 1 + len > n then failwith "Codec: chunk overruns input";
+        go (j + 1 + len) (String.sub s (j + 1) len :: acc)
+  in
+  go 0 []
+
+let string_of_chunks chunks =
+  let buf = Buffer.create 64 in
+  List.iter (put_chunk buf) chunks;
+  Buffer.contents buf
+
+let encode_row (r : Row.t) =
+  string_of_chunks (List.map Value.encode (Array.to_list r))
+
+let decode_row s = Array.of_list (List.map Value.decode (chunks_of_string s))
+
+let encode_changes changes =
+  string_of_chunks
+    (List.concat_map
+       (fun (i, v) -> [ string_of_int i; Value.encode v ])
+       changes)
+
+let decode_changes s =
+  let rec pair = function
+    | [] -> []
+    | [ _ ] -> failwith "Codec.decode_changes: odd chunk count"
+    | i :: v :: rest ->
+      let pos =
+        try int_of_string i
+        with _ -> failwith "Codec.decode_changes: bad position"
+      in
+      (pos, Value.decode v) :: pair rest
+  in
+  pair (chunks_of_string s)
+
+let encode_string_list = string_of_chunks
+let decode_string_list = chunks_of_string

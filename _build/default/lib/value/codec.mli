@@ -1,0 +1,17 @@
+(** Wire codec for rows and row fragments.
+
+    The write-ahead log stores rows and partial-row updates as strings
+    so a log can be serialized, shipped or replayed byte-for-byte (the
+    paper's method works from the log alone, so the log must be
+    self-contained). Every encoder has an exact inverse. *)
+
+val encode_row : Row.t -> string
+val decode_row : string -> Row.t
+
+val encode_changes : (int * Value.t) list -> string
+(** Positional updates, as carried by update log records. *)
+
+val decode_changes : string -> (int * Value.t) list
+
+val encode_string_list : string list -> string
+val decode_string_list : string -> string list

@@ -1,0 +1,69 @@
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of string * op * Value.t
+  | Is_null of string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let cmp_holds op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec compile schema = function
+  | True -> fun _ -> true
+  | False -> fun _ -> false
+  | Cmp (col, op, v) ->
+    let i = Schema.position schema col in
+    fun row ->
+      let x = Row.get row i in
+      (* NULL never compares (SQL semantics collapsed to false). *)
+      (not (Value.is_null x))
+      && (not (Value.is_null v))
+      && cmp_holds op (Value.compare x v)
+  | Is_null col ->
+    let i = Schema.position schema col in
+    fun row -> Value.is_null (Row.get row i)
+  | And (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun row -> fa row && fb row
+  | Or (a, b) ->
+    let fa = compile schema a and fb = compile schema b in
+    fun row -> fa row || fb row
+  | Not a ->
+    let fa = compile schema a in
+    fun row -> not (fa row)
+
+let eval schema t row = compile schema t row
+
+let columns t =
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (c, _, _) | Is_null c -> c :: acc
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.sort_uniq String.compare (go [] t)
+
+let negate t = Not t
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (c, op, v) -> Format.fprintf ppf "%s %a %a" c pp_op op Value.pp v
+  | Is_null c -> Format.fprintf ppf "%s IS NULL" c
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "NOT %a" pp a

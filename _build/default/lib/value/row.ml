@@ -1,0 +1,72 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let of_array a = Array.copy a
+let arity = Array.length
+let get r i = r.(i)
+
+let set r i v =
+  let r' = Array.copy r in
+  r'.(i) <- v;
+  r'
+
+let update r changes =
+  let r' = Array.copy r in
+  List.iter (fun (i, v) -> r'.(i) <- v) changes;
+  r'
+
+let project r positions = Array.of_list (List.map (fun i -> r.(i)) positions)
+
+let compare a b =
+  let n = Array.length a and m = Array.length b in
+  if n <> m then Stdlib.compare n m
+  else
+    let rec go i =
+      if i >= n then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash r = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 r
+
+let pp ppf r =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list r)
+
+let to_string r = Format.asprintf "%a" pp r
+
+let all_null n = Array.make n Value.Null
+let is_all_null r = Array.for_all Value.is_null r
+
+module Key = struct
+  type row = t
+  type t = Value.t array
+
+  let of_row (r : row) positions = project r positions
+  let equal = equal
+  let compare = compare
+  let hash = hash
+  let pp = pp
+  let to_string = to_string
+  let has_null k = Array.exists Value.is_null k
+
+  module Tbl = Hashtbl.Make (struct
+      type nonrec t = t
+
+      let equal = equal
+      let hash = hash
+    end)
+
+  module Map = Map.Make (struct
+      type nonrec t = t
+
+      let compare = compare
+    end)
+end

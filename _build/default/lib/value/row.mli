@@ -1,0 +1,54 @@
+(** Rows (records) and keys.
+
+    A row is an immutable array of values whose positions are given
+    meaning by a {!Schema.t}. A key is the projection of a row onto key
+    positions; keys are used as hash-table keys throughout the engine,
+    so they come with [equal]/[hash]/[compare]. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+(** Copies, so later mutation of the argument cannot alias. *)
+
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val set : t -> int -> Value.t -> t
+(** Functional update: returns a fresh row. *)
+
+val update : t -> (int * Value.t) list -> t
+(** Apply several positional updates at once (fresh row). *)
+
+val project : t -> int list -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all_null : int -> t
+(** [all_null n] is the n-ary all-NULL row — the R-null / S-null record
+    of the paper (Sec. 4.1). *)
+
+val is_all_null : t -> bool
+
+(** Keys: projections of rows used for identity. *)
+module Key : sig
+  type row = t
+  type t = Value.t array
+
+  val of_row : row -> int list -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val has_null : t -> bool
+
+  (** Hashtbl over keys. *)
+  module Tbl : Hashtbl.S with type key = t
+
+  (** Ordered map over keys. *)
+  module Map : Map.S with type key = t
+end

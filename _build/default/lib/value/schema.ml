@@ -1,0 +1,83 @@
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+  nullable : bool;
+}
+
+type t = {
+  cols : column array;
+  key : int list;
+  cand_keys : int list list;  (* primary key first *)
+}
+
+let column ?(nullable = true) col_name col_ty = { col_name; col_ty; nullable }
+
+let find_pos cols name =
+  let rec go i =
+    if i >= Array.length cols then None
+    else if String.equal cols.(i).col_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let make ?(candidate_keys = []) ~key columns =
+  let cols = Array.of_list columns in
+  Array.iteri
+    (fun i c ->
+       match find_pos cols c.col_name with
+       | Some j when j < i ->
+         invalid_arg
+           (Printf.sprintf "Schema.make: duplicate column %S" c.col_name)
+       | _ -> ())
+    cols;
+  let resolve what names =
+    if names = [] then invalid_arg (Printf.sprintf "Schema.make: empty %s" what);
+    List.map
+      (fun n ->
+         match find_pos cols n with
+         | Some i -> i
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Schema.make: unknown %s column %S" what n))
+      names
+  in
+  let key = resolve "key" key in
+  let cand_keys = key :: List.map (resolve "candidate key") candidate_keys in
+  { cols; key; cand_keys }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+let key_positions t = t.key
+let candidate_keys t = t.cand_keys
+let name_at t i = t.cols.(i).col_name
+let key_names t = List.map (name_at t) t.key
+
+let position_opt t name = find_pos t.cols name
+
+let position t name =
+  match position_opt t name with Some i -> i | None -> raise Not_found
+
+let mem t name = position_opt t name <> None
+let positions t names = List.map (position t) names
+
+let equal a b =
+  a.key = b.key
+  && a.cand_keys = b.cand_keys
+  && Array.length a.cols = Array.length b.cols
+  && Array.for_all2
+       (fun x y ->
+          String.equal x.col_name y.col_name
+          && x.col_ty = y.col_ty && x.nullable = y.nullable)
+       a.cols b.cols
+
+let pp ppf t =
+  let pp_col ppf c =
+    Format.fprintf ppf "%s %a%s" c.col_name Value.pp_ty c.col_ty
+      (if c.nullable then "" else " not null")
+  in
+  Format.fprintf ppf "(%a) key(%s)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_col)
+    (Array.to_list t.cols)
+    (String.concat ", " (key_names t))

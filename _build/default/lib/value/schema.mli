@@ -1,0 +1,48 @@
+(** Table schemas.
+
+    A schema names the columns of a table, gives each a type and
+    nullability, and distinguishes one {e primary key} (a non-empty set
+    of column positions). Transformed tables built by the framework must
+    carry a candidate key of every source table (paper, Sec. 3.1); the
+    schema type supports declaring such extra candidate keys so the
+    framework can validate a transformation before it starts. *)
+
+type column = {
+  col_name : string;
+  col_ty : Value.ty;
+  nullable : bool;
+}
+
+type t
+
+val column : ?nullable:bool -> string -> Value.ty -> column
+(** [column name ty] declares a column; [nullable] defaults to [true]
+    because join transformations pad unmatched sides with NULLs. *)
+
+val make :
+  ?candidate_keys:string list list -> key:string list -> column list -> t
+(** [make ~key cols] builds a schema whose primary key is the listed
+    column names, in order.
+
+    @raise Invalid_argument on duplicate column names, an empty or
+    unknown key, or an unknown candidate key column. *)
+
+val columns : t -> column list
+val arity : t -> int
+val key_positions : t -> int list
+val key_names : t -> string list
+val candidate_keys : t -> int list list
+(** All declared candidate keys, primary key first. *)
+
+val position : t -> string -> int
+(** @raise Not_found if the column does not exist. *)
+
+val position_opt : t -> string -> int option
+val name_at : t -> int -> string
+val mem : t -> string -> bool
+
+val positions : t -> string list -> int list
+(** Positions of several columns. @raise Not_found as {!position}. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Text of string
+
+type ty = TInt | TFloat | TBool | TText
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Bool _ -> Some TBool
+  | Text _ -> Some TText
+
+let tag_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Text _ -> 4
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Text x, Text y -> String.compare x y
+  | _ -> Stdlib.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash (0, x)
+  | Float x -> Hashtbl.hash (1, x)
+  | Bool x -> Hashtbl.hash (2, x)
+  | Text x -> Hashtbl.hash (3, x)
+
+let is_null = function Null -> true | _ -> false
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | Bool x -> Format.pp_print_bool ppf x
+  | Text x -> Format.fprintf ppf "%S" x
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with
+     | TInt -> "int"
+     | TFloat -> "float"
+     | TBool -> "bool"
+     | TText -> "text")
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* The encoding is a one-character tag followed by a payload that never
+   needs escaping: ints/floats via their literal syntax (floats through
+   Int64 bits so NaN and -0. round-trip), text length-prefixed. *)
+let encode = function
+  | Null -> "N"
+  | Int x -> "I" ^ string_of_int x
+  | Float x -> "F" ^ Int64.to_string (Int64.bits_of_float x)
+  | Bool true -> "Bt"
+  | Bool false -> "Bf"
+  | Text s -> "T" ^ string_of_int (String.length s) ^ ":" ^ s
+
+let decode s =
+  if String.length s = 0 then failwith "Value.decode: empty input";
+  let payload () = String.sub s 1 (String.length s - 1) in
+  match s.[0] with
+  | 'N' -> Null
+  | 'I' ->
+    (try Int (int_of_string (payload ()))
+     with _ -> failwith "Value.decode: bad int")
+  | 'F' ->
+    (try Float (Int64.float_of_bits (Int64.of_string (payload ())))
+     with _ -> failwith "Value.decode: bad float")
+  | 'B' ->
+    (match payload () with
+     | "t" -> Bool true
+     | "f" -> Bool false
+     | _ -> failwith "Value.decode: bad bool")
+  | 'T' ->
+    let p = payload () in
+    (match String.index_opt p ':' with
+     | None -> failwith "Value.decode: bad text"
+     | Some i ->
+       let len =
+         try int_of_string (String.sub p 0 i)
+         with _ -> failwith "Value.decode: bad text length"
+       in
+       if String.length p - i - 1 <> len then
+         failwith "Value.decode: text length mismatch";
+       Text (String.sub p (i + 1) len))
+  | _ -> failwith "Value.decode: unknown tag"
+
+let int x = Int x
+let float x = Float x
+let bool x = Bool x
+let text x = Text x

@@ -1,0 +1,49 @@
+(** Typed attribute values.
+
+    The engine stores every attribute as a [Value.t]. [Null] is a first
+    class citizen because the full outer join transformation joins
+    unmatched records with the special R-null / S-null records, whose
+    attributes are all [Null] (paper, Sec. 4.1). *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Text of string
+
+(** Value type descriptors, used by schemas. *)
+type ty = TInt | TFloat | TBool | TText
+
+val type_of : t -> ty option
+(** [type_of v] is the type of [v], or [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order. [Null] sorts before every non-null value; values of
+    different types are ordered by type tag. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val is_null : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ty : Format.formatter -> ty -> unit
+
+val to_string : t -> string
+
+val encode : t -> string
+(** Compact tagged encoding, inverse of {!decode}. Used by the log
+    codec; round-trips exactly (including NaN floats and strings with
+    arbitrary bytes). *)
+
+val decode : string -> t
+(** @raise Failure on malformed input. *)
+
+(* Convenience constructors. *)
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+val text : string -> t

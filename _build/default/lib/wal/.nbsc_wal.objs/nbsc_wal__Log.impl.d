@@ -1,0 +1,1 @@
+lib/wal/log.ml: Array Format List Log_record Lsn

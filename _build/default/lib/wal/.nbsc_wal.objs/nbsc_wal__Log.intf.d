@@ -1,0 +1,1 @@
+lib/wal/log.mli: Format Log_record Lsn

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Codec Format List Lsn Nbsc_value Row Schema Value

@@ -1,0 +1,117 @@
+(* Records live in a growable array; the record with LSN l sits at
+   index l-1, so access by LSN is O(1) and cursors are just integers.
+   Slots are options only because OCaml arrays need a fill value; every
+   slot below [len] is [Some _]. *)
+
+type t = {
+  mutable records : Log_record.t option array;
+  mutable len : int;
+  base : int;
+  mutable sink : (Log_record.t -> unit) option;
+}
+
+let create ?(base = Lsn.zero) () =
+  { records = Array.make 1024 None; len = 0; base = Lsn.to_int base;
+    sink = None }
+
+let set_sink t sink = t.sink <- sink
+
+let base t = Lsn.of_int t.base
+
+let grow t =
+  let cap = Array.length t.records in
+  if t.len >= cap then begin
+    let bigger = Array.make (cap * 2) None in
+    Array.blit t.records 0 bigger 0 t.len;
+    t.records <- bigger
+  end
+
+let slot t i =
+  match t.records.(i) with
+  | Some r -> r
+  | None -> assert false
+
+let append t ~txn ~prev_lsn body =
+  let lsn = Lsn.of_int (t.base + t.len + 1) in
+  let record = { Log_record.lsn; txn; prev_lsn; body } in
+  grow t;
+  t.records.(t.len) <- Some record;
+  t.len <- t.len + 1;
+  (match t.sink with Some f -> f record | None -> ());
+  lsn
+
+let head t = Lsn.of_int (t.base + t.len)
+let length t = t.len
+
+let get t lsn =
+  let i = Lsn.to_int lsn - t.base - 1 in
+  if i < 0 || i >= t.len then raise Not_found;
+  slot t i
+
+let fold t ?from ?upto ~init ~f =
+  let lo =
+    match from with Some l -> max 0 (Lsn.to_int l - t.base - 1) | None -> 0
+  in
+  let hi =
+    match upto with
+    | Some l -> min t.len (Lsn.to_int l - t.base)
+    | None -> t.len
+  in
+  let acc = ref init in
+  for i = lo to hi - 1 do
+    acc := f !acc (slot t i)
+  done;
+  !acc
+
+let iter t ?from ?upto f = fold t ?from ?upto ~init:() ~f:(fun () r -> f r)
+
+module Cursor = struct
+  type log = t
+
+  type t = {
+    log : log;
+    mutable pos : int;  (* index of next record to return *)
+  }
+
+  let make log ~from = { log; pos = max 0 (Lsn.to_int from - log.base - 1) }
+
+  let next c =
+    if c.pos >= c.log.len then None
+    else begin
+      let r = slot c.log c.pos in
+      c.pos <- c.pos + 1;
+      Some r
+    end
+
+  let peek c = if c.pos >= c.log.len then None else Some (slot c.log c.pos)
+  let position c = Lsn.of_int (c.log.base + c.pos + 1)
+  let lag c = c.log.len - c.pos
+end
+
+let to_lines t =
+  fold t ?from:None ?upto:None ~init:[]
+    ~f:(fun acc r -> Log_record.encode r :: acc)
+  |> List.rev
+
+let of_lines lines =
+  let base =
+    match lines with
+    | [] -> Lsn.zero
+    | first :: _ ->
+      let r = Log_record.decode first in
+      Lsn.of_int (Lsn.to_int r.Log_record.lsn - 1)
+  in
+  let t = create ~base () in
+  List.iter
+    (fun line ->
+       let r = Log_record.decode line in
+       let lsn =
+         append t ~txn:r.Log_record.txn ~prev_lsn:r.Log_record.prev_lsn
+           r.Log_record.body
+       in
+       if not (Lsn.equal lsn r.Log_record.lsn) then
+         failwith "Log.of_lines: non-contiguous LSNs")
+    lines;
+  t
+
+let pp ppf t = iter t (fun r -> Format.fprintf ppf "%a@." Log_record.pp r)

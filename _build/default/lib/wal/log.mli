@@ -1,0 +1,74 @@
+(** The append-only log.
+
+    A single sequential log shared by all transactions (the paper's
+    method relies on the log being sequential and ordered consistently
+    with serialization order — Theorem 1). The buffer assigns LSNs,
+    supports random access by LSN and forward cursors, and can be
+    serialized/replayed, which is what makes the transformation and
+    recovery "log only". *)
+
+type t
+
+val create : ?base:Lsn.t -> unit -> t
+(** [base] (default [Lsn.zero]) is the LSN the log starts {e after}: the
+    first appended record gets [Lsn.next base]. A database restored
+    from a snapshot taken at LSN L continues its log with [~base:L], so
+    record LSNs stay monotonic across the restart. *)
+
+val base : t -> Lsn.t
+
+val append : t -> txn:Log_record.txn_id -> prev_lsn:Lsn.t ->
+  Log_record.body -> Lsn.t
+(** Appends a record, assigning the next LSN (returned). *)
+
+val set_sink : t -> (Log_record.t -> unit) option -> unit
+(** A callback invoked synchronously on every append — the hook
+    durability uses to mirror the log to a file (see
+    {!Nbsc_engine.Persist}). *)
+
+val head : t -> Lsn.t
+(** LSN of the most recently appended record; [Lsn.zero] when empty. *)
+
+val length : t -> int
+
+val get : t -> Lsn.t -> Log_record.t
+(** @raise Not_found if no record has this LSN (out of range). *)
+
+val fold : t -> ?from:Lsn.t -> ?upto:Lsn.t -> init:'a ->
+  f:('a -> Log_record.t -> 'a) -> 'a
+(** Fold over records with [from <= lsn <= upto] in LSN order. [from]
+    defaults to the first record, [upto] to the head. *)
+
+val iter : t -> ?from:Lsn.t -> ?upto:Lsn.t -> (Log_record.t -> unit) -> unit
+
+(** A forward cursor over the log. Cursors see records appended after
+    their creation (the log propagator keeps one for its whole life). *)
+module Cursor : sig
+  type log = t
+  type t
+
+  val make : log -> from:Lsn.t -> t
+  (** Positioned so the first [next] returns the record at [from] (or
+      the first record with a larger LSN if none). *)
+
+  val next : t -> Log_record.t option
+  (** [None] when the cursor has caught up with the head. *)
+
+  val peek : t -> Log_record.t option
+  val position : t -> Lsn.t
+  (** LSN the next [next] would return (head+1 if caught up). *)
+
+  val lag : t -> int
+  (** Number of records between the cursor and the head — the
+      "remaining work" quantity the iteration analysis inspects
+      (paper, Sec. 3.3). *)
+end
+
+val to_lines : t -> string list
+(** Serialize every record ({!Log_record.encode}), oldest first. *)
+
+val of_lines : string list -> t
+(** Rebuild a log from serialized records.
+    @raise Failure on malformed input or non-contiguous LSNs. *)
+
+val pp : Format.formatter -> t -> unit

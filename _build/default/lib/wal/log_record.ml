@@ -1,0 +1,165 @@
+open Nbsc_value
+
+type txn_id = int
+
+let system_txn = 0
+
+type op =
+  | Insert of { table : string; row : Row.t }
+  | Delete of { table : string; key : Row.Key.t; before : Row.t }
+  | Update of {
+      table : string;
+      key : Row.Key.t;
+      changes : (int * Value.t) list;
+      before : (int * Value.t) list;
+    }
+
+let op_table = function
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> table
+
+let op_key schema = function
+  | Insert { row; _ } -> Row.Key.of_row row (Schema.key_positions schema)
+  | Delete { key; _ } | Update { key; _ } -> key
+
+let invert ~key = function
+  | Insert { table; row } -> Delete { table; key; before = row }
+  | Delete { table; key = _; before } -> Insert { table; row = before }
+  | Update { table; key; changes; before } ->
+    Update { table; key; changes = before; before = changes }
+
+type body =
+  | Begin
+  | Commit
+  | Abort_begin
+  | Abort_done
+  | Op of op
+  | Clr of { undo_next : Lsn.t; op : op }
+  | Fuzzy_mark of { active : (txn_id * Lsn.t) list }
+  | Cc_begin of { table : string; key : Row.Key.t }
+  | Cc_ok of { table : string; key : Row.Key.t; image : Row.t }
+  | Checkpoint of { active : (txn_id * Lsn.t) list }
+
+type t = {
+  lsn : Lsn.t;
+  txn : txn_id;
+  prev_lsn : Lsn.t;
+  body : body;
+}
+
+(* Encoding: chunk list via Codec.encode_string_list. First chunk is a
+   tag, the rest are fields. *)
+
+let encode_active active =
+  Codec.encode_string_list
+    (List.concat_map
+       (fun (t, l) -> [ string_of_int t; Lsn.to_string l ])
+       active)
+
+let decode_active s =
+  let rec pair = function
+    | [] -> []
+    | [ _ ] -> failwith "Log_record: odd active list"
+    | t :: l :: rest -> (int_of_string t, Lsn.of_int (int_of_string l)) :: pair rest
+  in
+  pair (Codec.decode_string_list s)
+
+let encode_op = function
+  | Insert { table; row } -> [ "ins"; table; Codec.encode_row row ]
+  | Delete { table; key; before } ->
+    [ "del"; table; Codec.encode_row key; Codec.encode_row before ]
+  | Update { table; key; changes; before } ->
+    [ "upd"; table; Codec.encode_row key;
+      Codec.encode_changes changes; Codec.encode_changes before ]
+
+let decode_op = function
+  | [ "ins"; table; row ] -> Insert { table; row = Codec.decode_row row }
+  | [ "del"; table; key; before ] ->
+    Delete
+      { table; key = Codec.decode_row key; before = Codec.decode_row before }
+  | [ "upd"; table; key; changes; before ] ->
+    Update
+      { table;
+        key = Codec.decode_row key;
+        changes = Codec.decode_changes changes;
+        before = Codec.decode_changes before }
+  | _ -> failwith "Log_record: bad op encoding"
+
+let encode_body = function
+  | Begin -> [ "begin" ]
+  | Commit -> [ "commit" ]
+  | Abort_begin -> [ "abort_begin" ]
+  | Abort_done -> [ "abort_done" ]
+  | Op op -> "op" :: encode_op op
+  | Clr { undo_next; op } -> "clr" :: Lsn.to_string undo_next :: encode_op op
+  | Fuzzy_mark { active } -> [ "fuzzy"; encode_active active ]
+  | Cc_begin { table; key } -> [ "cc_begin"; table; Codec.encode_row key ]
+  | Cc_ok { table; key; image } ->
+    [ "cc_ok"; table; Codec.encode_row key; Codec.encode_row image ]
+  | Checkpoint { active } -> [ "ckpt"; encode_active active ]
+
+let decode_body = function
+  | [ "begin" ] -> Begin
+  | [ "commit" ] -> Commit
+  | [ "abort_begin" ] -> Abort_begin
+  | [ "abort_done" ] -> Abort_done
+  | "op" :: rest -> Op (decode_op rest)
+  | "clr" :: undo_next :: rest ->
+    Clr { undo_next = Lsn.of_int (int_of_string undo_next); op = decode_op rest }
+  | [ "fuzzy"; active ] -> Fuzzy_mark { active = decode_active active }
+  | [ "cc_begin"; table; key ] -> Cc_begin { table; key = Codec.decode_row key }
+  | [ "cc_ok"; table; key; image ] ->
+    Cc_ok { table; key = Codec.decode_row key; image = Codec.decode_row image }
+  | [ "ckpt"; active ] -> Checkpoint { active = decode_active active }
+  | _ -> failwith "Log_record: bad body encoding"
+
+let encode t =
+  Codec.encode_string_list
+    (Lsn.to_string t.lsn :: string_of_int t.txn :: Lsn.to_string t.prev_lsn
+     :: encode_body t.body)
+
+let decode s =
+  match Codec.decode_string_list s with
+  | lsn :: txn :: prev :: body ->
+    { lsn = Lsn.of_int (int_of_string lsn);
+      txn = int_of_string txn;
+      prev_lsn = Lsn.of_int (int_of_string prev);
+      body = decode_body body }
+  | _ -> failwith "Log_record: bad record encoding"
+
+let pp_op ppf = function
+  | Insert { table; row } -> Format.fprintf ppf "insert %s %a" table Row.pp row
+  | Delete { table; key; _ } ->
+    Format.fprintf ppf "delete %s key=%a" table Row.Key.pp key
+  | Update { table; key; changes; _ } ->
+    Format.fprintf ppf "update %s key=%a set{%a}" table Row.Key.pp key
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (i, v) -> Format.fprintf ppf "#%d:=%a" i Value.pp v))
+      changes
+
+let pp_active ppf active =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (t, l) -> Format.fprintf ppf "T%d@%a" t Lsn.pp l)
+    ppf active
+
+let pp_body ppf = function
+  | Begin -> Format.pp_print_string ppf "BEGIN"
+  | Commit -> Format.pp_print_string ppf "COMMIT"
+  | Abort_begin -> Format.pp_print_string ppf "ABORT"
+  | Abort_done -> Format.pp_print_string ppf "ABORT-DONE"
+  | Op op -> pp_op ppf op
+  | Clr { undo_next; op } ->
+    Format.fprintf ppf "CLR(undo_next=%a) %a" Lsn.pp undo_next pp_op op
+  | Fuzzy_mark { active } ->
+    Format.fprintf ppf "FUZZY-MARK[%a]" pp_active active
+  | Cc_begin { table; key } ->
+    Format.fprintf ppf "CC-BEGIN %s %a" table Row.Key.pp key
+  | Cc_ok { table; key; image } ->
+    Format.fprintf ppf "CC-OK %s %a image=%a" table Row.Key.pp key Row.pp image
+  | Checkpoint { active } ->
+    Format.fprintf ppf "CHECKPOINT[%a]" pp_active active
+
+let pp ppf t =
+  Format.fprintf ppf "%a T%d prev=%a %a" Lsn.pp t.lsn t.txn Lsn.pp t.prev_lsn
+    pp_body t.body

@@ -1,0 +1,16 @@
+type t = int
+
+let zero = 0
+let first = 1
+let next t = t + 1
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) b = a < b
+let ( <= ) (a : t) b = a <= b
+let ( > ) (a : t) b = a > b
+let ( >= ) (a : t) b = a >= b
+let max (a : t) b = Stdlib.max a b
+let to_int t = t
+let of_int t = t
+let pp = Format.pp_print_int
+let to_string = string_of_int

@@ -1,0 +1,23 @@
+(** Log sequence numbers.
+
+    Every log record and every stored record carries an LSN (paper,
+    Sec. 1; Hvasshovd's fuzzy copy uses record LSNs as state
+    identifiers). LSNs are totally ordered and dense enough for
+    equality/ordering tests; [zero] precedes every real LSN. *)
+
+type t
+
+val zero : t
+val first : t
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val to_int : t -> int
+val of_int : int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Helpers Nbsc_core Nbsc_engine Nbsc_relalg

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Catalog Db Helpers Insert_into_select Manager Nbsc_baseline Nbsc_engine Nbsc_relalg Nbsc_storage Nbsc_txn Nbsc_value Row Trigger_method Value

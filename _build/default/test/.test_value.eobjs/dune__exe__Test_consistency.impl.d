@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Catalog Consistency Helpers List Log Log_record Lsn Nbsc_core Nbsc_storage Nbsc_value Nbsc_wal Option Population Record Row Spec Split String Table Value

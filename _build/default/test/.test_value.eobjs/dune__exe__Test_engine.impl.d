@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Catalog Db Gen Helpers List Manager Nbsc_engine Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Option QCheck QCheck_alcotest Random Record Recovery Row Table Value

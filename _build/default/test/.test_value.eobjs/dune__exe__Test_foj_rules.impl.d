@@ -1,0 +1,1 @@
+test/test_foj_rules.ml: Alcotest Catalog Foj Hashtbl Helpers List Log_record Lsn Nbsc_core Nbsc_storage Nbsc_value Nbsc_wal Population QCheck QCheck_alcotest Row Spec String Table Value

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Compat Gen Hashtbl Latch List Lock_table Lock_table_many Nbsc_lock Nbsc_value Printf QCheck QCheck_alcotest Row Value

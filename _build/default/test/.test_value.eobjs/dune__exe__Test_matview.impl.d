@@ -1,0 +1,1 @@
+test/test_matview.ml: Alcotest Db Helpers List Manager Matview Nbsc_core Nbsc_engine Nbsc_lock Nbsc_relalg Nbsc_storage Nbsc_txn Nbsc_value Row Spec Value

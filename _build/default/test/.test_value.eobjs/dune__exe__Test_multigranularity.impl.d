@@ -1,0 +1,1 @@
+test/test_multigranularity.ml: Alcotest Compat Format List Multigranularity Nbsc_lock Table_locks

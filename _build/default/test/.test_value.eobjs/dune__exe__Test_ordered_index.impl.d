@@ -1,0 +1,1 @@
+test/test_ordered_index.ml: Alcotest Gen Helpers List Lsn Nbsc_engine Nbsc_sql Nbsc_storage Nbsc_value Nbsc_wal QCheck QCheck_alcotest Record Row Table Value

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Gen Hashtbl Helpers List Nbsc_relalg Nbsc_value QCheck QCheck_alcotest Relalg Row Schema Value

@@ -1,0 +1,1 @@
+test/test_restart.ml: Alcotest Catalog Db Fun Helpers List Manager Nbsc_core Nbsc_engine Nbsc_relalg Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Printf Random Recovery Row Schema Spec Transform Value

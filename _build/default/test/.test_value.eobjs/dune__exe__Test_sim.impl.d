@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Analysis Experiment Format List Metrics Nbsc_core Nbsc_sim Sim Transform

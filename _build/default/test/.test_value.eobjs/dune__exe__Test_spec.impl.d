@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Catalog Helpers List Nbsc_core Nbsc_engine Nbsc_storage Nbsc_value Schema Spec Transform Value

@@ -1,0 +1,1 @@
+test/test_split_rules.mli:

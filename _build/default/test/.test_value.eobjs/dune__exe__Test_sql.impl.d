@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Db Exec Lexer List Nbsc_engine Nbsc_sql Nbsc_value Parser Pred Row String Value

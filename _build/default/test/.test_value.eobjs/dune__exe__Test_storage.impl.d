@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Catalog Gen List Lsn Nbsc_storage Nbsc_value Nbsc_wal Option QCheck QCheck_alcotest Record Row Schema Table Value

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Catalog Gen Helpers List Log Log_record Lsn Manager Nbsc_lock Nbsc_storage Nbsc_txn Nbsc_value Nbsc_wal Option QCheck QCheck_alcotest Record Row Table Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Codec Float List Nbsc_value QCheck QCheck_alcotest Row Schema String Value

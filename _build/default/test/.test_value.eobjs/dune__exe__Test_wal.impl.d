@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Format List Log Log_record Lsn Nbsc_value Nbsc_wal Option Printf QCheck QCheck_alcotest Row Value

@@ -1,0 +1,245 @@
+(* Shared fixtures and drivers for the test suites. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+
+let col = Schema.column
+
+(* The running example: R(a,b,c) joined with S(c,d) on c — the shape of
+   the paper's Figure 1 — and T(a,b,c,d) split back into R(a,b,c) and
+   S(c,d) — the shape of Figure 3. *)
+
+let r_schema =
+  Schema.make ~key:[ "a" ]
+    [ col ~nullable:false "a" Value.TInt; col "b" Value.TText;
+      col "c" Value.TInt ]
+
+let s_schema =
+  Schema.make ~key:[ "c" ]
+    [ col ~nullable:false "c" Value.TInt; col "d" Value.TText ]
+
+let t_flat_schema =
+  Schema.make ~key:[ "a" ]
+    [ col ~nullable:false "a" Value.TInt; col "b" Value.TText;
+      col "c" Value.TInt; col "d" Value.TText ]
+
+let foj_spec =
+  { Spec.r_table = "R";
+    s_table = "S";
+    t_table = "T";
+    join_r = [ "c" ];
+    join_s = [ "c" ];
+    t_join = [ "c" ];
+    r_carry = [ "a"; "b" ];
+    s_carry = [ "d" ];
+    many_to_many = false }
+
+let split_spec ~assume_consistent =
+  { Spec.t_table' = "T";
+    r_table' = "R";
+    s_table' = "S";
+    r_cols = [ "a"; "b"; "c" ];
+    s_cols = [ "c"; "d" ];
+    split_key = [ "c" ];
+    assume_consistent }
+
+let ri a b c = Row.make [ Value.Int a; Value.Text b; Value.Int c ]
+let si c d = Row.make [ Value.Int c; Value.Text d ]
+let ti a b c d = Row.make [ Value.Int a; Value.Text b; Value.Int c; Value.Text d ]
+
+let fresh_foj_db ~r_rows ~s_rows =
+  let db = Db.create () in
+  ignore (Db.create_table db ~name:"R" r_schema);
+  ignore (Db.create_table db ~name:"S" s_schema);
+  (match Db.load db ~table:"R" r_rows with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "load R: %a" Manager.pp_error e);
+  (match Db.load db ~table:"S" s_rows with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "load S: %a" Manager.pp_error e);
+  db
+
+let fresh_split_db ~t_rows =
+  let db = Db.create () in
+  ignore (Db.create_table db ~name:"T" t_flat_schema);
+  (match Db.load db ~table:"T" t_rows with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "load T: %a" Manager.pp_error e);
+  db
+
+(* Oracle: T must converge to the full outer join of the final R and S. *)
+let foj_oracle db =
+  let r = Db.snapshot db "R" and s = Db.snapshot db "S" in
+  Nbsc_relalg.Relalg.full_outer_join
+    { Nbsc_relalg.Relalg.r_join = [ "c" ];
+      s_join = [ "c" ];
+      out_join = [ "c" ];
+      r_cols = [ "a"; "b" ];
+      s_cols = [ "d" ];
+      out_key = [ "a" ] }
+    r s
+
+let check_relations_equal msg expected actual =
+  if not (Nbsc_relalg.Relalg.equal_as_sets expected actual) then begin
+    let only_e, only_a = Nbsc_relalg.Relalg.diff_as_sets expected actual in
+    Alcotest.failf "%s:@.only in expected: %s@.only in actual: %s" msg
+      (String.concat "; " (List.map Row.to_string only_e))
+      (String.concat "; " (List.map Row.to_string only_a))
+  end
+
+(* A deterministic workload driver: single-operation auto-committed
+   transactions against the routed schema version. *)
+type driver = {
+  db : Db.t;
+  rng : Random.State.t;
+  mutable next_r_key : int;
+  mutable next_s_key : int;
+  mutable ops_done : int;
+}
+
+let driver ?(seed = 42) db =
+  { db;
+    rng = Random.State.make [| seed |];
+    next_r_key = 1_000_000;
+    next_s_key = 1_000_000;
+    ops_done = 0 }
+
+let existing_key d table =
+  match Catalog.find_opt (Db.catalog d.db) table with
+  | None -> None
+  | Some tbl ->
+    let n = Table.cardinality tbl in
+    if n = 0 then None
+    else begin
+      let target = Random.State.int d.rng n in
+      let i = ref 0 in
+      let found = ref None in
+      (try
+         Table.iter tbl (fun key _ ->
+             if !i = target then begin
+               found := Some key;
+               raise Exit
+             end;
+             incr i)
+       with Exit -> ());
+      !found
+    end
+
+let run_txn d f =
+  let mgr = Db.manager d.db in
+  let txn = Manager.begin_txn mgr in
+  match f txn with
+  | Ok () ->
+    (match Manager.commit mgr txn with
+     | Ok () ->
+       d.ops_done <- d.ops_done + 1;
+       true
+     | Error _ ->
+       ignore (Manager.abort mgr txn);
+       false)
+  | Error _ ->
+    ignore (Manager.abort mgr txn);
+    false
+
+(* One random mutation against table R of the FOJ fixture. *)
+let random_r_op d =
+  let mgr = Db.manager d.db in
+  ignore
+    (run_txn d (fun txn ->
+         match Random.State.int d.rng 4 with
+         | 0 ->
+           d.next_r_key <- d.next_r_key + 1;
+           let c = Random.State.int d.rng 40 in
+           Manager.insert mgr ~txn ~table:"R"
+             (ri d.next_r_key ("u" ^ string_of_int d.next_r_key) c)
+         | 1 ->
+           (match existing_key d "R" with
+            | Some key -> Manager.delete mgr ~txn ~table:"R" ~key
+            | None -> Ok ())
+         | 2 ->
+           (* join-attribute update: the interesting rule 5 path *)
+           (match existing_key d "R" with
+            | Some key ->
+              Manager.update mgr ~txn ~table:"R" ~key
+                [ (2, Value.Int (Random.State.int d.rng 40)) ]
+            | None -> Ok ())
+         | _ ->
+           (match existing_key d "R" with
+            | Some key ->
+              Manager.update mgr ~txn ~table:"R" ~key
+                [ (1, Value.Text ("w" ^ string_of_int (Random.State.int d.rng 1000))) ]
+            | None -> Ok ())))
+
+let random_s_op d =
+  let mgr = Db.manager d.db in
+  ignore
+    (run_txn d (fun txn ->
+         match Random.State.int d.rng 4 with
+         | 0 ->
+           d.next_s_key <- d.next_s_key + 1;
+           Manager.insert mgr ~txn ~table:"S"
+             (si d.next_s_key ("v" ^ string_of_int d.next_s_key))
+         | 1 ->
+           (match existing_key d "S" with
+            | Some key -> Manager.delete mgr ~txn ~table:"S" ~key
+            | None -> Ok ())
+         | _ ->
+           (match existing_key d "S" with
+            | Some key ->
+              Manager.update mgr ~txn ~table:"S" ~key
+                [ (1, Value.Text ("z" ^ string_of_int (Random.State.int d.rng 1000))) ]
+            | None -> Ok ())))
+
+(* One random mutation against the flat T of the split fixture.
+   [consistent] keeps the c->d functional dependency intact by deriving
+   d from c. *)
+let city_of c = "city" ^ string_of_int c
+
+let random_t_op ?(consistent = true) d =
+  let mgr = Db.manager d.db in
+  ignore
+    (run_txn d (fun txn ->
+         match Random.State.int d.rng 4 with
+         | 0 ->
+           d.next_r_key <- d.next_r_key + 1;
+           let c = Random.State.int d.rng 40 in
+           let dv =
+             if consistent then city_of c
+             else "noise" ^ string_of_int (Random.State.int d.rng 1000)
+           in
+           Manager.insert mgr ~txn ~table:"T"
+             (ti d.next_r_key ("u" ^ string_of_int d.next_r_key) c dv)
+         | 1 ->
+           (match existing_key d "T" with
+            | Some key -> Manager.delete mgr ~txn ~table:"T" ~key
+            | None -> Ok ())
+         | 2 ->
+           (* split-attribute update, keeping or breaking the FD *)
+           (match existing_key d "T" with
+            | Some key ->
+              let c = Random.State.int d.rng 40 in
+              let changes =
+                if consistent then
+                  [ (2, Value.Int c); (3, Value.Text (city_of c)) ]
+                else [ (2, Value.Int c) ]
+              in
+              Manager.update mgr ~txn ~table:"T" ~key changes
+            | None -> Ok ())
+         | _ ->
+           (match existing_key d "T" with
+            | Some key ->
+              Manager.update mgr ~txn ~table:"T" ~key
+                [ (1, Value.Text ("w" ^ string_of_int (Random.State.int d.rng 1000))) ]
+            | None -> Ok ())))
+
+let seed_rows ~r ~s =
+  ( List.init r (fun i -> ri (i + 1) ("name" ^ string_of_int i) (i mod 17)),
+    List.init s (fun i -> si i ("d" ^ string_of_int i)) )
+
+let seed_t_rows ~n =
+  List.init n (fun i ->
+      let c = i mod 13 in
+      ti (i + 1) ("name" ^ string_of_int i) c (city_of c))

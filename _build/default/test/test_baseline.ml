@@ -1,0 +1,130 @@
+(* Tests for the comparators: blocking INSERT INTO ... SELECT and
+   trigger-based (Ronstrom-style) maintenance. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_baseline
+module H = Helpers
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Manager.pp_error e
+
+(* {1 Blocking INSERT INTO ... SELECT} *)
+
+let test_dump_foj_correct () =
+  let r_rows, s_rows = H.seed_rows ~r:40 ~s:15 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let oracle = H.foj_oracle db in
+  let dump = Insert_into_select.foj db H.foj_spec in
+  let steps = ref 0 in
+  while Insert_into_select.step dump ~limit:7 = `Running do incr steps done;
+  Alcotest.(check bool) "multiple steps" true (!steps > 3);
+  Alcotest.(check bool) "sources dropped" false (Catalog.mem (Db.catalog db) "R");
+  H.check_relations_equal "T = oracle" oracle (Db.snapshot db "T")
+
+let test_dump_split_correct () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:50) in
+  let t = Db.snapshot db "T" in
+  let expected_r, expected_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ]; s_key = [ "c" ] }
+      t
+  in
+  let dump = Insert_into_select.split db (H.split_spec ~assume_consistent:true) in
+  while Insert_into_select.step dump ~limit:16 = `Running do () done;
+  H.check_relations_equal "R" expected_r (Db.snapshot db "R");
+  H.check_relations_equal "S" expected_s (Db.snapshot db "S")
+
+let test_dump_blocks_writers () =
+  let r_rows, s_rows = H.seed_rows ~r:30 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let dump = Insert_into_select.foj db H.foj_spec in
+  ignore (Insert_into_select.step dump ~limit:5);
+  (* Mid-dump, the sources are latched: every write stalls. *)
+  let txn = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn ~table:"R"
+       ~key:(Row.make [ Value.Int 1 ])
+       [ (1, Value.Text "nope") ]
+   with
+   | Error (`Latched "R") -> ()
+   | _ -> Alcotest.fail "expected Latched");
+  ignore (Manager.abort mgr txn);
+  while Insert_into_select.step dump ~limit:50 = `Running do () done;
+  Alcotest.(check bool) "finished" true (Insert_into_select.finished dump)
+
+(* {1 Trigger-based maintenance} *)
+
+let test_trigger_keeps_t_fresh () =
+  let r_rows, s_rows = H.seed_rows ~r:30 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let tr = Trigger_method.install_foj db H.foj_spec in
+  (* Initial population is already there. *)
+  H.check_relations_equal "initial" (H.foj_oracle db) (Db.snapshot db "T");
+  (* Every user op is reflected synchronously. *)
+  let txn = Manager.begin_txn mgr in
+  ok "u" (Manager.update mgr ~txn ~table:"R"
+            ~key:(Row.make [ Value.Int 3 ]) [ (1, Value.Text "fresh") ]);
+  ok "i" (Manager.insert mgr ~txn ~table:"R" (H.ri 999 "brand-new" 4));
+  ok "d" (Manager.delete mgr ~txn ~table:"S" ~key:(Row.make [ Value.Int 2 ]));
+  ok "c" (Manager.commit mgr txn);
+  H.check_relations_equal "after ops" (H.foj_oracle db) (Db.snapshot db "T");
+  Alcotest.(check bool) "trigger work counted" true
+    (Trigger_method.triggered_ops tr > 0);
+  (* Uninstall stops maintenance. *)
+  Trigger_method.uninstall tr;
+  let txn = Manager.begin_txn mgr in
+  ok "u2" (Manager.update mgr ~txn ~table:"R"
+             ~key:(Row.make [ Value.Int 5 ]) [ (1, Value.Text "missed") ]);
+  ok "c2" (Manager.commit mgr txn);
+  Alcotest.(check bool) "now stale" false
+    (Nbsc_relalg.Relalg.equal_as_sets (H.foj_oracle db) (Db.snapshot db "T"))
+
+let test_trigger_split () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:40) in
+  let mgr = Db.manager db in
+  let _tr = Trigger_method.install_split db (H.split_spec ~assume_consistent:true) in
+  let txn = Manager.begin_txn mgr in
+  ok "u" (Manager.update mgr ~txn ~table:"T"
+            ~key:(Row.make [ Value.Int 7 ])
+            [ (2, Value.Int 3); (3, Value.Text (H.city_of 3)) ]);
+  ok "c" (Manager.commit mgr txn);
+  let t = Db.snapshot db "T" in
+  let expected_r, expected_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ]; s_key = [ "c" ] }
+      t
+  in
+  H.check_relations_equal "R fresh" expected_r (Db.snapshot db "R");
+  H.check_relations_equal "S fresh" expected_s (Db.snapshot db "S")
+
+let test_trigger_work_attribution () =
+  let r_rows, s_rows = H.seed_rows ~r:10 ~s:5 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let tr = Trigger_method.install_foj db H.foj_spec in
+  let txn = Manager.begin_txn mgr in
+  ok "u" (Manager.update mgr ~txn ~table:"R"
+            ~key:(Row.make [ Value.Int 1 ]) [ (1, Value.Text "w") ]);
+  Alcotest.(check bool) "last op did work" true (Trigger_method.last_op_work tr > 0);
+  ok "c" (Manager.commit mgr txn);
+  Trigger_method.uninstall tr
+
+let () =
+  Alcotest.run "baseline"
+    [ ( "insert-into-select",
+        [ Alcotest.test_case "FOJ correct" `Quick test_dump_foj_correct;
+          Alcotest.test_case "split correct" `Quick test_dump_split_correct;
+          Alcotest.test_case "blocks writers" `Quick test_dump_blocks_writers ] );
+      ( "triggers",
+        [ Alcotest.test_case "keeps T fresh" `Quick test_trigger_keeps_t_fresh;
+          Alcotest.test_case "split variant" `Quick test_trigger_split;
+          Alcotest.test_case "work attribution" `Quick
+            test_trigger_work_attribution ] ) ]

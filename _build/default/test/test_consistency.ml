@@ -1,0 +1,161 @@
+(* Tests for the consistency checker (paper Sec. 5.3): the CC-begin /
+   CC-ok protocol through the log, including invalidation by concurrent
+   updates between the two records. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+open Nbsc_core
+module H = Helpers
+
+(* A manual harness: catalog + split engine + checker + a hand-driven
+   propagator loop so tests control exactly when log records are
+   consumed. *)
+type h = {
+  catalog : Catalog.t;
+  t_tbl : Table.t;
+  sp : Split.t;
+  cc : Consistency.t;
+  log : Log.t;
+  cursor : Log.Cursor.t;
+  mutable lsn : int;
+}
+
+let setup ~t_rows =
+  let catalog = Catalog.create () in
+  let t_tbl = Catalog.create_table catalog ~name:"T" H.t_flat_schema in
+  List.iteri
+    (fun i row -> ignore (Table.insert t_tbl ~lsn:(Lsn.of_int (i + 1)) row))
+    t_rows;
+  let layout = Spec.split_layout catalog (H.split_spec ~assume_consistent:false) in
+  ignore (Catalog.create_table catalog ~name:"R" (Spec.split_r_schema layout));
+  ignore (Catalog.create_table catalog ~name:"S" (Spec.split_s_schema layout));
+  Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:[ "c" ];
+  let sp = Split.create catalog layout in
+  let pop = Population.split sp ~t_tbl in
+  while not (Population.step pop ~limit:max_int) do () done;
+  let log = Log.create () in
+  let cc = Consistency.create catalog sp ~log in
+  { catalog;
+    t_tbl;
+    sp;
+    cc;
+    log;
+    cursor = Log.Cursor.make log ~from:Lsn.first;
+    lsn = 1000 }
+
+(* Apply a T operation both to the source table and through the split
+   rules' log path, like the real engine + propagator would. *)
+let user_update h ~key ~changes ~before =
+  h.lsn <- h.lsn + 1;
+  let lsn = Lsn.of_int h.lsn in
+  ignore (Table.update h.t_tbl ~lsn ~key changes);
+  ignore
+    (Log.append h.log ~txn:1 ~prev_lsn:Lsn.zero
+       (Log_record.Op (Log_record.Update { table = "T"; key; changes; before })))
+
+(* Drain the propagator: consume every pending log record, dispatching
+   ops to the split rules and CC records to the checker. *)
+let drain h =
+  let continue = ref true in
+  while !continue do
+    match Log.Cursor.next h.cursor with
+    | None -> continue := false
+    | Some r ->
+      (match r.Log_record.body with
+       | Log_record.Op op ->
+         let touched = Split.apply h.sp ~lsn:r.Log_record.lsn op in
+         List.iter
+           (fun (table, key) ->
+              if String.equal table "S" then Consistency.note_touched h.cc key)
+           touched
+       | Log_record.Cc_begin { key; _ } -> Consistency.on_cc_begin h.cc key
+       | Log_record.Cc_ok { key; image; _ } ->
+         Consistency.on_cc_ok h.cc ~lsn:r.Log_record.lsn key image
+       | _ -> ())
+  done
+
+let skey c = Row.make [ Value.Int c ]
+
+let flag_of h c =
+  (Option.get (Table.find (Split.s_table h.sp) (skey c))).Record.flag
+
+let inconsistent_rows =
+  [ H.ti 1 "a" 10 "GOOD"; H.ti 2 "b" 10 "BAD"; H.ti 3 "c" 20 "Z" ]
+
+let test_disagree_then_repair () =
+  let h = setup ~t_rows:inconsistent_rows in
+  Alcotest.(check int) "one unknown" 1 (Split.unknown_count h.sp);
+  (* A check on inconsistent data refuses to confirm. *)
+  Alcotest.(check bool) "work done" true (Consistency.step h.cc);
+  drain h;
+  Alcotest.(check bool) "still U" true (flag_of h 10 = Record.Unknown);
+  Alcotest.(check int) "disagreed" 1 (Consistency.stats h.cc).Consistency.disagreed;
+  (* Repair through a user transaction, then check again. *)
+  user_update h ~key:(Row.make [ Value.Int 2 ])
+    ~changes:[ (3, Value.Text "GOOD") ]
+    ~before:[ (3, Value.Text "BAD") ];
+  drain h;
+  ignore (Consistency.step h.cc);  (* begin + read *)
+  ignore (Consistency.step h.cc);  (* cc-ok *)
+  drain h;
+  Alcotest.(check bool) "C after repair" true (flag_of h 10 = Record.Consistent);
+  Alcotest.(check int) "confirmed" 1 (Consistency.stats h.cc).Consistency.confirmed;
+  Alcotest.(check int) "no unknowns" 0 (Split.unknown_count h.sp);
+  (* The confirmed image is the agreed one. *)
+  let s = Option.get (Table.find (Split.s_table h.sp) (skey 10)) in
+  Alcotest.(check bool) "image installed" true
+    (Value.equal (Row.get s.Record.row 1) (Value.Text "GOOD"))
+
+let test_invalidation_between_begin_and_ok () =
+  let h = setup ~t_rows:[ H.ti 1 "a" 10 "GOOD"; H.ti 2 "b" 10 "BAD" ] in
+  (* Repair first so the group agrees... *)
+  user_update h ~key:(Row.make [ Value.Int 2 ])
+    ~changes:[ (3, Value.Text "GOOD") ]
+    ~before:[ (3, Value.Text "BAD") ];
+  drain h;
+  (* ...begin a check (reads the agreed image)... *)
+  ignore (Consistency.step h.cc);
+  (* ...but a user transaction touches the group between CC-begin and
+     CC-ok in the log. *)
+  user_update h ~key:(Row.make [ Value.Int 1 ])
+    ~changes:[ (3, Value.Text "NEWER") ]
+    ~before:[ (3, Value.Text "GOOD") ];
+  ignore (Consistency.step h.cc);  (* writes CC-ok *)
+  drain h;
+  Alcotest.(check int) "invalidated" 1
+    (Consistency.stats h.cc).Consistency.invalidated;
+  Alcotest.(check bool) "stays U" true (flag_of h 10 = Record.Unknown)
+
+let test_nothing_to_do () =
+  let h = setup ~t_rows:[ H.ti 1 "a" 10 "X" ] in
+  Alcotest.(check int) "no unknowns" 0 (Split.unknown_count h.sp);
+  Alcotest.(check bool) "idle" false (Consistency.step h.cc)
+
+let test_cc_records_in_log () =
+  let h = setup ~t_rows:inconsistent_rows in
+  user_update h ~key:(Row.make [ Value.Int 2 ])
+    ~changes:[ (3, Value.Text "GOOD") ]
+    ~before:[ (3, Value.Text "BAD") ];
+  ignore (Consistency.step h.cc);
+  ignore (Consistency.step h.cc);
+  let begins = ref 0 and oks = ref 0 in
+  Log.iter h.log (fun r ->
+      match r.Log_record.body with
+      | Log_record.Cc_begin _ -> incr begins
+      | Log_record.Cc_ok _ -> incr oks
+      | _ -> ());
+  Alcotest.(check int) "one begin" 1 !begins;
+  Alcotest.(check int) "one ok" 1 !oks
+
+let () =
+  Alcotest.run "consistency"
+    [ ( "checker",
+        [ Alcotest.test_case "disagree, repair, confirm" `Quick
+            test_disagree_then_repair;
+          Alcotest.test_case "invalidated by concurrent update" `Quick
+            test_invalidation_between_begin_and_ok;
+          Alcotest.test_case "idle when all consistent" `Quick
+            test_nothing_to_do;
+          Alcotest.test_case "protocol records in log" `Quick
+            test_cc_records_in_log ] ) ]

@@ -1,0 +1,356 @@
+(* Unit tests for the FOJ propagation rules (paper Rules 1-7), each
+   exercised against hand-built transformed-table states, plus the
+   idempotence property the paper proves ("a log record may be redone
+   multiple times"). *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+open Nbsc_core
+module H = Helpers
+module LR = Log_record
+
+(* Build a catalog with R and S loaded (directly, no txn machinery),
+   T prepared, and the initial image populated. *)
+let setup ~r_rows ~s_rows =
+  let catalog = Catalog.create () in
+  let r_tbl = Catalog.create_table catalog ~name:"R" H.r_schema in
+  let s_tbl = Catalog.create_table catalog ~name:"S" H.s_schema in
+  List.iteri
+    (fun i row -> ignore (Table.insert r_tbl ~lsn:(Lsn.of_int (i + 1)) row))
+    r_rows;
+  List.iteri
+    (fun i row -> ignore (Table.insert s_tbl ~lsn:(Lsn.of_int (100 + i)) row))
+    s_rows;
+  let layout = Spec.foj_layout catalog H.foj_spec in
+  ignore
+    (Catalog.create_table catalog
+       ~indexes:(Spec.foj_t_indexes layout)
+       ~name:"T" (Spec.foj_t_schema layout));
+  let fj = Foj.create catalog layout in
+  let pop = Population.foj fj ~r_tbl ~s_tbl in
+  while not (Population.step pop ~limit:max_int) do () done;
+  (catalog, fj)
+
+let t_rows catalog =
+  let t = Catalog.find catalog "T" in
+  Table.to_rows t |> List.sort Row.compare
+
+(* T row layout: (c, a, b, d). *)
+let trow c a b d =
+  Row.make
+    [ (match c with Some c -> Value.Int c | None -> Value.Null);
+      (match a with Some a -> Value.Int a | None -> Value.Null);
+      (match b with Some b -> Value.Text b | None -> Value.Null);
+      (match d with Some d -> Value.Text d | None -> Value.Null) ]
+
+let check_t catalog expected =
+  let actual = t_rows catalog in
+  let expected = List.sort Row.compare expected in
+  if
+    List.length actual <> List.length expected
+    || not (List.for_all2 Row.equal expected actual)
+  then
+    Alcotest.failf "T mismatch:@.expected: %s@.actual:   %s"
+      (String.concat "; " (List.map Row.to_string expected))
+      (String.concat "; " (List.map Row.to_string actual))
+
+let lsn99 = Lsn.of_int 9_999
+
+let apply fj op = ignore (Foj.apply fj ~lsn:lsn99 op)
+
+let ins_r a b c = LR.Insert { table = "R"; row = H.ri a b c }
+let ins_s c d = LR.Insert { table = "S"; row = H.si c d }
+
+let del_r a ~before =
+  LR.Delete { table = "R"; key = Row.make [ Value.Int a ]; before }
+
+let del_s c ~before =
+  LR.Delete { table = "S"; key = Row.make [ Value.Int c ]; before }
+
+let upd_r a changes before =
+  LR.Update { table = "R"; key = Row.make [ Value.Int a ]; changes; before }
+
+let upd_s c changes before =
+  LR.Update { table = "S"; key = Row.make [ Value.Int c ]; changes; before }
+
+(* {1 Rule 1: insert into R} *)
+
+let test_rule1_joins_existing_s () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (ins_r 2 "b" 10);
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") (Some "x");
+      trow (Some 10) (Some 2) (Some "b") (Some "x") ]
+
+let test_rule1_fills_snull_survivor () =
+  (* s{^20} has no match: it sits as t{^null}{_20}; a new R row with
+     join 20 must fill that record in place. *)
+  let catalog, fj = setup ~r_rows:[] ~s_rows:[ H.si 20 "y" ] in
+  check_t catalog [ trow (Some 20) None None (Some "y") ];
+  apply fj (ins_r 5 "e" 20);
+  check_t catalog [ trow (Some 20) (Some 5) (Some "e") (Some "y") ]
+
+let test_rule1_no_match () =
+  let catalog, fj = setup ~r_rows:[] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (ins_r 7 "g" 99);
+  check_t catalog
+    [ trow (Some 10) None None (Some "x");
+      trow (Some 99) (Some 7) (Some "g") None ]
+
+let test_rule1_null_join () =
+  let catalog, fj = setup ~r_rows:[] ~s_rows:[] in
+  apply fj (LR.Insert { table = "R"; row = Row.make [ Value.Int 3; Value.Text "n"; Value.Null ] });
+  check_t catalog [ trow None (Some 3) (Some "n") None ]
+
+let test_rule1_already_reflected () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  let before = t_rows catalog in
+  apply fj (ins_r 1 "a" 10);
+  Alcotest.(check bool) "unchanged" true (before = t_rows catalog);
+  Alcotest.(check bool) "counted as ignored" true ((Foj.stats fj).Foj.ignored >= 1)
+
+(* {1 Rule 2: insert into S} *)
+
+let test_rule2_fills_all_waiting_rs () =
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10; H.ri 3 "c" 11 ] ~s_rows:[]
+  in
+  apply fj (ins_s 10 "x");
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") (Some "x");
+      trow (Some 10) (Some 2) (Some "b") (Some "x");
+      trow (Some 11) (Some 3) (Some "c") None ]
+
+let test_rule2_unmatched_survives () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[] in
+  apply fj (ins_s 42 "z");
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") None;
+      trow (Some 42) None None (Some "z") ]
+
+let test_rule2_already_reflected () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  let before = t_rows catalog in
+  apply fj (ins_s 10 "x");
+  Alcotest.(check bool) "unchanged" true (before = t_rows catalog)
+
+(* {1 Rule 3: delete from R} *)
+
+let test_rule3_sole_carrier_preserves_s () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (del_r 1 ~before:(H.ri 1 "a" 10));
+  check_t catalog [ trow (Some 10) None None (Some "x") ]
+
+let test_rule3_other_carrier_keeps_s () =
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10 ] ~s_rows:[ H.si 10 "x" ]
+  in
+  apply fj (del_r 1 ~before:(H.ri 1 "a" 10));
+  check_t catalog [ trow (Some 10) (Some 2) (Some "b") (Some "x") ]
+
+let test_rule3_unmatched_r () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 99 ] ~s_rows:[] in
+  apply fj (del_r 1 ~before:(H.ri 1 "a" 99));
+  check_t catalog []
+
+let test_rule3_missing_ignored () =
+  let catalog, fj = setup ~r_rows:[] ~s_rows:[ H.si 10 "x" ] in
+  let before = t_rows catalog in
+  apply fj (del_r 7 ~before:(H.ri 7 "gone" 10));
+  Alcotest.(check bool) "unchanged" true (before = t_rows catalog)
+
+(* {1 Rule 4: delete from S} *)
+
+let test_rule4_strips_carriers_and_drops_survivor () =
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10 ] ~s_rows:[ H.si 10 "x"; H.si 20 "y" ]
+  in
+  apply fj (del_s 10 ~before:(H.si 10 "x"));
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") None;
+      trow (Some 10) (Some 2) (Some "b") None;
+      trow (Some 20) None None (Some "y") ];
+  (* And the unmatched survivor disappears when its S row goes. *)
+  apply fj (del_s 20 ~before:(H.si 20 "y"));
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") None;
+      trow (Some 10) (Some 2) (Some "b") None ]
+
+(* {1 Rule 5: update of R's join attribute} *)
+
+let test_rule5_move_to_other_s () =
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x"; H.si 20 "y" ]
+  in
+  apply fj (upd_r 1 [ (2, Value.Int 20) ] [ (2, Value.Int 10) ]);
+  check_t catalog
+    [ trow (Some 10) None None (Some "x");  (* s{^10} preserved *)
+      trow (Some 20) (Some 1) (Some "a") (Some "y") ]
+
+let test_rule5_fills_null_target () =
+  (* Moving onto a join value whose S part sits as t{^null}{_z}. *)
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10 ] ~s_rows:[ H.si 20 "y" ]
+  in
+  (* t{^null}{_20} exists; r{^1} moves from 10 to 20 and must merge. *)
+  apply fj (upd_r 1 [ (2, Value.Int 20) ] [ (2, Value.Int 10) ]);
+  check_t catalog
+    [ trow (Some 10) (Some 2) (Some "b") None;
+      trow (Some 20) (Some 1) (Some "a") (Some "y") ]
+
+let test_rule5_to_unmatched () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (upd_r 1 [ (2, Value.Int 77) ] [ (2, Value.Int 10) ]);
+  check_t catalog
+    [ trow (Some 10) None None (Some "x");
+      trow (Some 77) (Some 1) (Some "a") None ]
+
+let test_rule5_stale_ignored () =
+  (* T already shows join 20 (newer); a log record describing the move
+     10 -> 15 must be skipped (the w <> x check). *)
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 20 ] ~s_rows:[] in
+  apply fj (upd_r 1 [ (2, Value.Int 15) ] [ (2, Value.Int 10) ]);
+  check_t catalog [ trow (Some 20) (Some 1) (Some "a") None ]
+
+(* {1 Rule 6: update of S's join attribute} *)
+
+let test_rule6_move () =
+  let catalog, fj =
+    setup
+      ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10; H.ri 3 "c" 20 ]
+      ~s_rows:[ H.si 10 "x" ]
+  in
+  (* s{^10} moves to join 20: rows 1,2 lose their S part; row 3 gains it. *)
+  apply fj (upd_s 10 [ (0, Value.Int 20) ] [ (0, Value.Int 10) ]);
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") None;
+      trow (Some 10) (Some 2) (Some "b") None;
+      trow (Some 20) (Some 3) (Some "c") (Some "x") ]
+
+let test_rule6_to_unmatched () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (upd_s 10 [ (0, Value.Int 55) ] [ (0, Value.Int 10) ]);
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") None;
+      trow (Some 55) None None (Some "x") ]
+
+let test_rule6_missing_ignored () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[] in
+  let before = t_rows catalog in
+  apply fj (upd_s 42 [ (0, Value.Int 43) ] [ (0, Value.Int 42) ]);
+  Alcotest.(check bool) "unchanged" true (before = t_rows catalog)
+
+(* {1 Rule 7: other attributes} *)
+
+let test_rule7_r_side () =
+  let catalog, fj = setup ~r_rows:[ H.ri 1 "a" 10 ] ~s_rows:[ H.si 10 "x" ] in
+  apply fj (upd_r 1 [ (1, Value.Text "a2") ] [ (1, Value.Text "a") ]);
+  check_t catalog [ trow (Some 10) (Some 1) (Some "a2") (Some "x") ]
+
+let test_rule7_s_side_all_carriers () =
+  let catalog, fj =
+    setup ~r_rows:[ H.ri 1 "a" 10; H.ri 2 "b" 10 ] ~s_rows:[ H.si 10 "x" ]
+  in
+  apply fj (upd_s 10 [ (1, Value.Text "x2") ] [ (1, Value.Text "x") ]);
+  check_t catalog
+    [ trow (Some 10) (Some 1) (Some "a") (Some "x2");
+      trow (Some 10) (Some 2) (Some "b") (Some "x2") ]
+
+(* {1 Idempotence (the paper's "rules are idempotent")} *)
+
+let arb_scenario =
+  let open QCheck.Gen in
+  let r_row = map2 (fun a c -> H.ri a ("r" ^ string_of_int a) c)
+      (int_bound 8) (int_bound 5) in
+  let s_row = map (fun c -> H.si c ("s" ^ string_of_int c)) (int_bound 5) in
+  let dedup key_of rows =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun r ->
+         let k = key_of r in
+         if Hashtbl.mem seen k then false else (Hashtbl.add seen k (); true))
+      rows
+  in
+  let op =
+    oneof
+      [ map2 (fun a c -> ins_r a "new" c) (int_range 20 25) (int_bound 5);
+        map2 (fun c d -> ins_s c ("d" ^ string_of_int d)) (int_range 6 9) (int_bound 5);
+        map2 (fun a c -> del_r a ~before:(H.ri a "?" c)) (int_bound 8) (int_bound 5);
+        map2 (fun c d -> del_s c ~before:(H.si c ("s" ^ string_of_int d))) (int_bound 5) (int_bound 5);
+        map3 (fun a z x -> upd_r a [ (2, Value.Int z) ] [ (2, Value.Int x) ])
+          (int_bound 8) (int_bound 5) (int_bound 5);
+        map2 (fun c z -> upd_s c [ (0, Value.Int z) ] [ (0, Value.Int c) ])
+          (int_bound 5) (int_bound 5);
+        map (fun a -> upd_r a [ (1, Value.Text "upd") ] [ (1, Value.Text "?") ])
+          (int_bound 8);
+        map (fun c -> upd_s c [ (1, Value.Text "upd") ] [ (1, Value.Text "?") ])
+          (int_bound 5) ]
+  in
+  let* r_rows = list_size (int_bound 6) r_row in
+  let* s_rows = list_size (int_bound 4) s_row in
+  let* ops = list_size (int_range 1 6) op in
+  return
+    ( dedup (fun r -> Row.get r 0) r_rows,
+      dedup (fun r -> Row.get r 0) s_rows,
+      ops )
+
+let prop_rules_idempotent =
+  QCheck.Test.make ~name:"applying a rule twice = once" ~count:300
+    (QCheck.make arb_scenario)
+    (fun (r_rows, s_rows, ops) ->
+       let catalog, fj = setup ~r_rows ~s_rows in
+       List.for_all
+         (fun op ->
+            apply fj op;
+            let once = t_rows catalog in
+            apply fj op;
+            let twice = t_rows catalog in
+            List.length once = List.length twice
+            && List.for_all2 Row.equal once twice)
+         ops)
+
+let () =
+  Alcotest.run "foj_rules"
+    [ ( "rule1",
+        [ Alcotest.test_case "joins existing S" `Quick test_rule1_joins_existing_s;
+          Alcotest.test_case "fills S-null survivor" `Quick
+            test_rule1_fills_snull_survivor;
+          Alcotest.test_case "no match" `Quick test_rule1_no_match;
+          Alcotest.test_case "null join attribute" `Quick test_rule1_null_join;
+          Alcotest.test_case "already reflected" `Quick
+            test_rule1_already_reflected ] );
+      ( "rule2",
+        [ Alcotest.test_case "fills waiting R rows" `Quick
+            test_rule2_fills_all_waiting_rs;
+          Alcotest.test_case "unmatched survives" `Quick
+            test_rule2_unmatched_survives;
+          Alcotest.test_case "already reflected" `Quick
+            test_rule2_already_reflected ] );
+      ( "rule3",
+        [ Alcotest.test_case "sole carrier preserves S" `Quick
+            test_rule3_sole_carrier_preserves_s;
+          Alcotest.test_case "other carrier keeps S" `Quick
+            test_rule3_other_carrier_keeps_s;
+          Alcotest.test_case "unmatched R" `Quick test_rule3_unmatched_r;
+          Alcotest.test_case "missing ignored" `Quick test_rule3_missing_ignored ] );
+      ( "rule4",
+        [ Alcotest.test_case "strips carriers, drops survivor" `Quick
+            test_rule4_strips_carriers_and_drops_survivor ] );
+      ( "rule5",
+        [ Alcotest.test_case "move to other S" `Quick test_rule5_move_to_other_s;
+          Alcotest.test_case "fills null target" `Quick
+            test_rule5_fills_null_target;
+          Alcotest.test_case "move to unmatched" `Quick test_rule5_to_unmatched;
+          Alcotest.test_case "stale update ignored" `Quick
+            test_rule5_stale_ignored ] );
+      ( "rule6",
+        [ Alcotest.test_case "move" `Quick test_rule6_move;
+          Alcotest.test_case "to unmatched" `Quick test_rule6_to_unmatched;
+          Alcotest.test_case "missing ignored" `Quick test_rule6_missing_ignored ] );
+      ( "rule7",
+        [ Alcotest.test_case "R side" `Quick test_rule7_r_side;
+          Alcotest.test_case "S side, all carriers" `Quick
+            test_rule7_s_side_all_carriers ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_rules_idempotent ] ) ]

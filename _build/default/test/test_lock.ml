@@ -1,0 +1,269 @@
+(* Tests for the lock manager: compatibility (incl. the paper's
+   Figure 2 matrix), the record-lock table, atomic multi-acquisition,
+   and table latches. *)
+
+open Nbsc_value
+open Nbsc_lock
+
+let native m = { Compat.mode = m; provenance = Compat.Native }
+let source i m = { Compat.mode = m; provenance = Compat.Source i }
+let k i = Row.make [ Value.Int i ]
+
+(* {1 Compatibility} *)
+
+let test_standard_matrix () =
+  Alcotest.(check bool) "S/S" true (Compat.standard Compat.S Compat.S);
+  Alcotest.(check bool) "S/X" false (Compat.standard Compat.S Compat.X);
+  Alcotest.(check bool) "X/S" false (Compat.standard Compat.X Compat.S);
+  Alcotest.(check bool) "X/X" false (Compat.standard Compat.X Compat.X)
+
+let test_figure2_exact () =
+  (* Row-major matrix as printed in the paper. *)
+  let expected =
+    [ [ true; true; true; true; true; false ];
+      [ true; true; true; true; true; false ];
+      [ true; true; true; false; false; false ];
+      [ true; true; false; true; true; false ];
+      [ true; true; false; true; true; false ];
+      [ false; false; false; false; false; false ] ]
+  in
+  Alcotest.(check bool) "all 36 cells" true (Compat.figure2_cells () = expected)
+
+let test_figure2_symmetric () =
+  let cells = Compat.figure2_cells () in
+  List.iteri
+    (fun i row ->
+       List.iteri
+         (fun j cell ->
+            Alcotest.(check bool)
+              (Printf.sprintf "cell %d,%d symmetric" i j)
+              cell
+              (List.nth (List.nth cells j) i))
+         row)
+    cells
+
+let test_transferred_always_compatible () =
+  (* Locks transferred from different sources never conflict, whatever
+     their modes — their conflicts were resolved at the source. *)
+  List.iter
+    (fun (a, b) ->
+       Alcotest.(check bool) "source vs source" true (Compat.compatible a b))
+    [ (source 0 Compat.X, source 1 Compat.X);
+      (source 0 Compat.X, source 0 Compat.X);
+      (source 1 Compat.S, source 0 Compat.X);
+      (source 5 Compat.X, source 9 Compat.X) ]
+
+(* {1 Lock table} *)
+
+let test_grant_conflict () =
+  let t = Lock_table.create () in
+  Alcotest.(check bool) "first X granted" true
+    (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X)
+     = Lock_table.Granted);
+  (match Lock_table.acquire t ~owner:2 ~table:"a" ~key:(k 1) (native Compat.X) with
+   | Lock_table.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "expected Blocked [1]");
+  (* Different key, no conflict. *)
+  Alcotest.(check bool) "other key" true
+    (Lock_table.acquire t ~owner:2 ~table:"a" ~key:(k 2) (native Compat.X)
+     = Lock_table.Granted);
+  (* Different table, same key, no conflict. *)
+  Alcotest.(check bool) "other table" true
+    (Lock_table.acquire t ~owner:2 ~table:"b" ~key:(k 1) (native Compat.X)
+     = Lock_table.Granted)
+
+let test_shared_then_upgrade () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.S));
+  ignore (Lock_table.acquire t ~owner:2 ~table:"a" ~key:(k 1) (native Compat.S));
+  (* Upgrade blocked by the other reader. *)
+  (match Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X) with
+   | Lock_table.Blocked [ 2 ] -> ()
+   | _ -> Alcotest.fail "upgrade should block on owner 2");
+  Lock_table.release t ~owner:2 ~table:"a" ~key:(k 1);
+  Alcotest.(check bool) "upgrade after release" true
+    (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X)
+     = Lock_table.Granted);
+  Alcotest.(check bool) "holds X" true
+    (Lock_table.holds t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X));
+  Alcotest.(check bool) "X implies S" true
+    (Lock_table.holds t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.S))
+
+let test_reentrant () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X));
+  Alcotest.(check bool) "re-acquire X" true
+    (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X)
+     = Lock_table.Granted);
+  Alcotest.(check bool) "weaker S is no-op" true
+    (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.S)
+     = Lock_table.Granted);
+  Alcotest.(check int) "one lock" 1 (Lock_table.count t)
+
+let test_release_owner () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X));
+  ignore (Lock_table.acquire t ~owner:1 ~table:"b" ~key:(k 2) (native Compat.S));
+  ignore (Lock_table.acquire t ~owner:2 ~table:"a" ~key:(k 3) (native Compat.X));
+  Lock_table.release_owner t ~owner:1;
+  Alcotest.(check int) "only owner 2 left" 1 (Lock_table.count t);
+  Alcotest.(check (list string)) "owner 1 has nothing" []
+    (List.map (fun (t, _, _) -> t) (Lock_table.locks_of_owner t ~owner:1))
+
+let test_release_owner_where () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"T" ~key:(k 1) (source 0 Compat.X));
+  ignore (Lock_table.acquire t ~owner:1 ~table:"R" ~key:(k 1) (native Compat.X));
+  (* Release only the transferred lock on T (what the propagator does on
+     a commit record). *)
+  Lock_table.release_owner_where t ~owner:1 (fun ~table ~lock ->
+      table = "T" && lock.Compat.provenance <> Compat.Native);
+  Alcotest.(check int) "native lock survives" 1 (Lock_table.count t);
+  Alcotest.(check bool) "still holds R lock" true
+    (Lock_table.holds t ~owner:1 ~table:"R" ~key:(k 1) (native Compat.X));
+  (* The bookkeeping still releases the remaining lock wholesale. *)
+  Lock_table.release_owner t ~owner:1;
+  Alcotest.(check int) "empty" 0 (Lock_table.count t)
+
+let test_transfer_unconditional () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"T" ~key:(k 1) (native Compat.X));
+  (* A transfer succeeds even against a conflicting native lock. *)
+  Lock_table.transfer t ~owner:2 ~table:"T" ~key:(k 1) (source 0 Compat.X);
+  Alcotest.(check int) "both present" 2
+    (List.length (Lock_table.holders t ~table:"T" ~key:(k 1)))
+
+let test_figure2_through_table () =
+  (* End-to-end through the lock table: transferred locks from R and S
+     coexist on the same T record; a native writer is shut out until
+     they are released. *)
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"T" ~key:(k 9) (source 0 Compat.X));
+  Alcotest.(check bool) "S-transferred write joins" true
+    (Lock_table.acquire t ~owner:2 ~table:"T" ~key:(k 9) (source 1 Compat.X)
+     = Lock_table.Granted);
+  (match Lock_table.acquire t ~owner:3 ~table:"T" ~key:(k 9) (native Compat.S) with
+   | Lock_table.Blocked owners ->
+     Alcotest.(check (list int)) "blocked by both" [ 1; 2 ]
+       (List.sort compare owners)
+   | Lock_table.Granted -> Alcotest.fail "native read must block");
+  Lock_table.release_owner t ~owner:1;
+  Lock_table.release_owner t ~owner:2;
+  Alcotest.(check bool) "native read after releases" true
+    (Lock_table.acquire t ~owner:3 ~table:"T" ~key:(k 9) (native Compat.S)
+     = Lock_table.Granted)
+
+let test_acquire_all_atomic () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:9 ~table:"b" ~key:(k 2) (native Compat.X));
+  let requests =
+    [ { Lock_table_many.table = "a"; key = k 1; lock = native Compat.X };
+      { Lock_table_many.table = "b"; key = k 2; lock = native Compat.X } ]
+  in
+  (match Lock_table_many.acquire_all t ~owner:1 requests with
+   | Lock_table.Blocked [ 9 ] -> ()
+   | _ -> Alcotest.fail "expected Blocked [9]");
+  (* Nothing was granted — atomicity. *)
+  Alcotest.(check (list string)) "no partial grant" []
+    (List.map (fun (t, _, _) -> t) (Lock_table.locks_of_owner t ~owner:1));
+  Lock_table.release_owner t ~owner:9;
+  Alcotest.(check bool) "now granted" true
+    (Lock_table_many.acquire_all t ~owner:1 requests = Lock_table.Granted);
+  Alcotest.(check int) "both held" 2
+    (List.length (Lock_table.locks_of_owner t ~owner:1))
+
+let test_locked_resources () =
+  let t = Lock_table.create () in
+  ignore (Lock_table.acquire t ~owner:1 ~table:"a" ~key:(k 1) (native Compat.X));
+  ignore (Lock_table.acquire t ~owner:2 ~table:"a" ~key:(k 2) (native Compat.S));
+  ignore (Lock_table.acquire t ~owner:3 ~table:"b" ~key:(k 3) (native Compat.X));
+  Alcotest.(check int) "two on a" 2
+    (List.length (Lock_table.locked_resources t ~table:"a"));
+  Alcotest.(check int) "one on b" 1
+    (List.length (Lock_table.locked_resources t ~table:"b"))
+
+(* {1 Latches} *)
+
+let test_latches () =
+  let t = Latch.create () in
+  Alcotest.(check bool) "acquire" true (Latch.try_latch t ~holder:1 ~table:"x");
+  Alcotest.(check bool) "reentrant" true (Latch.try_latch t ~holder:1 ~table:"x");
+  Alcotest.(check bool) "other holder fails" false
+    (Latch.try_latch t ~holder:2 ~table:"x");
+  Alcotest.(check bool) "latched" true (Latch.is_latched t ~table:"x");
+  Alcotest.(check bool) "holder" true (Latch.latched_by t ~table:"x" = Some 1);
+  Alcotest.(check (list string)) "tables of holder" [ "x" ]
+    (Latch.latched_tables t ~holder:1);
+  Latch.unlatch t ~holder:1 ~table:"x";
+  Alcotest.(check bool) "free again" true (Latch.try_latch t ~holder:2 ~table:"x");
+  Alcotest.check_raises "wrong holder unlatch" (Invalid_argument "")
+    (fun () ->
+       try Latch.unlatch t ~holder:1 ~table:"x"
+       with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* {1 Properties} *)
+
+let arb_lock =
+  QCheck.make
+    QCheck.Gen.(
+      map2
+        (fun m p ->
+           { Compat.mode = (if m then Compat.S else Compat.X);
+             provenance = (match p with 0 -> Compat.Native | i -> Compat.Source i) })
+        bool (int_bound 3))
+
+let prop_compat_symmetric =
+  QCheck.Test.make ~name:"compatibility is symmetric" ~count:500
+    (QCheck.pair arb_lock arb_lock)
+    (fun (a, b) -> Compat.compatible a b = Compat.compatible b a)
+
+let prop_acquire_release_invariant =
+  (* After any sequence of acquires and releases, count equals the
+     number of (owner, resource, provenance) triples still held. *)
+  QCheck.Test.make ~name:"lock count is consistent" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 60)
+              (triple (int_bound 4) (int_bound 6) bool))
+    (fun ops ->
+       let t = Lock_table.create () in
+       let held = Hashtbl.create 16 in
+       List.iter
+         (fun (owner, key_i, is_release) ->
+            let key = k key_i in
+            if is_release then begin
+              Lock_table.release t ~owner ~table:"t" ~key;
+              Hashtbl.remove held (owner, key_i)
+            end
+            else
+              match
+                Lock_table.acquire t ~owner ~table:"t" ~key (native Compat.X)
+              with
+              | Lock_table.Granted -> Hashtbl.replace held (owner, key_i) ()
+              | Lock_table.Blocked _ -> ())
+         ops;
+       Lock_table.count t = Hashtbl.length held)
+
+let () =
+  Alcotest.run "lock"
+    [ ( "compat",
+        [ Alcotest.test_case "standard S/X" `Quick test_standard_matrix;
+          Alcotest.test_case "figure 2 exact" `Quick test_figure2_exact;
+          Alcotest.test_case "figure 2 symmetric" `Quick test_figure2_symmetric;
+          Alcotest.test_case "transferred compatible" `Quick
+            test_transferred_always_compatible ] );
+      ( "table",
+        [ Alcotest.test_case "grant and conflict" `Quick test_grant_conflict;
+          Alcotest.test_case "shared + upgrade" `Quick test_shared_then_upgrade;
+          Alcotest.test_case "reentrant" `Quick test_reentrant;
+          Alcotest.test_case "release owner" `Quick test_release_owner;
+          Alcotest.test_case "selective release" `Quick test_release_owner_where;
+          Alcotest.test_case "unconditional transfer" `Quick
+            test_transfer_unconditional;
+          Alcotest.test_case "figure 2 end-to-end" `Quick
+            test_figure2_through_table;
+          Alcotest.test_case "atomic multi-acquire" `Quick
+            test_acquire_all_atomic;
+          Alcotest.test_case "locked resources" `Quick test_locked_resources ] );
+      ("latch", [ Alcotest.test_case "latches" `Quick test_latches ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compat_symmetric; prop_acquire_release_invariant ] ) ]

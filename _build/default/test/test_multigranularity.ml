@@ -1,0 +1,145 @@
+(* Tests for the multigranularity extension of the Figure 2 matrix. *)
+
+open Nbsc_lock
+open Multigranularity
+
+let g m p = { gmode = m; gprovenance = p }
+let native m = g m Compat.Native
+let src i m = g m (Compat.Source i)
+
+let test_standard_matrix () =
+  (* The textbook 5x5 intent matrix. *)
+  let expected =
+    [ (IS, IS, true); (IS, IX, true); (IS, S, true); (IS, SIX, true);
+      (IS, X, false);
+      (IX, IS, true); (IX, IX, true); (IX, S, false); (IX, SIX, false);
+      (IX, X, false);
+      (S, IS, true); (S, IX, false); (S, S, true); (S, SIX, false);
+      (S, X, false);
+      (SIX, IS, true); (SIX, IX, false); (SIX, S, false); (SIX, SIX, false);
+      (SIX, X, false);
+      (X, IS, false); (X, IX, false); (X, S, false); (X, SIX, false);
+      (X, X, false) ]
+  in
+  List.iter
+    (fun (a, b, want) ->
+       Alcotest.(check bool)
+         (Format.asprintf "%a/%a" pp_mode a pp_mode b)
+         want (standard a b))
+    expected
+
+let test_implied_intents () =
+  Alcotest.(check bool) "S -> IS" true (implied_intent Compat.S = IS);
+  Alcotest.(check bool) "X -> IX" true (implied_intent Compat.X = IX)
+
+let test_figure2_principle_lifted () =
+  (* Transferred locks never conflict with each other... *)
+  Alcotest.(check bool) "src X / src X" true (compatible (src 0 X) (src 1 X));
+  Alcotest.(check bool) "src SIX / src IX" true
+    (compatible (src 0 SIX) (src 0 IX));
+  (* ...native vs transferred only when both are read-only... *)
+  Alcotest.(check bool) "native IS / src S" true
+    (compatible (native IS) (src 0 S));
+  Alcotest.(check bool) "native S / src IX" false
+    (compatible (native S) (src 0 IX));
+  Alcotest.(check bool) "native IX / src IS" false
+    (compatible (native IX) (src 0 IS));
+  (* ...and native vs native is the standard matrix. *)
+  Alcotest.(check bool) "native IX / native IX" true
+    (compatible (native IX) (native IX));
+  Alcotest.(check bool) "native S / native IX" false
+    (compatible (native S) (native IX))
+
+let test_matrix_properties () =
+  let cells = matrix () in
+  Alcotest.(check int) "225 cells" 225 (List.length cells);
+  (* Symmetry. *)
+  List.iter
+    (fun (a, b, c) ->
+       Alcotest.(check bool) "symmetric" c (compatible b a);
+       ignore (a, b))
+    cells;
+  (* Restriction of the lifted matrix to {S_record -> S, X_record -> X}
+     with no intents degenerates to the original Figure 2. *)
+  let base m = function
+    | Compat.Native -> native (match m with Compat.S -> S | Compat.X -> X)
+    | p -> g (match m with Compat.S -> S | Compat.X -> X) p
+  in
+  List.iter
+    (fun held ->
+       List.iter
+         (fun req ->
+            let lifted =
+              compatible
+                (base held.Compat.mode held.Compat.provenance)
+                (base req.Compat.mode req.Compat.provenance)
+            in
+            Alcotest.(check bool) "agrees with record-level Fig. 2"
+              (Compat.compatible held req) lifted)
+         Compat.figure2_order)
+    Compat.figure2_order
+
+let test_table_locks_basic () =
+  let t = Table_locks.create () in
+  Alcotest.(check bool) "IX granted" true
+    (Table_locks.acquire t ~owner:1 ~table:"a" (native IX) = Table_locks.Granted);
+  Alcotest.(check bool) "second IX granted" true
+    (Table_locks.acquire t ~owner:2 ~table:"a" (native IX) = Table_locks.Granted);
+  (match Table_locks.acquire t ~owner:3 ~table:"a" (native S) with
+   | Table_locks.Blocked owners ->
+     Alcotest.(check (list int)) "S blocked by both" [ 1; 2 ]
+       (List.sort compare owners)
+   | Table_locks.Granted -> Alcotest.fail "table scan must block on IX");
+  Table_locks.release_owner t ~owner:1;
+  Table_locks.release_owner t ~owner:2;
+  Alcotest.(check bool) "S after release" true
+    (Table_locks.acquire t ~owner:3 ~table:"a" (native S) = Table_locks.Granted)
+
+let test_table_locks_upgrade () =
+  let t = Table_locks.create () in
+  ignore (Table_locks.acquire t ~owner:1 ~table:"a" (native S));
+  (* S + IX = SIX on re-acquisition. *)
+  Alcotest.(check bool) "upgrade granted" true
+    (Table_locks.acquire t ~owner:1 ~table:"a" (native IX) = Table_locks.Granted);
+  (match Table_locks.holders t ~table:"a" with
+   | [ (1, { gmode = SIX; _ }) ] -> ()
+   | _ -> Alcotest.fail "expected a single SIX lock");
+  (* SIX blocks another reader's IS? No: SIX/IS is compatible. *)
+  Alcotest.(check bool) "IS joins SIX" true
+    (Table_locks.acquire t ~owner:2 ~table:"a" (native IS) = Table_locks.Granted);
+  (* but another S is blocked. *)
+  (match Table_locks.acquire t ~owner:3 ~table:"a" (native S) with
+   | Table_locks.Blocked [ 1 ] -> ()
+   | _ -> Alcotest.fail "S vs SIX must block")
+
+let test_transferred_table_locks () =
+  (* During non-blocking commit, intents transferred from R and S
+     coexist on T even at table granularity; a native table scan waits. *)
+  let t = Table_locks.create () in
+  ignore (Table_locks.acquire t ~owner:1 ~table:"T" (src 0 IX));
+  Alcotest.(check bool) "both sources" true
+    (Table_locks.acquire t ~owner:2 ~table:"T" (src 1 IX) = Table_locks.Granted);
+  (match Table_locks.acquire t ~owner:3 ~table:"T" (native S) with
+   | Table_locks.Blocked owners ->
+     Alcotest.(check int) "blocked" 2 (List.length owners)
+   | Table_locks.Granted -> Alcotest.fail "scan must wait");
+  (* Even a native read intent waits: the transferred locks are write
+     intents. *)
+  (match Table_locks.acquire t ~owner:3 ~table:"T" (native IS) with
+   | Table_locks.Blocked _ -> ()
+   | Table_locks.Granted -> Alcotest.fail "native IS must wait on source IX")
+
+let () =
+  Alcotest.run "multigranularity"
+    [ ( "matrix",
+        [ Alcotest.test_case "standard 5x5" `Quick test_standard_matrix;
+          Alcotest.test_case "implied intents" `Quick test_implied_intents;
+          Alcotest.test_case "figure 2 lifted" `Quick
+            test_figure2_principle_lifted;
+          Alcotest.test_case "structural properties" `Quick
+            test_matrix_properties ] );
+      ( "table locks",
+        [ Alcotest.test_case "basics" `Quick test_table_locks_basic;
+          Alcotest.test_case "upgrade to SIX" `Quick test_table_locks_upgrade;
+          Alcotest.test_case "transferred intents" `Quick
+            test_transferred_table_locks ] ) ]

@@ -1,0 +1,140 @@
+(* Tests for ordered (range) indexes: the index itself, table
+   integration, snapshot persistence, and the SQL range path. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+module H = Helpers
+
+let schema = H.r_schema
+let row a b c = Row.make [ Value.Int a; Value.Text b; Value.Int c ]
+let k i = Row.make [ Value.Int i ]
+
+let mk_table n =
+  let t = Table.create ~name:"t" schema in
+  for i = 1 to n do
+    ignore (Table.insert t ~lsn:(Lsn.of_int i) (row i "x" (i mod 10)))
+  done;
+  Table.add_ordered_index t ~name:"by_c" ~columns:[ "c" ];
+  t
+
+let test_range_basics () =
+  let t = mk_table 30 in
+  let between lo hi = Table.ordered_range t ~index:"by_c" ~lo ~hi () in
+  (* c values are i mod 10 over 1..30: three keys per c value. *)
+  Alcotest.(check int) "closed range [3,5]" 9
+    (List.length (between (k 3, true) (k 5, true)));
+  Alcotest.(check int) "open range (3,5)" 3
+    (List.length (between (k 3, false) (k 5, false)));
+  Alcotest.(check int) "unbounded low" 12
+    (List.length (Table.ordered_range t ~index:"by_c" ~hi:(k 3, true) ()));
+  Alcotest.(check int) "unbounded high" 9
+    (List.length (Table.ordered_range t ~index:"by_c" ~lo:(k 7, true) ()));
+  Alcotest.(check int) "full" 30
+    (List.length (Table.ordered_range t ~index:"by_c" ()));
+  Alcotest.(check int) "empty range" 0
+    (List.length (between (k 100, true) (k 200, true)))
+
+let test_maintained_on_mutation () =
+  let t = mk_table 10 in
+  ignore (Table.update t ~lsn:(Lsn.of_int 99) ~key:(k 1) [ (2, Value.Int 42) ]);
+  ignore (Table.delete t ~key:(k 2));
+  let hits = Table.ordered_range t ~index:"by_c" ~lo:(k 42, true) ~hi:(k 42, true) () in
+  Alcotest.(check int) "moved to 42" 1 (List.length hits);
+  let at2 = Table.ordered_range t ~index:"by_c" ~lo:(k 2, true) ~hi:(k 2, true) () in
+  Alcotest.(check int) "deleted gone" 0 (List.length at2)
+
+let test_snapshot_persists_ordered () =
+  let db = Nbsc_engine.Db.create () in
+  let t = Nbsc_engine.Db.create_table db ~name:"t" schema in
+  ignore (Nbsc_engine.Db.load db ~table:"t" [ row 1 "a" 5; row 2 "b" 6 ]);
+  Table.add_ordered_index t ~name:"by_c" ~columns:[ "c" ];
+  match Nbsc_engine.Snapshot.save db with
+  | Error _ -> Alcotest.fail "save"
+  | Ok lines ->
+    (match Nbsc_engine.Snapshot.load lines with
+     | Error _ -> Alcotest.fail "load"
+     | Ok db' ->
+       let t' = Nbsc_engine.Db.table db' "t" in
+       Alcotest.(check bool) "definition restored" true
+         (Table.ordered_index_definitions t' = [ ("by_c", [ "c" ]) ]);
+       Alcotest.(check int) "works" 1
+         (List.length
+            (Table.ordered_range t' ~index:"by_c" ~lo:(k 6, true) ~hi:(k 6, true) ())))
+
+let test_sql_create_index_and_ranges () =
+  let s = Nbsc_sql.Exec.create (Nbsc_engine.Db.create ()) in
+  let run input =
+    match Nbsc_sql.Exec.exec_string s input with
+    | Ok outs -> outs
+    | Error m -> Alcotest.failf "exec %S: %s" input m
+  in
+  let rows_of = function
+    | Nbsc_sql.Exec.Rows { rows; _ } -> rows
+    | Nbsc_sql.Exec.Message m -> Alcotest.failf "expected rows, got %S" m
+  in
+  ignore
+    (run
+       "CREATE TABLE t (a INT NOT NULL, b TEXT, c INT, PRIMARY KEY (a)); \
+        CREATE INDEX by_c ON t (c);");
+  ignore
+    (run
+       "INSERT INTO t VALUES (1,'p',10), (2,'q',20), (3,'r',30), (4,'s',40), (5,'t',50);");
+  let count input =
+    match run input with
+    | [ out ] -> List.length (rows_of out)
+    | _ -> Alcotest.fail "one result"
+  in
+  (* Same answers with and without an exploitable index shape. *)
+  Alcotest.(check int) "range" 3 (count "SELECT * FROM t WHERE c >= 20 AND c <= 40");
+  Alcotest.(check int) "half open" 2 (count "SELECT * FROM t WHERE c > 30");
+  Alcotest.(check int) "eq via index" 1 (count "SELECT * FROM t WHERE c = 20");
+  Alcotest.(check int) "range + residual filter" 1
+    (count "SELECT * FROM t WHERE c >= 20 AND c <= 40 AND b = 'q'");
+  Alcotest.(check int) "or falls back to scan" 2
+    (count "SELECT * FROM t WHERE c = 10 OR c = 50");
+  (* UPDATE/DELETE through the range path. *)
+  (match run "DELETE FROM t WHERE c >= 40" with
+   | [ Nbsc_sql.Exec.Message m ] ->
+     Alcotest.(check string) "deleted two" "2 row(s) deleted" m
+   | _ -> Alcotest.fail "message");
+  Alcotest.(check int) "remaining" 3 (count "SELECT * FROM t")
+
+(* Property: range results always agree with a filter scan. *)
+let prop_range_agrees_with_scan =
+  QCheck.Test.make ~name:"ordered range = scan filter" ~count:200
+    QCheck.(triple (list_of_size Gen.(int_bound 40) (int_bound 20))
+              (int_bound 20) (int_bound 20))
+    (fun (cs, lo, hi) ->
+       let t = Table.create ~name:"t" schema in
+       List.iteri
+         (fun i c -> ignore (Table.insert t ~lsn:(Lsn.of_int (i + 1)) (row i "x" c)))
+         cs;
+       Table.add_ordered_index t ~name:"by_c" ~columns:[ "c" ];
+       let got =
+         Table.ordered_range t ~index:"by_c" ~lo:(k lo, true) ~hi:(k hi, true) ()
+         |> List.sort Row.Key.compare
+       in
+       let want =
+         Table.fold t ~init:[] ~f:(fun acc key r ->
+             match Row.get r.Record.row 2 with
+             | Value.Int c when c >= lo && c <= hi -> key :: acc
+             | _ -> acc)
+         |> List.sort Row.Key.compare
+       in
+       List.length got = List.length want
+       && List.for_all2 Row.Key.equal got want)
+
+let () =
+  Alcotest.run "ordered_index"
+    [ ( "index",
+        [ Alcotest.test_case "range basics" `Quick test_range_basics;
+          Alcotest.test_case "maintained on mutation" `Quick
+            test_maintained_on_mutation;
+          Alcotest.test_case "snapshot persistence" `Quick
+            test_snapshot_persists_ordered ] );
+      ( "sql",
+        [ Alcotest.test_case "CREATE INDEX + ranges" `Quick
+            test_sql_create_index_and_ranges ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_range_agrees_with_scan ] ) ]

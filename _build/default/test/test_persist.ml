@@ -1,0 +1,209 @@
+(* Tests for the durable database directory: journaling, crash
+   recovery from snapshot + WAL, checkpoint truncation. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+module H = Helpers
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Manager.pp_error e
+
+let ok_p name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Persist.pp_error e
+
+let counter = ref 0
+
+(* No unix dependency: uniqueness from a counter + random suffix. *)
+let fresh_dir () =
+  incr counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nbsc_test_%d_%d" !counter (Random.int 1_000_000))
+
+let wipe dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let setup_orders p =
+  let db = Persist.db p in
+  ignore (Db.create_table db ~name:"t" H.r_schema);
+  (* Persist the DDL. *)
+  ok_p "checkpoint" (Persist.checkpoint p)
+
+let insert p a b c =
+  let db = Persist.db p in
+  let txn = Manager.begin_txn (Db.manager db) in
+  ok "insert" (Manager.insert (Db.manager db) ~txn ~table:"t" (H.ri a b c));
+  ok "commit" (Manager.commit (Db.manager db) txn)
+
+let rows p =
+  Table.fold (Db.table (Persist.db p) "t") ~init:[] ~f:(fun acc _ r ->
+      r.Record.row :: acc)
+  |> List.sort Row.compare
+
+let test_journal_and_reopen () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  insert p 1 "a" 10;
+  insert p 2 "b" 20;
+  let before = rows p in
+  Persist.close p;
+  (* Reopen: committed work survives via the WAL (no checkpoint since
+     the inserts). *)
+  let p2 = ok_p "open" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "rows survived" true (rows p2 = before);
+  (* And new work keeps journaling. *)
+  insert p2 3 "c" 30;
+  Persist.close p2;
+  let p3 = ok_p "open again" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "three rows" 3 (List.length (rows p3));
+  Persist.close p3;
+  wipe dir
+
+let test_crash_rolls_back_losers () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  insert p 1 "a" 10;
+  (* A transaction left in flight: simulate a crash by NOT committing
+     and not closing cleanly (the WAL has its ops, no Commit). *)
+  let db = Persist.db p in
+  let txn = Manager.begin_txn (Db.manager db) in
+  ok "ghost insert" (Manager.insert (Db.manager db) ~txn ~table:"t" (H.ri 99 "ghost" 1));
+  ok "ghost update"
+    (Manager.update (Db.manager db) ~txn ~table:"t"
+       ~key:(Row.make [ Value.Int 1 ]) [ (1, Value.Text "ghost") ]);
+  (* crash: abandon p without close/commit *)
+  let p2 = ok_p "open after crash" (Persist.open_dir ~dir) in
+  (match Persist.last_recovery p2 with
+   | Some report ->
+     Alcotest.(check int) "one loser" 1 (List.length report.Recovery.losers)
+   | None -> Alcotest.fail "expected recovery to run");
+  let got = rows p2 in
+  Alcotest.(check int) "ghost insert gone" 1 (List.length got);
+  Alcotest.(check bool) "ghost update undone" true
+    (Row.equal (List.hd got) (H.ri 1 "a" 10));
+  Persist.close p2;
+  wipe dir
+
+let test_checkpoint_truncates () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  for i = 1 to 50 do
+    insert p i "x" i
+  done;
+  let wal = Filename.concat dir "wal.nbsc" in
+  let size_before = (Stdlib.open_in wal |> fun ic -> let n = in_channel_length ic in close_in ic; n) in
+  Alcotest.(check bool) "wal grew" true (size_before > 0);
+  ok_p "checkpoint" (Persist.checkpoint p);
+  let size_after = (Stdlib.open_in wal |> fun ic -> let n = in_channel_length ic in close_in ic; n) in
+  Alcotest.(check int) "wal truncated" 0 size_after;
+  (* State survives reopen through the snapshot alone. *)
+  Persist.close p;
+  let p2 = ok_p "open" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "all rows" 50 (List.length (rows p2));
+  (* LSN continuity: an update after reopen is strictly newer. *)
+  insert p2 77 "post" 7;
+  Persist.close p2;
+  let p3 = ok_p "open again" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "51 rows" 51 (List.length (rows p3));
+  Persist.close p3;
+  wipe dir
+
+let test_create_refuses_existing () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  Persist.close p;
+  (match Persist.create_dir ~dir with
+   | Error (`Io _) -> ()
+   | _ -> Alcotest.fail "expected refusal");
+  wipe dir
+
+let test_corrupt_wal_detected () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  insert p 1 "a" 1;
+  Persist.close p;
+  let oc = open_out_gen [ Open_append ] 0o644 (Filename.concat dir "wal.nbsc") in
+  output_string oc "garbage line\n";
+  close_out oc;
+  (match Persist.open_dir ~dir with
+   | Error (`Corrupt _) -> ()
+   | _ -> Alcotest.fail "expected Corrupt");
+  wipe dir
+
+(* Property: for a random history of committed transactions plus a
+   random in-flight tail at the "crash", reopening yields exactly the
+   committed state. *)
+let prop_reopen_equals_committed =
+  QCheck.Test.make ~name:"reopen = committed prefix" ~count:25
+    QCheck.(pair (list_of_size Gen.(int_range 1 12)
+                    (triple (int_bound 10) (int_bound 2) bool))
+              (list_of_size Gen.(int_bound 5) (pair (int_bound 10) (int_bound 2))))
+    (fun (committed_ops, tail_ops) ->
+       let dir = fresh_dir () in
+       let p = match Persist.create_dir ~dir with
+         | Ok p -> p
+         | Error _ -> QCheck.Test.fail_report "create_dir failed"
+       in
+       setup_orders p;
+       let mgr = Db.manager (Persist.db p) in
+       let run_op txn (a, action) =
+         ignore
+           (match action with
+            | 0 -> Manager.insert mgr ~txn ~table:"t" (H.ri a "v" a)
+            | 1 ->
+              Manager.update mgr ~txn ~table:"t"
+                ~key:(Row.make [ Value.Int a ]) [ (1, Value.Text "u") ]
+            | _ ->
+              Manager.delete mgr ~txn ~table:"t"
+                ~key:(Row.make [ Value.Int a ]))
+       in
+       List.iter
+         (fun (a, action, commit) ->
+            let txn = Manager.begin_txn mgr in
+            run_op txn (a, action);
+            ignore
+              (if commit then Manager.commit mgr txn
+               else Manager.abort mgr txn))
+         committed_ops;
+       let committed_image = rows p in
+       (* The crash tail: one transaction that never finishes. *)
+       (if tail_ops <> [] then begin
+          let txn = Manager.begin_txn mgr in
+          List.iter (run_op txn) tail_ops
+        end);
+       (* Crash: abandon without closing. *)
+       let p2 = match Persist.open_dir ~dir with
+         | Ok p2 -> p2
+         | Error _ -> QCheck.Test.fail_report "open_dir failed"
+       in
+       let got = rows p2 in
+       Persist.close p2;
+       wipe dir;
+       List.length got = List.length committed_image
+       && List.for_all2 Row.equal got committed_image)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "persist"
+    [ ( "persist",
+        [ Alcotest.test_case "journal and reopen" `Quick test_journal_and_reopen;
+          Alcotest.test_case "crash rolls back losers" `Quick
+            test_crash_rolls_back_losers;
+          Alcotest.test_case "checkpoint truncates" `Quick
+            test_checkpoint_truncates;
+          Alcotest.test_case "create refuses existing" `Quick
+            test_create_refuses_existing;
+          Alcotest.test_case "corrupt wal detected" `Quick
+            test_corrupt_wal_detected ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_reopen_equals_committed ] ) ]

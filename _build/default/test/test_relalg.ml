@@ -1,0 +1,231 @@
+(* Tests of the relational-algebra oracle: FOJ and split semantics. *)
+
+open Nbsc_value
+open Nbsc_relalg
+module H = Helpers
+
+let rel schema rows = Relalg.make schema rows
+
+let foj_spec =
+  { Relalg.r_join = [ "c" ];
+    s_join = [ "c" ];
+    out_join = [ "c" ];
+    r_cols = [ "a"; "b" ];
+    s_cols = [ "d" ];
+    out_key = [ "a" ] }
+
+let split_spec =
+  { Relalg.r_cols' = [ "a"; "b"; "c" ];
+    s_cols' = [ "c"; "d" ];
+    r_key = [ "a" ];
+    s_key = [ "c" ] }
+
+let test_foj_basic () =
+  let r = rel H.r_schema [ H.ri 1 "John" 10; H.ri 2 "Karen" 30; H.ri 3 "Mary" 10 ] in
+  let s = rel H.s_schema [ H.si 10 "x"; H.si 20 "y" ] in
+  let t = Relalg.full_outer_join foj_spec r s in
+  Alcotest.(check int) "4 rows" 4 (List.length t.Relalg.rows);
+  let expected =
+    [ Row.make [ Value.Int 10; Value.Int 1; Value.Text "John"; Value.Text "x" ];
+      Row.make [ Value.Int 30; Value.Int 2; Value.Text "Karen"; Value.Null ];
+      Row.make [ Value.Int 10; Value.Int 3; Value.Text "Mary"; Value.Text "x" ];
+      Row.make [ Value.Int 20; Value.Null; Value.Null; Value.Text "y" ] ]
+  in
+  H.check_relations_equal "foj" (Relalg.make t.Relalg.schema expected) t
+
+let test_foj_empty_sides () =
+  let empty_r = rel H.r_schema [] in
+  let empty_s = rel H.s_schema [] in
+  let r = rel H.r_schema [ H.ri 1 "a" 5 ] in
+  let s = rel H.s_schema [ H.si 5 "d" ] in
+  Alcotest.(check int) "both empty" 0
+    (List.length (Relalg.full_outer_join foj_spec empty_r empty_s).Relalg.rows);
+  Alcotest.(check int) "left only" 1
+    (List.length (Relalg.full_outer_join foj_spec r empty_s).Relalg.rows);
+  Alcotest.(check int) "right only" 1
+    (List.length (Relalg.full_outer_join foj_spec empty_r s).Relalg.rows)
+
+let test_foj_null_join_never_matches () =
+  let r = rel H.r_schema [ Row.make [ Value.Int 1; Value.Text "a"; Value.Null ] ] in
+  let s = rel H.s_schema [ Row.make [ Value.Null; Value.Text "d" ] ] in
+  let t = Relalg.full_outer_join foj_spec r s in
+  (* Both survive unmatched: NULL is not equal to NULL in a join. *)
+  Alcotest.(check int) "two padded rows" 2 (List.length t.Relalg.rows)
+
+let test_foj_many_to_many () =
+  (* Two R rows share join 10 and S is keyed so duplicates can share a
+     join value too. *)
+  let s2_schema =
+    Schema.make ~key:[ "k" ]
+      [ Schema.column ~nullable:false "k" Value.TInt;
+        Schema.column "c" Value.TInt; Schema.column "d" Value.TText ]
+  in
+  let r = rel H.r_schema [ H.ri 1 "a" 10; H.ri 2 "b" 10 ] in
+  let s =
+    rel s2_schema
+      [ Row.make [ Value.Int 100; Value.Int 10; Value.Text "p" ];
+        Row.make [ Value.Int 200; Value.Int 10; Value.Text "q" ] ]
+  in
+  let spec =
+    { Relalg.r_join = [ "c" ];
+      s_join = [ "c" ];
+      out_join = [ "c" ];
+      r_cols = [ "a"; "b" ];
+      s_cols = [ "k"; "d" ];
+      out_key = [ "a"; "k" ] }
+  in
+  let t = Relalg.full_outer_join spec r s in
+  Alcotest.(check int) "cross product on join value" 4
+    (List.length t.Relalg.rows)
+
+let test_split_basic () =
+  let t =
+    rel H.t_flat_schema
+      [ H.ti 1 "Peter" 7050 "Trondheim";
+        H.ti 2 "Mark" 5020 "Bergen";
+        H.ti 134 "Jen" 7050 "Trondheim" ]
+  in
+  let r, s = Relalg.split split_spec t in
+  Alcotest.(check int) "R keeps every row" 3 (List.length r.Relalg.rows);
+  Alcotest.(check int) "S deduplicates" 2 (List.length s.Relalg.rows)
+
+let test_split_consistency_check () =
+  let consistent =
+    rel H.t_flat_schema
+      [ H.ti 1 "P" 1 "A"; H.ti 2 "Q" 1 "A"; H.ti 3 "R" 2 "B" ]
+  in
+  let inconsistent =
+    rel H.t_flat_schema [ H.ti 1 "P" 1 "A"; H.ti 2 "Q" 1 "DIFFERENT" ]
+  in
+  Alcotest.(check bool) "fd holds" true
+    (Relalg.split_consistent split_spec consistent);
+  Alcotest.(check bool) "fd violated" false
+    (Relalg.split_consistent split_spec inconsistent)
+
+let test_split_multiplicity () =
+  let t =
+    rel H.t_flat_schema
+      [ H.ti 1 "a" 7 "x"; H.ti 2 "b" 7 "x"; H.ti 3 "c" 7 "x"; H.ti 4 "d" 9 "y" ]
+  in
+  let m = Relalg.split_multiplicity split_spec t in
+  Alcotest.(check int) "two groups" 2 (List.length m);
+  let counts = List.map snd m in
+  Alcotest.(check bool) "counts 3 and 1" true
+    (List.sort compare counts = [ 1; 3 ])
+
+let test_project_dedup () =
+  let t = rel H.t_flat_schema [ H.ti 1 "a" 7 "x"; H.ti 2 "b" 7 "x" ] in
+  let p = Relalg.project t [ "c"; "d" ] ~key:[ "c" ] in
+  Alcotest.(check int) "set semantics" 1 (List.length p.Relalg.rows)
+
+let test_select () =
+  let t = rel H.t_flat_schema [ H.ti 1 "a" 7 "x"; H.ti 2 "b" 9 "y" ] in
+  let f = Relalg.select t (fun row -> Value.equal (Row.get row 2) (Value.Int 7)) in
+  Alcotest.(check int) "filtered" 1 (List.length f.Relalg.rows)
+
+(* Property: our oracle FOJ agrees with a naive nested-loop definition. *)
+let naive_foj r_rows s_rows =
+  let join_matches rrow srow = Value.equal (Row.get rrow 2) (Row.get srow 0) in
+  let left =
+    List.concat_map
+      (fun rrow ->
+         let ms = List.filter (join_matches rrow) s_rows in
+         if Value.is_null (Row.get rrow 2) || ms = [] then
+           [ Row.make
+               [ Row.get rrow 2; Row.get rrow 0; Row.get rrow 1; Value.Null ] ]
+         else
+           List.map
+             (fun srow ->
+                Row.make
+                  [ Row.get rrow 2; Row.get rrow 0; Row.get rrow 1;
+                    Row.get srow 1 ])
+             ms)
+      r_rows
+  in
+  let right =
+    List.filter_map
+      (fun srow ->
+         let matched =
+           (not (Value.is_null (Row.get srow 0)))
+           && List.exists (fun rrow -> join_matches rrow srow) r_rows
+         in
+         if matched then None
+         else
+           Some (Row.make [ Row.get srow 0; Value.Null; Value.Null; Row.get srow 1 ]))
+      s_rows
+  in
+  left @ right
+
+let arb_tables =
+  let gen =
+    QCheck.Gen.(
+      let* nr = int_bound 15 in
+      let* ns = int_bound 10 in
+      let r_rows =
+        List.init nr (fun i -> i)
+        |> List.map (fun i ->
+            map (fun c -> H.ri (i + 1) ("r" ^ string_of_int i) c) (int_bound 6))
+      in
+      let s_rows =
+        List.init ns (fun i -> i)
+        |> List.map (fun i ->
+            map (fun d -> H.si i ("s" ^ string_of_int d)) (int_bound 100))
+      in
+      let* r = flatten_l r_rows in
+      let* s = flatten_l s_rows in
+      return (r, s))
+  in
+  QCheck.make gen
+
+let prop_foj_matches_naive =
+  QCheck.Test.make ~name:"oracle FOJ = naive nested loop" ~count:200 arb_tables
+    (fun (r_rows, s_rows) ->
+       let oracle =
+         Relalg.full_outer_join foj_spec (rel H.r_schema r_rows)
+           (rel H.s_schema s_rows)
+       in
+       let naive = naive_foj r_rows s_rows in
+       Relalg.equal_as_sets oracle (Relalg.make oracle.Relalg.schema naive))
+
+let prop_split_preserves_r =
+  QCheck.Test.make ~name:"split keeps one R row per T row" ~count:200
+    QCheck.(list_of_size Gen.(int_bound 20)
+              (map (fun (a, c) -> H.ti a ("n" ^ string_of_int a) c (H.city_of c))
+                 (pair small_nat (int_bound 5))))
+    (fun rows ->
+       (* Dedup keys to make a legal table. *)
+       let seen = Hashtbl.create 16 in
+       let rows =
+         List.filter
+           (fun row ->
+              let k = Row.get row 0 in
+              if Hashtbl.mem seen k then false
+              else begin
+                Hashtbl.add seen k ();
+                true
+              end)
+           rows
+       in
+       let t = rel H.t_flat_schema rows in
+       let r, s = Relalg.split split_spec t in
+       List.length r.Relalg.rows = List.length rows
+       && List.length s.Relalg.rows <= List.length rows)
+
+let () =
+  Alcotest.run "relalg"
+    [ ( "foj",
+        [ Alcotest.test_case "basic" `Quick test_foj_basic;
+          Alcotest.test_case "empty sides" `Quick test_foj_empty_sides;
+          Alcotest.test_case "null join" `Quick test_foj_null_join_never_matches;
+          Alcotest.test_case "many to many" `Quick test_foj_many_to_many ] );
+      ( "split",
+        [ Alcotest.test_case "basic" `Quick test_split_basic;
+          Alcotest.test_case "consistency check" `Quick
+            test_split_consistency_check;
+          Alcotest.test_case "multiplicity" `Quick test_split_multiplicity ] );
+      ( "other",
+        [ Alcotest.test_case "project dedup" `Quick test_project_dedup;
+          Alcotest.test_case "select" `Quick test_select ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_foj_matches_naive; prop_split_preserves_r ] ) ]

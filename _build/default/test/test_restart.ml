@@ -1,0 +1,230 @@
+(* Failure injection around the transformation: a crash mid-flight
+   loses the transformed tables but never user data (the framework's
+   writes are unlogged by design — DESIGN.md, faithfulness note 4), and
+   the transformation is simply restarted. Also the paper's closing
+   remark that repeated splits build many-to-many normalizations. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+module H = Helpers
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Manager.pp_error e
+
+let cfg =
+  { Transform.default_config with
+    Transform.scan_batch = 7;
+    propagate_batch = 5;
+    drop_sources = false }
+
+let test_crash_mid_transformation_then_restart () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:60) in
+  let d = H.driver ~seed:13 db in
+  (* Run a split halfway, with concurrent traffic. *)
+  let tf = Transform.split db ~config:cfg (H.split_spec ~assume_consistent:true) in
+  for _ = 1 to 12 do
+    ignore (Transform.step tf);
+    H.random_t_op ~consistent:true d
+  done;
+  Alcotest.(check bool) "still mid-flight" true
+    (Transform.phase tf <> Transform.Done);
+  (* CRASH: recover user tables from the log alone. The framework's
+     writes to R and S were never logged, so recovery only knows T. *)
+  let recovered_cat, report =
+    Recovery.recover
+      ~table_defs:[ Recovery.table_def "T" H.t_flat_schema ]
+      (Db.log db)
+  in
+  Alcotest.(check bool) "losers possible but T recovered" true
+    (Catalog.mem recovered_cat "T");
+  ignore report;
+  let db' = Db.of_parts recovered_cat ~log:(Nbsc_wal.Log.create ~base:(Nbsc_wal.Log.head (Db.log db)) ()) in
+  (* T equals the committed live T (all driver txns were committed). *)
+  H.check_relations_equal "T recovered" (Db.snapshot db "T") (Db.snapshot db' "T");
+  (* Restart the transformation from scratch on the recovered db and
+     drive it to completion with fresh traffic. *)
+  let d' = H.driver ~seed:14 db' in
+  let tf' = Transform.split db' ~config:cfg (H.split_spec ~assume_consistent:true) in
+  let budget = ref 60 in
+  (match
+     Transform.run tf' ~between:(fun () ->
+         if !budget > 0 then begin
+           decr budget;
+           H.random_t_op ~consistent:true d'
+         end)
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let want_r, want_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ]; s_key = [ "c" ] }
+      (Db.snapshot db' "T")
+  in
+  H.check_relations_equal "restarted split R" want_r (Db.snapshot db' "R");
+  H.check_relations_equal "restarted split S" want_s (Db.snapshot db' "S")
+
+(* The paper's conclusion: "the split framework is able to split one
+   source table into a many-to-many relationship by repeating splits."
+   enrollment(student, course, student_name, course_title) is
+   normalized in two online steps:
+     split on student -> enrollment'(student, course) + student(...)
+     split on course  -> enrollment''(student, course) + course(...)   *)
+let test_repeated_splits_normalize_m2m () =
+  let db = Db.create () in
+  let col = Schema.column in
+  ignore
+    (Db.create_table db ~name:"enrollment"
+       (Schema.make
+          ~key:[ "student"; "course" ]
+          [ col ~nullable:false "student" Value.TInt;
+            col ~nullable:false "course" Value.TInt;
+            col "student_name" Value.TText;
+            col "course_title" Value.TText ]));
+  let rows =
+    List.concat_map
+      (fun s ->
+         List.filter_map
+           (fun c ->
+              if (s + c) mod 3 = 0 then None
+              else
+                Some
+                  (Row.make
+                     [ Value.Int s; Value.Int c;
+                       Value.Text (Printf.sprintf "student-%d" s);
+                       Value.Text (Printf.sprintf "course-%d" c) ]))
+           [ 0; 1; 2; 3; 4 ])
+      (List.init 20 Fun.id)
+  in
+  ok "load" (Db.load db ~table:"enrollment" rows);
+  let d_rng = Random.State.make [| 3 |] in
+  let mutate () =
+    (* FD-preserving rename: every enrollment row of the student gets
+       the same new name, in one transaction. *)
+    let mgr = Db.manager db in
+    if Catalog.mem (Db.catalog db) "enrollment" then begin
+      let s = Random.State.int d_rng 20 in
+      let name = Value.Text (Printf.sprintf "student-%d-r%d" s (Random.State.int d_rng 100)) in
+      let txn = Manager.begin_txn mgr in
+      let all_ok =
+        List.for_all
+          (fun c ->
+             match
+               Manager.update mgr ~txn ~table:"enrollment"
+                 ~key:(Row.make [ Value.Int s; Value.Int c ])
+                 [ (2, name) ]
+             with
+             | Ok () | Error `Not_found -> true
+             | Error _ -> false)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      if all_ok then ignore (Manager.commit mgr txn)
+      else ignore (Manager.abort mgr txn)
+    end
+  in
+  (* Step 1: extract the student dimension. *)
+  let tf1 =
+    Transform.split db ~config:cfg
+      { Spec.t_table' = "enrollment";
+        r_table' = "enrollment1";
+        s_table' = "student";
+        r_cols = [ "student"; "course"; "course_title" ];
+        s_cols = [ "student"; "student_name" ];
+        split_key = [ "student" ];
+        assume_consistent = true }
+  in
+  let budget = ref 40 in
+  (match
+     Transform.run tf1 ~between:(fun () ->
+         if !budget > 0 then begin
+           decr budget;
+           mutate ()
+         end)
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (* Step 2: extract the course dimension from the intermediate. *)
+  let tf2 =
+    Transform.split db ~config:cfg
+      { Spec.t_table' = "enrollment1";
+        r_table' = "enrollment2";
+        s_table' = "course";
+        r_cols = [ "student"; "course" ];
+        s_cols = [ "course"; "course_title" ];
+        split_key = [ "course" ];
+        assume_consistent = true }
+  in
+  (match Transform.run tf2 with Ok () -> () | Error m -> Alcotest.fail m);
+  (* The end state is the classic normalized trio. *)
+  let base = Db.snapshot db "enrollment" in
+  let want_link =
+    Nbsc_relalg.Relalg.project base [ "student"; "course" ]
+      ~key:[ "student"; "course" ]
+  in
+  let want_students =
+    Nbsc_relalg.Relalg.project base [ "student"; "student_name" ]
+      ~key:[ "student" ]
+  in
+  let want_courses =
+    Nbsc_relalg.Relalg.project base [ "course"; "course_title" ]
+      ~key:[ "course" ]
+  in
+  H.check_relations_equal "link table" want_link (Db.snapshot db "enrollment2");
+  H.check_relations_equal "student table" want_students
+    (Db.snapshot db "student");
+  H.check_relations_equal "course table" want_courses (Db.snapshot db "course");
+  (* And re-joining the three reproduces the original (round trip via
+     two FOJ transformations). *)
+  let tf3 =
+    Transform.foj db ~config:cfg
+      { Spec.r_table = "enrollment2";
+        s_table = "student";
+        t_table = "with_names";
+        join_r = [ "student" ];
+        join_s = [ "student" ];
+        t_join = [ "student" ];
+        r_carry = [ "course" ];
+        s_carry = [ "student_name" ];
+        many_to_many = true }
+  in
+  (match Transform.run tf3 with Ok () -> () | Error m -> Alcotest.fail m);
+  let tf4 =
+    Transform.foj db ~config:cfg
+      { Spec.r_table = "with_names";
+        s_table = "course";
+        t_table = "denormalized";
+        join_r = [ "course" ];
+        join_s = [ "course" ];
+        t_join = [ "course" ];
+        r_carry = [ "student"; "student_name" ];
+        s_carry = [ "course_title" ];
+        many_to_many = true }
+  in
+  (match Transform.run tf4 with Ok () -> () | Error m -> Alcotest.fail m);
+  (* Compare as sets of (student, course, name, title). *)
+  let normalize rel cols key = Nbsc_relalg.Relalg.project rel cols ~key in
+  let want =
+    normalize base
+      [ "student"; "course"; "student_name"; "course_title" ]
+      [ "student"; "course" ]
+  in
+  let got =
+    normalize
+      (Db.snapshot db "denormalized")
+      [ "student"; "course"; "student_name"; "course_title" ]
+      [ "student"; "course" ]
+  in
+  H.check_relations_equal "round trip" want got
+
+let () =
+  Alcotest.run "restart"
+    [ ( "failure injection",
+        [ Alcotest.test_case "crash mid-transformation, restart" `Quick
+            test_crash_mid_transformation_then_restart ] );
+      ( "composition",
+        [ Alcotest.test_case "repeated splits build a normalized m2m" `Quick
+            test_repeated_splits_normalize_m2m ] ) ]

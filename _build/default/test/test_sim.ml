@@ -1,0 +1,154 @@
+(* Tests for the simulator and metrics: determinism, workload scaling,
+   the priority knob, and the experiment plumbing. *)
+
+open Nbsc_core
+open Nbsc_sim
+
+let workload ?(n = 4) ?(seed = 5) ?(share = 0.2) () =
+  { Sim.n_clients = n;
+    think_time = 5_000;
+    ops_per_txn = 10;
+    source_share = share;
+    seed }
+
+let split_kind = Sim.Split_scenario { t_rows = 500; assume_consistent = true }
+
+let tf_config ~gate =
+  { Transform.scan_batch = 16;
+    propagate_batch = 32;
+    analysis = Analysis.Remaining_records 8;
+    strategy = Transform.Nonblocking_abort;
+    drop_sources = false;
+    sync_gate = (fun () -> gate) }
+
+let run ?(background = Sim.No_background) ?(duration = 120_000) ?(warmup = 10_000)
+    ?(wl = workload ()) () =
+  Sim.run ~kind:split_kind ~workload:wl ~background ~duration ~warmup ()
+
+let test_deterministic () =
+  let r1 = run () and r2 = run () in
+  Alcotest.(check int) "same committed" r1.Sim.summary.Metrics.committed
+    r2.Sim.summary.Metrics.committed;
+  Alcotest.(check (float 0.0001)) "same mean rt"
+    r1.Sim.summary.Metrics.mean_response r2.Sim.summary.Metrics.mean_response
+
+let test_seed_changes_runs () =
+  let r1 = run () and r2 = run ~wl:(workload ~seed:6 ()) () in
+  Alcotest.(check bool) "different runs" true
+    (r1.Sim.summary.Metrics.mean_response
+     <> r2.Sim.summary.Metrics.mean_response
+     || r1.Sim.summary.Metrics.committed <> r2.Sim.summary.Metrics.committed)
+
+let test_more_clients_more_throughput () =
+  let r1 = run ~wl:(workload ~n:2 ()) () in
+  let r2 = run ~wl:(workload ~n:6 ()) () in
+  Alcotest.(check bool) "throughput grows" true
+    (r2.Sim.summary.Metrics.throughput > r1.Sim.summary.Metrics.throughput)
+
+let test_transformation_completes () =
+  let background =
+    Sim.Transformation { Sim.priority = 0.2; config = tf_config ~gate:true }
+  in
+  let r = run ~background ~duration:400_000 () in
+  Alcotest.(check bool) "completed" true (r.Sim.tf_done_at <> None);
+  Alcotest.(check bool) "did work" true (r.Sim.tf_busy > 0);
+  (match r.Sim.tf_final_phase with
+   | Some Transform.Done -> ()
+   | p ->
+     Alcotest.failf "phase %s"
+       (match p with
+        | Some p -> Format.asprintf "%a" Transform.pp_phase p
+        | None -> "none"))
+
+let test_zero_priority_never_completes () =
+  let background =
+    Sim.Transformation { Sim.priority = 0.0; config = tf_config ~gate:true }
+  in
+  let r = run ~background () in
+  Alcotest.(check bool) "not completed" true (r.Sim.tf_done_at = None)
+
+let test_higher_priority_faster () =
+  let time p =
+    let background =
+      Sim.Transformation { Sim.priority = p; config = tf_config ~gate:true }
+    in
+    match (run ~background ~duration:1_000_000 ()).Sim.tf_done_at with
+    | Some t -> t
+    | None -> max_int
+  in
+  let slow = time 0.05 and fast = time 0.4 in
+  Alcotest.(check bool) "0.4 beats 0.05" true (fast < slow);
+  Alcotest.(check bool) "both finished" true (slow < max_int)
+
+let test_clients_for_workload () =
+  let n50 = Sim.clients_for_workload 50. in
+  let n100 = Sim.clients_for_workload 100. in
+  Alcotest.(check bool) "monotone" true (n100 > n50);
+  Alcotest.(check bool) "at least 1" true (Sim.clients_for_workload 1. >= 1);
+  Alcotest.(check bool) "roughly double" true
+    (abs ((2 * n50) - n100) <= 1)
+
+let test_metrics_relative () =
+  let s = Metrics.create () in
+  Metrics.record_txn s ~start:0 ~finish:100;
+  Metrics.record_txn s ~start:50 ~finish:250;
+  Metrics.record_abort s;
+  let sum = Metrics.summarize s ~window:1000 in
+  Alcotest.(check int) "committed" 2 sum.Metrics.committed;
+  Alcotest.(check int) "aborted" 1 sum.Metrics.aborted;
+  Alcotest.(check (float 0.001)) "throughput per kilotick" 2.0 sum.Metrics.throughput;
+  Alcotest.(check (float 0.001)) "mean" 150.0 sum.Metrics.mean_response;
+  Alcotest.(check int) "max" 200 sum.Metrics.max_response;
+  let rel =
+    Metrics.relative ~baseline:sum
+      ~loaded:{ sum with Metrics.throughput = 1.8; mean_response = 180. }
+  in
+  Alcotest.(check (float 0.001)) "rel tput" 0.9 rel.Metrics.rel_throughput;
+  Alcotest.(check (float 0.001)) "rel rt" 1.2 rel.Metrics.rel_response
+
+let test_sync_window_report () =
+  let setup =
+    { Experiment.quick_setup with Experiment.scale = 400; duration = 60_000;
+      warmup = 5_000 }
+  in
+  let r = Experiment.sync_window ~setup ~strategy:Transform.Nonblocking_abort () in
+  Alcotest.(check string) "strategy name" "non-blocking-abort"
+    r.Experiment.strategy_name;
+  Alcotest.(check bool) "tiny final iteration" true (r.Experiment.final_records < 64)
+
+let test_method_comparison_rows () =
+  (* Big enough that the blocking dump's latch window overlaps client
+     activity. *)
+  let setup =
+    { Experiment.quick_setup with Experiment.scale = 8_000; duration = 120_000;
+      warmup = 5_000 }
+  in
+  let rows = Experiment.method_comparison ~setup ~workload_pct:75. () in
+  Alcotest.(check int) "three methods" 3 (List.length rows);
+  let blocking = List.nth rows 1 in
+  Alcotest.(check bool) "blocking dump finished" true
+    (blocking.Experiment.m_done_at <> None);
+  Alcotest.(check bool) "blocking stalled someone" true
+    (blocking.Experiment.m_retries > 0)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "engine",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_runs;
+          Alcotest.test_case "clients scale throughput" `Quick
+            test_more_clients_more_throughput ] );
+      ( "background",
+        [ Alcotest.test_case "transformation completes" `Quick
+            test_transformation_completes;
+          Alcotest.test_case "zero priority starves" `Quick
+            test_zero_priority_never_completes;
+          Alcotest.test_case "priority speeds completion" `Quick
+            test_higher_priority_faster ] );
+      ( "experiment",
+        [ Alcotest.test_case "clients_for_workload" `Quick
+            test_clients_for_workload;
+          Alcotest.test_case "metrics math" `Quick test_metrics_relative;
+          Alcotest.test_case "sync window report" `Quick test_sync_window_report;
+          Alcotest.test_case "method comparison" `Quick
+            test_method_comparison_rows ] ) ]

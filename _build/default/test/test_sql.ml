@@ -1,0 +1,279 @@
+(* Tests for the SQL front end: lexer, parser, executor, and the
+   TRANSFORM statement family. *)
+
+open Nbsc_value
+open Nbsc_engine
+open Nbsc_sql
+
+let parse_ok input =
+  match Parser.parse input with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "parse %S: %s" input m
+
+let parse_err input =
+  match Parser.parse input with
+  | Ok _ -> Alcotest.failf "parse %S should fail" input
+  | Error _ -> ()
+
+(* {1 Lexer} *)
+
+let test_lexer_basics () =
+  (match Lexer.tokenize "SELECT * FROM t WHERE a >= 10;" with
+   | Ok toks -> Alcotest.(check int) "token count" 10 (List.length toks)
+   | Error m -> Alcotest.fail m);
+  (match Lexer.tokenize "'it''s'" with
+   | Ok [ Lexer.String s; Lexer.Eof ] ->
+     Alcotest.(check string) "quote escape" "it's" s
+   | _ -> Alcotest.fail "string escape");
+  (match Lexer.tokenize "x -- comment\ny" with
+   | Ok [ Lexer.Ident "x"; Lexer.Ident "y"; Lexer.Eof ] -> ()
+   | _ -> Alcotest.fail "comment skipped");
+  (match Lexer.tokenize "-5 3.25" with
+   | Ok [ Lexer.Int (-5); Lexer.Float 3.25; Lexer.Eof ] -> ()
+   | _ -> Alcotest.fail "numbers");
+  (match Lexer.tokenize "'unterminated" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unterminated string must fail")
+
+(* {1 Parser} *)
+
+let test_parse_create () =
+  match parse_ok
+          "CREATE TABLE t (a INT NOT NULL, b TEXT, c VARCHAR(10), PRIMARY KEY (a, b))"
+  with
+  | Ast.Create_table { name = "t"; columns; primary_key = [ "a"; "b" ] } ->
+    Alcotest.(check int) "columns" 3 (List.length columns);
+    let a = List.nth columns 0 in
+    Alcotest.(check bool) "a not null" true a.Ast.cd_not_null;
+    Alcotest.(check bool) "c is text" true
+      ((List.nth columns 2).Ast.cd_type = Value.TText)
+  | _ -> Alcotest.fail "wrong ast"
+
+let test_parse_dml () =
+  (match parse_ok "INSERT INTO t VALUES (1, 'x', NULL), (2, 'y', TRUE)" with
+   | Ast.Insert { table = "t"; rows = [ r1; _ ] } ->
+     Alcotest.(check bool) "null literal" true (List.nth r1 2 = Value.Null)
+   | _ -> Alcotest.fail "insert ast");
+  (match parse_ok "UPDATE t SET b = 'z', c = 3 WHERE a = 1 AND b <> 'q'" with
+   | Ast.Update { assignments = [ _; _ ]; where = Pred.And _; _ } -> ()
+   | _ -> Alcotest.fail "update ast");
+  (match parse_ok "DELETE FROM t" with
+   | Ast.Delete { where = Pred.True; _ } -> ()
+   | _ -> Alcotest.fail "delete ast");
+  (match parse_ok "SELECT a, b FROM t WHERE c IS NOT NULL OR a < 5" with
+   | Ast.Select { projection = Some [ "a"; "b" ]; where = Pred.Or _; _ } -> ()
+   | _ -> Alcotest.fail "select ast")
+
+let test_parse_transforms () =
+  (match parse_ok
+           "TRANSFORM JOIN r, s INTO t ON r.c = s.c CARRY r (a, b) CARRY s (d) \
+            MANY TO MANY"
+   with
+   | Ast.Transform_join { many_to_many = true; join_r = "c"; _ } -> ()
+   | _ -> Alcotest.fail "join ast");
+  (* Reversed ON order resolves the same way. *)
+  (match parse_ok
+           "TRANSFORM JOIN r, s INTO t ON s.c = r.cc CARRY r (a) CARRY s (d)"
+   with
+   | Ast.Transform_join { join_r = "cc"; join_s = "c"; _ } -> ()
+   | _ -> Alcotest.fail "reversed join ast");
+  (match parse_ok
+           "TRANSFORM SPLIT t INTO r (a, b, c) AND s (c, d) ON (c) CHECKED"
+   with
+   | Ast.Transform_split { checked = true; split_on = [ "c" ]; _ } -> ()
+   | _ -> Alcotest.fail "split ast");
+  (match parse_ok "TRANSFORM ARCHIVE t INTO old AND live WHERE age > 30" with
+   | Ast.Transform_archive { where = Pred.Cmp ("age", Pred.Gt, Value.Int 30); _ }
+     -> ()
+   | _ -> Alcotest.fail "archive ast");
+  (match parse_ok "TRANSFORM MERGE a, b, c INTO all_of_them" with
+   | Ast.Transform_merge { sources = [ "a"; "b"; "c" ]; _ } -> ()
+   | _ -> Alcotest.fail "merge ast")
+
+let test_parse_errors () =
+  parse_err "CREATE TABLE t (a INT)";  (* no primary key *)
+  parse_err "SELECT FROM t";
+  parse_err "INSERT INTO t VALUES 1, 2";
+  parse_err "TRANSFORM FROBNICATE t";
+  parse_err "UPDATE t SET a";
+  parse_err "SELECT * FROM t WHERE a =";
+  parse_err "SELECT * FROM t extra garbage";
+  parse_err "TRANSFORM JOIN r, s INTO t ON x.c = s.c CARRY r (a) CARRY s (d)"
+
+let test_parse_many () =
+  match Parser.parse_many "BEGIN; COMMIT; SHOW TABLES;" with
+  | Ok [ Ast.Begin_txn; Ast.Commit_txn; Ast.Show_tables ] -> ()
+  | Ok _ -> Alcotest.fail "wrong statements"
+  | Error m -> Alcotest.fail m
+
+(* {1 Executor} *)
+
+let session () = Exec.create (Db.create ())
+
+let run s input =
+  match Exec.exec_string s input with
+  | Ok outs -> outs
+  | Error m -> Alcotest.failf "exec %S: %s" input m
+
+let run_err s input =
+  match Exec.exec_string s input with
+  | Ok _ -> Alcotest.failf "exec %S should fail" input
+  | Error m -> m
+
+let rows_of = function
+  | Exec.Rows { rows; _ } -> rows
+  | Exec.Message m -> Alcotest.failf "expected rows, got message %S" m
+
+let seeded () =
+  let s = session () in
+  ignore
+    (run s
+       "CREATE TABLE t (a INT NOT NULL, b TEXT, c INT, PRIMARY KEY (a)); \
+        INSERT INTO t VALUES (1, 'x', 10), (2, 'y', 20), (3, 'z', 10);");
+  s
+
+let test_exec_crud () =
+  let s = seeded () in
+  (match run s "SELECT * FROM t WHERE c = 10" with
+   | [ out ] -> Alcotest.(check int) "two rows" 2 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result");
+  ignore (run s "UPDATE t SET b = 'w' WHERE a >= 2");
+  (match run s "SELECT a FROM t WHERE b = 'w'" with
+   | [ out ] -> Alcotest.(check int) "updated" 2 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result");
+  ignore (run s "DELETE FROM t WHERE c = 10");
+  (match run s "SELECT * FROM t" with
+   | [ out ] -> Alcotest.(check int) "remaining" 1 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result");
+  ignore (run_err s "SELECT nope FROM t");
+  ignore (run_err s "SELECT * FROM missing");
+  ignore (run_err s "INSERT INTO t VALUES (2, 'dup', 20); INSERT INTO t VALUES (2, 'dup', 20)")
+
+let test_exec_txn_control () =
+  let s = seeded () in
+  ignore (run s "BEGIN; UPDATE t SET b = 'tmp' WHERE a = 1; ROLLBACK;");
+  (match run s "SELECT b FROM t WHERE a = 1" with
+   | [ out ] ->
+     Alcotest.(check bool) "rolled back" true
+       (Row.equal (List.hd (rows_of out)) (Row.make [ Value.Text "x" ]))
+   | _ -> Alcotest.fail "one result");
+  ignore (run s "BEGIN; UPDATE t SET b = 'kept' WHERE a = 1; COMMIT;");
+  (match run s "SELECT b FROM t WHERE a = 1" with
+   | [ out ] ->
+     Alcotest.(check bool) "committed" true
+       (Row.equal (List.hd (rows_of out)) (Row.make [ Value.Text "kept" ]))
+   | _ -> Alcotest.fail "one result");
+  ignore (run_err s "COMMIT");
+  ignore (run s "BEGIN");
+  ignore (run_err s "BEGIN")
+
+let test_exec_join_transform () =
+  let s = session () in
+  ignore
+    (run s
+       "CREATE TABLE r (a INT NOT NULL, b TEXT, c INT, PRIMARY KEY (a)); \
+        CREATE TABLE s (c INT NOT NULL, d TEXT, PRIMARY KEY (c)); \
+        INSERT INTO r VALUES (1, 'John', 1), (2, 'Karen', 1), (3, 'Mary', 3); \
+        INSERT INTO s VALUES (1, 'as'), (3, 'Oslo');");
+  ignore
+    (run s
+       "TRANSFORM JOIN r, s INTO t ON r.c = s.c CARRY r (a, b) CARRY s (d);");
+  (* Interleave: one step, then a write, then run to completion. *)
+  ignore (run s "TRANSFORM STEP 1");
+  ignore (run s "UPDATE r SET b = 'Johnny' WHERE a = 1");
+  ignore (run s "TRANSFORM RUN");
+  (match run s "SELECT * FROM t WHERE b = 'Johnny'" with
+   | [ out ] -> Alcotest.(check int) "propagated" 1 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result");
+  (* Sources dropped after the switch. *)
+  ignore (run_err s "SELECT * FROM r");
+  (match run s "SELECT * FROM t" with
+   | [ out ] -> Alcotest.(check int) "t rows" 3 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result")
+
+let test_exec_split_and_guard () =
+  let s = seeded () in
+  ignore
+    (run s "TRANSFORM SPLIT t INTO r (a, b, c) AND g (c) ON (c)");
+  (* Only one transformation at a time. *)
+  let m = run_err s "TRANSFORM MERGE t, t2 INTO z" in
+  Alcotest.(check bool) "guard message" true
+    (String.length m > 0);
+  ignore (run s "TRANSFORM RUN");
+  (match run s "SELECT * FROM g" with
+   | [ out ] -> Alcotest.(check int) "distinct groups" 2 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result")
+
+let test_exec_archive () =
+  let s = seeded () in
+  ignore
+    (run s "TRANSFORM ARCHIVE t INTO old AND fresh WHERE c >= 20; TRANSFORM RUN;");
+  (match run s "SELECT * FROM old" with
+   | [ out ] -> Alcotest.(check int) "archived" 1 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result");
+  (match run s "SELECT * FROM fresh" with
+   | [ out ] -> Alcotest.(check int) "fresh" 2 (List.length (rows_of out))
+   | _ -> Alcotest.fail "one result")
+
+let test_exec_abort_transform () =
+  let s = seeded () in
+  ignore (run s "TRANSFORM ARCHIVE t INTO old AND fresh WHERE c >= 20");
+  ignore (run s "TRANSFORM STEP 1");
+  ignore (run s "TRANSFORM ABORT");
+  ignore (run_err s "SELECT * FROM old");
+  (* A new transformation can start afterwards. *)
+  ignore (run s "TRANSFORM ARCHIVE t INTO old AND fresh WHERE c >= 20");
+  ignore (run s "TRANSFORM RUN")
+
+let test_key_probe_path () =
+  (* Semantics must be identical whether the planner probes or scans;
+     exercise equality-on-key, extra conjuncts, and a false conjunct. *)
+  let s = seeded () in
+  let one_row input expected =
+    match run s input with
+    | [ out ] -> Alcotest.(check int) input expected (List.length (rows_of out))
+    | _ -> Alcotest.fail "one result"
+  in
+  one_row "SELECT * FROM t WHERE a = 2" 1;
+  one_row "SELECT * FROM t WHERE a = 2 AND c = 20" 1;
+  one_row "SELECT * FROM t WHERE a = 2 AND c = 999" 0;
+  one_row "SELECT * FROM t WHERE a = 42" 0;
+  (* Probe also drives UPDATE/DELETE. *)
+  (match run s "UPDATE t SET b = 'probe' WHERE a = 1" with
+   | [ Exec.Message m ] -> Alcotest.(check string) "one update" "1 row(s) updated" m
+   | _ -> Alcotest.fail "message");
+  (match run s "DELETE FROM t WHERE a = 3 AND b = 'nope'" with
+   | [ Exec.Message m ] -> Alcotest.(check string) "no delete" "0 row(s) deleted" m
+   | _ -> Alcotest.fail "message")
+
+let test_render () =
+  let s = seeded () in
+  (match run s "SELECT a, b FROM t WHERE a = 1" with
+   | [ out ] ->
+     let text = Exec.render out in
+     Alcotest.(check bool) "has header" true
+       (String.length text > 0
+        && String.sub text 0 1 = "a");
+     Alcotest.(check bool) "row count line" true
+       (String.length text >= 7
+        && String.sub text (String.length text - 7) 7 = "(1 row)")
+   | _ -> Alcotest.fail "one result")
+
+let () =
+  Alcotest.run "sql"
+    [ ("lexer", [ Alcotest.test_case "basics" `Quick test_lexer_basics ]);
+      ( "parser",
+        [ Alcotest.test_case "create" `Quick test_parse_create;
+          Alcotest.test_case "dml" `Quick test_parse_dml;
+          Alcotest.test_case "transforms" `Quick test_parse_transforms;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "scripts" `Quick test_parse_many ] );
+      ( "exec",
+        [ Alcotest.test_case "crud" `Quick test_exec_crud;
+          Alcotest.test_case "transactions" `Quick test_exec_txn_control;
+          Alcotest.test_case "join transform" `Quick test_exec_join_transform;
+          Alcotest.test_case "split + guard" `Quick test_exec_split_and_guard;
+          Alcotest.test_case "archive" `Quick test_exec_archive;
+          Alcotest.test_case "abort transform" `Quick test_exec_abort_transform;
+          Alcotest.test_case "key probe path" `Quick test_key_probe_path;
+          Alcotest.test_case "render" `Quick test_render ] ) ]

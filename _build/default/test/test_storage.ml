@@ -1,0 +1,271 @@
+(* Tests for the storage engine: heap tables, secondary indexes, fuzzy
+   cursors, the catalog. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+
+let schema =
+  Schema.make ~key:[ "a" ]
+    [ Schema.column ~nullable:false "a" Value.TInt;
+      Schema.column "b" Value.TText; Schema.column "c" Value.TInt ]
+
+let mk ?(indexes = [ ("by_c", [ "c" ]) ]) () =
+  Table.create ~indexes ~name:"t" schema
+
+let row a b c = Row.make [ Value.Int a; Value.Text b; Value.Int c ]
+let key a = Row.make [ Value.Int a ]
+let lsn i = Lsn.of_int i
+
+let test_insert_find_delete () =
+  let t = mk () in
+  Alcotest.(check bool) "insert" true (Table.insert t ~lsn:(lsn 1) (row 1 "x" 7) = Ok ());
+  Alcotest.(check bool) "duplicate" true
+    (Table.insert t ~lsn:(lsn 2) (row 1 "y" 8) = Error `Duplicate_key);
+  Alcotest.(check int) "cardinality" 1 (Table.cardinality t);
+  (match Table.find t (key 1) with
+   | Some r ->
+     Alcotest.(check bool) "row" true (Row.equal r.Record.row (row 1 "x" 7));
+     Alcotest.(check int) "lsn" 1 (Lsn.to_int r.Record.lsn)
+   | None -> Alcotest.fail "missing");
+  (match Table.delete t ~key:(key 1) with
+   | Ok r -> Alcotest.(check bool) "deleted row" true (Row.equal r.Record.row (row 1 "x" 7))
+   | Error `Not_found -> Alcotest.fail "delete failed");
+  Alcotest.(check bool) "gone" true (Table.find t (key 1) = None);
+  Alcotest.(check bool) "delete missing" true
+    (Table.delete t ~key:(key 1) = Error `Not_found)
+
+let test_update () =
+  let t = mk () in
+  ignore (Table.insert t ~lsn:(lsn 1) (row 1 "x" 7));
+  (match Table.update t ~lsn:(lsn 2) ~key:(key 1) [ (1, Value.Text "y") ] with
+   | Ok r ->
+     Alcotest.(check bool) "updated" true (Row.equal r.Record.row (row 1 "y" 7));
+     Alcotest.(check int) "lsn moved" 2 (Lsn.to_int r.Record.lsn)
+   | Error `Not_found -> Alcotest.fail "update failed");
+  Alcotest.(check bool) "missing" true
+    (Table.update t ~lsn:(lsn 3) ~key:(key 2) [ (1, Value.Text "z") ]
+     = Error `Not_found);
+  Alcotest.check_raises "key column refused" (Invalid_argument "")
+    (fun () ->
+       try ignore (Table.update t ~lsn:(lsn 4) ~key:(key 1) [ (0, Value.Int 9) ])
+       with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_arity_checked () =
+  let t = mk () in
+  Alcotest.check_raises "bad arity" (Invalid_argument "")
+    (fun () ->
+       try ignore (Table.insert t ~lsn:(lsn 1) (Row.make [ Value.Int 1 ]))
+       with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_index_maintenance () =
+  let t = mk () in
+  ignore (Table.insert t ~lsn:(lsn 1) (row 1 "x" 7));
+  ignore (Table.insert t ~lsn:(lsn 2) (row 2 "y" 7));
+  ignore (Table.insert t ~lsn:(lsn 3) (row 3 "z" 8));
+  let c v = Row.make [ Value.Int v ] in
+  let sorted l = List.sort Row.Key.compare l in
+  Alcotest.(check int) "two with c=7" 2 (List.length (Table.index_lookup t ~index:"by_c" (c 7)));
+  Alcotest.(check bool) "keys for c=7" true
+    (sorted (Table.index_lookup t ~index:"by_c" (c 7)) = [ key 1; key 2 ]);
+  (* Update moves the row between index buckets. *)
+  ignore (Table.update t ~lsn:(lsn 4) ~key:(key 1) [ (2, Value.Int 8) ]);
+  Alcotest.(check bool) "moved out of 7" true
+    (Table.index_lookup t ~index:"by_c" (c 7) = [ key 2 ]);
+  Alcotest.(check bool) "moved into 8" true
+    (sorted (Table.index_lookup t ~index:"by_c" (c 8)) = [ key 1; key 3 ]);
+  (* Delete removes from the index. *)
+  ignore (Table.delete t ~key:(key 3));
+  Alcotest.(check bool) "delete removes" true
+    (Table.index_lookup t ~index:"by_c" (c 8) = [ key 1 ]);
+  Alcotest.check_raises "unknown index" Not_found (fun () ->
+      ignore (Table.index_lookup t ~index:"nope" (c 1)))
+
+let test_add_index_backfills () =
+  let t = Table.create ~name:"t" schema in
+  for i = 1 to 10 do
+    ignore (Table.insert t ~lsn:(lsn i) (row i "x" (i mod 3)))
+  done;
+  Table.add_index t ~name:"late" ~columns:[ "c" ];
+  (* c = i mod 3 = 0 for i in {3, 6, 9} *)
+  Alcotest.(check int) "backfilled" 3
+    (List.length (Table.index_lookup t ~index:"late" (Row.make [ Value.Int 0 ])));
+  (* Maintained after creation too. *)
+  ignore (Table.insert t ~lsn:(lsn 11) (row 11 "x" 0));
+  Alcotest.(check int) "maintained" 4
+    (List.length (Table.index_lookup t ~index:"late" (Row.make [ Value.Int 0 ])))
+
+let test_set_record () =
+  let t = mk () in
+  ignore (Table.insert t ~lsn:(lsn 1) (row 1 "x" 7));
+  let r = Option.get (Table.find t (key 1)) in
+  let r' =
+    Record.with_flag
+      (Record.with_counter (Record.with_row r (row 1 "x2" 9)) 5)
+      Record.Unknown
+  in
+  Alcotest.(check bool) "set ok" true (Table.set_record t ~key:(key 1) r' = Ok ());
+  let got = Option.get (Table.find t (key 1)) in
+  Alcotest.(check int) "counter" 5 got.Record.counter;
+  Alcotest.(check bool) "flag" true (got.Record.flag = Record.Unknown);
+  (* Index follows the row change. *)
+  Alcotest.(check bool) "index moved" true
+    (Table.index_lookup t ~index:"by_c" (Row.make [ Value.Int 9 ]) = [ key 1 ]);
+  Alcotest.check_raises "key mismatch" (Invalid_argument "")
+    (fun () ->
+       try ignore (Table.set_record t ~key:(key 1) (Record.make ~lsn:(lsn 2) (row 2 "q" 1)))
+       with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_fuzzy_cursor_basics () =
+  let t = mk () in
+  for i = 1 to 100 do
+    ignore (Table.insert t ~lsn:(lsn i) (row i "x" i))
+  done;
+  let c = Table.Fuzzy_cursor.make t in
+  let b1 = Table.Fuzzy_cursor.next_batch c ~limit:30 in
+  Alcotest.(check int) "batch 1" 30 (List.length b1);
+  Alcotest.(check bool) "not finished" false (Table.Fuzzy_cursor.finished c);
+  let rest = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Table.Fuzzy_cursor.next_batch c ~limit:40 with
+    | [] -> continue := false
+    | b -> rest := !rest + List.length b
+  done;
+  Alcotest.(check int) "rest" 70 !rest;
+  Alcotest.(check bool) "finished" true (Table.Fuzzy_cursor.finished c);
+  Alcotest.(check int) "scanned" 100 (Table.Fuzzy_cursor.scanned c)
+
+let test_fuzzy_cursor_concurrent_mutations () =
+  let t = mk () in
+  for i = 1 to 50 do
+    ignore (Table.insert t ~lsn:(lsn i) (row i "x" i))
+  done;
+  let c = Table.Fuzzy_cursor.make t in
+  let b1 = Table.Fuzzy_cursor.next_batch c ~limit:20 in
+  (* Delete a not-yet-scanned record, insert a new one, re-insert a
+     scanned one after deleting it (the re-insert must NOT be reported
+     twice). *)
+  ignore (Table.delete t ~key:(key 40));
+  ignore (Table.insert t ~lsn:(lsn 51) (row 51 "new" 51));
+  ignore (Table.delete t ~key:(key 5));
+  ignore (Table.insert t ~lsn:(lsn 52) (row 5 "again" 5));
+  let rest = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Table.Fuzzy_cursor.next_batch c ~limit:100 with
+    | [] -> continue := false
+    | b -> rest := !rest @ b
+  done;
+  let all = b1 @ !rest in
+  let keys =
+    List.map (fun r -> Lsn.to_int (Lsn.of_int 0) |> ignore;
+               match Row.get r.Record.row 0 with
+               | Value.Int a -> a
+               | _ -> -1) all
+  in
+  let sorted = List.sort_uniq compare keys in
+  Alcotest.(check int) "no duplicates" (List.length keys) (List.length sorted);
+  Alcotest.(check bool) "deleted unscanned not reported" true
+    (not (List.mem 40 keys));
+  Alcotest.(check bool) "new row may appear" true (List.mem 51 keys)
+
+let test_max_lsn_and_rows () =
+  let t = mk () in
+  ignore (Table.insert t ~lsn:(lsn 5) (row 1 "x" 1));
+  ignore (Table.insert t ~lsn:(lsn 9) (row 2 "y" 2));
+  Alcotest.(check int) "max lsn" 9 (Lsn.to_int (Table.max_lsn t));
+  Alcotest.(check int) "to_rows" 2 (List.length (Table.to_rows t))
+
+let test_catalog () =
+  let cat = Catalog.create () in
+  let t = Catalog.create_table cat ~name:"x" schema in
+  Alcotest.(check bool) "find" true (Catalog.find cat "x" == t);
+  Alcotest.(check bool) "mem" true (Catalog.mem cat "x");
+  Alcotest.check_raises "duplicate name" (Invalid_argument "")
+    (fun () ->
+       try ignore (Catalog.create_table cat ~name:"x" schema)
+       with Invalid_argument _ -> raise (Invalid_argument ""));
+  Catalog.rename cat ~old_name:"x" ~new_name:"y";
+  Alcotest.(check bool) "renamed" true (Catalog.mem cat "y" && not (Catalog.mem cat "x"));
+  Catalog.drop cat "y";
+  Alcotest.(check bool) "dropped" false (Catalog.mem cat "y");
+  Alcotest.check_raises "drop missing" Not_found (fun () -> Catalog.drop cat "y")
+
+(* Property: after random inserts/updates/deletes, every index bucket
+   agrees with a scan of the heap. *)
+let prop_index_agrees_with_heap =
+  QCheck.Test.make ~name:"index = heap projection" ~count:150
+    QCheck.(list_of_size Gen.(int_bound 80)
+              (triple (int_bound 20) (int_bound 5) (int_bound 2)))
+    (fun ops ->
+       let t = mk () in
+       let l = ref 0 in
+       List.iter
+         (fun (a, c, action) ->
+            incr l;
+            match action with
+            | 0 -> ignore (Table.insert t ~lsn:(lsn !l) (row a "b" c))
+            | 1 ->
+              ignore (Table.update t ~lsn:(lsn !l) ~key:(key a) [ (2, Value.Int c) ])
+            | _ -> ignore (Table.delete t ~key:(key a)))
+         ops;
+       (* Check every c value in 0..5. *)
+       List.for_all
+         (fun c ->
+            let via_index =
+              Table.index_lookup t ~index:"by_c" (Row.make [ Value.Int c ])
+              |> List.sort Row.Key.compare
+            in
+            let via_scan =
+              Table.fold t ~init:[] ~f:(fun acc k r ->
+                  if Value.equal (Row.get r.Record.row 2) (Value.Int c) then
+                    k :: acc
+                  else acc)
+              |> List.sort Row.Key.compare
+            in
+            List.length via_index = List.length via_scan
+            && List.for_all2 Row.Key.equal via_index via_scan)
+         [ 0; 1; 2; 3; 4; 5 ])
+
+(* Property: a fuzzy scan over a static table returns exactly the
+   table's rows. *)
+let prop_fuzzy_scan_complete =
+  QCheck.Test.make ~name:"fuzzy scan of static table is exact" ~count:100
+    QCheck.(pair (int_range 1 17) (list_of_size Gen.(int_bound 50) (int_bound 200)))
+    (fun (batch, keys) ->
+       let t = mk () in
+       let distinct = List.sort_uniq compare keys in
+       List.iteri
+         (fun i a -> ignore (Table.insert t ~lsn:(lsn (i + 1)) (row a "x" a)))
+         distinct;
+       let c = Table.Fuzzy_cursor.make t in
+       let seen = ref 0 in
+       let continue = ref true in
+       while !continue do
+         match Table.Fuzzy_cursor.next_batch c ~limit:batch with
+         | [] -> continue := false
+         | b -> seen := !seen + List.length b
+       done;
+       !seen = List.length distinct)
+
+let () =
+  Alcotest.run "storage"
+    [ ( "table",
+        [ Alcotest.test_case "insert/find/delete" `Quick test_insert_find_delete;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "arity checked" `Quick test_arity_checked;
+          Alcotest.test_case "set_record" `Quick test_set_record;
+          Alcotest.test_case "max_lsn and rows" `Quick test_max_lsn_and_rows ] );
+      ( "index",
+        [ Alcotest.test_case "maintenance" `Quick test_index_maintenance;
+          Alcotest.test_case "add_index backfills" `Quick
+            test_add_index_backfills ] );
+      ( "fuzzy",
+        [ Alcotest.test_case "basics" `Quick test_fuzzy_cursor_basics;
+          Alcotest.test_case "concurrent mutations" `Quick
+            test_fuzzy_cursor_concurrent_mutations ] );
+      ("catalog", [ Alcotest.test_case "catalog" `Quick test_catalog ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_index_agrees_with_heap; prop_fuzzy_scan_complete ] ) ]

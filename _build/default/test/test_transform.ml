@@ -1,0 +1,510 @@
+(* End-to-end tests of the transformation framework: the central
+   convergence property (after synchronization the transformed tables
+   equal the relational operator applied to the final sources) under
+   quiet and concurrent histories, for both FOJ and split. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+module H = Helpers
+
+let cfg strategy =
+  { Transform.default_config with
+    Transform.scan_batch = 7;    (* small batches force many steps *)
+    propagate_batch = 5;
+    strategy;
+    drop_sources = false }
+
+let run_with_interleave tf ~between =
+  match Transform.run ~between tf with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "transformation failed: %s" m
+
+(* {1 FOJ} *)
+
+let check_foj_converged db =
+  let expected = H.foj_oracle db in
+  let actual = Db.snapshot db "T" in
+  H.check_relations_equal "T = FOJ(R, S)" expected actual
+
+let test_foj_quiet () =
+  let r_rows, s_rows = H.seed_rows ~r:50 ~s:20 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  run_with_interleave tf ~between:(fun () -> ());
+  check_foj_converged db;
+  Alcotest.(check int) "row count"
+    (List.length (H.foj_oracle db).Nbsc_relalg.Relalg.rows)
+    (Db.row_count db "T")
+
+let test_foj_concurrent strategy () =
+  let r_rows, s_rows = H.seed_rows ~r:80 ~s:25 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let d = H.driver ~seed:7 db in
+  let tf = Transform.foj db ~config:(cfg strategy) H.foj_spec in
+  let budget = ref 400 in
+  run_with_interleave tf ~between:(fun () ->
+      if !budget > 0 then begin
+        decr budget;
+        H.random_r_op d;
+        H.random_s_op d
+      end);
+  check_foj_converged db
+
+let test_foj_fig1 () =
+  (* The worked example of Figure 1: three R rows, two S rows, one
+     unmatched on each side. *)
+  let r_rows = [ H.ri 1 "John" 10; H.ri 2 "Karen" 30; H.ri 3 "Mary" 10 ] in
+  let s_rows = [ H.si 10 "x"; H.si 20 "y" ] in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  run_with_interleave tf ~between:(fun () -> ());
+  let t = Db.snapshot db "T" in
+  let expected =
+    [ Row.make [ Value.Int 10; Value.Int 1; Value.Text "John"; Value.Text "x" ];
+      Row.make [ Value.Int 30; Value.Int 2; Value.Text "Karen"; Value.Null ];
+      Row.make [ Value.Int 10; Value.Int 3; Value.Text "Mary"; Value.Text "x" ];
+      Row.make [ Value.Int 20; Value.Null; Value.Null; Value.Text "y" ] ]
+  in
+  H.check_relations_equal "figure 1"
+    (Nbsc_relalg.Relalg.make t.Nbsc_relalg.Relalg.schema expected)
+    t
+
+let test_foj_drop_sources () =
+  let r_rows, s_rows = H.seed_rows ~r:10 ~s:5 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let config = { (cfg Transform.Nonblocking_abort) with Transform.drop_sources = true } in
+  let tf = Transform.foj db ~config H.foj_spec in
+  run_with_interleave tf ~between:(fun () -> ());
+  Alcotest.(check bool) "R dropped" false (Catalog.mem (Db.catalog db) "R");
+  Alcotest.(check bool) "S dropped" false (Catalog.mem (Db.catalog db) "S");
+  Alcotest.(check bool) "T exists" true (Catalog.mem (Db.catalog db) "T")
+
+let test_foj_routing_flips () =
+  let r_rows, s_rows = H.seed_rows ~r:30 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  Alcotest.(check bool) "starts on sources" true (Transform.routing tf = `Sources);
+  run_with_interleave tf ~between:(fun () -> ());
+  Alcotest.(check bool) "ends on targets" true (Transform.routing tf = `Targets)
+
+let test_foj_abort_mid_flight () =
+  let r_rows, s_rows = H.seed_rows ~r:40 ~s:15 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let before_r = Db.snapshot db "R" in
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  (* A few steps in, change course. *)
+  ignore (Transform.step tf);
+  ignore (Transform.step tf);
+  Transform.abort tf;
+  Alcotest.(check bool) "T gone" false (Catalog.mem (Db.catalog db) "T");
+  H.check_relations_equal "R untouched" before_r (Db.snapshot db "R");
+  (* The engine still works. *)
+  let d = H.driver db in
+  H.random_r_op d;
+  Alcotest.(check bool) "ops still run" true (d.H.ops_done >= 0)
+
+let test_foj_forced_aborts () =
+  (* A transaction holding a lock on R across the sync point must be
+     forced to abort by the non-blocking abort strategy, and its update
+     must not survive anywhere. *)
+  let r_rows, s_rows = H.seed_rows ~r:20 ~s:8 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let victim = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn:victim ~table:"R"
+       ~key:(Row.make [ Value.Int 1 ])
+       [ (1, Value.Text "doomed") ]
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "victim update: %a" Manager.pp_error e);
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  run_with_interleave tf ~between:(fun () -> ());
+  Alcotest.(check bool) "victim aborted" true
+    (Manager.status mgr victim = Manager.Aborted);
+  let p = Transform.progress tf in
+  Alcotest.(check bool) "counted" true (p.Transform.forced_aborts >= 1);
+  check_foj_converged db;
+  (* "doomed" must have been rolled back out of T as well. *)
+  let t = Db.snapshot db "T" in
+  let has_doomed =
+    List.exists
+      (fun row -> Array.exists (Value.equal (Value.Text "doomed")) row)
+      t.Nbsc_relalg.Relalg.rows
+  in
+  Alcotest.(check bool) "no doomed value in T" false has_doomed
+
+let test_foj_nonblocking_commit_survivor () =
+  (* Under non-blocking commit a transaction spanning the sync point is
+     allowed to finish and commit; its writes must reach T. *)
+  let r_rows, s_rows = H.seed_rows ~r:20 ~s:8 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let survivor = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn:survivor ~table:"R"
+       ~key:(Row.make [ Value.Int 2 ])
+       [ (1, Value.Text "survives") ]
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "survivor update: %a" Manager.pp_error e);
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_commit) H.foj_spec in
+  let committed = ref false in
+  run_with_interleave tf ~between:(fun () ->
+      if (not !committed) && Transform.routing tf = `Targets then begin
+        (* Old transaction does one more source-side write, then commits. *)
+        (match
+           Manager.update mgr ~txn:survivor ~table:"R"
+             ~key:(Row.make [ Value.Int 2 ])
+             [ (1, Value.Text "survives2") ]
+         with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "post-sync update: %a" Manager.pp_error e);
+        (match Manager.commit mgr survivor with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "survivor commit: %a" Manager.pp_error e);
+        committed := true
+      end);
+  Alcotest.(check bool) "committed across sync" true !committed;
+  check_foj_converged db;
+  let t = Db.snapshot db "T" in
+  let has v =
+    List.exists
+      (fun row -> Array.exists (Value.equal (Value.Text v)) row)
+      t.Nbsc_relalg.Relalg.rows
+  in
+  Alcotest.(check bool) "post-sync write reached T" true (has "survives2")
+
+let test_foj_blocking_commit () =
+  let r_rows, s_rows = H.seed_rows ~r:30 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let d = H.driver ~seed:3 db in
+  let tf = Transform.foj db ~config:(cfg Transform.Blocking_commit) H.foj_spec in
+  let budget = ref 100 in
+  run_with_interleave tf ~between:(fun () ->
+      if !budget > 0 then begin
+        decr budget;
+        H.random_r_op d
+      end);
+  check_foj_converged db
+
+(* {1 Split} *)
+
+let split_oracle db =
+  let t = Db.snapshot db "T" in
+  Nbsc_relalg.Relalg.split
+    { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+      s_cols' = [ "c"; "d" ];
+      r_key = [ "a" ];
+      s_key = [ "c" ] }
+    t
+
+let check_split_converged db =
+  let expected_r, expected_s = split_oracle db in
+  H.check_relations_equal "R = pi_R(T)" expected_r (Db.snapshot db "R");
+  H.check_relations_equal "S = pi_S(T)" expected_s (Db.snapshot db "S")
+
+let check_split_counters db =
+  let t = Db.snapshot db "T" in
+  let expected =
+    Nbsc_relalg.Relalg.split_multiplicity
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+        s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ];
+        s_key = [ "c" ] }
+      t
+  in
+  let s_tbl = Db.table db "S" in
+  List.iter
+    (fun (key, n) ->
+       match Table.find s_tbl key with
+       | None -> Alcotest.failf "missing S record %s" (Row.Key.to_string key)
+       | Some record ->
+         Alcotest.(check int)
+           (Printf.sprintf "counter of %s" (Row.Key.to_string key))
+           n record.Record.counter)
+    expected;
+  Alcotest.(check int) "no extra S records" (List.length expected)
+    (Table.cardinality s_tbl)
+
+let test_split_quiet () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:60) in
+  let tf =
+    Transform.split db ~config:(cfg Transform.Nonblocking_abort)
+      (H.split_spec ~assume_consistent:true)
+  in
+  run_with_interleave tf ~between:(fun () -> ());
+  check_split_converged db;
+  check_split_counters db
+
+let test_split_concurrent consistent strategy () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:80) in
+  let d = H.driver ~seed:11 db in
+  let tf =
+    Transform.split db ~config:(cfg strategy)
+      (H.split_spec ~assume_consistent:consistent)
+  in
+  let budget = ref 300 in
+  run_with_interleave tf ~between:(fun () ->
+      if !budget > 0 then begin
+        decr budget;
+        H.random_t_op ~consistent:true d
+      end);
+  check_split_converged db;
+  check_split_counters db;
+  if not consistent then begin
+    (* Everything must have been C-flagged before sync. *)
+    let s_tbl = Db.table db "S" in
+    Table.iter s_tbl (fun key record ->
+        if record.Record.flag <> Record.Consistent then
+          Alcotest.failf "S record %s still U" (Row.Key.to_string key))
+  end
+
+let test_split_fig3 () =
+  (* Figure 3 / Example 1 shape: customers split on postal code. *)
+  let rows =
+    [ H.ti 1 "Peter" 7050 "Trondheim";
+      H.ti 2 "Mark" 5020 "Bergen";
+      H.ti 3 "Gary" 50 "Oslo";
+      H.ti 134 "Jen" 7050 "Trondheim" ]
+  in
+  let db = H.fresh_split_db ~t_rows:rows in
+  let tf =
+    Transform.split db ~config:(cfg Transform.Nonblocking_abort)
+      (H.split_spec ~assume_consistent:true)
+  in
+  run_with_interleave tf ~between:(fun () -> ());
+  check_split_converged db;
+  let s_tbl = Db.table db "S" in
+  (match Table.find s_tbl (Row.make [ Value.Int 7050 ]) with
+   | Some record -> Alcotest.(check int) "7050 counted twice" 2 record.Record.counter
+   | None -> Alcotest.fail "7050 missing");
+  Alcotest.(check int) "three postal codes" 3 (Table.cardinality s_tbl)
+
+let test_split_inconsistency_repaired () =
+  (* Example 1: Trondheim vs Trnodheim. The checker cannot confirm the
+     record until the data is repaired by a user transaction. *)
+  let rows =
+    [ H.ti 1 "Peter" 7050 "Trondheim";
+      H.ti 2 "Mark" 5020 "Bergen";
+      H.ti 134 "Jen" 7050 "Trnodheim" ]
+  in
+  let db = H.fresh_split_db ~t_rows:rows in
+  let mgr = Db.manager db in
+  let tf =
+    Transform.split db ~config:(cfg Transform.Nonblocking_abort)
+      (H.split_spec ~assume_consistent:false)
+  in
+  let repaired = ref false in
+  let steps = ref 0 in
+  run_with_interleave tf ~between:(fun () ->
+      incr steps;
+      if !steps > 2000 then Alcotest.fail "transformation did not converge";
+      if (not !repaired) && Transform.phase tf = Transform.Checking then begin
+        (* The DBA fixes the typo. *)
+        let txn = Manager.begin_txn mgr in
+        (match
+           Manager.update mgr ~txn ~table:"T"
+             ~key:(Row.make [ Value.Int 134 ])
+             [ (3, Value.Text "Trondheim") ]
+         with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "repair: %a" Manager.pp_error e);
+        (match Manager.commit mgr txn with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "repair commit: %a" Manager.pp_error e);
+        repaired := true
+      end);
+  Alcotest.(check bool) "repair happened" true !repaired;
+  check_split_converged db;
+  let cc = Option.get (Transform.checker tf) in
+  let st = Consistency.stats cc in
+  Alcotest.(check bool) "checker confirmed something" true
+    (st.Consistency.confirmed >= 1)
+
+
+(* {1 A schema where S has a surrogate key}
+
+   With S keyed by its join attribute (the fixture above), the engine
+   refuses join-attribute updates on S (primary keys are immutable), so
+   Rule 6 is only reachable through hand-made log records. This variant
+   gives S a surrogate key k and a unique join attribute c, making
+   Rule 6 reachable through real transactions. *)
+
+let s2_schema =
+  Schema.make ~key:[ "k" ]
+    [ Schema.column ~nullable:false "k" Value.TInt;
+      Schema.column "c" Value.TInt; Schema.column "d" Value.TText ]
+
+let foj2_spec =
+  { Spec.r_table = "R";
+    s_table = "S";
+    t_table = "T";
+    join_r = [ "c" ];
+    join_s = [ "c" ];
+    t_join = [ "c" ];
+    r_carry = [ "a"; "b" ];
+    s_carry = [ "k"; "d" ];
+    many_to_many = false }
+
+let test_foj_surrogate_s_key_rule6 () =
+  let db = Db.create () in
+  ignore (Db.create_table db ~name:"R" H.r_schema);
+  ignore (Db.create_table db ~name:"S" s2_schema);
+  (* Each S row k owns the join range [100k, 100k+9]; updates move c
+     within the range, keeping c unique in S (the 1:N requirement). *)
+  (match
+     Db.load db ~table:"R"
+       (List.init 40 (fun i -> H.ri i ("r" ^ string_of_int i) ((i mod 8) * 100)))
+   with Ok () -> () | Error _ -> Alcotest.fail "load R");
+  (match
+     Db.load db ~table:"S"
+       (List.init 8 (fun k ->
+            Row.make [ Value.Int k; Value.Int (k * 100); Value.Text ("d" ^ string_of_int k) ]))
+   with Ok () -> () | Error _ -> Alcotest.fail "load S");
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) foj2_spec in
+  let mgr = Db.manager db in
+  let rng = Random.State.make [| 17 |] in
+  let budget = ref 150 in
+  run_with_interleave tf ~between:(fun () ->
+      if !budget > 0 && Transform.routing tf = `Sources then begin
+        decr budget;
+        let txn = Manager.begin_txn mgr in
+        let outcome =
+          if Random.State.bool rng then
+            (* Rule 6 trigger: move an S row's join attribute. *)
+            let k = Random.State.int rng 8 in
+            Manager.update mgr ~txn ~table:"S"
+              ~key:(Row.make [ Value.Int k ])
+              [ (1, Value.Int ((k * 100) + Random.State.int rng 10)) ]
+          else
+            let a = Random.State.int rng 40 in
+            Manager.update mgr ~txn ~table:"R"
+              ~key:(Row.make [ Value.Int a ])
+              [ (2, Value.Int ((Random.State.int rng 8 * 100) + Random.State.int rng 10)) ]
+        in
+        match outcome with
+        | Ok () -> ignore (Manager.commit mgr txn)
+        | Error _ -> ignore (Manager.abort mgr txn)
+      end);
+  let oracle =
+    Nbsc_relalg.Relalg.full_outer_join
+      { Nbsc_relalg.Relalg.r_join = [ "c" ]; s_join = [ "c" ];
+        out_join = [ "c" ]; r_cols = [ "a"; "b" ]; s_cols = [ "k"; "d" ];
+        out_key = [ "a"; "k" ] }
+      (Db.snapshot db "R") (Db.snapshot db "S")
+  in
+  H.check_relations_equal "surrogate-key FOJ converges" oracle
+    (Db.snapshot db "T")
+
+(* {1 The central property: convergence under random histories}
+
+   For random data, random concurrent operation histories and random
+   step interleavings, after synchronization the transformed tables
+   equal the operator applied to the final sources — the guarantee
+   Theorem 1 and the rules exist to provide. *)
+
+let strategy_of_int = function
+  | 0 -> Transform.Blocking_commit
+  | 1 -> Transform.Nonblocking_abort
+  | _ -> Transform.Nonblocking_commit
+
+let prop_foj_converges =
+  QCheck.Test.make ~name:"FOJ converges under random histories" ~count:60
+    QCheck.(triple small_nat small_nat (int_bound 2))
+    (fun (seed, size_seed, strat) ->
+       let r = 10 + (size_seed * 7 mod 60) and s = 5 + (size_seed mod 20) in
+       let r_rows, s_rows = H.seed_rows ~r ~s in
+       let db = H.fresh_foj_db ~r_rows ~s_rows in
+       let d = H.driver ~seed db in
+       let config =
+         { (cfg (strategy_of_int strat)) with
+           Transform.scan_batch = 3 + (seed mod 9);
+           propagate_batch = 2 + (seed mod 7) }
+       in
+       let tf = Transform.foj db ~config H.foj_spec in
+       let budget = ref (50 + (seed mod 100)) in
+       (match
+          Transform.run tf ~between:(fun () ->
+              if !budget > 0 then begin
+                decr budget;
+                H.random_r_op d;
+                if seed mod 2 = 0 then H.random_s_op d
+              end)
+        with
+        | Ok () -> ()
+        | Error m -> QCheck.Test.fail_reportf "failed: %s" m);
+       Nbsc_relalg.Relalg.equal_as_sets (H.foj_oracle db) (Db.snapshot db "T"))
+
+let prop_split_converges =
+  QCheck.Test.make ~name:"split converges under random histories" ~count:60
+    QCheck.(triple small_nat small_nat (int_bound 2))
+    (fun (seed, size_seed, strat) ->
+       let n = 20 + (size_seed * 11 mod 80) in
+       let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n) in
+       let d = H.driver ~seed db in
+       let config =
+         { (cfg (strategy_of_int strat)) with
+           Transform.scan_batch = 3 + (seed mod 9);
+           propagate_batch = 2 + (seed mod 7) }
+       in
+       let tf =
+         Transform.split db ~config
+           (H.split_spec ~assume_consistent:(seed mod 2 = 0))
+       in
+       let budget = ref (50 + (seed mod 100)) in
+       (match
+          Transform.run tf ~between:(fun () ->
+              if !budget > 0 then begin
+                decr budget;
+                H.random_t_op ~consistent:true d
+              end)
+        with
+        | Ok () -> ()
+        | Error m -> QCheck.Test.fail_reportf "failed: %s" m);
+       let expected_r, expected_s = split_oracle db in
+       Nbsc_relalg.Relalg.equal_as_sets expected_r (Db.snapshot db "R")
+       && Nbsc_relalg.Relalg.equal_as_sets expected_s (Db.snapshot db "S"))
+
+(* {1 Wiring} *)
+
+let () =
+  Alcotest.run "transform"
+    [ ( "foj",
+        [ Alcotest.test_case "quiet convergence" `Quick test_foj_quiet;
+          Alcotest.test_case "figure 1 example" `Quick test_foj_fig1;
+          Alcotest.test_case "concurrent, non-blocking abort" `Quick
+            (test_foj_concurrent Transform.Nonblocking_abort);
+          Alcotest.test_case "concurrent, non-blocking commit" `Quick
+            (test_foj_concurrent Transform.Nonblocking_commit);
+          Alcotest.test_case "concurrent, blocking commit" `Quick
+            (test_foj_concurrent Transform.Blocking_commit);
+          Alcotest.test_case "drops sources" `Quick test_foj_drop_sources;
+          Alcotest.test_case "routing flips at sync" `Quick
+            test_foj_routing_flips;
+          Alcotest.test_case "abort mid-flight" `Quick test_foj_abort_mid_flight;
+          Alcotest.test_case "forced aborts roll back everywhere" `Quick
+            test_foj_forced_aborts;
+          Alcotest.test_case "non-blocking commit survivor" `Quick
+            test_foj_nonblocking_commit_survivor;
+          Alcotest.test_case "blocking commit with load" `Quick
+            test_foj_blocking_commit;
+          Alcotest.test_case "surrogate S key (rule 6 live)" `Quick
+            test_foj_surrogate_s_key_rule6 ] );
+      ( "split",
+        [ Alcotest.test_case "quiet convergence" `Quick test_split_quiet;
+          Alcotest.test_case "figure 3 example" `Quick test_split_fig3;
+          Alcotest.test_case "concurrent, consistent mode" `Quick
+            (test_split_concurrent true Transform.Nonblocking_abort);
+          Alcotest.test_case "concurrent, checked mode" `Quick
+            (test_split_concurrent false Transform.Nonblocking_abort);
+          Alcotest.test_case "concurrent, non-blocking commit" `Quick
+            (test_split_concurrent true Transform.Nonblocking_commit);
+          Alcotest.test_case "Example 1 inconsistency repaired" `Quick
+            test_split_inconsistency_repaired ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_foj_converges; prop_split_converges ] ) ]

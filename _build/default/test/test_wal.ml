@@ -1,0 +1,183 @@
+(* Tests for the write-ahead log: record codec, buffer, cursors. *)
+
+open Nbsc_value
+open Nbsc_wal
+
+let sample_row = Row.make [ Value.Int 7; Value.Text "x"; Value.Null ]
+let sample_key = Row.make [ Value.Int 7 ]
+
+let bodies =
+  [ Log_record.Begin;
+    Log_record.Commit;
+    Log_record.Abort_begin;
+    Log_record.Abort_done;
+    Log_record.Op (Log_record.Insert { table = "t"; row = sample_row });
+    Log_record.Op
+      (Log_record.Delete { table = "t"; key = sample_key; before = sample_row });
+    Log_record.Op
+      (Log_record.Update
+         { table = "weird|name:with\\chars";
+           key = sample_key;
+           changes = [ (1, Value.Text "new") ];
+           before = [ (1, Value.Text "old") ] });
+    Log_record.Clr
+      { undo_next = Lsn.of_int 3;
+        op = Log_record.Insert { table = "t"; row = sample_row } };
+    Log_record.Fuzzy_mark { active = [ (3, Lsn.of_int 1); (9, Lsn.of_int 5) ] };
+    Log_record.Fuzzy_mark { active = [] };
+    Log_record.Cc_begin { table = "t"; key = sample_key };
+    Log_record.Cc_ok { table = "t"; key = sample_key; image = sample_row };
+    Log_record.Checkpoint { active = [ (1, Lsn.of_int 1) ] } ]
+
+let test_record_roundtrip () =
+  List.iteri
+    (fun i body ->
+       let r =
+         { Log_record.lsn = Lsn.of_int (i + 1);
+           txn = i;
+           prev_lsn = Lsn.of_int i;
+           body }
+       in
+       let r' = Log_record.decode (Log_record.encode r) in
+       Alcotest.(check string)
+         (Printf.sprintf "body %d" i)
+         (Format.asprintf "%a" Log_record.pp r)
+         (Format.asprintf "%a" Log_record.pp r'))
+    bodies
+
+let test_append_get () =
+  let log = Log.create () in
+  Alcotest.(check int) "empty" 0 (Log.length log);
+  Alcotest.(check bool) "head zero" true (Lsn.equal (Log.head log) Lsn.zero);
+  let l1 = Log.append log ~txn:1 ~prev_lsn:Lsn.zero Log_record.Begin in
+  let l2 = Log.append log ~txn:1 ~prev_lsn:l1 Log_record.Commit in
+  Alcotest.(check int) "lsn 1" 1 (Lsn.to_int l1);
+  Alcotest.(check int) "lsn 2" 2 (Lsn.to_int l2);
+  Alcotest.(check bool) "get 1" true ((Log.get log l1).Log_record.body = Log_record.Begin);
+  Alcotest.(check bool) "get 2" true ((Log.get log l2).Log_record.body = Log_record.Commit);
+  Alcotest.check_raises "get out of range" Not_found (fun () ->
+      ignore (Log.get log (Lsn.of_int 3)))
+
+let test_growth () =
+  let log = Log.create () in
+  for i = 1 to 5000 do
+    ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero Log_record.Begin)
+  done;
+  Alcotest.(check int) "5000 records" 5000 (Log.length log);
+  Alcotest.(check int) "txn of 4321" 4321 (Log.get log (Lsn.of_int 4321)).Log_record.txn
+
+let test_fold_bounds () =
+  let log = Log.create () in
+  for i = 1 to 10 do
+    ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero Log_record.Begin)
+  done;
+  let txns ?from ?upto () =
+    Log.fold log ?from ?upto ~init:[] ~f:(fun acc r -> r.Log_record.txn :: acc)
+    |> List.rev
+  in
+  Alcotest.(check (list int)) "all" [1;2;3;4;5;6;7;8;9;10] (txns ());
+  Alcotest.(check (list int)) "from 8" [8;9;10] (txns ~from:(Lsn.of_int 8) ());
+  Alcotest.(check (list int)) "upto 3" [1;2;3] (txns ~upto:(Lsn.of_int 3) ());
+  Alcotest.(check (list int)) "window" [4;5]
+    (txns ~from:(Lsn.of_int 4) ~upto:(Lsn.of_int 5) ())
+
+let test_cursor () =
+  let log = Log.create () in
+  let l1 = Log.append log ~txn:1 ~prev_lsn:Lsn.zero Log_record.Begin in
+  ignore (Log.append log ~txn:2 ~prev_lsn:Lsn.zero Log_record.Begin);
+  let c = Log.Cursor.make log ~from:l1 in
+  Alcotest.(check int) "lag 2" 2 (Log.Cursor.lag c);
+  Alcotest.(check bool) "peek is 1" true
+    ((Option.get (Log.Cursor.peek c)).Log_record.txn = 1);
+  Alcotest.(check bool) "next is 1" true
+    ((Option.get (Log.Cursor.next c)).Log_record.txn = 1);
+  Alcotest.(check bool) "next is 2" true
+    ((Option.get (Log.Cursor.next c)).Log_record.txn = 2);
+  Alcotest.(check bool) "exhausted" true (Log.Cursor.next c = None);
+  Alcotest.(check int) "lag 0" 0 (Log.Cursor.lag c);
+  (* The cursor sees records appended after its creation. *)
+  ignore (Log.append log ~txn:3 ~prev_lsn:Lsn.zero Log_record.Begin);
+  Alcotest.(check int) "lag 1 again" 1 (Log.Cursor.lag c);
+  Alcotest.(check bool) "next is 3" true
+    ((Option.get (Log.Cursor.next c)).Log_record.txn = 3)
+
+let test_serialization_roundtrip () =
+  let log = Log.create () in
+  List.iteri
+    (fun i body ->
+       ignore (Log.append log ~txn:i ~prev_lsn:(Lsn.of_int i) body))
+    bodies;
+  let log' = Log.of_lines (Log.to_lines log) in
+  Alcotest.(check int) "same length" (Log.length log) (Log.length log');
+  Log.iter log (fun r ->
+      let r' = Log.get log' r.Log_record.lsn in
+      Alcotest.(check string) "same record"
+        (Format.asprintf "%a" Log_record.pp r)
+        (Format.asprintf "%a" Log_record.pp r'))
+
+let test_lsn_ops () =
+  let open Lsn in
+  Alcotest.(check bool) "zero < first" true (zero < first);
+  Alcotest.(check bool) "next" true (equal (next first) (of_int 2));
+  Alcotest.(check bool) "max" true (equal (max (of_int 3) (of_int 7)) (of_int 7));
+  Alcotest.(check bool) "ge" true (of_int 5 >= of_int 5)
+
+(* Property: any sequence of bodies written to a log survives a
+   serialize/deserialize trip. *)
+let arb_body =
+  let open QCheck.Gen in
+  let value =
+    oneof
+      [ return Value.Null; map (fun i -> Value.Int i) int;
+        map (fun s -> Value.Text s) small_string ]
+  in
+  let row = map Row.make (list_size (int_range 1 4) value) in
+  let body =
+    oneof
+      [ return Log_record.Begin;
+        return Log_record.Commit;
+        return Log_record.Abort_begin;
+        return Log_record.Abort_done;
+        map
+          (fun row -> Log_record.Op (Log_record.Insert { table = "q"; row }))
+          row;
+        map2
+          (fun key before ->
+             Log_record.Op (Log_record.Delete { table = "q"; key; before }))
+          row row;
+        map2
+          (fun key v ->
+             Log_record.Op
+               (Log_record.Update
+                  { table = "q"; key; changes = [ (0, v) ]; before = [ (0, Value.Null) ] }))
+          row value ]
+  in
+  QCheck.make (QCheck.Gen.list_size (int_range 0 30) body)
+
+let prop_log_serialization =
+  QCheck.Test.make ~name:"log serialization roundtrips" ~count:100 arb_body
+    (fun bodies ->
+       let log = Log.create () in
+       List.iteri
+         (fun i body -> ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero body))
+         bodies;
+       let log' = Log.of_lines (Log.to_lines log) in
+       Log.length log = Log.length log'
+       && Log.fold log ?from:None ?upto:None ~init:true ~f:(fun acc r ->
+           acc
+           && Format.asprintf "%a" Log_record.pp r
+              = Format.asprintf "%a" Log_record.pp (Log.get log' r.Log_record.lsn)))
+
+let () =
+  Alcotest.run "wal"
+    [ ( "records",
+        [ Alcotest.test_case "codec roundtrip" `Quick test_record_roundtrip ] );
+      ( "buffer",
+        [ Alcotest.test_case "append/get" `Quick test_append_get;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "fold bounds" `Quick test_fold_bounds;
+          Alcotest.test_case "cursor" `Quick test_cursor;
+          Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
+          Alcotest.test_case "lsn ops" `Quick test_lsn_ops ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_log_serialization ] ) ]
