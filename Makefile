@@ -1,0 +1,21 @@
+.PHONY: all build test check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full CI gate: build, tests, and (when ocamlformat is installed) a
+# formatting check. See ci/check.sh.
+check:
+	./ci/check.sh
+
+# Reformat in place (requires ocamlformat).
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -1,11 +1,12 @@
 (* nbsc — command-line front end.
 
    Subcommands:
-     demo     run a narrated demo transformation (foj | split | m2m)
-     figure   regenerate one of the paper's figures (4a 4b 4c 4d)
-     sync     measure the synchronization window per strategy
-     matrix   print the Figure 2 lock-compatibility matrix
-     log      run a small transformation and dump the resulting log *)
+     demo        run a narrated demo transformation (foj | split | m2m)
+     concurrent  run two transformations at once via the job registry
+     figure      regenerate one of the paper's figures (4a 4b 4c 4d)
+     sync        measure the synchronization window per strategy
+     matrix      print the Figure 2 lock-compatibility matrix
+     log         run a small transformation and dump the resulting log *)
 
 open Cmdliner
 open Nbsc_value
@@ -149,6 +150,91 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"run a narrated non-blocking transformation")
     Term.(ret (const run_demo $ kind $ rows))
 
+(* {1 concurrent}
+
+   Two independent transformations — an FOJ of R and S into T, and a
+   horizontal split archiving U — registered on the same database and
+   driven round-robin through its job registry, with user transactions
+   interleaved between rounds. *)
+
+let build_concurrent_db ~rows =
+  let db = build_foj_db ~rows in
+  let col = Schema.column in
+  ignore
+    (Db.create_table db ~name:"U"
+       (Schema.make ~key:[ "k" ]
+          [ col ~nullable:false "k" Value.TInt; col "v" Value.TText;
+            col "age" Value.TInt ]));
+  (match
+     Db.load db ~table:"U"
+       (List.init rows (fun i ->
+            Row.make
+              [ Value.Int i; Value.Text (Printf.sprintf "u%d" i);
+                Value.Int (i mod 100) ]))
+   with
+   | Ok () -> ()
+   | Error _ -> failwith "load");
+  db
+
+let run_concurrent rows =
+  let db = build_concurrent_db ~rows in
+  let config =
+    { Transform.default_config with
+      Transform.drop_sources = false;
+      scan_batch = 64;
+      propagate_batch = 64 }
+  in
+  let foj_tf = Transform.foj db ~config (foj_spec ~m2m:false) in
+  let hs_tf =
+    Transform.hsplit db ~config
+      { Spec.h_source = "U"; h_true_table = "U_old"; h_false_table = "U_live";
+        h_pred = Pred.Cmp ("age", Pred.Ge, Value.Int 50) }
+  in
+  say "registered jobs: %s" (String.concat ", " (Db.jobs db));
+  let mgr = Db.manager db in
+  let rng = Random.State.make [| 7 |] in
+  let writes = ref 0 and rounds = ref 0 in
+  let touch table =
+    if rows <= 0 then ()
+    else begin
+      incr writes;
+    let txn = Manager.begin_txn mgr in
+    match
+      Manager.update mgr ~txn ~table
+        ~key:(Row.make [ Value.Int (Random.State.int rng rows) ])
+        [ (1, Value.Text (Printf.sprintf "w%d" !writes)) ]
+    with
+    | Ok () -> ignore (Manager.commit mgr txn)
+    | Error _ -> ignore (Manager.abort mgr txn)
+    end
+  in
+  let between () =
+    incr rounds;
+    if Transform.routing foj_tf = `Sources then touch "R";
+    if Transform.routing hs_tf = `Sources then touch "U"
+  in
+  (match Db.run_jobs ~between db with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  say "%-18s %a" (Transform.job_name foj_tf) Transform.pp_progress
+    (Transform.progress foj_tf);
+  say "%-18s %a" (Transform.job_name hs_tf) Transform.pp_progress
+    (Transform.progress hs_tf);
+  say "scheduler rounds: %d; user writes interleaved: %d" !rounds !writes;
+  List.iter
+    (fun t -> say "table %-6s %6d rows" t (Db.row_count db t))
+    (Transform.targets foj_tf @ Transform.targets hs_tf);
+  `Ok ()
+
+let concurrent_cmd =
+  let rows =
+    Arg.(value & opt int 2000 & info [ "rows" ] ~doc:"source table size")
+  in
+  Cmd.v
+    (Cmd.info "concurrent"
+       ~doc:"run two transformations at once through the job registry")
+    Term.(ret (const run_concurrent $ rows))
+
 (* {1 figure} *)
 
 let run_figure name quick =
@@ -270,4 +356,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "nbsc" ~version:"1.0.0"
              ~doc:"online, non-blocking relational schema changes")
-          [ demo_cmd; figure_cmd; sync_cmd; matrix_cmd; log_cmd ]))
+          [ demo_cmd; concurrent_cmd; figure_cmd; sync_cmd; matrix_cmd;
+            log_cmd ]))

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: build + tests, plus a formatting check when ocamlformat is
+# available. The formatting step is advisory-by-absence: environments
+# without ocamlformat (the binary is not part of the base toolchain)
+# skip it rather than fail.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== ocamlformat check =="
+  dune build @fmt
+else
+  echo "== ocamlformat not installed; skipping format check =="
+fi
+
+echo "OK"

@@ -113,12 +113,12 @@ let () =
    | Ok () -> ()
    | Error m -> failwith m);
 
-  let hs = Option.get (Transform.hsplit_engine tf) in
   Format.printf "%a@." Transform.pp_progress (Transform.progress tf);
   Format.printf
     "orders processed while archiving: %d (%d closed mid-flight; %d rows \
      migrated between live and archive)@."
-    !traffic !closed_during (Hsplit.stats hs).Hsplit.migrations;
+    !traffic !closed_during
+    (List.assoc "migrations" (Transform.counters tf));
   Format.printf "orders_live: %d rows; orders_archive: %d rows (sum = %d)@."
     (Db.row_count db "orders_live")
     (Db.row_count db "orders_archive")

@@ -1,9 +1,5 @@
 open Nbsc_storage
-open Nbsc_txn
 open Nbsc_engine
-module Lsn = Nbsc_wal.Lsn
-module Log = Nbsc_wal.Log
-module Log_record = Nbsc_wal.Log_record
 
 type config = {
   scan_batch : int;
@@ -22,45 +18,19 @@ type t = {
 }
 
 let create db ?(config = default_config) spec =
-  let catalog = Db.catalog db in
-  let layout = Spec.foj_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog
-       ~indexes:(Spec.foj_t_indexes layout)
-       ~name:spec.Spec.t_table (Spec.foj_t_schema layout));
-  let fj = Foj.create catalog layout in
-  let r_tbl = Catalog.find catalog spec.Spec.r_table in
-  let s_tbl = Catalog.find catalog spec.Spec.s_table in
-  let pop = Population.foj fj ~r_tbl ~s_tbl in
-  let apply =
-    if spec.Spec.many_to_many then Foj_mm.apply fj else Foj.apply fj
-  in
-  let rules =
-    Propagator.rules ~transfer_locks:false
-      ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
-      ~targets:[ spec.Spec.t_table ]
-      ~apply:(fun ~lsn op ->
-          List.map (fun k -> (spec.Spec.t_table, k)) (apply ~lsn op))
-      ()
-  in
-  let mgr = Db.manager db in
-  (* Same fuzzy-mark discipline as a transformation: propagation starts
-     at the first record of any transaction active at the mark. *)
-  let active = Manager.active_snapshot mgr in
-  let mark =
-    Log.append (Manager.log mgr) ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
-      (Log_record.Fuzzy_mark { active })
-  in
-  let from =
-    List.fold_left
-      (fun acc (_, first) -> if Lsn.(first < acc) then first else acc)
-      mark active
+  (* A materialized view is an FOJ transformation that never
+     synchronizes: same preparation, population and redo rules, but no
+     lock transfer (the view never takes over from its sources). The
+     executor's lifecycle is not used — the view propagates forever and
+     is never registered as a completable background job. *)
+  let (module T : Transformation.S) =
+    Transformation.foj ~transfer_locks:false db spec
   in
   { db;
     config;
     name = spec.Spec.t_table;
-    pop;
-    prop = Propagator.create mgr rules ~from;
+    pop = T.population;
+    prop = Transformation.start_propagator (Db.manager db) T.rules;
     dropped = false }
 
 let populated t = Population.finished t.pop

@@ -3,188 +3,173 @@ open Nbsc_wal
 open Nbsc_storage
 module C = Foj_common
 
+(* The population step is pluggable: a transformation supplies a
+   bounded stepper over its private scan state, and the framework only
+   ever sees the [t] record below. The built-in constructors cover the
+   paper's operators; custom transformations use [make] directly. *)
+
+type counters = {
+  mutable scanned : int;
+  mutable produced : int;
+}
+
+type t = {
+  c : counters;
+  step_fn : limit:int -> bool;
+  finished_fn : unit -> bool;
+}
+
+let make ~step ~finished =
+  let c = { scanned = 0; produced = 0 } in
+  { c; step_fn = (fun ~limit -> step c ~limit); finished_fn = finished }
+
+let step t ~limit = t.step_fn ~limit
+let finished t = t.finished_fn ()
+let scanned t = t.c.scanned
+let produced t = t.c.produced
+
+(* {2 FOJ: hash S, stream R, emit unmatched S leftovers} *)
+
 type foj_phase =
   | Scan_s
   | Scan_r
   | Leftovers of (Row.t * bool ref) list
   | F_done
 
-type foj_state = {
-  f : Foj.t;
-  s_cursor : Table.Fuzzy_cursor.t;
-  r_cursor : Table.Fuzzy_cursor.t;
-  (* join value -> S rows seen with it (one in a clean one-to-many) *)
-  s_hash : (Row.t * bool ref) list Row.Key.Tbl.t;
-  mutable fphase : foj_phase;
-}
-
-type split_state = {
-  sp : Split.t;
-  t_cursor : Table.Fuzzy_cursor.t;
-  mutable s_done : bool;
-}
-
-type scan_state = {
-  mutable cursors : Table.Fuzzy_cursor.t list;
-  ingest : Record.t -> unit;
-}
-
-type state = P_foj of foj_state | P_split of split_state | P_scan of scan_state
-
-type t = {
-  state : state;
-  mutable scanned : int;
-  mutable produced : int;
-}
-
 let foj f ~r_tbl ~s_tbl =
-  { state =
-      P_foj
-        { f;
-          s_cursor = Table.Fuzzy_cursor.make s_tbl;
-          r_cursor = Table.Fuzzy_cursor.make r_tbl;
-          s_hash = Row.Key.Tbl.create 1024;
-          fphase = Scan_s };
-    scanned = 0;
-    produced = 0 }
+  let cctx = Foj.ctx f in
+  let l = cctx.C.layout in
+  let s_cursor = Table.Fuzzy_cursor.make s_tbl in
+  let r_cursor = Table.Fuzzy_cursor.make r_tbl in
+  (* join value -> S rows seen with it (one in a clean one-to-many) *)
+  let s_hash : (Row.t * bool ref) list Row.Key.Tbl.t =
+    Row.Key.Tbl.create 1024
+  in
+  let fphase = ref Scan_s in
+  let put_initial c ~presence row =
+    ignore (C.put cctx ~lsn:Lsn.zero ~presence row);
+    c.produced <- c.produced + 1
+  in
+  let step c ~limit =
+    match !fphase with
+    | Scan_s ->
+      let batch = Table.Fuzzy_cursor.next_batch s_cursor ~limit in
+      c.scanned <- c.scanned + List.length batch;
+      List.iter
+        (fun (record : Record.t) ->
+           let srow = record.Record.row in
+           let j = C.join_of_s_row l srow in
+           let entry = (srow, ref false) in
+           let existing =
+             match Row.Key.Tbl.find_opt s_hash j with
+             | Some e -> e
+             | None -> []
+           in
+           Row.Key.Tbl.replace s_hash j (entry :: existing))
+        batch;
+      if Table.Fuzzy_cursor.finished s_cursor then fphase := Scan_r;
+      false
+    | Scan_r ->
+      let batch = Table.Fuzzy_cursor.next_batch r_cursor ~limit in
+      c.scanned <- c.scanned + List.length batch;
+      List.iter
+        (fun (record : Record.t) ->
+           let rrow = record.Record.row in
+           let j = C.join_of_r_row l rrow in
+           let matches =
+             if Row.Key.has_null j then []
+             else
+               match Row.Key.Tbl.find_opt s_hash j with
+               | Some entries -> entries
+               | None -> []
+           in
+           match matches with
+           | [] ->
+             let row, bits = C.t_row_of_sources l ~r:(Some rrow) ~s:None in
+             put_initial c ~presence:bits row
+           | entries ->
+             List.iter
+               (fun (srow, matched) ->
+                  matched := true;
+                  let row, bits =
+                    C.t_row_of_sources l ~r:(Some rrow) ~s:(Some srow)
+                  in
+                  put_initial c ~presence:bits row)
+               entries)
+        batch;
+      if Table.Fuzzy_cursor.finished r_cursor then begin
+        let leftovers =
+          Row.Key.Tbl.fold (fun _ entries acc -> entries @ acc) s_hash []
+          |> List.filter (fun (_, matched) -> not !matched)
+        in
+        fphase := Leftovers leftovers
+      end;
+      false
+    | Leftovers remaining ->
+      let rec emit n rest =
+        if n >= limit then rest
+        else
+          match rest with
+          | [] -> []
+          | (srow, _) :: rest ->
+            let row, bits = C.t_row_of_sources l ~r:None ~s:(Some srow) in
+            put_initial c ~presence:bits row;
+            c.scanned <- c.scanned + 1;
+            emit (n + 1) rest
+      in
+      (match emit 0 remaining with
+       | [] ->
+         fphase := F_done;
+         true
+       | rest ->
+         fphase := Leftovers rest;
+         false)
+    | F_done -> true
+  in
+  make ~step ~finished:(fun () -> !fphase = F_done)
+
+(* {2 Split: stream T into R parts and reference-counted S parts} *)
 
 let split sp ~t_tbl =
-  { state = P_split { sp; t_cursor = Table.Fuzzy_cursor.make t_tbl; s_done = false };
-    scanned = 0;
-    produced = 0 }
+  let t_cursor = Table.Fuzzy_cursor.make t_tbl in
+  let s_done = ref false in
+  let step c ~limit =
+    if !s_done then true
+    else begin
+      let batch = Table.Fuzzy_cursor.next_batch t_cursor ~limit in
+      c.scanned <- c.scanned + List.length batch;
+      List.iter
+        (fun record ->
+           Split.ingest_initial sp record;
+           c.produced <- c.produced + 1)
+        batch;
+      if Table.Fuzzy_cursor.finished t_cursor then begin
+        s_done := true;
+        true
+      end
+      else false
+    end
+  in
+  make ~step ~finished:(fun () -> !s_done)
+
+(* {2 Generic sequential scans (hsplit, merge, materialized views)} *)
 
 let scan_many tables ~ingest =
-  { state =
-      P_scan { cursors = List.map Table.Fuzzy_cursor.make tables; ingest };
-    scanned = 0;
-    produced = 0 }
+  let cursors = ref (List.map Table.Fuzzy_cursor.make tables) in
+  let step c ~limit =
+    match !cursors with
+    | [] -> true
+    | cursor :: rest ->
+      let batch = Table.Fuzzy_cursor.next_batch cursor ~limit in
+      c.scanned <- c.scanned + List.length batch;
+      List.iter
+        (fun record ->
+           ingest record;
+           c.produced <- c.produced + 1)
+        batch;
+      if Table.Fuzzy_cursor.finished cursor then cursors := rest;
+      !cursors = []
+  in
+  make ~step ~finished:(fun () -> !cursors = [])
 
 let scan_one table ~ingest = scan_many [ table ] ~ingest
-
-let put_initial t cctx ~presence row =
-  ignore (C.put cctx ~lsn:Lsn.zero ~presence row);
-  t.produced <- t.produced + 1
-
-let foj_step t fs ~limit =
-  let cctx = Foj.ctx fs.f in
-  let l = cctx.C.layout in
-  match fs.fphase with
-  | Scan_s ->
-    let batch = Table.Fuzzy_cursor.next_batch fs.s_cursor ~limit in
-    t.scanned <- t.scanned + List.length batch;
-    List.iter
-      (fun (record : Record.t) ->
-         let srow = record.Record.row in
-         let j = C.join_of_s_row l srow in
-         let entry = (srow, ref false) in
-         let existing =
-           match Row.Key.Tbl.find_opt fs.s_hash j with
-           | Some e -> e
-           | None -> []
-         in
-         Row.Key.Tbl.replace fs.s_hash j (entry :: existing))
-      batch;
-    if Table.Fuzzy_cursor.finished fs.s_cursor then fs.fphase <- Scan_r;
-    false
-  | Scan_r ->
-    let batch = Table.Fuzzy_cursor.next_batch fs.r_cursor ~limit in
-    t.scanned <- t.scanned + List.length batch;
-    List.iter
-      (fun (record : Record.t) ->
-         let rrow = record.Record.row in
-         let j = C.join_of_r_row l rrow in
-         let matches =
-           if Row.Key.has_null j then []
-           else
-             match Row.Key.Tbl.find_opt fs.s_hash j with
-             | Some entries -> entries
-             | None -> []
-         in
-         match matches with
-         | [] ->
-           let row, bits = C.t_row_of_sources l ~r:(Some rrow) ~s:None in
-           put_initial t cctx ~presence:bits row
-         | entries ->
-           List.iter
-             (fun (srow, matched) ->
-                matched := true;
-                let row, bits =
-                  C.t_row_of_sources l ~r:(Some rrow) ~s:(Some srow)
-                in
-                put_initial t cctx ~presence:bits row)
-             entries)
-      batch;
-    if Table.Fuzzy_cursor.finished fs.r_cursor then begin
-      let leftovers =
-        Row.Key.Tbl.fold (fun _ entries acc -> entries @ acc) fs.s_hash []
-        |> List.filter (fun (_, matched) -> not !matched)
-      in
-      fs.fphase <- Leftovers leftovers
-    end;
-    false
-  | Leftovers remaining ->
-    let rec emit n rest =
-      if n >= limit then rest
-      else
-        match rest with
-        | [] -> []
-        | (srow, _) :: rest ->
-          let row, bits = C.t_row_of_sources l ~r:None ~s:(Some srow) in
-          put_initial t cctx ~presence:bits row;
-          t.scanned <- t.scanned + 1;
-          emit (n + 1) rest
-    in
-    (match emit 0 remaining with
-     | [] ->
-       fs.fphase <- F_done;
-       true
-     | rest ->
-       fs.fphase <- Leftovers rest;
-       false)
-  | F_done -> true
-
-let split_step t ss ~limit =
-  if ss.s_done then true
-  else begin
-    let batch = Table.Fuzzy_cursor.next_batch ss.t_cursor ~limit in
-    t.scanned <- t.scanned + List.length batch;
-    List.iter
-      (fun record ->
-         Split.ingest_initial ss.sp record;
-         t.produced <- t.produced + 1)
-      batch;
-    if Table.Fuzzy_cursor.finished ss.t_cursor then begin
-      ss.s_done <- true;
-      true
-    end
-    else false
-  end
-
-let scan_step t sc ~limit =
-  match sc.cursors with
-  | [] -> true
-  | cursor :: rest ->
-    let batch = Table.Fuzzy_cursor.next_batch cursor ~limit in
-    t.scanned <- t.scanned + List.length batch;
-    List.iter
-      (fun record ->
-         sc.ingest record;
-         t.produced <- t.produced + 1)
-      batch;
-    if Table.Fuzzy_cursor.finished cursor then sc.cursors <- rest;
-    sc.cursors = []
-
-let step t ~limit =
-  match t.state with
-  | P_foj fs -> foj_step t fs ~limit
-  | P_split ss -> split_step t ss ~limit
-  | P_scan sc -> scan_step t sc ~limit
-
-let finished t =
-  match t.state with
-  | P_foj fs -> fs.fphase = F_done
-  | P_split ss -> ss.s_done
-  | P_scan sc -> sc.cursors = []
-
-let scanned t = t.scanned
-let produced t = t.produced

@@ -16,6 +16,18 @@ open Nbsc_storage
 
 type t
 
+type counters = {
+  mutable scanned : int;
+  mutable produced : int;
+}
+
+val make : step:(counters -> limit:int -> bool) -> finished:(unit -> bool) -> t
+(** Build a population from a bounded stepper: [step counters ~limit]
+    does up to [limit] records of work, bumps the counters, and returns
+    true when done. This is the extension point a custom
+    {!Transformation.S} implementation uses; the constructors below are
+    the paper's operators expressed through it. *)
+
 val foj : Foj.t -> r_tbl:Table.t -> s_tbl:Table.t -> t
 val split : Split.t -> t_tbl:Table.t -> t
 

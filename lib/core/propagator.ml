@@ -19,6 +19,11 @@ type t = {
   mgr : Manager.t;
   rules : rules;
   cursor : Log.Cursor.t;
+  (* Source-table name -> position in [rules.sources], and the target
+     set — precomputed because [handle_op] consults them for every log
+     record on the redo path. *)
+  source_index : (string, int) Hashtbl.t;
+  target_set : (string, unit) Hashtbl.t;
   mutable processed : int;
   mutable transferred : int;
   mutable lock_mapper :
@@ -26,19 +31,23 @@ type t = {
 }
 
 let create mgr rules ~from =
+  let source_index = Hashtbl.create 8 in
+  List.iteri
+    (fun i s ->
+       if not (Hashtbl.mem source_index s) then Hashtbl.add source_index s i)
+    rules.sources;
+  let target_set = Hashtbl.create 8 in
+  List.iter (fun tgt -> Hashtbl.replace target_set tgt ()) rules.targets;
   { mgr;
     rules;
     cursor = Log.Cursor.make (Manager.log mgr) ~from;
+    source_index;
+    target_set;
     processed = 0;
     transferred = 0;
     lock_mapper = None }
 
-let provenance_of t table =
-  let rec go i = function
-    | [] -> None
-    | s :: rest -> if String.equal s table then Some i else go (i + 1) rest
-  in
-  go 0 t.rules.sources
+let provenance_of t table = Hashtbl.find_opt t.source_index table
 
 let note_cc_touches t touched =
   match t.rules.cc, t.rules.cc_s_table with
@@ -66,7 +75,7 @@ let is_transferred_on_target t ~table (lock : Compat.lock) =
   (match lock.Compat.provenance with
    | Compat.Source _ -> true
    | Compat.Native -> false)
-  && List.mem table t.rules.targets
+  && Hashtbl.mem t.target_set table
 
 let release_transferred t ~owner =
   Lock_table.release_owner_where (Manager.locks t.mgr) ~owner
@@ -74,7 +83,7 @@ let release_transferred t ~owner =
 
 let handle_op t ~txn ~lsn op =
   let source = Log_record.op_table op in
-  if List.exists (String.equal source) t.rules.sources then begin
+  if Hashtbl.mem t.source_index source then begin
     let touched = t.rules.apply ~lsn op in
     note_cc_touches t touched;
     transfer_locks t ~owner:txn ~source touched

@@ -1,4 +1,3 @@
-open Nbsc_value
 open Nbsc_wal
 open Nbsc_lock
 open Nbsc_storage
@@ -33,22 +32,21 @@ type phase =
   | Done
   | Failed of string
 
-type kind =
-  | K_foj of Foj.t
-  | K_split of Split.t * Consistency.t option
-  | K_hsplit of Hsplit.t
-  | K_merge of Merge.t
-
 type t = {
   db : Db.t;
   mgr : Manager.t;
   config : config;
-  kind : kind;
+  tf : Transformation.packed;
   pop : Population.t;
   prop : Propagator.t;
   src : string list;
   tgt : string list;
-  holder : int;  (* latch holder id *)
+  lock_map : Transformation.lock_map;
+  consistency : Consistency.t option;
+  unknown : unit -> int;
+  hooks : Transformation.sync_hooks;
+  holder : int;  (* latch holder id, also the lock-hook id *)
+  job_name : string;
   analysis : Analysis.t;
   mutable tphase : phase;
   mutable route : [ `Sources | `Targets ];
@@ -65,6 +63,7 @@ type progress = {
   iterations : int;
   scanned : int;
   produced : int;
+  applied : int;
   propagated : int;
   lag : int;
   locks_transferred : int;
@@ -81,89 +80,48 @@ let next_holder =
 
 let write_fuzzy_mark mgr =
   let active = Manager.active_snapshot mgr in
-  let lsn =
-    Log.append (Manager.log mgr) ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
-      (Log_record.Fuzzy_mark { active })
-  in
-  (lsn, active)
+  ignore
+    (Log.append (Manager.log mgr) ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
+       (Log_record.Fuzzy_mark { active }))
 
-(* {2 Lock mapping — how a lock on a source record projects onto the
-   transformed tables (used for sync-time lock transfer and for the
-   two-schema locking of non-blocking commit)} *)
+(* {2 Introspection} *)
 
-let foj_source_to_targets fj ~table ~key =
-  let cctx = Foj.ctx fj in
-  let l = cctx.Foj_common.layout in
-  let spec = l.Spec.spec in
-  let t_name = spec.Spec.t_table in
-  if String.equal table spec.Spec.r_table then
-    List.map (fun (k, _) -> (t_name, k)) (Foj_common.by_r_key cctx key)
-  else if String.equal table spec.Spec.s_table then
-    List.map (fun (k, _) -> (t_name, k)) (Foj_common.by_s_key cctx key)
-  else []
+let phase t = t.tphase
+let routing t = t.route
+let sources t = t.src
+let targets t = t.tgt
+let manager t = t.mgr
+let job_name t = t.job_name
+let checker t = t.consistency
 
-let foj_target_to_sources fj ~key =
-  let cctx = Foj.ctx fj in
-  let l = cctx.Foj_common.layout in
-  let spec = l.Spec.spec in
-  (* T's composite key carries both source keys (possibly overlapping
-     on shared join columns); project each side out by index. *)
-  let part indices = Array.of_list (List.map (Array.get key) indices) in
-  let r_part = part l.Spec.r_key_in_tkey in
-  let s_part = part l.Spec.s_key_in_tkey in
-  (if Row.Key.has_null r_part then [] else [ (spec.Spec.r_table, r_part) ])
-  @ if Row.Key.has_null s_part then [] else [ (spec.Spec.s_table, s_part) ]
+let name t =
+  let (module T : Transformation.S) = t.tf in
+  T.name
 
-let split_source_to_targets sp db ~key =
-  let layout = Split.layout sp in
-  let spec = layout.Spec.sspec in
-  let r_name = spec.Spec.r_table' and s_name = spec.Spec.s_table' in
-  let base = [ (r_name, key) ] in
-  match Catalog.find_opt (Db.catalog db) spec.Spec.t_table' with
-  | None -> base
-  | Some t_tbl ->
-    (match Table.find t_tbl key with
-     | None -> base
-     | Some record ->
-       let v = Row.project record.Record.row layout.Spec.split_in_t in
-       (s_name, v) :: base)
+let counters t =
+  let (module T : Transformation.S) = t.tf in
+  T.counters ()
 
-let split_target_to_sources sp db ~table ~key =
-  let layout = Split.layout sp in
-  let spec = layout.Spec.sspec in
-  let t_name = spec.Spec.t_table' in
-  if String.equal table spec.Spec.r_table' then [ (t_name, key) ]
-  else if String.equal table spec.Spec.s_table' then
-    match Catalog.find_opt (Db.catalog db) t_name with
-    | None -> []
-    | Some t_tbl ->
-      List.map
-        (fun k -> (t_name, k))
-        (Table.index_lookup t_tbl ~index:Spec.ix_t_split key)
-  else []
+let progress t =
+  { p_phase = t.tphase;
+    iterations = t.iterations;
+    scanned = Population.scanned t.pop;
+    produced = Population.produced t.pop;
+    applied = Transformation.counter t.tf "applied";
+    propagated = Propagator.records_processed t.prop;
+    lag = Propagator.lag t.prop;
+    locks_transferred = Propagator.locks_transferred t.prop;
+    final_records = t.final_records;
+    unknown_flags = t.unknown ();
+    forced_aborts = t.forced_aborts }
 
-let source_lock_mapper t ~table ~key =
-  match t.kind with
-  | K_foj fj -> foj_source_to_targets fj ~table ~key
-  | K_split (sp, _) -> split_source_to_targets sp t.db ~key
-  | K_hsplit hs ->
-    (* The key lives in exactly one target, but lock both conservatively
-       (an update may migrate the row). *)
-    [ (Table.name (Hsplit.true_table hs), key);
-      (Table.name (Hsplit.false_table hs), key) ]
-  | K_merge mg -> [ (Table.name (Merge.target mg), key) ]
+(* {2 Two-schema locking (paper, Sec. 4.3)}
 
-let target_lock_mapper t ~table ~key =
-  match t.kind with
-  | K_foj fj -> foj_target_to_sources fj ~key
-  | K_split (sp, _) -> split_target_to_sources sp t.db ~table ~key
-  | K_hsplit hs ->
-    [ (Hsplit.layout hs).Spec.hspec.Spec.h_source, key ]
-  | K_merge mg ->
-    (* The target key could stem from any source; lock all of them. *)
-    List.map
-      (fun src -> (src, key))
-      (Merge.layout mg).Spec.mspec.Spec.m_sources
+   A lock on a source record is also taken on the implicated target
+   records (with Source provenance, so transferred locks never fight
+   each other), and a lock on a target record is also taken on the
+   corresponding source records (Native — ordinary conflicts there).
+   Both directions come from the operator's lock map. *)
 
 let source_index t table =
   let rec go i = function
@@ -172,11 +130,6 @@ let source_index t table =
   in
   go 0 t.src
 
-(* Two-schema locking hook for non-blocking commit (paper, Sec. 4.3):
-   a lock on a source record is also taken on the implicated target
-   records (with Source provenance, so transferred locks never fight
-   each other), and a lock on a target record is also taken on the
-   corresponding source records (Native — ordinary conflicts there). *)
 let dual_lock_hook t ~txn:_ ~table ~key ~mode =
   if List.exists (String.equal table) t.src then
     List.map
@@ -186,177 +139,15 @@ let dual_lock_hook t ~txn:_ ~table ~key ~mode =
            lock =
              { Compat.mode; provenance = Compat.Source (source_index t table) }
          })
-      (source_lock_mapper t ~table ~key)
+      (t.lock_map.Transformation.source_to_targets ~table ~key)
   else if List.exists (String.equal table) t.tgt then
     List.map
       (fun (tbl, k) ->
          { Lock_table_many.table = tbl;
            key = k;
            lock = { Compat.mode; provenance = Compat.Native } })
-      (target_lock_mapper t ~table ~key)
+      (t.lock_map.Transformation.target_to_sources ~table ~key)
   else []
-
-(* {2 Construction (the preparation step)} *)
-
-let make db config kind ~pop ~rules ~src ~tgt =
-  let mgr = Db.manager db in
-  let mark_lsn, active = write_fuzzy_mark mgr in
-  let from =
-    List.fold_left
-      (fun acc (_, first) -> if Lsn.(first < acc) then first else acc)
-      mark_lsn active
-  in
-  let prop = Propagator.create mgr rules ~from in
-  let t =
-    { db;
-      mgr;
-      config;
-      kind;
-      pop;
-      prop;
-      src;
-      tgt;
-      holder = next_holder ();
-      analysis = Analysis.create config.analysis;
-      tphase = Populating;
-      route = `Sources;
-      iterations = 0;
-      caught_up_once = false;
-      final_records = 0;
-      old_txns = [];
-      forced_aborts = 0;
-      hook_installed = false }
-  in
-  Propagator.set_lock_mapper prop (fun ~table ~key ->
-      source_lock_mapper t ~table ~key);
-  t
-
-let foj db ?(config = default_config) spec =
-  let catalog = Db.catalog db in
-  let layout = Spec.foj_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog
-       ~indexes:(Spec.foj_t_indexes layout)
-       ~name:spec.Spec.t_table (Spec.foj_t_schema layout));
-  let fj = Foj.create catalog layout in
-  let r_tbl = Catalog.find catalog spec.Spec.r_table in
-  let s_tbl = Catalog.find catalog spec.Spec.s_table in
-  let pop = Population.foj fj ~r_tbl ~s_tbl in
-  let apply =
-    if spec.Spec.many_to_many then
-      fun ~lsn op ->
-        List.map (fun k -> (spec.Spec.t_table, k)) (Foj_mm.apply fj ~lsn op)
-    else
-      fun ~lsn op ->
-        List.map (fun k -> (spec.Spec.t_table, k)) (Foj.apply fj ~lsn op)
-  in
-  let rules =
-    Propagator.rules
-      ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
-      ~targets:[ spec.Spec.t_table ] ~apply ()
-  in
-  make db config (K_foj fj) ~pop ~rules
-    ~src:[ spec.Spec.r_table; spec.Spec.s_table ]
-    ~tgt:[ spec.Spec.t_table ]
-
-let split db ?(config = default_config) spec =
-  let catalog = Db.catalog db in
-  let layout = Spec.split_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.r_table'
-       (Spec.split_r_schema layout));
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.s_table'
-       (Spec.split_s_schema layout));
-  let t_tbl = Catalog.find catalog spec.Spec.t_table' in
-  Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:spec.Spec.split_key;
-  let sp = Split.create catalog layout in
-  let cc =
-    if spec.Spec.assume_consistent then None
-    else Some (Consistency.create catalog sp ~log:(Db.log db))
-  in
-  let pop = Population.split sp ~t_tbl in
-  let rules =
-    { Propagator.sources = [ spec.Spec.t_table' ];
-      targets = [ spec.Spec.r_table'; spec.Spec.s_table' ];
-      apply = (fun ~lsn op -> Split.apply sp ~lsn op);
-      cc;
-      cc_s_table = Some spec.Spec.s_table';
-      transfer_locks = true }
-  in
-  make db config (K_split (sp, cc)) ~pop ~rules
-    ~src:[ spec.Spec.t_table' ]
-    ~tgt:[ spec.Spec.r_table'; spec.Spec.s_table' ]
-
-let hsplit db ?(config = default_config) spec =
-  let catalog = Db.catalog db in
-  let layout = Spec.hsplit_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.h_true_table
-       layout.Spec.h_schema);
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.h_false_table
-       layout.Spec.h_schema);
-  let hs = Hsplit.create catalog layout in
-  let source = Catalog.find catalog spec.Spec.h_source in
-  let pop = Population.scan_one source ~ingest:(Hsplit.ingest_initial hs) in
-  let rules =
-    Propagator.rules ~sources:[ spec.Spec.h_source ]
-      ~targets:[ spec.Spec.h_true_table; spec.Spec.h_false_table ]
-      ~apply:(fun ~lsn op -> Hsplit.apply hs ~lsn op)
-      ()
-  in
-  make db config (K_hsplit hs) ~pop ~rules
-    ~src:[ spec.Spec.h_source ]
-    ~tgt:[ spec.Spec.h_true_table; spec.Spec.h_false_table ]
-
-let merge db ?(config = default_config) spec =
-  let catalog = Db.catalog db in
-  let layout = Spec.merge_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema);
-  let mg = Merge.create catalog layout in
-  let sources = List.map (Catalog.find catalog) spec.Spec.m_sources in
-  let pop = Population.scan_many sources ~ingest:(Merge.ingest_initial mg) in
-  let rules =
-    Propagator.rules ~sources:spec.Spec.m_sources
-      ~targets:[ spec.Spec.m_target ]
-      ~apply:(fun ~lsn op -> Merge.apply mg ~lsn op)
-      ()
-  in
-  make db config (K_merge mg) ~pop ~rules ~src:spec.Spec.m_sources
-    ~tgt:[ spec.Spec.m_target ]
-
-(* {2 Introspection} *)
-
-let phase t = t.tphase
-let routing t = t.route
-let sources t = t.src
-let targets t = t.tgt
-let manager t = t.mgr
-
-let foj_engine t = match t.kind with K_foj f -> Some f | _ -> None
-let split_engine t = match t.kind with K_split (s, _) -> Some s | _ -> None
-let hsplit_engine t = match t.kind with K_hsplit h -> Some h | _ -> None
-let merge_engine t = match t.kind with K_merge m -> Some m | _ -> None
-let checker t = match t.kind with K_split (_, cc) -> cc | _ -> None
-
-let unknown_flags t =
-  match t.kind with
-  | K_split (sp, Some _) -> Split.unknown_count sp
-  | K_split (_, None) | K_foj _ | K_hsplit _ | K_merge _ -> 0
-
-let progress t =
-  { p_phase = t.tphase;
-    iterations = t.iterations;
-    scanned = Population.scanned t.pop;
-    produced = Population.produced t.pop;
-    propagated = Propagator.records_processed t.prop;
-    lag = Propagator.lag t.prop;
-    locks_transferred = Propagator.locks_transferred t.prop;
-    final_records = t.final_records;
-    unknown_flags = unknown_flags t;
-    forced_aborts = t.forced_aborts }
 
 (* {2 Synchronization (paper, Sec. 3.4)} *)
 
@@ -372,11 +163,22 @@ let active_txns_on_sources t =
   |> List.sort_uniq Int.compare
 
 let latch_sources t =
-  List.iter
-    (fun table ->
-       if not (Latch.try_latch (Manager.latches t.mgr) ~holder:t.holder ~table)
-       then failwith ("Transform: latch on " ^ table ^ " unavailable"))
-    t.src
+  let latches = Manager.latches t.mgr in
+  let rec go acquired = function
+    | [] -> true
+    | table :: rest ->
+      if Latch.try_latch latches ~holder:t.holder ~table then
+        go (table :: acquired) rest
+      else begin
+        (* Another transformation holds one of our latches right now —
+           back out and retry at a later step rather than deadlocking. *)
+        List.iter
+          (fun table -> Latch.unlatch latches ~holder:t.holder ~table)
+          acquired;
+        false
+      end
+  in
+  go [] t.src
 
 let unlatch_sources t =
   List.iter
@@ -385,82 +187,97 @@ let unlatch_sources t =
          Latch.unlatch (Manager.latches t.mgr) ~holder:t.holder ~table)
     t.src
 
+let switch_routing t =
+  t.hooks.Transformation.before_switch ();
+  t.route <- `Targets;
+  t.hooks.Transformation.after_switch ()
+
 let finalize t =
   if t.hook_installed then begin
-    Manager.set_extra_lock_hook t.mgr None;
+    Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
     t.hook_installed <- false
   end;
-  Manager.freeze_tables t.mgr [];
+  Manager.unfreeze_tables t.mgr t.src;
   if t.config.drop_sources then
     List.iter
       (fun src ->
          if Catalog.mem (Db.catalog t.db) src then
            Catalog.drop (Db.catalog t.db) src)
       t.src;
+  t.hooks.Transformation.on_done ();
+  Db.unregister_job t.db ~name:t.job_name;
   t.tphase <- Done
 
+(* Returns false when the sources could not be latched (another
+   transformation is synchronizing on an overlapping table); the caller
+   stays in Propagating and retries on a later step. *)
 let begin_sync t =
   match t.config.strategy with
   | Blocking_commit ->
     (* Block newcomers; current transactions run to completion. *)
     Manager.freeze_tables t.mgr t.src;
-    t.tphase <- Quiescing
+    t.tphase <- Quiescing;
+    true
   | Nonblocking_abort ->
-    latch_sources t;
-    t.final_records <- Propagator.run_to_head t.prop;
-    let old = active_txns_on_sources t in
-    t.old_txns <- old;
-    t.route <- `Targets;
-    Manager.freeze_tables t.mgr t.src;
-    unlatch_sources t;
-    (* Force the transactions that were active on the sources to roll
-       back; their CLRs keep flowing through the propagator, which
-       releases the corresponding transferred locks as it reaches each
-       abort record. *)
-    List.iter
-      (fun txn ->
-         Manager.mark_abort_only t.mgr txn;
-         match Manager.abort t.mgr txn with
-         | Ok () -> t.forced_aborts <- t.forced_aborts + 1
-         | Error _ -> ())
-      old;
-    t.tphase <- Draining
-  | Nonblocking_commit ->
-    latch_sources t;
-    t.final_records <- Propagator.run_to_head t.prop;
-    Propagator.transfer_current_source_locks t.prop;
-    t.old_txns <- active_txns_on_sources t;
-    Manager.set_extra_lock_hook t.mgr
-      (Some (fun ~txn ~table ~key ~mode -> dual_lock_hook t ~txn ~table ~key ~mode));
-    t.hook_installed <- true;
-    t.route <- `Targets;
-    Manager.freeze_tables t.mgr t.src;
-    unlatch_sources t;
-    t.tphase <- Draining
-
-let cc_ready t =
-  match t.kind with
-  | K_foj _ | K_split (_, None) | K_hsplit _ | K_merge _ -> true
-  | K_split (sp, Some _) -> Split.unknown_count sp = 0
-
-let try_sync t =
-  if t.config.sync_gate () && Analysis.ready t.analysis ~lag:(Propagator.lag t.prop)
-  then
-    if cc_ready t then begin
-      begin_sync t;
+    if not (latch_sources t) then false
+    else begin
+      t.final_records <- Propagator.run_to_head t.prop;
+      let old = active_txns_on_sources t in
+      t.old_txns <- old;
+      switch_routing t;
+      Manager.freeze_tables t.mgr t.src;
+      unlatch_sources t;
+      (* Force the transactions that were active on the sources to roll
+         back; their CLRs keep flowing through the propagator, which
+         releases the corresponding transferred locks as it reaches each
+         abort record. *)
+      List.iter
+        (fun txn ->
+           Manager.mark_abort_only t.mgr txn;
+           match Manager.abort t.mgr txn with
+           | Ok () -> t.forced_aborts <- t.forced_aborts + 1
+           | Error _ -> ())
+        old;
+      t.tphase <- Draining;
       true
     end
+  | Nonblocking_commit ->
+    if not (latch_sources t) then false
+    else begin
+      t.final_records <- Propagator.run_to_head t.prop;
+      Propagator.transfer_current_source_locks t.prop;
+      t.old_txns <- active_txns_on_sources t;
+      Manager.add_extra_lock_hook t.mgr ~id:t.holder
+        (fun ~txn ~table ~key ~mode -> dual_lock_hook t ~txn ~table ~key ~mode);
+      t.hook_installed <- true;
+      switch_routing t;
+      Manager.freeze_tables t.mgr t.src;
+      unlatch_sources t;
+      t.tphase <- Draining;
+      true
+    end
+
+let cc_ready t = match t.consistency with None -> true | Some _ -> t.unknown () = 0
+
+let try_sync t =
+  if
+    t.config.sync_gate ()
+    && Analysis.ready t.analysis ~lag:(Propagator.lag t.prop)
+  then
+    if cc_ready t then begin_sync t
     else begin
       t.tphase <- Checking;
       true
     end
   else false
 
+(* {2 The quantum stepper} *)
+
 let step t =
   (match t.tphase with
    | Populating ->
      if Population.step t.pop ~limit:t.config.scan_batch then begin
-       ignore (write_fuzzy_mark t.mgr);
+       write_fuzzy_mark t.mgr;
        t.tphase <- Propagating
      end
    | Propagating ->
@@ -474,9 +291,9 @@ let step t =
      if Propagator.lag t.prop > 0 then t.caught_up_once <- false;
      ignore (try_sync t)
    | Checking ->
-     (match t.kind with
-      | K_split (_, Some cc) -> ignore (Consistency.step cc)
-      | K_split (_, None) | K_foj _ | K_hsplit _ | K_merge _ -> ());
+     (match t.consistency with
+      | Some cc -> ignore (Consistency.step cc)
+      | None -> ());
      let consumed = Propagator.step t.prop ~limit:t.config.propagate_batch in
      Analysis.observe t.analysis ~lag:(Propagator.lag t.prop) ~consumed;
      if cc_ready t then begin
@@ -487,7 +304,7 @@ let step t =
      ignore (Propagator.step t.prop ~limit:t.config.propagate_batch);
      if active_txns_on_sources t = [] then begin
        t.final_records <- Propagator.run_to_head t.prop;
-       t.route <- `Targets;
+       switch_routing t;
        finalize t
      end
    | Draining ->
@@ -513,16 +330,58 @@ let run ?(between = fun () -> ()) t =
   in
   go ()
 
+(* {2 Construction} *)
+
+let create db ?(config = default_config) packed =
+  let (module T : Transformation.S) = packed in
+  let mgr = Db.manager db in
+  let prop = Transformation.start_propagator mgr T.rules in
+  let holder = next_holder () in
+  let t =
+    { db;
+      mgr;
+      config;
+      tf = packed;
+      pop = T.population;
+      prop;
+      src = T.sources;
+      tgt = T.targets;
+      lock_map = T.lock_map;
+      consistency = T.consistency;
+      unknown = T.unknown_flags;
+      hooks = T.sync_hooks;
+      holder;
+      job_name = T.name ^ "#" ^ string_of_int holder;
+      analysis = Analysis.create config.analysis;
+      tphase = Populating;
+      route = `Sources;
+      iterations = 0;
+      caught_up_once = false;
+      final_records = 0;
+      old_txns = [];
+      forced_aborts = 0;
+      hook_installed = false }
+  in
+  Propagator.set_lock_mapper prop (fun ~table ~key ->
+      t.lock_map.Transformation.source_to_targets ~table ~key);
+  Db.register_job db ~name:t.job_name ~step:(fun () -> step t);
+  t
+
+let foj db ?config spec = create db ?config (Transformation.foj db spec)
+let split db ?config spec = create db ?config (Transformation.split db spec)
+let hsplit db ?config spec = create db ?config (Transformation.hsplit db spec)
+let merge db ?config spec = create db ?config (Transformation.merge db spec)
+
 let abort t =
   match t.tphase with
   | Done -> ()
   | _ ->
     if t.hook_installed then begin
-      Manager.set_extra_lock_hook t.mgr None;
+      Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
       t.hook_installed <- false
     end;
     unlatch_sources t;
-    Manager.freeze_tables t.mgr [];
+    Manager.unfreeze_tables t.mgr t.src;
     (* Drop transferred locks on the targets, then the targets. *)
     let locks = Manager.locks t.mgr in
     List.iter
@@ -533,6 +392,7 @@ let abort t =
          if Catalog.mem (Db.catalog t.db) tgt then
            Catalog.drop (Db.catalog t.db) tgt)
       t.tgt;
+    Db.unregister_job t.db ~name:t.job_name;
     t.tphase <- Failed "aborted by request"
 
 let pp_phase ppf = function
@@ -546,7 +406,7 @@ let pp_phase ppf = function
 
 let pp_progress ppf p =
   Format.fprintf ppf
-    "@[phase=%a iter=%d scanned=%d produced=%d propagated=%d lag=%d \
-     locks=%d final=%d unknown=%d aborts=%d@]"
-    pp_phase p.p_phase p.iterations p.scanned p.produced p.propagated p.lag
-    p.locks_transferred p.final_records p.unknown_flags p.forced_aborts
+    "@[phase=%a iter=%d scanned=%d produced=%d applied=%d propagated=%d \
+     lag=%d locks=%d final=%d unknown=%d aborts=%d@]"
+    pp_phase p.p_phase p.iterations p.scanned p.produced p.applied p.propagated
+    p.lag p.locks_transferred p.final_records p.unknown_flags p.forced_aborts

@@ -1,20 +1,30 @@
-(** The non-blocking transformation framework (paper, Sec. 3).
+(** The generic schema-change executor (paper, Sec. 3).
 
-    A transformation is an incremental background process: create it
-    (the {e preparation step} — target tables, indexes, validation),
+    A transformation is an incremental background process: build an
+    operator with the {!Transformation} builders (the {e preparation
+    step} — target tables, indexes, validation), hand it to {!create},
     then call {!step} repeatedly, interleaved with user transactions at
     whatever granularity the caller (application, test, or the
-    simulator's priority scheduler) chooses. Each step performs a
-    bounded amount of work:
+    simulator's priority scheduler) chooses. Each step performs one
+    bounded {e quantum} of work:
 
     + {e initial population} — fuzzy (lock-free) scan of the sources,
       transformation operator applied, initial image inserted;
     + {e log propagation} — the redo rules of Sections 4 and 5,
       transferring source-transaction locks to the targets as it goes;
-    + {e consistency checking} — for split of possibly-inconsistent
-      data, until every S record is C-flagged;
+    + {e consistency checking} — until the operator's checker clears
+      every record (split of possibly-inconsistent data, Sec. 5.3);
     + {e synchronization} — one of the paper's three strategies
       (Sec. 3.4), ending with the source tables dropped.
+
+    The executor owns only this lifecycle state machine; everything
+    operator-specific (population, redo rules, lock projection,
+    consistency) comes through the {!Transformation.S} contract. Each
+    executor also registers itself as a background job on its {!Db}, so
+    several in-flight transformations interleave fairly under
+    [Db.step_jobs] / [Db.run_jobs]; overlapping synchronizations
+    serialize themselves by backing off when a source latch is held by
+    another transformation.
 
     User transactions are never blocked except for the final latched
     propagation iteration, whose size {!progress} reports (the paper
@@ -35,8 +45,8 @@ type strategy =
           two-schema locking (Fig. 2) until they finish *)
 
 type config = {
-  scan_batch : int;       (** source records per population step *)
-  propagate_batch : int;  (** log records per propagation step *)
+  scan_batch : int;       (** source records per population quantum *)
+  propagate_batch : int;  (** log records per propagation quantum *)
   analysis : Analysis.policy;
       (** the iteration analysis deciding when to attempt
           synchronization (paper, Sec. 3.3; see {!Analysis.policy}) *)
@@ -68,36 +78,32 @@ type progress = {
   iterations : int;       (** times the propagator caught up with the log head *)
   scanned : int;          (** fuzzy-scanned source records *)
   produced : int;         (** initial-image rows written *)
+  applied : int;          (** redo-rule applications (operator counter) *)
   propagated : int;       (** log records consumed *)
   lag : int;              (** log records still to consume *)
   locks_transferred : int;
   final_records : int;    (** size of the final latched iteration *)
-  unknown_flags : int;    (** U-flagged S records remaining (split) *)
+  unknown_flags : int;    (** records the checker has not yet confirmed *)
   forced_aborts : int;    (** transactions killed by non-blocking abort *)
 }
 
 type t
 
+val create : Db.t -> ?config:config -> Transformation.packed -> t
+(** Wrap any {!Transformation.S} operator in an executor and register
+    it as a background job on the database. *)
+
+(** {2 Convenience constructors for the paper's operators}
+
+    [foj db spec] = [create db (Transformation.foj db spec)], etc. *)
+
 val foj : Db.t -> ?config:config -> Spec.foj -> t
-(** Preparation step for a full outer join transformation: validates
-    the spec, creates T with its three indexes, writes the first fuzzy
-    mark. @raise Invalid_argument on an invalid spec. *)
-
 val split : Db.t -> ?config:config -> Spec.split -> t
-(** Preparation step for a split transformation; also adds the
-    split-column index to the source table (the consistency checker
-    reads through it). *)
-
 val hsplit : Db.t -> ?config:config -> Spec.hsplit -> t
-(** Horizontal (selection) split — one of the "other relational
-    operators" the paper's conclusion calls for. Same four-step
-    framework and synchronization strategies. *)
-
 val merge : Db.t -> ?config:config -> Spec.merge -> t
-(** Merge (union) of same-schema tables — the reverse of [hsplit]. *)
 
 val step : t -> [ `Running | `Done | `Failed of string ]
-(** One bounded slice of background work. *)
+(** One bounded quantum of background work. *)
 
 val run : ?between:(unit -> unit) -> t -> (unit, string) result
 (** Drive to completion, invoking [between] between steps so callers
@@ -113,6 +119,16 @@ val routing : t -> [ `Sources | `Targets ]
 val sources : t -> string list
 val targets : t -> string list
 
+val name : t -> string
+(** The operator's short name ("foj", "split", ...). *)
+
+val job_name : t -> string
+(** The unique name this executor registered in the {!Db} job
+    registry, e.g. ["foj#1000000001"]. *)
+
+val counters : t -> (string * int) list
+(** The operator's labelled counters (see {!Transformation.S.counters}). *)
+
 val abort : t -> unit
 (** Stop the transformation: log propagation ceases, transformed tables
     are deleted, transferred locks dropped, latches and freezes lifted
@@ -125,8 +141,4 @@ val pp_progress : Format.formatter -> progress -> unit
 
 (** Access to the underlying machinery, for tests and benches. *)
 val manager : t -> Manager.t
-val foj_engine : t -> Foj.t option
-val split_engine : t -> Split.t option
-val hsplit_engine : t -> Hsplit.t option
-val merge_engine : t -> Merge.t option
 val checker : t -> Consistency.t option

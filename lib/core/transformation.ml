@@ -1,0 +1,283 @@
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+
+type lock_map = {
+  source_to_targets :
+    table:string -> key:Row.Key.t -> (string * Row.Key.t) list;
+  target_to_sources :
+    table:string -> key:Row.Key.t -> (string * Row.Key.t) list;
+}
+
+type sync_hooks = {
+  before_switch : unit -> unit;
+  after_switch : unit -> unit;
+  on_done : unit -> unit;
+}
+
+let no_hooks =
+  { before_switch = (fun () -> ());
+    after_switch = (fun () -> ());
+    on_done = (fun () -> ()) }
+
+module type S = sig
+  val name : string
+  val sources : string list
+  val targets : string list
+  val population : Population.t
+  val rules : Propagator.rules
+  val lock_map : lock_map
+  val consistency : Consistency.t option
+  val unknown_flags : unit -> int
+  val counters : unit -> (string * int) list
+  val sync_hooks : sync_hooks
+end
+
+type packed = (module S)
+
+let start_propagator mgr rules =
+  let active = Manager.active_snapshot mgr in
+  let mark =
+    Log.append (Manager.log mgr) ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
+      (Log_record.Fuzzy_mark { active })
+  in
+  let from =
+    List.fold_left
+      (fun acc (_, first) -> if Lsn.(first < acc) then first else acc)
+      mark active
+  in
+  Propagator.create mgr rules ~from
+
+let counter (module T : S) name =
+  match List.assoc_opt name (T.counters ()) with
+  | Some n -> n
+  | None -> 0
+
+(* {1 Full outer join} *)
+
+let foj_source_to_targets fj ~table ~key =
+  let cctx = Foj.ctx fj in
+  let l = cctx.Foj_common.layout in
+  let spec = l.Spec.spec in
+  let t_name = spec.Spec.t_table in
+  if String.equal table spec.Spec.r_table then
+    List.map (fun (k, _) -> (t_name, k)) (Foj_common.by_r_key cctx key)
+  else if String.equal table spec.Spec.s_table then
+    List.map (fun (k, _) -> (t_name, k)) (Foj_common.by_s_key cctx key)
+  else []
+
+let foj_target_to_sources fj ~key =
+  let cctx = Foj.ctx fj in
+  let l = cctx.Foj_common.layout in
+  let spec = l.Spec.spec in
+  (* T's composite key carries both source keys (possibly overlapping
+     on shared join columns); project each side out by index. *)
+  let part indices = Array.of_list (List.map (Array.get key) indices) in
+  let r_part = part l.Spec.r_key_in_tkey in
+  let s_part = part l.Spec.s_key_in_tkey in
+  (if Row.Key.has_null r_part then [] else [ (spec.Spec.r_table, r_part) ])
+  @ if Row.Key.has_null s_part then [] else [ (spec.Spec.s_table, s_part) ]
+
+let foj ?(transfer_locks = true) db spec =
+  let catalog = Db.catalog db in
+  let layout = Spec.foj_layout catalog spec in
+  ignore
+    (Catalog.create_table catalog
+       ~indexes:(Spec.foj_t_indexes layout)
+       ~name:spec.Spec.t_table (Spec.foj_t_schema layout));
+  let fj = Foj.create catalog layout in
+  let r_tbl = Catalog.find catalog spec.Spec.r_table in
+  let s_tbl = Catalog.find catalog spec.Spec.s_table in
+  let pop = Population.foj fj ~r_tbl ~s_tbl in
+  let apply =
+    if spec.Spec.many_to_many then
+      fun ~lsn op ->
+        List.map (fun k -> (spec.Spec.t_table, k)) (Foj_mm.apply fj ~lsn op)
+    else
+      fun ~lsn op ->
+        List.map (fun k -> (spec.Spec.t_table, k)) (Foj.apply fj ~lsn op)
+  in
+  let rules =
+    Propagator.rules ~transfer_locks
+      ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
+      ~targets:[ spec.Spec.t_table ] ~apply ()
+  in
+  (module struct
+    let name = "foj"
+    let sources = [ spec.Spec.r_table; spec.Spec.s_table ]
+    let targets = [ spec.Spec.t_table ]
+    let population = pop
+    let rules = rules
+    let lock_map =
+      { source_to_targets =
+          (fun ~table ~key -> foj_source_to_targets fj ~table ~key);
+        target_to_sources = (fun ~table:_ ~key -> foj_target_to_sources fj ~key)
+      }
+    let consistency = None
+    let unknown_flags () = 0
+    let counters () =
+      let st = Foj.stats fj in
+      [ ("applied", st.Foj.applied); ("ignored", st.Foj.ignored);
+        ("foreign", st.Foj.foreign) ]
+    let sync_hooks = no_hooks
+  end : S)
+
+(* {1 Vertical split} *)
+
+let split_source_to_targets sp db ~key =
+  let layout = Split.layout sp in
+  let spec = layout.Spec.sspec in
+  let r_name = spec.Spec.r_table' and s_name = spec.Spec.s_table' in
+  let base = [ (r_name, key) ] in
+  match Catalog.find_opt (Db.catalog db) spec.Spec.t_table' with
+  | None -> base
+  | Some t_tbl ->
+    (match Table.find t_tbl key with
+     | None -> base
+     | Some record ->
+       let v = Row.project record.Record.row layout.Spec.split_in_t in
+       (s_name, v) :: base)
+
+let split_target_to_sources sp db ~table ~key =
+  let layout = Split.layout sp in
+  let spec = layout.Spec.sspec in
+  let t_name = spec.Spec.t_table' in
+  if String.equal table spec.Spec.r_table' then [ (t_name, key) ]
+  else if String.equal table spec.Spec.s_table' then
+    match Catalog.find_opt (Db.catalog db) t_name with
+    | None -> []
+    | Some t_tbl ->
+      List.map
+        (fun k -> (t_name, k))
+        (Table.index_lookup t_tbl ~index:Spec.ix_t_split key)
+  else []
+
+let split db spec =
+  let catalog = Db.catalog db in
+  let layout = Spec.split_layout catalog spec in
+  ignore
+    (Catalog.create_table catalog ~name:spec.Spec.r_table'
+       (Spec.split_r_schema layout));
+  ignore
+    (Catalog.create_table catalog ~name:spec.Spec.s_table'
+       (Spec.split_s_schema layout));
+  let t_tbl = Catalog.find catalog spec.Spec.t_table' in
+  Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:spec.Spec.split_key;
+  let sp = Split.create catalog layout in
+  let cc =
+    if spec.Spec.assume_consistent then None
+    else Some (Consistency.create catalog sp ~log:(Db.log db))
+  in
+  let pop = Population.split sp ~t_tbl in
+  let rules =
+    { Propagator.sources = [ spec.Spec.t_table' ];
+      targets = [ spec.Spec.r_table'; spec.Spec.s_table' ];
+      apply = (fun ~lsn op -> Split.apply sp ~lsn op);
+      cc;
+      cc_s_table = Some spec.Spec.s_table';
+      transfer_locks = true }
+  in
+  (module struct
+    let name = "split"
+    let sources = [ spec.Spec.t_table' ]
+    let targets = [ spec.Spec.r_table'; spec.Spec.s_table' ]
+    let population = pop
+    let rules = rules
+    let lock_map =
+      { source_to_targets =
+          (fun ~table:_ ~key -> split_source_to_targets sp db ~key);
+        target_to_sources =
+          (fun ~table ~key -> split_target_to_sources sp db ~table ~key) }
+    let consistency = cc
+    let unknown_flags () =
+      match cc with None -> 0 | Some _ -> Split.unknown_count sp
+    let counters () =
+      let st = Split.stats sp in
+      [ ("applied", st.Split.applied); ("ignored", st.Split.ignored);
+        ("foreign", st.Split.foreign); ("unknown", Split.unknown_count sp) ]
+    let sync_hooks = no_hooks
+  end : S)
+
+(* {1 Horizontal (selection) split} *)
+
+let hsplit db spec =
+  let catalog = Db.catalog db in
+  let layout = Spec.hsplit_layout catalog spec in
+  ignore
+    (Catalog.create_table catalog ~name:spec.Spec.h_true_table
+       layout.Spec.h_schema);
+  ignore
+    (Catalog.create_table catalog ~name:spec.Spec.h_false_table
+       layout.Spec.h_schema);
+  let hs = Hsplit.create catalog layout in
+  let source = Catalog.find catalog spec.Spec.h_source in
+  let pop = Population.scan_one source ~ingest:(Hsplit.ingest_initial hs) in
+  let rules =
+    Propagator.rules ~sources:[ spec.Spec.h_source ]
+      ~targets:[ spec.Spec.h_true_table; spec.Spec.h_false_table ]
+      ~apply:(fun ~lsn op -> Hsplit.apply hs ~lsn op)
+      ()
+  in
+  (module struct
+    let name = "hsplit"
+    let sources = [ spec.Spec.h_source ]
+    let targets = [ spec.Spec.h_true_table; spec.Spec.h_false_table ]
+    let population = pop
+    let rules = rules
+    let lock_map =
+      { source_to_targets =
+          (fun ~table:_ ~key ->
+             (* The key lives in exactly one target, but lock both
+                conservatively (an update may migrate the row). *)
+             [ (Table.name (Hsplit.true_table hs), key);
+               (Table.name (Hsplit.false_table hs), key) ]);
+        target_to_sources =
+          (fun ~table:_ ~key -> [ (spec.Spec.h_source, key) ]) }
+    let consistency = None
+    let unknown_flags () = 0
+    let counters () =
+      let st = Hsplit.stats hs in
+      [ ("applied", st.Hsplit.applied); ("ignored", st.Hsplit.ignored);
+        ("foreign", st.Hsplit.foreign); ("migrations", st.Hsplit.migrations) ]
+    let sync_hooks = no_hooks
+  end : S)
+
+(* {1 Merge (union)} *)
+
+let merge db spec =
+  let catalog = Db.catalog db in
+  let layout = Spec.merge_layout catalog spec in
+  ignore
+    (Catalog.create_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema);
+  let mg = Merge.create catalog layout in
+  let sources = List.map (Catalog.find catalog) spec.Spec.m_sources in
+  let pop = Population.scan_many sources ~ingest:(Merge.ingest_initial mg) in
+  let rules =
+    Propagator.rules ~sources:spec.Spec.m_sources
+      ~targets:[ spec.Spec.m_target ]
+      ~apply:(fun ~lsn op -> Merge.apply mg ~lsn op)
+      ()
+  in
+  (module struct
+    let name = "merge"
+    let sources = spec.Spec.m_sources
+    let targets = [ spec.Spec.m_target ]
+    let population = pop
+    let rules = rules
+    let lock_map =
+      { source_to_targets =
+          (fun ~table:_ ~key -> [ (Table.name (Merge.target mg), key) ]);
+        target_to_sources =
+          (fun ~table:_ ~key ->
+             (* The target key could stem from any source; lock all. *)
+             List.map (fun src -> (src, key)) spec.Spec.m_sources) }
+    let consistency = None
+    let unknown_flags () = 0
+    let counters () =
+      let st = Merge.stats mg in
+      [ ("applied", st.Merge.applied); ("ignored", st.Merge.ignored);
+        ("foreign", st.Merge.foreign); ("collisions", st.Merge.collisions) ]
+    let sync_hooks = no_hooks
+  end : S)

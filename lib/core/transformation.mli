@@ -1,0 +1,114 @@
+(** The pluggable transformation interface.
+
+    The paper's framework is generic: full outer join, vertical split,
+    horizontal split and merge all follow the same
+    fuzzy-scan -> log-redo -> synchronize lifecycle and differ only in
+
+    + how the initial image is populated ({!S.population}),
+    + which redo rules propagate logged operations ({!S.rules}),
+    + how a lock on a source record projects onto the transformed
+      tables and back ({!S.lock_map} — the two-schema locking of the
+      non-blocking commit strategy, Fig. 2),
+    + whether a consistency checker must clear every record before
+      synchronization ({!S.consistency}, split of possibly-inconsistent
+      data, Sec. 5.3).
+
+    This module captures exactly that contract as a first-class module
+    interface. Each operator implements {!S}; the generic executor in
+    {!Transform} owns the lifecycle state machine and never looks
+    inside. Adding a new schema-change operator therefore means
+    implementing [S] — the executor, the simulator, the SQL front end
+    and the CLI pick it up unchanged. *)
+
+open Nbsc_value
+open Nbsc_txn
+open Nbsc_engine
+
+(** How locks project across the schema change (paper, Sec. 4.3): a
+    lock on a source record implicates target records (lock transfer,
+    two-schema locking) and a lock on a target record implicates source
+    records (the other direction of the Fig. 2 matrix). *)
+type lock_map = {
+  source_to_targets :
+    table:string -> key:Row.Key.t -> (string * Row.Key.t) list;
+  target_to_sources :
+    table:string -> key:Row.Key.t -> (string * Row.Key.t) list;
+}
+
+(** Callbacks the executor fires at the synchronization transitions, in
+    whichever of the three strategies is running. All of the paper's
+    operators are pure table rewrites and use {!no_hooks}; an operator
+    that maintains auxiliary state (external indexes, caches) hooks in
+    here. *)
+type sync_hooks = {
+  before_switch : unit -> unit;
+      (** under the latch, immediately before routing flips *)
+  after_switch : unit -> unit;
+      (** routing now points at the targets; draining may continue *)
+  on_done : unit -> unit;
+      (** the transformation completed (after source tables dropped) *)
+}
+
+val no_hooks : sync_hooks
+
+(** The contract a schema-change operator implements. *)
+module type S = sig
+  val name : string
+  (** Short operator name, e.g. ["foj"] — used for job registry ids and
+      progress displays. *)
+
+  val sources : string list
+  (** Tables being transformed away, in provenance order (index [i]
+      maps to [Compat.Source i]). *)
+
+  val targets : string list
+  (** Tables being produced. Created by the builder (the paper's
+      preparation step) before the module is handed to the executor. *)
+
+  val population : Population.t
+  (** The bounded fuzzy-scan stepper for the initial image. *)
+
+  val rules : Propagator.rules
+  (** The redo rules the log propagator applies. *)
+
+  val lock_map : lock_map
+
+  val consistency : Consistency.t option
+  (** The background checker, when the operator needs one before it may
+      synchronize. *)
+
+  val unknown_flags : unit -> int
+  (** Records the checker has not yet confirmed; must reach 0 before
+      synchronization when [consistency] is [Some _]. *)
+
+  val counters : unit -> (string * int) list
+  (** Labelled operator counters ("applied", "ignored", "foreign", plus
+      operator-specific ones like "migrations" or "collisions") — the
+      uniform replacement for reaching into operator internals. *)
+
+  val sync_hooks : sync_hooks
+end
+
+type packed = (module S)
+
+val start_propagator : Manager.t -> Propagator.rules -> Propagator.t
+(** Write a fuzzy mark and open a log cursor at the first record of any
+    transaction active at the mark (paper, Sec. 3.2) — the shared
+    preparation tail of every transformation and of materialized-view
+    maintenance. *)
+
+val counter : packed -> string -> int
+(** [counter p name] reads one labelled counter, 0 when absent. *)
+
+(** {2 The paper's operators}
+
+    Each builder performs the preparation step (validate the spec,
+    create target tables and indexes) and packs the operator's [S]
+    implementation. [transfer_locks] is true for schema changes and
+    false for materialized views (the view never takes over from its
+    sources). *)
+
+val foj : ?transfer_locks:bool -> Db.t -> Spec.foj -> packed
+val split : Db.t -> Spec.split -> packed
+val hsplit : Db.t -> Spec.hsplit -> packed
+val merge : Db.t -> Spec.merge -> packed

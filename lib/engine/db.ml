@@ -1,16 +1,19 @@
 open Nbsc_storage
 open Nbsc_txn
 
+type job_status = [ `Running | `Done | `Failed of string ]
+
 type t = {
   cat : Catalog.t;
   mgr : Manager.t;
+  mutable jobs : (string * (unit -> job_status)) list;
 }
 
 let create () =
   let cat = Catalog.create () in
-  { cat; mgr = Manager.create cat }
+  { cat; mgr = Manager.create cat; jobs = [] }
 
-let of_parts cat ~log = { cat; mgr = Manager.create ~log cat }
+let of_parts cat ~log = { cat; mgr = Manager.create ~log cat; jobs = [] }
 
 let catalog t = t.cat
 let manager t = t.mgr
@@ -23,15 +26,23 @@ let table t name = Catalog.find t.cat name
 
 let with_txn t f =
   let txn = Manager.begin_txn t.mgr in
+  let abort_noting_failure () =
+    match Manager.abort t.mgr txn with
+    | Ok () -> ()
+    | Error e ->
+      (* The rollback itself failed — never swallow that silently. *)
+      Logs.err (fun m ->
+          m "Db.with_txn: abort of txn %d failed: %a" txn Manager.pp_error e)
+  in
   match f txn with
   | Ok v ->
     (match Manager.commit t.mgr txn with
      | Ok () -> Ok v
      | Error e ->
-       ignore (Manager.abort t.mgr txn);
+       abort_noting_failure ();
        Error e)
   | Error e ->
-    ignore (Manager.abort t.mgr txn);
+    abort_noting_failure ();
     Error e
 
 let load t ~table rows =
@@ -48,3 +59,53 @@ let snapshot t name =
   Nbsc_relalg.Relalg.make (Table.schema tbl) (Table.to_rows tbl)
 
 let row_count t name = Table.cardinality (table t name)
+
+(* {2 Background jobs}
+
+   The registry of in-flight schema changes (and any other incremental
+   background work). Jobs are opaque quantum steppers: each call to the
+   closure performs one bounded quantum. The db schedules them
+   round-robin so several transformations interleave fairly. *)
+
+let register_job t ~name ~step =
+  t.jobs <- t.jobs @ [ (name, step) ]
+
+let unregister_job t ~name =
+  t.jobs <- List.filter (fun (n, _) -> not (String.equal n name)) t.jobs
+
+let jobs t = List.map fst t.jobs
+
+let step_jobs t =
+  let snapshot = t.jobs in
+  List.map
+    (fun (name, step) ->
+       let st = step () in
+       (match st with
+        | `Done | `Failed _ ->
+          (* Most jobs deregister themselves on completion; make sure. *)
+          unregister_job t ~name
+        | `Running -> ());
+       (name, st))
+    snapshot
+
+let run_jobs ?(between = fun () -> ()) ?(max_rounds = max_int) t =
+  let rec go rounds =
+    if t.jobs = [] then Ok ()
+    else if rounds <= 0 then Error "background jobs did not finish"
+    else begin
+      let results = step_jobs t in
+      let failure =
+        List.find_map
+          (function
+            | name, `Failed m -> Some (name ^ ": " ^ m)
+            | _, (`Running | `Done) -> None)
+          results
+      in
+      match failure with
+      | Some m -> Error m
+      | None ->
+        between ();
+        go (rounds - 1)
+    end
+  in
+  go max_rounds

@@ -31,7 +31,8 @@ val table : t -> string -> Table.t
 val with_txn : t -> (Manager.txn_id -> ('a, Manager.error) result) ->
   ('a, Manager.error) result
 (** Run [f] in a fresh transaction; commit on [Ok], roll back on
-    [Error]. A commit failure also rolls back. *)
+    [Error]. A commit failure also rolls back. If the rollback itself
+    fails its error is logged (it cannot mask [f]'s result). *)
 
 val load : t -> table:string -> Row.t list -> (unit, Manager.error) result
 (** Bulk-insert rows in one transaction. *)
@@ -40,3 +41,32 @@ val snapshot : t -> string -> Nbsc_relalg.Relalg.t
 (** The table's current rows as a relation (for oracle comparison). *)
 
 val row_count : t -> string -> int
+
+(** {2 Background jobs}
+
+    The registry of in-flight incremental background work — schema
+    transformations above all. A job is an opaque quantum stepper: each
+    call performs one bounded quantum of work and reports whether the
+    job still runs. The db knows nothing about what a job does, so the
+    engine layer stays below the transformation framework; the executor
+    in [Nbsc_core.Transform] registers every transformation here. *)
+
+type job_status = [ `Running | `Done | `Failed of string ]
+
+val register_job : t -> name:string -> step:(unit -> job_status) -> unit
+(** Append a job (FIFO order; names should be unique). *)
+
+val unregister_job : t -> name:string -> unit
+
+val jobs : t -> string list
+(** Names of the in-flight jobs, in scheduling order. *)
+
+val step_jobs : t -> (string * job_status) list
+(** One fair round: every in-flight job runs one quantum, round-robin.
+    Jobs that report [`Done] or [`Failed] are removed. *)
+
+val run_jobs :
+  ?between:(unit -> unit) -> ?max_rounds:int -> t -> (unit, string) result
+(** Drive all registered jobs to completion, calling [between] after
+    each round so callers can interleave user transactions. Stops at
+    the first failure. *)

@@ -394,12 +394,7 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
 
   (* Cost of one transformation slice = the work it actually performed,
      in the same capacity units as user operations. *)
-  let applied_ops t =
-    match Transform.foj_engine t, Transform.split_engine t with
-    | Some fj, _ -> (Foj.stats fj).Foj.applied
-    | None, Some sp -> (Split.stats sp).Split.applied
-    | None, None -> 0
-  in
+  let applied_ops t = (Transform.progress t).Transform.applied in
   let tf_slice () =
     match dump with
     | Some d ->

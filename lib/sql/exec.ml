@@ -7,12 +7,12 @@ open Nbsc_core
 type session = {
   sdb : Db.t;
   mutable txn : Manager.txn_id option;
-  mutable tf : Transform.t option;
+  mutable tfs : Transform.t list;  (* in start order *)
 }
 
-let create sdb = { sdb; txn = None; tf = None }
+let create sdb = { sdb; txn = None; tfs = [] }
 let db s = s.sdb
-let transformation s = s.tf
+let transformations s = s.tfs
 
 type outcome =
   | Message of string
@@ -260,65 +260,90 @@ let exec_select s ~projection ~table ~where =
 
 (* {1 Transformations} *)
 
-let guard_no_tf s =
-  match s.tf with
-  | Some tf
-    when Transform.phase tf <> Transform.Done
-         && (match Transform.phase tf with
-             | Transform.Failed _ -> false
-             | _ -> true) ->
-    errf "a transformation is already running; TRANSFORM RUN or ABORT it first"
-  | _ -> Ok ()
+let is_live tf =
+  match Transform.phase tf with
+  | Transform.Done | Transform.Failed _ -> false
+  | _ -> true
 
-let start_tf s make =
-  let* () = guard_no_tf s in
+let live_tfs s = List.filter is_live s.tfs
+
+(* Several transformations may run concurrently as long as their table
+   footprints are disjoint — two schema changes fighting over a table
+   would race on routing and lock transfer. *)
+let guard_overlap s ~tables =
+  let clash tf =
+    let mine = Transform.sources tf @ Transform.targets tf in
+    List.exists (fun t -> List.mem t mine) tables
+  in
+  match List.find_opt clash (live_tfs s) with
+  | Some tf ->
+    errf "tables overlap with running transformation %s; RUN or ABORT it first"
+      (Transform.job_name tf)
+  | None -> Ok ()
+
+let start_tf s ~tables make =
+  let* () = guard_overlap s ~tables in
   match make () with
   | tf ->
-    s.tf <- Some tf;
-    Ok (Message "transformation started; TRANSFORM STEP/RUN/STATUS/ABORT")
+    s.tfs <- s.tfs @ [ tf ];
+    Ok
+      (Message
+         (Transform.job_name tf
+          ^ " started; TRANSFORM STEP/RUN/STATUS/ABORT"))
   | exception Invalid_argument m -> Error m
 
 let tf_status tf =
-  Format.asprintf "%a (new transactions -> %s)" Transform.pp_progress
-    (Transform.progress tf)
+  Format.asprintf "%s: %a (new transactions -> %s)" (Transform.job_name tf)
+    Transform.pp_progress (Transform.progress tf)
     (match Transform.routing tf with
      | `Sources -> "old schema"
      | `Targets -> "new schema")
 
+let all_statuses s =
+  String.concat "\n" (List.map tf_status s.tfs)
+
 let exec_tf_control s = function
   | `Status ->
-    (match s.tf with
-     | None -> Ok (Message "no transformation")
-     | Some tf -> Ok (Message (tf_status tf)))
+    (match s.tfs with
+     | [] -> Ok (Message "no transformation")
+     | _ -> Ok (Message (all_statuses s)))
   | `Step n ->
-    (match s.tf with
-     | None -> errf "no transformation to step"
-     | Some tf ->
-       let rec go k =
-         if k <= 0 then `Running
-         else
-           match Transform.step tf with
-           | `Running -> go (k - 1)
-           | other -> other
-       in
-       (match go n with
-        | `Running -> Ok (Message (tf_status tf))
-        | `Done -> Ok (Message ("done; " ^ tf_status tf))
-        | `Failed m -> errf "transformation failed: %s" m))
+    (match live_tfs s with
+     | [] -> errf "no transformation to step"
+     | _ ->
+       (* n fair rounds: every live transformation advances one quantum
+          per round, via the shared job registry. *)
+       let failure = ref None in
+       for _ = 1 to n do
+         if !failure = None then
+           List.iter
+             (function
+               | name, `Failed m when !failure = None ->
+                 failure := Some (name ^ ": " ^ m)
+               | _ -> ())
+             (Db.step_jobs s.sdb)
+       done;
+       (match !failure with
+        | Some m -> errf "transformation failed: %s" m
+        | None -> Ok (Message (all_statuses s))))
   | `Run ->
-    (match s.tf with
-     | None -> errf "no transformation to run"
-     | Some tf ->
-       (match Transform.run tf with
-        | Ok () -> Ok (Message ("done; " ^ tf_status tf))
+    (match live_tfs s with
+     | [] -> errf "no transformation to run"
+     | _ ->
+       (match Db.run_jobs s.sdb with
+        | Ok () -> Ok (Message ("done; " ^ all_statuses s))
         | Error m -> errf "transformation failed: %s" m))
   | `Abort ->
-    (match s.tf with
-     | None -> errf "no transformation to abort"
-     | Some tf ->
-       Transform.abort tf;
-       s.tf <- None;
-       Ok (Message "transformation aborted; transformed tables dropped"))
+    (match live_tfs s with
+     | [] -> errf "no transformation to abort"
+     | live ->
+       List.iter Transform.abort live;
+       s.tfs <- List.filter (fun tf -> not (List.memq tf live)) s.tfs;
+       Ok
+         (Message
+            (Printf.sprintf
+               "%d transformation(s) aborted; transformed tables dropped"
+               (List.length live))))
 
 let exec s (stmt : Ast.statement) =
   let mgr = Db.manager s.sdb in
@@ -380,7 +405,7 @@ let exec s (stmt : Ast.statement) =
   | Ast.Transform_join
       { r; s = s_tbl; target; join_r; join_s; carry_r; carry_s; many_to_many }
     ->
-    start_tf s (fun () ->
+    start_tf s ~tables:[ r; s_tbl; target ] (fun () ->
         Transform.foj s.sdb
           { Spec.r_table = r;
             s_table = s_tbl;
@@ -393,7 +418,7 @@ let exec s (stmt : Ast.statement) =
             many_to_many })
   | Ast.Transform_split
       { source; r_target; r_cols; s_target; s_cols; split_on; checked } ->
-    start_tf s (fun () ->
+    start_tf s ~tables:[ source; r_target; s_target ] (fun () ->
         Transform.split s.sdb
           { Spec.t_table' = source;
             r_table' = r_target;
@@ -403,14 +428,14 @@ let exec s (stmt : Ast.statement) =
             split_key = split_on;
             assume_consistent = not checked })
   | Ast.Transform_archive { source; match_target; rest_target; where } ->
-    start_tf s (fun () ->
+    start_tf s ~tables:[ source; match_target; rest_target ] (fun () ->
         Transform.hsplit s.sdb
           { Spec.h_source = source;
             h_true_table = match_target;
             h_false_table = rest_target;
             h_pred = where })
   | Ast.Transform_merge { sources; target } ->
-    start_tf s (fun () ->
+    start_tf s ~tables:(target :: sources) (fun () ->
         Transform.merge s.sdb { Spec.m_sources = sources; m_target = target })
   | Ast.Transform_status -> exec_tf_control s `Status
   | Ast.Transform_step n -> exec_tf_control s (`Step n)

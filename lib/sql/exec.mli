@@ -1,10 +1,13 @@
 (** Executing parsed statements against a database.
 
     A session holds an optional explicit transaction (BEGIN/COMMIT) and
-    at most one running transformation; statements outside an explicit
-    transaction auto-commit. SELECT reads without locks (read
-    uncommitted) — the REPL is an inspection tool, not a client
-    library; programs should use {!Nbsc_txn.Manager} directly. *)
+    any number of running transformations — several may be in flight at
+    once as long as their table footprints are disjoint; TRANSFORM
+    STEP/RUN drive them all concurrently through the database's job
+    registry. Statements outside an explicit transaction auto-commit.
+    SELECT reads without locks (read uncommitted) — the REPL is an
+    inspection tool, not a client library; programs should use
+    {!Nbsc_txn.Manager} directly. *)
 
 open Nbsc_value
 open Nbsc_engine
@@ -15,8 +18,9 @@ type session
 val create : Db.t -> session
 val db : session -> Db.t
 
-val transformation : session -> Transform.t option
-(** The transformation started by a TRANSFORM statement, if any. *)
+val transformations : session -> Transform.t list
+(** The transformations started by TRANSFORM statements (including
+    completed ones), in start order. *)
 
 type outcome =
   | Message of string

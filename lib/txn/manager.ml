@@ -34,10 +34,11 @@ type t = {
   txns : (txn_id, txn) Hashtbl.t;  (* all transactions ever, by id *)
   mutable next_id : txn_id;
   mutable frozen : (string * txn_id) list;  (* table, cutoff id *)
-  mutable extra_lock_hook :
-    (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
-     Lock_table_many.request list)
-      option;
+  mutable extra_lock_hooks :
+    (int
+    * (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
+       Lock_table_many.request list))
+      list;
   mutable post_op_hook :
     (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option;
   mutable n_ops : int;
@@ -54,7 +55,7 @@ let create ?log catalog =
     txns = Hashtbl.create 256;
     next_id = 1;
     frozen = [];
-    extra_lock_hook = None;
+    extra_lock_hooks = [];
     post_op_hook = None;
     n_ops = 0;
     n_commits = 0;
@@ -107,7 +108,13 @@ let mark_abort_only t id =
 let is_abort_only t id =
   match find_txn t id with Some txn -> txn.abort_only | None -> false
 
-let set_extra_lock_hook t hook = t.extra_lock_hook <- hook
+let add_extra_lock_hook t ~id hook =
+  t.extra_lock_hooks <-
+    (id, hook) :: List.remove_assoc id t.extra_lock_hooks
+
+let remove_extra_lock_hook t ~id =
+  t.extra_lock_hooks <- List.remove_assoc id t.extra_lock_hooks
+
 let set_post_op_hook t hook = t.post_op_hook <- hook
 
 let fire_post_op t ~txn ~lsn op =
@@ -115,8 +122,21 @@ let fire_post_op t ~txn ~lsn op =
   | None -> ()
   | Some hook -> hook ~txn ~lsn op
 
+(* Freezes are additive so concurrent transformations can each freeze
+   their own source tables; [unfreeze_tables] lifts only the named
+   ones. A table frozen twice keeps its earliest cutoff. *)
 let freeze_tables t tables =
-  t.frozen <- List.map (fun table -> (table, t.next_id - 1)) tables
+  let cutoff = t.next_id - 1 in
+  t.frozen <-
+    List.fold_left
+      (fun frozen table ->
+         if List.mem_assoc table frozen then frozen
+         else (table, cutoff) :: frozen)
+      t.frozen tables
+
+let unfreeze_tables t tables =
+  t.frozen <-
+    List.filter (fun (table, _) -> not (List.mem table tables)) t.frozen
 
 (* Pre-flight checks shared by all operations. *)
 let check_access t txn_id ~table =
@@ -140,9 +160,12 @@ let take_lock t txn_id ~table ~key mode =
       lock = { Compat.mode; provenance = Compat.Native } }
   in
   let extras =
-    match t.extra_lock_hook with
-    | None -> []
-    | Some hook -> hook ~txn:txn_id ~table ~key ~mode
+    match t.extra_lock_hooks with
+    | [] -> []
+    | hooks ->
+      List.concat_map
+        (fun (_, hook) -> hook ~txn:txn_id ~table ~key ~mode)
+        hooks
   in
   match Lock_table_many.acquire_all t.locks ~owner:txn_id (base :: extras) with
   | Lock_table.Granted -> Ok ()

@@ -11,11 +11,16 @@
     Three hooks exist solely for the synchronization strategies:
     - {!mark_abort_only} — non-blocking abort forces transactions that
       were active on the source tables to roll back;
-    - {!set_extra_lock_hook} — non-blocking commit requires each lock
+    - {!add_extra_lock_hook} — non-blocking commit requires each lock
       on a source record to also be taken on the implicated records of
       the transformed table and vice versa (Sec. 4.3);
     - {!freeze_tables} — blocking-commit synchronization refuses table
-      access to transactions begun after the freeze point. *)
+      access to transactions begun after the freeze point.
+
+    Hooks and freezes compose: each in-flight transformation registers
+    its own lock hook under a distinct id and freezes only its own
+    source tables, so several schema changes can synchronize
+    independently. *)
 
 open Nbsc_value
 open Nbsc_wal
@@ -77,18 +82,26 @@ val abort : t -> txn_id -> (unit, error) result
 val mark_abort_only : t -> txn_id -> unit
 val is_abort_only : t -> txn_id -> bool
 
-val set_extra_lock_hook :
+val add_extra_lock_hook :
   t ->
+  id:int ->
   (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
-   Lock_table_many.request list) option ->
+   Lock_table_many.request list) ->
   unit
-(** When set, every record lock an operation takes is extended with the
-    hook's extra requests; the whole set is acquired atomically or the
-    operation blocks. *)
+(** Register a lock hook under [id] (replacing any hook with the same
+    id). Every record lock an operation takes is extended with the
+    extra requests of all registered hooks; the whole set is acquired
+    atomically or the operation blocks. *)
+
+val remove_extra_lock_hook : t -> id:int -> unit
 
 val freeze_tables : t -> string list -> unit
 (** Transactions begun after this call get [`Frozen] on these tables;
-    already-running ones proceed. [freeze_tables t []] unfreezes. *)
+    already-running ones proceed. Additive: freezes from several
+    callers coexist; lift a freeze with {!unfreeze_tables}. *)
+
+val unfreeze_tables : t -> string list -> unit
+(** Lift the freeze on exactly these tables. *)
 
 val set_post_op_hook :
   t -> (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option -> unit

@@ -138,7 +138,7 @@ let test_freeze_spares_old_txns () =
   (match Manager.insert mgr ~txn:new_txn ~table:"t" (row 2 "y" 8) with
    | Error (`Frozen "t") -> ()
    | _ -> Alcotest.fail "expected Frozen");
-  Manager.freeze_tables mgr [];
+  Manager.unfreeze_tables mgr [ "t" ];
   ok "after unfreeze" (Manager.insert mgr ~txn:new_txn ~table:"t" (row 2 "y" 8));
   ok "c1" (Manager.commit mgr old_txn);
   ok "c2" (Manager.commit mgr new_txn)
