@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt clean
+.PHONY: all build test check crash fmt clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 # formatting check. See ci/check.sh.
 check:
 	./ci/check.sh
+
+# Crash matrix only: every fault-injection site crossed with every
+# operator, at a fixed seed so failures reproduce.
+crash:
+	NBSC_CRASH_SEED=42 dune exec test/test_crash_matrix.exe
 
 # Reformat in place (requires ocamlformat).
 fmt:

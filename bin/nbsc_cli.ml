@@ -347,6 +347,182 @@ let log_cmd =
        ~doc:"run a small transformation and dump the write-ahead log")
     Term.(ret (const run_log $ rows))
 
+(* {1 crash-demo}
+
+   Narrated crash drill: build a durable store, start a split, kill the
+   "process" at a chosen fault-injection site, then reopen the directory
+   and resume the schema change from its checkpointed position. *)
+
+module Persist = Nbsc_engine.Persist
+module Fault = Nbsc_engine.Fault
+module Recovery = Nbsc_engine.Recovery
+
+let run_crash_demo site after rows keep =
+  if not (List.mem site Fault.all_sites) then
+    `Error
+      (false,
+       Printf.sprintf "unknown fault site %S (one of: %s)" site
+         (String.concat ", " Fault.all_sites))
+  else begin
+    Random.self_init ();
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "nbsc_crash_demo_%d" (Random.int 1_000_000))
+    in
+    let wipe () =
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end
+    in
+    (* Satellite of the durability work: persistence errors surface as
+       diagnosable messages, never an assertion failure. *)
+    let surface what = function
+      | Ok v -> v
+      | Error e ->
+        failwith (Format.asprintf "%s: %a" what Persist.pp_error e)
+    in
+    let run () =
+      Fault.reset ();
+      let p = surface "create" (Persist.create_dir ~dir) in
+      let db = Persist.db p in
+      let col = Schema.column in
+      ignore
+        (Db.create_table db ~name:"T"
+           (Schema.make ~key:[ "a" ]
+              [ col ~nullable:false "a" Value.TInt; col "b" Value.TText;
+                col "c" Value.TInt; col "d" Value.TText ]));
+      (match
+         Db.load db ~table:"T"
+           (List.init rows (fun i ->
+                let c = i mod 53 in
+                Row.make
+                  [ Value.Int i; Value.Text (Printf.sprintf "t%d" i);
+                    Value.Int c; Value.Text (Printf.sprintf "city%d" c) ]))
+       with
+       | Ok () -> ()
+       | Error _ -> failwith "load failed");
+      surface "checkpoint" (Persist.checkpoint p);
+      say "created %s: table T, %d rows (checkpointed)" dir rows;
+      let config =
+        { Transform.default_config with
+          Transform.drop_sources = false;
+          scan_batch = 32;
+          propagate_batch = 32 }
+      in
+      let tf = Transform.split db ~config split_spec in
+      say "started %s as job %s; arming fault site %S (trigger on hit %d)"
+        (Transform.name tf) (Transform.job_name tf) site (after + 1);
+      Fault.arm ~after site;
+      let mgr = Db.manager db in
+      let rng = Random.State.make [| 13 |] in
+      let writes = ref 0 in
+      let traffic d =
+        (* Only while the change is in flight and still routed at the
+           source — afterwards T is either dropped or demoted. *)
+        if Db.jobs d <> [] && Transform.routing tf = `Sources then begin
+          incr writes;
+          let txn = Manager.begin_txn mgr in
+          match
+            Manager.update mgr ~txn ~table:"T"
+              ~key:(Row.make [ Value.Int (Random.State.int rng rows) ])
+              [ (1, Value.Text (Printf.sprintf "w%d" !writes)) ]
+          with
+          | Ok () -> ignore (Manager.commit mgr txn)
+          | Error _ -> ignore (Manager.abort mgr txn)
+        end
+      in
+      let rounds = ref 0 in
+      let crashed =
+        try
+          while Db.jobs db <> [] do
+            incr rounds;
+            ignore (Db.step_jobs db);
+            traffic db;
+            if !rounds mod 3 = 0 then
+              surface "checkpoint" (Persist.checkpoint p)
+          done;
+          false
+        with Fault.Injected { site = s; _ } ->
+          say "crash injected at %S in round %d; progress at the crash:" s
+            !rounds;
+          say "  %a" Transform.pp_progress (Transform.progress tf);
+          true
+      in
+      if not crashed then
+        say "fault site never fired; the change completed in round %d" !rounds;
+      Fault.reset ();
+      Persist.crash p;
+      say "in-memory state abandoned; reopening from snapshot + WAL ...";
+      let p2 = surface "reopen" (Persist.open_dir ~dir) in
+      (match Persist.last_recovery p2 with
+       | Some r -> say "recovery: %a" Recovery.pp_report r
+       | None -> say "recovery: clean snapshot, empty WAL");
+      let db2 = Persist.db p2 in
+      let resumed =
+        match Transform.resume ~config p2 with
+        | Ok tfs -> tfs
+        | Error m -> failwith ("resume: " ^ m)
+      in
+      (match resumed with
+       | [] -> say "no job to resume"
+       | tfs ->
+         List.iter
+           (fun tf ->
+              say "resumed %s in phase %a; scanned=%d (0 = no re-scan)"
+                (Transform.job_name tf) Transform.pp_phase (Transform.phase tf)
+                (Transform.progress tf).Transform.scanned)
+           tfs);
+      (match
+         Db.run_jobs db2 ~max_rounds:100_000 ~between:(fun () -> traffic db2)
+       with
+       | Ok () -> ()
+       | Error m -> failwith ("drive to completion: " ^ m));
+      surface "final checkpoint" (Persist.checkpoint p2);
+      List.iter
+        (fun tf ->
+           say "%s finished: %a" (Transform.job_name tf) Transform.pp_progress
+             (Transform.progress tf);
+           List.iter
+             (fun t -> say "  table %-3s %6d rows" t (Db.row_count db2 t))
+             (Transform.targets tf))
+        resumed;
+      Persist.close p2;
+      if keep then say "store kept at %s" dir else wipe ();
+      `Ok ()
+    in
+    match run () with
+    | r -> r
+    | exception Failure m ->
+      if not keep then wipe ();
+      `Error (false, m)
+  end
+
+let crash_demo_cmd =
+  let site =
+    Arg.(value & opt string "wal_append"
+         & info [ "site" ] ~docv:"SITE"
+             ~doc:"fault-injection site to arm (see nbsc crash-demo --help)")
+  in
+  let after =
+    Arg.(value & opt int 20
+         & info [ "after" ] ~doc:"let the site pass this many times first")
+  in
+  let rows =
+    Arg.(value & opt int 500 & info [ "rows" ] ~doc:"source table size")
+  in
+  let keep =
+    Arg.(value & flag
+         & info [ "keep" ] ~doc:"keep the store directory afterwards")
+  in
+  Cmd.v
+    (Cmd.info "crash-demo"
+       ~doc:
+         "crash a durable schema change at an injected fault and resume it")
+    Term.(ret (const run_crash_demo $ site $ after $ rows $ keep))
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -357,4 +533,4 @@ let () =
           (Cmd.info "nbsc" ~version:"1.0.0"
              ~doc:"online, non-blocking relational schema changes")
           [ demo_cmd; concurrent_cmd; figure_cmd; sync_cmd; matrix_cmd;
-            log_cmd ]))
+            log_cmd; crash_demo_cmd ]))

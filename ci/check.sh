@@ -13,6 +13,11 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+# dune runtest already runs the crash matrix with a random seed; this
+# second pass pins the seed so a CI failure is reproducible verbatim.
+echo "== crash matrix (fixed seed) =="
+NBSC_CRASH_SEED=42 dune exec test/test_crash_matrix.exe
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

@@ -24,13 +24,18 @@ type t = {
      record on the redo path. *)
   source_index : (string, int) Hashtbl.t;
   target_set : (string, unit) Hashtbl.t;
+  (* Transactions whose records must be ignored wholesale. Crash
+     recovery rolls loser transactions back without logging the undo, so
+     a propagator resumed from a retained log suffix would otherwise
+     apply loser operations that no Abort record ever compensates. *)
+  skip_set : (Log_record.txn_id, unit) Hashtbl.t;
   mutable processed : int;
   mutable transferred : int;
   mutable lock_mapper :
     (table:string -> key:Row.Key.t -> (string * Row.Key.t) list) option;
 }
 
-let create mgr rules ~from =
+let create ?(skip = []) mgr rules ~from =
   let source_index = Hashtbl.create 8 in
   List.iteri
     (fun i s ->
@@ -38,11 +43,14 @@ let create mgr rules ~from =
     rules.sources;
   let target_set = Hashtbl.create 8 in
   List.iter (fun tgt -> Hashtbl.replace target_set tgt ()) rules.targets;
+  let skip_set = Hashtbl.create 8 in
+  List.iter (fun txn -> Hashtbl.replace skip_set txn ()) skip;
   { mgr;
     rules;
     cursor = Log.Cursor.make (Manager.log mgr) ~from;
     source_index;
     target_set;
+    skip_set;
     processed = 0;
     transferred = 0;
     lock_mapper = None }
@@ -90,6 +98,8 @@ let handle_op t ~txn ~lsn op =
   end
 
 let handle_record t (r : Log_record.t) =
+  if Hashtbl.mem t.skip_set r.Log_record.txn then ()
+  else
   match r.Log_record.body with
   | Log_record.Op op -> handle_op t ~txn:r.Log_record.txn ~lsn:r.Log_record.lsn op
   | Log_record.Clr { op; _ } ->
@@ -105,7 +115,8 @@ let handle_record t (r : Log_record.t) =
      | Some cc -> Consistency.on_cc_ok cc ~lsn:r.Log_record.lsn key image
      | None -> ())
   | Log_record.Begin | Log_record.Abort_begin | Log_record.Fuzzy_mark _
-  | Log_record.Checkpoint _ -> ()
+  | Log_record.Checkpoint _ | Log_record.Job_state _ | Log_record.Job_done _ ->
+    ()
 
 let step t ~limit =
   let consumed = ref 0 in

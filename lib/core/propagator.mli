@@ -44,7 +44,13 @@ val rules :
 
 type t
 
-val create : Manager.t -> rules -> from:Lsn.t -> t
+val create :
+  ?skip:Log_record.txn_id list -> Manager.t -> rules -> from:Lsn.t -> t
+(** [skip] lists transactions whose log records the propagator ignores
+    entirely. Crash recovery rolls losers back {e without logging} the
+    compensation, so a propagator resumed over a retained log suffix
+    must not apply their operations (no Abort record will ever undo the
+    effect on the targets). *)
 
 val step : t -> limit:int -> int
 (** Process up to [limit] log records; returns how many were consumed. *)

@@ -326,6 +326,56 @@ type merge_layout = {
   m_schema : Schema.t;
 }
 
+type any =
+  | Foj of foj
+  | Split of split
+  | Hsplit of hsplit
+  | Merge of merge
+
+let enc = Codec.encode_string_list
+let dec = Codec.decode_string_list
+let enc_bool b = if b then "1" else "0"
+
+let dec_bool = function
+  | "1" -> true
+  | "0" -> false
+  | s -> failwith ("Spec.decode: bad boolean " ^ s)
+
+let encode = function
+  | Foj f ->
+    enc
+      [ "foj"; f.r_table; f.s_table; f.t_table; enc f.join_r; enc f.join_s;
+        enc f.t_join; enc f.r_carry; enc f.s_carry; enc_bool f.many_to_many ]
+  | Split s ->
+    enc
+      [ "split"; s.t_table'; s.r_table'; s.s_table'; enc s.r_cols;
+        enc s.s_cols; enc s.split_key; enc_bool s.assume_consistent ]
+  | Hsplit h ->
+    enc
+      [ "hsplit"; h.h_source; h.h_true_table; h.h_false_table;
+        Pred.encode h.h_pred ]
+  | Merge m -> enc [ "merge"; enc m.m_sources; m.m_target ]
+
+let decode s =
+  match dec s with
+  | [ "foj"; r_table; s_table; t_table; join_r; join_s; t_join; r_carry;
+      s_carry; many_to_many ] ->
+    Foj
+      { r_table; s_table; t_table; join_r = dec join_r; join_s = dec join_s;
+        t_join = dec t_join; r_carry = dec r_carry; s_carry = dec s_carry;
+        many_to_many = dec_bool many_to_many }
+  | [ "split"; t_table'; r_table'; s_table'; r_cols; s_cols; split_key;
+      assume_consistent ] ->
+    Split
+      { t_table'; r_table'; s_table'; r_cols = dec r_cols;
+        s_cols = dec s_cols; split_key = dec split_key;
+        assume_consistent = dec_bool assume_consistent }
+  | [ "hsplit"; h_source; h_true_table; h_false_table; pred ] ->
+    Hsplit { h_source; h_true_table; h_false_table; h_pred = Pred.decode pred }
+  | [ "merge"; m_sources; m_target ] ->
+    Merge { m_sources = dec m_sources; m_target }
+  | _ -> failwith "Spec.decode: malformed specification"
+
 let merge_layout catalog mspec =
   (match mspec.m_sources with
    | [] | [ _ ] -> fail "Spec: merge needs at least two sources"

@@ -166,3 +166,21 @@ type merge_layout = {
 val merge_layout : Catalog.t -> merge -> merge_layout
 (** @raise Invalid_argument unless all sources exist and share one
     schema. *)
+
+(** {1 Wire codec}
+
+    A specification is pure data, so it can ride inside a durable
+    resume payload: a crashed schema change is rebuilt from its encoded
+    spec plus a log position (see [Transform.resume]). *)
+
+type any =
+  | Foj of foj
+  | Split of split
+  | Hsplit of hsplit
+  | Merge of merge
+
+val encode : any -> string
+(** Exact inverse of {!decode}. *)
+
+val decode : string -> any
+(** @raise Failure on malformed input. *)

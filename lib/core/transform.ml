@@ -78,6 +78,40 @@ let next_holder =
     incr counter;
     !counter
 
+(* {2 Durable job state}
+
+   A persistable executor journals an opaque resume payload: an
+   envelope [version; phase; log position; encoded spec]. The phase
+   collapses to the three resume situations — "pop" (population
+   unfinished: restart from scratch), "prop" (initial image complete:
+   rebuild the operator around the snapshot-restored targets and
+   continue propagation from [position]) and "drain" (already switched:
+   finish propagation onto the targets and finalize). *)
+
+let payload_version = "v1"
+
+let phase_tag = function
+  | Populating -> "pop"
+  | Propagating | Checking | Quiescing -> "prop"
+  | Draining -> "drain"
+  | Done | Failed _ -> "prop" (* unreachable: completed jobs deregister *)
+
+let encode_job_state ~tag ~position spec_payload =
+  Nbsc_value.Codec.encode_string_list
+    [ payload_version; tag; Lsn.to_string position; spec_payload ]
+
+let decode_job_state s =
+  match Nbsc_value.Codec.decode_string_list s with
+  | [ v; tag; position; spec_payload ] when String.equal v payload_version ->
+    let position =
+      match int_of_string_opt position with
+      | Some n -> Lsn.of_int n
+      | None -> failwith "Transform: bad log position in job state"
+    in
+    (tag, position, spec_payload)
+  | _ -> failwith "Transform: malformed job state payload"
+  | exception Failure m -> failwith ("Transform: " ^ m)
+
 let write_fuzzy_mark mgr =
   let active = Manager.active_snapshot mgr in
   ignore
@@ -192,7 +226,18 @@ let switch_routing t =
   t.route <- `Targets;
   t.hooks.Transformation.after_switch ()
 
+let persistable t =
+  let (module T : Transformation.S) = t.tf in
+  Option.is_some T.spec_payload
+
+let write_job_done t =
+  if persistable t then
+    ignore
+      (Log.append (Manager.log t.mgr) ~txn:Log_record.system_txn
+         ~prev_lsn:Lsn.zero (Log_record.Job_done { job = t.job_name }))
+
 let finalize t =
+  Fault.hit "sync_commit";
   if t.hook_installed then begin
     Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
     t.hook_installed <- false
@@ -205,6 +250,11 @@ let finalize t =
            Catalog.drop (Db.catalog t.db) src)
       t.src;
   t.hooks.Transformation.on_done ();
+  (* No [Job_done] here: the targets' final writes are unlogged, so
+     completion only becomes durable at the next checkpoint (which
+     finds no job registered and drops the stale [Job_state] from the
+     WAL). A crash before that checkpoint resumes the job in its last
+     persisted phase and re-converges — finalization is idempotent. *)
   Db.unregister_job t.db ~name:t.job_name;
   t.tphase <- Done
 
@@ -314,6 +364,7 @@ let step t =
      in
      if all_done && Propagator.lag t.prop = 0 then finalize t
    | Done | Failed _ -> ());
+  Fault.hit "quantum_end";
   match t.tphase with
   | Done -> `Done
   | Failed m -> `Failed m
@@ -332,10 +383,35 @@ let run ?(between = fun () -> ()) t =
 
 (* {2 Construction} *)
 
-let create db ?(config = default_config) packed =
+type resume_info = {
+  r_phase : [ `Propagating | `Draining ];
+  r_position : Lsn.t;
+  r_skip : Manager.txn_id list;
+}
+
+let create db ?(config = default_config) ?resume ?job_name packed =
   let (module T : Transformation.S) = packed in
   let mgr = Db.manager db in
-  let prop = Transformation.start_propagator mgr T.rules in
+  let prop, tphase, route =
+    match resume with
+    | None -> (Transformation.start_propagator mgr T.rules, Populating, `Sources)
+    | Some r ->
+      (* The initial image is already in the targets (restored from the
+         snapshot); re-read the retained log suffix from where the
+         crashed propagator stood. Loser transactions were rolled back
+         by recovery without logging, so their records are skipped. *)
+      let prop =
+        Propagator.create ~skip:r.r_skip mgr T.rules ~from:r.r_position
+      in
+      (match r.r_phase with
+       | `Propagating -> (prop, Propagating, `Sources)
+       | `Draining ->
+         (* Already switched before the crash: the sources are dead
+            (frozen, no surviving transactions) and only the log tail
+            still needs to reach the targets. *)
+         Manager.freeze_tables mgr T.sources;
+         (prop, Draining, `Targets))
+  in
   let holder = next_holder () in
   let t =
     { db;
@@ -351,10 +427,13 @@ let create db ?(config = default_config) packed =
       unknown = T.unknown_flags;
       hooks = T.sync_hooks;
       holder;
-      job_name = T.name ^ "#" ^ string_of_int holder;
+      job_name =
+        (match job_name with
+         | Some n -> n
+         | None -> T.name ^ "#" ^ string_of_int holder);
       analysis = Analysis.create config.analysis;
-      tphase = Populating;
-      route = `Sources;
+      tphase;
+      route;
       iterations = 0;
       caught_up_once = false;
       final_records = 0;
@@ -364,13 +443,100 @@ let create db ?(config = default_config) packed =
   in
   Propagator.set_lock_mapper prop (fun ~table ~key ->
       t.lock_map.Transformation.source_to_targets ~table ~key);
-  Db.register_job db ~name:t.job_name ~step:(fun () -> step t);
+  let persist =
+    match T.spec_payload with
+    | None -> None
+    | Some spec_payload ->
+      Some
+        (fun () ->
+           { Db.job_state =
+               encode_job_state ~tag:(phase_tag t.tphase)
+                 ~position:(Propagator.position t.prop) spec_payload;
+             low_water = Propagator.position t.prop })
+  in
+  Db.register_job db ?persist ~name:t.job_name ~step:(fun () -> step t) ();
+  (* Journal the job's existence right away: a crash from here on finds
+     a [Job_state] in the WAL and knows a schema change was in flight
+     (at worst it restarts population from scratch). *)
+  (match persist with
+   | Some p ->
+     ignore
+       (Log.append (Manager.log t.mgr) ~txn:Log_record.system_txn
+          ~prev_lsn:Lsn.zero
+          (Log_record.Job_state { job = t.job_name; state = (p ()).Db.job_state }))
+   | None -> ());
   t
 
 let foj db ?config spec = create db ?config (Transformation.foj db spec)
 let split db ?config spec = create db ?config (Transformation.split db spec)
 let hsplit db ?config spec = create db ?config (Transformation.hsplit db spec)
 let merge db ?config spec = create db ?config (Transformation.merge db spec)
+
+(* {2 Crash resume} *)
+
+let targets_of_spec = function
+  | Spec.Foj s -> [ s.Spec.t_table ]
+  | Spec.Split s -> [ s.Spec.r_table'; s.Spec.s_table' ]
+  | Spec.Hsplit s -> [ s.Spec.h_true_table; s.Spec.h_false_table ]
+  | Spec.Merge s -> [ s.Spec.m_target ]
+
+let resume_one db ?config ~losers (name, state) =
+  match decode_job_state state with
+  | exception Failure m -> Error m
+  | tag, position, spec_payload ->
+    (match Spec.decode spec_payload with
+     | exception Failure m -> Error m
+     | spec ->
+       let catalog = Db.catalog db in
+       let targets = targets_of_spec spec in
+       (match tag with
+        | "pop" | "prop" | "drain" -> ()
+        | other -> failwith ("Transform.resume: unknown phase " ^ other));
+       (* Resumable only if the initial image completed before the
+          crash {e and} the durable state can still carry it forward:
+          the targets must have been in the snapshot and the retained
+          log suffix must reach back to the propagator's position.
+          Otherwise restart: drop the half-built targets and run the
+          whole transformation again. *)
+       let resumable =
+         (match tag with "prop" | "drain" -> true | _ -> false)
+         && Lsn.(position > Log.base (Db.log db))
+         && List.for_all (Catalog.mem catalog) targets
+       in
+       let resume =
+         if not resumable then begin
+           List.iter
+             (fun tgt -> if Catalog.mem catalog tgt then Catalog.drop catalog tgt)
+             targets;
+           None
+         end
+         else
+           Some
+             { r_phase =
+                 (if String.equal tag "drain" then `Draining else `Propagating);
+               r_position = position;
+               r_skip = losers }
+       in
+       (match Transformation.of_payload db spec_payload with
+        | Error m -> Error m
+        | Ok packed -> Ok (create db ?config ?resume ~job_name:name packed)))
+
+let resume ?config persist =
+  let db = Persist.db persist in
+  let losers =
+    match Persist.last_recovery persist with
+    | Some r -> r.Recovery.losers
+    | None -> []
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ((name, _) as job) :: rest ->
+      (match resume_one db ?config ~losers job with
+       | Error m -> Error (name ^ ": " ^ m)
+       | exception Failure m -> Error (name ^ ": " ^ m)
+       | Ok t -> go (t :: acc) rest)
+  in
+  go [] (Persist.pending_jobs persist)
 
 let abort t =
   match t.tphase with
@@ -392,6 +558,7 @@ let abort t =
          if Catalog.mem (Db.catalog t.db) tgt then
            Catalog.drop (Db.catalog t.db) tgt)
       t.tgt;
+    write_job_done t;
     Db.unregister_job t.db ~name:t.job_name;
     t.tphase <- Failed "aborted by request"
 

@@ -89,9 +89,32 @@ type progress = {
 
 type t
 
-val create : Db.t -> ?config:config -> Transformation.packed -> t
+(** Where a crashed executor left off, per the durable job state the
+    recovery report surfaced. Used by {!resume}; exposed for tests. *)
+type resume_info = {
+  r_phase : [ `Propagating | `Draining ];
+      (** [`Propagating]: initial image complete, keep applying the log.
+          [`Draining]: already switched to the targets; finish the log
+          tail and finalize. (An executor that crashed during population
+          restarts from scratch instead — see {!resume}.) *)
+  r_position : Nbsc_wal.Lsn.t;
+      (** log position the rebuilt propagator reads from *)
+  r_skip : Manager.txn_id list;
+      (** loser transactions recovery rolled back without logging —
+          their records must not be applied to the targets *)
+}
+
+val create :
+  Db.t -> ?config:config -> ?resume:resume_info -> ?job_name:string ->
+  Transformation.packed -> t
 (** Wrap any {!Transformation.S} operator in an executor and register
-    it as a background job on the database. *)
+    it as a background job on the database. When the operator is
+    persistable ({!Transformation.S.spec_payload}), the executor also
+    journals a [Job_state] record and registers a persist thunk so
+    checkpoints keep the durable state current. [resume] starts the
+    executor mid-lifecycle instead of at population; [job_name] pins
+    the registry name (resume keeps the crashed job's name so the
+    durable [Job_state]/[Job_done] chain stays coherent). *)
 
 (** {2 Convenience constructors for the paper's operators}
 
@@ -128,6 +151,19 @@ val job_name : t -> string
 
 val counters : t -> (string * int) list
 (** The operator's labelled counters (see {!Transformation.S.counters}). *)
+
+val resume : ?config:config -> Persist.t -> (t list, string) result
+(** Rebuild and re-register every schema-change job that was in flight
+    when the (re)opened database crashed ({!Persist.pending_jobs}).
+
+    A job whose initial population had finished resumes from its last
+    checkpointed propagator position — the source tables are {e not}
+    re-scanned; the retained WAL suffix is applied instead (skipping
+    recovery's loser transactions). A job still populating, or whose
+    durable state cannot cover a resume (targets missing from the
+    snapshot, position behind the retained log), drops its half-built
+    targets and restarts from scratch. Errors on a payload that cannot
+    be decoded. *)
 
 val abort : t -> unit
 (** Stop the transformation: log propagation ceases, transformed tables

@@ -26,6 +26,7 @@ module type S = sig
   val name : string
   val sources : string list
   val targets : string list
+  val spec_payload : string option
   val population : Population.t
   val rules : Propagator.rules
   val lock_map : lock_map
@@ -36,6 +37,23 @@ module type S = sig
 end
 
 type packed = (module S)
+
+(* Preparation must tolerate targets that already exist: after a crash
+   the targets were restored from the snapshot and the builder re-runs
+   to rebuild the operator around them. A pre-existing table is only
+   accepted with the exact schema the spec derives. *)
+let ensure_table catalog ?indexes ~name schema =
+  match Catalog.find_opt catalog name with
+  | None -> ignore (Catalog.create_table catalog ?indexes ~name schema)
+  | Some tbl ->
+    if not (Schema.equal (Table.schema tbl) schema) then
+      invalid_arg
+        (Printf.sprintf
+           "Transformation: table %S already exists with a different schema"
+           name);
+    List.iter
+      (fun (ix, columns) -> Table.add_index tbl ~name:ix ~columns)
+      (match indexes with Some ixs -> ixs | None -> [])
 
 let start_propagator mgr rules =
   let active = Manager.active_snapshot mgr in
@@ -83,10 +101,9 @@ let foj_target_to_sources fj ~key =
 let foj ?(transfer_locks = true) db spec =
   let catalog = Db.catalog db in
   let layout = Spec.foj_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog
-       ~indexes:(Spec.foj_t_indexes layout)
-       ~name:spec.Spec.t_table (Spec.foj_t_schema layout));
+  ensure_table catalog
+    ~indexes:(Spec.foj_t_indexes layout)
+    ~name:spec.Spec.t_table (Spec.foj_t_schema layout);
   let fj = Foj.create catalog layout in
   let r_tbl = Catalog.find catalog spec.Spec.r_table in
   let s_tbl = Catalog.find catalog spec.Spec.s_table in
@@ -108,6 +125,7 @@ let foj ?(transfer_locks = true) db spec =
     let name = "foj"
     let sources = [ spec.Spec.r_table; spec.Spec.s_table ]
     let targets = [ spec.Spec.t_table ]
+    let spec_payload = Some (Spec.encode (Spec.Foj spec))
     let population = pop
     let rules = rules
     let lock_map =
@@ -157,12 +175,8 @@ let split_target_to_sources sp db ~table ~key =
 let split db spec =
   let catalog = Db.catalog db in
   let layout = Spec.split_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.r_table'
-       (Spec.split_r_schema layout));
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.s_table'
-       (Spec.split_s_schema layout));
+  ensure_table catalog ~name:spec.Spec.r_table' (Spec.split_r_schema layout);
+  ensure_table catalog ~name:spec.Spec.s_table' (Spec.split_s_schema layout);
   let t_tbl = Catalog.find catalog spec.Spec.t_table' in
   Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:spec.Spec.split_key;
   let sp = Split.create catalog layout in
@@ -183,6 +197,7 @@ let split db spec =
     let name = "split"
     let sources = [ spec.Spec.t_table' ]
     let targets = [ spec.Spec.r_table'; spec.Spec.s_table' ]
+    let spec_payload = Some (Spec.encode (Spec.Split spec))
     let population = pop
     let rules = rules
     let lock_map =
@@ -205,12 +220,8 @@ let split db spec =
 let hsplit db spec =
   let catalog = Db.catalog db in
   let layout = Spec.hsplit_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.h_true_table
-       layout.Spec.h_schema);
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.h_false_table
-       layout.Spec.h_schema);
+  ensure_table catalog ~name:spec.Spec.h_true_table layout.Spec.h_schema;
+  ensure_table catalog ~name:spec.Spec.h_false_table layout.Spec.h_schema;
   let hs = Hsplit.create catalog layout in
   let source = Catalog.find catalog spec.Spec.h_source in
   let pop = Population.scan_one source ~ingest:(Hsplit.ingest_initial hs) in
@@ -224,6 +235,7 @@ let hsplit db spec =
     let name = "hsplit"
     let sources = [ spec.Spec.h_source ]
     let targets = [ spec.Spec.h_true_table; spec.Spec.h_false_table ]
+    let spec_payload = Some (Spec.encode (Spec.Hsplit spec))
     let population = pop
     let rules = rules
     let lock_map =
@@ -249,8 +261,7 @@ let hsplit db spec =
 let merge db spec =
   let catalog = Db.catalog db in
   let layout = Spec.merge_layout catalog spec in
-  ignore
-    (Catalog.create_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema);
+  ensure_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema;
   let mg = Merge.create catalog layout in
   let sources = List.map (Catalog.find catalog) spec.Spec.m_sources in
   let pop = Population.scan_many sources ~ingest:(Merge.ingest_initial mg) in
@@ -264,6 +275,7 @@ let merge db spec =
     let name = "merge"
     let sources = spec.Spec.m_sources
     let targets = [ spec.Spec.m_target ]
+    let spec_payload = Some (Spec.encode (Spec.Merge spec))
     let population = pop
     let rules = rules
     let lock_map =
@@ -281,3 +293,18 @@ let merge db spec =
         ("foreign", st.Merge.foreign); ("collisions", st.Merge.collisions) ]
     let sync_hooks = no_hooks
   end : S)
+
+(* {1 Rebuilding from a durable payload} *)
+
+let of_payload db payload =
+  match Spec.decode payload with
+  | exception Failure m -> Error m
+  | spec ->
+    (try
+       Ok
+         (match spec with
+          | Spec.Foj s -> foj db s
+          | Spec.Split s -> split db s
+          | Spec.Hsplit s -> hsplit db s
+          | Spec.Merge s -> merge db s)
+     with Invalid_argument m | Failure m -> Error m)

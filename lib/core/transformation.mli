@@ -65,6 +65,13 @@ module type S = sig
   (** Tables being produced. Created by the builder (the paper's
       preparation step) before the module is handed to the executor. *)
 
+  val spec_payload : string option
+  (** The operator's specification, encoded ({!Spec.encode}) so the
+      executor can journal it and {!of_payload} can rebuild the
+      operator after a crash. [None] marks a custom operator that
+      cannot be rebuilt from data — its jobs restart from scratch
+      rather than resume. *)
+
   val population : Population.t
   (** The bounded fuzzy-scan stepper for the initial image. *)
 
@@ -112,3 +119,9 @@ val foj : ?transfer_locks:bool -> Db.t -> Spec.foj -> packed
 val split : Db.t -> Spec.split -> packed
 val hsplit : Db.t -> Spec.hsplit -> packed
 val merge : Db.t -> Spec.merge -> packed
+
+val of_payload : Db.t -> string -> (packed, string) result
+(** Rebuild an operator from an encoded specification ({!S.spec_payload})
+    — the crash-resume path. Unlike first-time preparation, the target
+    tables may already exist (restored from the snapshot); they are
+    reused when their schemas match and rejected otherwise. *)

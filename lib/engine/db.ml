@@ -3,10 +3,20 @@ open Nbsc_txn
 
 type job_status = [ `Running | `Done | `Failed of string ]
 
+type job_persist = {
+  job_state : string;
+  low_water : Nbsc_wal.Lsn.t;
+}
+
+type job = {
+  j_step : unit -> job_status;
+  j_persist : (unit -> job_persist) option;
+}
+
 type t = {
   cat : Catalog.t;
   mgr : Manager.t;
-  mutable jobs : (string * (unit -> job_status)) list;
+  mutable jobs : (string * job) list;
 }
 
 let create () =
@@ -67,19 +77,27 @@ let row_count t name = Table.cardinality (table t name)
    closure performs one bounded quantum. The db schedules them
    round-robin so several transformations interleave fairly. *)
 
-let register_job t ~name ~step =
-  t.jobs <- t.jobs @ [ (name, step) ]
+let register_job t ?persist ~name ~step () =
+  t.jobs <- t.jobs @ [ (name, { j_step = step; j_persist = persist }) ]
 
 let unregister_job t ~name =
   t.jobs <- List.filter (fun (n, _) -> not (String.equal n name)) t.jobs
 
 let jobs t = List.map fst t.jobs
 
+let job_persists t =
+  List.filter_map
+    (fun (name, j) ->
+       match j.j_persist with
+       | Some p -> Some (name, p)
+       | None -> None)
+    t.jobs
+
 let step_jobs t =
   let snapshot = t.jobs in
   List.map
-    (fun (name, step) ->
-       let st = step () in
+    (fun (name, job) ->
+       let st = job.j_step () in
        (match st with
         | `Done | `Failed _ ->
           (* Most jobs deregister themselves on completion; make sure. *)

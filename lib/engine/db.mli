@@ -53,13 +53,32 @@ val row_count : t -> string -> int
 
 type job_status = [ `Running | `Done | `Failed of string ]
 
-val register_job : t -> name:string -> step:(unit -> job_status) -> unit
-(** Append a job (FIFO order; names should be unique). *)
+type job_persist = {
+  job_state : string;
+      (** Opaque resume payload — enough for the job's owner to rebuild
+          and resume it after a crash (see [Nbsc_core.Transform]). *)
+  low_water : Nbsc_wal.Lsn.t;
+      (** The oldest log position the resumed job would re-read (the
+          {e next} record its propagator consumes). A checkpoint must
+          retain every WAL record at or above this LSN. *)
+}
+
+val register_job :
+  t -> ?persist:(unit -> job_persist) -> name:string ->
+  step:(unit -> job_status) -> unit -> unit
+(** Append a job (FIFO order; names should be unique). [persist], when
+    given, lets durability ({!Persist.checkpoint}) re-emit the job's
+    current resume state into the WAL; jobs without it simply restart
+    from scratch after a crash. *)
 
 val unregister_job : t -> name:string -> unit
 
 val jobs : t -> string list
 (** Names of the in-flight jobs, in scheduling order. *)
+
+val job_persists : t -> (string * (unit -> job_persist)) list
+(** The persistable jobs and their current-state thunks, in scheduling
+    order. *)
 
 val step_jobs : t -> (string * job_status) list
 (** One fair round: every in-flight job runs one quantum, round-robin.

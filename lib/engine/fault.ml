@@ -1,0 +1,82 @@
+type mode = Crash | Torn
+
+exception Injected of { site : string; mode : mode }
+
+let all_sites =
+  [ "wal_append"; "snapshot_write"; "snapshot_rename"; "wal_rewrite";
+    "quantum_end"; "sync_commit" ]
+
+type armed = {
+  a_mode : mode;
+  mutable remaining : int;  (* hits to let pass before firing *)
+}
+
+let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 8
+let armed_count = ref 0
+let tracking = ref false
+
+let enabled () = !armed_count > 0 || !tracking
+
+let set_tracking b = tracking := b
+
+let arm ?(mode = Crash) ?(after = 0) site =
+  if not (Hashtbl.mem armed_tbl site) then incr armed_count;
+  Hashtbl.replace armed_tbl site { a_mode = mode; remaining = after }
+
+let disarm site =
+  if Hashtbl.mem armed_tbl site then begin
+    Hashtbl.remove armed_tbl site;
+    decr armed_count
+  end
+
+let reset () =
+  Hashtbl.reset armed_tbl;
+  Hashtbl.reset counters;
+  armed_count := 0;
+  tracking := false
+
+let count site =
+  match Hashtbl.find_opt counters site with
+  | Some r -> incr r
+  | None -> Hashtbl.replace counters site (ref 1)
+
+let hits site =
+  match Hashtbl.find_opt counters site with Some r -> !r | None -> 0
+
+(* The mode to fire with, if the site is armed and due. The armed entry
+   is removed before raising so each arming crashes exactly once. *)
+let due site =
+  match Hashtbl.find_opt armed_tbl site with
+  | None -> None
+  | Some a ->
+    if a.remaining > 0 then begin
+      a.remaining <- a.remaining - 1;
+      None
+    end
+    else begin
+      disarm site;
+      Some a.a_mode
+    end
+
+let hit site =
+  if enabled () then begin
+    count site;
+    match due site with
+    | Some mode ->
+      (* A Torn arming at a plain hit point degrades to a clean crash:
+         there is no partial effect to perform here. *)
+      raise (Injected { site; mode })
+    | None -> ()
+  end
+
+let torn site ~partial =
+  if enabled () then begin
+    count site;
+    match due site with
+    | Some Torn ->
+      partial ();
+      raise (Injected { site; mode = Torn })
+    | Some Crash -> raise (Injected { site; mode = Crash })
+    | None -> ()
+  end

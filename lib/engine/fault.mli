@@ -1,0 +1,75 @@
+(** Fault injection for crash testing.
+
+    A process-wide registry of named {e injection sites}. Durability
+    code (snapshot writes, the WAL sink, checkpointing) and the
+    transformation executor consult the registry at each site with
+    {!hit}; when a site is armed the consultation raises {!Injected},
+    simulating a crash at exactly that point. The crash-matrix suite
+    iterates every site × every transformation operator and checks that
+    reopening the store converges to the relational oracle.
+
+    Two modes:
+    - [Crash] — raise before the guarded effect happens (the record /
+      file never reaches disk);
+    - [Torn] — run a caller-supplied partial effect first (e.g. half a
+      WAL line, flushed), then raise: the torn-write case the
+      atomic-rename protocol and WAL-tail truncation must absorb.
+
+    The registry is deliberately global and single-threaded, like the
+    in-memory engine it tests. Production builds never arm anything,
+    so the per-site cost is one hashtable lookup guarded by a single
+    [enabled] flag check. *)
+
+type mode = Crash | Torn
+
+exception Injected of { site : string; mode : mode }
+(** The simulated crash. Test drivers catch it at top level, abandon
+    the in-memory database, and reopen from disk. *)
+
+val all_sites : string list
+(** The documented injection points, in rough lifecycle order:
+
+    - ["wal_append"] — in the WAL sink, before an appended log record
+      is written to the file (Torn: half the encoded line is written
+      and flushed first);
+    - ["snapshot_write"] — while streaming snapshot lines into the
+      temporary file, before the atomic rename;
+    - ["snapshot_rename"] — after the temporary snapshot is complete,
+      before [Sys.rename] publishes it;
+    - ["wal_rewrite"] — after a checkpoint wrote the new snapshot,
+      before the retained WAL suffix atomically replaces the old file;
+    - ["quantum_end"] — in the executor, after a transformation quantum
+      completed;
+    - ["sync_commit"] — in the executor, after routing switched to the
+      targets, before finalization (source drop, job deregistration). *)
+
+val arm : ?mode:mode -> ?after:int -> string -> unit
+(** [arm site] makes the next {!hit} on [site] raise; [~after:n] lets
+    [n] hits pass first. Re-arming replaces the previous setting. *)
+
+val disarm : string -> unit
+
+val reset : unit -> unit
+(** Disarm every site and zero all hit counters. *)
+
+val hit : string -> unit
+(** Count a pass through [site]; raise {!Injected} if armed ([Crash]
+    mode) and due. A [Torn]-armed site does not fire here — torn
+    injection only makes sense where a partial effect exists, i.e. at
+    {!torn} call sites. *)
+
+val torn : string -> partial:(unit -> unit) -> unit
+(** Like {!hit}, but when the site is armed in [Torn] mode and due,
+    runs [partial] (the half-written effect) before raising. *)
+
+val hits : string -> int
+(** How many times [site] was consulted since the last {!reset} — the
+    crash matrix dry-runs a scenario (with {!set_tracking}) to learn
+    each site's hit count, then arms mid-range offsets. *)
+
+val set_tracking : bool -> unit
+(** Count hits even with nothing armed (dry runs). Off after {!reset}. *)
+
+val enabled : unit -> bool
+(** True when any site is armed or tracking is on (production guard:
+    with nothing armed and tracking off, {!hit} is one flag check). *)

@@ -20,15 +20,25 @@ let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
 let io f = try Ok (f ()) with Sys_error m -> Error (`Io m)
 
-let write_lines path lines =
+(* Atomic file replacement: write a temp file in the same directory,
+   then rename over the destination. A crash at any point leaves either
+   the complete old file or the complete new file — never a torn mix.
+   [Fault.Injected] deliberately escapes [io]'s Sys_error net: a
+   simulated crash propagates to the harness, which then reopens the
+   directory. *)
+let write_lines_atomic ?fault_write ?fault_rename path lines =
   io (fun () ->
-      let oc = open_out path in
+      let tmp = path ^ ".tmp" in
+      (match fault_write with Some site -> Fault.hit site | None -> ());
+      let oc = open_out tmp in
       List.iter
         (fun l ->
            output_string oc l;
            output_char oc '\n')
         lines;
-      close_out oc)
+      close_out oc;
+      (match fault_rename with Some site -> Fault.hit site | None -> ());
+      Sys.rename tmp path)
 
 let read_lines path =
   io (fun () ->
@@ -42,11 +52,44 @@ let read_lines path =
       in
       go [])
 
+(* The WAL is appended in place (not rename-swapped), so a crash can
+   tear its final line. Only an {e unterminated} final line is the
+   signature of a torn append — drop it; newline-terminated garbage is
+   real corruption and must still be reported as such. Returns the
+   surviving lines and whether a torn tail was dropped (the caller must
+   then trim the file, or the next append would fuse with the torn
+   prefix into a newline-terminated garbage line). *)
+let read_wal_lines path =
+  io (fun () ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      if String.equal s "" then ([], false)
+      else begin
+        let terminated = s.[String.length s - 1] = '\n' in
+        let body =
+          if terminated then String.sub s 0 (String.length s - 1) else s
+        in
+        let lines = String.split_on_char '\n' body in
+        if terminated then (lines, false)
+        else
+          match List.rev lines with
+          | _torn :: rest -> (List.rev rest, true)
+          | [] -> ([], true)
+      end)
+
 let attach_sink t =
   Log.set_sink (Db.log t.pdb)
     (Some
        (fun record ->
-          output_string t.out (Log_record.encode record);
+          let line = Log_record.encode record in
+          (* A torn append leaves a prefix of the line, unterminated —
+             exactly what [read_wal_lines] tolerates on reopen. *)
+          Fault.torn "wal_append" ~partial:(fun () ->
+              output_string t.out (String.sub line 0 (String.length line / 2));
+              flush t.out);
+          output_string t.out line;
           output_char t.out '\n';
           flush t.out))
 
@@ -60,8 +103,10 @@ let create_dir ~dir =
     let pdb = Db.create () in
     let* () =
       match Snapshot.save pdb with
-      | Ok lines -> write_lines (snapshot_path dir) lines
-      | Error (`Active_transactions _ | `Corrupt _) -> assert false
+      | Ok lines ->
+        write_lines_atomic ~fault_write:"snapshot_write"
+          ~fault_rename:"snapshot_rename" (snapshot_path dir) lines
+      | Error ((`Active_transactions _ | `Corrupt _) as e) -> Error (e :> error)
     in
     let* out =
       io (fun () ->
@@ -76,26 +121,35 @@ let open_dir ~dir =
   let* pdb =
     match Snapshot.load snapshot_lines with
     | Ok db -> Ok db
-    | Error (`Corrupt _ as e) -> Error (e :> error)
-    | Error (`Active_transactions _) -> assert false
+    | Error ((`Corrupt _ | `Active_transactions _) as e) -> Error (e :> error)
   in
-  let* wal_lines =
-    if Sys.file_exists (wal_path dir) then read_lines (wal_path dir) else Ok []
+  let* wal_lines, torn =
+    if Sys.file_exists (wal_path dir) then read_wal_lines (wal_path dir)
+    else Ok ([], false)
   in
-  (* Crash recovery over the retained log suffix, and the LSN the
-     in-memory log must continue after. *)
-  let* report, wal_head =
+  (* Physically trim a torn tail before the append channel reopens. *)
+  let* () =
+    if torn then write_lines_atomic (wal_path dir) wal_lines else Ok ()
+  in
+  (* Crash recovery over the retained log suffix. The parsed WAL
+     becomes the {e live} in-memory log: a resumed transformation's
+     propagator must be able to re-read the retained records, and new
+     appends must continue the same LSN sequence. *)
+  let* report, log =
     match wal_lines with
-    | [] -> Ok (None, Log.head (Db.log pdb))  (* the snapshot head *)
+    | [] -> Ok (None, Db.log pdb) (* empty log based at the snapshot head *)
     | lines ->
       (match Log.of_lines lines with
-       | wal ->
-         Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), Log.head wal)
+       | wal -> Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), wal)
        | exception Failure m -> Error (`Corrupt m))
   in
-  let pdb =
-    Db.of_parts (Db.catalog pdb) ~log:(Log.create ~base:wal_head ())
-  in
+  let pdb = Db.of_parts (Db.catalog pdb) ~log in
+  (* Retained records carry transaction ids from the previous life;
+     fresh ids must not collide with them (a resumed propagator skips
+     loser ids, and recovery groups records by id). *)
+  let max_txn = ref Log_record.system_txn in
+  Log.iter log (fun r -> max_txn := Stdlib.max !max_txn r.Log_record.txn);
+  Nbsc_txn.Manager.bump_txn_ids (Db.manager pdb) ~above:!max_txn;
   let* out =
     io (fun () ->
         open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
@@ -107,18 +161,73 @@ let open_dir ~dir =
 let db t = t.pdb
 
 let checkpoint t =
+  let log = Db.log t.pdb in
+  let persists =
+    List.map (fun (name, thunk) -> (name, thunk ())) (Db.job_persists t.pdb)
+  in
   match Snapshot.save t.pdb with
   | Error e -> Error (e :> error)
   | Ok lines ->
-    let* () = write_lines (snapshot_path t.dir) lines in
-    (* Truncate the WAL: everything it held is in the snapshot now. *)
+    (* Snapshot first, WAL second: a crash between the two leaves the
+       new snapshot with the old (longer) WAL, which replays
+       idempotently. The reverse order could pair a truncated WAL with
+       the old snapshot and lose records. *)
     let* () =
-      io (fun () ->
-          close_out t.out;
-          t.out <- open_out (wal_path t.dir))
+      write_lines_atomic ~fault_write:"snapshot_write"
+        ~fault_rename:"snapshot_rename" (snapshot_path t.dir) lines
     in
+    (* Only now re-emit every persistable job's resume state. The
+       ordering is load-bearing: a [Job_state] on disk must imply the
+       published snapshot already reflects the job's work up to that
+       position — resuming from a position {e ahead} of the targets
+       would silently skip log records. The other direction is safe: a
+       crash leaving an older [Job_state] with a newer snapshot merely
+       replays an overlap, and replay is idempotent. The records land
+       in the current WAL via the sink and — having LSNs above every
+       low-water mark — survive the rewrite below. *)
+    List.iter
+      (fun (name, (p : Db.job_persist)) ->
+         ignore
+           (Log.append log ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
+              (Log_record.Job_state { job = name; state = p.Db.job_state })))
+      persists;
+    (* Truncate the WAL down to the suffix in-flight jobs still need:
+       every record at or above the oldest propagator position (low
+       watermark — the {e next} record that job will read, so the record
+       at the watermark itself must survive). With no persistable jobs
+       the WAL empties, as a classical checkpoint would. *)
+    let low =
+      List.fold_left
+        (fun acc (_, (p : Db.job_persist)) ->
+           if Lsn.(p.Db.low_water < acc) then p.Db.low_water else acc)
+        (Lsn.next (Log.head log)) persists
+    in
+    let retained = ref [] in
+    Log.iter log (fun r ->
+        if Lsn.(r.Log_record.lsn >= low) then
+          retained := Log_record.encode r :: !retained);
+    let retained = List.rev !retained in
+    let* () = io (fun () -> close_out t.out) in
+    let* () =
+      write_lines_atomic ~fault_rename:"wal_rewrite" (wal_path t.dir) retained
+    in
+    let* out =
+      io (fun () ->
+          open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path t.dir))
+    in
+    t.out <- out;
     attach_sink t;
     Ok ()
+
+let crash t =
+  if not t.closed then begin
+    t.closed <- true;
+    Log.set_sink (Db.log t.pdb) None;
+    (* No flush: anything the "process" had not written is lost, which
+       is the point. (Appends flush synchronously, so the only bytes a
+       real crash could lose are a torn tail — injected explicitly.) *)
+    close_out_noerr t.out
+  end
 
 let close t =
   if not t.closed then begin
@@ -128,6 +237,9 @@ let close t =
   end
 
 let last_recovery t = t.report
+
+let pending_jobs t =
+  match t.report with Some r -> r.Recovery.jobs | None -> []
 
 let pp_error ppf = function
   | `Active_transactions txns ->

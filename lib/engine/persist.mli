@@ -12,7 +12,15 @@
     completed work, rollback of transactions that were in flight at the
     crash), and re-attaches the WAL sink so new work keeps being
     journaled. {!checkpoint} rewrites the snapshot and truncates the
-    WAL — the log-truncation step a real system runs periodically. *)
+    WAL down to the suffix still needed by in-flight schema changes.
+
+    Crash-safety protocol: both files are replaced atomically (temp
+    file + [Sys.rename]); the WAL alone is appended in place, so only
+    its final line can be torn by a crash — an unterminated final line
+    is silently dropped on reopen, while newline-terminated garbage is
+    still reported as [`Corrupt]. Fault injection ({!Fault}) is wired
+    into every durability step: sites [wal_append], [snapshot_write],
+    [snapshot_rename] and [wal_rewrite] fire here. *)
 
 (** {b DDL durability caveat}: the WAL journals data operations only
     (the paper's log carries no DDL either); table definitions are
@@ -33,18 +41,41 @@ val create_dir : dir:string -> (t, error) result
 
 val open_dir : dir:string -> (t, error) result
 (** Open an existing directory, running crash recovery if the WAL holds
-    unfinished transactions. *)
+    unfinished transactions. The parsed WAL becomes the live in-memory
+    log (fresh appends continue its LSN sequence), so a resumed
+    transformation's propagator can re-read the retained records.
+    Fresh transaction ids are bumped above every id the retained WAL
+    mentions. *)
 
 val db : t -> Db.t
 
 val checkpoint : t -> (unit, error) result
 (** Rewrite the snapshot at the current state and truncate the WAL.
-    Requires no active transactions (sharp, like {!Snapshot.save}). *)
+    Requires no active transactions (sharp, like {!Snapshot.save}).
+
+    Every persistable background job ({!Db.register_job}'s [persist])
+    first gets a fresh [Job_state] record appended, then the WAL is
+    truncated only down to the oldest job's [low_water] position — the
+    retained suffix plus the snapshot is exactly what {!open_dir} needs
+    to rebuild and resume the jobs. With no persistable jobs the WAL
+    empties, as a classical checkpoint would. *)
+
+val crash : t -> unit
+(** Simulate a process crash: detach the WAL sink and drop the channel
+    without flushing. The in-memory database must be discarded; the
+    only legal continuation is {!open_dir} on the same directory. Used
+    by the fault-injection harness after catching {!Fault.Injected}. *)
 
 val close : t -> unit
 (** Flush and close the WAL channel. The [t] must not be used after. *)
 
 val last_recovery : t -> Recovery.report option
 (** The report from recovery at [open_dir] time, if any replay ran. *)
+
+val pending_jobs : t -> (string * string) list
+(** Background jobs that were in flight at the crash, per the recovery
+    report: [(job name, opaque resume payload)] in first-seen order.
+    Empty if no recovery ran. [Nbsc_core.Transform.resume] consumes
+    this. *)
 
 val pp_error : Format.formatter -> error -> unit

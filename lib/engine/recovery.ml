@@ -17,13 +17,25 @@ type report = {
   redo_skipped : int;
   losers : Log_record.txn_id list;
   undo_applied : int;
+  jobs : (string * string) list;
 }
 
-(* Analysis: who never completed, and what was each one's last record? *)
+(* Analysis: who never completed, and what was each one's last record?
+   Also collects the in-flight background jobs: the latest Job_state
+   payload per job name, forgotten again on Job_done. *)
 let analysis log =
   let last_lsn = Hashtbl.create 64 in
   let active = Hashtbl.create 64 in
+  let job_states = Hashtbl.create 8 in
+  let job_order = ref [] in
   Log.iter log (fun r ->
+      (match r.Log_record.body with
+       | Log_record.Job_state { job; state } ->
+         if not (Hashtbl.mem job_states job) then
+           job_order := job :: !job_order;
+         Hashtbl.replace job_states job state
+       | Log_record.Job_done { job } -> Hashtbl.remove job_states job
+       | _ -> ());
       let txn = r.Log_record.txn in
       if txn <> Log_record.system_txn then begin
         Hashtbl.replace last_lsn txn r.Log_record.lsn;
@@ -32,16 +44,26 @@ let analysis log =
         | Log_record.Commit | Log_record.Abort_done -> Hashtbl.remove active txn
         | Log_record.Abort_begin | Log_record.Op _ | Log_record.Clr _
         | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
-        | Log_record.Checkpoint _ -> ()
+        | Log_record.Checkpoint _ | Log_record.Job_state _
+        | Log_record.Job_done _ -> ()
       end);
   let losers =
     Hashtbl.fold (fun txn () acc -> txn :: acc) active []
     |> List.sort Int.compare
   in
-  (losers, fun txn -> try Hashtbl.find last_lsn txn with Not_found -> Lsn.zero)
+  let jobs =
+    List.rev !job_order
+    |> List.filter_map (fun job ->
+        match Hashtbl.find_opt job_states job with
+        | Some state -> Some (job, state)
+        | None -> None)
+  in
+  ( losers,
+    (fun txn -> try Hashtbl.find last_lsn txn with Not_found -> Lsn.zero),
+    jobs )
 
 let replay_into catalog log =
-  let losers, last_lsn_of = analysis log in
+  let losers, last_lsn_of, jobs = analysis log in
   (* Redo: history repeats, including CLRs (repeating history, ARIES). *)
   let redo_applied = ref 0 and redo_skipped = ref 0 in
   let redo lsn op =
@@ -70,13 +92,18 @@ let replay_into catalog log =
       | Log_record.Clr { op; _ } -> redo r.Log_record.lsn op
       | Log_record.Begin | Log_record.Commit | Log_record.Abort_begin
       | Log_record.Abort_done | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _
-      | Log_record.Cc_ok _ | Log_record.Checkpoint _ -> ());
+      | Log_record.Cc_ok _ | Log_record.Checkpoint _ | Log_record.Job_state _
+      | Log_record.Job_done _ -> ());
   (* Undo: roll losers back.  No new log records are produced — the
      recovered catalog is the deliverable, not a continued log. *)
   let undo_applied = ref 0 in
   let undo_lsn = Lsn.next (Log.head log) in
+  (* Chains stop at the log base as well as at zero: a retained suffix
+     cannot hold records below its base, and a loser's chain never
+     reaches that far anyway (checkpoints are sharp, so every
+     transaction in the suffix began after the truncation point). *)
   let rec undo_chain lsn =
-    if Lsn.(lsn > Lsn.zero) then begin
+    if Lsn.(lsn > Lsn.zero) && Lsn.(lsn > Log.base log) then begin
       let r = Log.get log lsn in
       match r.Log_record.body with
       | Log_record.Op op ->
@@ -93,14 +120,16 @@ let replay_into catalog log =
       | Log_record.Begin -> ()
       | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
       | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
-      | Log_record.Checkpoint _ -> undo_chain r.Log_record.prev_lsn
+      | Log_record.Checkpoint _ | Log_record.Job_state _
+      | Log_record.Job_done _ -> undo_chain r.Log_record.prev_lsn
     end
   in
   List.iter (fun txn -> undo_chain (last_lsn_of txn)) losers;
   { redo_applied = !redo_applied;
     redo_skipped = !redo_skipped;
     losers;
-    undo_applied = !undo_applied }
+    undo_applied = !undo_applied;
+    jobs }
 
 let recover ~table_defs log =
   let catalog = Catalog.create () in
@@ -114,7 +143,8 @@ let recover ~table_defs log =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "redo: %d applied, %d skipped; losers: [%s]; undo: %d applied"
+    "redo: %d applied, %d skipped; losers: [%s]; undo: %d applied; jobs: [%s]"
     r.redo_applied r.redo_skipped
     (String.concat "; " (List.map string_of_int r.losers))
     r.undo_applied
+    (String.concat "; " (List.map fst r.jobs))

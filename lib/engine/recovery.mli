@@ -32,6 +32,12 @@ type report = {
   redo_skipped : int;   (** ops on unknown tables *)
   losers : Log_record.txn_id list;
   undo_applied : int;
+  jobs : (string * string) list;
+      (** background jobs still in flight at the crash: latest
+          [Job_state] payload per job name, in first-seen order, minus
+          any job with a [Job_done]. The payload is opaque here; the
+          transformation executor ({!Nbsc_core.Transform}) decodes it
+          and resumes the job. *)
 }
 
 val recover : table_defs:table_def list -> Log.t -> Catalog.t * report

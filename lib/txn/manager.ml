@@ -67,6 +67,9 @@ let locks t = t.locks
 let latches t = t.latches
 let catalog t = t.catalog
 
+let bump_txn_ids t ~above =
+  if above >= t.next_id then t.next_id <- above + 1
+
 let begin_txn t =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -320,7 +323,8 @@ let rollback t txn =
       | Log_record.Begin -> ()
       | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
       | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
-      | Log_record.Checkpoint _ ->
+      | Log_record.Checkpoint _ | Log_record.Job_state _
+      | Log_record.Job_done _ ->
         undo record.Log_record.prev_lsn
     end
   in

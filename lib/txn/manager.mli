@@ -53,6 +53,12 @@ val catalog : t -> Catalog.t
 val begin_txn : t -> txn_id
 (** Ids are strictly increasing — age for wait-die. *)
 
+val bump_txn_ids : t -> above:txn_id -> unit
+(** Ensure future ids are strictly greater than [above]. A database
+    reopened over a retained log suffix must not hand out ids that
+    collide with the previous incarnation's transactions (recovery and
+    the resumed propagators group log records by id). *)
+
 val status : t -> txn_id -> status
 val is_active : t -> txn_id -> bool
 

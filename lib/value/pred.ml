@@ -55,6 +55,35 @@ let columns t =
 
 let negate t = Not t
 
+let op_tag = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let op_of_tag = function
+  | "eq" -> Eq | "ne" -> Ne | "lt" -> Lt | "le" -> Le | "gt" -> Gt | "ge" -> Ge
+  | s -> failwith ("Pred.decode: unknown operator " ^ s)
+
+let rec encode t =
+  Codec.encode_string_list
+    (match t with
+     | True -> [ "t" ]
+     | False -> [ "f" ]
+     | Cmp (c, op, v) -> [ "cmp"; c; op_tag op; Value.encode v ]
+     | Is_null c -> [ "null"; c ]
+     | And (a, b) -> [ "and"; encode a; encode b ]
+     | Or (a, b) -> [ "or"; encode a; encode b ]
+     | Not a -> [ "not"; encode a ])
+
+let rec decode s =
+  match Codec.decode_string_list s with
+  | [ "t" ] -> True
+  | [ "f" ] -> False
+  | [ "cmp"; c; op; v ] -> Cmp (c, op_of_tag op, Value.decode v)
+  | [ "null"; c ] -> Is_null c
+  | [ "and"; a; b ] -> And (decode a, decode b)
+  | [ "or"; a; b ] -> Or (decode a, decode b)
+  | [ "not"; a ] -> Not (decode a)
+  | _ -> failwith "Pred.decode: malformed predicate"
+
 let pp_op ppf op =
   Format.pp_print_string ppf
     (match op with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")

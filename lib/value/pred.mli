@@ -38,4 +38,12 @@ val negate : t -> t
     The horizontal split relies on [p] and [negate p] partitioning
     every row exactly one way, which [Not] guarantees. *)
 
+val encode : t -> string
+(** Compact tagged encoding, exact inverse of {!decode}. Lets a
+    predicate ride inside a durable resume payload (the horizontal
+    split's partition predicate must survive a crash). *)
+
+val decode : string -> t
+(** @raise Failure on malformed input. *)
+
 val pp : Format.formatter -> t -> unit

@@ -105,6 +105,16 @@ let of_lines lines =
   List.iter
     (fun line ->
        let r = Log_record.decode line in
+       (* Back-pointers must point strictly backwards; a forward pointer
+          would send recovery's undo chase past the head (Not_found deep
+          inside redo) — reject it here as corruption instead. *)
+       if Lsn.(r.Log_record.prev_lsn >= r.Log_record.lsn) then
+         failwith "Log.of_lines: prev_lsn not behind its record";
+       (match r.Log_record.body with
+        | Log_record.Clr { undo_next; _ } ->
+          if Lsn.(undo_next >= r.Log_record.lsn) then
+            failwith "Log.of_lines: CLR undo_next not behind its record"
+        | _ -> ());
        let lsn =
          append t ~txn:r.Log_record.txn ~prev_lsn:r.Log_record.prev_lsn
            r.Log_record.body
@@ -112,6 +122,17 @@ let of_lines lines =
        if not (Lsn.equal lsn r.Log_record.lsn) then
          failwith "Log.of_lines: non-contiguous LSNs")
     lines;
+  (* Chain consistency: an in-range prev_lsn must reference a record of
+     the same transaction (pointers below [base] are legal — the chain
+     of a long-completed transaction may extend into a truncated log
+     prefix). Checked after the rebuild so every target is present. *)
+  iter t (fun r ->
+      let prev = r.Log_record.prev_lsn in
+      if Lsn.(prev > Lsn.of_int t.base) then begin
+        let target = get t prev in
+        if target.Log_record.txn <> r.Log_record.txn then
+          failwith "Log.of_lines: prev_lsn crosses transactions"
+      end);
   t
 
 let pp ppf t = iter t (fun r -> Format.fprintf ppf "%a@." Log_record.pp r)

@@ -69,6 +69,12 @@ val to_lines : t -> string list
 
 val of_lines : string list -> t
 (** Rebuild a log from serialized records.
-    @raise Failure on malformed input or non-contiguous LSNs. *)
+    @raise Failure on malformed input, non-contiguous LSNs, or an
+    inconsistent back-pointer chain (a [prev_lsn] / CLR [undo_next]
+    not strictly behind its record, or an in-range [prev_lsn] that
+    references another transaction's record). Pointers below the
+    rebuilt log's base are accepted: a retained log suffix may carry
+    completed transactions whose chains start in the truncated
+    prefix. *)
 
 val pp : Format.formatter -> t -> unit

@@ -38,6 +38,8 @@ type body =
   | Cc_begin of { table : string; key : Row.Key.t }
   | Cc_ok of { table : string; key : Row.Key.t; image : Row.t }
   | Checkpoint of { active : (txn_id * Lsn.t) list }
+  | Job_state of { job : string; state : string }
+  | Job_done of { job : string }
 
 type t = {
   lsn : Lsn.t;
@@ -96,6 +98,8 @@ let encode_body = function
   | Cc_ok { table; key; image } ->
     [ "cc_ok"; table; Codec.encode_row key; Codec.encode_row image ]
   | Checkpoint { active } -> [ "ckpt"; encode_active active ]
+  | Job_state { job; state } -> [ "job"; job; state ]
+  | Job_done { job } -> [ "job_done"; job ]
 
 let decode_body = function
   | [ "begin" ] -> Begin
@@ -110,6 +114,8 @@ let decode_body = function
   | [ "cc_ok"; table; key; image ] ->
     Cc_ok { table; key = Codec.decode_row key; image = Codec.decode_row image }
   | [ "ckpt"; active ] -> Checkpoint { active = decode_active active }
+  | [ "job"; job; state ] -> Job_state { job; state }
+  | [ "job_done"; job ] -> Job_done { job }
   | _ -> failwith "Log_record: bad body encoding"
 
 let encode t =
@@ -159,6 +165,8 @@ let pp_body ppf = function
     Format.fprintf ppf "CC-OK %s %a image=%a" table Row.Key.pp key Row.pp image
   | Checkpoint { active } ->
     Format.fprintf ppf "CHECKPOINT[%a]" pp_active active
+  | Job_state { job; _ } -> Format.fprintf ppf "JOB-STATE %s" job
+  | Job_done { job } -> Format.fprintf ppf "JOB-DONE %s" job
 
 let pp ppf t =
   Format.fprintf ppf "%a T%d prev=%a %a" Lsn.pp t.lsn t.txn Lsn.pp t.prev_lsn

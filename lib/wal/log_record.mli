@@ -58,6 +58,18 @@ type body =
   | Cc_begin of { table : string; key : Row.Key.t }
   | Cc_ok of { table : string; key : Row.Key.t; image : Row.t }
   | Checkpoint of { active : (txn_id * Lsn.t) list }
+  | Job_state of { job : string; state : string }
+      (** a registered background job (schema change) exists with the
+          given opaque serialized state — written at job creation and
+          re-emitted by every durability checkpoint, so crash recovery
+          can rebuild and resume the job (see {!Nbsc_engine.Recovery}) *)
+  | Job_done of { job : string }
+      (** the job was cancelled (aborted); recovery forgets it. Normal
+          completion writes no record — it becomes durable at the next
+          checkpoint, which finds the job gone and drops its
+          [Job_state] from the WAL (a job's final target writes are
+          unlogged, so a completion marker could otherwise outlive
+          them). *)
 
 type t = {
   lsn : Lsn.t;

@@ -1,0 +1,540 @@
+(* The crash matrix: every fault-injection site × every transformation
+   operator. Each arm dry-runs the scenario to learn how often a site
+   is consulted, then re-runs it with a crash armed mid-range: the
+   in-memory database is abandoned ([Persist.crash]), the directory is
+   reopened, in-flight schema changes are resumed ([Transform.resume]),
+   and the store must still converge to the relational oracle of the
+   final source tables.
+
+   Also here: the replay_into idempotence properties (satellite of the
+   durability work) and the restart-from-scratch scenario folded in
+   from test_restart.ml, now exercised through the Persist path. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+module H = Helpers
+
+let ok_p name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Persist.pp_error e
+
+let base_seed =
+  match Sys.getenv_opt "NBSC_CRASH_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 42)
+  | None -> 42
+
+let counter = ref 0
+
+(* No unix dependency: uniqueness from a counter + random suffix. *)
+let fresh_dir () =
+  incr counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nbsc_crashmx_%d_%d" !counter (Random.int 1_000_000))
+
+let wipe dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let cfg =
+  { Transform.default_config with
+    Transform.scan_batch = 7;
+    propagate_batch = 5;
+    drop_sources = false }
+
+(* One operator scenario of the matrix. *)
+type op_case = {
+  op_name : string;
+  op_sources : string list;
+  op_targets : string list;
+  setup : Persist.t -> unit;  (* create + load sources, checkpoint *)
+  start : Db.t -> unit;       (* kick off the transformation *)
+  traffic : H.driver -> unit; (* one round of committed user work *)
+  oracle : Db.t -> (string * Nbsc_relalg.Relalg.t) list;
+      (* target -> expected relation, from the final sources *)
+}
+
+(* {1 The four operators} *)
+
+let checkpoint_ddl p = ok_p "setup checkpoint" (Persist.checkpoint p)
+
+let foj_case =
+  { op_name = "foj";
+    op_sources = [ "R"; "S" ];
+    op_targets = [ "T" ];
+    setup =
+      (fun p ->
+         let db = Persist.db p in
+         ignore (Db.create_table db ~name:"R" H.r_schema);
+         ignore (Db.create_table db ~name:"S" H.s_schema);
+         let r_rows, s_rows = H.seed_rows ~r:40 ~s:20 in
+         (match Db.load db ~table:"R" r_rows with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load R: %a" Manager.pp_error e);
+         (match Db.load db ~table:"S" s_rows with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load S: %a" Manager.pp_error e);
+         checkpoint_ddl p);
+    start = (fun db -> ignore (Transform.foj db ~config:cfg H.foj_spec));
+    traffic =
+      (fun d ->
+         H.random_r_op d;
+         H.random_s_op d);
+    oracle = (fun db -> [ ("T", H.foj_oracle db) ]) }
+
+let setup_flat_t p =
+  let db = Persist.db p in
+  ignore (Db.create_table db ~name:"T" H.t_flat_schema);
+  (match Db.load db ~table:"T" (H.seed_t_rows ~n:60) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "load T: %a" Manager.pp_error e);
+  checkpoint_ddl p
+
+let split_case =
+  { op_name = "split";
+    op_sources = [ "T" ];
+    op_targets = [ "R"; "S" ];
+    setup = setup_flat_t;
+    start =
+      (fun db ->
+         ignore
+           (Transform.split db ~config:cfg (H.split_spec ~assume_consistent:true)));
+    traffic = (fun d -> H.random_t_op ~consistent:true d);
+    oracle =
+      (fun db ->
+         let want_r, want_s =
+           Nbsc_relalg.Relalg.split
+             { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+               s_cols' = [ "c"; "d" ];
+               r_key = [ "a" ];
+               s_key = [ "c" ] }
+             (Db.snapshot db "T")
+         in
+         [ ("R", want_r); ("S", want_s) ]) }
+
+let hpred = Pred.Cmp ("c", Pred.Gt, Value.Int 6)
+
+let hspec =
+  { Spec.h_source = "T";
+    h_true_table = "archive";
+    h_false_table = "live";
+    h_pred = hpred }
+
+let hsplit_case =
+  { op_name = "hsplit";
+    op_sources = [ "T" ];
+    op_targets = [ "archive"; "live" ];
+    setup = setup_flat_t;
+    start = (fun db -> ignore (Transform.hsplit db ~config:cfg hspec));
+    traffic = (fun d -> H.random_t_op ~consistent:true d);
+    oracle =
+      (fun db ->
+         let t = Db.snapshot db "T" in
+         let p = Pred.compile H.t_flat_schema hpred in
+         [ ("archive", Nbsc_relalg.Relalg.select t p);
+           ("live", Nbsc_relalg.Relalg.select t (fun row -> not (p row))) ]) }
+
+(* Merge traffic: the shared fresh-key counter keeps A and B keys
+   disjoint, so the oracle stays a plain union. *)
+let merge_traffic d =
+  let mgr = Db.manager d.H.db in
+  ignore
+    (H.run_txn d (fun txn ->
+         let table = if Random.State.bool d.H.rng then "A" else "B" in
+         match Random.State.int d.H.rng 3 with
+         | 0 ->
+           d.H.next_r_key <- d.H.next_r_key + 1;
+           Manager.insert mgr ~txn ~table
+             (H.ti d.H.next_r_key "new" (Random.State.int d.H.rng 10) "z")
+         | 1 ->
+           (match H.existing_key d table with
+            | Some key ->
+              Manager.update mgr ~txn ~table ~key
+                [ (1, Value.Text ("w" ^ string_of_int (Random.State.int d.H.rng 100))) ]
+            | None -> Ok ())
+         | _ ->
+           (match H.existing_key d table with
+            | Some key -> Manager.delete mgr ~txn ~table ~key
+            | None -> Ok ())))
+
+let merge_case =
+  { op_name = "merge";
+    op_sources = [ "A"; "B" ];
+    op_targets = [ "AB" ];
+    setup =
+      (fun p ->
+         let db = Persist.db p in
+         ignore (Db.create_table db ~name:"A" H.t_flat_schema);
+         ignore (Db.create_table db ~name:"B" H.t_flat_schema);
+         (match
+            Db.load db ~table:"A"
+              (List.init 30 (fun i -> H.ti i "a" (i mod 5) "x"))
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load A: %a" Manager.pp_error e);
+         (match
+            Db.load db ~table:"B"
+              (List.init 20 (fun i -> H.ti (100 + i) "b" (i mod 5) "y"))
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load B: %a" Manager.pp_error e);
+         checkpoint_ddl p);
+    start =
+      (fun db ->
+         ignore
+           (Transform.merge db ~config:cfg
+              { Spec.m_sources = [ "A"; "B" ]; m_target = "AB" }));
+    traffic = merge_traffic;
+    oracle =
+      (fun db ->
+         let a = Db.snapshot db "A" and b = Db.snapshot db "B" in
+         [ ( "AB",
+             Nbsc_relalg.Relalg.make H.t_flat_schema
+               (a.Nbsc_relalg.Relalg.rows @ b.Nbsc_relalg.Relalg.rows) ) ]) }
+
+let all_cases = [ foj_case; split_case; hsplit_case; merge_case ]
+
+(* {1 The harness}
+
+   [run_attempt] plays the scenario from whatever state the directory
+   is in: create-or-open, (re)do setup if the sources are missing,
+   resume pending jobs or start the transformation, then drive it to
+   completion with committed traffic and periodic checkpoints. A
+   [Fault.Injected] escaping at any point is the simulated crash; the
+   caller abandons the database and calls [run_attempt] again. *)
+
+let run_attempt op dir ~attempt ~current_p =
+  let p =
+    if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
+      ok_p "open" (Persist.open_dir ~dir)
+    else ok_p "create" (Persist.create_dir ~dir)
+  in
+  current_p := Some p;
+  let db = Persist.db p in
+  let catalog = Db.catalog db in
+  if not (List.for_all (Catalog.mem catalog) op.op_sources) then op.setup p;
+  (match Transform.resume ~config:cfg p with
+   | Error m -> Alcotest.failf "%s: resume: %s" op.op_name m
+   | Ok [] ->
+     (* Nothing pending: either the transformation never made it into
+        the durable state (restart it) or it completed and was
+        checkpointed (targets restored from the snapshot). *)
+     if not (List.for_all (Catalog.mem catalog) op.op_targets) then
+       op.start db
+   | Ok tfs ->
+     List.iter
+       (fun tf ->
+          match Transform.phase tf with
+          | Transform.Propagating | Transform.Draining ->
+            (* The acceptance bar: resuming after population must not
+               re-scan the sources. *)
+            Alcotest.(check int)
+              (op.op_name ^ ": resume re-scans nothing")
+              0 (Transform.progress tf).Transform.scanned
+          | _ -> ())
+       tfs);
+  let d = H.driver ~seed:(base_seed + attempt) db in
+  (* Fresh keys must not collide with a previous attempt's. *)
+  d.H.next_r_key <- 1_000_000 + (attempt * 10_000);
+  d.H.next_s_key <- 1_000_000 + (attempt * 10_000);
+  let rounds = ref 0 in
+  while Db.jobs db <> [] do
+    incr rounds;
+    if !rounds > 2_000 then
+      Alcotest.failf "%s: transformation did not converge" op.op_name;
+    ignore (Db.step_jobs db);
+    (* Traffic only while the job is in flight: once the quantum above
+       finalized the transformation the sources are live again, and a
+       write there would be app misuse, not a lost update. *)
+    if Db.jobs db <> [] && !rounds <= 120 then op.traffic d;
+    if !rounds mod 25 = 0 then ok_p "mid checkpoint" (Persist.checkpoint p)
+  done;
+  ok_p "final checkpoint" (Persist.checkpoint p);
+  p
+
+(* Run a scenario to the end, crashing and reopening on every injected
+   fault. Returns the number of crashes survived. *)
+let run_scenario op dir =
+  let current_p = ref None in
+  let crashes = ref 0 in
+  let rec go attempt =
+    match run_attempt op dir ~attempt ~current_p with
+    | p -> p
+    | exception Fault.Injected _ ->
+      incr crashes;
+      if !crashes > 5 then Alcotest.failf "%s: too many crashes" op.op_name;
+      Fault.reset ();
+      (match !current_p with Some p -> Persist.crash p | None -> ());
+      current_p := None;
+      go (attempt + 1)
+  in
+  let p = go 0 in
+  let db = Persist.db p in
+  List.iter
+    (fun (tname, want) ->
+       H.check_relations_equal (op.op_name ^ "/" ^ tname) want
+         (Db.snapshot db tname))
+    (op.oracle db);
+  Persist.close p;
+  !crashes
+
+(* Dry run: play the scenario uncrashed with hit tracking on, recording
+   how often each site is consulted. *)
+let dry_run op =
+  Fault.reset ();
+  Fault.set_tracking true;
+  let dir = fresh_dir () in
+  let crashes = run_scenario op dir in
+  Alcotest.(check int) (op.op_name ^ ": dry run crash-free") 0 crashes;
+  let counts = List.map (fun s -> (s, Fault.hits s)) Fault.all_sites in
+  Fault.reset ();
+  wipe dir;
+  counts
+
+let run_armed op ~site ~mode ~after =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  Fault.arm ~mode ~after site;
+  let crashes = run_scenario op dir in
+  Fault.reset ();
+  wipe dir;
+  crashes
+
+let test_matrix op () =
+  let counts = dry_run op in
+  List.iter
+    (fun (site, n) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: site %s exercised" op.op_name site)
+         true (n > 0);
+       (* Crash mid-range: after half the consultations seen uncrashed. *)
+       let crashes = run_armed op ~site ~mode:Fault.Crash ~after:(n / 2) in
+       Alcotest.(check int)
+         (Printf.sprintf "%s: crash at %s survived" op.op_name site)
+         1 crashes)
+    counts;
+  (* The torn-write variant of the WAL append: half a line reaches the
+     file before the crash; reopen must drop the unterminated tail. *)
+  let n = List.assoc "wal_append" counts in
+  let crashes = run_armed op ~site:"wal_append" ~mode:Fault.Torn ~after:(n / 2) in
+  Alcotest.(check int)
+    (op.op_name ^ ": torn wal_append survived")
+    1 crashes
+
+(* {1 Directed resume: interrupt after population, no re-scan}
+
+   The crash matrix hits this case probabilistically; this test pins it
+   down, asserting the resumed executor starts in Propagating with a
+   zero scan counter and still converges. *)
+let test_resume_skips_population () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_flat_t p;
+  let db = Persist.db p in
+  let tf =
+    Transform.split db ~config:cfg (H.split_spec ~assume_consistent:true)
+  in
+  let d = H.driver ~seed:base_seed db in
+  (* Step past population (60 rows / scan_batch 7 = 9 quanta), with
+     traffic, then checkpoint so the propagating state is durable. *)
+  let guard = ref 0 in
+  while Transform.phase tf = Transform.Populating do
+    incr guard;
+    if !guard > 100 then Alcotest.fail "population never finished";
+    ignore (Transform.step tf);
+    H.random_t_op ~consistent:true d
+  done;
+  Alcotest.(check bool) "mid-flight" true (Transform.phase tf <> Transform.Done);
+  let scanned_before = (Transform.progress tf).Transform.scanned in
+  Alcotest.(check bool) "population scanned something" true (scanned_before > 0);
+  ok_p "checkpoint" (Persist.checkpoint p);
+  (* Crash without warning; the in-memory db is gone. *)
+  Persist.crash p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  let db2 = Persist.db p2 in
+  (match Transform.resume ~config:cfg p2 with
+   | Error m -> Alcotest.fail m
+   | Ok [ tf2 ] ->
+     Alcotest.(check bool) "resumed in propagation or later" true
+       (match Transform.phase tf2 with
+        | Transform.Propagating | Transform.Draining -> true
+        | _ -> false);
+     Alcotest.(check int) "no re-scan" 0
+       (Transform.progress tf2).Transform.scanned;
+     let d2 = H.driver ~seed:(base_seed + 1) db2 in
+     d2.H.next_r_key <- 2_000_000;
+     let budget = ref 60 in
+     (match
+        Db.run_jobs db2 ~max_rounds:2_000 ~between:(fun () ->
+            if !budget > 0 && Db.jobs db2 <> [] then begin
+              decr budget;
+              H.random_t_op ~consistent:true d2
+            end)
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+     Alcotest.(check int) "still no re-scan" 0
+       (Transform.progress tf2).Transform.scanned;
+     let want_r, want_s =
+       Nbsc_relalg.Relalg.split
+         { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+           s_cols' = [ "c"; "d" ];
+           r_key = [ "a" ];
+           s_key = [ "c" ] }
+         (Db.snapshot db2 "T")
+     in
+     H.check_relations_equal "resumed split R" want_r (Db.snapshot db2 "R");
+     H.check_relations_equal "resumed split S" want_s (Db.snapshot db2 "S")
+   | Ok tfs ->
+     Alcotest.failf "expected one pending job, got %d" (List.length tfs));
+  Persist.close p2;
+  wipe dir
+
+(* {1 Restart from scratch (folded in from test_restart.ml)}
+
+   A crash during population cannot resume — the initial image is
+   incomplete and the framework's target writes are unlogged — so the
+   job restarts: targets are dropped and repopulated. User data still
+   comes back from snapshot + WAL alone. *)
+let test_populating_crash_restarts () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_flat_t p;
+  let db = Persist.db p in
+  let tf =
+    Transform.split db ~config:cfg (H.split_spec ~assume_consistent:true)
+  in
+  let d = H.driver ~seed:13 db in
+  for _ = 1 to 4 do
+    ignore (Transform.step tf);
+    H.random_t_op ~consistent:true d
+  done;
+  Alcotest.(check bool) "still populating" true
+    (Transform.phase tf = Transform.Populating);
+  (* Make the populating job state durable, then crash. *)
+  ok_p "checkpoint" (Persist.checkpoint p);
+  H.random_t_op ~consistent:true d;
+  let committed_t = Db.snapshot db "T" in
+  Persist.crash p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  let db2 = Persist.db p2 in
+  (* User data survived the crash exactly. *)
+  H.check_relations_equal "T recovered" committed_t (Db.snapshot db2 "T");
+  (match Transform.resume ~config:cfg p2 with
+   | Error m -> Alcotest.fail m
+   | Ok [ tf2 ] ->
+     (* Restarted, not resumed: population runs again from scratch. *)
+     Alcotest.(check bool) "restarted in population" true
+       (Transform.phase tf2 = Transform.Populating);
+     let d2 = H.driver ~seed:14 db2 in
+     d2.H.next_r_key <- 2_000_000;
+     let budget = ref 60 in
+     (match
+        Db.run_jobs db2 ~max_rounds:2_000 ~between:(fun () ->
+            if !budget > 0 && Db.jobs db2 <> [] then begin
+              decr budget;
+              H.random_t_op ~consistent:true d2
+            end)
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+   | Ok tfs ->
+     Alcotest.failf "expected one pending job, got %d" (List.length tfs));
+  let want_r, want_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+        s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ];
+        s_key = [ "c" ] }
+      (Db.snapshot db2 "T")
+  in
+  H.check_relations_equal "restarted split R" want_r (Db.snapshot db2 "R");
+  H.check_relations_equal "restarted split S" want_s (Db.snapshot db2 "S");
+  Persist.close p2;
+  wipe dir
+
+(* {1 Replay properties}
+
+   Replaying a log into a catalog that already reflects it must leave
+   the state unchanged: redo is LSN-gated and undo of losers is made of
+   inverse operations whose re-application is absorbed. Equivalently,
+   the undo pass commutes with a second full replay. *)
+
+let random_history seed nops =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:20) in
+  let d = H.driver ~seed db in
+  for _ = 1 to nops do
+    H.random_t_op ~consistent:true d
+  done;
+  (* Leave one transaction in flight: a loser for undo to roll back. *)
+  let mgr = Db.manager db in
+  let txn = Manager.begin_txn mgr in
+  ignore (Manager.insert mgr ~txn ~table:"T" (H.ti 777_777 "loser" 1 "x"));
+  ignore
+    (Manager.update mgr ~txn ~table:"T"
+       ~key:(Row.make [ Value.Int 777_777 ])
+       [ (1, Value.Text "loser2") ]);
+  db
+
+let rows_of catalog name =
+  Table.to_rows (Catalog.find catalog name) |> List.sort Row.compare
+
+let prop_replay_idempotent =
+  QCheck.Test.make ~name:"replay_into twice equals once" ~count:30
+    QCheck.(pair small_nat (int_range 5 40))
+    (fun (seed, nops) ->
+       let db = random_history seed nops in
+       let log = Db.log db in
+       let defs = [ Recovery.table_def "T" H.t_flat_schema ] in
+       let catalog, r1 = Recovery.recover ~table_defs:defs log in
+       let once = rows_of catalog "T" in
+       let r2 = Recovery.replay_into catalog log in
+       let twice = rows_of catalog "T" in
+       if r1.Recovery.losers <> r2.Recovery.losers then
+         QCheck.Test.fail_reportf "analysis not deterministic";
+       if once <> twice then QCheck.Test.fail_reportf "state diverged";
+       true)
+
+let prop_replay_matches_live =
+  QCheck.Test.make ~name:"recovered state equals committed live state"
+    ~count:30
+    QCheck.(pair small_nat (int_range 5 40))
+    (fun (seed, nops) ->
+       let db = random_history seed nops in
+       let catalog, _ =
+         Recovery.recover
+           ~table_defs:[ Recovery.table_def "T" H.t_flat_schema ]
+           (Db.log db)
+       in
+       (* The live db still holds the loser's uncommitted writes; roll
+          it back there too before comparing. *)
+       let recovered = rows_of catalog "T" in
+       let live =
+         Nbsc_relalg.Relalg.select (Db.snapshot db "T") (fun row ->
+             not (Value.equal (Row.get row 0) (Value.Int 777_777)))
+       in
+       recovered = List.sort Row.compare live.Nbsc_relalg.Relalg.rows)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "crash_matrix"
+    (List.map
+       (fun op ->
+          ( "matrix " ^ op.op_name,
+            [ Alcotest.test_case ("sites x " ^ op.op_name) `Slow
+                (test_matrix op) ] ))
+       all_cases
+     @ [ ( "directed",
+           [ Alcotest.test_case "resume skips population" `Quick
+               test_resume_skips_population;
+             Alcotest.test_case "populating crash restarts" `Quick
+               test_populating_crash_restarts ] );
+         ( "properties",
+           List.map QCheck_alcotest.to_alcotest
+             [ prop_replay_idempotent; prop_replay_matches_live ] ) ])

@@ -173,6 +173,7 @@ let copy_operator db ~source ~target =
       let name = "copy"
       let sources = [ source ]
       let targets = [ target ]
+      let spec_payload = None
       let population = Population.scan_one src_tbl ~ingest
       let rules =
         Propagator.rules ~sources:[ source ] ~targets:[ target ] ~apply ()
@@ -218,10 +219,12 @@ let test_registry_round_robin () =
   let order = ref [] in
   let job name quanta =
     let left = ref quanta in
-    Db.register_job db ~name ~step:(fun () ->
+    Db.register_job db ~name
+      ~step:(fun () ->
         order := name :: !order;
         decr left;
         if !left <= 0 then `Done else `Running)
+      ()
   in
   job "a" 3;
   job "b" 1;
@@ -234,12 +237,12 @@ let test_registry_round_robin () =
 
 let test_registry_failure_and_bounds () =
   let db = Db.create () in
-  Db.register_job db ~name:"stuck" ~step:(fun () -> `Running);
+  Db.register_job db ~name:"stuck" ~step:(fun () -> `Running) ();
   (match Db.run_jobs ~max_rounds:3 db with
    | Ok () -> Alcotest.fail "must not converge"
    | Error _ -> ());
   Db.unregister_job db ~name:"stuck";
-  Db.register_job db ~name:"bad" ~step:(fun () -> `Failed "boom");
+  Db.register_job db ~name:"bad" ~step:(fun () -> `Failed "boom") ();
   (match Db.run_jobs db with
    | Ok () -> Alcotest.fail "must fail"
    | Error m ->

@@ -140,6 +140,94 @@ let test_corrupt_wal_detected () =
    | _ -> Alcotest.fail "expected Corrupt");
   wipe dir
 
+let test_torn_tail_tolerated () =
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  insert p 1 "a" 1;
+  insert p 2 "b" 2;
+  Persist.close p;
+  (* A crash can tear the final WAL append: a prefix of the line with
+     no terminating newline. Reopen must drop exactly that tail. *)
+  let oc = open_out_gen [ Open_append ] 0o644 (Filename.concat dir "wal.nbsc") in
+  output_string oc "Op|9|half-a-reco";
+  close_out oc;
+  let p2 = ok_p "open tolerates torn tail" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "committed rows intact" 2 (List.length (rows p2));
+  (* The journal keeps working after the truncated tail. *)
+  insert p2 3 "c" 3;
+  Persist.close p2;
+  let p3 = ok_p "open again" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "three rows" 3 (List.length (rows p3));
+  Persist.close p3;
+  wipe dir
+
+(* The snapshot is replaced atomically (temp file + rename): a crash
+   while streaming the new snapshot, or just before the rename, leaves
+   the previous snapshot untouched and the store recoverable. *)
+let test_snapshot_replace_is_atomic () =
+  List.iter
+    (fun site ->
+       Fault.reset ();
+       let dir = fresh_dir () in
+       let p = ok_p "create" (Persist.create_dir ~dir) in
+       setup_orders p;
+       insert p 1 "a" 1;
+       ok_p "first checkpoint" (Persist.checkpoint p);
+       insert p 2 "b" 2;
+       Fault.arm site;
+       (match Persist.checkpoint p with
+        | exception Fault.Injected _ -> ()
+        | Ok () -> Alcotest.failf "%s: checkpoint should have crashed" site
+        | Error e -> Alcotest.failf "%s: %a" site Persist.pp_error e);
+       Fault.reset ();
+       Persist.crash p;
+       let p2 = ok_p (site ^ ": reopen") (Persist.open_dir ~dir) in
+       Alcotest.(check int) (site ^ ": rows survive") 2
+         (List.length (rows p2));
+       (* The leftover temp file must not confuse a later checkpoint. *)
+       insert p2 3 "c" 3;
+       ok_p (site ^ ": checkpoint after recovery") (Persist.checkpoint p2);
+       Persist.close p2;
+       wipe dir)
+    [ "snapshot_write"; "snapshot_rename"; "wal_rewrite" ]
+
+(* A newline-terminated record whose prev_lsn chain is inconsistent is
+   corruption, not a torn tail: open_dir must refuse, and with a
+   diagnosable error rather than a stray Not_found from redo. *)
+let test_bad_prev_lsn_is_corrupt () =
+  let module W = Nbsc_wal in
+  let bad_wals =
+    [ ( "forward pointer",
+        [ { W.Log_record.lsn = W.Lsn.of_int 1; txn = 1;
+            prev_lsn = W.Lsn.of_int 1; body = W.Log_record.Begin } ] );
+      ( "cross-transaction chain",
+        [ { W.Log_record.lsn = W.Lsn.of_int 1; txn = 1;
+            prev_lsn = W.Lsn.zero; body = W.Log_record.Begin };
+          { W.Log_record.lsn = W.Lsn.of_int 2; txn = 2;
+            prev_lsn = W.Lsn.zero; body = W.Log_record.Begin };
+          { W.Log_record.lsn = W.Lsn.of_int 3; txn = 2;
+            prev_lsn = W.Lsn.of_int 1; body = W.Log_record.Commit } ] ) ]
+  in
+  List.iter
+    (fun (name, records) ->
+       let dir = fresh_dir () in
+       let p = ok_p "create" (Persist.create_dir ~dir) in
+       Persist.close p;
+       let oc = open_out (Filename.concat dir "wal.nbsc") in
+       List.iter
+         (fun r ->
+            output_string oc (W.Log_record.encode r);
+            output_char oc '\n')
+         records;
+       close_out oc;
+       (match Persist.open_dir ~dir with
+        | Error (`Corrupt _) -> ()
+        | Ok _ -> Alcotest.failf "%s: expected Corrupt, opened fine" name
+        | Error e -> Alcotest.failf "%s: %a" name Persist.pp_error e);
+       wipe dir)
+    bad_wals
+
 (* Property: for a random history of committed transactions plus a
    random in-flight tail at the "crash", reopening yields exactly the
    committed state. *)
@@ -204,6 +292,12 @@ let () =
           Alcotest.test_case "create refuses existing" `Quick
             test_create_refuses_existing;
           Alcotest.test_case "corrupt wal detected" `Quick
-            test_corrupt_wal_detected ] );
+            test_corrupt_wal_detected;
+          Alcotest.test_case "torn wal tail tolerated" `Quick
+            test_torn_tail_tolerated;
+          Alcotest.test_case "snapshot replace is atomic" `Quick
+            test_snapshot_replace_is_atomic;
+          Alcotest.test_case "bad prev_lsn is corrupt" `Quick
+            test_bad_prev_lsn_is_corrupt ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_reopen_equals_committed ] ) ]

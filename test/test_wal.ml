@@ -103,9 +103,16 @@ let test_cursor () =
 
 let test_serialization_roundtrip () =
   let log = Log.create () in
+  (* Chain each record to the same transaction's previous record —
+     of_lines validates the back-pointer chains. *)
+  let last = Hashtbl.create 8 in
   List.iteri
     (fun i body ->
-       ignore (Log.append log ~txn:i ~prev_lsn:(Lsn.of_int i) body))
+       let txn = i mod 3 in
+       let prev =
+         match Hashtbl.find_opt last txn with Some l -> l | None -> Lsn.zero
+       in
+       Hashtbl.replace last txn (Log.append log ~txn ~prev_lsn:prev body))
     bodies;
   let log' = Log.of_lines (Log.to_lines log) in
   Alcotest.(check int) "same length" (Log.length log) (Log.length log');
