@@ -1,4 +1,4 @@
-.PHONY: all build test check crash fmt clean
+.PHONY: all build test check crash contention fmt clean
 
 all: build
 
@@ -17,6 +17,11 @@ check:
 # operator, at a fixed seed so failures reproduce.
 crash:
 	NBSC_CRASH_SEED=42 dune exec test/test_crash_matrix.exe
+
+# Contention soak only: high-conflict workload crossed with every sync
+# strategy, fault-free and with a sync-commit fault, at a fixed seed.
+contention:
+	NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
 
 # Reformat in place (requires ocamlformat).
 fmt:

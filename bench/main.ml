@@ -5,7 +5,7 @@
 
    Usage: main.exe [target ...]
      targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
-              ablate micro all quick
+              ablate deadlock micro all quick
    No arguments = "all" (paper-scale; several minutes). Adding "quick"
    runs the selected harnesses at reduced scale. *)
 
@@ -189,6 +189,8 @@ let fig4c setup =
     (Experiment.fig4c_propagation ~setup ~source_share:0.8
        ~workloads:(40. :: workloads) ())
 
+let fig4d_priorities = [ 0.0005; 0.001; 0.002; 0.005; 0.01; 0.02; 0.04; 0.08 ]
+
 let fig4d setup =
   header
     "Figure 4(d) - completion time and interference vs priority (75% workload)";
@@ -197,7 +199,11 @@ let fig4d setup =
       "transformation never finishes; interference grows with priority" ];
   pp_points ~x_label:"priority"
     (Experiment.fig4d_priority ~setup ~workload_pct:75.
-       ~priorities:[ 0.0005; 0.001; 0.002; 0.005; 0.01; 0.02; 0.04; 0.08 ] ())
+       ~priorities:fig4d_priorities ());
+  say "-- with the anti-starvation governor (every point must complete) --";
+  pp_points ~x_label:"priority"
+    (Experiment.fig4d_priority_governed ~setup ~workload_pct:75.
+       ~priorities:fig4d_priorities ())
 
 let fig4_foj setup =
   header "Figure 4(a)/(c) for FOJ (paper: 'very similar results')";
@@ -243,6 +249,50 @@ let methods setup =
   List.iter
     (fun row -> say "%s" (Format.asprintf "%a" Experiment.pp_method_row row))
     (Experiment.method_comparison ~setup ~workload_pct:75. ())
+
+let deadlock_bench quick =
+  header "Deadlock detector under a high-conflict workload";
+  say "  (40-row table, 90%% of updates on it, transformation propagating";
+  say "   throughout; youngest-in-cycle detection, wait-queue fairness)";
+  let kind = Sim.Split_scenario { t_rows = 40; assume_consistent = true } in
+  let workload =
+    { Sim.n_clients = 24;
+      think_time = 400;
+      ops_per_txn = 6;
+      source_share = 0.9;
+      seed = 42 }
+  in
+  let duration = if quick then 150_000 else 600_000 in
+  (* Sync gated off: the transformation stays in propagation for the
+     whole horizon, so clients keep hammering the 40-row source table
+     (after the switch they would route to the targets and the
+     hot spot would evaporate). Hook-threaded cycles are exercised by
+     the directed deadlock tests and the contention soak. *)
+  let config =
+    { Transform.default_config with
+      Transform.scan_batch = 8;
+      propagate_batch = 16;
+      analysis = Analysis.Remaining_records 8;
+      strategy = Transform.Nonblocking_commit;
+      drop_sources = false;
+      sync_gate = (fun () -> false) }
+  in
+  let r =
+    Sim.run ~kind ~workload
+      ~background:(Sim.Transformation { Sim.priority = 0.1; config })
+      ~duration ~warmup:(duration / 20) ()
+  in
+  let s = r.Sim.mgr_stats in
+  say "engine:  ops=%d commits=%d aborts=%d blocked=%d" s.Nbsc_txn.Manager.Stats.ops
+    s.Nbsc_txn.Manager.Stats.commits s.Nbsc_txn.Manager.Stats.aborts s.Nbsc_txn.Manager.Stats.blocked;
+  say "detector: lock_waits=%d deadlocks(Die)=%d wounded=%d"
+    s.Nbsc_txn.Manager.Stats.lock_waits s.Nbsc_txn.Manager.Stats.deadlocks
+    s.Nbsc_txn.Manager.Stats.victims;
+  say "clients: %s" (Format.asprintf "%a" Metrics.pp_summary r.Sim.summary);
+  say "tf: %s"
+    (match r.Sim.tf_done_at with
+     | Some t -> Printf.sprintf "completed at t=%d" t
+     | None -> "still running at horizon")
 
 (* {1 Micro-benchmarks (Bechamel)} *)
 
@@ -374,6 +424,7 @@ let () =
   if wants "sync" then sync_bench sync_setup;
   if wants "methods" then methods sync_setup;
   if wants "ablate" then ablate sync_setup;
+  if wants "deadlock" then deadlock_bench quick;
   if wants "micro" then micro ();
   say "";
   say "done."

@@ -6,7 +6,8 @@
      figure      regenerate one of the paper's figures (4a 4b 4c 4d)
      sync        measure the synchronization window per strategy
      matrix      print the Figure 2 lock-compatibility matrix
-     log         run a small transformation and dump the resulting log *)
+     log         run a small transformation and dump the resulting log
+     contention  high-conflict run; deadlock-detector and governor stats *)
 
 open Cmdliner
 open Nbsc_value
@@ -347,6 +348,75 @@ let log_cmd =
        ~doc:"run a small transformation and dump the write-ahead log")
     Term.(ret (const run_log $ rows))
 
+(* {1 contention}
+
+   A deliberately hostile run: a tiny hot table, most updates aimed at
+   it, and a transformation competing for the same rows — then print
+   what the engine's contention machinery did about it. *)
+
+let run_contention governed duration =
+  let module Sim = Nbsc_sim.Sim in
+  let module Metrics = Nbsc_sim.Metrics in
+  let kind = Sim.Split_scenario { t_rows = 40; assume_consistent = true } in
+  let workload =
+    { Sim.n_clients = 24; think_time = 400; ops_per_txn = 6;
+      source_share = 0.9; seed = 42 }
+  in
+  let pace = if governed then Some (Governor.create ()) else None in
+  let config =
+    { Transform.scan_batch = 8;
+      propagate_batch = 16;
+      analysis = Analysis.Remaining_records 8;
+      strategy = Transform.Nonblocking_commit;
+      drop_sources = false;
+      (* Governed runs let the change finish, so the governor's
+         escalate-then-relax cycle is visible end to end; ungoverned
+         runs gate sync off so the hot spot never evaporates. *)
+      sync_gate = (fun () -> governed);
+      pace }
+  in
+  let priority = if governed then 0.002 else 0.1 in
+  let r =
+    Sim.run ~kind ~workload
+      ~background:(Sim.Transformation { Sim.priority; config })
+      ~duration ~warmup:(duration / 20) ()
+  in
+  let s = r.Sim.mgr_stats in
+  say "engine:   ops=%d commits=%d aborts=%d blocked=%d"
+    s.Manager.Stats.ops s.Manager.Stats.commits s.Manager.Stats.aborts
+    s.Manager.Stats.blocked;
+  say "detector: lock_waits=%d deadlocks(Die)=%d wounded=%d"
+    s.Manager.Stats.lock_waits s.Manager.Stats.deadlocks
+    s.Manager.Stats.victims;
+  say "clients:  %a" Metrics.pp_summary r.Sim.summary;
+  (match pace with
+   | Some g -> say "governor: %a" Governor.pp_stats (Governor.stats g)
+   | None -> ());
+  say "tf:       %s"
+    (match r.Sim.tf_done_at with
+     | Some t -> Printf.sprintf "completed at t=%d" t
+     | None -> "still running at horizon");
+  `Ok ()
+
+let contention_cmd =
+  let governed =
+    Arg.(value & flag
+         & info [ "governed" ]
+             ~doc:
+               "start the transformation at a starvation-level priority \
+                and let the anti-starvation governor drive it home")
+  in
+  let duration =
+    Arg.(value & opt int 150_000
+         & info [ "duration" ] ~doc:"virtual-time horizon")
+  in
+  Cmd.v
+    (Cmd.info "contention"
+       ~doc:
+         "run a high-conflict workload and print deadlock-detector and \
+          governor statistics")
+    Term.(ret (const run_contention $ governed $ duration))
+
 (* {1 crash-demo}
 
    Narrated crash drill: build a durable store, start a split, kill the
@@ -533,4 +603,4 @@ let () =
           (Cmd.info "nbsc" ~version:"1.0.0"
              ~doc:"online, non-blocking relational schema changes")
           [ demo_cmd; concurrent_cmd; figure_cmd; sync_cmd; matrix_cmd;
-            log_cmd; crash_demo_cmd ]))
+            log_cmd; contention_cmd; crash_demo_cmd ]))

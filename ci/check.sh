@@ -18,6 +18,11 @@ dune runtest
 echo "== crash matrix (fixed seed) =="
 NBSC_CRASH_SEED=42 dune exec test/test_crash_matrix.exe
 
+# Same idea for the contention soak: a pinned seed makes any livelock
+# or divergence reproducible verbatim.
+echo "== contention soak (fixed seed) =="
+NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

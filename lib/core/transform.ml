@@ -13,6 +13,7 @@ type config = {
   strategy : strategy;
   drop_sources : bool;
   sync_gate : unit -> bool;
+  pace : Governor.t option;
 }
 
 let default_config =
@@ -21,7 +22,17 @@ let default_config =
     analysis = Analysis.default;
     strategy = Nonblocking_abort;
     drop_sources = true;
-    sync_gate = (fun () -> true) }
+    sync_gate = (fun () -> true);
+    pace = None }
+
+(* With a governor attached, a starving transformation also works
+   harder per quantum: the batch limit scales with the gain (capped —
+   a quantum must stay a quantum). Schedulers that hand out CPU by
+   priority additionally multiply their share by [Governor.gain]. *)
+let paced_batch config base =
+  match config.pace with
+  | None -> base
+  | Some g -> base * (1 + min 15 (int_of_float (Governor.gain g) - 1))
 
 type phase =
   | Populating
@@ -326,12 +337,16 @@ let try_sync t =
 let step t =
   (match t.tphase with
    | Populating ->
-     if Population.step t.pop ~limit:t.config.scan_batch then begin
+     if Population.step t.pop ~limit:(paced_batch t.config t.config.scan_batch)
+     then begin
        write_fuzzy_mark t.mgr;
        t.tphase <- Propagating
      end
    | Propagating ->
-     let consumed = Propagator.step t.prop ~limit:t.config.propagate_batch in
+     let consumed =
+       Propagator.step t.prop
+         ~limit:(paced_batch t.config t.config.propagate_batch)
+     in
      Analysis.observe t.analysis ~lag:(Propagator.lag t.prop) ~consumed;
      if Propagator.lag t.prop = 0 && not t.caught_up_once then begin
        t.caught_up_once <- true;
@@ -364,6 +379,10 @@ let step t =
      in
      if all_done && Propagator.lag t.prop = 0 then finalize t
    | Done | Failed _ -> ());
+  (match t.config.pace with
+   | Some g when t.tphase <> Populating ->
+     Governor.observe_lag g ~lag:(Propagator.lag t.prop)
+   | Some _ | None -> ());
   Fault.hit "quantum_end";
   match t.tphase with
   | Done -> `Done

@@ -57,12 +57,20 @@ type config = {
           keep propagating (e.g. the DBA wants the switch-over during
           off-hours, or an experiment wants a steady propagation
           phase). Default: always true. *)
+  pace : Governor.t option;
+      (** anti-starvation governor (see {!Governor}). The executor
+          feeds it the propagation lag each quantum and scales its
+          batch limits with the gain; priority schedulers (the
+          simulator) additionally multiply the transformation's CPU
+          share by [Governor.gain]. One governor per transformation
+          run — instances are mutable and must not be shared.
+          Default: [None] (static pacing, Fig. 4(d) behaviour). *)
 }
 
 val default_config : config
 (** [{ scan_batch = 256; propagate_batch = 256;
       analysis = Analysis.default; strategy = Nonblocking_abort;
-      drop_sources = true; sync_gate = fun () -> true }] *)
+      drop_sources = true; sync_gate = fun () -> true; pace = None }] *)
 
 type phase =
   | Populating

@@ -100,6 +100,9 @@ let holds t ~owner ~table ~key (lock : Compat.lock) =
        && stronger l.Compat.mode lock.Compat.mode)
     (grants_on t res)
 
+let holds_any t ~owner ~table ~key =
+  List.exists (fun (o, _) -> o = owner) (grants_on t { Resource.table; key })
+
 let holders t ~table ~key =
   grants_on t { Resource.table; key }
 

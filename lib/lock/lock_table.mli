@@ -43,6 +43,11 @@ val holds :
 (** Whether [owner] already holds a lock at least as strong (same
     provenance class, mode >= requested). *)
 
+val holds_any : t -> owner:owner -> table:string -> key:Row.Key.t -> bool
+(** Whether [owner] holds {e any} lock on the resource, of any mode or
+    provenance — used by the wait-queue fairness check to exempt
+    re-acquisition and upgrades from queueing behind other waiters. *)
+
 val holders : t -> table:string -> key:Row.Key.t -> (owner * Compat.lock) list
 
 val release : t -> owner:owner -> table:string -> key:Row.Key.t -> unit

@@ -1,0 +1,114 @@
+(** Waits-for graph and per-resource FIFO wait queues.
+
+    The lock table ({!Lock_table}) is cooperative: a conflicting
+    request returns [Blocked] and the caller retries. Left alone, that
+    model livelocks on lock cycles — two transactions each retrying a
+    request the other blocks forever — and starves late arrivals on hot
+    records (every retry races the whole crowd again). This module
+    gives the engine the two structures that defend against both:
+
+    - a {e waits-for graph}: one edge set per blocked transaction,
+      replaced on every block, removed on grant or transaction end, so
+      cycle detection runs against current waits only;
+    - {e per-resource FIFO wait queues}: the order transactions first
+      blocked on a resource. A queued waiter's pending request lets the
+      caller refuse {e barging} — a newcomer whose request conflicts
+      with an earlier waiter's is told to wait behind it, so writers
+      starve neither under reader streams nor under retry races.
+
+    Victim selection is pluggable ({!policy}): the classic
+    prevention schemes (wait-die, wound-wait, which never need the
+    graph) and detection proper (cycle search on block, youngest
+    transaction in the cycle dies). The verdicts only {e name} the
+    victim; rollback belongs to the transaction manager, which owns the
+    undo machinery. *)
+
+type owner = int
+(** Transaction id; ids increase with age ({!Nbsc_txn} hands them out),
+    so [a < b] means [a] is older. *)
+
+type policy =
+  | Wait_die
+      (** an older waiter waits; a younger waiter dies (no graph needed,
+          no wounds — restarts are the waiter's own) *)
+  | Wound_wait
+      (** an older waiter wounds (kills) younger lock holders in its
+          way; a younger waiter waits *)
+  | Youngest_in_cycle
+      (** detection proper: block freely, search for a cycle through
+          the new edge, kill the youngest transaction on it — waits
+          that form no cycle never abort anyone *)
+
+type verdict =
+  | Wait  (** no deadlock (yet): stay blocked and retry *)
+  | Die of owner list
+      (** the waiter itself is the victim; the payload is the cycle
+          (detection) or the conflicting owners (wait-die) *)
+  | Wound of owner
+      (** this {e other} transaction is the victim; the caller rolls it
+          back and retries the request *)
+
+type stats = {
+  waits : int;      (** block events registered *)
+  cycles : int;     (** cycles found by detection *)
+  victims : int;    (** transactions sentenced (Die or Wound) *)
+  max_queue : int;  (** deepest FIFO wait queue ever observed *)
+}
+
+type t
+
+val create : ?policy:policy -> unit -> t
+(** Default policy: {!Youngest_in_cycle} — pure detection preserves the
+    engine's historical behaviour (a block with no cycle is still just
+    [`Blocked]). *)
+
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+
+val block :
+  t -> waiter:owner -> requests:Lock_table_many.request list ->
+  blockers:owner list -> verdict
+(** Register that [waiter] is blocked on [requests] (the full atomic
+    multi-resource set — base lock plus every extra-lock-hook request)
+    by [blockers], replacing any previous registration, and judge the
+    wait under the current policy. The waiter keeps its FIFO position
+    in queues it was already in; queues for resources it no longer
+    requests are left. A [Die] verdict unregisters the waiter (it is
+    about to abort, not wait). *)
+
+val queued_ahead :
+  t -> owner:owner -> live:(owner -> bool) ->
+  holds:(Lock_table_many.request -> bool) ->
+  Lock_table_many.request list -> owner list
+(** Anti-barging check, consulted {e before} the lock table: the queued
+    waiters ahead of [owner] (all of them, if [owner] is not queued)
+    whose pending lock conflicts with one of [requests] and whose
+    transaction [live] confirms still active. Resources where [holds]
+    says [owner] already has a lock are exempt — re-acquisition and
+    upgrades must not queue behind their own lock. Empty means proceed
+    to the lock table. *)
+
+val on_granted : t -> owner:owner -> unit
+(** The owner's request succeeded: drop its edges and queue entries. *)
+
+val remove_txn : t -> owner:owner -> unit
+(** The transaction finished (commit or abort): drop its edges and
+    queue entries. Called by the manager for every transaction end, so
+    queues only ever name live transactions. *)
+
+val waiters : t -> owner list
+(** Currently blocked transactions (have outgoing edges). *)
+
+val blockers_of : t -> owner:owner -> owner list
+(** The current wait set of [owner] (empty if not blocked). *)
+
+val acyclic : t -> bool
+(** Whether the waits-for graph is currently free of cycles — after
+    every resolution this must hold (property tests). *)
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Dump edges and queues (debugging). *)

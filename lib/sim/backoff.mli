@@ -1,0 +1,41 @@
+(** Jittered exponential backoff with per-cause policies.
+
+    Replaces the fixed [retry_delay = 3 * op_cost] the simulator's
+    clients used to share: a fixed delay makes every transaction
+    blocked on the same hot record retry at the same instant — a retry
+    convoy that re-collides forever. Here each retry waits an
+    exponentially growing, per-client-randomized delay, with a
+    separate policy per failure cause — [`Blocked] (bounded budget,
+    after which the client aborts cleanly), [`Latched] (short, patient
+    — transformation latches last one quantum), [`Frozen] (long,
+    unbounded — a freeze only lifts at the schema switch) and
+    [`Deadlock] (the restart pause after the engine kills a victim).
+
+    One instance per client; attempts reset when an operation
+    succeeds or the transaction restarts. *)
+
+type cause = [ `Blocked | `Latched | `Frozen | `Deadlock ]
+
+type policy = {
+  base : int;    (** first delay, virtual time units *)
+  factor : int;  (** delay multiplier per attempt *)
+  cap : int;     (** delay ceiling *)
+  budget : int;  (** attempts before [`Give_up] *)
+}
+
+val policy : ?factor:int -> ?budget:int -> base:int -> cap:int -> unit -> policy
+(** [factor] defaults to 2, [budget] to unbounded. *)
+
+val default_policies : op_cost:int -> cause -> policy
+
+type t
+
+val create : ?policies:(cause -> policy) -> op_cost:int -> unit -> t
+
+val next : t -> Random.State.t -> cause -> [ `Retry of int | `Give_up ]
+(** Charge one attempt of [cause]: the jittered delay to wait before
+    retrying (in [[d/2, d]] for nominal delay [d] — never zero, never
+    synchronized), or [`Give_up] once the cause's budget is spent. *)
+
+val reset : t -> unit
+(** Forget all attempts (operation succeeded / transaction restarted). *)

@@ -32,13 +32,14 @@ let quick_setup =
   { scale = 2_000; duration = 300_000; warmup = 50_000; seed = 42;
     seeds = 1; priority = 0.02 }
 
-let tf_config ~sync_gate =
+let tf_config ?pace ~sync_gate () =
   { Transform.scan_batch = 16;
     propagate_batch = 32;
     analysis = Analysis.Remaining_records 8;
     strategy = Transform.Nonblocking_abort;
     drop_sources = false;
-    sync_gate }
+    sync_gate;
+    pace }
 
 let workload_of setup ~pct ~source_share =
   { Sim.n_clients = Sim.clients_for_workload pct;
@@ -107,7 +108,7 @@ let population_sweep ~kind ~setup ~workloads =
           background process, not the switch-over. *)
        let tf =
          { Sim.priority = setup.priority;
-           config = tf_config ~sync_gate:(fun () -> false) }
+           config = tf_config ~sync_gate:(fun () -> false) () }
        in
        paired_point ~kind ~workload ~tf ~duration:setup.duration
          ~warmup:setup.warmup ~seeds:setup.seeds ~x:pct)
@@ -142,7 +143,7 @@ let propagation_sweep ~kind ~setup ~source_share ~workloads =
     (fun pct ->
        let workload = workload_of setup ~pct ~source_share in
        let tf =
-         { Sim.priority; config = tf_config ~sync_gate:(fun () -> false) }
+         { Sim.priority; config = tf_config ~sync_gate:(fun () -> false) () }
        in
        paired_point ~kind ~workload ~tf ~duration:setup.duration
          ~warmup:setup.warmup ~seeds:setup.seeds ~x:pct)
@@ -179,7 +180,33 @@ let fig4d_priority ?(setup = default_setup) ~workload_pct ~priorities () =
   let horizon = setup.duration * 4 in
   List.map
     (fun priority ->
-       let tf = { Sim.priority; config = tf_config ~sync_gate:(fun () -> true) } in
+       let tf = { Sim.priority; config = tf_config ~sync_gate:(fun () -> true) () } in
+       paired_point ~kind ~workload ~tf ~duration:horizon ~warmup:setup.warmup
+         ~seeds:1 ~x:priority)
+    priorities
+
+(* Same sweep with the anti-starvation governor attached: the
+   configured priority is only a floor — when the lag stops shrinking
+   the governor escalates the effective share until the transformation
+   converges, so every point completes (the acceptance criterion that
+   distinguishes this from the static sweep above). *)
+let fig4d_priority_governed ?(setup = default_setup) ~workload_pct ~priorities
+    () =
+  let kind =
+    Sim.Split_scenario
+      { t_rows = max 100 (setup.scale / 25); assume_consistent = true }
+  in
+  let workload = workload_of setup ~pct:workload_pct ~source_share:0.2 in
+  let horizon = setup.duration * 4 in
+  List.map
+    (fun priority ->
+       (* Fresh governor per point — instances are mutable and must not
+          be shared between runs. *)
+       let pace = Governor.create () in
+       let tf =
+         { Sim.priority;
+           config = tf_config ~pace ~sync_gate:(fun () -> true) () }
+       in
        paired_point ~kind ~workload ~tf ~duration:horizon ~warmup:setup.warmup
          ~seeds:1 ~x:priority)
     priorities
@@ -203,7 +230,7 @@ let sync_window ?(setup = quick_setup) ~strategy () =
     Sim.Split_scenario { t_rows = setup.scale; assume_consistent = true }
   in
   let workload = workload_of setup ~pct:75. ~source_share:0.2 in
-  let config = { (tf_config ~sync_gate:(fun () -> true)) with Transform.strategy } in
+  let config = { (tf_config ~sync_gate:(fun () -> true) ()) with Transform.strategy } in
   let tf = { Sim.priority = 0.05; config } in
   let r =
     Sim.run ~kind ~workload ~background:(Sim.Transformation tf)
@@ -255,7 +282,7 @@ let method_comparison ?(setup = quick_setup) ~workload_pct () =
   [ row "log-based (this paper)"
       (Sim.Transformation
          { Sim.priority = setup.priority;
-           config = tf_config ~sync_gate:(fun () -> true) });
+           config = tf_config ~sync_gate:(fun () -> true) () });
     row "blocking INSERT-SELECT" (Sim.Blocking_dump { dump_priority = 0.9 });
     row "trigger-based" Sim.Trigger_maintenance ]
 
@@ -285,7 +312,7 @@ let threshold_sweep ?(setup = quick_setup) ~thresholds () =
   List.map
     (fun threshold ->
        let config =
-         { (tf_config ~sync_gate:(fun () -> true)) with
+         { (tf_config ~sync_gate:(fun () -> true) ()) with
            Transform.analysis = Analysis.Remaining_records threshold }
        in
        let r =
@@ -329,7 +356,7 @@ let batch_sweep ?(setup = quick_setup) ~batches () =
   List.map
     (fun batch ->
        let config =
-         { (tf_config ~sync_gate:(fun () -> true)) with
+         { (tf_config ~sync_gate:(fun () -> true) ()) with
            Transform.scan_batch = batch;
            propagate_batch = batch }
        in
@@ -370,7 +397,7 @@ let policy_comparison ?(setup = quick_setup) () =
   List.map
     (fun (name, policy) ->
        let config =
-         { (tf_config ~sync_gate:(fun () -> true)) with
+         { (tf_config ~sync_gate:(fun () -> true) ()) with
            Transform.analysis = policy }
        in
        let r =

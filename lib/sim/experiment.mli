@@ -67,6 +67,15 @@ val fig4c_propagation_foj : ?setup:setup -> source_share:float ->
 val fig4d_priority : ?setup:setup -> workload_pct:float ->
   priorities:float list -> unit -> point list
 
+(** The same sweep with a fresh {!Nbsc_core.Governor} attached to each
+    point: the configured priority becomes a floor that the feedback
+    loop escalates whenever propagation lag stops shrinking, so every
+    point — including those that never converge statically — completes
+    within the horizon, at the price of more interference while the
+    gain is high. *)
+val fig4d_priority_governed : ?setup:setup -> workload_pct:float ->
+  priorities:float list -> unit -> point list
+
 (** The synchronization-window measurement backing the "< 1 ms" claim:
     runs a split transformation under load with the non-blocking abort
     strategy and reports the size (log records) and wall-clock time of

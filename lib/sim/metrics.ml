@@ -2,15 +2,25 @@ type sample_set = {
   mutable durations : int list;
   mutable committed : int;
   mutable aborted : int;
+  mutable lock_waits : int;
+  mutable deadlock_aborts : int;
+  mutable victim_kills : int;
+  mutable budget_exhausted : int;
 }
 
-let create () = { durations = []; committed = 0; aborted = 0 }
+let create () =
+  { durations = []; committed = 0; aborted = 0; lock_waits = 0;
+    deadlock_aborts = 0; victim_kills = 0; budget_exhausted = 0 }
 
 let record_txn t ~start ~finish =
   t.durations <- (finish - start) :: t.durations;
   t.committed <- t.committed + 1
 
 let record_abort t = t.aborted <- t.aborted + 1
+let record_lock_wait t = t.lock_waits <- t.lock_waits + 1
+let record_deadlock_abort t = t.deadlock_aborts <- t.deadlock_aborts + 1
+let record_victim_kill t = t.victim_kills <- t.victim_kills + 1
+let record_budget_exhausted t = t.budget_exhausted <- t.budget_exhausted + 1
 
 type summary = {
   committed : int;
@@ -20,6 +30,10 @@ type summary = {
   mean_response : float;
   p95_response : float;
   max_response : int;
+  lock_waits : int;
+  deadlock_aborts : int;
+  victim_kills : int;
+  budget_exhausted : int;
 }
 
 let summarize (t : sample_set) ~window =
@@ -40,13 +54,20 @@ let summarize (t : sample_set) ~window =
     mean_response =
       (if n = 0 then 0. else float_of_int total /. float_of_int n);
     p95_response = float_of_int (pick 0.95);
-    max_response = (if Array.length arr = 0 then 0 else arr.(Array.length arr - 1)) }
+    max_response =
+      (if Array.length arr = 0 then 0 else arr.(Array.length arr - 1));
+    lock_waits = t.lock_waits;
+    deadlock_aborts = t.deadlock_aborts;
+    victim_kills = t.victim_kills;
+    budget_exhausted = t.budget_exhausted }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "committed=%d aborted=%d tput=%.3f/kt mean_rt=%.1f p95=%.0f max=%d"
+    "committed=%d aborted=%d tput=%.3f/kt mean_rt=%.1f p95=%.0f max=%d \
+     waits=%d dl_aborts=%d victims=%d budget_out=%d"
     s.committed s.aborted s.throughput s.mean_response s.p95_response
-    s.max_response
+    s.max_response s.lock_waits s.deadlock_aborts s.victim_kills
+    s.budget_exhausted
 
 type relative = {
   rel_throughput : float;

@@ -14,6 +14,19 @@ val record_txn : sample_set -> start:int -> finish:int -> unit
 
 val record_abort : sample_set -> unit
 
+val record_lock_wait : sample_set -> unit
+(** An operation came back [`Blocked] and the client backed off. *)
+
+val record_deadlock_abort : sample_set -> unit
+(** The engine sentenced this client's transaction ([`Deadlock]). *)
+
+val record_victim_kill : sample_set -> unit
+(** The engine wounded this client's transaction on behalf of another
+    (discovered on the next operation). *)
+
+val record_budget_exhausted : sample_set -> unit
+(** A retry budget ran out and the transaction aborted cleanly. *)
+
 type summary = {
   committed : int;
   aborted : int;
@@ -22,6 +35,10 @@ type summary = {
   mean_response : float;
   p95_response : float;
   max_response : int;
+  lock_waits : int;        (** ops that blocked and backed off *)
+  deadlock_aborts : int;   (** transactions sentenced as deadlock victims *)
+  victim_kills : int;      (** transactions wounded for someone else *)
+  budget_exhausted : int;  (** retry budgets spent (clean aborts) *)
 }
 
 val summarize : sample_set -> window:int -> summary

@@ -45,6 +45,7 @@ type result = {
   tf_progress : Transform.progress option;
   tf_busy : int;
   retries : int;
+  mgr_stats : Manager.Stats.counters;
   wall_clock_final_ns : int option;
 }
 
@@ -201,6 +202,7 @@ type client = {
          then independent of scheduling order, so a baseline run and a
          transformation run with the same seed issue identical
          workloads — the paired design behind the relative metrics. *)
+  backoff : Backoff.t;
   mutable txn : Manager.txn_id option;
   mutable op_idx : int;
   mutable started : int;  (* when this transaction attempt became ready *)
@@ -258,6 +260,7 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
     Array.init workload.n_clients (fun cid ->
         { cid;
           rng = Random.State.make [| workload.seed; cid |];
+          backoff = Backoff.create ~op_cost:costs.op_cost ();
           txn = None;
           op_idx = 0;
           started = 0 })
@@ -317,14 +320,29 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
     Manager.update mgr ~txn ~table:"D" ~key [ (1, rand_text rng) ]
   in
 
+  let governor =
+    match background with
+    | Transformation s -> s.config.Transform.pace
+    | No_background | Blocking_dump _ | Trigger_maintenance -> None
+  in
+
   let restart ~aborted c delay =
     (match c.txn with
      | Some txn when Manager.is_active mgr txn -> ignore (Manager.abort mgr txn)
      | _ -> ());
     if aborted && in_window !now then Metrics.record_abort metrics;
+    Backoff.reset c.backoff;
     c.txn <- None;
     c.op_idx <- 0;
     Heap.push heap (!now + delay) c.cid
+  in
+
+  (* Restart pause after an abort: jittered, so a crowd of victims of
+     the same conflict does not re-collide in lockstep. *)
+  let restart_delay c =
+    match Backoff.next c.backoff c.rng `Deadlock with
+    | `Retry d -> d
+    | `Give_up -> costs.op_cost * 4
   in
 
   let finish_txn c =
@@ -335,13 +353,16 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
        | Ok () ->
          if in_window c.started && in_window !now then
            Metrics.record_txn metrics ~start:c.started ~finish:!now;
+         (match governor with
+          | Some g ->
+            Governor.observe_response g ~rt:(float_of_int (!now - c.started))
+          | None -> ());
+         Backoff.reset c.backoff;
          c.txn <- None;
          c.op_idx <- 0;
          Heap.push heap (!now + think c) c.cid
        | Error _ -> restart ~aborted:true c (think c / 4))
   in
-
-  let retry_delay = costs.op_cost * 3 in
 
   (* Extra capacity consumed inside the most recent user operation by
      trigger-based maintenance (the Ronström comparator). *)
@@ -370,26 +391,45 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
          (work * costs.apply_cost)
          + (if work > 0 then costs.trigger_rtt else 0)
      | _ -> trigger_extra := 0);
+    let back_off cause =
+      incr retries;
+      match Backoff.next c.backoff c.rng cause with
+      | `Retry d -> Heap.push heap (!now + d) c.cid
+      | `Give_up ->
+        (* Retry budget spent: abort cleanly rather than pound a lock
+           we are evidently not getting. *)
+        if in_window !now then Metrics.record_budget_exhausted metrics;
+        restart ~aborted:true c (restart_delay c)
+    in
     match outcome with
     | Ok () | Error `Not_found ->
+      Backoff.reset c.backoff;
       c.op_idx <- c.op_idx + 1;
       if c.op_idx >= workload.ops_per_txn then finish_txn c
       else Queue.add c.cid queue
-    | Error (`Blocked owners) ->
-      if List.exists (fun o -> o < txn) owners then
-        (* wait-die: the younger transaction dies *)
-        restart ~aborted:true c retry_delay
-      else begin
-        incr retries;
-        Heap.push heap (!now + retry_delay) c.cid
-      end
-    | Error (`Latched _) | Error (`Frozen _) ->
-      incr retries;
-      Heap.push heap (!now + retry_delay) c.cid
-    | Error `Abort_only -> restart ~aborted:true c retry_delay
+    | Error (`Blocked _) ->
+      (* The engine's verdict was "wait" (no deadlock): back off and
+         retry — jittered so equal losers don't reconvoy. *)
+      if in_window !now then Metrics.record_lock_wait metrics;
+      back_off `Blocked
+    | Error (`Deadlock _) ->
+      (* The engine sentenced us as deadlock victim. *)
+      if in_window !now then Metrics.record_deadlock_abort metrics;
+      restart ~aborted:true c (restart_delay c)
+    | Error (`Latched _) -> back_off `Latched
+    | Error (`Frozen _) -> back_off `Frozen
+    | Error `Abort_only ->
+      if Manager.is_victim mgr txn && in_window !now then
+        Metrics.record_victim_kill metrics;
+      restart ~aborted:true c (restart_delay c)
+    | Error `Txn_not_active when Manager.is_victim mgr txn ->
+      (* Wounded and already rolled back by the engine on another
+         transaction's behalf; restart is all that's left. *)
+      if in_window !now then Metrics.record_victim_kill metrics;
+      restart ~aborted:true c (restart_delay c)
     | Error
         (`Duplicate_key | `No_table _ | `Txn_not_active | `Key_update) ->
-      restart ~aborted:false c retry_delay
+      restart ~aborted:false c (restart_delay c)
   in
 
   (* Cost of one transformation slice = the work it actually performed,
@@ -468,19 +508,46 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
      Credit accrues at [priority] per unit of virtual time; whenever it
      covers a slice the transformation's real work runs, consuming the
      banked share rather than server time. *)
-  let priority =
+  let base_priority =
     match background with
     | Transformation s -> min 0.9 (max 0. s.priority)
     | Blocking_dump { dump_priority } -> min 0.95 (max 0. dump_priority)
     | No_background | Trigger_maintenance -> 0.
   in
+  (* With a governor attached the effective CPU share breathes: the
+     configured priority times the governor's gain, capped so users
+     always keep some capacity. Without one this is the paper's static
+     share — including Fig. 4(d)'s never-finishes region. *)
+  let priority () =
+    match governor with
+    | None -> base_priority
+    | Some g -> min 0.9 (base_priority *. Governor.gain g)
+  in
   let advance dt =
-    credit := !credit +. (priority *. float_of_int dt);
+    credit := !credit +. (priority () *. float_of_int dt);
     now := !now + dt
   in
-  let inflated_op_cost =
+  let inflated_op_cost () =
     int_of_float
-      (ceil (float_of_int costs.op_cost /. (1. -. priority)))
+      (ceil (float_of_int costs.op_cost /. (1. -. priority ())))
+  in
+  (* The governor cannot rely on the executor's own lag reports alone:
+     a starved transformation barely steps, so its reports are as rare
+     as the starvation is bad — exactly when escalation is needed. The
+     simulator therefore also samples the lag on a steady virtual-time
+     cadence. *)
+  let gov_obs_period = costs.op_cost * 20 in
+  let next_gov_obs = ref 0 in
+  let observe_governor () =
+    match governor, transform with
+    | Some g, Some (_, t) when !now >= !next_gov_obs ->
+      next_gov_obs := !now + gov_obs_period;
+      (match Transform.phase t with
+       | Transform.Populating | Transform.Propagating | Transform.Checking
+       | Transform.Quiescing | Transform.Draining ->
+         Governor.observe_lag g ~lag:(Transform.progress t).Transform.lag
+       | Transform.Done | Transform.Failed _ -> ())
+    | _ -> ()
   in
   let break = ref false in
   while (not !break) && !now <= duration do
@@ -499,6 +566,7 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
       | _ -> ()
     in
     wake ();
+    observe_governor ();
     let user_ready = not (Queue.is_empty queue) in
     if tf_active () && !credit >= 1. then begin
       (* Convert banked share into actual background work; the time was
@@ -513,14 +581,14 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
       exec_client_op clients.(cid);
       advance
         (!trigger_extra
-         + if tf_active () then inflated_op_cost else costs.op_cost)
+         + if tf_active () then inflated_op_cost () else costs.op_cost)
     end
     else begin
       (* Idle: jump to the next client wake-up or to the moment the
          background job has earned its next slice. *)
       let to_credit =
-        if tf_active () && priority > 0. then
-          Some (int_of_float (ceil ((1. -. !credit) /. priority)))
+        if tf_active () && priority () > 0. then
+          Some (int_of_float (ceil ((1. -. !credit) /. priority ())))
         else None
       in
       let to_wake =
@@ -554,4 +622,5 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
        | Some (_, t) -> Some (Transform.progress t));
     tf_busy = !tf_busy;
     retries = !retries;
+    mgr_stats = Manager.Stats.get mgr;
     wall_clock_final_ns = !wall_final }

@@ -21,8 +21,20 @@
 
     Workload percentages follow the paper's definition: 100% is the
     number of concurrent clients that produces the highest throughput
-    ({!clients_for_workload}). *)
+    ({!clients_for_workload}).
 
+    Contention handling is the engine's: clients act on the manager's
+    verdicts ([`Blocked] → jittered exponential backoff with a retry
+    budget, {!Backoff}; [`Deadlock] → clean restart as the sentenced
+    victim; a wounded transaction restarts when it discovers its own
+    death) instead of improvising wait-die. When the transformation's
+    config carries a {!Nbsc_core.Governor}, its gain multiplies the
+    configured priority each time credit accrues, and the simulator
+    feeds the governor lag samples on a steady cadence plus a response
+    time per commit — the anti-starvation loop that turns Fig. 4(d)'s
+    never-finishes region into a converging one. *)
+
+open Nbsc_txn
 open Nbsc_core
 
 (** Which transformation the scenario runs. *)
@@ -76,7 +88,10 @@ type result = {
   tf_final_phase : Transform.phase option;
   tf_progress : Transform.progress option;
   tf_busy : int;                 (** capacity spent on the transformation *)
-  retries : int;                 (** user ops retried (locks/latches/freezes) *)
+  retries : int;                 (** user ops re-armed (locks/latches/freezes) *)
+  mgr_stats : Manager.Stats.counters;
+      (** the engine's own counters for the run — deadlocks detected,
+          transactions wounded, block events registered *)
   wall_clock_final_ns : int option;
       (** wall-clock nanoseconds spent inside the final latched
           propagation, when one happened — the paper's "< 1 ms" claim *)

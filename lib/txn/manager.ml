@@ -9,6 +9,7 @@ type status = Active | Committed | Aborted
 
 type error =
   [ `Blocked of txn_id list
+  | `Deadlock of txn_id list
   | `Latched of string
   | `Frozen of string
   | `Duplicate_key
@@ -32,6 +33,9 @@ type t = {
   latches : Latch.t;
   catalog : Catalog.t;
   txns : (txn_id, txn) Hashtbl.t;  (* all transactions ever, by id *)
+  wait_graph : Wait_graph.t;
+  victims : (txn_id, unit) Hashtbl.t;  (* sentenced by deadlock handling *)
+  mutable fairness : bool;
   mutable next_id : txn_id;
   mutable frozen : (string * txn_id) list;  (* table, cutoff id *)
   mutable extra_lock_hooks :
@@ -45,6 +49,8 @@ type t = {
   mutable n_commits : int;
   mutable n_aborts : int;
   mutable n_blocked : int;
+  mutable n_deadlocks : int;
+  mutable n_victims : int;
 }
 
 let create ?log catalog =
@@ -53,6 +59,9 @@ let create ?log catalog =
     latches = Latch.create ();
     catalog;
     txns = Hashtbl.create 256;
+    wait_graph = Wait_graph.create ();
+    victims = Hashtbl.create 16;
+    fairness = true;
     next_id = 1;
     frozen = [];
     extra_lock_hooks = [];
@@ -60,12 +69,23 @@ let create ?log catalog =
     n_ops = 0;
     n_commits = 0;
     n_aborts = 0;
-    n_blocked = 0 }
+    n_blocked = 0;
+    n_deadlocks = 0;
+    n_victims = 0 }
 
 let log t = t.log
 let locks t = t.locks
 let latches t = t.latches
 let catalog t = t.catalog
+let wait_graph t = t.wait_graph
+
+let set_contention ?policy ?fairness t =
+  (match policy with
+   | Some p -> Wait_graph.set_policy t.wait_graph p
+   | None -> ());
+  match fairness with Some f -> t.fairness <- f | None -> ()
+
+let is_victim t id = Hashtbl.mem t.victims id
 
 let bump_txn_ids t ~above =
   if above >= t.next_id then t.next_id <- above + 1
@@ -157,7 +177,76 @@ let check_access t txn_id ~table =
          | Some _ | None -> Ok txn)
     end
 
-let take_lock t txn_id ~table ~key mode =
+let finish t txn final_status =
+  txn.txn_status <- final_status;
+  Wait_graph.remove_txn t.wait_graph ~owner:txn.id;
+  Lock_table.release_owner t.locks ~owner:txn.id
+
+(* Rollback: walk the undo chain from last_lsn, applying inverses and
+   emitting CLRs. CLRs themselves are never undone; they skip to their
+   undo_next (ARIES). *)
+let rollback t txn =
+  let append body =
+    let lsn = Log.append t.log ~txn:txn.id ~prev_lsn:txn.last_lsn body in
+    txn.last_lsn <- lsn;
+    lsn
+  in
+  ignore (append Log_record.Abort_begin);
+  let rec undo lsn =
+    if Lsn.(lsn > Lsn.zero) then begin
+      let record = Log.get t.log lsn in
+      match record.Log_record.body with
+      | Log_record.Op op ->
+        let table_name = Log_record.op_table op in
+        (match Catalog.find_opt t.catalog table_name with
+         | None ->
+           (* Table dropped mid-transaction: nothing to undo there. *)
+           undo record.Log_record.prev_lsn
+         | Some table ->
+           let key = Log_record.op_key (Table.schema table) op in
+           let inverse = Log_record.invert ~key op in
+           let clr_lsn =
+             append
+               (Log_record.Clr
+                  { undo_next = record.Log_record.prev_lsn; op = inverse })
+           in
+           (match Apply.op_to_table table ~lsn:clr_lsn inverse with
+            | Ok () -> ()
+            | Error (`Duplicate_key | `Not_found) ->
+              (* Strict 2PL means our updates cannot have been clobbered;
+                 failure here is a bug. *)
+              assert false);
+           undo record.Log_record.prev_lsn)
+      | Log_record.Clr { undo_next; _ } -> undo undo_next
+      | Log_record.Begin -> ()
+      | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
+      | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
+      | Log_record.Checkpoint _ | Log_record.Job_state _
+      | Log_record.Job_done _ ->
+        undo record.Log_record.prev_lsn
+    end
+  in
+  (* Start below the Abort_begin we just wrote. *)
+  let start =
+    let r = Log.get t.log txn.last_lsn in
+    r.Log_record.prev_lsn
+  in
+  undo start;
+  ignore (append Log_record.Abort_done)
+
+let abort t txn_id =
+  match find_txn t txn_id with
+  | None -> Error `Txn_not_active
+  | Some txn ->
+    if txn.txn_status <> Active then Error `Txn_not_active
+    else begin
+      rollback t txn;
+      finish t txn Aborted;
+      t.n_aborts <- t.n_aborts + 1;
+      Ok ()
+    end
+
+let rec take_lock t txn_id ~table ~key mode =
   let base =
     { Lock_table_many.table; key;
       lock = { Compat.mode; provenance = Compat.Native } }
@@ -170,11 +259,51 @@ let take_lock t txn_id ~table ~key mode =
         (fun (_, hook) -> hook ~txn:txn_id ~table ~key ~mode)
         hooks
   in
-  match Lock_table_many.acquire_all t.locks ~owner:txn_id (base :: extras) with
-  | Lock_table.Granted -> Ok ()
+  let requests = base :: extras in
+  (* Anti-barging: queued waiters whose pending request conflicts with
+     ours go first (FIFO per resource). Re-acquisition of a resource we
+     already hold a lock on is exempt — an upgrade must not queue
+     behind its own grant. *)
+  let fairness_blockers =
+    if not t.fairness then []
+    else
+      Wait_graph.queued_ahead t.wait_graph ~owner:txn_id
+        ~live:(fun o -> is_active t o)
+        ~holds:(fun (r : Lock_table_many.request) ->
+            Lock_table.holds_any t.locks ~owner:txn_id ~table:r.table
+              ~key:r.key)
+        requests
+  in
+  let outcome =
+    if fairness_blockers <> [] then Lock_table.Blocked fairness_blockers
+    else Lock_table_many.acquire_all t.locks ~owner:txn_id requests
+  in
+  match outcome with
+  | Lock_table.Granted ->
+    Wait_graph.on_granted t.wait_graph ~owner:txn_id;
+    Ok ()
   | Lock_table.Blocked owners ->
     t.n_blocked <- t.n_blocked + 1;
-    Error (`Blocked owners)
+    (match
+       Wait_graph.block t.wait_graph ~waiter:txn_id ~requests ~blockers:owners
+     with
+     | Wait_graph.Wait -> Error (`Blocked owners)
+     | Wait_graph.Die cycle ->
+       t.n_deadlocks <- t.n_deadlocks + 1;
+       Hashtbl.replace t.victims txn_id ();
+       mark_abort_only t txn_id;
+       Error (`Deadlock cycle)
+     | Wait_graph.Wound victim ->
+       (match abort t victim with
+        | Ok () ->
+          t.n_victims <- t.n_victims + 1;
+          Hashtbl.replace t.victims victim ();
+          take_lock t txn_id ~table ~key mode
+        | Error _ ->
+          (* A blocker we cannot roll back — not an active transaction,
+             e.g. a stale transferred lock. Waiting is all that's left;
+             never loop wounding an unkillable holder. *)
+          Error (`Blocked owners)))
 
 let log_op t txn op =
   let lsn =
@@ -264,10 +393,6 @@ let read_dirty t ~table:table_name ~key =
      | None -> None
      | Some record -> Some record.Record.row)
 
-let finish t txn final_status =
-  txn.txn_status <- final_status;
-  Lock_table.release_owner t.locks ~owner:txn.id
-
 let commit t txn_id =
   match find_txn t txn_id with
   | None -> Error `Txn_not_active
@@ -284,89 +409,34 @@ let commit t txn_id =
       Ok ()
     end
 
-(* Rollback: walk the undo chain from last_lsn, applying inverses and
-   emitting CLRs. CLRs themselves are never undone; they skip to their
-   undo_next (ARIES). *)
-let rollback t txn =
-  let append body =
-    let lsn = Log.append t.log ~txn:txn.id ~prev_lsn:txn.last_lsn body in
-    txn.last_lsn <- lsn;
-    lsn
-  in
-  ignore (append Log_record.Abort_begin);
-  let rec undo lsn =
-    if Lsn.(lsn > Lsn.zero) then begin
-      let record = Log.get t.log lsn in
-      match record.Log_record.body with
-      | Log_record.Op op ->
-        let table_name = Log_record.op_table op in
-        (match Catalog.find_opt t.catalog table_name with
-         | None ->
-           (* Table dropped mid-transaction: nothing to undo there. *)
-           undo record.Log_record.prev_lsn
-         | Some table ->
-           let key = Log_record.op_key (Table.schema table) op in
-           let inverse = Log_record.invert ~key op in
-           let clr_lsn =
-             append
-               (Log_record.Clr
-                  { undo_next = record.Log_record.prev_lsn; op = inverse })
-           in
-           (match Apply.op_to_table table ~lsn:clr_lsn inverse with
-            | Ok () -> ()
-            | Error (`Duplicate_key | `Not_found) ->
-              (* Strict 2PL means our updates cannot have been clobbered;
-                 failure here is a bug. *)
-              assert false);
-           undo record.Log_record.prev_lsn)
-      | Log_record.Clr { undo_next; _ } -> undo undo_next
-      | Log_record.Begin -> ()
-      | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
-      | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
-      | Log_record.Checkpoint _ | Log_record.Job_state _
-      | Log_record.Job_done _ ->
-        undo record.Log_record.prev_lsn
-    end
-  in
-  (* Start below the Abort_begin we just wrote. *)
-  let start =
-    let r = Log.get t.log txn.last_lsn in
-    r.Log_record.prev_lsn
-  in
-  undo start;
-  ignore (append Log_record.Abort_done)
-
-let abort t txn_id =
-  match find_txn t txn_id with
-  | None -> Error `Txn_not_active
-  | Some txn ->
-    if txn.txn_status <> Active then Error `Txn_not_active
-    else begin
-      rollback t txn;
-      finish t txn Aborted;
-      t.n_aborts <- t.n_aborts + 1;
-      Ok ()
-    end
-
 module Stats = struct
   type counters = {
     ops : int;
     commits : int;
     aborts : int;
     blocked : int;
+    deadlocks : int;
+    victims : int;
+    lock_waits : int;
   }
 
   let get t =
     { ops = t.n_ops;
       commits = t.n_commits;
       aborts = t.n_aborts;
-      blocked = t.n_blocked }
+      blocked = t.n_blocked;
+      deadlocks = t.n_deadlocks;
+      victims = t.n_victims;
+      lock_waits = (Wait_graph.stats t.wait_graph).Wait_graph.waits }
 end
 
 let pp_error ppf = function
   | `Blocked owners ->
     Format.fprintf ppf "blocked by [%s]"
       (String.concat "; " (List.map string_of_int owners))
+  | `Deadlock cycle ->
+    Format.fprintf ppf "deadlock victim (cycle [%s])"
+      (String.concat "; " (List.map string_of_int cycle))
   | `Latched table -> Format.fprintf ppf "table %S latched" table
   | `Frozen table -> Format.fprintf ppf "table %S frozen" table
   | `Duplicate_key -> Format.pp_print_string ppf "duplicate key"

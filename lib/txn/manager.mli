@@ -5,8 +5,19 @@
     compensating log records (CLRs) per ARIES — the substrate the paper
     assumes (Sec. 1). The manager is cooperative: a conflicting lock
     makes an operation return [`Blocked] instead of sleeping; callers
-    (tests, the simulator) decide whether to retry, wait, or abort
-    (wait-die lives in the simulator's client logic).
+    (tests, the simulator) decide whether to retry or abort. Deadlock
+    handling is the engine's, not the caller's: every block is
+    registered in a waits-for graph ({!Nbsc_lock.Wait_graph}) covering
+    the {e whole} atomic multi-resource request (base lock plus all
+    extra-lock-hook requests — so Fig. 2 two-schema cycles are seen),
+    and the configured victim policy ({!set_contention}) either lets
+    the wait stand ([`Blocked]), sentences the requester ([`Deadlock],
+    the transaction turns abort-only), or wounds another transaction —
+    which the manager rolls back on the spot via the CLR machinery
+    before retrying the request. Per-resource FIFO wait queues
+    additionally refuse barging (a request conflicting with an earlier
+    live waiter's pending lock blocks behind it), which keeps hot-spot
+    retries from starving the longest waiter.
 
     Three hooks exist solely for the synchronization strategies:
     - {!mark_abort_only} — non-blocking abort forces transactions that
@@ -35,6 +46,10 @@ type status = Active | Committed | Aborted
 
 type error =
   [ `Blocked of txn_id list   (** conflicting lock owners *)
+  | `Deadlock of txn_id list
+      (** this transaction was chosen as deadlock victim (payload: the
+          cycle, or the blockers under wait-die); it is now abort-only
+          — roll it back and retry from the top *)
   | `Latched of string        (** table latched by the transformation *)
   | `Frozen of string         (** table frozen for new transactions *)
   | `Duplicate_key
@@ -49,6 +64,22 @@ val log : t -> Log.t
 val locks : t -> Lock_table.t
 val latches : t -> Latch.t
 val catalog : t -> Catalog.t
+
+val wait_graph : t -> Wait_graph.t
+(** The engine's waits-for graph and wait queues (stats, tests). *)
+
+val set_contention :
+  ?policy:Wait_graph.policy -> ?fairness:bool -> t -> unit
+(** Tune deadlock handling: victim [policy] (default
+    {!Wait_graph.Youngest_in_cycle} — pure detection, no aborts unless
+    an actual cycle forms) and queue [fairness] (default [true]; set
+    [false] to restore first-come-retry barging). *)
+
+val is_victim : t -> txn_id -> bool
+(** Whether this transaction was ever sentenced by deadlock handling —
+    either told [`Deadlock] directly or wounded while holding a lock
+    another transaction deadlocked on. Lets clients distinguish "my
+    transaction died under me" from ordinary failures. *)
 
 val begin_txn : t -> txn_id
 (** Ids are strictly increasing — age for wait-die. *)
@@ -123,6 +154,9 @@ module Stats : sig
     commits : int;
     aborts : int;
     blocked : int;
+    deadlocks : int;   (** requests sentenced with [`Deadlock] *)
+    victims : int;     (** transactions wounded (rolled back) for others *)
+    lock_waits : int;  (** block events registered in the wait graph *)
   }
 
   val get : t -> counters

@@ -19,7 +19,8 @@ let tf_config ~gate =
     analysis = Analysis.Remaining_records 8;
     strategy = Transform.Nonblocking_abort;
     drop_sources = false;
-    sync_gate = (fun () -> gate) }
+    sync_gate = (fun () -> gate);
+    pace = None }
 
 let run ?(background = Sim.No_background) ?(duration = 120_000) ?(warmup = 10_000)
     ?(wl = workload ()) () =
