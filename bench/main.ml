@@ -3,15 +3,19 @@
    the synchronization-window measurement, the method-comparison
    ablation, and Bechamel micro-benchmarks of the substrate.
 
-   Usage: main.exe [target ...]
+   Usage: main.exe [target ...] [--trace FILE]
      targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
-              ablate deadlock micro all quick
+              ablate deadlock micro trace all quick
    No arguments = "all" (paper-scale; several minutes). Adding "quick"
-   runs the selected harnesses at reduced scale. *)
+   runs the selected harnesses at reduced scale. [--trace FILE] runs
+   the traced fixed-seed scenario, writes every trace event to FILE
+   (JSON lines) and prints the per-phase timings as JSON. *)
 
 open Nbsc_value
 open Nbsc_core
 open Nbsc_sim
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
@@ -294,6 +298,33 @@ let deadlock_bench quick =
      | Some t -> Printf.sprintf "completed at t=%d" t
      | None -> "still running at horizon")
 
+(* {1 Traced run} *)
+
+let trace_bench ~quick ~out =
+  header "Traced fixed-seed run (schema-change spans + quantum points)";
+  let setup =
+    if quick then Experiment.quick_setup
+    else { Experiment.quick_setup with Experiment.scale = 10_000 }
+  in
+  let sink, finish =
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      (Some (Obs.jsonl_sink oc), fun () -> close_out oc)
+    | None -> (None, fun () -> ())
+  in
+  let tr = Experiment.traced_run ~setup ?sink () in
+  finish ();
+  (match out with
+   | Some path ->
+     say "%d trace events written to %s" (List.length tr.Experiment.tr_events)
+       path
+   | None ->
+     say "%d trace events captured (pass --trace FILE to keep them)"
+       (List.length tr.Experiment.tr_events));
+  say "per-phase timings (JSON):";
+  say "%s" (Json.to_string (Experiment.phases_to_json tr.Experiment.tr_phases))
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -399,6 +430,16 @@ let micro () =
 
 let () =
   let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  (* Peel off [--trace FILE]; its presence implies the trace target. *)
+  let trace_out, args =
+    let rec go acc = function
+      | "--trace" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  let args = if trace_out <> None then "trace" :: args else args in
   let quick = List.mem "quick" args in
   let setup =
     if quick then Experiment.quick_setup else Experiment.default_setup
@@ -425,6 +466,7 @@ let () =
   if wants "methods" then methods sync_setup;
   if wants "ablate" then ablate sync_setup;
   if wants "deadlock" then deadlock_bench quick;
+  if List.mem "trace" targets then trace_bench ~quick ~out:trace_out;
   if wants "micro" then micro ();
   say "";
   say "done."

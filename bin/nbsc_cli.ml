@@ -7,15 +7,24 @@
      sync        measure the synchronization window per strategy
      matrix      print the Figure 2 lock-compatibility matrix
      log         run a small transformation and dump the resulting log
-     contention  high-conflict run; deadlock-detector and governor stats *)
+     contention  high-conflict run; deadlock-detector and governor stats
+     stats       run a demo change and dump the metrics registry
+     trace       run a traced fixed-seed simulation; write/validate JSONL *)
 
 open Cmdliner
 open Nbsc_value
 open Nbsc_core
-module Db = Nbsc_engine.Db
 module Manager = Nbsc_txn.Manager
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
+module Sc = Db.Schema_change
 
 let say fmt = Format.printf (fmt ^^ "@.")
+
+let start_sc db ~config spec =
+  match Sc.start db ~config spec with
+  | Ok sc -> sc
+  | Error e -> failwith (Nbsc_error.to_string e)
 
 (* {1 demo} *)
 
@@ -86,24 +95,24 @@ let run_demo which rows =
       scan_batch = 64;
       propagate_batch = 64 }
   in
-  let db, tf =
+  let db, sc =
     match which with
     | `Foj ->
       let db = build_foj_db ~rows in
-      (db, Transform.foj db ~config (foj_spec ~m2m:false))
+      (db, start_sc db ~config (Spec.Foj (foj_spec ~m2m:false)))
     | `M2m ->
       let db = build_foj_db ~rows in
-      (db, Transform.foj db ~config (foj_spec ~m2m:true))
+      (db, start_sc db ~config (Spec.Foj (foj_spec ~m2m:true)))
     | `Split ->
       let db = build_split_db ~rows in
-      (db, Transform.split db ~config split_spec)
+      (db, start_sc db ~config (Spec.Split split_spec))
   in
   let mgr = Db.manager db in
   let rng = Random.State.make [| 99 |] in
   let writes = ref 0 in
   let source = match which with `Split -> "T" | `Foj | `M2m -> "R" in
   let between () =
-    if Transform.routing tf = `Sources then begin
+    if (Sc.status sc).Sc.sc_routing = `Sources then begin
       incr writes;
       let txn = Manager.begin_txn mgr in
       (match
@@ -115,14 +124,14 @@ let run_demo which rows =
        | Error _ -> ignore (Manager.abort mgr txn))
     end
   in
-  (match Transform.run ~between tf with
+  (match Sc.run ~between sc with
    | Ok () -> ()
-   | Error m -> failwith m);
-  say "%a" Transform.pp_progress (Transform.progress tf);
+   | Error e -> failwith (Nbsc_error.to_string e));
+  say "%a" Sc.pp_info (Sc.status sc);
   say "concurrent writes while transforming: %d" !writes;
   List.iter
     (fun t -> say "table %-3s %6d rows" t (Db.row_count db t))
-    (Transform.targets tf);
+    (Transform.targets (Sc.transform sc));
   `Ok ()
 
 let demo_kind =
@@ -185,12 +194,15 @@ let run_concurrent rows =
       scan_batch = 64;
       propagate_batch = 64 }
   in
-  let foj_tf = Transform.foj db ~config (foj_spec ~m2m:false) in
-  let hs_tf =
-    Transform.hsplit db ~config
-      { Spec.h_source = "U"; h_true_table = "U_old"; h_false_table = "U_live";
-        h_pred = Pred.Cmp ("age", Pred.Ge, Value.Int 50) }
+  let foj_sc = start_sc db ~config (Spec.Foj (foj_spec ~m2m:false)) in
+  let hs_sc =
+    start_sc db ~config
+      (Spec.Hsplit
+         { Spec.h_source = "U"; h_true_table = "U_old";
+           h_false_table = "U_live";
+           h_pred = Pred.Cmp ("age", Pred.Ge, Value.Int 50) })
   in
+  let foj_tf = Sc.transform foj_sc and hs_tf = Sc.transform hs_sc in
   say "registered jobs: %s" (String.concat ", " (Db.jobs db));
   let mgr = Db.manager db in
   let rng = Random.State.make [| 7 |] in
@@ -482,7 +494,7 @@ let run_crash_demo site after rows keep =
           scan_batch = 32;
           propagate_batch = 32 }
       in
-      let tf = Transform.split db ~config split_spec in
+      let tf = Sc.transform (start_sc db ~config (Spec.Split split_spec)) in
       say "started %s as job %s; arming fault site %S (trigger on hit %d)"
         (Transform.name tf) (Transform.job_name tf) site (after + 1);
       Fault.arm ~after site;
@@ -532,9 +544,9 @@ let run_crash_demo site after rows keep =
        | None -> say "recovery: clean snapshot, empty WAL");
       let db2 = Persist.db p2 in
       let resumed =
-        match Transform.resume ~config p2 with
-        | Ok tfs -> tfs
-        | Error m -> failwith ("resume: " ^ m)
+        match Sc.resume ~config p2 with
+        | Ok scs -> List.map Sc.transform scs
+        | Error e -> failwith ("resume: " ^ Nbsc_error.to_string e)
       in
       (match resumed with
        | [] -> say "no job to resume"
@@ -570,6 +582,123 @@ let run_crash_demo site after rows keep =
       `Error (false, m)
   end
 
+(* {1 stats}
+
+   The one-way-to-read-a-number demo: run a transformation with
+   interleaved writes, then dump the database's metrics registry —
+   engine counters, lock statistics, schema-change probes and all —
+   through the single [Db.Observe.snapshot] call. *)
+
+let run_stats rows =
+  let db = build_foj_db ~rows in
+  let config =
+    { Transform.default_config with
+      Transform.drop_sources = false;
+      scan_batch = 64;
+      propagate_batch = 64 }
+  in
+  let sc = start_sc db ~config (Spec.Foj (foj_spec ~m2m:false)) in
+  let mgr = Db.manager db in
+  let rng = Random.State.make [| 99 |] in
+  let writes = ref 0 in
+  let between () =
+    if (Sc.status sc).Sc.sc_routing = `Sources then begin
+      incr writes;
+      let txn = Manager.begin_txn mgr in
+      match
+        Manager.update mgr ~txn ~table:"R"
+          ~key:(Row.make [ Value.Int (Random.State.int rng rows) ])
+          [ (1, Value.Text (Printf.sprintf "w%d" !writes)) ]
+      with
+      | Ok () -> ignore (Manager.commit mgr txn)
+      | Error _ -> ignore (Manager.abort mgr txn)
+    end
+  in
+  (match Sc.run ~between sc with
+   | Ok () -> ()
+   | Error e -> failwith (Nbsc_error.to_string e));
+  List.iter
+    (fun (name, v) -> say "%-28s %a" name Obs.pp_value v)
+    (Db.Observe.snapshot db);
+  `Ok ()
+
+let stats_cmd =
+  let rows =
+    Arg.(value & opt int 5000 & info [ "rows" ] ~doc:"source table size")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"run a demo transformation and dump the metrics registry")
+    Term.(ret (const run_stats $ rows))
+
+(* {1 trace} *)
+
+let validate_jsonl path =
+  let ic = open_in path in
+  let lines = ref 0 and errors = ref 0 in
+  let complain fmt = incr errors; say fmt in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match Json.of_string line with
+       | Ok (Json.Obj fields) ->
+         List.iter
+           (fun k ->
+              if not (List.mem_assoc k fields) then
+                complain "line %d: missing required field %S" !lines k)
+           [ "ev"; "name"; "at" ]
+       | Ok _ -> complain "line %d: not a JSON object" !lines
+       | Error m -> complain "line %d: %s" !lines m
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (!lines, !errors)
+
+let run_trace seed out validate =
+  let module E = Nbsc_sim.Experiment in
+  let setup = { E.quick_setup with E.seed } in
+  let oc = open_out out in
+  let tr =
+    match E.traced_run ~setup ~sink:(Obs.jsonl_sink oc) () with
+    | tr -> close_out oc; tr
+    | exception e -> close_out oc; raise e
+  in
+  say "%d trace events written to %s" (List.length tr.E.tr_events) out;
+  say "per-phase timings (JSON):";
+  say "%s" (Json.to_string (E.phases_to_json tr.E.tr_phases));
+  if not validate then `Ok ()
+  else begin
+    let lines, errors = validate_jsonl out in
+    if errors = 0 then begin
+      say "validated %d lines: every line is one JSON object with ev/name/at"
+        lines;
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "%d of %d lines malformed" errors lines)
+  end
+
+let trace_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"simulation seed")
+  in
+  let out =
+    Arg.(value & opt string "nbsc_trace.jsonl"
+         & info [ "out" ] ~docv:"FILE" ~doc:"JSON-lines output file")
+  in
+  let validate =
+    Arg.(value & flag
+         & info [ "validate" ]
+             ~doc:"re-read the file and check one well-formed JSON object \
+                   per line with the required fields")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "run a traced fixed-seed simulation and write its events as JSON \
+          lines")
+    Term.(ret (const run_trace $ seed $ out $ validate))
+
 let crash_demo_cmd =
   let site =
     Arg.(value & opt string "wal_append"
@@ -603,4 +732,4 @@ let () =
           (Cmd.info "nbsc" ~version:"1.0.0"
              ~doc:"online, non-blocking relational schema changes")
           [ demo_cmd; concurrent_cmd; figure_cmd; sync_cmd; matrix_cmd;
-            log_cmd; contention_cmd; crash_demo_cmd ]))
+            log_cmd; contention_cmd; crash_demo_cmd; stats_cmd; trace_cmd ]))

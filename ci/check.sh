@@ -23,6 +23,16 @@ NBSC_CRASH_SEED=42 dune exec test/test_crash_matrix.exe
 echo "== contention soak (fixed seed) =="
 NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
 
+# Trace-enabled fixed-seed simulation: write the event stream as JSON
+# lines, then have the CLI re-read it and check one well-formed object
+# per line with the required fields (ev/name/at, span/parent on span
+# events). Guards the observability wire format end to end.
+echo "== trace output validation (fixed seed) =="
+trace_out=$(mktemp /tmp/nbsc_trace.XXXXXX.jsonl)
+trap 'rm -f "$trace_out"' EXIT
+dune exec bin/nbsc_cli.exe -- trace --seed 42 --out "$trace_out" --validate
+test -s "$trace_out"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

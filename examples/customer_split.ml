@@ -12,7 +12,6 @@
    the typo. *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 module Manager = Nbsc_txn.Manager
 module Table = Nbsc_storage.Table

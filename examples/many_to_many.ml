@@ -10,7 +10,6 @@
    heaviest rule in the framework. *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 module Manager = Nbsc_txn.Manager
 

@@ -10,7 +10,6 @@
    suggestion). *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 module Manager = Nbsc_txn.Manager
 

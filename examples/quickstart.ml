@@ -8,7 +8,6 @@
    the final data. *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 module Manager = Nbsc_txn.Manager
 

@@ -11,7 +11,6 @@
    new table; the old tables are dropped. *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 module Manager = Nbsc_txn.Manager
 

@@ -1,7 +1,6 @@
 open Nbsc_lock
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 
 type state = Not_started | Running | Finished

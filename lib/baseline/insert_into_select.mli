@@ -13,7 +13,6 @@
     first step to the last, so user transactions on the sources stall
     for the entire transformation. *)
 
-open Nbsc_engine
 open Nbsc_core
 
 type t

@@ -1,6 +1,5 @@
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 
 type engine = E_foj of Foj.t | E_split of Split.t

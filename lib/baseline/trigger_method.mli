@@ -13,7 +13,6 @@
     applications to the user operation's cost, which is exactly the
     comparison the ablation bench makes. *)
 
-open Nbsc_engine
 open Nbsc_core
 
 type t

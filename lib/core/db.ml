@@ -1,0 +1,58 @@
+include Nbsc_engine.Db
+
+module Schema_change = struct
+  type handle = Transform.t
+
+  type info = {
+    sc_job : string;
+    sc_operator : string;
+    sc_phase : Transform.phase;
+    sc_progress : Transform.progress;
+    sc_routing : [ `Sources | `Targets ];
+  }
+
+  let transform h = h
+
+  let start db ?config spec =
+    (* The builders validate specs with Invalid_argument (a contract
+       several tests pin down); the façade folds that into a result. *)
+    match
+      (match spec with
+       | Spec.Foj s -> Transform.foj db ?config s
+       | Spec.Split s -> Transform.split db ?config s
+       | Spec.Hsplit s -> Transform.hsplit db ?config s
+       | Spec.Merge s -> Transform.merge db ?config s)
+    with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error (`Invalid m)
+    | exception Failure m -> Error (`Msg m)
+    | exception Nbsc_error.Error e -> Error e
+
+  let resume = Transform.resume
+
+  let status h =
+    { sc_job = Transform.job_name h;
+      sc_operator = Transform.name h;
+      sc_phase = Transform.phase h;
+      sc_progress = Transform.progress h;
+      sc_routing = Transform.routing h }
+
+  let step h =
+    match Transform.step h with
+    | `Running -> `Running
+    | `Done -> `Done
+    | `Failed m -> `Failed (`Job_failed (Transform.job_name h, m))
+
+  let run ?between h =
+    match Transform.run ?between h with
+    | Ok () -> Ok ()
+    | Error m -> Error (`Job_failed (Transform.job_name h, m))
+
+  let cancel = Transform.abort
+
+  let pp_info ppf i =
+    Format.fprintf ppf "@[%s (%s): %a, routing=%s@ %a@]" i.sc_job i.sc_operator
+      Transform.pp_phase i.sc_phase
+      (match i.sc_routing with `Sources -> "sources" | `Targets -> "targets")
+      Transform.pp_progress i.sc_progress
+end

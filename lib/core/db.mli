@@ -1,0 +1,62 @@
+(** The full database facade: everything {!Nbsc_engine.Db} offers
+    (same type [t] — values interchange freely) plus the managed
+    schema-change API.
+
+    [Nbsc_core.Db.Schema_change] is the one front door for online
+    schema changes: it validates a {!Spec.any} into a [result] (the
+    raw [Transform.foj]/[split]/[hsplit]/[merge] constructors raise
+    [Invalid_argument] instead and are deprecated for new code),
+    reports every failure as an {!Nbsc_error.t}, and hands back an
+    opaque handle with status / step / cancel. The CLI, the REPL and
+    the examples go through it. *)
+
+include module type of struct
+  include Nbsc_engine.Db
+end
+
+(** Managed lifecycle of one online schema change. *)
+module Schema_change : sig
+  type handle
+  (** An in-flight (or finished) schema change, registered as a
+      background job on its database — drive it with {!step}/{!run}
+      or with [Db.step_jobs]/[Db.run_jobs] like any other job. *)
+
+  (** A status report, taken by {!status}. *)
+  type info = {
+    sc_job : string;               (** job-registry name *)
+    sc_operator : string;          (** "foj", "split", "hsplit", "merge" *)
+    sc_phase : Transform.phase;
+    sc_progress : Transform.progress;
+    sc_routing : [ `Sources | `Targets ];
+  }
+
+  val start :
+    t -> ?config:Transform.config -> Spec.any -> (handle, Nbsc_error.t) result
+  (** Validate the spec, build the operator (target tables, indexes)
+      and register the executor. A rejected specification returns
+      [`Invalid] — nothing raises. *)
+
+  val resume :
+    ?config:Transform.config -> Nbsc_engine.Persist.t ->
+    (handle list, Nbsc_error.t) result
+  (** Rebuild every schema change that was in flight when the reopened
+      database crashed (see [Transform.resume]). *)
+
+  val status : handle -> info
+
+  val step : handle -> [ `Running | `Done | `Failed of Nbsc_error.t ]
+  (** One bounded quantum of background work. *)
+
+  val run :
+    ?between:(unit -> unit) -> handle -> (unit, Nbsc_error.t) result
+  (** Drive to completion, calling [between] between quanta. *)
+
+  val cancel : handle -> unit
+  (** Stop the change and delete the transformed tables (paper,
+      Sec. 6). No effect once done. *)
+
+  val transform : handle -> Transform.t
+  (** Escape hatch to the bare executor, for tests and benches. *)
+
+  val pp_info : Format.formatter -> info -> unit
+end

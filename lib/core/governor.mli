@@ -41,7 +41,11 @@ type stats = {
   relaxes : int;
 }
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?obs:Nbsc_obs.Obs.Registry.t -> unit -> t
+(** [obs], when given, registers the probes [governor.gain],
+    [governor.escalations] and [governor.relaxes] — read-on-demand
+    views of this instance's state, so snapshots see the governor
+    without it writing anywhere. *)
 
 val observe_lag : t -> lag:int -> unit
 (** Feed the current propagation lag. Call on a steady cadence (each

@@ -1,5 +1,5 @@
 open Nbsc_storage
-open Nbsc_engine
+module Db = Nbsc_engine.Db
 
 type config = {
   scan_batch : int;

@@ -17,7 +17,6 @@
     ("an MV must initially be consistent, i.e. populated with the
     result of a blocking read"). *)
 
-open Nbsc_engine
 
 type t
 
@@ -28,7 +27,7 @@ type config = {
 
 val default_config : config
 
-val create : Db.t -> ?config:config -> Spec.foj -> t
+val create : Nbsc_engine.Db.t -> ?config:config -> Spec.foj -> t
 (** Creates the view table (named [spec.t_table]) with its indexes and
     starts the background population. [many_to_many] views are
     supported. @raise Invalid_argument on an invalid spec. *)

@@ -4,6 +4,12 @@ open Nbsc_storage
 open Nbsc_txn
 open Nbsc_engine
 
+(* Nbsc_core grows its own Db facade; inside this library the engine's
+   is meant (the alias also keeps ocamldep from seeing a cycle). *)
+module Db = Nbsc_engine.Db
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
+
 type strategy = Blocking_commit | Nonblocking_abort | Nonblocking_commit
 
 type config = {
@@ -67,6 +73,9 @@ type t = {
   mutable old_txns : Manager.txn_id list;
   mutable forced_aborts : int;
   mutable hook_installed : bool;
+  obs : Obs.Registry.t;
+  root_span : Obs.span;
+  mutable phase_span : (string * Obs.span) option;
 }
 
 type progress = {
@@ -82,12 +91,6 @@ type progress = {
   unknown_flags : int;
   forced_aborts : int;
 }
-
-let next_holder =
-  let counter = ref 1_000_000_000 in
-  fun () ->
-    incr counter;
-    !counter
 
 (* {2 Durable job state}
 
@@ -159,6 +162,55 @@ let progress t =
     final_records = t.final_records;
     unknown_flags = t.unknown ();
     forced_aborts = t.forced_aborts }
+
+(* {2 Trace spans}
+
+   One root span ("schema_change") per executor; under it one span per
+   lifecycle phase, named after the paper's stages: populate, propagate,
+   check, sync (sync covers quiescing, draining and finalization).
+   Span ids are allocated even when no sink listens — they are
+   per-registry counters, so traces stay deterministic regardless of
+   when a sink attached. *)
+
+let phase_str = function
+  | Populating -> "populating"
+  | Propagating -> "propagating"
+  | Checking -> "checking"
+  | Quiescing -> "quiescing"
+  | Draining -> "draining"
+  | Done -> "done"
+  | Failed m -> "failed: " ^ m
+
+let span_name_of_phase = function
+  | Populating -> Some "populate"
+  | Propagating -> Some "propagate"
+  | Checking -> Some "check"
+  | Quiescing | Draining -> Some "sync"
+  | Done | Failed _ -> None
+
+let sync_spans t =
+  let want = span_name_of_phase t.tphase in
+  let cur = Option.map fst t.phase_span in
+  if not (Option.equal String.equal cur want) then begin
+    (match t.phase_span with
+     | Some (_, span) -> Obs.span_close t.obs span
+     | None -> ());
+    match want with
+    | Some w ->
+      t.phase_span <- Some (w, Obs.span_open t.obs ~parent:t.root_span w)
+    | None ->
+      t.phase_span <- None;
+      Obs.span_close t.obs
+        ~attrs:
+          (match t.tphase with
+           | Failed m -> [ ("failed", Json.String m) ]
+           | _ -> [])
+        t.root_span
+  end
+
+let remove_probes t =
+  Obs.Registry.remove t.obs ("transform." ^ t.job_name ^ ".lag");
+  Obs.Registry.remove t.obs ("transform." ^ t.job_name ^ ".propagated")
 
 (* {2 Two-schema locking (paper, Sec. 4.3)}
 
@@ -261,6 +313,7 @@ let finalize t =
            Catalog.drop (Db.catalog t.db) src)
       t.src;
   t.hooks.Transformation.on_done ();
+  remove_probes t;
   (* No [Job_done] here: the targets' final writes are unlogged, so
      completion only becomes durable at the next checkpoint (which
      finds no job registered and drops the stale [Job_state] from the
@@ -383,6 +436,30 @@ let step t =
    | Some g when t.tphase <> Populating ->
      Governor.observe_lag g ~lag:(Propagator.lag t.prop)
    | Some _ | None -> ());
+  (* Emit the per-quantum progress point {e before} reconciling spans:
+     the work just done belongs to the span that was open while it ran,
+     even on the step that closes the phase. *)
+  if Obs.Registry.tracing t.obs then begin
+    let attrs =
+      [ ("job", Json.String t.job_name);
+        ("phase", Json.String (phase_str t.tphase));
+        ("scanned", Json.Int (Population.scanned t.pop));
+        ("produced", Json.Int (Population.produced t.pop));
+        ("propagated", Json.Int (Propagator.records_processed t.prop));
+        ("position", Json.Int (Lsn.to_int (Propagator.position t.prop)));
+        ("lag", Json.Int (Propagator.lag t.prop));
+        ("locks_transferred", Json.Int (Propagator.locks_transferred t.prop));
+        ("gain",
+         Json.Float
+           (match t.config.pace with
+            | Some g -> Governor.gain g
+            | None -> 1.0)) ]
+    in
+    match t.phase_span with
+    | Some (_, span) -> Obs.point t.obs ~in_span:span "transform.quantum" attrs
+    | None -> Obs.point t.obs "transform.quantum" attrs
+  end;
+  sync_spans t;
   Fault.hit "quantum_end";
   match t.tphase with
   | Done -> `Done
@@ -431,7 +508,21 @@ let create db ?(config = default_config) ?resume ?job_name packed =
          Manager.freeze_tables mgr T.sources;
          (prop, Draining, `Targets))
   in
-  let holder = next_holder () in
+  let holder = Db.fresh_holder db in
+  let obs = Db.obs db in
+  let job_name =
+    match job_name with
+    | Some n -> n
+    | None -> T.name ^ "#" ^ string_of_int holder
+  in
+  let root_span =
+    Obs.span_open obs "schema_change"
+      ~attrs:
+        [ ("job", Json.String job_name);
+          ("operator", Json.String T.name);
+          ("sources", Json.List (List.map (fun s -> Json.String s) T.sources));
+          ("targets", Json.List (List.map (fun s -> Json.String s) T.targets)) ]
+  in
   let t =
     { db;
       mgr;
@@ -446,10 +537,7 @@ let create db ?(config = default_config) ?resume ?job_name packed =
       unknown = T.unknown_flags;
       hooks = T.sync_hooks;
       holder;
-      job_name =
-        (match job_name with
-         | Some n -> n
-         | None -> T.name ^ "#" ^ string_of_int holder);
+      job_name;
       analysis = Analysis.create config.analysis;
       tphase;
       route;
@@ -458,8 +546,16 @@ let create db ?(config = default_config) ?resume ?job_name packed =
       final_records = 0;
       old_txns = [];
       forced_aborts = 0;
-      hook_installed = false }
+      hook_installed = false;
+      obs;
+      root_span;
+      phase_span = None }
   in
+  sync_spans t;
+  Obs.Registry.probe obs ("transform." ^ t.job_name ^ ".lag") (fun () ->
+      float_of_int (Propagator.lag t.prop));
+  Obs.Registry.probe obs ("transform." ^ t.job_name ^ ".propagated") (fun () ->
+      float_of_int (Propagator.records_processed t.prop));
   Propagator.set_lock_mapper prop (fun ~table ~key ->
       t.lock_map.Transformation.source_to_targets ~table ~key);
   let persist =
@@ -501,10 +597,10 @@ let targets_of_spec = function
 
 let resume_one db ?config ~losers (name, state) =
   match decode_job_state state with
-  | exception Failure m -> Error m
+  | exception Failure m -> Error (`Corrupt m)
   | tag, position, spec_payload ->
     (match Spec.decode spec_payload with
-     | exception Failure m -> Error m
+     | exception Failure m -> Error (`Corrupt m)
      | spec ->
        let catalog = Db.catalog db in
        let targets = targets_of_spec spec in
@@ -537,7 +633,7 @@ let resume_one db ?config ~losers (name, state) =
                r_skip = losers }
        in
        (match Transformation.of_payload db spec_payload with
-        | Error m -> Error m
+        | Error m -> Error (`Corrupt m)
         | Ok packed -> Ok (create db ?config ?resume ~job_name:name packed)))
 
 let resume ?config persist =
@@ -551,8 +647,8 @@ let resume ?config persist =
     | [] -> Ok (List.rev acc)
     | ((name, _) as job) :: rest ->
       (match resume_one db ?config ~losers job with
-       | Error m -> Error (name ^ ": " ^ m)
-       | exception Failure m -> Error (name ^ ": " ^ m)
+       | Error e -> Error (`Job_failed (name, Nbsc_error.to_string e))
+       | exception Failure m -> Error (`Job_failed (name, m))
        | Ok t -> go (t :: acc) rest)
   in
   go [] (Persist.pending_jobs persist)
@@ -579,16 +675,11 @@ let abort t =
       t.tgt;
     write_job_done t;
     Db.unregister_job t.db ~name:t.job_name;
-    t.tphase <- Failed "aborted by request"
+    remove_probes t;
+    t.tphase <- Failed "aborted by request";
+    sync_spans t
 
-let pp_phase ppf = function
-  | Populating -> Format.pp_print_string ppf "populating"
-  | Propagating -> Format.pp_print_string ppf "propagating"
-  | Checking -> Format.pp_print_string ppf "checking"
-  | Quiescing -> Format.pp_print_string ppf "quiescing"
-  | Draining -> Format.pp_print_string ppf "draining"
-  | Done -> Format.pp_print_string ppf "done"
-  | Failed m -> Format.fprintf ppf "failed: %s" m
+let pp_phase ppf p = Format.pp_print_string ppf (phase_str p)
 
 let pp_progress ppf p =
   Format.fprintf ppf

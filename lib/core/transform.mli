@@ -33,6 +33,9 @@
 open Nbsc_txn
 open Nbsc_engine
 
+(** In signatures below, [Db.t] is the engine's {!Nbsc_engine.Db.t} —
+    the same type [Nbsc_core.Db.t] re-exports. *)
+
 type strategy =
   | Blocking_commit
       (** block newcomers, let current transactions finish, then switch
@@ -113,7 +116,7 @@ type resume_info = {
 }
 
 val create :
-  Db.t -> ?config:config -> ?resume:resume_info -> ?job_name:string ->
+  Nbsc_engine.Db.t -> ?config:config -> ?resume:resume_info -> ?job_name:string ->
   Transformation.packed -> t
 (** Wrap any {!Transformation.S} operator in an executor and register
     it as a background job on the database. When the operator is
@@ -126,12 +129,19 @@ val create :
 
 (** {2 Convenience constructors for the paper's operators}
 
-    [foj db spec] = [create db (Transformation.foj db spec)], etc. *)
+    [foj db spec] = [create db (Transformation.foj db spec)], etc.
 
-val foj : Db.t -> ?config:config -> Spec.foj -> t
-val split : Db.t -> ?config:config -> Spec.split -> t
-val hsplit : Db.t -> ?config:config -> Spec.hsplit -> t
-val merge : Db.t -> ?config:config -> Spec.merge -> t
+    @deprecated These raw constructors predate the managed façade.
+    New code should go through [Nbsc_core.Db.Schema_change.start],
+    which validates the spec into a [result] instead of raising,
+    returns a handle with status/cancel, and keeps error reporting in
+    {!Nbsc_error.t}. They remain for tests and for callers that need
+    the bare executor. *)
+
+val foj : Nbsc_engine.Db.t -> ?config:config -> Spec.foj -> t
+val split : Nbsc_engine.Db.t -> ?config:config -> Spec.split -> t
+val hsplit : Nbsc_engine.Db.t -> ?config:config -> Spec.hsplit -> t
+val merge : Nbsc_engine.Db.t -> ?config:config -> Spec.merge -> t
 
 val step : t -> [ `Running | `Done | `Failed of string ]
 (** One bounded quantum of background work. *)
@@ -160,7 +170,7 @@ val job_name : t -> string
 val counters : t -> (string * int) list
 (** The operator's labelled counters (see {!Transformation.S.counters}). *)
 
-val resume : ?config:config -> Persist.t -> (t list, string) result
+val resume : ?config:config -> Persist.t -> (t list, Nbsc_error.t) result
 (** Rebuild and re-register every schema-change job that was in flight
     when the (re)opened database crashed ({!Persist.pending_jobs}).
 

@@ -2,7 +2,7 @@ open Nbsc_value
 open Nbsc_wal
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
+module Db = Nbsc_engine.Db
 
 type lock_map = {
   source_to_targets :

@@ -22,7 +22,6 @@
 
 open Nbsc_value
 open Nbsc_txn
-open Nbsc_engine
 
 (** How locks project across the schema change (paper, Sec. 4.3): a
     lock on a source record implicates target records (lock transfer,
@@ -115,12 +114,12 @@ val counter : packed -> string -> int
     false for materialized views (the view never takes over from its
     sources). *)
 
-val foj : ?transfer_locks:bool -> Db.t -> Spec.foj -> packed
-val split : Db.t -> Spec.split -> packed
-val hsplit : Db.t -> Spec.hsplit -> packed
-val merge : Db.t -> Spec.merge -> packed
+val foj : ?transfer_locks:bool -> Nbsc_engine.Db.t -> Spec.foj -> packed
+val split : Nbsc_engine.Db.t -> Spec.split -> packed
+val hsplit : Nbsc_engine.Db.t -> Spec.hsplit -> packed
+val merge : Nbsc_engine.Db.t -> Spec.merge -> packed
 
-val of_payload : Db.t -> string -> (packed, string) result
+val of_payload : Nbsc_engine.Db.t -> string -> (packed, string) result
 (** Rebuild an operator from an encoded specification ({!S.spec_payload})
     — the crash-resume path. Unlike first-time preparation, the target
     tables may already exist (restored from the snapshot); they are

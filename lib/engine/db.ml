@@ -1,5 +1,7 @@
 open Nbsc_storage
 open Nbsc_txn
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
 
 type job_status = [ `Running | `Done | `Failed of string ]
 
@@ -16,18 +18,46 @@ type job = {
 type t = {
   cat : Catalog.t;
   mgr : Manager.t;
+  obs : Obs.Registry.t;
   mutable jobs : (string * job) list;
+  mutable holders : int;
 }
 
-let create () =
+let create ?obs () =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   let cat = Catalog.create () in
-  { cat; mgr = Manager.create cat; jobs = [] }
+  { cat; mgr = Manager.create ~obs cat; obs; jobs = []; holders = 1_000_000_000 }
 
-let of_parts cat ~log = { cat; mgr = Manager.create ~log cat; jobs = [] }
+let of_parts ?obs cat ~log =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  { cat;
+    mgr = Manager.create ~log ~obs cat;
+    obs;
+    jobs = [];
+    holders = 1_000_000_000 }
+
+(* Identities for background jobs (latch-holder and lock-hook ids, and
+   the default job-name suffix). Per-database and counting from a fixed
+   base: far above any transaction id, and deterministic — the same
+   sequence of schema changes on a fresh database always produces the
+   same job names, which fixed-seed trace tests rely on. *)
+let fresh_holder t =
+  t.holders <- t.holders + 1;
+  t.holders
 
 let catalog t = t.cat
 let manager t = t.mgr
+let obs t = t.obs
 let log t = Manager.log t.mgr
+
+module Observe = struct
+  let snapshot t = Obs.Registry.snapshot t.obs
+
+  let subscribe t f =
+    let sink = Obs.callback_sink f in
+    Obs.Registry.attach t.obs sink;
+    fun () -> Obs.Registry.detach t.obs sink
+end
 
 let create_table t ?indexes ~name schema =
   Catalog.create_table t.cat ?indexes ~name schema
@@ -78,7 +108,9 @@ let row_count t name = Table.cardinality (table t name)
    round-robin so several transformations interleave fairly. *)
 
 let register_job t ?persist ~name ~step () =
-  t.jobs <- t.jobs @ [ (name, { j_step = step; j_persist = persist }) ]
+  t.jobs <- t.jobs @ [ (name, { j_step = step; j_persist = persist }) ];
+  if Obs.Registry.tracing t.obs then
+    Obs.point t.obs "job.register" [ ("job", Json.String name) ]
 
 let unregister_job t ~name =
   t.jobs <- List.filter (fun (n, _) -> not (String.equal n name)) t.jobs
@@ -101,7 +133,16 @@ let step_jobs t =
        (match st with
         | `Done | `Failed _ ->
           (* Most jobs deregister themselves on completion; make sure. *)
-          unregister_job t ~name
+          unregister_job t ~name;
+          if Obs.Registry.tracing t.obs then
+            Obs.point t.obs "job.done"
+              [ ("job", Json.String name);
+                ("status",
+                 Json.String
+                   (match st with
+                    | `Done -> "done"
+                    | `Failed m -> "failed: " ^ m
+                    | `Running -> assert false)) ]
         | `Running -> ());
        (name, st))
     snapshot

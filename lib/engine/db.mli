@@ -11,15 +11,43 @@ open Nbsc_txn
 
 type t
 
-val create : unit -> t
+val create : ?obs:Nbsc_obs.Obs.Registry.t -> unit -> t
+(** [obs] is the observability registry every instrument in this
+    database registers in (transaction manager, lock layer, schema
+    changes, …); a fresh one is created when not given. Supply one to
+    share a registry across components or to pre-attach sinks. *)
 
-val of_parts : Nbsc_storage.Catalog.t -> log:Nbsc_wal.Log.t -> t
+val of_parts :
+  ?obs:Nbsc_obs.Obs.Registry.t -> Nbsc_storage.Catalog.t ->
+  log:Nbsc_wal.Log.t -> t
 (** Wrap an existing catalog (e.g. one restored from a snapshot) with a
     fresh transaction manager over the given log. *)
 
 val catalog : t -> Catalog.t
 val manager : t -> Manager.t
+
+val obs : t -> Nbsc_obs.Obs.Registry.t
+(** The database's observability registry — every counter, gauge and
+    probe in the system lives here; trace events flow to its sinks. *)
+
 val log : t -> Nbsc_wal.Log.t
+
+val fresh_holder : t -> int
+(** Allocate an identity for a background job (used as latch-holder and
+    lock-hook id, and as the default job-name suffix). Per-database and
+    deterministic: a fresh database always hands out the same sequence,
+    starting well above any transaction id. *)
+
+(** The one read-side API for observability. *)
+module Observe : sig
+  val snapshot : t -> (string * Nbsc_obs.Obs.value) list
+  (** Every instrument, sorted by name ({!Nbsc_obs.Obs.Registry.snapshot}). *)
+
+  val subscribe : t -> (Nbsc_obs.Obs.event -> unit) -> unit -> unit
+  (** [subscribe t f] attaches [f] as a live trace subscriber and
+      returns an unsubscribe function. Subscribing turns tracing on
+      (instrumented paths start emitting events). *)
+end
 
 val create_table :
   t -> ?indexes:(string * string list) list -> name:string -> Schema.t ->

@@ -1,3 +1,5 @@
+module Obs = Nbsc_obs.Obs
+
 type mode = Crash | Torn
 
 exception Injected of { site : string; mode : mode }
@@ -12,7 +14,14 @@ type armed = {
 }
 
 let armed_tbl : (string, armed) Hashtbl.t = Hashtbl.create 8
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+(* Hit counts live in an observability registry of their own — the
+   fault machinery is process-global, unlike the per-db registries, so
+   it cannot piggyback on any one database's. *)
+let registry = Obs.Registry.create ()
+
+let obs () = registry
+
 let armed_count = ref 0
 let tracking = ref false
 
@@ -32,17 +41,15 @@ let disarm site =
 
 let reset () =
   Hashtbl.reset armed_tbl;
-  Hashtbl.reset counters;
+  Obs.Registry.zero registry;
   armed_count := 0;
   tracking := false
 
-let count site =
-  match Hashtbl.find_opt counters site with
-  | Some r -> incr r
-  | None -> Hashtbl.replace counters site (ref 1)
+let counter site = Obs.Registry.counter registry ("fault.hits." ^ site)
 
-let hits site =
-  match Hashtbl.find_opt counters site with Some r -> !r | None -> 0
+let count site = Obs.Counter.incr (counter site)
+
+let hits site = Obs.Counter.value (counter site)
 
 (* The mode to fire with, if the site is armed and due. The armed entry
    is removed before raising so each arming crashes exactly once. *)

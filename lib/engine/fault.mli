@@ -52,6 +52,11 @@ val disarm : string -> unit
 val reset : unit -> unit
 (** Disarm every site and zero all hit counters. *)
 
+val obs : unit -> Nbsc_obs.Obs.Registry.t
+(** The registry holding the per-site hit counters
+    ([fault.hits.<site>]). Process-global, like the fault machinery
+    itself; {!hits} and {!reset} read/zero through it. *)
+
 val hit : string -> unit
 (** Count a pass through [site]; raise {!Injected} if armed ([Crash]
     mode) and due. A [Torn]-armed site does not fire here — torn

@@ -1,9 +1,6 @@
 open Nbsc_wal
 
-type error =
-  [ `Active_transactions of Nbsc_txn.Manager.txn_id list
-  | `Corrupt of string
-  | `Io of string ]
+type error = Nbsc_error.t
 
 type t = {
   dir : string;
@@ -106,7 +103,7 @@ let create_dir ~dir =
       | Ok lines ->
         write_lines_atomic ~fault_write:"snapshot_write"
           ~fault_rename:"snapshot_rename" (snapshot_path dir) lines
-      | Error ((`Active_transactions _ | `Corrupt _) as e) -> Error (e :> error)
+      | Error e -> Error e
     in
     let* out =
       io (fun () ->
@@ -121,7 +118,7 @@ let open_dir ~dir =
   let* pdb =
     match Snapshot.load snapshot_lines with
     | Ok db -> Ok db
-    | Error ((`Corrupt _ | `Active_transactions _) as e) -> Error (e :> error)
+    | Error e -> Error e
   in
   let* wal_lines, torn =
     if Sys.file_exists (wal_path dir) then read_wal_lines (wal_path dir)
@@ -166,7 +163,7 @@ let checkpoint t =
     List.map (fun (name, thunk) -> (name, thunk ())) (Db.job_persists t.pdb)
   in
   match Snapshot.save t.pdb with
-  | Error e -> Error (e :> error)
+  | Error e -> Error e
   | Ok lines ->
     (* Snapshot first, WAL second: a crash between the two leaves the
        new snapshot with the old (longer) WAL, which replays
@@ -241,9 +238,4 @@ let last_recovery t = t.report
 let pending_jobs t =
   match t.report with Some r -> r.Recovery.jobs | None -> []
 
-let pp_error ppf = function
-  | `Active_transactions txns ->
-    Format.fprintf ppf "active transactions: [%s]"
-      (String.concat "; " (List.map string_of_int txns))
-  | `Corrupt m -> Format.fprintf ppf "corrupt: %s" m
-  | `Io m -> Format.fprintf ppf "io error: %s" m
+let pp_error = Nbsc_error.pp

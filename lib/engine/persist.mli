@@ -30,10 +30,11 @@
 
 type t
 
-type error =
-  [ `Active_transactions of Nbsc_txn.Manager.txn_id list
-  | `Corrupt of string
-  | `Io of string ]
+type error = Nbsc_error.t
+(** The durability layer produces [`Io], [`Corrupt] and
+    [`Active_transactions]; the unified type means callers render any
+    of it with {!Nbsc_error.to_string} and need no per-module
+    plumbing. *)
 
 val create_dir : dir:string -> (t, error) result
 (** Initialize an empty database directory (creates it if missing;

@@ -3,9 +3,7 @@ open Nbsc_wal
 open Nbsc_storage
 open Nbsc_txn
 
-type error =
-  [ `Active_transactions of Manager.txn_id list
-  | `Corrupt of string ]
+type error = Nbsc_error.t
 
 (* Line format (every payload is a Codec chunk list):
      H:<head-lsn>
@@ -158,8 +156,4 @@ let load lines =
   | Failure m -> Error (`Corrupt m)
   | Not_found -> Error (`Corrupt "reference to unknown table")
 
-let pp_error ppf = function
-  | `Active_transactions txns ->
-    Format.fprintf ppf "active transactions: [%s]"
-      (String.concat "; " (List.map string_of_int txns))
-  | `Corrupt m -> Format.fprintf ppf "corrupt snapshot: %s" m
+let pp_error = Nbsc_error.pp

@@ -15,11 +15,9 @@
     state). A fuzzy checkpointing scheme would reuse the paper's own
     fuzzy machinery but is out of scope. *)
 
-open Nbsc_txn
-
-type error =
-  [ `Active_transactions of Manager.txn_id list
-  | `Corrupt of string ]
+type error = Nbsc_error.t
+(** [save] produces [`Active_transactions]; [load] produces
+    [`Corrupt]. One rendering for all of it: {!Nbsc_error.to_string}. *)
 
 val save : Db.t -> (string list, error) result
 

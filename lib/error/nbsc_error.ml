@@ -1,0 +1,42 @@
+type t =
+  [ `Io of string
+  | `Corrupt of string
+  | `Active_transactions of int list
+  | `Invalid of string
+  | `Conflict of string
+  | `Job_failed of string * string
+  | `Msg of string ]
+
+exception Error of t
+
+let fail e = raise (Error e)
+
+let msgf fmt = Format.kasprintf (fun m -> `Msg m) fmt
+let invalidf fmt = Format.kasprintf (fun m -> `Invalid m) fmt
+let corruptf fmt = Format.kasprintf (fun m -> `Corrupt m) fmt
+
+let of_exn = function
+  | Error e -> e
+  | Failure m -> `Msg m
+  | Invalid_argument m -> `Invalid m
+  | Sys_error m -> `Io m
+  | e -> raise e
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception ((Error _ | Failure _ | Invalid_argument _ | Sys_error _) as e) ->
+    Result.Error (of_exn e)
+
+let to_string = function
+  | `Io m -> "io error: " ^ m
+  | `Corrupt m -> "corrupt: " ^ m
+  | `Active_transactions txns ->
+    Printf.sprintf "%d transaction(s) still active: [%s]" (List.length txns)
+      (String.concat "; " (List.map string_of_int txns))
+  | `Invalid m -> "invalid: " ^ m
+  | `Conflict m -> "conflict: " ^ m
+  | `Job_failed (job, reason) -> Printf.sprintf "job %s failed: %s" job reason
+  | `Msg m -> m
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,54 @@
+(** The one error currency of the engine and the transformation layer.
+
+    Before this module, failures crossed layer boundaries in three
+    disguises: [Failure _] exceptions (decode problems), [(_, string)
+    result] (executor and job boundaries), and per-module polymorphic
+    variants ([Persist.error], [Snapshot.error]). One caller-facing
+    surface means one [to_string], one [pp], and pattern matches that
+    keep working as modules narrow the set they can actually produce —
+    every per-module error type is a subset of this variant.
+
+    Exceptions still exist at the edges ([Invalid_argument] for
+    programming-contract violations, {!Error} to tunnel a [t] through
+    code that cannot return a [result]); {!of_exn} folds all of them
+    back into a [t]. *)
+
+type t =
+  [ `Io of string             (** filesystem / WAL channel trouble *)
+  | `Corrupt of string        (** undecodable durable state *)
+  | `Active_transactions of int list
+      (** a sharp operation (snapshot, checkpoint) refused because
+          these transactions are still running *)
+  | `Invalid of string        (** rejected specification or argument *)
+  | `Conflict of string       (** transaction-level refusal, rendered *)
+  | `Job_failed of string * string  (** background job name, reason *)
+  | `Msg of string ]          (** anything else, human-readable *)
+
+exception Error of t
+(** Carrier for contexts that cannot return a [result]. Raise with
+    {!fail}; catch with {!protect} or {!of_exn}. *)
+
+val fail : t -> 'a
+(** [fail e] raises [Error e]. *)
+
+val msgf : ('a, Format.formatter, unit, t) format4 -> 'a
+(** Format a [`Msg]. *)
+
+val invalidf : ('a, Format.formatter, unit, t) format4 -> 'a
+(** Format an [`Invalid]. *)
+
+val corruptf : ('a, Format.formatter, unit, t) format4 -> 'a
+(** Format a [`Corrupt]. *)
+
+val of_exn : exn -> t
+(** Fold the legacy carriers into a [t]: [Error e] unwraps to [e],
+    [Failure m] and [Invalid_argument m] map to [`Msg]/[`Invalid],
+    [Sys_error m] to [`Io]. Anything else re-raises (asserts and
+    injected faults must not be swallowed). *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching the carriers {!of_exn} understands. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,4 +1,5 @@
 open Nbsc_value
+module Obs = Nbsc_obs.Obs
 
 type owner = int
 
@@ -35,22 +36,25 @@ type t = {
   queues : entry list ref Rtbl.t;  (* head = front of the FIFO *)
   queued_on : (owner, Res.t list ref) Hashtbl.t;
   waits_for : (owner, owner list) Hashtbl.t;
-  mutable n_waits : int;
-  mutable n_cycles : int;
-  mutable n_victims : int;
-  mutable max_queue : int;
+  n_waits : Obs.Counter.t;
+  n_cycles : Obs.Counter.t;
+  n_victims : Obs.Counter.t;
+  max_queue : Obs.Gauge.t;
 }
 
-let create ?(policy = Youngest_in_cycle) () =
+let create ?(policy = Youngest_in_cycle) ?obs () =
+  (* Counters live in the observability registry — the caller's, so
+     they show up in Db snapshots, or a private one otherwise. *)
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
   {
     policy;
     queues = Rtbl.create 64;
     queued_on = Hashtbl.create 64;
     waits_for = Hashtbl.create 64;
-    n_waits = 0;
-    n_cycles = 0;
-    n_victims = 0;
-    max_queue = 0;
+    n_waits = Obs.Registry.counter obs "lock.waits";
+    n_cycles = Obs.Registry.counter obs "lock.cycles";
+    n_victims = Obs.Registry.counter obs "lock.victims";
+    max_queue = Obs.Registry.gauge obs "lock.max_queue";
   }
 
 let policy t = t.policy
@@ -80,7 +84,9 @@ let enqueue t res owner lock =
    | Some e -> e.w_lock <- lock  (* keep FIFO position, refresh the ask *)
    | None ->
      q := !q @ [ { w_owner = owner; w_lock = lock } ];
-     if List.length !q > t.max_queue then t.max_queue <- List.length !q);
+     let depth = float_of_int (List.length !q) in
+     if depth > Obs.Gauge.value t.max_queue then
+       Obs.Gauge.set t.max_queue depth);
   if not (Rtbl.mem t.queues res) then Rtbl.add t.queues res q;
   let on =
     match Hashtbl.find_opt t.queued_on owner with
@@ -165,14 +171,14 @@ let remove_txn t ~owner =
 (* ---- the verdict ------------------------------------------------- *)
 
 let block t ~waiter ~requests ~blockers =
-  t.n_waits <- t.n_waits + 1;
+  Obs.Counter.incr t.n_waits;
   requeue t waiter requests;
   match t.policy with
   | Wait_die ->
     (* Older blockers win: a waiter younger than any holder restarts.
        No cycle can ever form (waits only point at younger ids). *)
     if List.exists (fun b -> b < waiter) blockers then begin
-      t.n_victims <- t.n_victims + 1;
+      Obs.Counter.incr t.n_victims;
       remove_txn t ~owner:waiter;
       Die blockers
     end
@@ -189,7 +195,7 @@ let block t ~waiter ~requests ~blockers =
        set_edges t waiter blockers;
        Wait
      | _ ->
-       t.n_victims <- t.n_victims + 1;
+       Obs.Counter.incr t.n_victims;
        set_edges t waiter blockers;
        Wound (List.fold_left max min_int prey))
   | Youngest_in_cycle ->
@@ -197,8 +203,8 @@ let block t ~waiter ~requests ~blockers =
     (match find_cycle t ~start:waiter with
      | None -> Wait
      | Some cycle ->
-       t.n_cycles <- t.n_cycles + 1;
-       t.n_victims <- t.n_victims + 1;
+       Obs.Counter.incr t.n_cycles;
+       Obs.Counter.incr t.n_victims;
        let victim = List.fold_left max min_int cycle in
        if victim = waiter then begin
          remove_txn t ~owner:waiter;
@@ -254,10 +260,10 @@ let acyclic t =
 
 let stats t =
   {
-    waits = t.n_waits;
-    cycles = t.n_cycles;
-    victims = t.n_victims;
-    max_queue = t.max_queue;
+    waits = Obs.Counter.value t.n_waits;
+    cycles = Obs.Counter.value t.n_cycles;
+    victims = Obs.Counter.value t.n_victims;
+    max_queue = int_of_float (Obs.Gauge.value t.max_queue);
   }
 
 let pp_stats ppf s =

@@ -57,10 +57,15 @@ type stats = {
 
 type t
 
-val create : ?policy:policy -> unit -> t
+val create : ?policy:policy -> ?obs:Nbsc_obs.Obs.Registry.t -> unit -> t
 (** Default policy: {!Youngest_in_cycle} — pure detection preserves the
     engine's historical behaviour (a block with no cycle is still just
-    [`Blocked]). *)
+    [`Blocked]).
+
+    The graph's counters ([lock.waits], [lock.cycles], [lock.victims],
+    [lock.max_queue]) register in [obs] when given (so they appear in
+    the database's observability snapshot), or in a private registry
+    otherwise; {!stats} reads them back either way. *)
 
 val policy : t -> policy
 val set_policy : t -> policy -> unit

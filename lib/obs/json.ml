@@ -1,0 +1,260 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* {1 Encoding} *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* Keep round floats readable and round-trippable. *)
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (float_to_string f)
+    else Buffer.add_string buf "null"
+  | String s -> escape buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+         if i > 0 then Buffer.add_char buf ',';
+         write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         escape buf k;
+         Buffer.add_char buf ':';
+         write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 128 in
+  write buf j;
+  Buffer.contents buf
+
+(* {1 Parsing} *)
+
+exception Parse of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected %c at %d, got %c" ch c.pos x
+  | None -> parse_error "expected %c at %d, got end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "bad literal at %d" c.pos
+
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | None -> parse_error "unterminated escape"
+       | Some e ->
+         advance c;
+         (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            if c.pos + 4 > String.length c.src then
+              parse_error "truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+             | Some code -> add_utf8 buf code
+             | None -> parse_error "bad \\u escape %S" hex)
+          | e -> parse_error "bad escape \\%c" e));
+      go ()
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Float f
+     | None -> parse_error "bad number %S at %d" s start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "empty input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> parse_error "expected , or ] at %d" c.pos
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields (f :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (f :: acc)
+        | _ -> parse_error "expected , or } at %d" c.pos
+      in
+      Obj (fields [])
+    end
+  | Some ('0' .. '9' | '-') -> parse_number c
+  | Some ch -> parse_error "unexpected %c at %d" ch c.pos
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at %d" c.pos)
+    else Ok v
+  | exception Parse m -> Error m
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | String _ | List _ | Obj _ -> None

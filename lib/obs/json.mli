@@ -1,0 +1,32 @@
+(** A minimal JSON tree, encoder and parser.
+
+    Just enough for the observability layer: trace events are written
+    as compact one-object-per-line JSON ("JSON lines"), and the CI
+    validator parses them back. No external dependency, no streaming,
+    no opinions about numbers beyond OCaml's [int]/[float] split.
+
+    The encoder always produces a single line (no pretty-printing) so a
+    JSON-lines file is splittable on ['\n']. Non-finite floats encode
+    as [null] (JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line encoding with full string escaping. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error). [\uXXXX] escapes are decoded to UTF-8. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_float : t -> float option
+(** Numeric accessor accepting both [Int] and [Float]. *)

@@ -1,4 +1,6 @@
 open Nbsc_core
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
 
 type point = {
   x : float;
@@ -416,3 +418,81 @@ let policy_comparison ?(setup = quick_setup) () =
       ("remaining-records <= 512", Analysis.Remaining_records 512);
       ("iteration-shrink x0.5", Analysis.Iteration_shrink { factor = 0.5; floor = 4 });
       ("estimated-time <= 2 steps", Analysis.Estimated_time { max_steps = 2. }) ]
+
+(* {1 A traced fixed-seed run} *)
+
+type phase_timing = {
+  ph_name : string;
+  ph_span : int;
+  ph_parent : int option;
+  ph_start : float;
+  ph_end : float option;
+}
+
+let phase_timings events =
+  let opens = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Obs.Span_open { span; at; _ } ->
+        Hashtbl.replace opens span.Obs.span_id (span, at, None);
+        order := span.Obs.span_id :: !order
+      | Obs.Span_close { span; at; _ } ->
+        (match Hashtbl.find_opt opens span.Obs.span_id with
+         | Some (sp, start, None) ->
+           Hashtbl.replace opens span.Obs.span_id (sp, start, Some at)
+         | _ -> ())
+      | Obs.Point _ -> ())
+    events;
+  List.rev_map
+    (fun id ->
+       let sp, start, stop = Hashtbl.find opens id in
+       { ph_name = sp.Obs.span_name;
+         ph_span = sp.Obs.span_id;
+         ph_parent = sp.Obs.span_parent;
+         ph_start = start;
+         ph_end = stop })
+    !order
+
+let phases_to_json phases =
+  Json.List
+    (List.map
+       (fun p ->
+          Json.Obj
+            ([ ("name", Json.String p.ph_name); ("span", Json.Int p.ph_span) ]
+             @ (match p.ph_parent with
+                | Some i -> [ ("parent", Json.Int i) ]
+                | None -> [])
+             @ [ ("start", Json.Float p.ph_start) ]
+             @ (match p.ph_end with
+                | Some e -> [ ("end", Json.Float e) ]
+                | None -> [])))
+       phases)
+
+type traced = {
+  tr_result : Sim.result;
+  tr_events : Obs.event list;
+  tr_phases : phase_timing list;
+}
+
+let traced_run ?(setup = quick_setup) ?sink () =
+  let kind =
+    Sim.Split_scenario { t_rows = setup.scale; assume_consistent = true }
+  in
+  let workload = workload_of setup ~pct:75. ~source_share:0.2 in
+  let tf =
+    { Sim.priority = 0.05; config = tf_config ~sync_gate:(fun () -> true) () }
+  in
+  let mem = Obs.memory_sink () in
+  let on_db db =
+    Obs.Registry.attach (Db.obs db) mem;
+    match sink with
+    | Some s -> Obs.Registry.attach (Db.obs db) s
+    | None -> ()
+  in
+  let r =
+    Sim.run ~kind ~workload ~on_db ~background:(Sim.Transformation tf)
+      ~duration:(setup.duration * 10) ~warmup:setup.warmup ()
+  in
+  let events = Obs.memory_events mem in
+  { tr_result = r; tr_events = events; tr_phases = phase_timings events }

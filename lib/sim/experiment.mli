@@ -150,3 +150,38 @@ type policy_row = {
 
 val policy_comparison : ?setup:setup -> unit -> policy_row list
 val pp_policy_row : Format.formatter -> policy_row -> unit
+
+(** {1 A traced fixed-seed run}
+
+    The shared harness behind [nbsc trace], [bench --trace] and the
+    span-nesting tests: a split transformation under 75% workload with
+    every trace event captured. Because the registry clock is the
+    simulator's virtual time, the same [setup.seed] always produces the
+    same trace. *)
+
+(** One span's lifetime, extracted from the event stream. *)
+type phase_timing = {
+  ph_name : string;            (** e.g. ["schema_change"], ["populate"] *)
+  ph_span : int;
+  ph_parent : int option;
+  ph_start : float;            (** virtual time *)
+  ph_end : float option;       (** [None] if still open at the horizon *)
+}
+
+val phase_timings : Nbsc_obs.Obs.event list -> phase_timing list
+(** Spans in open order, paired with their close events. *)
+
+val phases_to_json : phase_timing list -> Nbsc_obs.Json.t
+(** The per-phase timing report the bench prints:
+    [[{"name":..,"span":..,"parent":..?,"start":..,"end":..?}, ...]]. *)
+
+type traced = {
+  tr_result : Sim.result;
+  tr_events : Nbsc_obs.Obs.event list;  (** everything, oldest first *)
+  tr_phases : phase_timing list;
+}
+
+val traced_run : ?setup:setup -> ?sink:Nbsc_obs.Obs.sink -> unit -> traced
+(** Run with an in-memory capture (always) and [sink] (additionally,
+    e.g. a {!Nbsc_obs.Obs.jsonl_sink}) attached before the
+    transformation starts. *)

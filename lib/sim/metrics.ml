@@ -1,26 +1,42 @@
+module Obs = Nbsc_obs.Obs
+
+(* Counters live in an obs registry (the db's when the caller passes
+   one) so `nbsc stats` and the sim report read the same numbers. The
+   exact duration list is kept alongside the response-time histogram:
+   the paper's p95/mean ratios need exact quantiles, which fixed
+   buckets cannot give. *)
 type sample_set = {
   mutable durations : int list;
-  mutable committed : int;
-  mutable aborted : int;
-  mutable lock_waits : int;
-  mutable deadlock_aborts : int;
-  mutable victim_kills : int;
-  mutable budget_exhausted : int;
+  committed : Obs.Counter.t;
+  aborted : Obs.Counter.t;
+  lock_waits : Obs.Counter.t;
+  deadlock_aborts : Obs.Counter.t;
+  victim_kills : Obs.Counter.t;
+  budget_exhausted : Obs.Counter.t;
+  response : Obs.Histogram.t;
 }
 
-let create () =
-  { durations = []; committed = 0; aborted = 0; lock_waits = 0;
-    deadlock_aborts = 0; victim_kills = 0; budget_exhausted = 0 }
+let create ?obs () =
+  let r = match obs with Some r -> r | None -> Obs.Registry.create () in
+  { durations = [];
+    committed = Obs.Registry.counter r "sim.committed";
+    aborted = Obs.Registry.counter r "sim.aborted";
+    lock_waits = Obs.Registry.counter r "sim.lock_waits";
+    deadlock_aborts = Obs.Registry.counter r "sim.deadlock_aborts";
+    victim_kills = Obs.Registry.counter r "sim.victim_kills";
+    budget_exhausted = Obs.Registry.counter r "sim.budget_exhausted";
+    response = Obs.Registry.histogram r "sim.response_time" }
 
 let record_txn t ~start ~finish =
   t.durations <- (finish - start) :: t.durations;
-  t.committed <- t.committed + 1
+  Obs.Histogram.observe t.response (float_of_int (finish - start));
+  Obs.Counter.incr t.committed
 
-let record_abort t = t.aborted <- t.aborted + 1
-let record_lock_wait t = t.lock_waits <- t.lock_waits + 1
-let record_deadlock_abort t = t.deadlock_aborts <- t.deadlock_aborts + 1
-let record_victim_kill t = t.victim_kills <- t.victim_kills + 1
-let record_budget_exhausted t = t.budget_exhausted <- t.budget_exhausted + 1
+let record_abort t = Obs.Counter.incr t.aborted
+let record_lock_wait t = Obs.Counter.incr t.lock_waits
+let record_deadlock_abort t = Obs.Counter.incr t.deadlock_aborts
+let record_victim_kill t = Obs.Counter.incr t.victim_kills
+let record_budget_exhausted t = Obs.Counter.incr t.budget_exhausted
 
 type summary = {
   committed : int;
@@ -37,7 +53,7 @@ type summary = {
 }
 
 let summarize (t : sample_set) ~window =
-  let n = t.committed in
+  let n = Obs.Counter.value t.committed in
   let sorted = List.sort Int.compare t.durations in
   let arr = Array.of_list sorted in
   let total = Array.fold_left ( + ) 0 arr in
@@ -47,7 +63,7 @@ let summarize (t : sample_set) ~window =
                 (int_of_float (q *. float_of_int (Array.length arr))))
   in
   { committed = n;
-    aborted = t.aborted;
+    aborted = Obs.Counter.value t.aborted;
     window;
     throughput =
       (if window = 0 then 0. else 1000. *. float_of_int n /. float_of_int window);
@@ -56,10 +72,10 @@ let summarize (t : sample_set) ~window =
     p95_response = float_of_int (pick 0.95);
     max_response =
       (if Array.length arr = 0 then 0 else arr.(Array.length arr - 1));
-    lock_waits = t.lock_waits;
-    deadlock_aborts = t.deadlock_aborts;
-    victim_kills = t.victim_kills;
-    budget_exhausted = t.budget_exhausted }
+    lock_waits = Obs.Counter.value t.lock_waits;
+    deadlock_aborts = Obs.Counter.value t.deadlock_aborts;
+    victim_kills = Obs.Counter.value t.victim_kills;
+    budget_exhausted = Obs.Counter.value t.budget_exhausted }
 
 let pp_summary ppf s =
   Format.fprintf ppf

@@ -7,7 +7,13 @@
 
 type sample_set
 
-val create : unit -> sample_set
+val create : ?obs:Nbsc_obs.Obs.Registry.t -> unit -> sample_set
+(** The counters ([sim.committed], [sim.aborted], [sim.lock_waits],
+    [sim.deadlock_aborts], [sim.victim_kills], [sim.budget_exhausted])
+    and the [sim.response_time] histogram are registered in [obs] —
+    pass the database's registry ([Db.obs]) to make the simulation
+    readable through [Db.Observe.snapshot] and [nbsc stats]. A private
+    registry is used when omitted. *)
 
 val record_txn : sample_set -> start:int -> finish:int -> unit
 (** A committed user transaction with its virtual start/finish times. *)

@@ -1,7 +1,7 @@
 open Nbsc_value
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
+module Obs = Nbsc_obs.Obs
 
 type kind =
   | Foj_scenario of { r_rows : int; s_rows : int }
@@ -208,10 +208,15 @@ type client = {
   mutable started : int;  (* when this transaction attempt became ready *)
 }
 
-let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
-    () =
+let run ~kind ~workload ?(costs = default_costs) ?on_db ~background ~duration
+    ~warmup () =
   let db = setup_db kind in
   let mgr = Db.manager db in
+  let now = ref 0 in
+  (* Events are stamped with virtual time, so a fixed seed yields a
+     byte-identical trace run after run. *)
+  Obs.Registry.set_clock (Db.obs db) (fun () -> float_of_int !now);
+  (match on_db with Some f -> f db | None -> ());
   let transform =
     match background with
     | Transformation setup ->
@@ -247,8 +252,7 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
              (split_spec ~assume_consistent))
     | No_background | Transformation _ | Blocking_dump _ -> None
   in
-  let metrics = Metrics.create () in
-  let now = ref 0 in
+  let metrics = Metrics.create ~obs:(Db.obs db) () in
   let credit = ref 0. in
   let tf_busy = ref 0 in
   let retries = ref 0 in
@@ -538,6 +542,11 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
      cadence. *)
   let gov_obs_period = costs.op_cost * 20 in
   let next_gov_obs = ref 0 in
+  let gov_lag =
+    match governor with
+    | Some _ -> Some (Obs.Registry.gauge (Db.obs db) "governor.lag")
+    | None -> None
+  in
   let observe_governor () =
     match governor, transform with
     | Some g, Some (_, t) when !now >= !next_gov_obs ->
@@ -545,7 +554,11 @@ let run ~kind ~workload ?(costs = default_costs) ~background ~duration ~warmup
       (match Transform.phase t with
        | Transform.Populating | Transform.Propagating | Transform.Checking
        | Transform.Quiescing | Transform.Draining ->
-         Governor.observe_lag g ~lag:(Transform.progress t).Transform.lag
+         let lag = (Transform.progress t).Transform.lag in
+         (match gov_lag with
+          | Some gauge -> Obs.Gauge.set gauge (float_of_int lag)
+          | None -> ());
+         Governor.observe_lag g ~lag
        | Transform.Done | Transform.Failed _ -> ())
     | _ -> ()
   in

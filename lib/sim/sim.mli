@@ -98,11 +98,17 @@ type result = {
 }
 
 val run :
-  kind:kind -> workload:workload -> ?costs:costs -> background:background ->
+  kind:kind -> workload:workload -> ?costs:costs ->
+  ?on_db:(Nbsc_core.Db.t -> unit) -> background:background ->
   duration:int -> warmup:int -> unit -> result
 (** One simulation run; pair a [No_background] run with any other of
     the same seed and divide ({!Metrics.relative}). Measurement covers
-    [warmup..duration]. *)
+    [warmup..duration].
+
+    [on_db] is called with the freshly built database before any
+    background work starts — attach trace sinks or probes to [Db.obs]
+    there. The registry's clock is set to the simulation's virtual
+    time, so with a fixed seed the emitted trace is deterministic. *)
 
 val clients_for_workload :
   ?think_time:int -> ?ops_per_txn:int -> ?costs:costs -> float -> int

@@ -1,13 +1,14 @@
 open Nbsc_value
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
+
+module Sc = Db.Schema_change
 
 type session = {
   sdb : Db.t;
   mutable txn : Manager.txn_id option;
-  mutable tfs : Transform.t list;  (* in start order *)
+  mutable tfs : Sc.handle list;  (* in start order *)
 }
 
 let create sdb = { sdb; txn = None; tfs = [] }
@@ -260,8 +261,8 @@ let exec_select s ~projection ~table ~where =
 
 (* {1 Transformations} *)
 
-let is_live tf =
-  match Transform.phase tf with
+let is_live h =
+  match (Sc.status h).Sc.sc_phase with
   | Transform.Done | Transform.Failed _ -> false
   | _ -> true
 
@@ -271,31 +272,33 @@ let live_tfs s = List.filter is_live s.tfs
    footprints are disjoint — two schema changes fighting over a table
    would race on routing and lock transfer. *)
 let guard_overlap s ~tables =
-  let clash tf =
+  let clash h =
+    let tf = Sc.transform h in
     let mine = Transform.sources tf @ Transform.targets tf in
     List.exists (fun t -> List.mem t mine) tables
   in
   match List.find_opt clash (live_tfs s) with
-  | Some tf ->
+  | Some h ->
     errf "tables overlap with running transformation %s; RUN or ABORT it first"
-      (Transform.job_name tf)
+      (Sc.status h).Sc.sc_job
   | None -> Ok ()
 
-let start_tf s ~tables make =
+let start_tf s ~tables spec =
   let* () = guard_overlap s ~tables in
-  match make () with
-  | tf ->
-    s.tfs <- s.tfs @ [ tf ];
+  match Sc.start s.sdb spec with
+  | Ok h ->
+    s.tfs <- s.tfs @ [ h ];
     Ok
       (Message
-         (Transform.job_name tf
+         ((Sc.status h).Sc.sc_job
           ^ " started; TRANSFORM STEP/RUN/STATUS/ABORT"))
-  | exception Invalid_argument m -> Error m
+  | Error e -> Error (Nbsc_error.to_string e)
 
-let tf_status tf =
-  Format.asprintf "%s: %a (new transactions -> %s)" (Transform.job_name tf)
-    Transform.pp_progress (Transform.progress tf)
-    (match Transform.routing tf with
+let tf_status h =
+  let i = Sc.status h in
+  Format.asprintf "%s: %a (new transactions -> %s)" i.Sc.sc_job
+    Transform.pp_progress i.Sc.sc_progress
+    (match i.Sc.sc_routing with
      | `Sources -> "old schema"
      | `Targets -> "new schema")
 
@@ -337,7 +340,7 @@ let exec_tf_control s = function
     (match live_tfs s with
      | [] -> errf "no transformation to abort"
      | live ->
-       List.iter Transform.abort live;
+       List.iter Sc.cancel live;
        s.tfs <- List.filter (fun tf -> not (List.memq tf live)) s.tfs;
        Ok
          (Message
@@ -405,8 +408,8 @@ let exec s (stmt : Ast.statement) =
   | Ast.Transform_join
       { r; s = s_tbl; target; join_r; join_s; carry_r; carry_s; many_to_many }
     ->
-    start_tf s ~tables:[ r; s_tbl; target ] (fun () ->
-        Transform.foj s.sdb
+    start_tf s ~tables:[ r; s_tbl; target ]
+      (Spec.Foj
           { Spec.r_table = r;
             s_table = s_tbl;
             t_table = target;
@@ -418,8 +421,8 @@ let exec s (stmt : Ast.statement) =
             many_to_many })
   | Ast.Transform_split
       { source; r_target; r_cols; s_target; s_cols; split_on; checked } ->
-    start_tf s ~tables:[ source; r_target; s_target ] (fun () ->
-        Transform.split s.sdb
+    start_tf s ~tables:[ source; r_target; s_target ]
+      (Spec.Split
           { Spec.t_table' = source;
             r_table' = r_target;
             s_table' = s_target;
@@ -428,15 +431,15 @@ let exec s (stmt : Ast.statement) =
             split_key = split_on;
             assume_consistent = not checked })
   | Ast.Transform_archive { source; match_target; rest_target; where } ->
-    start_tf s ~tables:[ source; match_target; rest_target ] (fun () ->
-        Transform.hsplit s.sdb
+    start_tf s ~tables:[ source; match_target; rest_target ]
+      (Spec.Hsplit
           { Spec.h_source = source;
             h_true_table = match_target;
             h_false_table = rest_target;
             h_pred = where })
   | Ast.Transform_merge { sources; target } ->
-    start_tf s ~tables:(target :: sources) (fun () ->
-        Transform.merge s.sdb { Spec.m_sources = sources; m_target = target })
+    start_tf s ~tables:(target :: sources)
+      (Spec.Merge { Spec.m_sources = sources; m_target = target })
   | Ast.Transform_status -> exec_tf_control s `Status
   | Ast.Transform_step n -> exec_tf_control s (`Step n)
   | Ast.Transform_run -> exec_tf_control s `Run

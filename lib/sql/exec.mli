@@ -10,7 +10,6 @@
     {!Nbsc_txn.Manager} directly. *)
 
 open Nbsc_value
-open Nbsc_engine
 open Nbsc_core
 
 type session
@@ -18,8 +17,8 @@ type session
 val create : Db.t -> session
 val db : session -> Db.t
 
-val transformations : session -> Transform.t list
-(** The transformations started by TRANSFORM statements (including
+val transformations : session -> Db.Schema_change.handle list
+(** The schema changes started by TRANSFORM statements (including
     completed ones), in start order. *)
 
 type outcome =

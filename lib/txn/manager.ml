@@ -2,6 +2,8 @@ open Nbsc_value
 open Nbsc_wal
 open Nbsc_lock
 open Nbsc_storage
+module Obs = Nbsc_obs.Obs
+module Json = Nbsc_obs.Json
 
 type txn_id = Log_record.txn_id
 
@@ -45,34 +47,49 @@ type t = {
       list;
   mutable post_op_hook :
     (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option;
-  mutable n_ops : int;
-  mutable n_commits : int;
-  mutable n_aborts : int;
-  mutable n_blocked : int;
-  mutable n_deadlocks : int;
-  mutable n_victims : int;
+  obs : Obs.Registry.t;
+  n_ops : Obs.Counter.t;
+  n_commits : Obs.Counter.t;
+  n_aborts : Obs.Counter.t;
+  n_blocked : Obs.Counter.t;
+  n_deadlocks : Obs.Counter.t;
+  n_victims : Obs.Counter.t;
 }
 
-let create ?log catalog =
-  { log = (match log with Some l -> l | None -> Log.create ());
-    locks = Lock_table.create ();
-    latches = Latch.create ();
-    catalog;
-    txns = Hashtbl.create 256;
-    wait_graph = Wait_graph.create ();
-    victims = Hashtbl.create 16;
-    fairness = true;
-    next_id = 1;
-    frozen = [];
-    extra_lock_hooks = [];
-    post_op_hook = None;
-    n_ops = 0;
-    n_commits = 0;
-    n_aborts = 0;
-    n_blocked = 0;
-    n_deadlocks = 0;
-    n_victims = 0 }
+let create ?log ?obs catalog =
+  let obs = match obs with Some r -> r | None -> Obs.Registry.create () in
+  let t =
+    { log = (match log with Some l -> l | None -> Log.create ());
+      locks = Lock_table.create ();
+      latches = Latch.create ();
+      catalog;
+      txns = Hashtbl.create 256;
+      wait_graph = Wait_graph.create ~obs ();
+      victims = Hashtbl.create 16;
+      fairness = true;
+      next_id = 1;
+      frozen = [];
+      extra_lock_hooks = [];
+      post_op_hook = None;
+      obs;
+      n_ops = Obs.Registry.counter obs "txn.ops";
+      n_commits = Obs.Registry.counter obs "txn.commits";
+      n_aborts = Obs.Registry.counter obs "txn.aborts";
+      n_blocked = Obs.Registry.counter obs "txn.blocked";
+      n_deadlocks = Obs.Registry.counter obs "txn.deadlocks";
+      n_victims = Obs.Registry.counter obs "txn.victims" }
+  in
+  (* Active-transaction count is derived, so it is a probe, not a
+     write-through counter. *)
+  Obs.Registry.probe obs "txn.active" (fun () ->
+      float_of_int
+        (Hashtbl.fold
+           (fun _ txn acc ->
+              if txn.txn_status = Active then acc + 1 else acc)
+           t.txns 0));
+  t
 
+let obs t = t.obs
 let log t = t.log
 let locks t = t.locks
 let latches t = t.latches
@@ -242,7 +259,9 @@ let abort t txn_id =
     else begin
       rollback t txn;
       finish t txn Aborted;
-      t.n_aborts <- t.n_aborts + 1;
+      Obs.Counter.incr t.n_aborts;
+      if Obs.Registry.tracing t.obs then
+        Obs.point t.obs "txn.abort" [ ("txn", Json.Int txn_id) ];
       Ok ()
     end
 
@@ -283,21 +302,33 @@ let rec take_lock t txn_id ~table ~key mode =
     Wait_graph.on_granted t.wait_graph ~owner:txn_id;
     Ok ()
   | Lock_table.Blocked owners ->
-    t.n_blocked <- t.n_blocked + 1;
+    Obs.Counter.incr t.n_blocked;
+    if Obs.Registry.tracing t.obs then
+      Obs.point t.obs "lock.wait"
+        [ ("txn", Json.Int txn_id);
+          ("table", Json.String table);
+          ("blockers", Json.List (List.map (fun o -> Json.Int o) owners)) ];
     (match
        Wait_graph.block t.wait_graph ~waiter:txn_id ~requests ~blockers:owners
      with
      | Wait_graph.Wait -> Error (`Blocked owners)
      | Wait_graph.Die cycle ->
-       t.n_deadlocks <- t.n_deadlocks + 1;
+       Obs.Counter.incr t.n_deadlocks;
        Hashtbl.replace t.victims txn_id ();
        mark_abort_only t txn_id;
+       if Obs.Registry.tracing t.obs then
+         Obs.point t.obs "txn.deadlock"
+           [ ("txn", Json.Int txn_id);
+             ("cycle", Json.List (List.map (fun o -> Json.Int o) cycle)) ];
        Error (`Deadlock cycle)
      | Wait_graph.Wound victim ->
        (match abort t victim with
         | Ok () ->
-          t.n_victims <- t.n_victims + 1;
+          Obs.Counter.incr t.n_victims;
           Hashtbl.replace t.victims victim ();
+          if Obs.Registry.tracing t.obs then
+            Obs.point t.obs "txn.wound"
+              [ ("txn", Json.Int txn_id); ("victim", Json.Int victim) ];
           take_lock t txn_id ~table ~key mode
         | Error _ ->
           (* A blocker we cannot roll back — not an active transaction,
@@ -331,7 +362,7 @@ let insert t ~txn:txn_id ~table:table_name row =
     (match Table.insert table ~lsn row with
      | Ok () -> ()
      | Error `Duplicate_key -> assert false);
-    t.n_ops <- t.n_ops + 1;
+    Obs.Counter.incr t.n_ops;
     fire_post_op t ~txn:txn_id ~lsn op;
     Ok ()
   end
@@ -355,7 +386,7 @@ let update t ~txn:txn_id ~table:table_name ~key changes =
       (match Table.update table ~lsn ~key changes with
        | Ok _ -> ()
        | Error `Not_found -> assert false);
-      t.n_ops <- t.n_ops + 1;
+      Obs.Counter.incr t.n_ops;
       fire_post_op t ~txn:txn_id ~lsn op;
       Ok ()
 
@@ -373,7 +404,7 @@ let delete t ~txn:txn_id ~table:table_name ~key =
     (match Table.delete table ~key with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
-    t.n_ops <- t.n_ops + 1;
+    Obs.Counter.incr t.n_ops;
     fire_post_op t ~txn:txn_id ~lsn op;
     Ok ()
 
@@ -405,7 +436,9 @@ let commit t txn_id =
       in
       txn.last_lsn <- lsn;
       finish t txn Committed;
-      t.n_commits <- t.n_commits + 1;
+      Obs.Counter.incr t.n_commits;
+      if Obs.Registry.tracing t.obs then
+        Obs.point t.obs "txn.commit" [ ("txn", Json.Int txn_id) ];
       Ok ()
     end
 
@@ -421,12 +454,12 @@ module Stats = struct
   }
 
   let get t =
-    { ops = t.n_ops;
-      commits = t.n_commits;
-      aborts = t.n_aborts;
-      blocked = t.n_blocked;
-      deadlocks = t.n_deadlocks;
-      victims = t.n_victims;
+    { ops = Obs.Counter.value t.n_ops;
+      commits = Obs.Counter.value t.n_commits;
+      aborts = Obs.Counter.value t.n_aborts;
+      blocked = Obs.Counter.value t.n_blocked;
+      deadlocks = Obs.Counter.value t.n_deadlocks;
+      victims = Obs.Counter.value t.n_victims;
       lock_waits = (Wait_graph.stats t.wait_graph).Wait_graph.waits }
 end
 

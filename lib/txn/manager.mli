@@ -59,7 +59,17 @@ type error =
   | `Abort_only               (** transaction must roll back *)
   | `Key_update ]             (** update touches a primary-key column *)
 
-val create : ?log:Log.t -> Catalog.t -> t
+val create : ?log:Log.t -> ?obs:Nbsc_obs.Obs.Registry.t -> Catalog.t -> t
+(** All manager counters ([txn.ops], [txn.commits], [txn.aborts],
+    [txn.blocked], [txn.deadlocks], [txn.victims], the [txn.active]
+    probe, and the wait graph's [lock.*] set) register in [obs] when
+    given, or in a private registry otherwise. With a trace sink
+    attached, the manager also emits [lock.wait], [txn.deadlock],
+    [txn.wound], [txn.commit] and [txn.abort] points. *)
+
+val obs : t -> Nbsc_obs.Obs.Registry.t
+(** The registry the manager's instruments live in. *)
+
 val log : t -> Log.t
 val locks : t -> Lock_table.t
 val latches : t -> Latch.t

@@ -3,7 +3,6 @@
 open Nbsc_value
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 
 let col = Schema.column

@@ -218,7 +218,7 @@ let run_attempt op dir ~attempt ~current_p =
   let catalog = Db.catalog db in
   if not (List.for_all (Catalog.mem catalog) op.op_sources) then op.setup p;
   (match Transform.resume ~config:cfg p with
-   | Error m -> Alcotest.failf "%s: resume: %s" op.op_name m
+   | Error e -> Alcotest.failf "%s: resume: %s" op.op_name (Nbsc_error.to_string e)
    | Ok [] ->
      (* Nothing pending: either the transformation never made it into
         the durable state (restart it) or it completed and was
@@ -358,7 +358,7 @@ let test_resume_skips_population () =
   let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
   let db2 = Persist.db p2 in
   (match Transform.resume ~config:cfg p2 with
-   | Error m -> Alcotest.fail m
+   | Error e -> Alcotest.fail (Nbsc_error.to_string e)
    | Ok [ tf2 ] ->
      Alcotest.(check bool) "resumed in propagation or later" true
        (match Transform.phase tf2 with
@@ -427,7 +427,7 @@ let test_populating_crash_restarts () =
   (* User data survived the crash exactly. *)
   H.check_relations_equal "T recovered" committed_t (Db.snapshot db2 "T");
   (match Transform.resume ~config:cfg p2 with
-   | Error m -> Alcotest.fail m
+   | Error e -> Alcotest.fail (Nbsc_error.to_string e)
    | Ok [ tf2 ] ->
      (* Restarted, not resumed: population runs again from scratch. *)
      Alcotest.(check bool) "restarted in population" true

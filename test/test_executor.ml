@@ -8,7 +8,6 @@ open Nbsc_value
 open Nbsc_wal
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 module H = Helpers
 
@@ -286,8 +285,10 @@ let test_sql_concurrent_transforms () =
   Alcotest.(check int) "u archived" 1 (count "u_old");
   Alcotest.(check int) "u live" 1 (count "u_new");
   List.iter
-    (fun tf ->
-       Alcotest.(check bool) "done" true (Transform.phase tf = Transform.Done))
+    (fun h ->
+       Alcotest.(check bool) "done" true
+         ((Db.Schema_change.status h).Db.Schema_change.sc_phase
+          = Transform.Done))
     (Nbsc_sql.Exec.transformations s)
 
 let () =

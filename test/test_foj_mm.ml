@@ -6,7 +6,6 @@ open Nbsc_value
 open Nbsc_wal
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 module LR = Log_record
 

@@ -3,7 +3,6 @@
 
 open Nbsc_value
 open Nbsc_txn
-open Nbsc_engine
 open Nbsc_core
 module H = Helpers
 
