@@ -3,9 +3,12 @@
    the synchronization-window measurement, the method-comparison
    ablation, and Bechamel micro-benchmarks of the substrate.
 
-   Usage: main.exe [target ...] [--trace FILE]
+   Usage: main.exe [target ...] [--trace FILE] [--out FILE]
      targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
-              ablate deadlock micro trace all quick
+              ablate deadlock wal micro trace all quick
+   The wal target measures the segmented log (append throughput under
+   truncation, bounded-memory soak) and writes its JSON to [--out]
+   when given.
    No arguments = "all" (paper-scale; several minutes). Adding "quick"
    runs the selected harnesses at reduced scale. [--trace FILE] runs
    the traced fixed-seed scenario, writes every trace event to FILE
@@ -325,6 +328,108 @@ let trace_bench ~quick ~out =
   say "per-phase timings (JSON):";
   say "%s" (Json.to_string (Experiment.phases_to_json tr.Experiment.tr_phases))
 
+(* {1 WAL bounded-memory benchmark} *)
+
+let wal_bench ~quick ~out =
+  header "WAL segmented log: append throughput and bounded memory";
+  let module Log = Nbsc_wal.Log in
+  let module Lsn = Nbsc_wal.Lsn in
+  (* Raw path: sustained appends with periodic low-water truncation,
+     the access pattern the Manager produces. The live window is held
+     at [keep] records; the interesting numbers are appends/s (segment
+     bookkeeping must not tax the hot path) and the live high-water
+     mark (must track the window, not the total volume). *)
+  let total = if quick then 200_000 else 2_000_000 in
+  let keep = 8_192 in
+  let log = Log.create ~segment_size:1024 () in
+  let body =
+    Nbsc_wal.Log_record.Op
+      (Nbsc_wal.Log_record.Insert
+         { table = "t"; row = Row.make [ Value.Int 1; Value.Text "payload" ] })
+  in
+  let t0 = Sys.time () in
+  for i = 1 to total do
+    ignore (Log.append log ~txn:1 ~prev_lsn:Lsn.zero body);
+    if i mod keep = 0 then Log.truncate_to log (Lsn.of_int (i - keep + 1))
+  done;
+  let dt = Sys.time () -. t0 in
+  let appends_per_s = if dt > 0. then float_of_int total /. dt else 0. in
+  say "raw: %d appends in %.3fs (%.0f appends/s)" total dt appends_per_s;
+  say "raw: live high-water %d records (window %d), %d segments live, %d reclaimed"
+    (Log.live_high_water log) keep (Log.segments log) (Log.truncated_total log);
+  (* End-to-end: the sim soak under a never-synchronizing schema change
+     plus sustained traffic, at 1x and 2x duration. Bounded memory
+     means the high-water mark does not follow the duration. *)
+  let soak duration =
+    let config =
+      { Transform.scan_batch = 16;
+        propagate_batch = 32;
+        analysis = Analysis.Remaining_records 8;
+        strategy = Transform.Nonblocking_abort;
+        drop_sources = false;
+        sync_gate = (fun () -> false);
+        pace = None }
+    in
+    let workload =
+      { Sim.n_clients = 8;
+        think_time = 500;
+        ops_per_txn = 10;
+        source_share = 0.2;
+        seed = 11 }
+    in
+    Sim.run
+      ~kind:(Sim.Split_scenario { t_rows = 500; assume_consistent = true })
+      ~workload
+      ~background:(Sim.Transformation { Sim.priority = 0.05; config })
+      ~duration ~warmup:10_000 ()
+  in
+  let base_duration = if quick then 150_000 else 600_000 in
+  let short = soak base_duration in
+  let long = soak (2 * base_duration) in
+  let pp_run tag d (r : Sim.result) =
+    say "soak %s (duration %d): high-water %d live records, %d reclaimed, %d committed"
+      tag d r.Sim.wal_high_water r.Sim.wal_truncated
+      r.Sim.summary.Metrics.committed
+  in
+  pp_run "1x" base_duration short;
+  pp_run "2x" (2 * base_duration) long;
+  say "flat across durations: %s"
+    (if long.Sim.wal_high_water <= 2 * short.Sim.wal_high_water then "yes"
+     else "NO - GROWS WITH RUN LENGTH");
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "wal");
+        ("quick", Json.Bool quick);
+        ( "raw",
+          Json.Obj
+            [ ("appends", Json.Int total);
+              ("keep_window", Json.Int keep);
+              ("seconds", Json.Float dt);
+              ("appends_per_s", Json.Float appends_per_s);
+              ("live_high_water", Json.Int (Log.live_high_water log));
+              ("segments_live", Json.Int (Log.segments log));
+              ("records_reclaimed", Json.Int (Log.truncated_total log)) ] );
+        ( "soak",
+          Json.List
+            (List.map
+               (fun (d, (r : Sim.result)) ->
+                  Json.Obj
+                    [ ("duration", Json.Int d);
+                      ("wal_high_water", Json.Int r.Sim.wal_high_water);
+                      ("wal_truncated", Json.Int r.Sim.wal_truncated);
+                      ( "committed",
+                        Json.Int r.Sim.summary.Metrics.committed ) ])
+               [ (base_duration, short); (2 * base_duration, long) ]) ) ]
+  in
+  (match out with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     say "results written to %s" path
+   | None -> say "%s" (Json.to_string json))
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -439,6 +544,15 @@ let () =
     in
     go [] args
   in
+  (* Peel off [--out FILE] (used by the wal target for its JSON). *)
+  let json_out, args =
+    let rec go acc = function
+      | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
   let args = if trace_out <> None then "trace" :: args else args in
   let quick = List.mem "quick" args in
   let setup =
@@ -466,6 +580,7 @@ let () =
   if wants "methods" then methods sync_setup;
   if wants "ablate" then ablate sync_setup;
   if wants "deadlock" then deadlock_bench quick;
+  if wants "wal" then wal_bench ~quick ~out:json_out;
   if List.mem "trace" targets then trace_bench ~quick ~out:trace_out;
   if wants "micro" then micro ();
   say "";

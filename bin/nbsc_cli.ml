@@ -349,6 +349,12 @@ let run_log rows =
    | Error m -> failwith m);
   Nbsc_wal.Log.iter (Db.log db) (fun r ->
       say "%a" Nbsc_wal.Log_record.pp r);
+  let log = Db.log db in
+  say "-- wal: base %a, head %a, %d live records in %d segments, %d truncated"
+    Nbsc_wal.Lsn.pp (Nbsc_wal.Log.base log) Nbsc_wal.Lsn.pp
+    (Nbsc_wal.Log.head log) (Nbsc_wal.Log.length log)
+    (Nbsc_wal.Log.segments log)
+    (Nbsc_wal.Log.truncated_total log);
   `Ok ()
 
 let log_cmd =

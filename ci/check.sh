@@ -29,9 +29,22 @@ NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
 # events). Guards the observability wire format end to end.
 echo "== trace output validation (fixed seed) =="
 trace_out=$(mktemp /tmp/nbsc_trace.XXXXXX.jsonl)
-trap 'rm -f "$trace_out"' EXIT
+wal_out=$(mktemp /tmp/nbsc_bench_wal.XXXXXX.json)
+trap 'rm -f "$trace_out" "$wal_out"' EXIT
 dune exec bin/nbsc_cli.exe -- trace --seed 42 --out "$trace_out" --validate
 test -s "$trace_out"
+
+# The bounded-memory WAL soak: a fixed-seed simulation with a
+# never-synchronizing schema change plus sustained traffic must keep
+# the live log's high-water mark under the bound and independent of
+# run length (test/test_sim.ml, group "soak").
+echo "== wal soak (bounded log memory, fixed seed) =="
+dune exec test/test_sim.exe -- test soak
+
+# Smoke the wal bench end to end and check it produces valid JSON.
+echo "== bench wal smoke =="
+dune exec bench/main.exe -- wal quick --out "$wal_out" >/dev/null
+test -s "$wal_out"
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="

@@ -57,6 +57,8 @@ let table t = t.name
 let drop t =
   if not t.dropped then begin
     t.dropped <- true;
+    Population.close t.pop;
+    Propagator.close t.prop;
     if Catalog.mem (Db.catalog t.db) t.name then
       Catalog.drop (Db.catalog t.db) t.name
   end

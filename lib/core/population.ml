@@ -17,16 +17,21 @@ type t = {
   c : counters;
   step_fn : limit:int -> bool;
   finished_fn : unit -> bool;
+  close_fn : unit -> unit;
 }
 
-let make ~step ~finished =
+let make ?(close = fun () -> ()) ~step ~finished () =
   let c = { scanned = 0; produced = 0 } in
-  { c; step_fn = (fun ~limit -> step c ~limit); finished_fn = finished }
+  { c;
+    step_fn = (fun ~limit -> step c ~limit);
+    finished_fn = finished;
+    close_fn = close }
 
 let step t ~limit = t.step_fn ~limit
 let finished t = t.finished_fn ()
 let scanned t = t.c.scanned
 let produced t = t.c.produced
+let close t = t.close_fn ()
 
 (* {2 FOJ: hash S, stream R, emit unmatched S leftovers} *)
 
@@ -67,7 +72,10 @@ let foj f ~r_tbl ~s_tbl =
            in
            Row.Key.Tbl.replace s_hash j (entry :: existing))
         batch;
-      if Table.Fuzzy_cursor.finished s_cursor then fphase := Scan_r;
+      if Table.Fuzzy_cursor.finished s_cursor then begin
+        Table.Fuzzy_cursor.close s_cursor;
+        fphase := Scan_r
+      end;
       false
     | Scan_r ->
       let batch = Table.Fuzzy_cursor.next_batch r_cursor ~limit in
@@ -98,6 +106,7 @@ let foj f ~r_tbl ~s_tbl =
                entries)
         batch;
       if Table.Fuzzy_cursor.finished r_cursor then begin
+        Table.Fuzzy_cursor.close r_cursor;
         let leftovers =
           Row.Key.Tbl.fold (fun _ entries acc -> entries @ acc) s_hash []
           |> List.filter (fun (_, matched) -> not !matched)
@@ -112,9 +121,11 @@ let foj f ~r_tbl ~s_tbl =
           match rest with
           | [] -> []
           | (srow, _) :: rest ->
+            (* These S rows were already counted when [Scan_s] read
+               them; emitting a leftover scans nothing new (the sim
+               bills scan cost per [scanned] increment). *)
             let row, bits = C.t_row_of_sources l ~r:None ~s:(Some srow) in
             put_initial c ~presence:bits row;
-            c.scanned <- c.scanned + 1;
             emit (n + 1) rest
       in
       (match emit 0 remaining with
@@ -126,7 +137,12 @@ let foj f ~r_tbl ~s_tbl =
          false)
     | F_done -> true
   in
-  make ~step ~finished:(fun () -> !fphase = F_done)
+  make ~step
+    ~finished:(fun () -> !fphase = F_done)
+    ~close:(fun () ->
+        Table.Fuzzy_cursor.close s_cursor;
+        Table.Fuzzy_cursor.close r_cursor)
+    ()
 
 (* {2 Split: stream T into R parts and reference-counted S parts} *)
 
@@ -144,13 +160,17 @@ let split sp ~t_tbl =
            c.produced <- c.produced + 1)
         batch;
       if Table.Fuzzy_cursor.finished t_cursor then begin
+        Table.Fuzzy_cursor.close t_cursor;
         s_done := true;
         true
       end
       else false
     end
   in
-  make ~step ~finished:(fun () -> !s_done)
+  make ~step
+    ~finished:(fun () -> !s_done)
+    ~close:(fun () -> Table.Fuzzy_cursor.close t_cursor)
+    ()
 
 (* {2 Generic sequential scans (hsplit, merge, materialized views)} *)
 
@@ -167,9 +187,15 @@ let scan_many tables ~ingest =
            ingest record;
            c.produced <- c.produced + 1)
         batch;
-      if Table.Fuzzy_cursor.finished cursor then cursors := rest;
+      if Table.Fuzzy_cursor.finished cursor then begin
+        Table.Fuzzy_cursor.close cursor;
+        cursors := rest
+      end;
       !cursors = []
   in
-  make ~step ~finished:(fun () -> !cursors = [])
+  make ~step
+    ~finished:(fun () -> !cursors = [])
+    ~close:(fun () -> List.iter Table.Fuzzy_cursor.close !cursors)
+    ()
 
 let scan_one table ~ingest = scan_many [ table ] ~ingest

@@ -21,10 +21,15 @@ type counters = {
   mutable produced : int;
 }
 
-val make : step:(counters -> limit:int -> bool) -> finished:(unit -> bool) -> t
+val make :
+  ?close:(unit -> unit) ->
+  step:(counters -> limit:int -> bool) -> finished:(unit -> bool) -> unit -> t
 (** Build a population from a bounded stepper: [step counters ~limit]
     does up to [limit] records of work, bumps the counters, and returns
-    true when done. This is the extension point a custom
+    true when done. [close] (default a no-op) releases whatever scan
+    resources the stepper holds — the built-in constructors use it to
+    close their fuzzy cursors, which unblocks arrival-array compaction
+    on the source tables. This is the extension point a custom
     {!Transformation.S} implementation uses; the constructors below are
     the paper's operators expressed through it. *)
 
@@ -47,3 +52,9 @@ val scanned : t -> int
 
 val produced : t -> int
 (** Target rows written so far. *)
+
+val close : t -> unit
+(** Release the population's scan resources (idempotent — the built-in
+    steppers close each cursor as its scan completes, and cursor close
+    is itself idempotent). Call when tearing a population down before
+    it finishes. *)

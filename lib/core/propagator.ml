@@ -19,6 +19,11 @@ type t = {
   mgr : Manager.t;
   rules : rules;
   cursor : Log.Cursor.t;
+  (* Registered with the manager's WAL-retention machinery: the log
+     must keep every record from our cursor position up, or resuming
+     the catch-up would raise [Log.Truncated]. Dropped by [close]. *)
+  pin : Manager.pin;
+  mutable closed : bool;
   (* Source-table name -> position in [rules.sources], and the target
      set — precomputed because [handle_op] consults them for every log
      record on the redo path. *)
@@ -45,15 +50,25 @@ let create ?(skip = []) mgr rules ~from =
   List.iter (fun tgt -> Hashtbl.replace target_set tgt ()) rules.targets;
   let skip_set = Hashtbl.create 8 in
   List.iter (fun txn -> Hashtbl.replace skip_set txn ()) skip;
+  let cursor = Log.Cursor.make (Manager.log mgr) ~from in
+  let pin = Manager.pin_wal mgr (fun () -> Log.Cursor.position cursor) in
   { mgr;
     rules;
-    cursor = Log.Cursor.make (Manager.log mgr) ~from;
+    cursor;
+    pin;
+    closed = false;
     source_index;
     target_set;
     skip_set;
     processed = 0;
     transferred = 0;
     lock_mapper = None }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Manager.unpin_wal t.mgr t.pin
+  end
 
 let provenance_of t table = Hashtbl.find_opt t.source_index table
 
@@ -72,11 +87,16 @@ let transfer_locks t ~owner ~source touched =
   match provenance_of t source with
   | None -> ()
   | Some i ->
+    let locks = Manager.locks t.mgr in
     let lock = { Compat.mode = Compat.X; provenance = Compat.Source i } in
     List.iter
       (fun (table, key) ->
-         t.transferred <- t.transferred + 1;
-         Lock_table.transfer (Manager.locks t.mgr) ~owner ~table ~key lock)
+         (* Transfers are upserts; only count the ones that actually
+            add coverage, or re-propagating a record (resume, repeated
+            transfer) inflates the metric. *)
+         if not (Lock_table.holds locks ~owner ~table ~key lock) then
+           t.transferred <- t.transferred + 1;
+         Lock_table.transfer locks ~owner ~table ~key lock)
       touched
 
 let is_transferred_on_target t ~table (lock : Compat.lock) =
@@ -150,17 +170,26 @@ let transfer_current_source_locks t =
   | None -> invalid_arg "Propagator: no lock mapper installed"
   | Some mapper ->
     let locks = Manager.locks t.mgr in
-    List.iteri
-      (fun i source ->
-         List.iter
-           (fun (key, owner, (lock : Compat.lock)) ->
-              if Manager.is_active t.mgr owner then
-                List.iter
-                  (fun (table, tkey) ->
-                     t.transferred <- t.transferred + 1;
-                     Lock_table.transfer locks ~owner ~table ~key:tkey
-                       { Compat.mode = lock.Compat.mode;
-                         provenance = Compat.Source i })
-                  (mapper ~table:source ~key))
-           (Lock_table.locked_resources locks ~table:source))
-      t.rules.sources
+    (* One pass over the grants table for all sources at once;
+       per-source [locked_resources] would rescan every granted lock
+       once per source table. *)
+    List.iter
+      (fun (source, key, owner, (lock : Compat.lock)) ->
+         match Hashtbl.find_opt t.source_index source with
+         | None -> ()
+         | Some i ->
+           if Manager.is_active t.mgr owner then
+             List.iter
+               (fun (table, tkey) ->
+                  let target_lock =
+                    { Compat.mode = lock.Compat.mode;
+                      provenance = Compat.Source i }
+                  in
+                  if not
+                       (Lock_table.holds locks ~owner ~table ~key:tkey
+                          target_lock)
+                  then t.transferred <- t.transferred + 1;
+                  Lock_table.transfer locks ~owner ~table ~key:tkey
+                    target_lock)
+               (mapper ~table:source ~key))
+      (Lock_table.locked_resources_in locks ~tables:t.rules.sources)

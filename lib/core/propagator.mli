@@ -50,7 +50,21 @@ val create :
     entirely. Crash recovery rolls losers back {e without logging} the
     compensation, so a propagator resumed over a retained log suffix
     must not apply their operations (no Abort record will ever undo the
-    effect on the targets). *)
+    effect on the targets).
+
+    The cursor is pinned in the manager's WAL-retention registry so log
+    truncation never reclaims records the propagator has yet to read;
+    call {!close} when the propagator is done or abandoned, or the pin
+    keeps the log suffix alive forever.
+
+    @raise Nbsc_wal.Log.Truncated if [from] is at or below the log's
+    base — the saved position refers to records already truncated, so
+    the catch-up cannot resume from it (restart the population from
+    scratch instead of silently replaying the wrong suffix). *)
+
+val close : t -> unit
+(** Unpin the cursor from the manager's WAL-retention registry
+    (idempotent). The propagator must not be stepped afterwards. *)
 
 val step : t -> limit:int -> int
 (** Process up to [limit] log records; returns how many were consumed. *)

@@ -250,13 +250,10 @@ let dual_lock_hook t ~txn:_ ~table ~key ~mode =
 
 let active_txns_on_sources t =
   let locks = Manager.locks t.mgr in
-  List.concat_map
-    (fun src ->
-       List.filter_map
-         (fun (_, owner, _) ->
-            if Manager.is_active t.mgr owner then Some owner else None)
-         (Lock_table.locked_resources locks ~table:src))
-    t.src
+  List.filter_map
+    (fun (_, _, owner, _) ->
+       if Manager.is_active t.mgr owner then Some owner else None)
+    (Lock_table.locked_resources_in locks ~tables:t.src)
   |> List.sort_uniq Int.compare
 
 let latch_sources t =
@@ -313,6 +310,7 @@ let finalize t =
            Catalog.drop (Db.catalog t.db) src)
       t.src;
   t.hooks.Transformation.on_done ();
+  Propagator.close t.prop;
   remove_probes t;
   (* No [Job_done] here: the targets' final writes are unlogged, so
      completion only becomes durable at the next checkpoint (which
@@ -674,6 +672,8 @@ let abort t =
            Catalog.drop (Db.catalog t.db) tgt)
       t.tgt;
     write_job_done t;
+    Population.close t.pop;
+    Propagator.close t.prop;
     Db.unregister_job t.db ~name:t.job_name;
     remove_probes t;
     t.tphase <- Failed "aborted by request";

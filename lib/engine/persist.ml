@@ -111,6 +111,7 @@ let create_dir ~dir =
     in
     let t = { dir; pdb; out; report = None; closed = false } in
     attach_sink t;
+    Nbsc_txn.Manager.set_durable_floor (Db.manager pdb) (Log.base (Db.log pdb));
     Ok t
 
 let open_dir ~dir =
@@ -153,12 +154,22 @@ let open_dir ~dir =
   in
   let t = { dir; pdb; out; report; closed = false } in
   attach_sink t;
+  (* Everything below the retained WAL's first record is durable in the
+     snapshot; the retained suffix itself must stay in memory until the
+     jobs it carries are resumed (their propagators then pin their own
+     positions) and a new checkpoint advances the floor. *)
+  Nbsc_txn.Manager.set_durable_floor (Db.manager pdb) (Log.base log);
   Ok t
 
 let db t = t.pdb
 
 let checkpoint t =
   let log = Db.log t.pdb in
+  (* The snapshot's coverage point: everything at or below this LSN is
+     reflected in the snapshot once it publishes (the [Job_state]
+     records appended below land above it). Becomes the manager's new
+     durable floor for in-memory truncation. *)
+  let snap_head = Log.head log in
   let persists =
     List.map (fun (name, thunk) -> (name, thunk ())) (Db.job_persists t.pdb)
   in
@@ -214,6 +225,13 @@ let checkpoint t =
     in
     t.out <- out;
     attach_sink t;
+    (* Mirror the on-disk trim in memory: with the snapshot durable,
+       records at or below its head are only needed by whoever pinned
+       them (active transactions cannot exist here — [Snapshot.save]
+       refuses them — but propagators can). *)
+    let mgr = Db.manager t.pdb in
+    Nbsc_txn.Manager.set_durable_floor mgr snap_head;
+    ignore (Nbsc_txn.Manager.truncate_wal mgr);
     Ok ()
 
 let crash t =

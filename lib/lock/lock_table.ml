@@ -156,4 +156,17 @@ let locked_resources t ~table =
        else acc)
     t.grants []
 
+let locked_resources_in t ~tables =
+  let wanted = Hashtbl.create (List.length tables) in
+  List.iter (fun table -> Hashtbl.replace wanted table ()) tables;
+  Rtbl.fold
+    (fun res grants acc ->
+       if Hashtbl.mem wanted res.Resource.table then
+         List.fold_left
+           (fun acc (o, l) ->
+              (res.Resource.table, res.Resource.key, o, l) :: acc)
+           acc grants
+       else acc)
+    t.grants []
+
 let count t = Rtbl.fold (fun _ grants acc -> acc + List.length grants) t.grants 0

@@ -66,5 +66,12 @@ val locks_of_owner : t -> owner:owner -> (string * Row.Key.t * Compat.lock) list
 val locked_resources : t -> table:string -> (Row.Key.t * owner * Compat.lock) list
 (** Every granted lock on [table] (for tests and for lock transfer). *)
 
+val locked_resources_in :
+  t -> tables:string list -> (string * Row.Key.t * owner * Compat.lock) list
+(** Every granted lock on any of [tables], gathered in a single pass
+    over the grants table — callers with several tables of interest
+    (lock transfer across a transformation's sources) must not pay one
+    full fold per table. *)
+
 val count : t -> int
 (** Total granted locks (for metrics). *)

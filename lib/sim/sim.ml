@@ -47,6 +47,8 @@ type result = {
   retries : int;
   mgr_stats : Manager.Stats.counters;
   wall_clock_final_ns : int option;
+  wal_high_water : int;
+  wal_truncated : int;
 }
 
 let clients_for_workload ?(think_time = 21_000) ?(ops_per_txn = 10)
@@ -636,4 +638,6 @@ let run ~kind ~workload ?(costs = default_costs) ?on_db ~background ~duration
     tf_busy = !tf_busy;
     retries = !retries;
     mgr_stats = Manager.Stats.get mgr;
-    wall_clock_final_ns = !wall_final }
+    wall_clock_final_ns = !wall_final;
+    wal_high_water = Nbsc_wal.Log.live_high_water (Db.log db);
+    wal_truncated = Nbsc_wal.Log.truncated_total (Db.log db) }

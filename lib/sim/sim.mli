@@ -95,6 +95,12 @@ type result = {
   wall_clock_final_ns : int option;
       (** wall-clock nanoseconds spent inside the final latched
           propagation, when one happened — the paper's "< 1 ms" claim *)
+  wal_high_water : int;
+      (** maximum live (untruncated) in-memory WAL records at any point
+          of the run — the bounded-memory claim is that this stays flat
+          as run length grows *)
+  wal_truncated : int;
+      (** log records reclaimed by low-water truncation over the run *)
 }
 
 val run :

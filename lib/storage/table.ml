@@ -7,10 +7,14 @@ type t = {
   heap : Record.t Row.Key.Tbl.t;
   mutable indexes : Index.t list;
   mutable ordered : Ordered_index.t list;
-  (* Append-only arrival order of keys; the fuzzy cursor walks this like
-     a page scan. Deleted keys become stale entries that lookups skip. *)
+  (* Arrival order of keys; the fuzzy cursor walks this like a page
+     scan. Deleted keys become stale entries that lookups skip, and
+     delete+reinsert appends the key again — both reclaimed by
+     [maybe_compact] once the stale fraction passes 1/2, but only while
+     no fuzzy cursor is live (cursor positions index into this array). *)
   mutable arrival : Row.Key.t array;
   mutable arrival_len : int;
+  mutable live_cursors : int;
 }
 
 let create ?(indexes = []) ~name schema =
@@ -23,7 +27,8 @@ let create ?(indexes = []) ~name schema =
     indexes = List.map mk indexes;
     ordered = [];
     arrival = Array.make 1024 [||];
-    arrival_len = 0 }
+    arrival_len = 0;
+    live_cursors = 0 }
 
 let name t = t.name
 let schema t = t.schema
@@ -32,7 +37,39 @@ let key_of_row t row = Row.Key.of_row row (Schema.key_positions t.schema)
 let find t key = Row.Key.Tbl.find_opt t.heap key
 let mem t key = Row.Key.Tbl.mem t.heap key
 
+let arrival_length t = t.arrival_len
+
+(* Rewrite [arrival] keeping the first occurrence of every key still in
+   the heap, in order. Only called with no live cursor, so no position
+   can dangle. The array shrinks back toward the live count (churn must
+   not leave a table holding its high-water arrival forever). *)
+let compact_arrival t =
+  let live = Row.Key.Tbl.length t.heap in
+  let cap = ref 1024 in
+  while !cap < live do cap := !cap * 2 done;
+  let fresh = Array.make !cap [||] in
+  let kept = Row.Key.Tbl.create (max 16 live) in
+  let n = ref 0 in
+  for i = 0 to t.arrival_len - 1 do
+    let key = t.arrival.(i) in
+    if Row.Key.Tbl.mem t.heap key && not (Row.Key.Tbl.mem kept key) then begin
+      Row.Key.Tbl.replace kept key ();
+      fresh.(!n) <- key;
+      incr n
+    end
+  done;
+  t.arrival <- fresh;
+  t.arrival_len <- !n
+
+let maybe_compact t =
+  if
+    t.live_cursors = 0
+    && t.arrival_len >= 64
+    && t.arrival_len > 2 * Row.Key.Tbl.length t.heap
+  then compact_arrival t
+
 let push_arrival t key =
+  maybe_compact t;
   if t.arrival_len >= Array.length t.arrival then begin
     let bigger = Array.make (Array.length t.arrival * 2) [||] in
     Array.blit t.arrival 0 bigger 0 t.arrival_len;
@@ -102,6 +139,7 @@ let delete t ~key =
   | Some record ->
     Row.Key.Tbl.remove t.heap key;
     index_remove t key record.Record.row;
+    maybe_compact t;
     Ok record
 
 let index_definitions t =
@@ -185,10 +223,19 @@ module Fuzzy_cursor = struct
     mutable pos : int;
     seen : unit Row.Key.Tbl.t;
     mutable scanned : int;
+    mutable live : bool;
   }
 
   let make table =
-    { table; pos = 0; seen = Row.Key.Tbl.create 1024; scanned = 0 }
+    table.live_cursors <- table.live_cursors + 1;
+    { table; pos = 0; seen = Row.Key.Tbl.create 1024; scanned = 0;
+      live = true }
+
+  let close c =
+    if c.live then begin
+      c.live <- false;
+      c.table.live_cursors <- c.table.live_cursors - 1
+    end
 
   let next_batch c ~limit =
     let batch = ref [] in

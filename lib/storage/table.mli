@@ -89,12 +89,20 @@ val to_rows : t -> Row.t list
 val max_lsn : t -> Lsn.t
 (** Highest record LSN in the table ([Lsn.zero] when empty). *)
 
+val arrival_length : t -> int
+(** Length of the arrival-order scan array, stale entries included.
+    Kept within a constant factor of {!cardinality} under churn by
+    opportunistic compaction, which runs only while no fuzzy cursor is
+    live — an unclosed cursor blocks reclamation. *)
+
 (** Lock-free incremental scan. *)
 module Fuzzy_cursor : sig
   type table = t
   type t
 
   val make : table -> t
+  (** Also marks the table as having a live cursor, which suspends
+      arrival-array compaction until {!close}. *)
 
   val next_batch : t -> limit:int -> Record.t list
   (** Up to [limit] more records. Records inserted after the cursor's
@@ -103,4 +111,9 @@ module Fuzzy_cursor : sig
 
   val finished : t -> bool
   val scanned : t -> int
+
+  val close : t -> unit
+  (** Release the cursor (idempotent). Every cursor must be closed when
+      its scan ends or is abandoned, or the table can never compact its
+      arrival array. The cursor must not be used afterwards. *)
 end

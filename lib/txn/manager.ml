@@ -29,12 +29,24 @@ type txn = {
   mutable abort_only : bool;
 }
 
+type pin = int
+
+(* Check the low-water mark only every this many live records: a
+   truncation pass walks actives and pins, so doing it per commit
+   would put an O(active) scan on the hot path for nothing. *)
+let truncate_check_interval = 4 * 1024
+
 type t = {
   log : Log.t;
   locks : Lock_table.t;
   latches : Latch.t;
   catalog : Catalog.t;
   txns : (txn_id, txn) Hashtbl.t;  (* all transactions ever, by id *)
+  actives : (txn_id, txn) Hashtbl.t;  (* the Active subset of txns *)
+  pins : (pin, unit -> Lsn.t) Hashtbl.t;  (* registered cursor positions *)
+  mutable next_pin : pin;
+  mutable durable_floor : Lsn.t option;  (* last durable checkpoint LSN *)
+  mutable truncate_after : int;  (* re-check low water at this length *)
   wait_graph : Wait_graph.t;
   victims : (txn_id, unit) Hashtbl.t;  (* sentenced by deadlock handling *)
   mutable fairness : bool;
@@ -54,6 +66,7 @@ type t = {
   n_blocked : Obs.Counter.t;
   n_deadlocks : Obs.Counter.t;
   n_victims : Obs.Counter.t;
+  g_low_water : Obs.Gauge.t;
 }
 
 let create ?log ?obs catalog =
@@ -64,6 +77,11 @@ let create ?log ?obs catalog =
       latches = Latch.create ();
       catalog;
       txns = Hashtbl.create 256;
+      actives = Hashtbl.create 64;
+      pins = Hashtbl.create 8;
+      next_pin = 1;
+      durable_floor = None;
+      truncate_after = truncate_check_interval;
       wait_graph = Wait_graph.create ~obs ();
       victims = Hashtbl.create 16;
       fairness = true;
@@ -77,16 +95,19 @@ let create ?log ?obs catalog =
       n_aborts = Obs.Registry.counter obs "txn.aborts";
       n_blocked = Obs.Registry.counter obs "txn.blocked";
       n_deadlocks = Obs.Registry.counter obs "txn.deadlocks";
-      n_victims = Obs.Registry.counter obs "txn.victims" }
+      n_victims = Obs.Registry.counter obs "txn.victims";
+      g_low_water = Obs.Registry.gauge obs "wal.low_water" }
   in
-  (* Active-transaction count is derived, so it is a probe, not a
-     write-through counter. *)
+  (* Active-transaction count and the WAL shape are derived, so they
+     are probes, not write-through counters. *)
   Obs.Registry.probe obs "txn.active" (fun () ->
-      float_of_int
-        (Hashtbl.fold
-           (fun _ txn acc ->
-              if txn.txn_status = Active then acc + 1 else acc)
-           t.txns 0));
+      float_of_int (Hashtbl.length t.actives));
+  Obs.Registry.probe obs "wal.records" (fun () ->
+      float_of_int (Log.length t.log));
+  Obs.Registry.probe obs "wal.segments" (fun () ->
+      float_of_int (Log.segments t.log));
+  Obs.Registry.probe obs "wal.truncated_total" (fun () ->
+      float_of_int (Log.truncated_total t.log));
   t
 
 let obs t = t.obs
@@ -111,9 +132,12 @@ let begin_txn t =
   let id = t.next_id in
   t.next_id <- id + 1;
   let lsn = Log.append t.log ~txn:id ~prev_lsn:Lsn.zero Log_record.Begin in
-  Hashtbl.replace t.txns id
+  let txn =
     { id; txn_status = Active; first_lsn = lsn; last_lsn = lsn;
-      abort_only = false };
+      abort_only = false }
+  in
+  Hashtbl.replace t.txns id txn;
+  Hashtbl.replace t.actives id txn;
   id
 
 let find_txn t id =
@@ -133,12 +157,51 @@ let is_active t id =
 
 let active_snapshot t =
   Hashtbl.fold
-    (fun id txn acc ->
-       if txn.txn_status = Active then (id, txn.first_lsn) :: acc else acc)
-    t.txns []
+    (fun id txn acc -> (id, txn.first_lsn) :: acc)
+    t.actives []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let active_count t = List.length (active_snapshot t)
+let active_count t = Hashtbl.length t.actives
+
+(* {2 WAL retention}
+
+   Who may still need an old log record: an active transaction's undo
+   chain (rollback walks back to its first LSN), a registered cursor (a
+   propagator catching a new table up — registered via [pin_wal] so the
+   low-water computation sees it), and crash recovery (everything above
+   the last durable checkpoint). Everything below the minimum of those
+   is reclaimable; [truncate_wal] executes the cut and the commit/abort
+   path re-checks it every [truncate_check_interval] live records. *)
+
+let pin_wal t position =
+  let id = t.next_pin in
+  t.next_pin <- id + 1;
+  Hashtbl.replace t.pins id position;
+  id
+
+let unpin_wal t pin = Hashtbl.remove t.pins pin
+
+let set_durable_floor t lsn = t.durable_floor <- Some lsn
+
+let wal_low_water t =
+  let low = ref (Lsn.next (Log.head t.log)) in
+  let note l = if Lsn.(l < !low) then low := l in
+  Hashtbl.iter (fun _ txn -> note txn.first_lsn) t.actives;
+  Hashtbl.iter (fun _ position -> note (position ())) t.pins;
+  (match t.durable_floor with
+   | Some durable -> note (Lsn.next durable)
+   | None -> ());
+  !low
+
+let truncate_wal t =
+  let low = wal_low_water t in
+  Log.truncate_to t.log low;
+  Obs.Gauge.set t.g_low_water (float_of_int (Lsn.to_int low));
+  t.truncate_after <- Log.length t.log + truncate_check_interval;
+  low
+
+let maybe_truncate t =
+  if Log.length t.log >= t.truncate_after then ignore (truncate_wal t)
 
 let mark_abort_only t id =
   match find_txn t id with
@@ -196,6 +259,7 @@ let check_access t txn_id ~table =
 
 let finish t txn final_status =
   txn.txn_status <- final_status;
+  Hashtbl.remove t.actives txn.id;
   Wait_graph.remove_txn t.wait_graph ~owner:txn.id;
   Lock_table.release_owner t.locks ~owner:txn.id
 
@@ -259,6 +323,7 @@ let abort t txn_id =
     else begin
       rollback t txn;
       finish t txn Aborted;
+      maybe_truncate t;
       Obs.Counter.incr t.n_aborts;
       if Obs.Registry.tracing t.obs then
         Obs.point t.obs "txn.abort" [ ("txn", Json.Int txn_id) ];
@@ -436,6 +501,7 @@ let commit t txn_id =
       in
       txn.last_lsn <- lsn;
       finish t txn Committed;
+      maybe_truncate t;
       Obs.Counter.incr t.n_commits;
       if Obs.Registry.tracing t.obs then
         Obs.point t.obs "txn.commit" [ ("txn", Json.Int txn_id) ];

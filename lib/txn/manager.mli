@@ -61,9 +61,10 @@ type error =
 
 val create : ?log:Log.t -> ?obs:Nbsc_obs.Obs.Registry.t -> Catalog.t -> t
 (** All manager counters ([txn.ops], [txn.commits], [txn.aborts],
-    [txn.blocked], [txn.deadlocks], [txn.victims], the [txn.active]
-    probe, and the wait graph's [lock.*] set) register in [obs] when
-    given, or in a private registry otherwise. With a trace sink
+    [txn.blocked], [txn.deadlocks], [txn.victims], the [txn.active],
+    [wal.records], [wal.segments] and [wal.truncated_total] probes, the
+    [wal.low_water] gauge, and the wait graph's [lock.*] set) register
+    in [obs] when given, or in a private registry otherwise. With a trace sink
     attached, the manager also emits [lock.wait], [txn.deadlock],
     [txn.wound], [txn.commit] and [txn.abort] points. *)
 
@@ -108,6 +109,45 @@ val active_snapshot : t -> (txn_id * Lsn.t) list
     payload of a fuzzy mark (paper, Sec. 3.2). *)
 
 val active_count : t -> int
+
+(** {2 WAL retention}
+
+    The in-memory log is kept bounded by truncating everything no one
+    can still reach. Three constituencies hold references into the log:
+    active transactions (rollback walks the undo chain back to the
+    transaction's first LSN), long-lived cursors (a propagator catching
+    a new table up from the recovery log — these must register via
+    {!pin_wal}), and crash recovery (the suffix above the last durable
+    checkpoint, {!set_durable_floor}). {!wal_low_water} is the minimum
+    over all three; {!truncate_wal} cuts the log there. The manager
+    re-checks automatically on the commit/abort path every few thousand
+    live records, and {!Nbsc_engine.Persist} calls {!truncate_wal}
+    after each checkpoint. An unregistered cursor gets no protection:
+    its next access below the cut raises {!Log.Truncated}. *)
+
+type pin
+
+val pin_wal : t -> (unit -> Lsn.t) -> pin
+(** Register a position callback (typically [Log.Cursor.position] of a
+    live cursor). Records at or above the reported LSN survive
+    truncation for as long as the pin is registered. *)
+
+val unpin_wal : t -> pin -> unit
+(** Drop a pin (idempotent). *)
+
+val set_durable_floor : t -> Lsn.t -> unit
+(** Records at or below [lsn] are durable on disk (snapshot +
+    checkpoint) and not needed for crash recovery. Without a durable
+    floor the log is treated as expendable history: an in-memory
+    database keeps only what actives and pins require. *)
+
+val wal_low_water : t -> Lsn.t
+(** The first LSN that must be retained; [Lsn.next (Log.head log)]
+    when nothing constrains truncation. *)
+
+val truncate_wal : t -> Lsn.t
+(** Truncate the log to {!wal_low_water} (freeing whole segments),
+    update the [wal.low_water] gauge, and return the mark. *)
 
 val insert : t -> txn:txn_id -> table:string -> Row.t -> (unit, error) result
 val update : t -> txn:txn_id -> table:string -> key:Row.Key.t ->

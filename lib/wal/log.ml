@@ -1,65 +1,120 @@
-(* Records live in a growable array; the record with LSN l sits at
-   index l-1, so access by LSN is O(1) and cursors are just integers.
-   Slots are options only because OCaml arrays need a fill value; every
-   slot below [len] is [Some _]. *)
+(* Records live in a chain of fixed-size segments keyed by segment
+   number, so append never copies history and truncation frees whole
+   segments at once. The record with LSN l sits in segment (l-1)/size
+   at slot (l-1) mod size; access by LSN stays O(1) and cursors are
+   just absolute LSNs. Slots are options only because OCaml arrays
+   need a fill value; every live slot in (base, head] is [Some _]. *)
+
+exception Truncated of Lsn.t
+
+let () =
+  Printexc.register_printer (function
+    | Truncated lsn ->
+      Some (Printf.sprintf "Log.Truncated(lsn %s)" (Lsn.to_string lsn))
+    | _ -> None)
 
 type t = {
-  mutable records : Log_record.t option array;
-  mutable len : int;
-  base : int;
+  seg_size : int;
+  segs : (int, Log_record.t option array) Hashtbl.t;
+  mutable base : int;  (* LSNs <= base have been truncated away *)
+  mutable head : int;  (* LSN of the most recent record *)
+  mutable truncated : int;  (* total records freed over the log's life *)
+  mutable high_water : int;  (* max live records ever held at once *)
   mutable sink : (Log_record.t -> unit) option;
 }
 
-let create ?(base = Lsn.zero) () =
-  { records = Array.make 1024 None; len = 0; base = Lsn.to_int base;
+let default_segment_size = 1024
+
+let create ?(base = Lsn.zero) ?(segment_size = default_segment_size) () =
+  if segment_size <= 0 then invalid_arg "Log.create: segment_size";
+  { seg_size = segment_size;
+    segs = Hashtbl.create 16;
+    base = Lsn.to_int base;
+    head = Lsn.to_int base;
+    truncated = 0;
+    high_water = 0;
     sink = None }
 
 let set_sink t sink = t.sink <- sink
 
 let base t = Lsn.of_int t.base
+let head t = Lsn.of_int t.head
+let length t = t.head - t.base
+let segments t = Hashtbl.length t.segs
+let truncated_total t = t.truncated
+let live_high_water t = t.high_water
 
-let grow t =
-  let cap = Array.length t.records in
-  if t.len >= cap then begin
-    let bigger = Array.make (cap * 2) None in
-    Array.blit t.records 0 bigger 0 t.len;
-    t.records <- bigger
-  end
+let seg_no t lsn = (lsn - 1) / t.seg_size
+let slot_no t lsn = (lsn - 1) mod t.seg_size
 
-let slot t i =
-  match t.records.(i) with
-  | Some r -> r
+let slot t lsn =
+  match Hashtbl.find_opt t.segs (seg_no t lsn) with
   | None -> assert false
+  | Some arr ->
+    (match arr.(slot_no t lsn) with Some r -> r | None -> assert false)
 
 let append t ~txn ~prev_lsn body =
-  let lsn = Lsn.of_int (t.base + t.len + 1) in
-  let record = { Log_record.lsn; txn; prev_lsn; body } in
-  grow t;
-  t.records.(t.len) <- Some record;
-  t.len <- t.len + 1;
+  let l = t.head + 1 in
+  let record = { Log_record.lsn = Lsn.of_int l; txn; prev_lsn; body } in
+  let sn = seg_no t l in
+  let arr =
+    match Hashtbl.find_opt t.segs sn with
+    | Some arr -> arr
+    | None ->
+      let arr = Array.make t.seg_size None in
+      Hashtbl.replace t.segs sn arr;
+      arr
+  in
+  arr.(slot_no t l) <- Some record;
+  t.head <- l;
+  if t.head - t.base > t.high_water then t.high_water <- t.head - t.base;
   (match t.sink with Some f -> f record | None -> ());
-  lsn
-
-let head t = Lsn.of_int (t.base + t.len)
-let length t = t.len
+  Lsn.of_int l
 
 let get t lsn =
-  let i = Lsn.to_int lsn - t.base - 1 in
-  if i < 0 || i >= t.len then raise Not_found;
-  slot t i
+  let l = Lsn.to_int lsn in
+  if l <= t.base then raise (Truncated lsn);
+  if l > t.head then raise Not_found;
+  slot t l
+
+let truncate_to t lsn =
+  (* Keep every record with LSN >= lsn; never truncate backwards and
+     never past the head. *)
+  let nb = min (max t.base (Lsn.to_int lsn - 1)) t.head in
+  if nb > t.base then begin
+    t.truncated <- t.truncated + (nb - t.base);
+    t.base <- nb;
+    Hashtbl.filter_map_inplace
+      (fun sn arr ->
+         let seg_last = (sn + 1) * t.seg_size in
+         if seg_last <= t.base then None
+         else begin
+           (* The segment straddling the new base survives whole, but
+              its dead slots drop their record references. *)
+           let seg_first = (sn * t.seg_size) + 1 in
+           for l = seg_first to min t.base seg_last do
+             arr.((l - 1) mod t.seg_size) <- None
+           done;
+           Some arr
+         end)
+      t.segs
+  end
 
 let fold t ?from ?upto ~init ~f =
   let lo =
-    match from with Some l -> max 0 (Lsn.to_int l - t.base - 1) | None -> 0
+    match from with
+    | None -> t.base + 1
+    | Some l ->
+      let l = Lsn.to_int l in
+      if l <= t.base then raise (Truncated (Lsn.of_int l));
+      l
   in
   let hi =
-    match upto with
-    | Some l -> min t.len (Lsn.to_int l - t.base)
-    | None -> t.len
+    match upto with Some l -> min t.head (Lsn.to_int l) | None -> t.head
   in
   let acc = ref init in
-  for i = lo to hi - 1 do
-    acc := f !acc (slot t i)
+  for l = lo to hi do
+    acc := f !acc (slot t l)
   done;
   !acc
 
@@ -70,22 +125,31 @@ module Cursor = struct
 
   type t = {
     log : log;
-    mutable pos : int;  (* index of next record to return *)
+    mutable next_lsn : int;  (* LSN of the next record to return *)
   }
 
-  let make log ~from = { log; pos = max 0 (Lsn.to_int from - log.base - 1) }
+  let make log ~from =
+    let l = Lsn.to_int from in
+    if l <= log.base then raise (Truncated from);
+    { log; next_lsn = l }
 
   let next c =
-    if c.pos >= c.log.len then None
+    if c.next_lsn <= c.log.base then
+      raise (Truncated (Lsn.of_int c.next_lsn));
+    if c.next_lsn > c.log.head then None
     else begin
-      let r = slot c.log c.pos in
-      c.pos <- c.pos + 1;
+      let r = slot c.log c.next_lsn in
+      c.next_lsn <- c.next_lsn + 1;
       Some r
     end
 
-  let peek c = if c.pos >= c.log.len then None else Some (slot c.log c.pos)
-  let position c = Lsn.of_int (c.log.base + c.pos + 1)
-  let lag c = c.log.len - c.pos
+  let peek c =
+    if c.next_lsn <= c.log.base then
+      raise (Truncated (Lsn.of_int c.next_lsn));
+    if c.next_lsn > c.log.head then None else Some (slot c.log c.next_lsn)
+
+  let position c = Lsn.of_int c.next_lsn
+  let lag c = max 0 (c.log.head - c.next_lsn + 1)
 end
 
 let to_lines t =

@@ -5,17 +5,34 @@
     with serialization order — Theorem 1). The buffer assigns LSNs,
     supports random access by LSN and forward cursors, and can be
     serialized/replayed, which is what makes the transformation and
-    recovery "log only". *)
+    recovery "log only".
+
+    Storage is a chain of fixed-size segments: append is O(1) and never
+    copies history, and {!truncate_to} frees whole segments below a
+    low-water mark so the in-memory log stays bounded while the engine
+    runs (who may still need a record — active transactions' undo
+    chains, live propagator cursors, the durability floor — is the
+    {!Nbsc_txn.Manager}'s business; the log only executes the cut). *)
+
+exception Truncated of Lsn.t
+(** Raised on any access to an LSN at or below {!base}: the record was
+    freed by {!truncate_to} and silently substituting a later record
+    would be a correctness bug (a propagator resuming below the cut
+    must fail loudly, not replay from the wrong position). *)
 
 type t
 
-val create : ?base:Lsn.t -> unit -> t
+val create : ?base:Lsn.t -> ?segment_size:int -> unit -> t
 (** [base] (default [Lsn.zero]) is the LSN the log starts {e after}: the
     first appended record gets [Lsn.next base]. A database restored
     from a snapshot taken at LSN L continues its log with [~base:L], so
-    record LSNs stay monotonic across the restart. *)
+    record LSNs stay monotonic across the restart. [segment_size]
+    (default 1024) is the records-per-segment granularity of
+    allocation and truncation. *)
 
 val base : t -> Lsn.t
+(** Records with LSN <= [base] are unavailable ({!Truncated}). Grows
+    monotonically under {!truncate_to}. *)
 
 val append : t -> txn:Log_record.txn_id -> prev_lsn:Lsn.t ->
   Log_record.body -> Lsn.t
@@ -27,32 +44,59 @@ val set_sink : t -> (Log_record.t -> unit) option -> unit
     {!Nbsc_engine.Persist}). *)
 
 val head : t -> Lsn.t
-(** LSN of the most recently appended record; [Lsn.zero] when empty. *)
+(** LSN of the most recently appended record; [base] when no live
+    records remain. *)
 
 val length : t -> int
+(** Number of live (non-truncated) records: [head - base]. *)
+
+val truncate_to : t -> Lsn.t -> unit
+(** [truncate_to t lsn] frees every record with LSN < [lsn]; segments
+    wholly below the cut are dropped, and the segment containing [lsn]
+    survives with its dead slots cleared. Truncating backwards or past
+    the head is clamped, never an error — callers pass the computed
+    low-water mark and the log keeps at least the suffix from it. *)
+
+val segments : t -> int
+(** Number of allocated segments. *)
+
+val truncated_total : t -> int
+(** Total records freed by {!truncate_to} over the log's life. *)
+
+val live_high_water : t -> int
+(** Maximum value {!length} ever reached — the bounded-memory claim is
+    about this number staying flat as [head] grows without bound. *)
 
 val get : t -> Lsn.t -> Log_record.t
-(** @raise Not_found if no record has this LSN (out of range). *)
+(** @raise Truncated if the LSN is at or below {!base}.
+    @raise Not_found if the LSN is beyond the head. *)
 
 val fold : t -> ?from:Lsn.t -> ?upto:Lsn.t -> init:'a ->
   f:('a -> Log_record.t -> 'a) -> 'a
 (** Fold over records with [from <= lsn <= upto] in LSN order. [from]
-    defaults to the first record, [upto] to the head. *)
+    defaults to the first live record, [upto] to the head.
+    @raise Truncated if an explicit [from] is at or below {!base}. *)
 
 val iter : t -> ?from:Lsn.t -> ?upto:Lsn.t -> (Log_record.t -> unit) -> unit
 
 (** A forward cursor over the log. Cursors see records appended after
-    their creation (the log propagator keeps one for its whole life). *)
+    their creation (the log propagator keeps one for its whole life).
+    A cursor does {e not} protect its position from {!truncate_to} —
+    register long-lived cursors with [Manager.pin_wal] so the low-water
+    computation keeps their suffix alive; an unpinned cursor that falls
+    below [base] raises {!Truncated} on its next access. *)
 module Cursor : sig
   type log = t
   type t
 
   val make : log -> from:Lsn.t -> t
   (** Positioned so the first [next] returns the record at [from] (or
-      the first record with a larger LSN if none). *)
+      the first record with a larger LSN if none).
+      @raise Truncated if [from] is at or below the log's base. *)
 
   val next : t -> Log_record.t option
-  (** [None] when the cursor has caught up with the head. *)
+  (** [None] when the cursor has caught up with the head.
+      @raise Truncated if the position fell below the log's base. *)
 
   val peek : t -> Log_record.t option
   val position : t -> Lsn.t
@@ -65,10 +109,12 @@ module Cursor : sig
 end
 
 val to_lines : t -> string list
-(** Serialize every record ({!Log_record.encode}), oldest first. *)
+(** Serialize every live record ({!Log_record.encode}), oldest first. *)
 
 val of_lines : string list -> t
-(** Rebuild a log from serialized records.
+(** Rebuild a log from serialized records; the rebuilt base is one
+    below the first line's LSN (a retained suffix reloads with the
+    truncated prefix still unavailable).
     @raise Failure on malformed input, non-contiguous LSNs, or an
     inconsistent back-pointer chain (a [prev_lsn] / CLR [undo_next]
     not strictly behind its record, or an in-range [prev_lsn] that

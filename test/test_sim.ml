@@ -132,6 +132,57 @@ let test_method_comparison_rows () =
   Alcotest.(check bool) "blocking stalled someone" true
     (blocking.Experiment.m_retries > 0)
 
+(* {1 WAL soak}
+
+   The bounded-memory claim (ISSUE: tentpole acceptance): under a
+   long-running schema change plus sustained user traffic, the live
+   in-memory WAL stays flat — its high-water mark is a function of the
+   truncation cadence and the active-transaction window, not of run
+   length. The transformation's sync gate is held shut so the
+   propagator runs (and pins the log) for the whole run. *)
+
+let soak_workload =
+  { Sim.n_clients = 8;
+    think_time = 500;
+    ops_per_txn = 10;
+    source_share = 0.2;
+    seed = 11 }
+
+let soak ~duration =
+  let background =
+    Sim.Transformation { Sim.priority = 0.05; config = tf_config ~gate:false }
+  in
+  Sim.run ~kind:split_kind ~workload:soak_workload ~background ~duration
+    ~warmup:10_000 ()
+
+(* High enough to absorb the truncation cadence (every 4096 live
+   records) plus active-transaction undo chains; far below what an
+   unbounded log accumulates over these durations. *)
+let soak_bound = 16_384
+
+let test_wal_soak_bounded () =
+  let short = soak ~duration:300_000 in
+  let long = soak ~duration:600_000 in
+  Alcotest.(check bool) "truncation ran" true (short.Sim.wal_truncated > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "short run high-water %d <= %d" short.Sim.wal_high_water
+       soak_bound)
+    true
+    (short.Sim.wal_high_water <= soak_bound);
+  Alcotest.(check bool)
+    (Printf.sprintf "long run high-water %d <= %d" long.Sim.wal_high_water
+       soak_bound)
+    true
+    (long.Sim.wal_high_water <= soak_bound);
+  (* Doubling the run must not grow the live log: flat, not linear. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "flat across durations (%d vs %d)" short.Sim.wal_high_water
+       long.Sim.wal_high_water)
+    true
+    (long.Sim.wal_high_water <= 2 * short.Sim.wal_high_water);
+  Alcotest.(check bool) "longer run reclaims more" true
+    (long.Sim.wal_truncated > short.Sim.wal_truncated)
+
 let () =
   Alcotest.run "sim"
     [ ( "engine",
@@ -146,6 +197,9 @@ let () =
             test_zero_priority_never_completes;
           Alcotest.test_case "priority speeds completion" `Quick
             test_higher_priority_faster ] );
+      ( "soak",
+        [ Alcotest.test_case "wal memory bounded" `Quick
+            test_wal_soak_bounded ] );
       ( "experiment",
         [ Alcotest.test_case "clients_for_workload" `Quick
             test_clients_for_workload;

@@ -170,6 +170,73 @@ let test_fuzzy_cursor_concurrent_mutations () =
     (not (List.mem 40 keys));
   Alcotest.(check bool) "new row may appear" true (List.mem 51 keys)
 
+let test_arrival_compaction_under_churn () =
+  let t = mk () in
+  (* Sustained delete+reinsert churn over a fixed working set: without
+     compaction every round appends [n] more arrival entries and the
+     array grows with the churn count, not the cardinality. *)
+  let n = 500 in
+  for i = 1 to n do
+    ignore (Table.insert t ~lsn:(lsn i) (row i "x" i))
+  done;
+  for round = 1 to 40 do
+    for i = 1 to n do
+      ignore (Table.delete t ~key:(key i));
+      ignore (Table.insert t ~lsn:(lsn ((round * n) + i)) (row i "x" i))
+    done
+  done;
+  Alcotest.(check int) "cardinality stable" n (Table.cardinality t);
+  Alcotest.(check bool)
+    (Printf.sprintf "arrival_len %d within 2x cardinality"
+       (Table.arrival_length t))
+    true
+    (Table.arrival_length t <= 2 * n);
+  (* The compacted arrival order still drives a complete fuzzy scan. *)
+  let c = Table.Fuzzy_cursor.make t in
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Table.Fuzzy_cursor.next_batch c ~limit:64 with
+    | [] -> continue := false
+    | b -> seen := !seen + List.length b
+  done;
+  Table.Fuzzy_cursor.close c;
+  Alcotest.(check int) "scan still complete" n !seen
+
+let test_live_cursor_blocks_compaction () =
+  let t = mk () in
+  let n = 200 in
+  for i = 1 to n do
+    ignore (Table.insert t ~lsn:(lsn i) (row i "x" i))
+  done;
+  let c = Table.Fuzzy_cursor.make t in
+  ignore (Table.Fuzzy_cursor.next_batch c ~limit:10);
+  (* Churn while a cursor is live: arrival entries must survive (the
+     cursor's position indexes into the array). *)
+  for round = 1 to 2 do
+    for i = 1 to n do
+      ignore (Table.delete t ~key:(key i));
+      ignore (Table.insert t ~lsn:(lsn ((round * n) + i)) (row i "x" i))
+    done
+  done;
+  Alcotest.(check bool) "no compaction while cursor live" true
+    (Table.arrival_length t > 2 * n);
+  let seen = ref 10 in
+  let continue = ref true in
+  while !continue do
+    match Table.Fuzzy_cursor.next_batch c ~limit:64 with
+    | [] -> continue := false
+    | b -> seen := !seen + List.length b
+  done;
+  Table.Fuzzy_cursor.close c;
+  Table.Fuzzy_cursor.close c;  (* idempotent *)
+  (* With the cursor closed the next mutation compacts. *)
+  ignore (Table.delete t ~key:(key 1));
+  Alcotest.(check bool)
+    (Printf.sprintf "compacted after close (len %d)" (Table.arrival_length t))
+    true
+    (Table.arrival_length t <= 2 * n)
+
 let test_max_lsn_and_rows () =
   let t = mk () in
   ignore (Table.insert t ~lsn:(lsn 5) (row 1 "x" 1));
@@ -256,7 +323,11 @@ let () =
           Alcotest.test_case "update" `Quick test_update;
           Alcotest.test_case "arity checked" `Quick test_arity_checked;
           Alcotest.test_case "set_record" `Quick test_set_record;
-          Alcotest.test_case "max_lsn and rows" `Quick test_max_lsn_and_rows ] );
+          Alcotest.test_case "max_lsn and rows" `Quick test_max_lsn_and_rows;
+          Alcotest.test_case "arrival compaction under churn" `Quick
+            test_arrival_compaction_under_churn;
+          Alcotest.test_case "live cursor blocks compaction" `Quick
+            test_live_cursor_blocks_compaction ] );
       ( "index",
         [ Alcotest.test_case "maintenance" `Quick test_index_maintenance;
           Alcotest.test_case "add_index backfills" `Quick

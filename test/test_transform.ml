@@ -38,6 +38,22 @@ let test_foj_quiet () =
     (List.length (H.foj_oracle db).Nbsc_relalg.Relalg.rows)
     (Db.row_count db "T")
 
+let test_foj_scanned_exact () =
+  (* Regression: the leftover pass (unmatched S rows emitted after the
+     R scan) used to bill each leftover a second time, so [scanned]
+     came out as |R| + |S| + |unmatched S|. Every source record is
+     fuzzy-scanned exactly once: [scanned] must equal |R| + |S|. *)
+  let r = 50 and s = 20 in
+  let r_rows, s_rows = H.seed_rows ~r ~s in
+  (* seed_rows gives R c-values 0..16 and S keys 0..19, so S keys
+     17..19 are unmatched leftovers — the case that double-counted. *)
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let tf = Transform.foj db ~config:(cfg Transform.Nonblocking_abort) H.foj_spec in
+  run_with_interleave tf ~between:(fun () -> ());
+  let p = Transform.progress tf in
+  Alcotest.(check int) "scanned = |R| + |S|" (r + s) p.Transform.scanned;
+  check_foj_converged db
+
 let test_foj_concurrent strategy () =
   let r_rows, s_rows = H.seed_rows ~r:80 ~s:25 in
   let db = H.fresh_foj_db ~r_rows ~s_rows in
@@ -468,12 +484,63 @@ let prop_split_converges =
        Nbsc_relalg.Relalg.equal_as_sets expected_r (Db.snapshot db "R")
        && Nbsc_relalg.Relalg.equal_as_sets expected_s (Db.snapshot db "S"))
 
+(* {1 Lock transfer} *)
+
+let test_transfer_idempotent () =
+  (* Regression: the bulk transfer at non-blocking-commit sync counted
+     every source lock it visited, including locks whose target copies
+     the propagator had already transferred while applying the log.
+     Repeating the transfer must leave [locks_transferred] unchanged. *)
+  let r_rows, s_rows = H.seed_rows ~r:20 ~s:8 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let (module T : Transformation.S) = Transformation.foj db H.foj_spec in
+  while not (Population.finished T.population) do
+    ignore (Population.step T.population ~limit:max_int)
+  done;
+  let prop = Transformation.start_propagator mgr T.rules in
+  Propagator.set_lock_mapper prop (fun ~table ~key ->
+      T.lock_map.Transformation.source_to_targets ~table ~key);
+  (* Two transactions left open, holding write locks on the sources. *)
+  let t1 = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn:t1 ~table:"R" ~key:[| Value.Int 1 |]
+       [ (1, Value.Text "held") ]
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "update R: %a" Manager.pp_error e);
+  let t2 = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn:t2 ~table:"S" ~key:[| Value.Int 0 |]
+       [ (1, Value.Text "held") ]
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "update S: %a" Manager.pp_error e);
+  ignore (Propagator.run_to_head prop);
+  let after_propagation = Propagator.locks_transferred prop in
+  Alcotest.(check bool) "propagation transferred locks" true
+    (after_propagation > 0);
+  Propagator.transfer_current_source_locks prop;
+  let first = Propagator.locks_transferred prop in
+  Propagator.transfer_current_source_locks prop;
+  Propagator.transfer_current_source_locks prop;
+  let repeated = Propagator.locks_transferred prop in
+  Alcotest.(check int) "repeated transfer adds nothing" first repeated;
+  Alcotest.(check int) "already-held locks not recounted"
+    after_propagation first;
+  ignore (Manager.abort mgr t1);
+  ignore (Manager.abort mgr t2);
+  ignore (Propagator.run_to_head prop);
+  Propagator.close prop
+
 (* {1 Wiring} *)
 
 let () =
   Alcotest.run "transform"
     [ ( "foj",
         [ Alcotest.test_case "quiet convergence" `Quick test_foj_quiet;
+          Alcotest.test_case "scanned counts each source record once"
+            `Quick test_foj_scanned_exact;
           Alcotest.test_case "figure 1 example" `Quick test_foj_fig1;
           Alcotest.test_case "concurrent, non-blocking abort" `Quick
             (test_foj_concurrent Transform.Nonblocking_abort);
@@ -504,6 +571,9 @@ let () =
             (test_split_concurrent true Transform.Nonblocking_commit);
           Alcotest.test_case "Example 1 inconsistency repaired" `Quick
             test_split_inconsistency_repaired ] );
+      ( "locks",
+        [ Alcotest.test_case "bulk transfer is idempotent" `Quick
+            test_transfer_idempotent ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_foj_converges; prop_split_converges ] ) ]

@@ -122,6 +122,136 @@ let test_serialization_roundtrip () =
         (Format.asprintf "%a" Log_record.pp r)
         (Format.asprintf "%a" Log_record.pp r'))
 
+(* {2 Segmented storage and truncation} *)
+
+let append_n log n =
+  for i = 1 to n do
+    ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero Log_record.Begin)
+  done
+
+let test_segment_boundaries () =
+  (* Tiny segments so a handful of records crosses several edges. *)
+  let log = Log.create ~segment_size:4 () in
+  append_n log 10;
+  Alcotest.(check int) "segments" 3 (Log.segments log);
+  Alcotest.(check int) "length" 10 (Log.length log);
+  (* get on both sides of the 4|5 and 8|9 edges *)
+  List.iter
+    (fun i ->
+       Alcotest.(check int)
+         (Printf.sprintf "get %d" i)
+         i
+         (Log.get log (Lsn.of_int i)).Log_record.txn)
+    [ 1; 4; 5; 8; 9; 10 ];
+  let all =
+    Log.fold log ?from:None ?upto:None ~init:[] ~f:(fun acc r -> r.Log_record.txn :: acc) |> List.rev
+  in
+  Alcotest.(check (list int)) "fold crosses edges"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] all;
+  let window =
+    Log.fold log ~from:(Lsn.of_int 3) ~upto:(Lsn.of_int 9) ~init:[]
+      ~f:(fun acc r -> r.Log_record.txn :: acc)
+    |> List.rev
+  in
+  Alcotest.(check (list int)) "windowed fold" [ 3; 4; 5; 6; 7; 8; 9 ] window;
+  let seen = ref [] in
+  Log.iter log (fun r -> seen := r.Log_record.txn :: !seen);
+  Alcotest.(check int) "iter sees all" 10 (List.length !seen);
+  let c = Log.Cursor.make log ~from:(Lsn.of_int 3) in
+  let walked = ref [] in
+  let rec go () =
+    match Log.Cursor.next c with
+    | Some r ->
+      walked := r.Log_record.txn :: !walked;
+      go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check (list int)) "cursor crosses edges"
+    [ 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !walked)
+
+let test_truncate_mid_segment () =
+  let log = Log.create ~segment_size:4 () in
+  append_n log 10;
+  (* Keep >= 6: record 6 sits mid-segment (segment 5..8), so that
+     segment survives while 1..4 is freed whole. *)
+  Log.truncate_to log (Lsn.of_int 6);
+  Alcotest.(check int) "base" 5 (Lsn.to_int (Log.base log));
+  Alcotest.(check int) "length" 5 (Log.length log);
+  Alcotest.(check int) "segments after cut" 2 (Log.segments log);
+  Alcotest.(check int) "truncated_total" 5 (Log.truncated_total log);
+  Alcotest.(check int) "kept 6" 6 (Log.get log (Lsn.of_int 6)).Log_record.txn;
+  Alcotest.(check int) "head unchanged" 10 (Lsn.to_int (Log.head log));
+  (* Default fold starts at the first live record now. *)
+  let all =
+    Log.fold log ?from:None ?upto:None ~init:[] ~f:(fun acc r -> r.Log_record.txn :: acc) |> List.rev
+  in
+  Alcotest.(check (list int)) "fold from base" [ 6; 7; 8; 9; 10 ] all;
+  (* Truncating backwards is a clamp, not an error. *)
+  Log.truncate_to log (Lsn.of_int 2);
+  Alcotest.(check int) "no un-truncate" 5 (Lsn.to_int (Log.base log));
+  (* Truncating past the head empties the log but keeps the head. *)
+  Log.truncate_to log (Lsn.of_int 100);
+  Alcotest.(check int) "emptied" 0 (Log.length log);
+  Alcotest.(check int) "head survives" 10 (Lsn.to_int (Log.head log));
+  Alcotest.(check int) "all truncated" 10 (Log.truncated_total log);
+  let l11 = Log.append log ~txn:11 ~prev_lsn:Lsn.zero Log_record.Begin in
+  Alcotest.(check int) "append continues" 11 (Lsn.to_int l11)
+
+let test_truncated_errors () =
+  let log = Log.create ~segment_size:4 () in
+  append_n log 10;
+  let stale = Log.Cursor.make log ~from:(Lsn.of_int 2) in
+  Log.truncate_to log (Lsn.of_int 6);
+  Alcotest.check_raises "get below base" (Log.Truncated (Lsn.of_int 5))
+    (fun () -> ignore (Log.get log (Lsn.of_int 5)));
+  Alcotest.check_raises "cursor below base" (Log.Truncated (Lsn.of_int 5))
+    (fun () -> ignore (Log.Cursor.make log ~from:(Lsn.of_int 5)));
+  Alcotest.(check bool) "cursor at base+1 fine" true
+    (Log.Cursor.make log ~from:(Lsn.of_int 6) |> Log.Cursor.peek
+     |> Option.is_some);
+  (* An unpinned cursor overtaken by truncation must fail loudly, not
+     silently resume from the wrong record. *)
+  Alcotest.check_raises "stale cursor next" (Log.Truncated (Lsn.of_int 2))
+    (fun () -> ignore (Log.Cursor.next stale));
+  Alcotest.check_raises "fold below base" (Log.Truncated (Lsn.of_int 3))
+    (fun () ->
+       Log.fold log ~from:(Lsn.of_int 3) ?upto:None ~init:()
+         ~f:(fun () _ -> ()));
+  Alcotest.check_raises "get at head+1 still Not_found" Not_found (fun () ->
+      ignore (Log.get log (Lsn.of_int 11)))
+
+let test_roundtrip_after_truncate () =
+  let log = Log.create ~segment_size:4 () in
+  append_n log 10;
+  Log.truncate_to log (Lsn.of_int 6);
+  let log' = Log.of_lines (Log.to_lines log) in
+  Alcotest.(check int) "base carried" 5 (Lsn.to_int (Log.base log'));
+  Alcotest.(check int) "length carried" 5 (Log.length log');
+  Alcotest.(check int) "head carried" 10 (Lsn.to_int (Log.head log'));
+  Log.iter log (fun r ->
+      let r' = Log.get log' r.Log_record.lsn in
+      Alcotest.(check string) "same record"
+        (Format.asprintf "%a" Log_record.pp r)
+        (Format.asprintf "%a" Log_record.pp r'));
+  Alcotest.check_raises "prefix stays unavailable"
+    (Log.Truncated (Lsn.of_int 5)) (fun () ->
+      ignore (Log.get log' (Lsn.of_int 5)))
+
+let test_high_water () =
+  let log = Log.create ~segment_size:4 () in
+  append_n log 10;
+  Alcotest.(check int) "high water" 10 (Log.live_high_water log);
+  Log.truncate_to log (Lsn.of_int 9);
+  (* Truncation frees records but the high-water mark remembers. *)
+  Alcotest.(check int) "live now" 2 (Log.length log);
+  Alcotest.(check int) "high water sticks" 10 (Log.live_high_water log);
+  for i = 11 to 14 do
+    ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero Log_record.Begin)
+  done;
+  Alcotest.(check int) "live grew" 6 (Log.length log);
+  Alcotest.(check int) "high water still 10" 10 (Log.live_high_water log)
+
 let test_lsn_ops () =
   let open Lsn in
   Alcotest.(check bool) "zero < first" true (zero < first);
@@ -186,5 +316,13 @@ let () =
           Alcotest.test_case "cursor" `Quick test_cursor;
           Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
           Alcotest.test_case "lsn ops" `Quick test_lsn_ops ] );
+      ( "segments",
+        [ Alcotest.test_case "boundaries" `Quick test_segment_boundaries;
+          Alcotest.test_case "truncate mid-segment" `Quick
+            test_truncate_mid_segment;
+          Alcotest.test_case "truncated errors" `Quick test_truncated_errors;
+          Alcotest.test_case "roundtrip after truncate" `Quick
+            test_roundtrip_after_truncate;
+          Alcotest.test_case "high water" `Quick test_high_water ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_log_serialization ] ) ]
