@@ -1,4 +1,4 @@
-.PHONY: all build test check crash contention fmt clean
+.PHONY: all build test check crash contention bench-engine fmt clean
 
 all: build
 
@@ -22,6 +22,13 @@ crash:
 # strategy, fault-free and with a sync-commit fault, at a fixed seed.
 contention:
 	NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
+
+# Full-scale engine bench: mixed transactional workload under a
+# concurrent FOJ schema change; writes BENCH_engine.json and gates
+# against the committed quick-scale baseline.
+bench-engine:
+	dune exec bench/main.exe -- engine --out BENCH_engine.json \
+		--gate ci/bench_engine_baseline.json
 
 # Reformat in place (requires ocamlformat).
 fmt:

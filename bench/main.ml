@@ -3,12 +3,15 @@
    the synchronization-window measurement, the method-comparison
    ablation, and Bechamel micro-benchmarks of the substrate.
 
-   Usage: main.exe [target ...] [--trace FILE] [--out FILE]
+   Usage: main.exe [target ...] [--trace FILE] [--out FILE] [--gate FILE]
      targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
-              ablate deadlock wal micro trace all quick
+              ablate deadlock wal engine micro trace all quick
    The wal target measures the segmented log (append throughput under
    truncation, bounded-memory soak) and writes its JSON to [--out]
-   when given.
+   when given. The engine target runs the end-to-end mixed workload
+   under a concurrent FOJ change, writes BENCH_engine.json via [--out],
+   gates against a committed baseline via [--gate FILE], and with
+   [--trace FILE] streams its metric events there.
    No arguments = "all" (paper-scale; several minutes). Adding "quick"
    runs the selected harnesses at reduced scale. [--trace FILE] runs
    the traced fixed-seed scenario, writes every trace event to FILE
@@ -430,6 +433,321 @@ let wal_bench ~quick ~out =
      say "results written to %s" path
    | None -> say "%s" (Json.to_string json))
 
+(* {1 End-to-end engine benchmark}
+
+   A full mixed workload against a persisted database: populate an FOJ
+   schema change, build and drain a propagation backlog, then measure
+   transaction throughput while the propagator runs concurrently — the
+   number the hot-path work (structured WAL records, compiled rule
+   plans, group commit) is accountable to. Writes BENCH_engine.json
+   via [--out]; [--gate FILE] compares the fresh throughput against a
+   committed baseline and fails the process on a >20% regression. *)
+
+(* Pre-refactor numbers, measured by this same bench on the code as of
+   the bounded-memory-WAL PR (commit cc244f3, full scale, this
+   machine). Recorded here so every BENCH_engine.json carries both
+   sides of the before/after comparison the refactor is accountable
+   to. *)
+let pre_refactor_baseline =
+  [ ("txn_per_s", 7400.0);
+    ("populate_rows_per_s", 215000.0);
+    ("propagate_records_per_s", 183000.0);
+    ("alloc_words_per_txn", 12524.0) ]
+
+let engine_bench ~quick ~out ~gate ~trace =
+  header "Engine end-to-end: mixed workload under a concurrent FOJ change";
+  let module Db = Nbsc_engine.Db in
+  let module Persist = Nbsc_engine.Persist in
+  let module Manager = Nbsc_txn.Manager in
+  let scale = if quick then 3_000 else 15_000 in
+  let s_count = scale * 2 / 5 in
+  let mixed_txns = if quick then 1_500 else 8_000 in
+  let ops_per_txn = 8 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nbsc_bench_engine.%d" (Unix.getpid ()))
+  in
+  (* A previous run may have died and left the directory behind. *)
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end;
+  let p =
+    match Persist.create_dir ~dir with
+    | Ok p -> p
+    | Error e -> failwith (Nbsc_error.to_string e)
+  in
+  let db = Persist.db p in
+  let mgr = Db.manager db in
+  let obs = Manager.obs mgr in
+  let trace_finish =
+    match trace with
+    | None -> fun () -> ()
+    | Some path ->
+      let oc = open_out path in
+      let sink = Obs.jsonl_sink oc in
+      Obs.Registry.attach obs sink;
+      fun () ->
+        Obs.Registry.detach obs sink;
+        close_out oc;
+        say "metric events written to %s" path
+  in
+  let r_schema =
+    Schema.make ~key:[ "a" ]
+      [ Schema.column ~nullable:false "a" Value.TInt;
+        Schema.column "b" Value.TText; Schema.column "c" Value.TInt ]
+  in
+  let s_schema =
+    Schema.make ~key:[ "c" ]
+      [ Schema.column ~nullable:false "c" Value.TInt;
+        Schema.column "d" Value.TText ]
+  in
+  ignore (Db.create_table db ~name:"R" r_schema);
+  ignore (Db.create_table db ~name:"S" s_schema);
+  let load table rows =
+    match Db.load db ~table rows with
+    | Ok () -> ()
+    | Error e -> failwith (Format.asprintf "load %s: %a" table Manager.pp_error e)
+  in
+  let rec chunked lo hi step f =
+    if lo <= hi then begin
+      f lo (min hi (lo + step - 1));
+      chunked (lo + step) hi step f
+    end
+  in
+  chunked 1 scale 2048 (fun lo hi ->
+      load "R"
+        (List.init (hi - lo + 1) (fun i ->
+             let k = lo + i in
+             Row.make
+               [ Value.Int k; Value.Text ("r" ^ string_of_int k);
+                 Value.Int ((k mod s_count) + 1) ])));
+  chunked 1 s_count 2048 (fun lo hi ->
+      load "S"
+        (List.init (hi - lo + 1) (fun i ->
+             let k = lo + i in
+             Row.make [ Value.Int k; Value.Text ("s" ^ string_of_int k) ])));
+  let spec =
+    { Spec.r_table = "R"; s_table = "S"; t_table = "T";
+      join_r = [ "c" ]; join_s = [ "c" ]; t_join = [ "c" ];
+      r_carry = [ "a"; "b" ]; s_carry = [ "d" ]; many_to_many = false }
+  in
+  let gate_open = ref false in
+  let config =
+    { Transform.default_config with
+      Transform.scan_batch = 512;
+      propagate_batch = 512;
+      analysis = Analysis.Remaining_records 64;
+      drop_sources = false;
+      sync_gate = (fun () -> !gate_open) }
+  in
+  let tf = Transform.foj db ~config spec in
+  let step_tf () =
+    match Transform.step tf with
+    | `Running | `Done -> ()
+    | `Failed m -> failwith ("engine bench: transformation failed: " ^ m)
+  in
+  (* Phase A: initial population, timed in isolation. *)
+  let t0 = Unix.gettimeofday () in
+  while Transform.phase tf = Transform.Populating do
+    step_tf ()
+  done;
+  let populate_s = Unix.gettimeofday () -. t0 in
+  let populated = (Transform.progress tf).Transform.produced in
+  let populate_rate =
+    if populate_s > 0. then float_of_int populated /. populate_s else 0.
+  in
+  say "populate: %d rows in %.3fs (%.0f rows/s)" populated populate_s
+    populate_rate;
+  (* Workload generator shared by phases B and C. Updates dominate,
+     split across the non-join R column, the join column (rekeying
+     rule), and S; a slice of inserts grows R past the initial scan. *)
+  let rng = Random.State.make [| 42 |] in
+  let next_r = ref scale in
+  let errors = ref 0 in
+  let run_txn () =
+    match
+      Db.with_txn db (fun txn ->
+          let rec ops n =
+            if n = 0 then Ok ()
+            else
+              let r =
+                match Random.State.int rng 100 with
+                | d when d < 45 ->
+                  let k = Row.make [ Value.Int (1 + Random.State.int rng scale) ] in
+                  Manager.update mgr ~txn ~table:"R" ~key:k
+                    [ (1, Value.Text ("u" ^ string_of_int n)) ]
+                | d when d < 60 ->
+                  let k = Row.make [ Value.Int (1 + Random.State.int rng scale) ] in
+                  Manager.update mgr ~txn ~table:"R" ~key:k
+                    [ (2, Value.Int (1 + Random.State.int rng s_count)) ]
+                | d when d < 75 ->
+                  let k =
+                    Row.make [ Value.Int (1 + Random.State.int rng s_count) ]
+                  in
+                  Manager.update mgr ~txn ~table:"S" ~key:k
+                    [ (1, Value.Text ("v" ^ string_of_int n)) ]
+                | d when d < 90 ->
+                  incr next_r;
+                  Manager.insert mgr ~txn ~table:"R"
+                    (Row.make
+                       [ Value.Int !next_r;
+                         Value.Text ("r" ^ string_of_int !next_r);
+                         Value.Int (1 + Random.State.int rng s_count) ])
+                | _ ->
+                  let k = Row.make [ Value.Int (1 + Random.State.int rng scale) ] in
+                  (match Manager.read mgr ~txn ~table:"R" ~key:k with
+                   | Ok _ -> Ok ()
+                   | Error e -> Error e)
+              in
+              match r with Ok () -> ops (n - 1) | Error e -> Error e
+          in
+          ops ops_per_txn)
+    with
+    | Ok () -> ()
+    | Error _ -> incr errors
+  in
+  (* Phase B: build a propagation backlog with the job parked, then
+     time draining it — the pure redo-rule application rate. *)
+  let backlog_txns = if quick then 300 else 1_500 in
+  for _ = 1 to backlog_txns do
+    run_txn ()
+  done;
+  let lag0 = (Transform.progress tf).Transform.lag in
+  let before_prop = (Transform.progress tf).Transform.propagated in
+  let t0 = Unix.gettimeofday () in
+  while (Transform.progress tf).Transform.lag > 0 do
+    step_tf ()
+  done;
+  let propagate_s = Unix.gettimeofday () -. t0 in
+  let propagated = (Transform.progress tf).Transform.propagated - before_prop in
+  let propagate_rate =
+    if propagate_s > 0. then float_of_int propagated /. propagate_s else 0.
+  in
+  say "propagate: backlog lag=%d, %d records in %.3fs (%.0f records/s)" lag0
+    propagated propagate_s propagate_rate;
+  (* Phase C: the headline number — mixed workload with the propagator
+     stepped concurrently (one quantum per transaction), persistence
+     attached, allocation measured across the whole phase. *)
+  (* Commits inside a 32-wide batch share one durability barrier; the
+     trailing flush stays inside the timed region so every measured
+     transaction is durable by the end of the phase. *)
+  Manager.set_group_commit mgr 32;
+  let commits0 = (Manager.Stats.get mgr).Manager.Stats.commits in
+  let gc0 = Gc.quick_stat () in
+  let words0 = gc0.Gc.minor_words +. gc0.Gc.major_words -. gc0.Gc.promoted_words in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to mixed_txns do
+    run_txn ();
+    ignore (Db.step_jobs db)
+  done;
+  Manager.flush_commits mgr;
+  let mixed_s = Unix.gettimeofday () -. t0 in
+  Manager.set_group_commit mgr 1;
+  let gc1 = Gc.quick_stat () in
+  let words1 = gc1.Gc.minor_words +. gc1.Gc.major_words -. gc1.Gc.promoted_words in
+  let commits = (Manager.Stats.get mgr).Manager.Stats.commits - commits0 in
+  let txn_per_s = if mixed_s > 0. then float_of_int commits /. mixed_s else 0. in
+  let alloc_words_per_txn =
+    if commits > 0 then (words1 -. words0) /. float_of_int commits else 0.
+  in
+  say "mixed: %d txns (%d ops each) in %.3fs = %.0f txn/s, %.0f alloc words/txn"
+    commits ops_per_txn mixed_s txn_per_s alloc_words_per_txn;
+  if !errors > 0 then say "mixed: %d transactions failed" !errors;
+  List.iter
+    (fun (name, v) ->
+       if String.starts_with ~prefix:"engine." name then
+         say "%-28s %s" name (Format.asprintf "%a" Obs.pp_value v))
+    (Obs.Registry.snapshot obs);
+  (* Phase D: open the gate, drive the change to completion, checkpoint
+     and close — the full lifecycle must still finish under the bench
+     workload. *)
+  gate_open := true;
+  (match Db.run_jobs db with
+   | Ok () -> ()
+   | Error m -> failwith ("engine bench: run to completion: " ^ m));
+  let t_rows = Db.row_count db "T" in
+  say "done: T has %d rows; transformation %s" t_rows
+    (Format.asprintf "%a" Transform.pp_phase (Transform.phase tf));
+  (match Persist.checkpoint p with
+   | Ok () -> ()
+   | Error e -> failwith (Nbsc_error.to_string e));
+  Persist.close p;
+  trace_finish ();
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  let assoc_float l = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) l) in
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "engine");
+        ("quick", Json.Bool quick);
+        ("scale", Json.Int scale);
+        ( "populate",
+          Json.Obj
+            [ ("rows", Json.Int populated);
+              ("seconds", Json.Float populate_s);
+              ("rows_per_s", Json.Float populate_rate) ] );
+        ( "propagate",
+          Json.Obj
+            [ ("records", Json.Int propagated);
+              ("seconds", Json.Float propagate_s);
+              ("records_per_s", Json.Float propagate_rate) ] );
+        ( "mixed",
+          Json.Obj
+            [ ("txns", Json.Int commits);
+              ("ops_per_txn", Json.Int ops_per_txn);
+              ("seconds", Json.Float mixed_s);
+              ("txn_per_s", Json.Float txn_per_s);
+              ("alloc_words_per_txn", Json.Float alloc_words_per_txn) ] );
+        ("t_rows", Json.Int t_rows);
+        ("baseline", assoc_float pre_refactor_baseline);
+        ( "speedup_txn",
+          let base = List.assoc "txn_per_s" pre_refactor_baseline in
+          Json.Float (if base > 0. then txn_per_s /. base else 0.) ) ]
+  in
+  (match out with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     say "results written to %s" path
+   | None -> say "%s" (Json.to_string json));
+  (* Regression gate: fresh throughput vs the committed baseline. The
+     margin absorbs machine noise; a real hot-path regression lands far
+     outside it. *)
+  match gate with
+  | None -> ()
+  | Some path ->
+    let contents =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    (match Json.of_string (String.trim contents) with
+     | Error m -> failwith (Printf.sprintf "gate %s: bad JSON: %s" path m)
+     | Ok j ->
+       let committed =
+         match Option.bind (Json.member "mixed" j) (Json.member "txn_per_s")
+               |> Option.map (fun v -> Json.to_float v)
+         with
+         | Some (Some f) -> f
+         | _ -> failwith (Printf.sprintf "gate %s: no mixed.txn_per_s" path)
+       in
+       let floor = 0.8 *. committed in
+       say "gate: fresh %.0f txn/s vs committed %.0f txn/s (floor %.0f)"
+         txn_per_s committed floor;
+       if txn_per_s < floor then begin
+         say "gate: FAIL - >20%% throughput regression";
+         exit 1
+       end
+       else say "gate: ok")
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -544,7 +862,8 @@ let () =
     in
     go [] args
   in
-  (* Peel off [--out FILE] (used by the wal target for its JSON). *)
+  (* Peel off [--out FILE] (used by the wal and engine targets for
+     their JSON). *)
   let json_out, args =
     let rec go acc = function
       | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
@@ -553,7 +872,23 @@ let () =
     in
     go [] args
   in
-  let args = if trace_out <> None then "trace" :: args else args in
+  (* Peel off [--gate FILE] (engine target: regression gate vs a
+     committed baseline). *)
+  let gate_file, args =
+    let rec go acc = function
+      | "--gate" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  (* [--trace] implies the trace target, except when the engine target
+     is explicitly named — there it streams that bench's own metric
+     events instead. *)
+  let args =
+    if trace_out <> None && not (List.mem "engine" args) then "trace" :: args
+    else args
+  in
   let quick = List.mem "quick" args in
   let setup =
     if quick then Experiment.quick_setup else Experiment.default_setup
@@ -581,6 +916,9 @@ let () =
   if wants "ablate" then ablate sync_setup;
   if wants "deadlock" then deadlock_bench quick;
   if wants "wal" then wal_bench ~quick ~out:json_out;
+  if wants "engine" then
+    engine_bench ~quick ~out:json_out ~gate:gate_file
+      ~trace:(if List.mem "engine" targets then trace_out else None);
   if List.mem "trace" targets then trace_bench ~quick ~out:trace_out;
   if wants "micro" then micro ();
   say "";

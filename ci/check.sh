@@ -46,6 +46,24 @@ echo "== bench wal smoke =="
 dune exec bench/main.exe -- wal quick --out "$wal_out" >/dev/null
 test -s "$wal_out"
 
+# Smoke the engine bench (quick scale) and gate it: the run must emit
+# the expected JSON shape and stay within 20% of the committed
+# baseline's mixed-workload throughput (the gate exits non-zero on a
+# regression past the margin).
+echo "== bench engine smoke + regression gate =="
+engine_out=$(mktemp /tmp/nbsc_bench_engine.XXXXXX.json)
+trap 'rm -f "$trace_out" "$wal_out" "$engine_out"' EXIT
+dune exec bench/main.exe -- engine quick --out "$engine_out" \
+  --gate ci/bench_engine_baseline.json >/dev/null
+test -s "$engine_out"
+for key in '"bench":"engine"' '"populate"' '"propagate"' '"txn_per_s"' \
+  '"alloc_words_per_txn"' '"baseline"' '"speedup_txn"'; do
+  grep -q "$key" "$engine_out" || {
+    echo "bench engine JSON missing $key" >&2
+    exit 1
+  }
+done
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

@@ -20,7 +20,10 @@ open Nbsc_storage
 
 type t
 
-val create : Catalog.t -> Spec.foj_layout -> t
+val create : ?mode:Plan.mode -> Catalog.t -> Spec.foj_layout -> t
+(** [mode] (default {!Plan.default_mode}) selects the compiled or the
+    retained interpreted rule plan — semantics are identical; the
+    interpreted plan exists as the differential-test reference. *)
 
 val ctx : t -> Foj_common.ctx
 

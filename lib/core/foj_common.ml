@@ -4,34 +4,79 @@ open Nbsc_storage
 let r_bit = 1
 let s_bit = 2
 
-let derive_presence (l : Spec.foj_layout) row =
-  let any_non_null positions =
-    List.exists (fun i -> not (Value.is_null (Row.get row i))) positions
-  in
-  (if any_non_null l.Spec.t_r_key_pos then r_bit else 0)
-  lor if any_non_null l.Spec.t_s_key_pos then s_bit else 0
+(* The rule plan: every positional mapping and projection the FOJ rules
+   consult per record, compiled once against the layout at operator
+   construction ([make_ctx]). The rules then work through the closures
+   in [Plan] and never re-walk the layout's lists on the hot path. *)
+type ctx = {
+  layout : Spec.foj_layout;
+  t_tbl : Table.t;
+  mode : Plan.mode;
+  route_r : Plan.route;       (* r_to_t @ r_join_to_t *)
+  route_s : Plan.route;       (* s_to_t @ s_join_to_t *)
+  route_r_join : Plan.route;  (* r_join_to_t alone (rule 5 pre-state) *)
+  p_r_carry : Plan.proj;      (* t_r_carry_pos *)
+  p_s_carry : Plan.proj;      (* t_s_carry_pos *)
+  p_s_carry_key : Plan.proj;  (* t_s_carry_pos U t_s_key_pos *)
+  p_t_r_key : Plan.proj;
+  p_t_s_key : Plan.proj;
+  p_t_join : Plan.proj;
+  p_t_key : Plan.proj;        (* T's own key columns *)
+  p_r_key_in_r : Plan.proj;
+  p_join_in_r : Plan.proj;
+  p_s_key_in_s : Plan.proj;
+  p_join_in_s : Plan.proj;
+  t_arity : int;
+}
 
-let presence l (record : Record.t) =
+let make_ctx ?(mode = Plan.default_mode) catalog (l : Spec.foj_layout) =
+  let route = Plan.route mode and proj = Plan.proj mode in
+  { layout = l;
+    t_tbl = Catalog.find catalog l.Spec.spec.Spec.t_table;
+    mode;
+    route_r = route (l.Spec.r_to_t @ l.Spec.r_join_to_t);
+    route_s = route (l.Spec.s_to_t @ l.Spec.s_join_to_t);
+    route_r_join = route l.Spec.r_join_to_t;
+    p_r_carry = proj l.Spec.t_r_carry_pos;
+    p_s_carry = proj l.Spec.t_s_carry_pos;
+    p_s_carry_key =
+      proj
+        (l.Spec.t_s_carry_pos
+         @ List.filter
+             (fun p -> not (List.mem p l.Spec.t_s_carry_pos))
+             l.Spec.t_s_key_pos);
+    p_t_r_key = proj l.Spec.t_r_key_pos;
+    p_t_s_key = proj l.Spec.t_s_key_pos;
+    p_t_join = proj l.Spec.t_join_pos;
+    p_t_key = proj (Schema.key_positions l.Spec.t_schema);
+    p_r_key_in_r = proj l.Spec.r_key_in_r;
+    p_join_in_r = proj l.Spec.join_in_r;
+    p_s_key_in_s = proj l.Spec.s_key_in_s;
+    p_join_in_s = proj l.Spec.join_in_s;
+    t_arity = Schema.arity l.Spec.t_schema }
+
+let mode ctx = ctx.mode
+
+let derive_presence ctx row =
+  (if Plan.any_non_null ctx.p_t_r_key row then r_bit else 0)
+  lor if Plan.any_non_null ctx.p_t_s_key row then s_bit else 0
+
+let presence ctx (record : Record.t) =
   if record.Record.aux <> 0 then record.Record.aux
-  else derive_presence l record.Record.row
+  else derive_presence ctx record.Record.row
 
-let has_r l record = presence l record land r_bit <> 0
-let has_s l record = presence l record land s_bit <> 0
+let has_r ctx record = presence ctx record land r_bit <> 0
+let has_s ctx record = presence ctx record land s_bit <> 0
 
-let t_row_of_sources (l : Spec.foj_layout) ~r ~s =
-  let row = Row.all_null (Schema.arity l.Spec.t_schema) in
-  let copy src mapping =
-    List.iter (fun (src_pos, t_pos) -> row.(t_pos) <- Row.get src src_pos) mapping
-  in
+let t_row_of_sources ctx ~r ~s =
+  let row = Row.all_null ctx.t_arity in
   (match s with
-   | Some s_row ->
-     copy s_row l.Spec.s_to_t;
-     copy s_row l.Spec.s_join_to_t
+   | Some s_row -> Plan.blit ctx.route_s ~src:s_row ~dst:row
    | None -> ());
   (match r with
    | Some r_row ->
-     copy r_row l.Spec.r_to_t;
-     copy r_row l.Spec.r_join_to_t  (* R wins on join columns; equal anyway *)
+     (* R wins on join columns; equal anyway. *)
+     Plan.blit ctx.route_r ~src:r_row ~dst:row
    | None -> ());
   let bits =
     (match r with Some _ -> r_bit | None -> 0)
@@ -39,80 +84,35 @@ let t_row_of_sources (l : Spec.foj_layout) ~r ~s =
   in
   (row, bits)
 
-let null_positions positions row =
-  Row.update row (List.map (fun i -> (i, Value.Null)) positions)
+let strip_r ctx row = Plan.null_out ctx.p_r_carry row
+let strip_s ctx row = Plan.null_out ctx.p_s_carry row
 
-let strip_r (l : Spec.foj_layout) row = null_positions l.Spec.t_r_carry_pos row
-let strip_s (l : Spec.foj_layout) row = null_positions l.Spec.t_s_carry_pos row
+let graft_r ctx ~r ~onto = Plan.graft ctx.route_r ~src:r ~onto
+let graft_s ctx ~s ~onto = Plan.graft ctx.route_s ~src:s ~onto
 
-let graft mapping ~src ~onto =
-  Row.update onto
-    (List.map (fun (src_pos, t_pos) -> (t_pos, Row.get src src_pos)) mapping)
+let graft_s_from_t ctx ~src ~onto = Plan.graft_self ctx.p_s_carry ~src ~onto
 
-let graft_r (l : Spec.foj_layout) ~r ~onto =
-  graft (l.Spec.r_to_t @ l.Spec.r_join_to_t) ~src:r ~onto
+let graft_s_with_key ctx ~src ~onto =
+  Plan.graft_self ctx.p_s_carry_key ~src ~onto
 
-let graft_s (l : Spec.foj_layout) ~s ~onto =
-  graft (l.Spec.s_to_t @ l.Spec.s_join_to_t) ~src:s ~onto
+let r_changes_to_t ctx changes = Plan.changes_through ctx.route_r changes
+let s_changes_to_t ctx changes = Plan.changes_through ctx.route_s changes
 
-let graft_s_from_t (l : Spec.foj_layout) ~src ~onto =
-  Row.update onto
-    (List.map (fun t_pos -> (t_pos, Row.get src t_pos)) l.Spec.t_s_carry_pos)
+let drop_t_key_changes ctx changes = Plan.filter_out ctx.p_t_key changes
 
-let changes_through mapping changes =
-  List.filter_map
-    (fun (pos, v) ->
-       match List.assoc_opt pos mapping with
-       | Some t_pos -> Some (t_pos, v)
-       | None -> None)
-    changes
+let r_join_dst ctx r_pos = Plan.dst_of_src ctx.route_r_join r_pos
 
-let r_changes_to_t (l : Spec.foj_layout) changes =
-  changes_through (l.Spec.r_to_t @ l.Spec.r_join_to_t) changes
+let r_join_changed ctx changes = Plan.touches ctx.p_join_in_r changes
+let s_join_changed ctx changes = Plan.touches ctx.p_join_in_s changes
 
-let s_changes_to_t (l : Spec.foj_layout) changes =
-  changes_through (l.Spec.s_to_t @ l.Spec.s_join_to_t) changes
-
-let touches positions changes =
-  List.exists (fun (pos, _) -> List.mem pos positions) changes
-
-let r_join_changed (l : Spec.foj_layout) changes =
-  touches l.Spec.join_in_r changes
-
-let s_join_changed (l : Spec.foj_layout) changes =
-  touches l.Spec.join_in_s changes
-
-let r_key_of_r_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.r_key_in_r
-
-let join_of_r_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.join_in_r
-
-let s_key_of_s_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.s_key_in_s
-
-let join_of_s_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.join_in_s
-
-let t_key (l : Spec.foj_layout) row =
-  Row.Key.of_row row (Schema.key_positions l.Spec.t_schema)
-
-let r_key_of_t_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.t_r_key_pos
-
-let s_key_of_t_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.t_s_key_pos
-
-let join_of_t_row (l : Spec.foj_layout) row =
-  Row.Key.of_row row l.Spec.t_join_pos
-
-type ctx = {
-  layout : Spec.foj_layout;
-  t_tbl : Table.t;
-}
-
-let make_ctx catalog (layout : Spec.foj_layout) =
-  { layout; t_tbl = Catalog.find catalog layout.Spec.spec.Spec.t_table }
+let r_key_of_r_row ctx row = Plan.project ctx.p_r_key_in_r row
+let join_of_r_row ctx row = Plan.project ctx.p_join_in_r row
+let s_key_of_s_row ctx row = Plan.project ctx.p_s_key_in_s row
+let join_of_s_row ctx row = Plan.project ctx.p_join_in_s row
+let t_key ctx row = Plan.project ctx.p_t_key row
+let r_key_of_t_row ctx row = Plan.project ctx.p_t_r_key row
+let s_key_of_t_row ctx row = Plan.project ctx.p_t_s_key row
+let join_of_t_row ctx row = Plan.project ctx.p_t_join row
 
 let by_r_key ctx key =
   Table.index_lookup_records ctx.t_tbl ~index:Spec.ix_by_r_key key

@@ -3,19 +3,17 @@ open Nbsc_storage
 module LR = Nbsc_wal.Log_record
 module C = Foj_common
 
-let layout t = (Foj.ctx t).C.layout
-
 (* Distinct S parts among a match list, preferring a record that is the
    side's NULL-padded survivor (has no R part) so fills reuse it. *)
-let distinct_s_parts l matches =
+let distinct_s_parts cctx matches =
   let seen = Row.Key.Tbl.create 8 in
   List.iter
     (fun (k, record) ->
-       if C.has_s l record then begin
-         let sk = C.s_key_of_t_row l record.Record.row in
+       if C.has_s cctx record then begin
+         let sk = C.s_key_of_t_row cctx record.Record.row in
          match Row.Key.Tbl.find_opt seen sk with
-         | Some (_, prev) when not (C.has_r l prev) -> ()
-         | Some _ when not (C.has_r l record) ->
+         | Some (_, prev) when not (C.has_r cctx prev) -> ()
+         | Some _ when not (C.has_r cctx record) ->
            Row.Key.Tbl.replace seen sk (k, record)
          | Some _ -> ()
          | None -> Row.Key.Tbl.add seen sk (k, record)
@@ -23,15 +21,15 @@ let distinct_s_parts l matches =
     matches;
   Row.Key.Tbl.fold (fun sk kr acc -> (sk, kr) :: acc) seen []
 
-let distinct_r_parts l matches =
+let distinct_r_parts cctx matches =
   let seen = Row.Key.Tbl.create 8 in
   List.iter
     (fun (k, record) ->
-       if C.has_r l record then begin
-         let rk = C.r_key_of_t_row l record.Record.row in
+       if C.has_r cctx record then begin
+         let rk = C.r_key_of_t_row cctx record.Record.row in
          match Row.Key.Tbl.find_opt seen rk with
-         | Some (_, prev) when not (C.has_s l prev) -> ()
-         | Some _ when not (C.has_s l record) ->
+         | Some (_, prev) when not (C.has_s cctx prev) -> ()
+         | Some _ when not (C.has_s cctx record) ->
            Row.Key.Tbl.replace seen rk (k, record)
          | Some _ -> ()
          | None -> Row.Key.Tbl.add seen rk (k, record)
@@ -39,58 +37,52 @@ let distinct_r_parts l matches =
     matches;
   Row.Key.Tbl.fold (fun rk kr acc -> (rk, kr) :: acc) seen []
 
-let others_with_s ctx l ~except sk =
+let others_with_s cctx ~except sk =
   List.filter
-    (fun (k, record) -> not (Row.Key.equal k except) && C.has_s l record)
-    (C.by_s_key ctx sk)
+    (fun (k, record) -> not (Row.Key.equal k except) && C.has_s cctx record)
+    (C.by_s_key cctx sk)
 
-let others_with_r ctx l ~except rk =
+let others_with_r cctx ~except rk =
   List.filter
-    (fun (k, record) -> not (Row.Key.equal k except) && C.has_r l record)
-    (C.by_r_key ctx rk)
+    (fun (k, record) -> not (Row.Key.equal k except) && C.has_r cctx record)
+    (C.by_r_key cctx rk)
 
 (* Insert r{^y}{_x}: one T record per matching S record. *)
 let insert_r t ~lsn row =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  let y = C.r_key_of_r_row l row in
-  match C.by_r_key ctx y with
+  let y = C.r_key_of_r_row cctx row in
+  match C.by_r_key cctx y with
   | (k, _) :: _ ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     [ k ]
   | [] ->
     st.Foj.applied <- st.Foj.applied + 1;
-    let x = C.join_of_r_row l row in
-    let base, bits = C.t_row_of_sources l ~r:(Some row) ~s:None in
-    let matches = if Row.Key.has_null x then [] else C.by_join ctx x in
-    (match distinct_s_parts l matches with
-     | [] -> [ C.put ctx ~lsn ~presence:bits base ]
+    let x = C.join_of_r_row cctx row in
+    let base, bits = C.t_row_of_sources cctx ~r:(Some row) ~s:None in
+    let matches = if Row.Key.has_null x then [] else C.by_join cctx x in
+    (match distinct_s_parts cctx matches with
+     | [] -> [ C.put cctx ~lsn ~presence:bits base ]
      | s_parts ->
        List.concat_map
          (fun (_, (k2, record2)) ->
             let joined =
-              C.graft_s_from_t l ~src:record2.Record.row ~onto:base
-            in
-            let joined =
-              Row.update joined
-                (List.map
-                   (fun p -> (p, Row.get record2.Record.row p))
-                   l.Spec.t_s_key_pos)
+              C.graft_s_with_key cctx ~src:record2.Record.row ~onto:base
             in
             let dropped =
               (* An S survivor (no R part) is consumed by the match. *)
-              if not (C.has_r l record2) then [ C.drop ctx k2 ] else []
+              if not (C.has_r cctx record2) then [ C.drop cctx k2 ] else []
             in
             dropped
-            @ [ C.put ctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
+            @ [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
          s_parts)
 
 (* Delete r{^y}: remove every T record it contributed to, preserving
    S parts that lose their last carrier. *)
 let delete_r t ~lsn y =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_r_key ctx y with
+  match C.by_r_key cctx y with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
@@ -98,40 +90,38 @@ let delete_r t ~lsn y =
     st.Foj.applied <- st.Foj.applied + 1;
     List.concat_map
       (fun (k, record) ->
-         if not (C.has_s l record) then [ C.drop ctx k ]
+         if not (C.has_s cctx record) then [ C.drop cctx k ]
          else begin
-           let sk = C.s_key_of_t_row l record.Record.row in
-           let survivors = others_with_s ctx l ~except:k sk in
-           let k1 = C.drop ctx k in
+           let sk = C.s_key_of_t_row cctx record.Record.row in
+           let survivors = others_with_s cctx ~except:k sk in
+           let k1 = C.drop cctx k in
            if survivors = [] then
              [ k1;
-               C.put ctx ~lsn ~presence:C.s_bit (C.strip_r l record.Record.row)
+               C.put cctx ~lsn ~presence:C.s_bit
+                 (C.strip_r cctx record.Record.row)
              ]
            else [ k1 ]
          end)
       carriers
 
 let update_r_other t ~lsn y changes =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_r_key ctx y with
+  match C.by_r_key cctx y with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
   | carriers ->
     st.Foj.applied <- st.Foj.applied + 1;
-    let t_changes = C.r_changes_to_t l changes in
+    let t_changes = C.r_changes_to_t cctx changes in
     (* Changes routed here never alter T's key columns: join-column
        rewrites landing in this rule come from rule 5's x = z case and
        are no-ops by construction — drop them rather than re-keying. *)
-    let key_positions = Schema.key_positions l.Spec.t_schema in
-    let t_changes =
-      List.filter (fun (pos, _) -> not (List.mem pos key_positions)) t_changes
-    in
+    let t_changes = C.drop_t_key_changes cctx t_changes in
     List.map
       (fun (k, _) ->
          if t_changes <> [] then begin
-           match Table.update ctx.C.t_tbl ~lsn ~key:k t_changes with
+           match Table.update cctx.C.t_tbl ~lsn ~key:k t_changes with
            | Ok _ -> ()
            | Error `Not_found -> assert false
          end;
@@ -139,9 +129,9 @@ let update_r_other t ~lsn y changes =
       carriers
 
 let update_r_join t ~lsn y changes before =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_r_key ctx y with
+  match C.by_r_key cctx y with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
@@ -149,15 +139,15 @@ let update_r_join t ~lsn y changes before =
     let t_pre_state =
       List.for_all
         (fun (r_pos, old_v) ->
-           match List.assoc_opt r_pos l.Spec.r_join_to_t with
+           match C.r_join_dst cctx r_pos with
            | None -> true
            | Some t_pos -> Value.equal (Row.get first.Record.row t_pos) old_v)
         before
     in
-    let t_changes = C.r_changes_to_t l changes in
+    let t_changes = C.r_changes_to_t cctx changes in
     let new_r_in_t = Row.update first.Record.row t_changes in
-    let z = Row.Key.of_row new_r_in_t l.Spec.t_join_pos in
-    let x = C.join_of_t_row l first.Record.row in
+    let z = C.join_of_t_row cctx new_r_in_t in
+    let x = C.join_of_t_row cctx first.Record.row in
     if not t_pre_state then begin
       st.Foj.ignored <- st.Foj.ignored + 1;
       [ k0 ]
@@ -171,77 +161,71 @@ let update_r_join t ~lsn y changes before =
          S counterparts that lose their last carrier. *)
       List.iter
         (fun (k, record) ->
-           if C.has_s l record then begin
-             let sk = C.s_key_of_t_row l record.Record.row in
-             let survivors = others_with_s ctx l ~except:k sk in
-             push [ C.drop ctx k ];
+           if C.has_s cctx record then begin
+             let sk = C.s_key_of_t_row cctx record.Record.row in
+             let survivors = others_with_s cctx ~except:k sk in
+             push [ C.drop cctx k ];
              if survivors = [] then
                push
-                 [ C.put ctx ~lsn ~presence:C.s_bit
-                     (C.strip_r l record.Record.row) ]
+                 [ C.put cctx ~lsn ~presence:C.s_bit
+                     (C.strip_r cctx record.Record.row) ]
            end
-           else push [ C.drop ctx k ])
+           else push [ C.drop cctx k ])
         carriers;
       (* Attach at the new join value. *)
-      let r_part = C.strip_s l new_r_in_t in
-      let matches_z = if Row.Key.has_null z then [] else C.by_join ctx z in
-      (match distinct_s_parts l matches_z with
-       | [] -> push [ C.put ctx ~lsn ~presence:C.r_bit r_part ]
+      let r_part = C.strip_s cctx new_r_in_t in
+      let matches_z = if Row.Key.has_null z then [] else C.by_join cctx z in
+      (match distinct_s_parts cctx matches_z with
+       | [] -> push [ C.put cctx ~lsn ~presence:C.r_bit r_part ]
        | s_parts ->
          List.iter
            (fun (_, (k2, record2)) ->
               let joined =
-                C.graft_s_from_t l ~src:record2.Record.row ~onto:r_part
+                C.graft_s_with_key cctx ~src:record2.Record.row ~onto:r_part
               in
-              let joined =
-                Row.update joined
-                  (List.map
-                     (fun p -> (p, Row.get record2.Record.row p))
-                     l.Spec.t_s_key_pos)
-              in
-              if not (C.has_r l record2) then push [ C.drop ctx k2 ];
-              push [ C.put ctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
+              if not (C.has_r cctx record2) then push [ C.drop cctx k2 ];
+              push [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
            s_parts);
       !touched
     end
 
 (* Insert s{^x}{_z}: one new T record per R record with join value z. *)
 let insert_s t ~lsn row =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  let sk = C.s_key_of_s_row l row in
-  match C.by_s_key ctx sk with
+  let sk = C.s_key_of_s_row cctx row in
+  match C.by_s_key cctx sk with
   | (k, _) :: _ ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     [ k ]
   | [] ->
     st.Foj.applied <- st.Foj.applied + 1;
-    let z = C.join_of_s_row l row in
-    let base, bits = C.t_row_of_sources l ~r:None ~s:(Some row) in
-    let matches = if Row.Key.has_null z then [] else C.by_join ctx z in
-    (match distinct_r_parts l matches with
-     | [] -> [ C.put ctx ~lsn ~presence:bits base ]
+    let z = C.join_of_s_row cctx row in
+    let base, bits = C.t_row_of_sources cctx ~r:None ~s:(Some row) in
+    let matches = if Row.Key.has_null z then [] else C.by_join cctx z in
+    (match distinct_r_parts cctx matches with
+     | [] -> [ C.put cctx ~lsn ~presence:bits base ]
      | r_parts ->
        List.concat_map
          (fun (_, (k2, record2)) ->
-            if not (C.has_s l record2) then
+            if not (C.has_s cctx record2) then
               (* r{^v}{_z} was unmatched: fill it in place. *)
-              let filled = C.graft_s l ~s:row ~onto:record2.Record.row in
-              C.rekey ctx ~lsn ~old_key:k2
-                ~presence:(C.presence l record2 lor C.s_bit)
+              let filled = C.graft_s cctx ~s:row ~onto:record2.Record.row in
+              C.rekey cctx ~lsn ~old_key:k2
+                ~presence:(C.presence cctx record2 lor C.s_bit)
                 filled
             else begin
               (* r{^v} already matches other S records: add a sibling. *)
-              let r_only = C.strip_s l record2.Record.row in
-              let joined = C.graft_s l ~s:row ~onto:r_only in
-              [ C.put ctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ]
+              let r_only = C.strip_s cctx record2.Record.row in
+              let joined = C.graft_s cctx ~s:row ~onto:r_only in
+              [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ]
             end)
          r_parts)
 
 let delete_s t ~lsn sk =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_s_key ctx sk with
+  match C.by_s_key cctx sk with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
@@ -249,33 +233,34 @@ let delete_s t ~lsn sk =
     st.Foj.applied <- st.Foj.applied + 1;
     List.concat_map
       (fun (k, record) ->
-         if not (C.has_r l record) then [ C.drop ctx k ]
+         if not (C.has_r cctx record) then [ C.drop cctx k ]
          else begin
-           let rk = C.r_key_of_t_row l record.Record.row in
-           let survivors = others_with_r ctx l ~except:k rk in
-           let k1 = C.drop ctx k in
+           let rk = C.r_key_of_t_row cctx record.Record.row in
+           let survivors = others_with_r cctx ~except:k rk in
+           let k1 = C.drop cctx k in
            if survivors = [] then
              [ k1;
-               C.put ctx ~lsn ~presence:C.r_bit (C.strip_s l record.Record.row)
+               C.put cctx ~lsn ~presence:C.r_bit
+                 (C.strip_s cctx record.Record.row)
              ]
            else [ k1 ]
          end)
       carriers
 
 let update_s_other t ~lsn sk changes =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_s_key ctx sk with
+  match C.by_s_key cctx sk with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
   | carriers ->
     st.Foj.applied <- st.Foj.applied + 1;
-    let t_changes = C.s_changes_to_t l changes in
+    let t_changes = C.s_changes_to_t cctx changes in
     List.map
       (fun (k, _) ->
          if t_changes <> [] then begin
-           match Table.update ctx.C.t_tbl ~lsn ~key:k t_changes with
+           match Table.update cctx.C.t_tbl ~lsn ~key:k t_changes with
            | Ok _ -> ()
            | Error `Not_found -> assert false
          end;
@@ -283,9 +268,9 @@ let update_s_other t ~lsn sk changes =
       carriers
 
 let update_s_join t ~lsn sk changes =
-  let ctx = Foj.ctx t and l = layout t in
+  let cctx = Foj.ctx t in
   let st = Foj.stats t in
-  match C.by_s_key ctx sk with
+  match C.by_s_key cctx sk with
   | [] ->
     st.Foj.ignored <- st.Foj.ignored + 1;
     []
@@ -293,77 +278,69 @@ let update_s_join t ~lsn sk changes =
     st.Foj.applied <- st.Foj.applied + 1;
     let touched = ref [] in
     let push ks = touched := !touched @ ks in
-    let t_changes = C.s_changes_to_t l changes in
+    let t_changes = C.s_changes_to_t cctx changes in
     let new_s_in_t = Row.update first.Record.row t_changes in
-    let z = Row.Key.of_row new_s_in_t l.Spec.t_join_pos in
+    let z = C.join_of_t_row cctx new_s_in_t in
     (* Detach from every carrier. *)
     List.iter
       (fun (k, record) ->
-         if not (C.has_r l record) then push [ C.drop ctx k ]
+         if not (C.has_r cctx record) then push [ C.drop cctx k ]
          else begin
-           let rk = C.r_key_of_t_row l record.Record.row in
-           let survivors = others_with_r ctx l ~except:k rk in
-           push [ C.drop ctx k ];
+           let rk = C.r_key_of_t_row cctx record.Record.row in
+           let survivors = others_with_r cctx ~except:k rk in
+           push [ C.drop cctx k ];
            if survivors = [] then
              push
-               [ C.put ctx ~lsn ~presence:C.r_bit
-                   (C.strip_s l record.Record.row) ]
+               [ C.put cctx ~lsn ~presence:C.r_bit
+                   (C.strip_s cctx record.Record.row) ]
          end)
       carriers;
     (* Attach at the new join value. *)
-    let s_part = C.strip_r l new_s_in_t in
-    let matches_z = if Row.Key.has_null z then [] else C.by_join ctx z in
-    (match distinct_r_parts l matches_z with
-     | [] -> push [ C.put ctx ~lsn ~presence:C.s_bit s_part ]
+    let s_part = C.strip_r cctx new_s_in_t in
+    let matches_z = if Row.Key.has_null z then [] else C.by_join cctx z in
+    (match distinct_r_parts cctx matches_z with
+     | [] -> push [ C.put cctx ~lsn ~presence:C.s_bit s_part ]
      | r_parts ->
        List.iter
          (fun (_, (k2, record2)) ->
-            if not (C.has_s l record2) then begin
+            if not (C.has_s cctx record2) then begin
               let filled =
-                C.graft_s_from_t l ~src:new_s_in_t ~onto:record2.Record.row
-              in
-              let filled =
-                Row.update filled
-                  (List.map
-                     (fun p -> (p, Row.get new_s_in_t p))
-                     l.Spec.t_s_key_pos)
+                C.graft_s_with_key cctx ~src:new_s_in_t
+                  ~onto:record2.Record.row
               in
               push
-                (C.rekey ctx ~lsn ~old_key:k2
-                   ~presence:(C.presence l record2 lor C.s_bit)
+                (C.rekey cctx ~lsn ~old_key:k2
+                   ~presence:(C.presence cctx record2 lor C.s_bit)
                    filled)
             end
             else begin
-              let r_only = C.strip_s l record2.Record.row in
-              let joined = C.graft_s_from_t l ~src:new_s_in_t ~onto:r_only in
+              let r_only = C.strip_s cctx record2.Record.row in
               let joined =
-                Row.update joined
-                  (List.map
-                     (fun p -> (p, Row.get new_s_in_t p))
-                     l.Spec.t_s_key_pos)
+                C.graft_s_with_key cctx ~src:new_s_in_t ~onto:r_only
               in
-              push [ C.put ctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ]
+              push [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ]
             end)
          r_parts);
     !touched
 
 let apply t ~lsn (op : LR.op) =
-  let l = layout t in
-  let spec = l.Spec.spec in
+  let cctx = Foj.ctx t in
+  let spec = cctx.C.layout.Spec.spec in
   let table = LR.op_table op in
   if String.equal table spec.Spec.r_table then
     match op with
     | LR.Insert { row; _ } -> insert_r t ~lsn row
     | LR.Delete { key; _ } -> delete_r t ~lsn key
     | LR.Update { key; changes; before; _ } ->
-      if C.r_join_changed l changes then update_r_join t ~lsn key changes before
+      if C.r_join_changed cctx changes then
+        update_r_join t ~lsn key changes before
       else update_r_other t ~lsn key changes
   else if String.equal table spec.Spec.s_table then
     match op with
     | LR.Insert { row; _ } -> insert_s t ~lsn row
     | LR.Delete { key; _ } -> delete_s t ~lsn key
     | LR.Update { key; changes; _ } ->
-      if C.s_join_changed l changes then update_s_join t ~lsn key changes
+      if C.s_join_changed cctx changes then update_s_join t ~lsn key changes
       else update_s_other t ~lsn key changes
   else begin
     let st = Foj.stats t in

@@ -1,0 +1,86 @@
+(** Schema-compiled propagation plans.
+
+    Every operator's propagation rules reduce to two positional
+    primitives: a {e route} (a [(src_pos, dst_pos)] mapping that
+    re-expresses rows or change lists of a source table in target
+    coordinates) and a {e projection} (a position set used to extract
+    keys, test membership, or NULL out one side's columns). The layouts
+    in {!Spec} resolve column {e names} once; this module compiles the
+    resulting position lists once more — at operator construction —
+    into closures over int arrays, so the per-record loop does no
+    [List.assoc], no list rebuilding, and no redundant row copies.
+
+    [Interpreted] retains the original list-walking implementations,
+    bit-for-bit: it is the reference the differential tests run the
+    same workload through. Both modes must produce identical output
+    {e order}, not just identical sets. *)
+
+open Nbsc_value
+
+type mode = Compiled | Interpreted
+
+val default_mode : mode
+(** [Compiled]. *)
+
+val mode_of_string : string -> mode option
+val mode_to_string : mode -> string
+
+(** {1 Routes} *)
+
+type route
+
+val route : mode -> (int * int) list -> route
+(** Compile a [(src_pos, dst_pos)] mapping. Pair order is preserved by
+    {!graft_changes}; on duplicate source positions the first pair wins
+    (matching [List.assoc]). *)
+
+val route_pairs : route -> (int * int) list
+
+val dst_of_src : route -> int -> int option
+
+val changes_through : route -> (int * Value.t) list -> (int * Value.t) list
+(** Re-express positional changes in destination coordinates, dropping
+    changes whose position is not routed. Change order is preserved. *)
+
+val graft_changes : route -> Row.t -> (int * Value.t) list
+(** [(dst, src.(s))] for every pair, in pair order. *)
+
+val graft : route -> src:Row.t -> onto:Row.t -> Row.t
+(** Fresh row: [onto] with every routed position overwritten from
+    [src]. *)
+
+val blit : route -> src:Row.t -> dst:Value.t array -> unit
+(** In-place variant of {!graft} for rows still under construction. *)
+
+(** {1 Projections} *)
+
+type proj
+
+val proj : mode -> int list -> proj
+val positions : proj -> int list
+
+val project : proj -> Row.t -> Row.Key.t
+(** The row's values at the projected positions, in position order. *)
+
+val mem : proj -> int -> bool
+val touches : proj -> (int * Value.t) list -> bool
+(** Whether any change lands on a projected position. *)
+
+val filter_out : proj -> (int * Value.t) list -> (int * Value.t) list
+(** Drop changes that land on a projected position. *)
+
+val covered_by : proj -> (int * Value.t) list -> bool
+(** Whether every projected position appears in the change list. *)
+
+val null_out : proj -> Row.t -> Row.t
+(** Fresh row with the projected positions set to NULL. *)
+
+val any_non_null : proj -> Row.t -> bool
+
+val refresh_changes : proj -> Row.t -> (int * Value.t) list
+(** [(p, src.(p))] for every projected position — a same-coordinate
+    change list. *)
+
+val graft_self : proj -> src:Row.t -> onto:Row.t -> Row.t
+(** Fresh row: [onto] with the projected positions copied from [src]
+    (same coordinates on both sides). *)

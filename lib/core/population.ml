@@ -43,7 +43,6 @@ type foj_phase =
 
 let foj f ~r_tbl ~s_tbl =
   let cctx = Foj.ctx f in
-  let l = cctx.C.layout in
   let s_cursor = Table.Fuzzy_cursor.make s_tbl in
   let r_cursor = Table.Fuzzy_cursor.make r_tbl in
   (* join value -> S rows seen with it (one in a clean one-to-many) *)
@@ -63,7 +62,7 @@ let foj f ~r_tbl ~s_tbl =
       List.iter
         (fun (record : Record.t) ->
            let srow = record.Record.row in
-           let j = C.join_of_s_row l srow in
+           let j = C.join_of_s_row cctx srow in
            let entry = (srow, ref false) in
            let existing =
              match Row.Key.Tbl.find_opt s_hash j with
@@ -83,7 +82,7 @@ let foj f ~r_tbl ~s_tbl =
       List.iter
         (fun (record : Record.t) ->
            let rrow = record.Record.row in
-           let j = C.join_of_r_row l rrow in
+           let j = C.join_of_r_row cctx rrow in
            let matches =
              if Row.Key.has_null j then []
              else
@@ -93,14 +92,14 @@ let foj f ~r_tbl ~s_tbl =
            in
            match matches with
            | [] ->
-             let row, bits = C.t_row_of_sources l ~r:(Some rrow) ~s:None in
+             let row, bits = C.t_row_of_sources cctx ~r:(Some rrow) ~s:None in
              put_initial c ~presence:bits row
            | entries ->
              List.iter
                (fun (srow, matched) ->
                   matched := true;
                   let row, bits =
-                    C.t_row_of_sources l ~r:(Some rrow) ~s:(Some srow)
+                    C.t_row_of_sources cctx ~r:(Some rrow) ~s:(Some srow)
                   in
                   put_initial c ~presence:bits row)
                entries)
@@ -124,7 +123,7 @@ let foj f ~r_tbl ~s_tbl =
             (* These S rows were already counted when [Scan_s] read
                them; emitting a leftover scans nothing new (the sim
                bills scan cost per [scanned] increment). *)
-            let row, bits = C.t_row_of_sources l ~r:None ~s:(Some srow) in
+            let row, bits = C.t_row_of_sources cctx ~r:None ~s:(Some srow) in
             put_initial c ~presence:bits row;
             emit (n + 1) rest
       in

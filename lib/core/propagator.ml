@@ -94,9 +94,8 @@ let transfer_locks t ~owner ~source touched =
          (* Transfers are upserts; only count the ones that actually
             add coverage, or re-propagating a record (resume, repeated
             transfer) inflates the metric. *)
-         if not (Lock_table.holds locks ~owner ~table ~key lock) then
-           t.transferred <- t.transferred + 1;
-         Lock_table.transfer locks ~owner ~table ~key lock)
+         if Lock_table.transfer locks ~owner ~table ~key lock then
+           t.transferred <- t.transferred + 1)
       touched
 
 let is_transferred_on_target t ~table (lock : Compat.lock) =
@@ -114,7 +113,15 @@ let handle_op t ~txn ~lsn op =
   if Hashtbl.mem t.source_index source then begin
     let touched = t.rules.apply ~lsn op in
     note_cc_touches t touched;
-    transfer_locks t ~owner:txn ~source touched
+    (* Transferred locks extend a {e live} transaction's source locks to
+       the target records it implicates. A transaction that already
+       committed or rolled back holds no source locks — its Commit /
+       Abort_done record (later in the log) would release the transfer
+       immediately anyway. Skipping the dead-owner upsert matters: a
+       caught-up propagator processes almost every record after its
+       transaction finished. *)
+    if Manager.is_active t.mgr txn then
+      transfer_locks t ~owner:txn ~source touched
   end
 
 let handle_record t (r : Log_record.t) =
@@ -185,11 +192,9 @@ let transfer_current_source_locks t =
                     { Compat.mode = lock.Compat.mode;
                       provenance = Compat.Source i }
                   in
-                  if not
-                       (Lock_table.holds locks ~owner ~table ~key:tkey
-                          target_lock)
-                  then t.transferred <- t.transferred + 1;
-                  Lock_table.transfer locks ~owner ~table ~key:tkey
-                    target_lock)
+                  if
+                    Lock_table.transfer locks ~owner ~table ~key:tkey
+                      target_lock
+                  then t.transferred <- t.transferred + 1)
                (mapper ~table:source ~key))
       (Lock_table.locked_resources_in locks ~tables:t.rules.sources)

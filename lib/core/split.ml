@@ -13,13 +13,36 @@ type t = {
   layout : Spec.split_layout;
   r_tbl : Table.t;
   s_tbl : Table.t;
+  (* The rule plan, compiled once against the layout (see {!Plan}). *)
+  route_t_r : Plan.route;  (* t_to_r *)
+  route_t_s : Plan.route;  (* t_to_s *)
+  p_r_cols : Plan.proj;    (* r_cols_in_t *)
+  p_s_cols : Plan.proj;    (* s_cols_in_t *)
+  p_s_key : Plan.proj;     (* S's key columns in S coordinates *)
+  p_split_in_r : Plan.proj;
+  p_split_in_t : Plan.proj;
+  p_non_key_s : Plan.proj; (* S's non-key positions *)
   st : stats;
 }
 
-let create catalog (layout : Spec.split_layout) =
+let create ?(mode = Plan.default_mode) catalog (layout : Spec.split_layout) =
+  let route = Plan.route mode and proj = Plan.proj mode in
+  let s_key = Schema.key_positions layout.Spec.s_schema' in
   { layout;
     r_tbl = Catalog.find catalog layout.Spec.sspec.Spec.r_table';
     s_tbl = Catalog.find catalog layout.Spec.sspec.Spec.s_table';
+    route_t_r = route layout.Spec.t_to_r;
+    route_t_s = route layout.Spec.t_to_s;
+    p_r_cols = proj layout.Spec.r_cols_in_t;
+    p_s_cols = proj layout.Spec.s_cols_in_t;
+    p_s_key = proj s_key;
+    p_split_in_r = proj layout.Spec.split_in_r;
+    p_split_in_t = proj layout.Spec.split_in_t;
+    p_non_key_s =
+      proj
+        (List.filter
+           (fun i -> not (List.mem i s_key))
+           (List.init (Schema.arity layout.Spec.s_schema') Fun.id));
     st = { applied = 0; ignored = 0; foreign = 0 } }
 
 let layout t = t.layout
@@ -29,30 +52,15 @@ let stats t = t.st
 
 let consistent_mode t = t.layout.Spec.sspec.Spec.assume_consistent
 
-let r_row_of_t t trow = Row.project trow t.layout.Spec.r_cols_in_t
-let s_row_of_t t trow = Row.project trow t.layout.Spec.s_cols_in_t
+let r_row_of_t t trow = Plan.project t.p_r_cols trow
+let s_row_of_t t trow = Plan.project t.p_s_cols trow
 
 let r_name t = Table.name t.r_tbl
 let s_name t = Table.name t.s_tbl
 
-let s_key_of_s_row t srow =
-  Row.Key.of_row srow (Schema.key_positions t.layout.Spec.s_schema')
+let s_key_of_s_row t srow = Plan.project t.p_s_key srow
 
-let split_of_r_row t rrow = Row.Key.of_row rrow t.layout.Spec.split_in_r
-
-let changes_through mapping changes =
-  List.filter_map
-    (fun (pos, v) ->
-       match List.assoc_opt pos mapping with
-       | Some out -> Some (out, v)
-       | None -> None)
-    changes
-
-let non_key_s_positions t =
-  let key = Schema.key_positions t.layout.Spec.s_schema' in
-  List.filter
-    (fun i -> not (List.mem i key))
-    (List.init (Schema.arity t.layout.Spec.s_schema') Fun.id)
+let split_of_r_row t rrow = Plan.project t.p_split_in_r rrow
 
 (* Insert or reference an S record.  On an existing record only the
    counter and possibly the LSN move (paper, rule 8); a differing image
@@ -166,19 +174,15 @@ let rule_update t ~lsn y changes =
     let x_old = split_of_r_row t record.Record.row in
     (* Rule 10: update the R part; the LSN moves even when no R column
        changes. *)
-    let r_changes = changes_through t.layout.Spec.t_to_r changes in
+    let r_changes = Plan.changes_through t.route_t_r changes in
     (match Table.update t.r_tbl ~lsn ~key:y r_changes with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
     let touched = ref [ (r_name t, y) ] in
     (* Rule 11: update the S part, gated by the S record's own LSN. *)
-    let s_changes = changes_through t.layout.Spec.t_to_s changes in
+    let s_changes = Plan.changes_through t.route_t_s changes in
     if s_changes <> [] then begin
-      let split_changed =
-        List.exists
-          (fun (pos, _) -> List.mem pos t.layout.Spec.split_in_t)
-          changes
-      in
+      let split_changed = Plan.touches t.p_split_in_t changes in
       match Table.find t.s_tbl x_old with
       | None -> ()  (* torn image: the S side will be rebuilt by CC *)
       | Some srec when split_changed ->
@@ -205,11 +209,7 @@ let rule_update t ~lsn y changes =
             else begin
               (* Counter 1: an update covering every non-key column
                  makes the record consistent by construction. *)
-              let all_non_key_updated =
-                List.for_all
-                  (fun i -> List.mem_assoc i s_changes)
-                  (non_key_s_positions t)
-              in
+              let all_non_key_updated = Plan.covered_by t.p_non_key_s s_changes in
               if all_non_key_updated then Record.Consistent
               else srec.Record.flag
             end

@@ -14,7 +14,10 @@ open Nbsc_storage
 
 type t
 
-val create : Catalog.t -> Spec.split_layout -> t
+val create : ?mode:Plan.mode -> Catalog.t -> Spec.split_layout -> t
+(** [mode] (default {!Plan.default_mode}) selects the compiled or the
+    retained interpreted rule plan — semantics are identical; the
+    interpreted plan exists as the differential-test reference. *)
 
 val layout : t -> Spec.split_layout
 val r_table : t -> Table.t

@@ -98,13 +98,13 @@ let foj_target_to_sources fj ~key =
   (if Row.Key.has_null r_part then [] else [ (spec.Spec.r_table, r_part) ])
   @ if Row.Key.has_null s_part then [] else [ (spec.Spec.s_table, s_part) ]
 
-let foj ?(transfer_locks = true) db spec =
+let foj ?(transfer_locks = true) ?plan_mode db spec =
   let catalog = Db.catalog db in
   let layout = Spec.foj_layout catalog spec in
   ensure_table catalog
     ~indexes:(Spec.foj_t_indexes layout)
     ~name:spec.Spec.t_table (Spec.foj_t_schema layout);
-  let fj = Foj.create catalog layout in
+  let fj = Foj.create ?mode:plan_mode catalog layout in
   let r_tbl = Catalog.find catalog spec.Spec.r_table in
   let s_tbl = Catalog.find catalog spec.Spec.s_table in
   let pop = Population.foj fj ~r_tbl ~s_tbl in
@@ -172,14 +172,14 @@ let split_target_to_sources sp db ~table ~key =
         (Table.index_lookup t_tbl ~index:Spec.ix_t_split key)
   else []
 
-let split db spec =
+let split ?plan_mode db spec =
   let catalog = Db.catalog db in
   let layout = Spec.split_layout catalog spec in
   ensure_table catalog ~name:spec.Spec.r_table' (Spec.split_r_schema layout);
   ensure_table catalog ~name:spec.Spec.s_table' (Spec.split_s_schema layout);
   let t_tbl = Catalog.find catalog spec.Spec.t_table' in
   Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:spec.Spec.split_key;
-  let sp = Split.create catalog layout in
+  let sp = Split.create ?mode:plan_mode catalog layout in
   let cc =
     if spec.Spec.assume_consistent then None
     else Some (Consistency.create catalog sp ~log:(Db.log db))

@@ -114,8 +114,14 @@ val counter : packed -> string -> int
     false for materialized views (the view never takes over from its
     sources). *)
 
-val foj : ?transfer_locks:bool -> Nbsc_engine.Db.t -> Spec.foj -> packed
-val split : Nbsc_engine.Db.t -> Spec.split -> packed
+val foj :
+  ?transfer_locks:bool ->
+  ?plan_mode:Plan.mode ->
+  Nbsc_engine.Db.t ->
+  Spec.foj ->
+  packed
+
+val split : ?plan_mode:Plan.mode -> Nbsc_engine.Db.t -> Spec.split -> packed
 val hsplit : Nbsc_engine.Db.t -> Spec.hsplit -> packed
 val merge : Nbsc_engine.Db.t -> Spec.merge -> packed
 

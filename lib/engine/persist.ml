@@ -6,6 +6,9 @@ type t = {
   dir : string;
   mutable pdb : Db.t;
   mutable out : out_channel;
+  buf : Buffer.t;  (* encoded lines awaiting the group-commit barrier *)
+  rbuf : Buffer.t;  (* one record being encoded (reused per append) *)
+  scratch : Buffer.t;  (* composite scratch for [Log_record.encode_into] *)
   mutable report : Recovery.report option;
   mutable closed : bool;
 }
@@ -76,19 +79,40 @@ let read_wal_lines path =
           | [] -> ([], true)
       end)
 
+(* The sink buffers encoded lines; they reach disk at the group-commit
+   barrier ([Log.sync] -> the syncer below), so a transaction's worth of
+   appends costs one write+flush instead of one per record. Records of
+   the system transaction (fuzzy marks, job state, checkpoint marks)
+   write through immediately: they are rare, and recovery anchors on
+   them being durable independently of any commit. The on-disk log is
+   always a strict prefix of the in-memory log, and the buffered suffix
+   only ever holds records of transactions that have not synced — a
+   crash losing it replays idempotently. *)
+let flush_buf t =
+  if Buffer.length t.buf > 0 then begin
+    Buffer.output_buffer t.out t.buf;
+    Buffer.clear t.buf;
+    flush t.out
+  end
+
 let attach_sink t =
-  Log.set_sink (Db.log t.pdb)
+  let log = Db.log t.pdb in
+  Log.set_sink log
     (Some
        (fun record ->
-          let line = Log_record.encode record in
-          (* A torn append leaves a prefix of the line, unterminated —
+          Buffer.clear t.rbuf;
+          Log_record.encode_into ~scratch:t.scratch t.rbuf record;
+          (* A torn append first makes the buffered complete lines
+             durable, then leaves a prefix of this line, unterminated —
              exactly what [read_wal_lines] tolerates on reopen. *)
           Fault.torn "wal_append" ~partial:(fun () ->
-              output_string t.out (String.sub line 0 (String.length line / 2));
+              flush_buf t;
+              output_string t.out (Buffer.sub t.rbuf 0 (Buffer.length t.rbuf / 2));
               flush t.out);
-          output_string t.out line;
-          output_char t.out '\n';
-          flush t.out))
+          Buffer.add_buffer t.buf t.rbuf;
+          Buffer.add_char t.buf '\n';
+          if record.Log_record.txn = Log_record.system_txn then flush_buf t));
+  Log.set_syncer log (Some (fun () -> flush_buf t))
 
 let create_dir ~dir =
   let* () =
@@ -109,7 +133,10 @@ let create_dir ~dir =
       io (fun () ->
           open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
     in
-    let t = { dir; pdb; out; report = None; closed = false } in
+    let t =
+      { dir; pdb; out; buf = Buffer.create 4096; rbuf = Buffer.create 256;
+        scratch = Buffer.create 256; report = None; closed = false }
+    in
     attach_sink t;
     Nbsc_txn.Manager.set_durable_floor (Db.manager pdb) (Log.base (Db.log pdb));
     Ok t
@@ -137,7 +164,9 @@ let open_dir ~dir =
     match wal_lines with
     | [] -> Ok (None, Db.log pdb) (* empty log based at the snapshot head *)
     | lines ->
-      (match Log.of_lines lines with
+      (* The string codec is applied here, at the replay boundary; the
+         log itself only ever holds structured records. *)
+      (match Log.of_records (List.map Log_record.decode lines) with
        | wal -> Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), wal)
        | exception Failure m -> Error (`Corrupt m))
   in
@@ -152,7 +181,10 @@ let open_dir ~dir =
     io (fun () ->
         open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
   in
-  let t = { dir; pdb; out; report; closed = false } in
+  let t =
+    { dir; pdb; out; buf = Buffer.create 4096; rbuf = Buffer.create 256;
+      scratch = Buffer.create 256; report; closed = false }
+  in
   attach_sink t;
   (* Everything below the retained WAL's first record is durable in the
      snapshot; the retained suffix itself must stay in memory until the
@@ -215,6 +247,10 @@ let checkpoint t =
         if Lsn.(r.Log_record.lsn >= low) then
           retained := Log_record.encode r :: !retained);
     let retained = List.rev !retained in
+    (* Buffered lines need no flush: every record they hold is either
+       reflected in the snapshot just published or rewritten below from
+       the in-memory retained suffix. *)
+    Buffer.clear t.buf;
     let* () = io (fun () -> close_out t.out) in
     let* () =
       write_lines_atomic ~fault_rename:"wal_rewrite" (wal_path t.dir) retained
@@ -237,17 +273,23 @@ let checkpoint t =
 let crash t =
   if not t.closed then begin
     t.closed <- true;
-    Log.set_sink (Db.log t.pdb) None;
-    (* No flush: anything the "process" had not written is lost, which
-       is the point. (Appends flush synchronously, so the only bytes a
-       real crash could lose are a torn tail — injected explicitly.) *)
+    let log = Db.log t.pdb in
+    Log.set_sink log None;
+    Log.set_syncer log None;
+    (* No flush: the buffered suffix is lost, which is the point — the
+       on-disk log ends at the last group-commit barrier (or torn tail,
+       injected explicitly). *)
+    Buffer.clear t.buf;
     close_out_noerr t.out
   end
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    Log.set_sink (Db.log t.pdb) None;
+    let log = Db.log t.pdb in
+    Log.set_sink log None;
+    Log.set_syncer log None;
+    flush_buf t;
     close_out t.out
   end
 

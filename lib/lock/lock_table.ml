@@ -76,20 +76,34 @@ let acquire t ~owner ~table ~key (lock : Compat.lock) =
 let transfer t ~owner ~table ~key (lock : Compat.lock) =
   let res = { Resource.table; key } in
   let grants = grants_on t res in
-  let upgraded = ref false in
-  let grants =
-    List.map
+  (* Fast path: already covered (same provenance, mode at least as
+     strong). Re-propagation keeps transferring the same locks, so this
+     is the common case on the hot path — no rewrite, no allocation. *)
+  if
+    List.exists
       (fun (o, l) ->
-         if o = owner && l.Compat.provenance = lock.Compat.provenance then begin
-           upgraded := true;
-           if stronger l.Compat.mode lock.Compat.mode then (o, l) else (o, lock)
-         end
-         else (o, l))
+         o = owner
+         && l.Compat.provenance = lock.Compat.provenance
+         && stronger l.Compat.mode lock.Compat.mode)
       grants
-  in
-  let grants = if !upgraded then grants else (owner, lock) :: grants in
-  Rtbl.replace t.grants res grants;
-  remember_owner t owner res
+  then false
+  else begin
+    let upgraded = ref false in
+    let grants =
+      List.map
+        (fun (o, l) ->
+           if o = owner && l.Compat.provenance = lock.Compat.provenance then begin
+             upgraded := true;
+             (o, lock)
+           end
+           else (o, l))
+        grants
+    in
+    let grants = if !upgraded then grants else (owner, lock) :: grants in
+    Rtbl.replace t.grants res grants;
+    remember_owner t owner res;
+    true
+  end
 
 let holds t ~owner ~table ~key (lock : Compat.lock) =
   let res = { Resource.table; key } in

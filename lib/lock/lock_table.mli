@@ -30,13 +30,16 @@ val acquire :
     lock. A transaction's own locks never block it. *)
 
 val transfer :
-  t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> unit
+  t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> bool
 (** Unconditional grant, used only for lock {e transfer} by the log
     propagator: a transferred lock logically predates any native lock
     (the source operation executed first), so compatibility is not
     re-checked. Outside the narrow case of a compensating operation
     materializing a record a new transaction already locked, this is
-    equivalent to [acquire] returning [Granted]. *)
+    equivalent to [acquire] returning [Granted]. Returns [true] iff the
+    call added coverage — the owner did not already hold a lock of the
+    same provenance at least as strong (repeated transfers during
+    re-propagation return [false] without rewriting the grant). *)
 
 val holds :
   t -> owner:owner -> table:string -> key:Row.Key.t -> Compat.lock -> bool

@@ -3,16 +3,46 @@ open Nbsc_value
 type t = {
   name : string;
   positions : int list;
+  (* Compiled forms: projection runs on every heap mutation of an
+     indexed table, and walking the position list per call showed up in
+     the engine bench. [touch_mask.(i)] says whether column [i] is
+     indexed, so updates that leave every indexed column alone can skip
+     maintenance entirely. *)
+  pos_arr : int array;
+  touch_mask : bool array;
   map : unit Row.Key.Tbl.t Row.Key.Tbl.t;  (* projection -> key set *)
 }
 
-let create ~name ~positions = { name; positions; map = Row.Key.Tbl.create 256 }
+let compile positions =
+  let pos_arr = Array.of_list positions in
+  let top = Array.fold_left max (-1) pos_arr in
+  let touch_mask = Array.make (top + 1) false in
+  Array.iter (fun i -> touch_mask.(i) <- true) pos_arr;
+  (pos_arr, touch_mask)
+
+let create ~name ~positions =
+  let pos_arr, touch_mask = compile positions in
+  { name; positions; pos_arr; touch_mask; map = Row.Key.Tbl.create 256 }
 
 let name t = t.name
 let positions t = t.positions
 
+let touches t changes =
+  let mask = t.touch_mask in
+  let n = Array.length mask in
+  List.exists (fun (i, _) -> i < n && Array.unsafe_get mask i) changes
+
+let project t row =
+  let pos = t.pos_arr in
+  let n = Array.length pos in
+  let out = Array.make n Value.Null in
+  for i = 0 to n - 1 do
+    out.(i) <- Row.get row (Array.unsafe_get pos i)
+  done;
+  Row.unsafe_of_array out
+
 let insert t ~key row =
-  let proj = Row.project row t.positions in
+  let proj = project t row in
   let set =
     match Row.Key.Tbl.find_opt t.map proj with
     | Some s -> s
@@ -24,7 +54,7 @@ let insert t ~key row =
   Row.Key.Tbl.replace set key ()
 
 let remove t ~key row =
-  let proj = Row.project row t.positions in
+  let proj = project t row in
   match Row.Key.Tbl.find_opt t.map proj with
   | None -> ()
   | Some set ->

@@ -15,6 +15,11 @@ val create : name:string -> positions:int list -> t
 val name : t -> string
 val positions : t -> int list
 
+val touches : t -> (int * Value.t) list -> bool
+(** Whether a change list mentions any indexed column. An update whose
+    changes don't touch the index leaves both projection and key
+    unchanged, so maintenance can be skipped. *)
+
 val insert : t -> key:Row.Key.t -> Row.t -> unit
 (** Register [row] (whose primary key is [key]). *)
 

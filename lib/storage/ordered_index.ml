@@ -3,13 +3,23 @@ open Nbsc_value
 type t = {
   name : string;
   positions : int list;
+  touch_mask : bool array;  (* see {!Index.touches} *)
   mutable map : unit Row.Key.Tbl.t Row.Key.Map.t;
 }
 
-let create ~name ~positions = { name; positions; map = Row.Key.Map.empty }
+let create ~name ~positions =
+  let top = List.fold_left max (-1) positions in
+  let touch_mask = Array.make (top + 1) false in
+  List.iter (fun i -> touch_mask.(i) <- true) positions;
+  { name; positions; touch_mask; map = Row.Key.Map.empty }
 
 let name t = t.name
 let positions t = t.positions
+
+let touches t changes =
+  let mask = t.touch_mask in
+  let n = Array.length mask in
+  List.exists (fun (i, _) -> i < n && Array.unsafe_get mask i) changes
 
 let insert t ~key row =
   let proj = Row.project row t.positions in

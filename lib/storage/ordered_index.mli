@@ -15,6 +15,10 @@ val create : name:string -> positions:int list -> t
 val name : t -> string
 val positions : t -> int list
 
+val touches : t -> (int * Value.t) list -> bool
+(** Whether a change list mentions any indexed column (see
+    {!Index.touches}). *)
+
 val insert : t -> key:Row.Key.t -> Row.t -> unit
 val remove : t -> key:Row.Key.t -> Row.t -> unit
 

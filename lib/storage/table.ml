@@ -4,6 +4,11 @@ open Nbsc_wal
 type t = {
   name : string;
   schema : Schema.t;
+  (* Key positions compiled once at creation: every heap operation
+     projects the key, and rebuilding the position list (plus a
+     list-walking projection) per call dominated the table hot path. *)
+  key_positions : int array;
+  key_member : bool array;  (* indexed by column position *)
   heap : Record.t Row.Key.Tbl.t;
   mutable indexes : Index.t list;
   mutable ordered : Ordered_index.t list;
@@ -21,8 +26,13 @@ let create ?(indexes = []) ~name schema =
   let mk (index_name, cols) =
     Index.create ~name:index_name ~positions:(Schema.positions schema cols)
   in
+  let key_positions = Array.of_list (Schema.key_positions schema) in
+  let key_member = Array.make (Schema.arity schema) false in
+  Array.iter (fun i -> key_member.(i) <- true) key_positions;
   { name;
     schema;
+    key_positions;
+    key_member;
     heap = Row.Key.Tbl.create 1024;
     indexes = List.map mk indexes;
     ordered = [];
@@ -33,7 +43,13 @@ let create ?(indexes = []) ~name schema =
 let name t = t.name
 let schema t = t.schema
 let cardinality t = Row.Key.Tbl.length t.heap
-let key_of_row t row = Row.Key.of_row row (Schema.key_positions t.schema)
+let key_of_row t row =
+  let n = Array.length t.key_positions in
+  let out = Array.make n Value.Null in
+  for i = 0 to n - 1 do
+    out.(i) <- Row.get row t.key_positions.(i)
+  done;
+  Row.unsafe_of_array out
 let find t key = Row.Key.Tbl.find_opt t.heap key
 let mem t key = Row.Key.Tbl.mem t.heap key
 
@@ -101,10 +117,9 @@ let insert t ~lsn ?counter ?flag ?aux row =
   end
 
 let check_not_key t changes =
-  let key_positions = Schema.key_positions t.schema in
   List.iter
     (fun (i, _) ->
-       if List.mem i key_positions then
+       if i >= 0 && i < Array.length t.key_member && t.key_member.(i) then
          invalid_arg
            (Printf.sprintf "Table.update(%s): change touches key column %d"
               t.name i))
@@ -117,9 +132,24 @@ let update t ~lsn ~key changes =
     check_not_key t changes;
     let row' = Row.update record.Record.row changes in
     let record' = Record.with_lsn (Record.with_row record row') lsn in
-    index_remove t key record.Record.row;
+    (* An update that leaves every indexed column alone leaves that
+       index's entry (projection and key) unchanged — skip the
+       remove+reinsert. Most workload updates touch no index at all. *)
+    List.iter
+      (fun ix ->
+         if Index.touches ix changes then begin
+           Index.remove ix ~key record.Record.row;
+           Index.insert ix ~key row'
+         end)
+      t.indexes;
+    List.iter
+      (fun ix ->
+         if Ordered_index.touches ix changes then begin
+           Ordered_index.remove ix ~key record.Record.row;
+           Ordered_index.insert ix ~key row'
+         end)
+      t.ordered;
     Row.Key.Tbl.replace t.heap key record';
-    index_insert t key row';
     Ok record'
 
 let set_record t ~key record =

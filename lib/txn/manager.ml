@@ -47,6 +47,8 @@ type t = {
   mutable next_pin : pin;
   mutable durable_floor : Lsn.t option;  (* last durable checkpoint LSN *)
   mutable truncate_after : int;  (* re-check low water at this length *)
+  mutable group_window : int;  (* commits per durability barrier *)
+  mutable pending_syncs : int;  (* commits since the last barrier *)
   wait_graph : Wait_graph.t;
   victims : (txn_id, unit) Hashtbl.t;  (* sentenced by deadlock handling *)
   mutable fairness : bool;
@@ -67,6 +69,7 @@ type t = {
   n_deadlocks : Obs.Counter.t;
   n_victims : Obs.Counter.t;
   g_low_water : Obs.Gauge.t;
+  h_batch : Obs.Histogram.t;  (* engine.commit_batch_size *)
 }
 
 let create ?log ?obs catalog =
@@ -82,6 +85,8 @@ let create ?log ?obs catalog =
       next_pin = 1;
       durable_floor = None;
       truncate_after = truncate_check_interval;
+      group_window = 1;
+      pending_syncs = 0;
       wait_graph = Wait_graph.create ~obs ();
       victims = Hashtbl.create 16;
       fairness = true;
@@ -96,7 +101,11 @@ let create ?log ?obs catalog =
       n_blocked = Obs.Registry.counter obs "txn.blocked";
       n_deadlocks = Obs.Registry.counter obs "txn.deadlocks";
       n_victims = Obs.Registry.counter obs "txn.victims";
-      g_low_water = Obs.Registry.gauge obs "wal.low_water" }
+      g_low_water = Obs.Registry.gauge obs "wal.low_water";
+      h_batch =
+        Obs.Registry.histogram
+          ~edges:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ]
+          obs "engine.commit_batch_size" }
   in
   (* Active-transaction count and the WAL shape are derived, so they
      are probes, not write-through counters. *)
@@ -108,6 +117,21 @@ let create ?log ?obs catalog =
       float_of_int (Log.segments t.log));
   Obs.Registry.probe obs "wal.truncated_total" (fun () ->
       float_of_int (Log.truncated_total t.log));
+  (* Allocation pressure per committed transaction: GC words allocated
+     since this manager was created, averaged over its commits. A cheap
+     engine-wide probe — the bench gates on it staying flat. *)
+  let alloc_base =
+    let s = Gc.quick_stat () in
+    s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+  in
+  Obs.Registry.probe obs "engine.alloc_words_per_txn" (fun () ->
+      let commits = Obs.Counter.value t.n_commits in
+      if commits = 0 then 0.
+      else begin
+        let s = Gc.quick_stat () in
+        let words = s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words in
+        (words -. alloc_base) /. float_of_int commits
+      end);
   t
 
 let obs t = t.obs
@@ -202,6 +226,33 @@ let truncate_wal t =
 
 let maybe_truncate t =
   if Log.length t.log >= t.truncate_after then ignore (truncate_wal t)
+
+(* {2 Group commit}
+
+   Commits inside a batch window share one durability barrier: the
+   persist sink buffers encoded records and [Log.sync] flushes them,
+   so a window of w commits costs one write+flush instead of w (one
+   per record before the buffered sink). The low-water/truncation
+   re-check rides the same barrier — it is the natural "end of a unit
+   of durable work" point. With the default window of 1 every commit
+   is durable at its ack, exactly the pre-group-commit contract. *)
+
+let flush_commits t =
+  if t.pending_syncs > 0 then begin
+    Log.sync t.log;
+    Obs.Histogram.observe t.h_batch (float_of_int t.pending_syncs);
+    t.pending_syncs <- 0;
+    maybe_truncate t
+  end
+
+let set_group_commit t window =
+  if window <= 0 then invalid_arg "Manager.set_group_commit: window";
+  t.group_window <- window;
+  (* Shrinking the window below what is already pending must not leave
+     acked commits waiting for a barrier that never comes. *)
+  if t.pending_syncs >= t.group_window then flush_commits t
+
+let group_commit_window t = t.group_window
 
 let mark_abort_only t id =
   match find_txn t id with
@@ -501,7 +552,8 @@ let commit t txn_id =
       in
       txn.last_lsn <- lsn;
       finish t txn Committed;
-      maybe_truncate t;
+      t.pending_syncs <- t.pending_syncs + 1;
+      if t.pending_syncs >= t.group_window then flush_commits t;
       Obs.Counter.incr t.n_commits;
       if Obs.Registry.tracing t.obs then
         Obs.point t.obs "txn.commit" [ ("txn", Json.Int txn_id) ];

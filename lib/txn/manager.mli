@@ -166,6 +166,30 @@ val abort : t -> txn_id -> (unit, error) result
 (** Rolls back by walking the undo chain, emitting CLRs; releases
     locks; writes Abort_begin / Abort_done. *)
 
+(** {2 Group commit}
+
+    The persist sink buffers encoded records; {!Log.sync} is the
+    durability barrier that flushes them. [commit] raises the barrier
+    once every [window] commits, so a batch shares one write+flush
+    (and one low-water/truncation re-check) instead of paying one per
+    record. The default window of 1 syncs at every commit — each ack
+    implies durability, the classical contract. A larger window trades
+    the durability of the last < window acked commits on a crash for
+    throughput; recovery semantics are otherwise unchanged (the
+    on-disk log is always a prefix of the in-memory log, and a lost
+    suffix only ever holds records of unsynced transactions). *)
+
+val set_group_commit : t -> int -> unit
+(** Set the batch window (>= 1). Shrinking it below the pending count
+    flushes immediately. *)
+
+val group_commit_window : t -> int
+
+val flush_commits : t -> unit
+(** Force the durability barrier now, regardless of the window — the
+    explicit drain for quiesce points (shutdown, checkpoint, end of a
+    bench phase). Observes the [engine.commit_batch_size] histogram. *)
+
 val mark_abort_only : t -> txn_id -> unit
 val is_abort_only : t -> txn_id -> bool
 

@@ -55,3 +55,52 @@ let decode_changes s =
 
 let encode_string_list = string_of_chunks
 let decode_string_list = chunks_of_string
+
+(* Buffer-direct variants for the WAL persist sink: encoding there runs
+   once per log record, and building the nested composite strings only
+   to copy them into an output buffer showed up in the engine bench.
+   Byte-for-byte the same format as the string encoders above. *)
+
+let add_chunk = put_chunk
+
+let add_chunk_of_buffer buf inner =
+  Buffer.add_string buf (string_of_int (Buffer.length inner));
+  Buffer.add_char buf ':';
+  Buffer.add_buffer buf inner
+
+(* One value as a chunk, without materialising [Value.encode]'s
+   intermediate string: the encoded length of every constructor is
+   known (or computable from one digit string), so the length prefix
+   can be written first and the payload streamed behind it. *)
+let add_value_chunk buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_string buf "1:N"
+  | Value.Bool true -> Buffer.add_string buf "2:Bt"
+  | Value.Bool false -> Buffer.add_string buf "2:Bf"
+  | Value.Int x ->
+    let d = string_of_int x in
+    Buffer.add_string buf (string_of_int (1 + String.length d));
+    Buffer.add_string buf ":I";
+    Buffer.add_string buf d
+  | Value.Float x ->
+    let d = Int64.to_string (Int64.bits_of_float x) in
+    Buffer.add_string buf (string_of_int (1 + String.length d));
+    Buffer.add_string buf ":F";
+    Buffer.add_string buf d
+  | Value.Text s ->
+    let d = string_of_int (String.length s) in
+    Buffer.add_string buf
+      (string_of_int (1 + String.length d + 1 + String.length s));
+    Buffer.add_string buf ":T";
+    Buffer.add_string buf d;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+
+let encode_row_into buf (r : Row.t) = Array.iter (add_value_chunk buf) r
+
+let encode_changes_into buf changes =
+  List.iter
+    (fun (i, v) ->
+       put_chunk buf (string_of_int i);
+       add_value_chunk buf v)
+    changes

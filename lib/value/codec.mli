@@ -15,3 +15,27 @@ val decode_changes : string -> (int * Value.t) list
 
 val encode_string_list : string list -> string
 val decode_string_list : string -> string list
+
+(** {2 Buffer-direct encoding}
+
+    Same byte format as the string encoders, written straight into a
+    caller-supplied buffer — the WAL persist sink encodes one record
+    per write operation and must not build the nested composite
+    strings just to copy them. *)
+
+val add_chunk : Buffer.t -> string -> unit
+(** Append one length-prefixed chunk. *)
+
+val add_chunk_of_buffer : Buffer.t -> Buffer.t -> unit
+(** Append the contents of the second buffer as one chunk. *)
+
+val add_value_chunk : Buffer.t -> Value.t -> unit
+(** [add_chunk buf (Value.encode v)] minus the intermediate string. *)
+
+val encode_row_into : Buffer.t -> Row.t -> unit
+(** [add_chunk buf (encode_row r)] minus the intermediate string — the
+    appended bytes are the {e chunks} of the row, so wrap with
+    {!add_chunk_of_buffer} where [encode_row]'s result was itself a
+    chunk. *)
+
+val encode_changes_into : Buffer.t -> (int * Value.t) list -> unit

@@ -2,6 +2,7 @@ type t = Value.t array
 
 let make vs = Array.of_list vs
 let of_array a = Array.copy a
+let unsafe_of_array a = a
 let arity = Array.length
 let get r i = r.(i)
 
@@ -44,6 +45,18 @@ let to_string r = Format.asprintf "%a" pp r
 
 let all_null n = Array.make n Value.Null
 let is_all_null r = Array.for_all Value.is_null r
+
+module Build = struct
+  type row = t
+  type t = Value.t array
+
+  let of_row = Array.copy
+  let null n = Array.make n Value.Null
+  let set (b : t) i v = b.(i) <- v
+  let blit_positions ~src ~positions (b : t) =
+    Array.iter (fun p -> b.(p) <- src.(p)) positions
+  let finish (b : t) : row = b
+end
 
 module Key = struct
   type row = t

@@ -11,6 +11,11 @@ val make : Value.t list -> t
 val of_array : Value.t array -> t
 (** Copies, so later mutation of the argument cannot alias. *)
 
+val unsafe_of_array : Value.t array -> t
+(** Adopts the array without copying. Hot-path constructor for callers
+    that just built the array and will never mutate it again (compiled
+    rule plans, {!Build}); everyone else goes through {!of_array}. *)
+
 val arity : t -> int
 val get : t -> int -> Value.t
 
@@ -32,6 +37,22 @@ val all_null : int -> t
     of the paper (Sec. 4.1). *)
 
 val is_all_null : t -> bool
+
+(** In-place batch builder for compiled plans: start from a copy or an
+    all-NULL array, mutate positions, then adopt the result without a
+    final copy. A builder must not escape after [finish]. *)
+module Build : sig
+  type row = t
+  type t
+
+  val of_row : row -> t
+  val null : int -> t
+  val set : t -> int -> Value.t -> unit
+  val blit_positions : src:row -> positions:int array -> t -> unit
+  (** Copy the values at [positions] from [src] (same coordinates). *)
+
+  val finish : t -> row
+end
 
 (** Keys: projections of rows used for identity. *)
 module Key : sig

@@ -21,6 +21,11 @@ type t = {
   mutable truncated : int;  (* total records freed over the log's life *)
   mutable high_water : int;  (* max live records ever held at once *)
   mutable sink : (Log_record.t -> unit) option;
+  mutable syncer : (unit -> unit) option;
+  (* Head-segment cache: append hits the same segment [seg_size] times
+     in a row, so remember it instead of a hash lookup per record. *)
+  mutable head_seg : Log_record.t option array;
+  mutable head_seg_no : int;  (* -1 = cache empty *)
 }
 
 let default_segment_size = 1024
@@ -33,9 +38,14 @@ let create ?(base = Lsn.zero) ?(segment_size = default_segment_size) () =
     head = Lsn.to_int base;
     truncated = 0;
     high_water = 0;
-    sink = None }
+    sink = None;
+    syncer = None;
+    head_seg = [||];
+    head_seg_no = -1 }
 
 let set_sink t sink = t.sink <- sink
+let set_syncer t syncer = t.syncer <- syncer
+let sync t = match t.syncer with Some f -> f () | None -> ()
 
 let base t = Lsn.of_int t.base
 let head t = Lsn.of_int t.head
@@ -58,12 +68,20 @@ let append t ~txn ~prev_lsn body =
   let record = { Log_record.lsn = Lsn.of_int l; txn; prev_lsn; body } in
   let sn = seg_no t l in
   let arr =
-    match Hashtbl.find_opt t.segs sn with
-    | Some arr -> arr
-    | None ->
-      let arr = Array.make t.seg_size None in
-      Hashtbl.replace t.segs sn arr;
+    if sn = t.head_seg_no then t.head_seg
+    else begin
+      let arr =
+        match Hashtbl.find_opt t.segs sn with
+        | Some arr -> arr
+        | None ->
+          let arr = Array.make t.seg_size None in
+          Hashtbl.replace t.segs sn arr;
+          arr
+      in
+      t.head_seg <- arr;
+      t.head_seg_no <- sn;
       arr
+    end
   in
   arr.(slot_no t l) <- Some record;
   t.head <- l;
@@ -84,6 +102,10 @@ let truncate_to t lsn =
   if nb > t.base then begin
     t.truncated <- t.truncated + (nb - t.base);
     t.base <- nb;
+    (* The cut may free the cached head segment (fully-truncated log at
+       a segment boundary) — drop the cache rather than reason about it. *)
+    t.head_seg <- [||];
+    t.head_seg_no <- -1;
     Hashtbl.filter_map_inplace
       (fun sn arr ->
          let seg_last = (sn + 1) * t.seg_size in
@@ -152,40 +174,36 @@ module Cursor = struct
   let lag c = max 0 (c.log.head - c.next_lsn + 1)
 end
 
-let to_lines t =
-  fold t ?from:None ?upto:None ~init:[]
-    ~f:(fun acc r -> Log_record.encode r :: acc)
+let to_records t =
+  fold t ?from:None ?upto:None ~init:[] ~f:(fun acc r -> r :: acc)
   |> List.rev
 
-let of_lines lines =
+let of_records records =
   let base =
-    match lines with
+    match records with
     | [] -> Lsn.zero
-    | first :: _ ->
-      let r = Log_record.decode first in
-      Lsn.of_int (Lsn.to_int r.Log_record.lsn - 1)
+    | first :: _ -> Lsn.of_int (Lsn.to_int first.Log_record.lsn - 1)
   in
   let t = create ~base () in
   List.iter
-    (fun line ->
-       let r = Log_record.decode line in
+    (fun (r : Log_record.t) ->
        (* Back-pointers must point strictly backwards; a forward pointer
           would send recovery's undo chase past the head (Not_found deep
           inside redo) — reject it here as corruption instead. *)
        if Lsn.(r.Log_record.prev_lsn >= r.Log_record.lsn) then
-         failwith "Log.of_lines: prev_lsn not behind its record";
+         failwith "Log.of_records: prev_lsn not behind its record";
        (match r.Log_record.body with
         | Log_record.Clr { undo_next; _ } ->
           if Lsn.(undo_next >= r.Log_record.lsn) then
-            failwith "Log.of_lines: CLR undo_next not behind its record"
+            failwith "Log.of_records: CLR undo_next not behind its record"
         | _ -> ());
        let lsn =
          append t ~txn:r.Log_record.txn ~prev_lsn:r.Log_record.prev_lsn
            r.Log_record.body
        in
        if not (Lsn.equal lsn r.Log_record.lsn) then
-         failwith "Log.of_lines: non-contiguous LSNs")
-    lines;
+         failwith "Log.of_records: non-contiguous LSNs")
+    records;
   (* Chain consistency: an in-range prev_lsn must reference a record of
      the same transaction (pointers below [base] are legal — the chain
      of a long-completed transaction may extend into a truncated log
@@ -195,7 +213,7 @@ let of_lines lines =
       if Lsn.(prev > Lsn.of_int t.base) then begin
         let target = get t prev in
         if target.Log_record.txn <> r.Log_record.txn then
-          failwith "Log.of_lines: prev_lsn crosses transactions"
+          failwith "Log.of_records: prev_lsn crosses transactions"
       end);
   t
 

@@ -41,7 +41,18 @@ val append : t -> txn:Log_record.txn_id -> prev_lsn:Lsn.t ->
 val set_sink : t -> (Log_record.t -> unit) option -> unit
 (** A callback invoked synchronously on every append — the hook
     durability uses to mirror the log to a file (see
-    {!Nbsc_engine.Persist}). *)
+    {!Nbsc_engine.Persist}). The sink receives the structured record;
+    any string encoding is the sink's own business. *)
+
+val set_syncer : t -> (unit -> unit) option -> unit
+(** A callback the commit path invokes through {!sync} when the records
+    appended so far must be durable — the group-commit barrier. A sink
+    that buffers writes installs a syncer that flushes; a sink that
+    writes through installs none. *)
+
+val sync : t -> unit
+(** Invoke the registered syncer, if any. After [sync] returns, every
+    record handed to the sink is durable. A no-op without a syncer. *)
 
 val head : t -> Lsn.t
 (** LSN of the most recently appended record; [base] when no live
@@ -108,19 +119,20 @@ module Cursor : sig
       (paper, Sec. 3.3). *)
 end
 
-val to_lines : t -> string list
-(** Serialize every live record ({!Log_record.encode}), oldest first. *)
+val to_records : t -> Log_record.t list
+(** Every live record, oldest first. The structured record is the
+    log's interchange format; the string codec ({!Log_record.encode})
+    lives at the persist/replay boundary only. *)
 
-val of_lines : string list -> t
-(** Rebuild a log from serialized records; the rebuilt base is one
-    below the first line's LSN (a retained suffix reloads with the
-    truncated prefix still unavailable).
-    @raise Failure on malformed input, non-contiguous LSNs, or an
-    inconsistent back-pointer chain (a [prev_lsn] / CLR [undo_next]
-    not strictly behind its record, or an in-range [prev_lsn] that
-    references another transaction's record). Pointers below the
-    rebuilt log's base are accepted: a retained log suffix may carry
-    completed transactions whose chains start in the truncated
-    prefix. *)
+val of_records : Log_record.t list -> t
+(** Rebuild a log from records; the rebuilt base is one below the
+    first record's LSN (a retained suffix reloads with the truncated
+    prefix still unavailable).
+    @raise Failure on non-contiguous LSNs or an inconsistent
+    back-pointer chain (a [prev_lsn] / CLR [undo_next] not strictly
+    behind its record, or an in-range [prev_lsn] that references
+    another transaction's record). Pointers below the rebuilt log's
+    base are accepted: a retained log suffix may carry completed
+    transactions whose chains start in the truncated prefix. *)
 
 val pp : Format.formatter -> t -> unit

@@ -123,6 +123,83 @@ let encode t =
     (Lsn.to_string t.lsn :: string_of_int t.txn :: Lsn.to_string t.prev_lsn
      :: encode_body t.body)
 
+(* Buffer-direct encoding for the persist sink: byte-identical to
+   [encode], without materializing the record (or its nested row /
+   change-list composites) as intermediate strings. [scratch] holds one
+   composite at a time; the caller provides it so a long-lived sink can
+   reuse the same two buffers for every record. *)
+
+let add_composite ~scratch buf fill =
+  Buffer.clear scratch;
+  fill scratch;
+  Codec.add_chunk_of_buffer buf scratch
+
+let encode_active_into ~scratch buf active =
+  add_composite ~scratch buf (fun b ->
+      List.iter
+        (fun (t, l) ->
+           Codec.add_chunk b (string_of_int t);
+           Codec.add_chunk b (Lsn.to_string l))
+        active)
+
+let encode_op_into ~scratch buf = function
+  | Insert { table; row } ->
+    Codec.add_chunk buf "ins";
+    Codec.add_chunk buf table;
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b row)
+  | Delete { table; key; before } ->
+    Codec.add_chunk buf "del";
+    Codec.add_chunk buf table;
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b key);
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b before)
+  | Update { table; key; changes; before } ->
+    Codec.add_chunk buf "upd";
+    Codec.add_chunk buf table;
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b key);
+    add_composite ~scratch buf (fun b -> Codec.encode_changes_into b changes);
+    add_composite ~scratch buf (fun b -> Codec.encode_changes_into b before)
+
+let encode_body_into ~scratch buf = function
+  | Begin -> Codec.add_chunk buf "begin"
+  | Commit -> Codec.add_chunk buf "commit"
+  | Abort_begin -> Codec.add_chunk buf "abort_begin"
+  | Abort_done -> Codec.add_chunk buf "abort_done"
+  | Op op ->
+    Codec.add_chunk buf "op";
+    encode_op_into ~scratch buf op
+  | Clr { undo_next; op } ->
+    Codec.add_chunk buf "clr";
+    Codec.add_chunk buf (Lsn.to_string undo_next);
+    encode_op_into ~scratch buf op
+  | Fuzzy_mark { active } ->
+    Codec.add_chunk buf "fuzzy";
+    encode_active_into ~scratch buf active
+  | Cc_begin { table; key } ->
+    Codec.add_chunk buf "cc_begin";
+    Codec.add_chunk buf table;
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b key)
+  | Cc_ok { table; key; image } ->
+    Codec.add_chunk buf "cc_ok";
+    Codec.add_chunk buf table;
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b key);
+    add_composite ~scratch buf (fun b -> Codec.encode_row_into b image)
+  | Checkpoint { active } ->
+    Codec.add_chunk buf "ckpt";
+    encode_active_into ~scratch buf active
+  | Job_state { job; state } ->
+    Codec.add_chunk buf "job";
+    Codec.add_chunk buf job;
+    Codec.add_chunk buf state
+  | Job_done { job } ->
+    Codec.add_chunk buf "job_done";
+    Codec.add_chunk buf job
+
+let encode_into ~scratch buf t =
+  Codec.add_chunk buf (Lsn.to_string t.lsn);
+  Codec.add_chunk buf (string_of_int t.txn);
+  Codec.add_chunk buf (Lsn.to_string t.prev_lsn);
+  encode_body_into ~scratch buf t.body
+
 let decode s =
   match Codec.decode_string_list s with
   | lsn :: txn :: prev :: body ->

@@ -81,6 +81,12 @@ type t = {
 val encode : t -> string
 (** Single-line, self-delimiting encoding; inverse of {!decode}. *)
 
+val encode_into : scratch:Buffer.t -> Buffer.t -> t -> unit
+(** Append the bytes of [encode] to the second buffer without
+    materializing intermediate strings. [scratch] is clobbered (holds
+    one nested composite at a time); a long-lived sink passes the same
+    two buffers for every record. *)
+
 val decode : string -> t
 (** @raise Failure on malformed input. *)
 

@@ -82,12 +82,12 @@ let test_mid_abort_crash () =
   ok "i" (Manager.insert mgr ~txn ~table:"t" (row 2 "x" 2));
   ok "u" (Manager.update mgr ~txn ~table:"t" ~key:(key 1) [ (1, Value.Text "y") ]);
   ok "a" (Manager.abort mgr txn);
-  let lines = Nbsc_wal.Log.to_lines (Db.log db) in
+  let records = Nbsc_wal.Log.to_records (Db.log db) in
   (* Drop the last two records (the second CLR and Abort_done). *)
   let truncated =
-    List.filteri (fun i _ -> i < List.length lines - 2) lines
+    List.filteri (fun i _ -> i < List.length records - 2) records
   in
-  let partial = Nbsc_wal.Log.of_lines truncated in
+  let partial = Nbsc_wal.Log.of_records truncated in
   let recovered, report = Recovery.recover ~table_defs:defs partial in
   Alcotest.(check (list int)) "still a loser" [ txn ] report.Recovery.losers;
   let t = Catalog.find recovered "t" in

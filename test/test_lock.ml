@@ -129,7 +129,11 @@ let test_transfer_unconditional () =
   let t = Lock_table.create () in
   ignore (Lock_table.acquire t ~owner:1 ~table:"T" ~key:(k 1) (native Compat.X));
   (* A transfer succeeds even against a conflicting native lock. *)
-  Lock_table.transfer t ~owner:2 ~table:"T" ~key:(k 1) (source 0 Compat.X);
+  Alcotest.(check bool) "adds coverage" true
+    (Lock_table.transfer t ~owner:2 ~table:"T" ~key:(k 1) (source 0 Compat.X));
+  (* Re-transferring the same lock adds nothing. *)
+  Alcotest.(check bool) "idempotent" false
+    (Lock_table.transfer t ~owner:2 ~table:"T" ~key:(k 1) (source 0 Compat.X));
   Alcotest.(check int) "both present" 2
     (List.length (Lock_table.holders t ~table:"T" ~key:(k 1)))
 

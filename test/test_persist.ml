@@ -79,6 +79,10 @@ let test_crash_rolls_back_losers () =
   ok "ghost update"
     (Manager.update (Db.manager db) ~txn ~table:"t"
        ~key:(Row.make [ Value.Int 1 ]) [ (1, Value.Text "ghost") ]);
+  (* The buffered sink only writes at the group-commit barrier; raise
+     it explicitly so the ghost ops are on disk without their Commit —
+     the torn durability state this test is about. *)
+  Nbsc_wal.Log.sync (Db.log db);
   (* crash: abandon p without close/commit *)
   let p2 = ok_p "open after crash" (Persist.open_dir ~dir) in
   (match Persist.last_recovery p2 with

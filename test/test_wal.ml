@@ -6,6 +6,25 @@ open Nbsc_wal
 let sample_row = Row.make [ Value.Int 7; Value.Text "x"; Value.Null ]
 let sample_key = Row.make [ Value.Int 7 ]
 
+(* One row exercising every constructor and the encoding's edge cases:
+   NULL, extreme ints, non-finite and signed-zero floats (round-trip
+   through Int64 bits), both booleans, the empty string, and text
+   containing every delimiter the chunk format must be immune to
+   (':' length separators, backslashes, and a decoy "<len>:" prefix). *)
+let edge_row =
+  Row.make
+    [ Value.Null; Value.Int max_int; Value.Int min_int;
+      Value.Float Float.nan; Value.Float (-0.); Value.Float Float.infinity;
+      Value.Bool true; Value.Bool false; Value.Text "";
+      Value.Text "a:b\\c|d"; Value.Text "7:seven" ]
+
+(* [encode_into] must agree byte-for-byte with [encode] — the persist
+   sink uses the buffer-direct path, replay decodes its output. *)
+let encode_via_buffer r =
+  let buf = Buffer.create 64 and scratch = Buffer.create 64 in
+  Log_record.encode_into ~scratch buf r;
+  Buffer.contents buf
+
 let bodies =
   [ Log_record.Begin;
     Log_record.Commit;
@@ -27,7 +46,14 @@ let bodies =
     Log_record.Fuzzy_mark { active = [] };
     Log_record.Cc_begin { table = "t"; key = sample_key };
     Log_record.Cc_ok { table = "t"; key = sample_key; image = sample_row };
-    Log_record.Checkpoint { active = [ (1, Lsn.of_int 1) ] } ]
+    Log_record.Checkpoint { active = [ (1, Lsn.of_int 1) ] };
+    Log_record.Op (Log_record.Insert { table = "t"; row = edge_row });
+    Log_record.Op
+      (Log_record.Update
+         { table = "t";
+           key = sample_key;
+           changes = [ (0, Value.Text ""); (3, Value.Float Float.nan) ];
+           before = [ (0, Value.Null); (3, Value.Float (-0.)) ] }) ]
 
 let test_record_roundtrip () =
   List.iteri
@@ -42,7 +68,10 @@ let test_record_roundtrip () =
        Alcotest.(check string)
          (Printf.sprintf "body %d" i)
          (Format.asprintf "%a" Log_record.pp r)
-         (Format.asprintf "%a" Log_record.pp r'))
+         (Format.asprintf "%a" Log_record.pp r');
+       Alcotest.(check string)
+         (Printf.sprintf "encode_into agrees %d" i)
+         (Log_record.encode r) (encode_via_buffer r))
     bodies
 
 let test_append_get () =
@@ -101,10 +130,18 @@ let test_cursor () =
   Alcotest.(check bool) "next is 3" true
     ((Option.get (Log.Cursor.next c)).Log_record.txn = 3)
 
+(* Serialize through the persist-boundary codec and rebuild — exactly
+   what a durable round trip does. *)
+let codec_roundtrip log =
+  Log.to_records log
+  |> List.map Log_record.encode
+  |> List.map Log_record.decode
+  |> Log.of_records
+
 let test_serialization_roundtrip () =
   let log = Log.create () in
   (* Chain each record to the same transaction's previous record —
-     of_lines validates the back-pointer chains. *)
+     of_records validates the back-pointer chains. *)
   let last = Hashtbl.create 8 in
   List.iteri
     (fun i body ->
@@ -114,7 +151,7 @@ let test_serialization_roundtrip () =
        in
        Hashtbl.replace last txn (Log.append log ~txn ~prev_lsn:prev body))
     bodies;
-  let log' = Log.of_lines (Log.to_lines log) in
+  let log' = codec_roundtrip log in
   Alcotest.(check int) "same length" (Log.length log) (Log.length log');
   Log.iter log (fun r ->
       let r' = Log.get log' r.Log_record.lsn in
@@ -225,7 +262,7 @@ let test_roundtrip_after_truncate () =
   let log = Log.create ~segment_size:4 () in
   append_n log 10;
   Log.truncate_to log (Lsn.of_int 6);
-  let log' = Log.of_lines (Log.to_lines log) in
+  let log' = codec_roundtrip log in
   Alcotest.(check int) "base carried" 5 (Lsn.to_int (Log.base log'));
   Alcotest.(check int) "length carried" 5 (Log.length log');
   Alcotest.(check int) "head carried" 10 (Lsn.to_int (Log.head log'));
@@ -266,7 +303,17 @@ let arb_body =
   let value =
     oneof
       [ return Value.Null; map (fun i -> Value.Int i) int;
-        map (fun s -> Value.Text s) small_string ]
+        map (fun f -> Value.Float f) float;
+        map (fun b -> Value.Bool b) bool;
+        map (fun s -> Value.Text s) small_string;
+        (* Edge cases the uniform generators rarely hit: extremes,
+           non-finite floats, and delimiter-shaped text. *)
+        oneofl
+          [ Value.Int max_int; Value.Int min_int;
+            Value.Float Float.nan; Value.Float Float.infinity;
+            Value.Float Float.neg_infinity; Value.Float (-0.);
+            Value.Text ""; Value.Text ":"; Value.Text "\\";
+            Value.Text "3:abc" ] ]
   in
   let row = map Row.make (list_size (int_range 1 4) value) in
   let body =
@@ -298,10 +345,11 @@ let prop_log_serialization =
        List.iteri
          (fun i body -> ignore (Log.append log ~txn:i ~prev_lsn:Lsn.zero body))
          bodies;
-       let log' = Log.of_lines (Log.to_lines log) in
+       let log' = codec_roundtrip log in
        Log.length log = Log.length log'
        && Log.fold log ?from:None ?upto:None ~init:true ~f:(fun acc r ->
            acc
+           && Log_record.encode r = encode_via_buffer r
            && Format.asprintf "%a" Log_record.pp r
               = Format.asprintf "%a" Log_record.pp (Log.get log' r.Log_record.lsn)))
 
