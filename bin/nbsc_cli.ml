@@ -292,13 +292,15 @@ let run_sync () =
   let module E = Nbsc_sim.Experiment in
   List.iter
     (fun strategy ->
-       let r = E.sync_window ~strategy () in
-       say "%-22s final-iteration records=%d wall=%s forced aborts=%d"
-         r.E.strategy_name r.E.final_records
-         (match r.E.wall_ns with
-          | Some ns -> Printf.sprintf "%.4f ms" (float_of_int ns /. 1e6)
-          | None -> "n/a")
-         r.E.forced_aborts)
+       match E.sync_window ~strategy () with
+       | Error e -> say "sync window failed: %s" (Nbsc_error.to_string e)
+       | Ok r ->
+         say "%-22s final-iteration records=%d wall=%s forced aborts=%d"
+           r.E.strategy_name r.E.final_records
+           (match r.E.wall_ns with
+            | Some ns -> Printf.sprintf "%.4f ms" (float_of_int ns /. 1e6)
+            | None -> "n/a")
+           r.E.forced_aborts)
     [ Transform.Nonblocking_abort; Transform.Nonblocking_commit;
       Transform.Blocking_commit ];
   `Ok ()

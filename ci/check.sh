@@ -64,6 +64,30 @@ for key in '"bench":"engine"' '"populate"' '"propagate"' '"txn_per_s"' \
   }
 done
 
+# Smoke the shard bench (quick scale): serial vs 1/2/4/8-domain runs
+# of the same split transformation. The bench itself exits non-zero if
+# any sharded configuration diverges from the serial baseline (the
+# 1-domain run must be byte-identical, record level included), and the
+# gate holds the 1-domain population rate within 20% of the committed
+# baseline.
+echo "== bench shard smoke + equality + regression gate =="
+shard_out=$(mktemp /tmp/nbsc_bench_shard.XXXXXX.json)
+trap 'rm -f "$trace_out" "$wal_out" "$engine_out" "$shard_out"' EXIT
+dune exec bench/main.exe -- shard quick --out "$shard_out" \
+  --gate ci/bench_shard_baseline.json >/dev/null
+test -s "$shard_out"
+for key in '"bench":"shard"' '"serial"' '"runs"' '"populate_rows_per_s"' \
+  '"propagate_records_per_s"' '"equal_to_serial"'; do
+  grep -q "$key" "$shard_out" || {
+    echo "bench shard JSON missing $key" >&2
+    exit 1
+  }
+done
+if grep -q '"equal_to_serial":false' "$shard_out"; then
+  echo "bench shard: a sharded run diverged from the serial baseline" >&2
+  exit 1
+fi
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

@@ -13,15 +13,15 @@ module Schema_change = struct
 
   let transform h = h
 
-  let start db ?config spec =
+  let start db ?config ?exec spec =
     (* The builders validate specs with Invalid_argument (a contract
        several tests pin down); the façade folds that into a result. *)
     match
       (match spec with
-       | Spec.Foj s -> Transform.foj db ?config s
-       | Spec.Split s -> Transform.split db ?config s
-       | Spec.Hsplit s -> Transform.hsplit db ?config s
-       | Spec.Merge s -> Transform.merge db ?config s)
+       | Spec.Foj s -> Transform.foj db ?config ?exec s
+       | Spec.Split s -> Transform.split db ?config ?exec s
+       | Spec.Hsplit s -> Transform.hsplit db ?config ?exec s
+       | Spec.Merge s -> Transform.merge db ?config ?exec s)
     with
     | t -> Ok t
     | exception Invalid_argument m -> Error (`Invalid m)

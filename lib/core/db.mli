@@ -31,14 +31,17 @@ module Schema_change : sig
   }
 
   val start :
-    t -> ?config:Transform.config -> Spec.any -> (handle, Nbsc_error.t) result
+    t -> ?config:Transform.config -> ?exec:Domain_pool.exec -> Spec.any ->
+    (handle, Nbsc_error.t) result
   (** Validate the spec, build the operator (target tables, indexes)
       and register the executor. A rejected specification returns
-      [`Invalid] — nothing raises. *)
+      [`Invalid] — nothing raises. [exec] (default
+      {!Domain_pool.Serial}) shards the change's population and
+      propagation across a domain pool. *)
 
   val resume :
-    ?config:Transform.config -> Nbsc_engine.Persist.t ->
-    (handle list, Nbsc_error.t) result
+    ?config:Transform.config -> ?exec:Domain_pool.exec ->
+    Nbsc_engine.Persist.t -> (handle list, Nbsc_error.t) result
   (** Rebuild every schema change that was in flight when the reopened
       database crashed (see [Transform.resume]). *)
 

@@ -1,0 +1,164 @@
+module Obs = Nbsc_obs.Obs
+
+(* One parked worker domain. The slot's mutex guards [work], [completed]
+   and [stop]; the coordinator writes a job under the lock and signals
+   [work_ready], the worker runs it outside the lock and signals
+   [work_done]. Results and exceptions travel through the closure, not
+   the slot — the barrier's lock handoff orders those writes. *)
+type slot = {
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable work : (unit -> unit) option;
+  mutable completed : bool;
+  mutable stop : bool;
+}
+
+type t = {
+  pool_size : int;
+  slots : slot array;  (* workers 1 .. size-1 *)
+  domains : unit Domain.t array;
+  tasks : Obs.Counter.t array option;  (* per worker, incl. worker 0 *)
+  mutable shut : bool;
+}
+
+type exec =
+  | Serial
+  | Sharded of { pool : t; shards : int }
+
+let worker_loop slot =
+  let rec loop () =
+    Mutex.lock slot.lock;
+    while slot.work = None && not slot.stop do
+      Condition.wait slot.work_ready slot.lock
+    done;
+    if slot.stop then Mutex.unlock slot.lock
+    else begin
+      let job = match slot.work with Some j -> j | None -> assert false in
+      Mutex.unlock slot.lock;
+      (* The job never raises: [run] wraps the user function so the
+         exception crosses domains as a value. *)
+      job ();
+      Mutex.lock slot.lock;
+      slot.work <- None;
+      slot.completed <- true;
+      Condition.signal slot.work_done;
+      Mutex.unlock slot.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?obs ~size () =
+  let size = max 1 size in
+  let slots =
+    Array.init (size - 1) (fun _ ->
+        { lock = Mutex.create ();
+          work_ready = Condition.create ();
+          work_done = Condition.create ();
+          work = None;
+          completed = false;
+          stop = false })
+  in
+  let domains =
+    Array.map (fun slot -> Domain.spawn (fun () -> worker_loop slot)) slots
+  in
+  let tasks =
+    match obs with
+    | None -> None
+    | Some reg ->
+      Some
+        (Array.init size (fun i ->
+             Obs.Registry.counter reg
+               (Printf.sprintf "pool.worker%d.tasks" i)))
+  in
+  { pool_size = size; slots; domains; tasks; shut = false }
+
+let size t = t.pool_size
+
+let count_task t i =
+  match t.tasks with None -> () | Some c -> Obs.Counter.incr c.(i)
+
+let run t f =
+  if t.shut then invalid_arg "Domain_pool.run: pool is shut down";
+  if t.pool_size = 1 then begin
+    count_task t 0;
+    [| f 0 |]
+  end
+  else begin
+    let results = Array.make t.pool_size None in
+    for i = 1 to t.pool_size - 1 do
+      let slot = t.slots.(i - 1) in
+      count_task t i;
+      Mutex.lock slot.lock;
+      slot.completed <- false;
+      slot.work <-
+        Some
+          (fun () ->
+             results.(i) <-
+               (match f i with v -> Some (Ok v) | exception e -> Some (Error e)));
+      Condition.signal slot.work_ready;
+      Mutex.unlock slot.lock
+    done;
+    count_task t 0;
+    results.(0) <- (match f 0 with v -> Some (Ok v) | exception e -> Some (Error e));
+    for i = 1 to t.pool_size - 1 do
+      let slot = t.slots.(i - 1) in
+      Mutex.lock slot.lock;
+      while not slot.completed do
+        Condition.wait slot.work_done slot.lock
+      done;
+      Mutex.unlock slot.lock
+    done;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let shards = function Serial -> 1 | Sharded { shards; _ } -> max 1 shards
+
+let run_shards exec ~shards:n f =
+  let n = max 1 n in
+  match exec with
+  | Serial -> Array.init n f
+  | Sharded { pool; _ } ->
+    if n = 1 || pool.pool_size = 1 then Array.init n f
+    else begin
+      (* Shard i runs on worker (i mod size); each worker walks its own
+         stride, so every shard is covered exactly once and results are
+         written to disjoint indices. *)
+      let results = Array.make n None in
+      let per_worker w =
+        let i = ref w in
+        while !i < n do
+          results.(!i) <-
+            (match f !i with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e));
+          i := !i + pool.pool_size
+        done
+      in
+      ignore (run pool per_worker);
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false)
+        results
+    end
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Array.iter
+      (fun slot ->
+         Mutex.lock slot.lock;
+         slot.stop <- true;
+         Condition.signal slot.work_ready;
+         Mutex.unlock slot.lock)
+      t.slots;
+    Array.iter Domain.join t.domains
+  end

@@ -1,0 +1,48 @@
+(** A spawn-once pool of OCaml 5 domains for per-shard schema-change
+    work. Workers are spawned at [create] and parked on a condition
+    variable between quanta; [run] is a fork/join barrier dispatching
+    one task per worker, with worker 0 always running on the calling
+    domain (a pool of size 1 never leaves it).
+
+    The discipline callers must keep: the pool runs {e read-mostly}
+    work — scanning frozen structures and computing pure values — and
+    all shared-state mutation happens on the calling domain after the
+    barrier returns. The engine itself stays single-domain; only the
+    bounded quantum bodies fan out. *)
+
+type t
+
+(** How a transformation executes its quanta. [Serial] is the legacy
+    single-cursor path; [Sharded] partitions rows by key hash into
+    [shards] buckets and fans each quantum out over [pool]. A
+    [Sharded] execution with [shards = 1] performs the exact same
+    operation sequence as [Serial] (the differential tests enforce
+    byte-identity). *)
+type exec =
+  | Serial
+  | Sharded of { pool : t; shards : int }
+
+val create : ?obs:Nbsc_obs.Obs.Registry.t -> size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains (clamped to at
+    least 1 total). With [?obs], registers a [pool.worker<i>.tasks]
+    counter per worker, incremented at each dispatch. *)
+
+val size : t -> int
+
+val run : t -> (int -> 'a) -> 'a array
+(** [run t f] evaluates [f 0 .. f (size-1)] — [f 0] on the calling
+    domain, the rest on the parked workers — and returns all results
+    after every worker finished (a full barrier). If any call raised,
+    the lowest-indexed exception is re-raised after the barrier. *)
+
+val run_shards : exec -> shards:int -> (int -> 'a) -> 'a array
+(** [run_shards exec ~shards f] evaluates [f] for every shard index.
+    [Serial] (or one shard) runs all of them inline, in order; a
+    [Sharded] exec distributes shard [i] to worker [i mod size]. *)
+
+val shards : exec -> int
+(** Shard count of an execution mode: 1 for [Serial]. *)
+
+val shutdown : t -> unit
+(** Park and join every worker domain. Idempotent; [run] after
+    [shutdown] raises [Invalid_argument]. *)

@@ -297,6 +297,11 @@ let write_job_done t =
          ~prev_lsn:Lsn.zero (Log_record.Job_done { job = t.job_name }))
 
 let finalize t =
+  (* The schema-change commit point doubles as a durability barrier:
+     user commits acked inside the group window must not sit in the
+     buffered sink while the switch becomes observable (and while the
+     fault site below can crash us). *)
+  Manager.flush_commits t.mgr;
   Fault.hit "sync_commit";
   if t.hook_installed then begin
     Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
@@ -310,6 +315,10 @@ let finalize t =
            Catalog.drop (Db.catalog t.db) src)
       t.src;
   t.hooks.Transformation.on_done ();
+  (* Population finished long ago, but with [drop_sources = false] its
+     fuzzy cursors were never closed — the source tables would refuse
+     arrival compaction forever. Close is idempotent. *)
+  Population.close t.pop;
   Propagator.close t.prop;
   remove_probes t;
   (* No [Job_done] here: the targets' final writes are unlogged, so
@@ -483,19 +492,20 @@ type resume_info = {
   r_skip : Manager.txn_id list;
 }
 
-let create db ?(config = default_config) ?resume ?job_name packed =
+let create db ?(config = default_config) ?resume ?job_name ?exec packed =
   let (module T : Transformation.S) = packed in
   let mgr = Db.manager db in
   let prop, tphase, route =
     match resume with
-    | None -> (Transformation.start_propagator mgr T.rules, Populating, `Sources)
+    | None ->
+      (Transformation.start_propagator ?exec mgr T.rules, Populating, `Sources)
     | Some r ->
       (* The initial image is already in the targets (restored from the
          snapshot); re-read the retained log suffix from where the
          crashed propagator stood. Loser transactions were rolled back
          by recovery without logging, so their records are skipped. *)
       let prop =
-        Propagator.create ~skip:r.r_skip mgr T.rules ~from:r.r_position
+        Propagator.create ~skip:r.r_skip ?exec mgr T.rules ~from:r.r_position
       in
       (match r.r_phase with
        | `Propagating -> (prop, Propagating, `Sources)
@@ -580,10 +590,17 @@ let create db ?(config = default_config) ?resume ?job_name packed =
    | None -> ());
   t
 
-let foj db ?config spec = create db ?config (Transformation.foj db spec)
-let split db ?config spec = create db ?config (Transformation.split db spec)
-let hsplit db ?config spec = create db ?config (Transformation.hsplit db spec)
-let merge db ?config spec = create db ?config (Transformation.merge db spec)
+let foj db ?config ?exec spec =
+  create db ?config ?exec (Transformation.foj ?exec db spec)
+
+let split db ?config ?exec spec =
+  create db ?config ?exec (Transformation.split ?exec db spec)
+
+let hsplit db ?config ?exec spec =
+  create db ?config ?exec (Transformation.hsplit ?exec db spec)
+
+let merge db ?config ?exec spec =
+  create db ?config ?exec (Transformation.merge ?exec db spec)
 
 (* {2 Crash resume} *)
 
@@ -593,7 +610,7 @@ let targets_of_spec = function
   | Spec.Hsplit s -> [ s.Spec.h_true_table; s.Spec.h_false_table ]
   | Spec.Merge s -> [ s.Spec.m_target ]
 
-let resume_one db ?config ~losers (name, state) =
+let resume_one db ?config ?exec ~losers (name, state) =
   match decode_job_state state with
   | exception Failure m -> Error (`Corrupt m)
   | tag, position, spec_payload ->
@@ -630,11 +647,12 @@ let resume_one db ?config ~losers (name, state) =
                r_position = position;
                r_skip = losers }
        in
-       (match Transformation.of_payload db spec_payload with
+       (match Transformation.of_payload ?exec db spec_payload with
         | Error m -> Error (`Corrupt m)
-        | Ok packed -> Ok (create db ?config ?resume ~job_name:name packed)))
+        | Ok packed ->
+          Ok (create db ?config ?resume ~job_name:name ?exec packed)))
 
-let resume ?config persist =
+let resume ?config ?exec persist =
   let db = Persist.db persist in
   let losers =
     match Persist.last_recovery persist with
@@ -644,7 +662,7 @@ let resume ?config persist =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | ((name, _) as job) :: rest ->
-      (match resume_one db ?config ~losers job with
+      (match resume_one db ?config ?exec ~losers job with
        | Error e -> Error (`Job_failed (name, Nbsc_error.to_string e))
        | exception Failure m -> Error (`Job_failed (name, m))
        | Ok t -> go (t :: acc) rest)

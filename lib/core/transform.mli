@@ -117,7 +117,7 @@ type resume_info = {
 
 val create :
   Nbsc_engine.Db.t -> ?config:config -> ?resume:resume_info -> ?job_name:string ->
-  Transformation.packed -> t
+  ?exec:Domain_pool.exec -> Transformation.packed -> t
 (** Wrap any {!Transformation.S} operator in an executor and register
     it as a background job on the database. When the operator is
     persistable ({!Transformation.S.spec_payload}), the executor also
@@ -125,7 +125,11 @@ val create :
     checkpoints keep the durable state current. [resume] starts the
     executor mid-lifecycle instead of at population; [job_name] pins
     the registry name (resume keeps the crashed job's name so the
-    durable [Job_state]/[Job_done] chain stays coherent). *)
+    durable [Job_state]/[Job_done] chain stays coherent). [exec]
+    (default {!Domain_pool.Serial}) shards the executor's {e propagator}
+    — a packed operator's population carries its own execution mode,
+    chosen when the operator was built; the convenience constructors
+    below pass one [?exec] to both. *)
 
 (** {2 Convenience constructors for the paper's operators}
 
@@ -138,10 +142,17 @@ val create :
     {!Nbsc_error.t}. They remain for tests and for callers that need
     the bare executor. *)
 
-val foj : Nbsc_engine.Db.t -> ?config:config -> Spec.foj -> t
-val split : Nbsc_engine.Db.t -> ?config:config -> Spec.split -> t
-val hsplit : Nbsc_engine.Db.t -> ?config:config -> Spec.hsplit -> t
-val merge : Nbsc_engine.Db.t -> ?config:config -> Spec.merge -> t
+val foj :
+  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.foj -> t
+
+val split :
+  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.split -> t
+
+val hsplit :
+  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.hsplit -> t
+
+val merge :
+  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.merge -> t
 
 val step : t -> [ `Running | `Done | `Failed of string ]
 (** One bounded quantum of background work. *)
@@ -170,7 +181,9 @@ val job_name : t -> string
 val counters : t -> (string * int) list
 (** The operator's labelled counters (see {!Transformation.S.counters}). *)
 
-val resume : ?config:config -> Persist.t -> (t list, Nbsc_error.t) result
+val resume :
+  ?config:config -> ?exec:Domain_pool.exec -> Persist.t ->
+  (t list, Nbsc_error.t) result
 (** Rebuild and re-register every schema-change job that was in flight
     when the (re)opened database crashed ({!Persist.pending_jobs}).
 

@@ -55,7 +55,7 @@ let ensure_table catalog ?indexes ~name schema =
       (fun (ix, columns) -> Table.add_index tbl ~name:ix ~columns)
       (match indexes with Some ixs -> ixs | None -> [])
 
-let start_propagator mgr rules =
+let start_propagator ?exec mgr rules =
   let active = Manager.active_snapshot mgr in
   let mark =
     Log.append (Manager.log mgr) ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
@@ -66,7 +66,7 @@ let start_propagator mgr rules =
       (fun acc (_, first) -> if Lsn.(first < acc) then first else acc)
       mark active
   in
-  Propagator.create mgr rules ~from
+  Propagator.create ?exec mgr rules ~from
 
 let counter (module T : S) name =
   match List.assoc_opt name (T.counters ()) with
@@ -98,7 +98,7 @@ let foj_target_to_sources fj ~key =
   (if Row.Key.has_null r_part then [] else [ (spec.Spec.r_table, r_part) ])
   @ if Row.Key.has_null s_part then [] else [ (spec.Spec.s_table, s_part) ]
 
-let foj ?(transfer_locks = true) ?plan_mode db spec =
+let foj ?(transfer_locks = true) ?plan_mode ?exec db spec =
   let catalog = Db.catalog db in
   let layout = Spec.foj_layout catalog spec in
   ensure_table catalog
@@ -107,7 +107,7 @@ let foj ?(transfer_locks = true) ?plan_mode db spec =
   let fj = Foj.create ?mode:plan_mode catalog layout in
   let r_tbl = Catalog.find catalog spec.Spec.r_table in
   let s_tbl = Catalog.find catalog spec.Spec.s_table in
-  let pop = Population.foj fj ~r_tbl ~s_tbl in
+  let pop = Population.foj ?exec fj ~r_tbl ~s_tbl in
   let apply =
     if spec.Spec.many_to_many then
       fun ~lsn op ->
@@ -172,7 +172,7 @@ let split_target_to_sources sp db ~table ~key =
         (Table.index_lookup t_tbl ~index:Spec.ix_t_split key)
   else []
 
-let split ?plan_mode db spec =
+let split ?plan_mode ?exec db spec =
   let catalog = Db.catalog db in
   let layout = Spec.split_layout catalog spec in
   ensure_table catalog ~name:spec.Spec.r_table' (Spec.split_r_schema layout);
@@ -184,7 +184,7 @@ let split ?plan_mode db spec =
     if spec.Spec.assume_consistent then None
     else Some (Consistency.create catalog sp ~log:(Db.log db))
   in
-  let pop = Population.split sp ~t_tbl in
+  let pop = Population.split ?exec sp ~t_tbl in
   let rules =
     { Propagator.sources = [ spec.Spec.t_table' ];
       targets = [ spec.Spec.r_table'; spec.Spec.s_table' ];
@@ -217,14 +217,16 @@ let split ?plan_mode db spec =
 
 (* {1 Horizontal (selection) split} *)
 
-let hsplit db spec =
+let hsplit ?exec db spec =
   let catalog = Db.catalog db in
   let layout = Spec.hsplit_layout catalog spec in
   ensure_table catalog ~name:spec.Spec.h_true_table layout.Spec.h_schema;
   ensure_table catalog ~name:spec.Spec.h_false_table layout.Spec.h_schema;
   let hs = Hsplit.create catalog layout in
   let source = Catalog.find catalog spec.Spec.h_source in
-  let pop = Population.scan_one source ~ingest:(Hsplit.ingest_initial hs) in
+  let pop =
+    Population.scan_one ?exec source ~ingest:(Hsplit.ingest_initial hs)
+  in
   let rules =
     Propagator.rules ~sources:[ spec.Spec.h_source ]
       ~targets:[ spec.Spec.h_true_table; spec.Spec.h_false_table ]
@@ -258,13 +260,15 @@ let hsplit db spec =
 
 (* {1 Merge (union)} *)
 
-let merge db spec =
+let merge ?exec db spec =
   let catalog = Db.catalog db in
   let layout = Spec.merge_layout catalog spec in
   ensure_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema;
   let mg = Merge.create catalog layout in
   let sources = List.map (Catalog.find catalog) spec.Spec.m_sources in
-  let pop = Population.scan_many sources ~ingest:(Merge.ingest_initial mg) in
+  let pop =
+    Population.scan_many ?exec sources ~ingest:(Merge.ingest_initial mg)
+  in
   let rules =
     Propagator.rules ~sources:spec.Spec.m_sources
       ~targets:[ spec.Spec.m_target ]
@@ -296,15 +300,15 @@ let merge db spec =
 
 (* {1 Rebuilding from a durable payload} *)
 
-let of_payload db payload =
+let of_payload ?exec db payload =
   match Spec.decode payload with
   | exception Failure m -> Error m
   | spec ->
     (try
        Ok
          (match spec with
-          | Spec.Foj s -> foj db s
-          | Spec.Split s -> split db s
-          | Spec.Hsplit s -> hsplit db s
-          | Spec.Merge s -> merge db s)
+          | Spec.Foj s -> foj ?exec db s
+          | Spec.Split s -> split ?exec db s
+          | Spec.Hsplit s -> hsplit ?exec db s
+          | Spec.Merge s -> merge ?exec db s)
      with Invalid_argument m | Failure m -> Error m)

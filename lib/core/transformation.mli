@@ -97,11 +97,13 @@ end
 
 type packed = (module S)
 
-val start_propagator : Manager.t -> Propagator.rules -> Propagator.t
+val start_propagator :
+  ?exec:Domain_pool.exec -> Manager.t -> Propagator.rules -> Propagator.t
 (** Write a fuzzy mark and open a log cursor at the first record of any
     transaction active at the mark (paper, Sec. 3.2) — the shared
     preparation tail of every transformation and of materialized-view
-    maintenance. *)
+    maintenance. [?exec] shards the propagator's cursors
+    ({!Propagator.create}). *)
 
 val counter : packed -> string -> int
 (** [counter p name] reads one labelled counter, 0 when absent. *)
@@ -117,15 +119,21 @@ val counter : packed -> string -> int
 val foj :
   ?transfer_locks:bool ->
   ?plan_mode:Plan.mode ->
+  ?exec:Domain_pool.exec ->
   Nbsc_engine.Db.t ->
   Spec.foj ->
   packed
 
-val split : ?plan_mode:Plan.mode -> Nbsc_engine.Db.t -> Spec.split -> packed
-val hsplit : Nbsc_engine.Db.t -> Spec.hsplit -> packed
-val merge : Nbsc_engine.Db.t -> Spec.merge -> packed
+val split :
+  ?plan_mode:Plan.mode -> ?exec:Domain_pool.exec -> Nbsc_engine.Db.t ->
+  Spec.split -> packed
 
-val of_payload : Nbsc_engine.Db.t -> string -> (packed, string) result
+val hsplit : ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> Spec.hsplit -> packed
+val merge : ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> Spec.merge -> packed
+
+val of_payload :
+  ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> string ->
+  (packed, string) result
 (** Rebuild an operator from an encoded specification ({!S.spec_payload})
     — the crash-resume path. Unlike first-time preparation, the target
     tables may already exist (restored from the snapshot); they are

@@ -156,6 +156,34 @@ let open_dir ~dir =
   let* () =
     if torn then write_lines_atomic (wal_path dir) wal_lines else Ok ()
   in
+  (* Group-commit recovery invariant: the snapshot must not reflect an
+     LSN the durable log does not cover. The only way to violate it is
+     a checkpoint that published its snapshot while acked-but-unflushed
+     commit records sat in the sink buffer and were then lost with a
+     crash — the checkpoint-side [flush_commits] exists precisely to
+     rule that out, and recovery asserts it held. Checked against the
+     {e snapshot-loaded} state, before replay: replay only applies
+     record LSNs the log covers, but the loser rollback stamps its
+     inverse operations one past the head, so the post-recovery state
+     may legitimately exceed it. (An empty retained WAL is trivially
+     covered — the snapshot's own head anchors the log.) *)
+  let check_covered ~durable_head =
+    List.fold_left
+      (fun acc tbl ->
+         let* () = acc in
+         let m = Nbsc_storage.Table.max_lsn tbl in
+         if Lsn.(m > durable_head) then
+           Error
+             (`Corrupt
+                (Printf.sprintf
+                   "table %s reflects lsn %s beyond the durable log head %s: \
+                    a group-commit suffix acked before the snapshot was lost"
+                   (Nbsc_storage.Table.name tbl) (Lsn.to_string m)
+                   (Lsn.to_string durable_head)))
+         else Ok ())
+      (Ok ())
+      (Nbsc_storage.Catalog.tables (Db.catalog pdb))
+  in
   (* Crash recovery over the retained log suffix. The parsed WAL
      becomes the {e live} in-memory log: a resumed transformation's
      propagator must be able to re-read the retained records, and new
@@ -167,7 +195,9 @@ let open_dir ~dir =
       (* The string codec is applied here, at the replay boundary; the
          log itself only ever holds structured records. *)
       (match Log.of_records (List.map Log_record.decode lines) with
-       | wal -> Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), wal)
+       | wal ->
+         let* () = check_covered ~durable_head:(Log.head wal) in
+         Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), wal)
        | exception Failure m -> Error (`Corrupt m))
   in
   let pdb = Db.of_parts (Db.catalog pdb) ~log in
@@ -197,6 +227,13 @@ let db t = t.pdb
 
 let checkpoint t =
   let log = Db.log t.pdb in
+  (* Group-commit barrier first: the snapshot below reflects every
+     acknowledged commit, including those whose records still sit in
+     the buffered sink. Publishing it without flushing them would let a
+     crash at either snapshot fault site keep the {e old} snapshot with
+     an on-disk WAL missing the acked suffix — a durability violation
+     the ack already promised away. *)
+  Nbsc_txn.Manager.flush_commits (Db.manager t.pdb);
   (* The snapshot's coverage point: everything at or below this LSN is
      reflected in the snapshot once it publishes (the [Job_state]
      records appended below land above it). Becomes the manager's new

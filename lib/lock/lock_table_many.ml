@@ -29,14 +29,31 @@ let acquire_all t ~owner requests =
   in
   if blockers <> [] then Lock_table.Blocked blockers
   else begin
-    List.iter
-      (fun r ->
-         match Lock_table.acquire t ~owner ~table:r.table ~key:r.key r.lock with
-         | Lock_table.Granted -> ()
-         | Lock_table.Blocked _ ->
-           (* Impossible: the dry run found no conflicts and nothing
-              interleaves between the check and the grant. *)
-           assert false)
-      requests;
-    Lock_table.Granted
+    (* Grant loop with backout. The dry run found no conflicts and
+       nothing interleaves between the check and the grant, so a
+       [Blocked] here should be impossible — but "should" is not a
+       crash warrant in a lock manager. If it happens anyway (a
+       compatibility quirk the dry run mis-modelled), release only the
+       locks this call newly granted — resources the owner already
+       held before the call must survive the backout — and report the
+       conflict instead of tearing the process down. *)
+    let held_before =
+      List.map
+        (fun r -> Lock_table.holds_any t ~owner ~table:r.table ~key:r.key)
+        requests
+    in
+    let rec grant granted = function
+      | [] -> Lock_table.Granted
+      | (r, was_held) :: rest ->
+        (match Lock_table.acquire t ~owner ~table:r.table ~key:r.key r.lock with
+         | Lock_table.Granted -> grant ((r, was_held) :: granted) rest
+         | Lock_table.Blocked owners ->
+           List.iter
+             (fun (g, was_held) ->
+                if not was_held then
+                  Lock_table.release t ~owner ~table:g.table ~key:g.key)
+             granted;
+           Lock_table.Blocked owners)
+    in
+    grant [] (List.combine requests held_before)
   end

@@ -239,12 +239,22 @@ let sync_window ?(setup = quick_setup) ~strategy () =
       ~duration:(setup.duration * 10) ~warmup:setup.warmup ()
   in
   match r.Sim.tf_progress with
-  | None -> assert false
+  | None ->
+    (* The scenario registered a transformation background, so the run
+       should always surface its progress; a missing report means the
+       configuration (horizon, priority, gate) never let it start —
+       a caller error worth reporting, not a crash. *)
+    Error
+      (Nbsc_error.invalidf
+         "sync_window (%s): the transformation never reported progress \
+          within the horizon"
+         (strategy_name strategy))
   | Some p ->
-    { final_records = p.Transform.final_records;
-      wall_ns = r.Sim.wall_clock_final_ns;
-      forced_aborts = p.Transform.forced_aborts;
-      strategy_name = strategy_name strategy }
+    Ok
+      { final_records = p.Transform.final_records;
+        wall_ns = r.Sim.wall_clock_final_ns;
+        forced_aborts = p.Transform.forced_aborts;
+        strategy_name = strategy_name strategy }
 
 (* {1 Method comparison (ablation)} *)
 
@@ -396,28 +406,46 @@ let policy_comparison ?(setup = quick_setup) () =
   in
   let workload = workload_of setup ~pct:75. ~source_share:0.2 in
   let duration = setup.duration * 4 and warmup = setup.warmup in
-  List.map
-    (fun (name, policy) ->
-       let config =
-         { (tf_config ~sync_gate:(fun () -> true) ()) with
-           Transform.analysis = policy }
-       in
-       let r =
-         Sim.run ~kind ~workload
-           ~background:(Sim.Transformation { Sim.priority = 0.05; config })
-           ~duration ~warmup ()
-       in
-       match r.Sim.tf_progress with
-       | None -> assert false
-       | Some p ->
-         { p_name = name;
-           p_final_records = p.Transform.final_records;
-           p_done_at = r.Sim.tf_done_at;
-           p_iterations = p.Transform.iterations })
+  let row (name, policy) =
+    let config =
+      { (tf_config ~sync_gate:(fun () -> true) ()) with
+        Transform.analysis = policy }
+    in
+    let r =
+      Sim.run ~kind ~workload
+        ~background:(Sim.Transformation { Sim.priority = 0.05; config })
+        ~duration ~warmup ()
+    in
+    match r.Sim.tf_progress with
+    | None ->
+      (* Same contract as [sync_window]: a silent no-progress run would
+         poison the comparison, so report it instead of crashing. *)
+      Error
+        (Nbsc_error.invalidf
+           "policy_comparison (%s): the transformation never reported \
+            progress within the horizon"
+           name)
+    | Some p ->
+      Ok
+        { p_name = name;
+          p_final_records = p.Transform.final_records;
+          p_done_at = r.Sim.tf_done_at;
+          p_iterations = p.Transform.iterations }
+  in
+  List.fold_left
+    (fun acc point ->
+       match acc with
+       | Error _ as e -> e
+       | Ok rows ->
+         (match row point with
+          | Ok r -> Ok (r :: rows)
+          | Error _ as e -> e))
+    (Ok [])
     [ ("remaining-records <= 8", Analysis.Remaining_records 8);
       ("remaining-records <= 512", Analysis.Remaining_records 512);
       ("iteration-shrink x0.5", Analysis.Iteration_shrink { factor = 0.5; floor = 4 });
       ("estimated-time <= 2 steps", Analysis.Estimated_time { max_steps = 2. }) ]
+  |> Result.map List.rev
 
 (* {1 A traced fixed-seed run} *)
 

@@ -88,7 +88,10 @@ type sync_report = {
 }
 
 val sync_window : ?setup:setup -> strategy:Nbsc_core.Transform.strategy ->
-  unit -> sync_report
+  unit -> (sync_report, Nbsc_error.t) result
+(** Errors with [`Invalid] when the configured run never surfaced
+    transformation progress (misconfigured horizon or gate) instead of
+    crashing the experiment harness. *)
 
 (** Ablation: the framework versus the two comparators — blocking
     [INSERT INTO ... SELECT] (Sec. 1) and trigger-based maintenance
@@ -148,7 +151,11 @@ type policy_row = {
   p_iterations : int;
 }
 
-val policy_comparison : ?setup:setup -> unit -> policy_row list
+val policy_comparison :
+  ?setup:setup -> unit -> (policy_row list, Nbsc_error.t) result
+(** Errors with [`Invalid] when any point's run never surfaced
+    transformation progress (see {!sync_window}). *)
+
 val pp_policy_row : Format.formatter -> policy_row -> unit
 
 (** {1 A traced fixed-seed run}

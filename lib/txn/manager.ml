@@ -254,6 +254,12 @@ let set_group_commit t window =
 
 let group_commit_window t = t.group_window
 
+(* [commit] increments [pending_syncs] before [n_commits], so outside
+   of [commit] the difference is exactly the commits the last barrier
+   covered. Commits flush in commit order — one buffered sink, one
+   log — which makes the count a durability floor, not just a size. *)
+let synced_commits t = Obs.Counter.value t.n_commits - t.pending_syncs
+
 let mark_abort_only t id =
   match find_txn t id with
   | Some txn when txn.txn_status = Active -> txn.abort_only <- true
@@ -292,15 +298,19 @@ let unfreeze_tables t tables =
   t.frozen <-
     List.filter (fun (table, _) -> not (List.mem table tables)) t.frozen
 
-(* Pre-flight checks shared by all operations. *)
-let check_access t txn_id ~table =
+(* Pre-flight checks shared by all operations. [key], when known,
+   narrows the latch check to the key's hash shard: a shard latch on
+   another partition of the table does not block the operation (a
+   whole-table latch always does). *)
+let check_access t ?key txn_id ~table =
   match find_txn t txn_id with
   | None -> Error `Txn_not_active
   | Some txn ->
     if txn.txn_status <> Active then Error `Txn_not_active
     else if txn.abort_only then Error `Abort_only
     else begin
-      match Latch.latched_by t.latches ~table with
+      let key_hash = Option.map Row.Key.hash key in
+      match Latch.blocking_holder t.latches ~table ~key_hash with
       | Some holder when holder <> txn_id -> Error (`Latched table)
       | Some _ | None ->
         (match List.assoc_opt table t.frozen with
@@ -467,9 +477,9 @@ let resolve_table t name =
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
 let insert t ~txn:txn_id ~table:table_name row =
-  let* txn = check_access t txn_id ~table:table_name in
   let* table = resolve_table t table_name in
   let key = Table.key_of_row table row in
+  let* txn = check_access t txn_id ~key ~table:table_name in
   let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
   if Table.mem table key then Error `Duplicate_key
   else begin
@@ -484,7 +494,7 @@ let insert t ~txn:txn_id ~table:table_name row =
   end
 
 let update t ~txn:txn_id ~table:table_name ~key changes =
-  let* txn = check_access t txn_id ~table:table_name in
+  let* txn = check_access t txn_id ~key ~table:table_name in
   let* table = resolve_table t table_name in
   let key_positions = Schema.key_positions (Table.schema table) in
   if List.exists (fun (i, _) -> List.mem i key_positions) changes then
@@ -507,7 +517,7 @@ let update t ~txn:txn_id ~table:table_name ~key changes =
       Ok ()
 
 let delete t ~txn:txn_id ~table:table_name ~key =
-  let* txn = check_access t txn_id ~table:table_name in
+  let* txn = check_access t txn_id ~key ~table:table_name in
   let* table = resolve_table t table_name in
   let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
   match Table.find table key with
@@ -525,7 +535,7 @@ let delete t ~txn:txn_id ~table:table_name ~key =
     Ok ()
 
 let read t ~txn:txn_id ~table:table_name ~key =
-  let* _txn = check_access t txn_id ~table:table_name in
+  let* _txn = check_access t txn_id ~key ~table:table_name in
   let* table = resolve_table t table_name in
   let* () = take_lock t txn_id ~table:table_name ~key Compat.S in
   match Table.find table key with

@@ -190,6 +190,13 @@ val flush_commits : t -> unit
     explicit drain for quiesce points (shutdown, checkpoint, end of a
     bench phase). Observes the [engine.commit_batch_size] histogram. *)
 
+val synced_commits : t -> int
+(** Number of acknowledged commits known to be durable: total commits
+    minus those still waiting for the group barrier. Commits become
+    durable in commit order, so every commit whose ordinal is at or
+    below this count survives a crash; the ones above it are the
+    legal < window loss. *)
+
 val mark_abort_only : t -> txn_id -> unit
 val is_abort_only : t -> txn_id -> bool
 

@@ -207,7 +207,7 @@ let all_cases = [ foj_case; split_case; hsplit_case; merge_case ]
    [Fault.Injected] escaping at any point is the simulated crash; the
    caller abandons the database and calls [run_attempt] again. *)
 
-let run_attempt op dir ~attempt ~current_p =
+let run_attempt op dir ~window ~attempt ~current_p =
   let p =
     if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
       ok_p "open" (Persist.open_dir ~dir)
@@ -215,6 +215,12 @@ let run_attempt op dir ~attempt ~current_p =
   in
   current_p := Some p;
   let db = Persist.db p in
+  (* Group commit re-arms after every (re)open: the window is a session
+     setting, not durable state. A window of 1 is the classic
+     write-through WAL; larger windows leave acked commits in the sink
+     buffer, which is exactly the state the checkpoint-side flush and
+     the recovery invariant protect. *)
+  Manager.set_group_commit (Db.manager db) window;
   let catalog = Db.catalog db in
   if not (List.for_all (Catalog.mem catalog) op.op_sources) then op.setup p;
   (match Transform.resume ~config:cfg p with
@@ -258,11 +264,11 @@ let run_attempt op dir ~attempt ~current_p =
 
 (* Run a scenario to the end, crashing and reopening on every injected
    fault. Returns the number of crashes survived. *)
-let run_scenario op dir =
+let run_scenario op ~window dir =
   let current_p = ref None in
   let crashes = ref 0 in
   let rec go attempt =
-    match run_attempt op dir ~attempt ~current_p with
+    match run_attempt op dir ~window ~attempt ~current_p with
     | p -> p
     | exception Fault.Injected _ ->
       incr crashes;
@@ -284,43 +290,48 @@ let run_scenario op dir =
 
 (* Dry run: play the scenario uncrashed with hit tracking on, recording
    how often each site is consulted. *)
-let dry_run op =
+let dry_run op ~window =
   Fault.reset ();
   Fault.set_tracking true;
   let dir = fresh_dir () in
-  let crashes = run_scenario op dir in
+  let crashes = run_scenario op ~window dir in
   Alcotest.(check int) (op.op_name ^ ": dry run crash-free") 0 crashes;
   let counts = List.map (fun s -> (s, Fault.hits s)) Fault.all_sites in
   Fault.reset ();
   wipe dir;
   counts
 
-let run_armed op ~site ~mode ~after =
+let run_armed op ~window ~site ~mode ~after =
   Fault.reset ();
   let dir = fresh_dir () in
   Fault.arm ~mode ~after site;
-  let crashes = run_scenario op dir in
+  let crashes = run_scenario op ~window dir in
   Fault.reset ();
   wipe dir;
   crashes
 
-let test_matrix op () =
-  let counts = dry_run op in
+let test_matrix op ~window () =
+  let counts = dry_run op ~window in
   List.iter
     (fun (site, n) ->
        Alcotest.(check bool)
          (Printf.sprintf "%s: site %s exercised" op.op_name site)
          true (n > 0);
        (* Crash mid-range: after half the consultations seen uncrashed. *)
-       let crashes = run_armed op ~site ~mode:Fault.Crash ~after:(n / 2) in
+       let crashes =
+         run_armed op ~window ~site ~mode:Fault.Crash ~after:(n / 2)
+       in
        Alcotest.(check int)
-         (Printf.sprintf "%s: crash at %s survived" op.op_name site)
+         (Printf.sprintf "%s: crash at %s survived (window %d)" op.op_name
+            site window)
          1 crashes)
     counts;
   (* The torn-write variant of the WAL append: half a line reaches the
      file before the crash; reopen must drop the unterminated tail. *)
   let n = List.assoc "wal_append" counts in
-  let crashes = run_armed op ~site:"wal_append" ~mode:Fault.Torn ~after:(n / 2) in
+  let crashes =
+    run_armed op ~window ~site:"wal_append" ~mode:Fault.Torn ~after:(n / 2)
+  in
   Alcotest.(check int)
     (op.op_name ^ ": torn wal_append survived")
     1 crashes
@@ -459,6 +470,92 @@ let test_populating_crash_restarts () =
   Persist.close p2;
   wipe dir
 
+(* {1 Directed group commit: acked commits survive a checkpoint crash}
+
+   With a group-commit window open, acked commits sit in the sink
+   buffer. The checkpoint must flush them {e before} publishing
+   anything: a crash at either snapshot fault site then leaves the old
+   snapshot with an on-disk WAL that already holds the acked suffix.
+   Without the checkpoint-side [flush_commits], this test loses rows
+   9001-9003 — the ack-then-lose durability bug. *)
+
+let commit_row db k =
+  let mgr = Db.manager db in
+  let txn = Manager.begin_txn mgr in
+  (match Manager.insert mgr ~txn ~table:"T" (H.ti k "gc" 1 "x") with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "insert %d: %a" k Manager.pp_error e);
+  match Manager.commit mgr txn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "commit %d: %a" k Manager.pp_error e
+
+let test_acked_commits_survive_checkpoint_crash () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_flat_t p;
+  let db = Persist.db p in
+  let mgr = Db.manager db in
+  Manager.set_group_commit mgr 8;
+  let synced_before = Manager.synced_commits mgr in
+  List.iter (commit_row db) [ 9001; 9002; 9003 ];
+  (* All three are acked; none has reached the durable log yet. *)
+  Alcotest.(check int) "buffered, not yet synced" synced_before
+    (Manager.synced_commits mgr);
+  Fault.arm ~mode:Fault.Crash "snapshot_write";
+  (match Persist.checkpoint p with
+   | exception Fault.Injected _ -> ()
+   | Ok () -> Alcotest.fail "expected the armed crash"
+   | Error e -> Alcotest.failf "checkpoint: %a" Persist.pp_error e);
+  Fault.reset ();
+  Persist.crash p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  let tbl = Db.table (Persist.db p2) "T" in
+  List.iter
+    (fun k ->
+       Alcotest.(check bool)
+         (Printf.sprintf "acked row %d survived" k)
+         true
+         (Table.mem tbl (Row.make [ Value.Int k ])))
+    [ 9001; 9002; 9003 ];
+  Persist.close p2;
+  wipe dir
+
+(* The durability floor the ack protocol actually promises: commits up
+   to [synced_commits] survive any crash; the tail still inside the
+   open window may be lost (the documented group-commit contract). With
+   window 3 and seven commits, the barrier fired at 3 and 6 — the
+   simulated crash then drops exactly the one buffered commit. *)
+let test_synced_commits_is_the_durability_floor () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_flat_t p;
+  let db = Persist.db p in
+  let mgr = Db.manager db in
+  Manager.set_group_commit mgr 3;
+  let synced_before = Manager.synced_commits mgr in
+  List.iter (commit_row db) [ 9001; 9002; 9003; 9004; 9005; 9006; 9007 ];
+  Alcotest.(check int) "floor after two barriers" (synced_before + 6)
+    (Manager.synced_commits mgr);
+  Persist.crash p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  let tbl = Db.table (Persist.db p2) "T" in
+  List.iter
+    (fun k ->
+       Alcotest.(check bool)
+         (Printf.sprintf "synced row %d survived" k)
+         true
+         (Table.mem tbl (Row.make [ Value.Int k ])))
+    [ 9001; 9002; 9003; 9004; 9005; 9006 ];
+  (* The seventh sat inside the open window; the crash dropped its
+     buffered record — legal loss, pinned here so a change to the
+     contract shows up. *)
+  Alcotest.(check bool) "window tail lost" false
+    (Table.mem tbl (Row.make [ Value.Int 9007 ]));
+  Persist.close p2;
+  wipe dir
+
 (* {1 Replay properties}
 
    Replaying a log into a catalog that already reflects it must leave
@@ -524,17 +621,27 @@ let prop_replay_matches_live =
 let () =
   Random.self_init ();
   Alcotest.run "crash_matrix"
-    (List.map
+    (List.concat_map
        (fun op ->
-          ( "matrix " ^ op.op_name,
-            [ Alcotest.test_case ("sites x " ^ op.op_name) `Slow
-                (test_matrix op) ] ))
+          List.map
+            (fun window ->
+               ( Printf.sprintf "matrix %s w%d" op.op_name window,
+                 [ Alcotest.test_case
+                     (Printf.sprintf "sites x %s (window %d)" op.op_name
+                        window)
+                     `Slow
+                     (test_matrix op ~window) ] ))
+            [ 1; 8 ])
        all_cases
      @ [ ( "directed",
            [ Alcotest.test_case "resume skips population" `Quick
                test_resume_skips_population;
              Alcotest.test_case "populating crash restarts" `Quick
-               test_populating_crash_restarts ] );
+               test_populating_crash_restarts;
+             Alcotest.test_case "acked commits survive checkpoint crash"
+               `Quick test_acked_commits_survive_checkpoint_crash;
+             Alcotest.test_case "synced_commits is the durability floor"
+               `Quick test_synced_commits_is_the_durability_floor ] );
          ( "properties",
            List.map QCheck_alcotest.to_alcotest
              [ prop_replay_idempotent; prop_replay_matches_live ] ) ])

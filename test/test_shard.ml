@@ -1,0 +1,559 @@
+(* The sharded execution layer: the domain pool itself, shard latches,
+   atomic multi-lock backout, the 1-shard byte-identity contract
+   (Sharded{shards=1} performs the identical operation sequence to the
+   legacy serial paths), N-shard relational equivalence under traffic,
+   and the WAL pin/unpin discipline of per-shard propagator cursors. *)
+
+open Nbsc_value
+open Nbsc_wal
+open Nbsc_lock
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_core
+module H = Helpers
+
+let cfg =
+  { Transform.default_config with
+    Transform.scan_batch = 7;
+    propagate_batch = 5;
+    drop_sources = false }
+
+(* {1 The domain pool} *)
+
+let test_pool_basics () =
+  let pool = Domain_pool.create ~size:3 () in
+  Alcotest.(check int) "size" 3 (Domain_pool.size pool);
+  Alcotest.(check (array int)) "run" [| 0; 1; 4 |]
+    (Domain_pool.run pool (fun i -> i * i));
+  let exec = Domain_pool.Sharded { pool; shards = 7 } in
+  Alcotest.(check int) "exec shards" 7 (Domain_pool.shards exec);
+  Alcotest.(check (array int)) "run_shards strides" [| 1; 2; 3; 4; 5; 6; 7 |]
+    (Domain_pool.run_shards exec ~shards:7 (fun s -> s + 1));
+  Alcotest.(check (array int)) "serial exec inline" [| 0; 2; 4 |]
+    (Domain_pool.run_shards Domain_pool.Serial ~shards:3 (fun s -> s * 2));
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* shutdown is idempotent *)
+  (try
+     ignore (Domain_pool.run pool (fun i -> i));
+     Alcotest.fail "run after shutdown should raise"
+   with Invalid_argument _ -> ())
+
+let test_pool_size_one_inline () =
+  let pool = Domain_pool.create ~size:1 () in
+  Alcotest.(check (array int)) "inline" [| 42 |]
+    (Domain_pool.run pool (fun _ -> 42));
+  Domain_pool.shutdown pool
+
+let test_pool_error_propagates () =
+  let pool = Domain_pool.create ~size:2 () in
+  (try
+     ignore (Domain_pool.run pool (fun i -> if i = 1 then failwith "boom" else i));
+     Alcotest.fail "expected the worker failure to re-raise"
+   with Failure m -> Alcotest.(check string) "boom" "boom" m);
+  (* the pool survives a failed task *)
+  Alcotest.(check (array int)) "still works" [| 0; 1 |]
+    (Domain_pool.run pool (fun i -> i));
+  Domain_pool.shutdown pool
+
+(* {1 Shard latches} *)
+
+let test_latch_shards () =
+  let t = Latch.create () in
+  Alcotest.(check bool) "acquire shard 0" true
+    (Latch.try_latch_shard t ~holder:1 ~table:"x" ~shards:4 ~shard:0);
+  Alcotest.(check bool) "reentrant" true
+    (Latch.try_latch_shard t ~holder:1 ~table:"x" ~shards:4 ~shard:0);
+  Alcotest.(check bool) "other shard, other holder" true
+    (Latch.try_latch_shard t ~holder:2 ~table:"x" ~shards:4 ~shard:1);
+  Alcotest.(check bool) "same shard, other holder" false
+    (Latch.try_latch_shard t ~holder:2 ~table:"x" ~shards:4 ~shard:0);
+  Alcotest.(check bool) "mismatched partition count" false
+    (Latch.try_latch_shard t ~holder:3 ~table:"x" ~shards:2 ~shard:1);
+  Alcotest.(check bool) "whole blocked by a foreign shard" false
+    (Latch.try_latch t ~holder:1 ~table:"x");
+  Alcotest.(check bool) "latched tables sees shard holders" true
+    (Latch.latched_tables t ~holder:2 = [ "x" ]);
+  Latch.unlatch_shard t ~holder:2 ~table:"x" ~shard:1;
+  (* only holder 1's shards remain: a whole-table request promotes *)
+  Alcotest.(check bool) "promotes over own shards" true
+    (Latch.try_latch t ~holder:1 ~table:"x");
+  Alcotest.(check bool) "shard under own whole latch" true
+    (Latch.try_latch_shard t ~holder:1 ~table:"x" ~shards:4 ~shard:3);
+  Alcotest.(check bool) "shard under foreign whole latch" false
+    (Latch.try_latch_shard t ~holder:2 ~table:"x" ~shards:4 ~shard:3);
+  Latch.unlatch t ~holder:1 ~table:"x";
+  Alcotest.(check bool) "free again" false (Latch.is_latched t ~table:"x");
+  (try
+     Latch.unlatch_shard t ~holder:1 ~table:"x" ~shard:0;
+     Alcotest.fail "unlatch_shard without a latch should raise"
+   with Invalid_argument _ -> ())
+
+let test_blocking_holder () =
+  let t = Latch.create () in
+  ignore (Latch.try_latch_shard t ~holder:7 ~table:"x" ~shards:2 ~shard:0);
+  Alcotest.(check bool) "key in latched shard blocked" true
+    (Latch.blocking_holder t ~table:"x" ~key_hash:(Some 4) = Some 7);
+  Alcotest.(check bool) "key in free shard passes" true
+    (Latch.blocking_holder t ~table:"x" ~key_hash:(Some 5) = None);
+  Alcotest.(check bool) "unknown key blocked conservatively" true
+    (Latch.blocking_holder t ~table:"x" ~key_hash:None = Some 7);
+  Alcotest.(check bool) "other table free" true
+    (Latch.blocking_holder t ~table:"y" ~key_hash:None = None);
+  Latch.unlatch_shard t ~holder:7 ~table:"x" ~shard:0;
+  ignore (Latch.try_latch t ~holder:8 ~table:"x");
+  Alcotest.(check bool) "whole latch blocks every key" true
+    (Latch.blocking_holder t ~table:"x" ~key_hash:(Some 5) = Some 8)
+
+(* User operations against a shard-latched table: only the keys whose
+   hash falls in the latched shard are paused. *)
+let test_manager_shard_latch () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:10) in
+  let mgr = Db.manager db in
+  let k i = Row.make [ Value.Int i ] in
+  let shards = 2 in
+  let s1 = Table.shard_of_key ~shards (k 1) in
+  (* find a seeded key in the other shard (keys 1..10 exist) *)
+  let other = ref 2 in
+  while Table.shard_of_key ~shards (k !other) = s1 do incr other done;
+  Alcotest.(check bool) "fixture has both shards" true (!other <= 10);
+  ignore
+    (Latch.try_latch_shard (Manager.latches mgr) ~holder:999 ~table:"T"
+       ~shards ~shard:s1);
+  let txn = Manager.begin_txn mgr in
+  (match Manager.update mgr ~txn ~table:"T" ~key:(k 1) [ (1, Value.Text "a") ] with
+   | Error (`Latched "T") -> ()
+   | _ -> Alcotest.fail "latched-shard key should pause");
+  (match Manager.update mgr ~txn ~table:"T" ~key:(k !other) [ (1, Value.Text "b") ] with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "free-shard key should pass: %a" Manager.pp_error e);
+  (* inserts route by their own key too *)
+  let fresh_in shard =
+    let i = ref 1000 in
+    while Table.shard_of_key ~shards (k !i) <> shard do incr i done;
+    !i
+  in
+  let latched_key = fresh_in s1 and free_key = fresh_in (1 - s1) in
+  (match
+     Manager.insert mgr ~txn ~table:"T"
+       (H.ti latched_key "x" 1 (H.city_of 1))
+   with
+   | Error (`Latched "T") -> ()
+   | _ -> Alcotest.fail "insert into latched shard should pause");
+  (match
+     Manager.insert mgr ~txn ~table:"T" (H.ti free_key "x" 1 (H.city_of 1))
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "insert into free shard: %a" Manager.pp_error e);
+  Latch.unlatch_shard (Manager.latches mgr) ~holder:999 ~table:"T" ~shard:s1;
+  (match Manager.update mgr ~txn ~table:"T" ~key:(k 1) [ (1, Value.Text "c") ] with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "after unlatch: %a" Manager.pp_error e);
+  (match Manager.commit mgr txn with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "commit: %a" Manager.pp_error e)
+
+(* {1 Atomic multi-lock acquisition backout} *)
+
+let native m = { Compat.mode = m; provenance = Compat.Native }
+
+let test_acquire_all_backout () =
+  let t = Lock_table.create () in
+  let k i = Row.make [ Value.Int i ] in
+  let req table i lock = { Lock_table_many.table; key = k i; lock } in
+  (match
+     Lock_table_many.acquire_all t ~owner:1
+       [ req "T" 1 (native Compat.X); req "U" 2 (native Compat.S) ]
+   with
+   | Lock_table.Granted -> ()
+   | Lock_table.Blocked _ -> Alcotest.fail "free resources should grant");
+  Alcotest.(check bool) "holds T/1" true
+    (Lock_table.holds_any t ~owner:1 ~table:"T" ~key:(k 1));
+  (* conflicting set: blocked with the owner named, nothing granted *)
+  (match
+     Lock_table_many.acquire_all t ~owner:2
+       [ req "U" 9 (native Compat.X); req "T" 1 (native Compat.X) ]
+   with
+   | Lock_table.Blocked [ 1 ] -> ()
+   | Lock_table.Blocked _ -> Alcotest.fail "expected owner 1 as blocker"
+   | Lock_table.Granted -> Alcotest.fail "conflicting set must block");
+  Alcotest.(check bool) "nothing granted on a blocked set" false
+    (Lock_table.holds_any t ~owner:2 ~table:"U" ~key:(k 9));
+  (* locks held before a blocked call survive it *)
+  (match Lock_table_many.acquire_all t ~owner:2 [ req "V" 5 (native Compat.X) ] with
+   | Lock_table.Granted -> ()
+   | Lock_table.Blocked _ -> Alcotest.fail "V/5 is free");
+  (match
+     Lock_table_many.acquire_all t ~owner:2
+       [ req "V" 5 (native Compat.X); req "T" 1 (native Compat.S) ]
+   with
+   | Lock_table.Blocked _ -> ()
+   | Lock_table.Granted -> Alcotest.fail "T/1 is exclusively held by 1");
+  Alcotest.(check bool) "previously-held V/5 survives the backout" true
+    (Lock_table.holds_any t ~owner:2 ~table:"V" ~key:(k 5))
+
+(* {1 Operator fixtures for the differential runs} *)
+
+type fixture = {
+  f_name : string;
+  f_build : unit -> Db.t;
+  f_start : Db.t -> exec:Domain_pool.exec -> Transform.t;
+  f_traffic : H.driver -> unit;
+  f_sources : string list;
+  f_targets : string list;
+  f_oracle : Db.t -> (string * Nbsc_relalg.Relalg.t) list;
+      (** expected target relations from the run's own final sources *)
+}
+
+let foj_fixture =
+  { f_name = "foj";
+    f_build =
+      (fun () ->
+         let r_rows, s_rows = H.seed_rows ~r:40 ~s:20 in
+         H.fresh_foj_db ~r_rows ~s_rows);
+    f_start = (fun db ~exec -> Transform.foj db ~config:cfg ~exec H.foj_spec);
+    f_traffic =
+      (fun d ->
+         H.random_r_op d;
+         H.random_s_op d);
+    f_sources = [ "R"; "S" ];
+    f_targets = [ "T" ];
+    f_oracle = (fun db -> [ ("T", H.foj_oracle db) ]) }
+
+let split_fixture =
+  { f_name = "split";
+    f_build = (fun () -> H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:60));
+    f_start =
+      (fun db ~exec ->
+         Transform.split db ~config:cfg ~exec
+           (H.split_spec ~assume_consistent:true));
+    f_traffic = (fun d -> H.random_t_op ~consistent:true d);
+    f_sources = [ "T" ];
+    f_targets = [ "R"; "S" ];
+    f_oracle =
+      (fun db ->
+         let r, s =
+           Nbsc_relalg.Relalg.split
+             { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+               s_cols' = [ "c"; "d" ];
+               r_key = [ "a" ];
+               s_key = [ "c" ] }
+             (Db.snapshot db "T")
+         in
+         [ ("R", r); ("S", s) ]) }
+
+let hspec =
+  { Spec.h_source = "T";
+    h_true_table = "archive";
+    h_false_table = "live";
+    h_pred = Pred.Cmp ("c", Pred.Gt, Value.Int 6) }
+
+let hsplit_fixture =
+  { f_name = "hsplit";
+    f_build = (fun () -> H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:60));
+    f_start = (fun db ~exec -> Transform.hsplit db ~config:cfg ~exec hspec);
+    f_traffic = (fun d -> H.random_t_op ~consistent:true d);
+    f_sources = [ "T" ];
+    f_targets = [ "archive"; "live" ];
+    f_oracle =
+      (fun db ->
+         let t = Db.snapshot db "T" in
+         let p = Pred.compile H.t_flat_schema hspec.Spec.h_pred in
+         [ ("archive", Nbsc_relalg.Relalg.select t p);
+           ("live", Nbsc_relalg.Relalg.select t (fun row -> not (p row))) ]) }
+
+let merge_traffic d =
+  let mgr = Db.manager d.H.db in
+  ignore
+    (H.run_txn d (fun txn ->
+         let table = if Random.State.bool d.H.rng then "A" else "B" in
+         match Random.State.int d.H.rng 3 with
+         | 0 ->
+           d.H.next_r_key <- d.H.next_r_key + 1;
+           Manager.insert mgr ~txn ~table
+             (H.ti d.H.next_r_key "new" (Random.State.int d.H.rng 10) "z")
+         | 1 ->
+           (match H.existing_key d table with
+            | Some key ->
+              Manager.update mgr ~txn ~table ~key
+                [ (1, Value.Text ("w" ^ string_of_int (Random.State.int d.H.rng 100))) ]
+            | None -> Ok ())
+         | _ ->
+           (match H.existing_key d table with
+            | Some key -> Manager.delete mgr ~txn ~table ~key
+            | None -> Ok ())))
+
+let merge_fixture =
+  { f_name = "merge";
+    f_build =
+      (fun () ->
+         let db = Db.create () in
+         ignore (Db.create_table db ~name:"A" H.t_flat_schema);
+         ignore (Db.create_table db ~name:"B" H.t_flat_schema);
+         (match
+            Db.load db ~table:"A"
+              (List.init 30 (fun i -> H.ti i "a" (i mod 5) "x"))
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load A: %a" Manager.pp_error e);
+         (match
+            Db.load db ~table:"B"
+              (List.init 20 (fun i -> H.ti (100 + i) "b" (i mod 5) "y"))
+          with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "load B: %a" Manager.pp_error e);
+         db);
+    f_start =
+      (fun db ~exec ->
+         Transform.merge db ~config:cfg ~exec
+           { Spec.m_sources = [ "A"; "B" ]; m_target = "AB" });
+    f_traffic = merge_traffic;
+    f_sources = [ "A"; "B" ];
+    f_targets = [ "AB" ];
+    f_oracle =
+      (fun db ->
+         let a = Db.snapshot db "A" and b = Db.snapshot db "B" in
+         [ ( "AB",
+             Nbsc_relalg.Relalg.make H.t_flat_schema
+               (a.Nbsc_relalg.Relalg.rows @ b.Nbsc_relalg.Relalg.rows) ) ]) }
+
+let all_fixtures = [ foj_fixture; split_fixture; hsplit_fixture; merge_fixture ]
+
+let run_fixture f ~exec ~seed ~max_traffic =
+  let db = f.f_build () in
+  let tf = f.f_start db ~exec in
+  let d = H.driver ~seed db in
+  let budget = ref max_traffic in
+  let rounds = ref 0 in
+  let rec go () =
+    match Transform.step tf with
+    | `Done -> ()
+    | `Failed m -> Alcotest.failf "%s failed: %s" f.f_name m
+    | `Running ->
+      incr rounds;
+      if !rounds > 20_000 then Alcotest.failf "%s: no convergence" f.f_name;
+      if !budget > 0 then begin
+        decr budget;
+        f.f_traffic d
+      end;
+      go ()
+  in
+  go ();
+  (db, tf)
+
+(* Full record-level state: row, LSN, counter, consistency flag, aux
+   bits — the byte-identity contract covers all of them, not just the
+   user-visible relation. *)
+let record_state db name =
+  Table.fold (Db.table db name) ~init:[] ~f:(fun acc _ r ->
+      Format.asprintf "%a" Record.pp r :: acc)
+  |> List.sort String.compare
+
+(* {2 One shard is byte-identical to the legacy serial paths} *)
+
+let test_one_shard_identity f () =
+  let db_a, tf_a =
+    run_fixture f ~exec:Domain_pool.Serial ~seed:7 ~max_traffic:80
+  in
+  let pool = Domain_pool.create ~size:1 () in
+  let db_b, tf_b =
+    run_fixture f
+      ~exec:(Domain_pool.Sharded { pool; shards = 1 })
+      ~seed:7 ~max_traffic:80
+  in
+  Domain_pool.shutdown pool;
+  (* identical traffic implies identical sources — a guard that the two
+     runs really replayed the same history *)
+  List.iter
+    (fun t ->
+       Alcotest.(check (list string))
+         (f.f_name ^ "/" ^ t ^ " source histories identical")
+         (record_state db_a t) (record_state db_b t))
+    f.f_sources;
+  List.iter
+    (fun t ->
+       Alcotest.(check (list string))
+         (f.f_name ^ "/" ^ t ^ " records byte-identical")
+         (record_state db_a t) (record_state db_b t))
+    f.f_targets;
+  let pa = Transform.progress tf_a and pb = Transform.progress tf_b in
+  Alcotest.(check int) (f.f_name ^ " scanned") pa.Transform.scanned
+    pb.Transform.scanned;
+  Alcotest.(check int) (f.f_name ^ " produced") pa.Transform.produced
+    pb.Transform.produced;
+  Alcotest.(check int) (f.f_name ^ " propagated") pa.Transform.propagated
+    pb.Transform.propagated;
+  Alcotest.(check int) (f.f_name ^ " applied") pa.Transform.applied
+    pb.Transform.applied
+
+(* {2 N shards converge to the operator's semantics}
+
+   Different shard counts legitimately take different numbers of
+   executor steps, so the interleaved traffic histories differ between
+   runs — final states cannot be compared across runs. What sharding
+   must preserve is the convergence contract: after sync, each target
+   equals the pure relational operator applied to the run's own final
+   sources. *)
+
+let test_n_shard_equivalence f shards () =
+  let pool = Domain_pool.create ~size:2 () in
+  let db, _ =
+    run_fixture f
+      ~exec:(Domain_pool.Sharded { pool; shards })
+      ~seed:11 ~max_traffic:80
+  in
+  Domain_pool.shutdown pool;
+  List.iter
+    (fun (t, expected) ->
+       H.check_relations_equal
+         (Printf.sprintf "%s/%s at %d shards vs oracle" f.f_name t shards)
+         expected (Db.snapshot db t))
+    (f.f_oracle db)
+
+(* {1 WAL pins of per-shard cursors} *)
+
+let trivial_rules =
+  Propagator.rules ~sources:[ "T" ] ~targets:[]
+    ~apply:(fun ~lsn:_ _ -> [])
+    ()
+
+let drain_low_water mgr log =
+  ignore (Manager.truncate_wal mgr);
+  Lsn.equal (Manager.wal_low_water mgr) (Lsn.next (Log.head log))
+
+let test_sharded_pins_released_once () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:5) in
+  let mgr = Db.manager db in
+  let log = Db.log db in
+  let d = H.driver db in
+  for _ = 1 to 10 do
+    H.random_t_op ~consistent:true d
+  done;
+  let from = Log.head log in
+  let pool = Domain_pool.create ~size:2 () in
+  let prop =
+    Propagator.create
+      ~exec:(Domain_pool.Sharded { pool; shards = 4 })
+      mgr trivial_rules ~from
+  in
+  (* all four shard cursors pin [from]: truncation cannot pass it *)
+  for _ = 1 to 10 do
+    H.random_t_op ~consistent:true d
+  done;
+  ignore (Manager.truncate_wal mgr);
+  Alcotest.(check bool) "pinned suffix survives truncation" true
+    Lsn.(Manager.wal_low_water mgr <= from);
+  ignore (Log.get log from);
+  (* close releases every shard pin; a second close must not unpin
+     anything else (unpin_wal is idempotent per pin) *)
+  Propagator.close prop;
+  Propagator.close prop;
+  Domain_pool.shutdown pool;
+  Alcotest.(check bool) "all pins gone" true (drain_low_water mgr log)
+
+(* Abort after the executor already closed its population and
+   propagator (the finalize path) double-closes both; no pin may be
+   dropped twice, and nothing may keep the WAL alive. *)
+let test_abort_after_done_and_double_abort () =
+  let f = split_fixture in
+  let db, tf = run_fixture f ~exec:Domain_pool.Serial ~seed:3 ~max_traffic:40 in
+  Alcotest.(check bool) "done" true (Transform.phase tf = Transform.Done);
+  Transform.abort tf;
+  Transform.abort tf;
+  (* targets still intact: abort after Done is a no-op *)
+  Alcotest.(check bool) "targets survive" true
+    (Catalog.mem (Db.catalog db) "R" && Catalog.mem (Db.catalog db) "S");
+  Alcotest.(check bool) "no leaked pins" true
+    (drain_low_water (Db.manager db) (Db.log db));
+  (* and aborting mid-flight twice releases exactly once too *)
+  let db2 = f.f_build () in
+  let tf2 = f.f_start db2 ~exec:Domain_pool.Serial in
+  for _ = 1 to 3 do
+    ignore (Transform.step tf2)
+  done;
+  Transform.abort tf2;
+  Transform.abort tf2;
+  Alcotest.(check bool) "no leaked pins after mid-flight abort" true
+    (drain_low_water (Db.manager db2) (Db.log db2))
+
+(* Random pin / unpin / truncate / traffic schedules: truncation never
+   reclaims a pinned suffix, double-closes are absorbed, and once every
+   propagator is closed the log drains completely. *)
+let prop_pin_schedules =
+  QCheck.Test.make ~name:"pin/unpin/truncate schedules" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+       let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:8) in
+       let mgr = Db.manager db in
+       let log = Db.log db in
+       let rng = Random.State.make [| seed + 1 |] in
+       let d = H.driver ~seed db in
+       let open_props = ref [] in
+       let closed = ref [] in
+       for _ = 1 to 60 do
+         match Random.State.int rng 5 with
+         | 0 | 1 -> H.random_t_op ~consistent:true d
+         | 2 ->
+           if Log.length log > 0 then begin
+             let from = Log.head log in
+             let p = Propagator.create mgr trivial_rules ~from in
+             open_props := (p, from) :: !open_props
+           end
+         | 3 ->
+           (match !open_props with
+            | [] -> ()
+            | (p, _) :: rest ->
+              Propagator.close p;
+              closed := p :: !closed;
+              open_props := rest);
+           (match !closed with
+            | p :: _ when Random.State.bool rng -> Propagator.close p
+            | _ -> ())
+         | _ -> ignore (Manager.truncate_wal mgr)
+       done;
+       (* every still-open cursor must be able to read from its pinned
+          position: truncation never cut under it *)
+       List.iter (fun (p, _) -> ignore (Propagator.step p ~limit:1)) !open_props;
+       List.iter (fun (p, _) -> Propagator.close p) !open_props;
+       ignore (Manager.truncate_wal mgr);
+       Lsn.equal (Manager.wal_low_water mgr) (Lsn.next (Log.head log)))
+
+let () =
+  Alcotest.run "shard"
+    [ ( "pool",
+        [ Alcotest.test_case "basics" `Quick test_pool_basics;
+          Alcotest.test_case "size one is inline" `Quick
+            test_pool_size_one_inline;
+          Alcotest.test_case "errors propagate" `Quick
+            test_pool_error_propagates ] );
+      ( "latch",
+        [ Alcotest.test_case "shard latches" `Quick test_latch_shards;
+          Alcotest.test_case "blocking holder" `Quick test_blocking_holder;
+          Alcotest.test_case "manager shard-aware access" `Quick
+            test_manager_shard_latch ] );
+      ( "locks",
+        [ Alcotest.test_case "acquire_all backout" `Quick
+            test_acquire_all_backout ] );
+      ( "one-shard identity",
+        List.map
+          (fun f ->
+             Alcotest.test_case f.f_name `Quick (test_one_shard_identity f))
+          all_fixtures );
+      ( "n-shard equivalence",
+        List.concat_map
+          (fun f ->
+             List.map
+               (fun shards ->
+                  Alcotest.test_case
+                    (Printf.sprintf "%s x%d" f.f_name shards)
+                    `Quick
+                    (test_n_shard_equivalence f shards))
+               [ 2; 4 ])
+          all_fixtures );
+      ( "wal pins",
+        [ Alcotest.test_case "sharded pins released once" `Quick
+            test_sharded_pins_released_once;
+          Alcotest.test_case "abort after done / double abort" `Quick
+            test_abort_after_done_and_double_abort ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_pin_schedules ] ) ]

@@ -112,7 +112,13 @@ let test_sync_window_report () =
     { Experiment.quick_setup with Experiment.scale = 400; duration = 60_000;
       warmup = 5_000 }
   in
-  let r = Experiment.sync_window ~setup ~strategy:Transform.Nonblocking_abort () in
+  let r =
+    match
+      Experiment.sync_window ~setup ~strategy:Transform.Nonblocking_abort ()
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Nbsc_error.to_string e)
+  in
   Alcotest.(check string) "strategy name" "non-blocking-abort"
     r.Experiment.strategy_name;
   Alcotest.(check bool) "tiny final iteration" true (r.Experiment.final_records < 64)
