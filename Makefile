@@ -1,4 +1,4 @@
-.PHONY: all build test check crash contention bench-engine bench-shard fmt clean
+.PHONY: all build test check crash contention scrub bench-engine bench-shard fmt clean
 
 all: build
 
@@ -22,6 +22,20 @@ crash:
 # strategy, fault-free and with a sync-commit fault, at a fixed seed.
 contention:
 	NBSC_CONTENTION_SEED=42 dune exec test/test_contention.exe
+
+# Storage-integrity drill (bench-free): the integrity suite at a fixed
+# seed, then an end-to-end scrub pass — generate a store, verify it
+# clean, damage one byte, verify the scrub refuses it.
+scrub:
+	NBSC_CRASH_SEED=42 dune exec test/test_integrity.exe
+	@dir=$$(mktemp -u /tmp/nbsc_scrub.XXXXXX); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	dune exec bin/nbsc_cli.exe -- mkstore "$$dir" --rows 200 && \
+	dune exec bin/nbsc_cli.exe -- scrub "$$dir" && \
+	dune exec bin/nbsc_cli.exe -- flip "$$dir/wal.nbsc" && \
+	if dune exec bin/nbsc_cli.exe -- scrub "$$dir"; then \
+	  echo "scrub missed injected corruption" >&2; exit 1; \
+	else echo "scrub drill OK"; fi
 
 # Full-scale engine bench: mixed transactional workload under a
 # concurrent FOJ schema change; writes BENCH_engine.json and gates

@@ -730,6 +730,117 @@ let crash_demo_cmd =
          "crash a durable schema change at an injected fault and resume it")
     Term.(ret (const run_crash_demo $ site $ after $ rows $ keep))
 
+(* {1 scrub and its drill helpers} *)
+
+let run_scrub dir =
+  match Db.Scrub.verify_dir ~dir with
+  | Error e -> `Error (false, Nbsc_error.to_string e)
+  | Ok r ->
+    Format.printf "%a@." Db.Scrub.pp_report r;
+    if Db.Scrub.ok r then `Ok () else `Error (false, "store is corrupt")
+
+let scrub_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"database directory to verify")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "verify a database directory offline: format headers, per-line \
+          CRC-32, snapshot trailer, WAL record structure; exits non-zero \
+          on any damage")
+    Term.(ret (const run_scrub $ dir))
+
+let run_mkstore dir rows =
+  if Sys.file_exists dir then `Error (false, dir ^ ": already exists")
+  else begin
+    let surface what = function
+      | Ok v -> v
+      | Error e ->
+        failwith (Format.asprintf "%s: %a" what Persist.pp_error e)
+    in
+    let p = surface "create" (Persist.create_dir ~dir) in
+    let db = Persist.db p in
+    let col = Schema.column in
+    ignore
+      (Db.create_table db ~name:"T"
+         (Schema.make ~key:[ "a" ]
+            [ col ~nullable:false "a" Value.TInt; col "b" Value.TText ]));
+    (match
+       Db.load db ~table:"T"
+         (List.init rows (fun i ->
+              Row.make [ Value.Int i; Value.Text (Printf.sprintf "t%d" i) ]))
+     with
+     | Ok () -> ()
+     | Error _ -> failwith "load failed");
+    surface "checkpoint" (Persist.checkpoint p);
+    (* A few post-checkpoint commits so the WAL holds framed records
+       too, not just the snapshot. *)
+    let mgr = Db.manager db in
+    for i = rows to rows + 4 do
+      let txn = Manager.begin_txn mgr in
+      ignore
+        (Manager.insert mgr ~txn ~table:"T"
+           (Row.make [ Value.Int i; Value.Text "tail" ]));
+      ignore (Manager.commit mgr txn)
+    done;
+    Persist.close p;
+    say "created %s: table T, %d rows, snapshot + live WAL tail" dir
+      (rows + 5);
+    `Ok ()
+  end
+
+let mkstore_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"directory to create")
+  in
+  let rows =
+    Arg.(value & opt int 100 & info [ "rows" ] ~doc:"table size")
+  in
+  Cmd.v
+    (Cmd.info "mkstore"
+       ~doc:"create a small durable store (for scrub drills and demos)")
+    Term.(ret (const run_mkstore $ dir $ rows))
+
+(* Damage one byte of a file in place — the corruption half of the CI
+   scrub drill ([make scrub], ci/check.sh). *)
+let run_flip path offset =
+  if not (Sys.file_exists path) then `Error (false, path ^ ": no such file")
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    if n = 0 then `Error (false, path ^ ": empty file")
+    else begin
+      let pos = ((offset mod n) + n) mod n in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      say "flipped bit 0 of byte %d/%d in %s" pos n path;
+      `Ok ()
+    end
+  end
+
+let flip_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"file to damage")
+  in
+  let offset =
+    Arg.(value & opt int (-40)
+         & info [ "offset" ]
+             ~doc:"byte offset to flip (negative counts from the end)")
+  in
+  Cmd.v
+    (Cmd.info "flip"
+       ~doc:"flip one bit of a file in place (simulated media corruption)")
+    Term.(ret (const run_flip $ path $ offset))
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -740,4 +851,5 @@ let () =
           (Cmd.info "nbsc" ~version:"1.0.0"
              ~doc:"online, non-blocking relational schema changes")
           [ demo_cmd; concurrent_cmd; figure_cmd; sync_cmd; matrix_cmd;
-            log_cmd; contention_cmd; crash_demo_cmd; stats_cmd; trace_cmd ]))
+            log_cmd; contention_cmd; crash_demo_cmd; stats_cmd; trace_cmd;
+            scrub_cmd; mkstore_cmd; flip_cmd ]))

@@ -394,7 +394,7 @@ let try_sync t =
 
 (* {2 The quantum stepper} *)
 
-let step t =
+let step_quantum t =
   (match t.tphase with
    | Populating ->
      if Population.step t.pop ~limit:(paced_batch t.config t.config.scan_batch)
@@ -472,6 +472,19 @@ let step t =
   | Done -> `Done
   | Failed m -> `Failed m
   | Populating | Propagating | Checking | Quiescing | Draining -> `Running
+
+let step t =
+  if Manager.disk_full t.mgr then begin
+    (* Degraded: a durable append found no space. Quanta write
+       population/propagation records the sink could not make durable,
+       so the change pauses rather than grow an unbounded buffered
+       suffix. Probing the durability barrier each step makes the pause
+       lift on its own once an append succeeds again (the sink clears
+       the manager's flag); until then the quantum performs no work. *)
+    Log.sync (Manager.log t.mgr);
+    if Manager.disk_full t.mgr then `Running else step_quantum t
+  end
+  else step_quantum t
 
 let run ?(between = fun () -> ()) t =
   let rec go () =
@@ -612,10 +625,10 @@ let targets_of_spec = function
 
 let resume_one db ?config ?exec ~losers (name, state) =
   match decode_job_state state with
-  | exception Failure m -> Error (`Corrupt m)
+  | exception Failure m -> Error (Nbsc_error.corrupt m)
   | tag, position, spec_payload ->
     (match Spec.decode spec_payload with
-     | exception Failure m -> Error (`Corrupt m)
+     | exception Failure m -> Error (Nbsc_error.corrupt m)
      | spec ->
        let catalog = Db.catalog db in
        let targets = targets_of_spec spec in
@@ -648,7 +661,7 @@ let resume_one db ?config ?exec ~losers (name, state) =
                r_skip = losers }
        in
        (match Transformation.of_payload ?exec db spec_payload with
-        | Error m -> Error (`Corrupt m)
+        | Error m -> Error (Nbsc_error.corrupt m)
         | Ok packed ->
           Ok (create db ?config ?resume ~job_name:name ?exec packed)))
 

@@ -50,6 +50,8 @@ let manager t = t.mgr
 let obs t = t.obs
 let log t = Manager.log t.mgr
 
+module Scrub = Scrub
+
 module Observe = struct
   let snapshot t = Obs.Registry.snapshot t.obs
 

@@ -1,12 +1,22 @@
 module Obs = Nbsc_obs.Obs
 
-type mode = Crash | Torn
+type errno = EIO | ENOSPC
+
+type mode =
+  | Crash
+  | Torn
+  | Io_error of { errno : errno; transient : bool }
+  | Bit_flip
 
 exception Injected of { site : string; mode : mode }
+exception Io_injected of { site : string; errno : errno; transient : bool }
+
+let errno_to_string = function EIO -> "EIO" | ENOSPC -> "ENOSPC"
 
 let all_sites =
   [ "wal_append"; "snapshot_write"; "snapshot_rename"; "wal_rewrite";
-    "quantum_end"; "sync_commit" ]
+    "quantum_end"; "sync_commit"; "snapshot_load"; "recovery_replay";
+    "recovery_truncate" ]
 
 type armed = {
   a_mode : mode;
@@ -49,41 +59,82 @@ let counter site = Obs.Registry.counter registry ("fault.hits." ^ site)
 
 let count site = Obs.Counter.incr (counter site)
 
+let io_counter site = Obs.Registry.counter registry ("fault.io_hits." ^ site)
+
+let io_hits site = Obs.Counter.value (io_counter site)
+
 let hits site = Obs.Counter.value (counter site)
 
-(* The mode to fire with, if the site is armed and due. The armed entry
-   is removed before raising so each arming crashes exactly once. *)
-let due site =
+(* The mode to fire with, if the site is armed with a mode this
+   consultation point can express ([can]) and the countdown is over.
+   The countdown only advances at capable consultations, so an [after]
+   offset learned from a dry run of one consultation kind stays valid
+   when other kinds also guard the same site. Every firing disarms the
+   site — each arming fires exactly once — except a {e non-transient}
+   [Io_error], which models a condition (dead disk, full disk) rather
+   than an event: it keeps firing on every consultation until
+   explicitly disarmed. *)
+let due site ~can =
   match Hashtbl.find_opt armed_tbl site with
   | None -> None
   | Some a ->
-    if a.remaining > 0 then begin
+    if not (can a.a_mode) then None
+    else if a.remaining > 0 then begin
       a.remaining <- a.remaining - 1;
       None
     end
     else begin
-      disarm site;
+      (match a.a_mode with
+       | Io_error { transient = false; _ } -> ()
+       | Crash | Torn | Bit_flip | Io_error { transient = true; _ } ->
+         disarm site);
       Some a.a_mode
     end
+
+let fire site = function
+  | Io_error { errno; transient } ->
+    raise (Io_injected { site; errno; transient })
+  | mode -> raise (Injected { site; mode })
 
 let hit site =
   if enabled () then begin
     count site;
-    match due site with
+    match due site ~can:(fun _ -> true) with
     | Some mode ->
-      (* A Torn arming at a plain hit point degrades to a clean crash:
-         there is no partial effect to perform here. *)
-      raise (Injected { site; mode })
+      (* A Torn or Bit_flip arming at a plain hit point degrades to a
+         clean crash: there is no byte stream to damage here. *)
+      fire site mode
     | None -> ()
   end
 
-let torn site ~partial =
+let write_record site ~partial ~flip =
   if enabled () then begin
     count site;
-    match due site with
+    match due site ~can:(function Io_error _ -> false | _ -> true) with
     | Some Torn ->
       partial ();
       raise (Injected { site; mode = Torn })
-    | Some Crash -> raise (Injected { site; mode = Crash })
+    | Some Bit_flip ->
+      (* Silent bit rot: damage the framed bytes and carry on — only a
+         later checksum verification may notice. *)
+      flip ()
+    | Some mode -> fire site mode
+    | None -> ()
+  end
+
+let file_write site ~flip =
+  if enabled () then begin
+    count site;
+    match due site ~can:(fun _ -> true) with
+    | Some Bit_flip -> flip ()
+    | Some mode -> fire site mode
+    | None -> ()
+  end
+
+let io site =
+  if enabled () then begin
+    Obs.Counter.incr (io_counter site);
+    match due site ~can:(function Io_error _ -> true | _ -> false) with
+    | Some mode -> fire site mode
     | None -> ()
   end

@@ -1,0 +1,35 @@
+(* Bounded jittered retry for transient I/O errors at the persist
+   layer. The policy shape mirrors [Nbsc_sim.Backoff] (base, factor,
+   cap, budget, half-jitter), but lives at the engine level: the engine
+   library does not depend on the simulator, and the engine is
+   cooperative/single-threaded, so the computed delays are advisory
+   bookkeeping handed to [on_retry] (counted, logged), not wall-clock
+   sleeps. *)
+
+type policy = {
+  base : int;    (* first delay, arbitrary units *)
+  factor : int;  (* exponential growth per retry *)
+  cap : int;     (* delay ceiling *)
+  budget : int;  (* retries before giving up *)
+}
+
+let default = { base = 1; factor = 2; cap = 16; budget = 4 }
+
+(* Raw exponential delay for [attempt] (0-based), then half-jitter:
+   uniform in [d/2, d], like Backoff.jittered — desynchronises retriers
+   without ever collapsing the delay to zero. *)
+let delay p rng ~attempt =
+  let rec raw i d = if i <= 0 then d else raw (i - 1) (min p.cap (d * p.factor)) in
+  let d = max 1 (raw attempt p.base) in
+  if d <= 1 then d else (d / 2) + Random.State.int rng (d - (d / 2) + 1)
+
+let with_transient_retries ?(policy = default) ~rng ~on_retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Fault.Io_injected { errno = Fault.EIO; transient = true; _ }
+      when attempt < policy.budget ->
+      on_retry ~attempt ~delay:(delay policy rng ~attempt);
+      go (attempt + 1)
+  in
+  go 0

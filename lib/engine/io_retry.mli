@@ -1,0 +1,35 @@
+(** Bounded jittered retry for transient I/O errors.
+
+    The persist layer wraps every physical write in
+    {!with_transient_retries}: a transient [EIO]
+    ({!Fault.Io_injected}) is retried up to [budget] times with
+    exponentially growing, half-jittered delays; anything else —
+    persistent [EIO], [ENOSPC], real [Sys_error]s — propagates to the
+    caller's own handling. The policy shape deliberately mirrors
+    [Nbsc_sim.Backoff] (the engine cannot depend on the simulator);
+    delays are advisory units reported through [on_retry], not sleeps —
+    the engine is cooperative and single-threaded. *)
+
+type policy = {
+  base : int;    (** first delay, arbitrary units *)
+  factor : int;  (** exponential growth per retry *)
+  cap : int;     (** delay ceiling *)
+  budget : int;  (** retries before giving up *)
+}
+
+val default : policy
+(** [{base = 1; factor = 2; cap = 16; budget = 4}]. *)
+
+val delay : policy -> Random.State.t -> attempt:int -> int
+(** The jittered delay for the [attempt]-th retry (0-based): uniform in
+    [[d/2, d]] where [d] is the capped exponential raw delay. *)
+
+val with_transient_retries :
+  ?policy:policy ->
+  rng:Random.State.t ->
+  on_retry:(attempt:int -> delay:int -> unit) ->
+  (unit -> 'a) ->
+  'a
+(** Run the thunk, retrying it on transient [EIO] until the budget is
+    spent (then the last failure re-raises). [on_retry] observes each
+    retry — the persist layer counts it into [storage.io_retries]. *)

@@ -1,4 +1,5 @@
 open Nbsc_wal
+module Obs = Nbsc_obs.Obs
 
 type error = Nbsc_error.t
 
@@ -6,38 +7,104 @@ type t = {
   dir : string;
   mutable pdb : Db.t;
   mutable out : out_channel;
-  buf : Buffer.t;  (* encoded lines awaiting the group-commit barrier *)
+  buf : Buffer.t;  (* framed lines awaiting the group-commit barrier *)
   rbuf : Buffer.t;  (* one record being encoded (reused per append) *)
+  fbuf : Buffer.t;  (* the framed form of rbuf (reused per append) *)
   scratch : Buffer.t;  (* composite scratch for [Log_record.encode_into] *)
   mutable report : Recovery.report option;
   mutable closed : bool;
 }
 
-let snapshot_path dir = Filename.concat dir "snapshot.nbsc"
-let wal_path dir = Filename.concat dir "wal.nbsc"
+let snapshot_path = Disk_format.snapshot_path
+let wal_path = Disk_format.wal_path
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
 let io f = try Ok (f ()) with Sys_error m -> Error (`Io m)
+
+(* Deterministic jitter source for transient-EIO retries: the engine
+   has no ambient randomness (fixed-seed runs must stay byte-identical)
+   and the jitter only needs to decorrelate, not be unpredictable. *)
+let retry_rng = Random.State.make [| 0xC5C32; 0x10 |]
+
+let on_io_retry ~attempt:_ ~delay:_ =
+  Obs.Counter.incr (Disk_format.io_retries ())
+
+(* Flip one byte in the middle of a framed line — the [Bit_flip] fault
+   effect. Applied {e after} the CRC was computed, exactly like media
+   bit rot: the damage is silent at write time and only checksum
+   verification (reopen, scrub) can catch it. *)
+let flip_byte_of_string s =
+  let b = Bytes.of_string s in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+  Bytes.unsafe_to_string b
+
+let flip_byte_of_buffer buf =
+  let s = flip_byte_of_string (Buffer.contents buf) in
+  Buffer.clear buf;
+  Buffer.add_string buf s
 
 (* Atomic file replacement: write a temp file in the same directory,
    then rename over the destination. A crash at any point leaves either
    the complete old file or the complete new file — never a torn mix.
    [Fault.Injected] deliberately escapes [io]'s Sys_error net: a
    simulated crash propagates to the harness, which then reopens the
-   directory. *)
-let write_lines_atomic ?fault_write ?fault_rename path lines =
+   directory. [Fault.Io_injected] is handled here: transient EIO
+   retries the whole write (fresh temp file), ENOSPC becomes a typed
+   [`Disk_full], persistent EIO a [`Io]. *)
+let write_lines_atomic ?fault_write ?fault_rename ~magic ~with_trailer path
+    lines =
+  let run () =
+    io (fun () ->
+        let tmp = path ^ ".tmp" in
+        let corrupt_at = ref (-1) in
+        (match fault_write with
+         | Some site ->
+           Fault.file_write site
+             ~flip:(fun () -> corrupt_at := List.length lines / 2)
+         | None -> ());
+        let oc = open_out tmp in
+        output_string oc magic;
+        output_char oc '\n';
+        List.iteri
+          (fun i l ->
+             let framed = Disk_format.frame l in
+             let framed =
+               if i = !corrupt_at then flip_byte_of_string framed else framed
+             in
+             output_string oc framed;
+             output_char oc '\n')
+          lines;
+        if with_trailer then begin
+          output_string oc (Disk_format.frame (Disk_format.trailer (List.length lines)));
+          output_char oc '\n'
+        end;
+        close_out oc;
+        (match fault_rename with Some site -> Fault.hit site | None -> ());
+        Sys.rename tmp path)
+  in
+  match Io_retry.with_transient_retries ~rng:retry_rng ~on_retry:on_io_retry run with
+  | r -> r
+  | exception Fault.Io_injected { errno = Fault.ENOSPC; site; _ } ->
+    Obs.Counter.incr (Disk_format.disk_full_stalls ());
+    Error
+      (`Disk_full (Printf.sprintf "no space writing %s (site %s)" path site))
+  | exception Fault.Io_injected { errno = Fault.EIO; site; _ } ->
+    Error (`Io (Printf.sprintf "persistent I/O error writing %s (site %s)" path site))
+
+(* Rewrite a file keeping already-framed lines verbatim (the torn-tail
+   trim): no re-framing, no fault sites beyond the caller's. *)
+let write_raw_atomic path raw_lines =
   io (fun () ->
       let tmp = path ^ ".tmp" in
-      (match fault_write with Some site -> Fault.hit site | None -> ());
       let oc = open_out tmp in
       List.iter
         (fun l ->
            output_string oc l;
            output_char oc '\n')
-        lines;
+        raw_lines;
       close_out oc;
-      (match fault_rename with Some site -> Fault.hit site | None -> ());
       Sys.rename tmp path)
 
 let read_lines path =
@@ -55,10 +122,12 @@ let read_lines path =
 (* The WAL is appended in place (not rename-swapped), so a crash can
    tear its final line. Only an {e unterminated} final line is the
    signature of a torn append — drop it; newline-terminated garbage is
-   real corruption and must still be reported as such. Returns the
-   surviving lines and whether a torn tail was dropped (the caller must
-   then trim the file, or the next append would fuse with the torn
-   prefix into a newline-terminated garbage line). *)
+   real corruption and must still be reported as such (the per-line
+   checksum downstream makes that detection total). Returns the
+   surviving raw lines (header included) and whether a torn tail was
+   dropped (the caller must then trim the file, or the next append
+   would fuse with the torn prefix into a newline-terminated garbage
+   line). *)
 let read_wal_lines path =
   io (fun () ->
       let ic = open_in_bin path in
@@ -79,7 +148,44 @@ let read_wal_lines path =
           | [] -> ([], true)
       end)
 
-(* The sink buffers encoded lines; they reach disk at the group-commit
+(* Physical write of the buffered sink lines — the durability barrier's
+   bottom half, and the one place the engine meets a failing disk.
+   Transient EIO retries with jittered backoff ([storage.io_retries]);
+   ENOSPC keeps the bytes buffered and puts the manager into degraded
+   mode ([storage.disk_full_stalls]) instead of failing the caller —
+   the buffered suffix only ever holds records not yet promised
+   durable, and the refusal of further writes keeps it that way. Any
+   successful physical append clears the degraded flag: recovery from
+   a transient full disk is automatic. *)
+let flush_buf t =
+  let mgr = Db.manager t.pdb in
+  if Buffer.length t.buf > 0 || Nbsc_txn.Manager.disk_full mgr then begin
+    let attempt () =
+      Fault.io "wal_append";
+      if Buffer.length t.buf > 0 then begin
+        Buffer.output_buffer t.out t.buf;
+        Buffer.clear t.buf;
+        flush t.out
+      end
+    in
+    match
+      Io_retry.with_transient_retries ~rng:retry_rng ~on_retry:on_io_retry
+        attempt
+    with
+    | () ->
+      if Nbsc_txn.Manager.disk_full mgr then
+        Nbsc_txn.Manager.clear_disk_full mgr
+    | exception Fault.Io_injected { errno = Fault.ENOSPC; _ } ->
+      if not (Nbsc_txn.Manager.disk_full mgr) then begin
+        Obs.Counter.incr (Disk_format.disk_full_stalls ());
+        Nbsc_txn.Manager.set_disk_full mgr
+      end
+    | exception Fault.Io_injected { errno = Fault.EIO; site; _ } ->
+      Nbsc_error.fail
+        (`Io (Printf.sprintf "wal append failed with persistent EIO at %s" site))
+  end
+
+(* The sink buffers framed lines; they reach disk at the group-commit
    barrier ([Log.sync] -> the syncer below), so a transaction's worth of
    appends costs one write+flush instead of one per record. Records of
    the system transaction (fuzzy marks, job state, checkpoint marks)
@@ -87,14 +193,9 @@ let read_wal_lines path =
    them being durable independently of any commit. The on-disk log is
    always a strict prefix of the in-memory log, and the buffered suffix
    only ever holds records of transactions that have not synced — a
-   crash losing it replays idempotently. *)
-let flush_buf t =
-  if Buffer.length t.buf > 0 then begin
-    Buffer.output_buffer t.out t.buf;
-    Buffer.clear t.buf;
-    flush t.out
-  end
-
+   crash losing it replays idempotently. Each line is framed
+   ([Disk_format.frame_into]: CRC-32 over the encoded payload) straight
+   out of the reusable buffers — no intermediate strings. *)
 let attach_sink t =
   let log = Db.log t.pdb in
   Log.set_sink log
@@ -102,17 +203,42 @@ let attach_sink t =
        (fun record ->
           Buffer.clear t.rbuf;
           Log_record.encode_into ~scratch:t.scratch t.rbuf record;
+          Buffer.clear t.fbuf;
+          Disk_format.frame_into t.fbuf t.rbuf;
           (* A torn append first makes the buffered complete lines
-             durable, then leaves a prefix of this line, unterminated —
-             exactly what [read_wal_lines] tolerates on reopen. *)
-          Fault.torn "wal_append" ~partial:(fun () ->
-              flush_buf t;
-              output_string t.out (Buffer.sub t.rbuf 0 (Buffer.length t.rbuf / 2));
-              flush t.out);
-          Buffer.add_buffer t.buf t.rbuf;
+             durable, then leaves a prefix of this framed line,
+             unterminated — exactly what [read_wal_lines] tolerates on
+             reopen. A bit flip damages the framed bytes after their
+             CRC was computed and continues silently. *)
+          Fault.write_record "wal_append"
+            ~partial:(fun () ->
+                flush_buf t;
+                output_string t.out
+                  (Buffer.sub t.fbuf 0 (Buffer.length t.fbuf / 2));
+                flush t.out)
+            ~flip:(fun () -> flip_byte_of_buffer t.fbuf);
+          Buffer.add_buffer t.buf t.fbuf;
           Buffer.add_char t.buf '\n';
           if record.Log_record.txn = Log_record.system_txn then flush_buf t));
   Log.set_syncer log (Some (fun () -> flush_buf t))
+
+(* Open the WAL append channel; a fresh (empty) file gets its version
+   header immediately, flushed, so even a crash right after creation
+   leaves a well-formed file. *)
+let open_wal_channel path =
+  io (fun () ->
+      let out = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      if out_channel_length out = 0 then begin
+        output_string out Disk_format.wal_magic;
+        output_char out '\n';
+        flush out
+      end;
+      out)
+
+let make_t ~dir ~pdb ~out ~report =
+  { dir; pdb; out; buf = Buffer.create 4096; rbuf = Buffer.create 256;
+    fbuf = Buffer.create 256; scratch = Buffer.create 256; report;
+    closed = false }
 
 let create_dir ~dir =
   let* () =
@@ -126,36 +252,117 @@ let create_dir ~dir =
       match Snapshot.save pdb with
       | Ok lines ->
         write_lines_atomic ~fault_write:"snapshot_write"
-          ~fault_rename:"snapshot_rename" (snapshot_path dir) lines
+          ~fault_rename:"snapshot_rename" ~magic:Disk_format.snapshot_magic
+          ~with_trailer:true (snapshot_path dir) lines
       | Error e -> Error e
     in
-    let* out =
-      io (fun () ->
-          open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
-    in
-    let t =
-      { dir; pdb; out; buf = Buffer.create 4096; rbuf = Buffer.create 256;
-        scratch = Buffer.create 256; report = None; closed = false }
-    in
+    let* out = open_wal_channel (wal_path dir) in
+    let t = make_t ~dir ~pdb ~out ~report:None in
     attach_sink t;
     Nbsc_txn.Manager.set_durable_floor (Db.manager pdb) (Log.base (Db.log pdb));
     Ok t
 
-let open_dir ~dir =
-  let* snapshot_lines = read_lines (snapshot_path dir) in
-  let* pdb =
-    match Snapshot.load snapshot_lines with
-    | Ok db -> Ok db
-    | Error e -> Error e
+(* Verify and strip the framing of a file's payload lines, numbering
+   from 2 (line 1 is the header). *)
+let unframe_lines ~path raw_lines =
+  let rec go acc line = function
+    | [] -> Ok (List.rev acc)
+    | raw :: rest ->
+      let* payload = Disk_format.unframe ~path ~line raw in
+      go ((line, payload) :: acc) (line + 1) rest
   in
-  let* wal_lines, torn =
-    if Sys.file_exists (wal_path dir) then read_wal_lines (wal_path dir)
-    else Ok ([], false)
-  in
-  (* Physically trim a torn tail before the append channel reopens. *)
+  go [] 2 raw_lines
+
+(* Snapshot files are rename-swapped, i.e. written in one piece — a
+   complete one always ends with its trailer. A snapshot cut at an
+   exact line boundary (every surviving line still checksums) is the
+   one corruption per-line CRCs cannot see; the trailer's line count
+   closes that hole. *)
+let check_snapshot_trailer ~path payloads =
+  match List.rev payloads with
+  | (line, last) :: rest_rev ->
+    (match Disk_format.trailer_count last with
+     | Some n ->
+       if n = List.length rest_rev then
+         Ok (List.map snd (List.rev rest_rev))
+       else
+         Error
+           (Nbsc_error.corrupt ~path ~line
+              (Printf.sprintf
+                 "snapshot trailer records %d payload lines but %d are \
+                  present — file truncated or spliced"
+                 n (List.length rest_rev)))
+     | None ->
+       Error
+         (Nbsc_error.corrupt ~path ~line
+            "snapshot trailer missing — file truncated at a line boundary?"))
+  | [] ->
+    Error (Nbsc_error.corrupt ~path "snapshot holds no lines beyond its header")
+
+let load_snapshot ~dir =
+  let path = snapshot_path dir in
+  let* raw = read_lines path in
   let* () =
-    if torn then write_lines_atomic (wal_path dir) wal_lines else Ok ()
+    Disk_format.check_header ~magic:Disk_format.snapshot_magic ~path
+      (match raw with [] -> None | l :: _ -> Some l)
   in
+  let* framed = match raw with [] -> Ok [] | _ :: rest -> Ok rest in
+  let* payloads = unframe_lines ~path framed in
+  let* lines = check_snapshot_trailer ~path payloads in
+  (* Crash-during-recovery site: before the decoded snapshot state is
+     built. Nothing was written yet, so a crash here is trivially
+     idempotent — the matrix proves it. *)
+  Fault.hit "snapshot_load";
+  Snapshot.load lines
+
+(* Decode the framed WAL lines into records, with file/line context on
+   every failure. *)
+let decode_wal_lines ~path framed =
+  let* numbered = unframe_lines ~path framed in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (line, payload) :: rest ->
+      (match Log_record.decode payload with
+       | r -> go (r :: acc) rest
+       | exception Failure m -> Error (Nbsc_error.corrupt ~path ~line m))
+  in
+  go [] numbered
+
+(* A crash between writing a temp file and renaming it over its
+   destination strands a [*.tmp]; it carries no durable state (the
+   rename is the publish point), so reopening deletes any found. *)
+let remove_orphan_tmps dir =
+  io (fun () ->
+      Array.iter
+        (fun f ->
+           if Filename.check_suffix f ".tmp" then
+             Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir))
+
+let open_dir ~dir =
+  let* () = remove_orphan_tmps dir in
+  let* pdb = load_snapshot ~dir in
+  let wpath = wal_path dir in
+  let* raw_wal, torn =
+    if Sys.file_exists wpath then read_wal_lines wpath else Ok ([], false)
+  in
+  let* () =
+    if Sys.file_exists wpath then
+      Disk_format.check_header ~magic:Disk_format.wal_magic ~path:wpath
+        (match raw_wal with [] -> None | l :: _ -> Some l)
+    else Ok ()
+  in
+  (* Physically trim a torn tail before the append channel reopens.
+     Crash-during-recovery site: the trim is atomic, so a crash before
+     or after it reopens into the same decision. *)
+  let* () =
+    if torn then begin
+      Fault.hit "recovery_truncate";
+      write_raw_atomic wpath raw_wal
+    end
+    else Ok ()
+  in
+  let framed_wal = match raw_wal with [] -> [] | _ :: rest -> rest in
   (* Group-commit recovery invariant: the snapshot must not reflect an
      LSN the durable log does not cover. The only way to violate it is
      a checkpoint that published its snapshot while acked-but-unflushed
@@ -174,7 +381,7 @@ let open_dir ~dir =
          let m = Nbsc_storage.Table.max_lsn tbl in
          if Lsn.(m > durable_head) then
            Error
-             (`Corrupt
+             (Nbsc_error.corrupt ~path:wpath ~lsn:(Lsn.to_int m)
                 (Printf.sprintf
                    "table %s reflects lsn %s beyond the durable log head %s: \
                     a group-commit suffix acked before the snapshot was lost"
@@ -188,17 +395,25 @@ let open_dir ~dir =
      becomes the {e live} in-memory log: a resumed transformation's
      propagator must be able to re-read the retained records, and new
      appends must continue the same LSN sequence. *)
+  (* Crash-during-recovery site: snapshot loaded, before redo/undo
+     mutate the freshly loaded catalog (consulted even when the
+     retained log is empty — the replay step still happens). Replay is
+     idempotent, so a second crash mid-recovery reopens into the same
+     replay. *)
+  Fault.hit "recovery_replay";
   let* report, log =
-    match wal_lines with
+    match framed_wal with
     | [] -> Ok (None, Db.log pdb) (* empty log based at the snapshot head *)
-    | lines ->
-      (* The string codec is applied here, at the replay boundary; the
-         log itself only ever holds structured records. *)
-      (match Log.of_records (List.map Log_record.decode lines) with
+    | framed ->
+      (* The string codec and checksum verification run here, at the
+         replay boundary; the log itself only ever holds structured
+         records. *)
+      let* records = decode_wal_lines ~path:wpath framed in
+      (match Log.of_records records with
        | wal ->
          let* () = check_covered ~durable_head:(Log.head wal) in
          Ok (Some (Recovery.replay_into (Db.catalog pdb) wal), wal)
-       | exception Failure m -> Error (`Corrupt m))
+       | exception Failure m -> Error (Nbsc_error.corrupt ~path:wpath m))
   in
   let pdb = Db.of_parts (Db.catalog pdb) ~log in
   (* Retained records carry transaction ids from the previous life;
@@ -207,14 +422,8 @@ let open_dir ~dir =
   let max_txn = ref Log_record.system_txn in
   Log.iter log (fun r -> max_txn := Stdlib.max !max_txn r.Log_record.txn);
   Nbsc_txn.Manager.bump_txn_ids (Db.manager pdb) ~above:!max_txn;
-  let* out =
-    io (fun () ->
-        open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path dir))
-  in
-  let t =
-    { dir; pdb; out; buf = Buffer.create 4096; rbuf = Buffer.create 256;
-      scratch = Buffer.create 256; report; closed = false }
-  in
+  let* out = open_wal_channel wpath in
+  let t = make_t ~dir ~pdb ~out ~report in
   attach_sink t;
   (* Everything below the retained WAL's first record is durable in the
      snapshot; the retained suffix itself must stay in memory until the
@@ -234,78 +443,85 @@ let checkpoint t =
      an on-disk WAL missing the acked suffix — a durability violation
      the ack already promised away. *)
   Nbsc_txn.Manager.flush_commits (Db.manager t.pdb);
-  (* The snapshot's coverage point: everything at or below this LSN is
-     reflected in the snapshot once it publishes (the [Job_state]
-     records appended below land above it). Becomes the manager's new
-     durable floor for in-memory truncation. *)
-  let snap_head = Log.head log in
-  let persists =
-    List.map (fun (name, thunk) -> (name, thunk ())) (Db.job_persists t.pdb)
-  in
-  match Snapshot.save t.pdb with
-  | Error e -> Error e
-  | Ok lines ->
-    (* Snapshot first, WAL second: a crash between the two leaves the
-       new snapshot with the old (longer) WAL, which replays
-       idempotently. The reverse order could pair a truncated WAL with
-       the old snapshot and lose records. *)
-    let* () =
-      write_lines_atomic ~fault_write:"snapshot_write"
-        ~fault_rename:"snapshot_rename" (snapshot_path t.dir) lines
+  if Nbsc_txn.Manager.disk_full (Db.manager t.pdb) then
+    (* The barrier could not reach disk: publishing a snapshot that
+       reflects unflushed commits would violate the coverage invariant
+       recovery checks. Refuse; the checkpoint can rerun once space
+       returns. *)
+    Error (`Disk_full "checkpoint refused: the WAL flush found no space")
+  else begin
+    (* The snapshot's coverage point: everything at or below this LSN is
+       reflected in the snapshot once it publishes (the [Job_state]
+       records appended below land above it). Becomes the manager's new
+       durable floor for in-memory truncation. *)
+    let snap_head = Log.head log in
+    let persists =
+      List.map (fun (name, thunk) -> (name, thunk ())) (Db.job_persists t.pdb)
     in
-    (* Only now re-emit every persistable job's resume state. The
-       ordering is load-bearing: a [Job_state] on disk must imply the
-       published snapshot already reflects the job's work up to that
-       position — resuming from a position {e ahead} of the targets
-       would silently skip log records. The other direction is safe: a
-       crash leaving an older [Job_state] with a newer snapshot merely
-       replays an overlap, and replay is idempotent. The records land
-       in the current WAL via the sink and — having LSNs above every
-       low-water mark — survive the rewrite below. *)
-    List.iter
-      (fun (name, (p : Db.job_persist)) ->
-         ignore
-           (Log.append log ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
-              (Log_record.Job_state { job = name; state = p.Db.job_state })))
-      persists;
-    (* Truncate the WAL down to the suffix in-flight jobs still need:
-       every record at or above the oldest propagator position (low
-       watermark — the {e next} record that job will read, so the record
-       at the watermark itself must survive). With no persistable jobs
-       the WAL empties, as a classical checkpoint would. *)
-    let low =
-      List.fold_left
-        (fun acc (_, (p : Db.job_persist)) ->
-           if Lsn.(p.Db.low_water < acc) then p.Db.low_water else acc)
-        (Lsn.next (Log.head log)) persists
-    in
-    let retained = ref [] in
-    Log.iter log (fun r ->
-        if Lsn.(r.Log_record.lsn >= low) then
-          retained := Log_record.encode r :: !retained);
-    let retained = List.rev !retained in
-    (* Buffered lines need no flush: every record they hold is either
-       reflected in the snapshot just published or rewritten below from
-       the in-memory retained suffix. *)
-    Buffer.clear t.buf;
-    let* () = io (fun () -> close_out t.out) in
-    let* () =
-      write_lines_atomic ~fault_rename:"wal_rewrite" (wal_path t.dir) retained
-    in
-    let* out =
-      io (fun () ->
-          open_out_gen [ Open_append; Open_creat ] 0o644 (wal_path t.dir))
-    in
-    t.out <- out;
-    attach_sink t;
-    (* Mirror the on-disk trim in memory: with the snapshot durable,
-       records at or below its head are only needed by whoever pinned
-       them (active transactions cannot exist here — [Snapshot.save]
-       refuses them — but propagators can). *)
-    let mgr = Db.manager t.pdb in
-    Nbsc_txn.Manager.set_durable_floor mgr snap_head;
-    ignore (Nbsc_txn.Manager.truncate_wal mgr);
-    Ok ()
+    match Snapshot.save t.pdb with
+    | Error e -> Error e
+    | Ok lines ->
+      (* Snapshot first, WAL second: a crash between the two leaves the
+         new snapshot with the old (longer) WAL, which replays
+         idempotently. The reverse order could pair a truncated WAL with
+         the old snapshot and lose records. *)
+      let* () =
+        write_lines_atomic ~fault_write:"snapshot_write"
+          ~fault_rename:"snapshot_rename" ~magic:Disk_format.snapshot_magic
+          ~with_trailer:true (snapshot_path t.dir) lines
+      in
+      (* Only now re-emit every persistable job's resume state. The
+         ordering is load-bearing: a [Job_state] on disk must imply the
+         published snapshot already reflects the job's work up to that
+         position — resuming from a position {e ahead} of the targets
+         would silently skip log records. The other direction is safe: a
+         crash leaving an older [Job_state] with a newer snapshot merely
+         replays an overlap, and replay is idempotent. The records land
+         in the current WAL via the sink and — having LSNs above every
+         low-water mark — survive the rewrite below. *)
+      List.iter
+        (fun (name, (p : Db.job_persist)) ->
+           ignore
+             (Log.append log ~txn:Log_record.system_txn ~prev_lsn:Lsn.zero
+                (Log_record.Job_state { job = name; state = p.Db.job_state })))
+        persists;
+      (* Truncate the WAL down to the suffix in-flight jobs still need:
+         every record at or above the oldest propagator position (low
+         watermark — the {e next} record that job will read, so the record
+         at the watermark itself must survive). With no persistable jobs
+         the WAL empties, as a classical checkpoint would. *)
+      let low =
+        List.fold_left
+          (fun acc (_, (p : Db.job_persist)) ->
+             if Lsn.(p.Db.low_water < acc) then p.Db.low_water else acc)
+          (Lsn.next (Log.head log)) persists
+      in
+      let retained = ref [] in
+      Log.iter log (fun r ->
+          if Lsn.(r.Log_record.lsn >= low) then
+            retained := Log_record.encode r :: !retained);
+      let retained = List.rev !retained in
+      (* Buffered lines need no flush: every record they hold is either
+         reflected in the snapshot just published or rewritten below from
+         the in-memory retained suffix. *)
+      Buffer.clear t.buf;
+      let* () = io (fun () -> close_out t.out) in
+      let* () =
+        write_lines_atomic ~fault_write:"wal_rewrite" ~magic:Disk_format.wal_magic
+          ~with_trailer:false (wal_path t.dir) retained
+      in
+      let* out = open_wal_channel (wal_path t.dir) in
+      t.out <- out;
+      attach_sink t;
+      (* Mirror the on-disk trim in memory: with the snapshot durable,
+         records at or below its head are only needed by whoever pinned
+         them (active transactions cannot exist here — [Snapshot.save]
+         refuses them — but propagators can). *)
+      let mgr = Db.manager t.pdb in
+      Nbsc_txn.Manager.set_durable_floor mgr snap_head;
+      ignore (Nbsc_txn.Manager.truncate_wal mgr);
+      Ok ()
+  end
 
 let crash t =
   if not t.closed then begin

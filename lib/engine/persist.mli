@@ -1,26 +1,38 @@
 (** Durability: a database directory with a snapshot file and a
     continuously-appended write-ahead-log file.
 
-    Layout:
+    Layout (on-disk format v2 — see {!Disk_format}):
     {v
-      <dir>/snapshot.nbsc   sharp snapshot (see Snapshot)
-      <dir>/wal.nbsc        one encoded log record per line, appended
+      <dir>/snapshot.nbsc   line 1 the format magic; then one
+                            CRC-framed snapshot line each; last a
+                            framed @end:<count> trailer
+      <dir>/wal.nbsc        line 1 the format magic; then one
+                            CRC-framed log record per line, appended
                             and flushed synchronously on every append
     v}
 
-    {!open_dir} restores the snapshot, replays the WAL file (redo of
-    completed work, rollback of transactions that were in flight at the
-    crash), and re-attaches the WAL sink so new work keeps being
-    journaled. {!checkpoint} rewrites the snapshot and truncates the
-    WAL down to the suffix still needed by in-flight schema changes.
+    {!open_dir} sweeps orphaned [*.tmp] files, verifies both files'
+    headers and per-line checksums, restores the snapshot, replays the
+    WAL (redo of completed work, rollback of transactions that were in
+    flight at the crash), and re-attaches the WAL sink so new work
+    keeps being journaled. {!checkpoint} rewrites the snapshot and
+    truncates the WAL down to the suffix still needed by in-flight
+    schema changes.
 
     Crash-safety protocol: both files are replaced atomically (temp
     file + [Sys.rename]); the WAL alone is appended in place, so only
     its final line can be torn by a crash — an unterminated final line
-    is silently dropped on reopen, while newline-terminated garbage is
-    still reported as [`Corrupt]. Fault injection ({!Fault}) is wired
+    is dropped and physically trimmed on reopen, while
+    newline-terminated garbage, a checksum failure, or a missing or
+    miscounting snapshot trailer is reported as [`Corrupt] with
+    file/line/checksum context. Fault injection ({!Fault}) is wired
     into every durability step: sites [wal_append], [snapshot_write],
-    [snapshot_rename] and [wal_rewrite] fire here. *)
+    [snapshot_rename] and [wal_rewrite] fire on the write paths, and
+    [snapshot_load], [recovery_truncate] and [recovery_replay] inside
+    {!open_dir} itself (crash-during-recovery). Transient [EIO] is
+    retried with bounded jittered backoff ({!Io_retry}); [ENOSPC]
+    puts the transaction manager into degraded mode
+    ({!Nbsc_txn.Manager.disk_full}) instead of failing the engine. *)
 
 (** {b DDL durability caveat}: the WAL journals data operations only
     (the paper's log carries no DDL either); table definitions are
@@ -31,7 +43,7 @@
 type t
 
 type error = Nbsc_error.t
-(** The durability layer produces [`Io], [`Corrupt] and
+(** The durability layer produces [`Io], [`Corrupt], [`Disk_full] and
     [`Active_transactions]; the unified type means callers render any
     of it with {!Nbsc_error.to_string} and need no per-module
     plumbing. *)

@@ -1,0 +1,38 @@
+(** Offline storage-integrity verification — the engine behind
+    [nbsc scrub] and [make scrub].
+
+    Walks a database directory {e without opening it}: no replay, no
+    state mutation, no channel kept open. Both files are verified
+    against the v2 on-disk format ({!Disk_format}): version header,
+    per-line CRC-32, snapshot trailer (truncation at a line boundary),
+    WAL record decodability and LSN-chain structure. A torn
+    (unterminated) final WAL line is tolerated and noted — that is the
+    legitimate signature of a crash mid-append, which reopening trims —
+    while every other deviation is reported with file/line/checksum
+    context.
+
+    Checksum failures found here count into the same
+    [storage.crc_failures] instrument ({!Disk_format.obs}) that reopen
+    verification uses. *)
+
+type file_report = {
+  f_path : string;
+  f_present : bool;
+  f_lines : int;           (** payload lines that verified *)
+  f_torn_tail : bool;      (** a torn final WAL line was tolerated *)
+  f_errors : Nbsc_error.corruption list;
+}
+
+type report = { dir : string; files : file_report list }
+
+val verify_dir : dir:string -> (report, Nbsc_error.t) result
+(** Verify [snapshot.nbsc] and [wal.nbsc] under [dir]. [Error] only for
+    directory-level I/O trouble; per-file damage lands in the report. *)
+
+val ok : report -> bool
+(** No file reported any error. *)
+
+val errors : report -> Nbsc_error.corruption list
+(** All errors across files, in file order. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -153,7 +153,7 @@ let load lines =
       lines;
     Ok (Db.of_parts catalog ~log:(Log.create ~base:!head ()))
   with
-  | Failure m -> Error (`Corrupt m)
-  | Not_found -> Error (`Corrupt "reference to unknown table")
+  | Failure m -> Error (Nbsc_error.corrupt m)
+  | Not_found -> Error (Nbsc_error.corrupt "reference to unknown table")
 
 let pp_error = Nbsc_error.pp

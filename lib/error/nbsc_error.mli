@@ -13,9 +13,26 @@
     code that cannot return a [result]); {!of_exn} folds all of them
     back into a [t]. *)
 
+type corruption = {
+  c_path : string option;      (** which on-disk file *)
+  c_line : int option;         (** 1-based line number in that file *)
+  c_lsn : int option;          (** log sequence number, when decodable *)
+  c_expected_crc : string option;  (** checksum the frame claimed (hex) *)
+  c_actual_crc : string option;    (** checksum the payload has (hex) *)
+  c_reason : string;
+}
+(** Structured context for a corruption report: enough to point a human
+    (or [nbsc scrub]) at the exact damaged line. Every field except the
+    reason is optional — corruption detected above the framing layer
+    (e.g. a snapshot referencing an unknown table) has no CRC to cite. *)
+
 type t =
   [ `Io of string             (** filesystem / WAL channel trouble *)
-  | `Corrupt of string        (** undecodable durable state *)
+  | `Corrupt of corruption    (** undecodable or checksum-failed durable state *)
+  | `Disk_full of string
+      (** a durable append hit [ENOSPC]; the engine is degraded — reads
+          and aborts proceed, new writes are refused until an append
+          succeeds again *)
   | `Active_transactions of int list
       (** a sharp operation (snapshot, checkpoint) refused because
           these transactions are still running *)
@@ -31,6 +48,17 @@ exception Error of t
 val fail : t -> 'a
 (** [fail e] raises [Error e]. *)
 
+val corruption :
+  ?path:string -> ?line:int -> ?lsn:int -> ?expected_crc:string ->
+  ?actual_crc:string -> string -> corruption
+(** Build a {!corruption} record from a reason plus whatever context
+    the detection site has. *)
+
+val corrupt :
+  ?path:string -> ?line:int -> ?lsn:int -> ?expected_crc:string ->
+  ?actual_crc:string -> string -> [> `Corrupt of corruption ]
+(** [`Corrupt] of {!corruption} — the usual construction. *)
+
 val msgf : ('a, Format.formatter, unit, t) format4 -> 'a
 (** Format a [`Msg]. *)
 
@@ -38,7 +66,7 @@ val invalidf : ('a, Format.formatter, unit, t) format4 -> 'a
 (** Format an [`Invalid]. *)
 
 val corruptf : ('a, Format.formatter, unit, t) format4 -> 'a
-(** Format a [`Corrupt]. *)
+(** Format a context-free [`Corrupt] (reason only). *)
 
 val of_exn : exn -> t
 (** Fold the legacy carriers into a [t]: [Error e] unwraps to [e],
@@ -48,6 +76,11 @@ val of_exn : exn -> t
 
 val protect : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, catching the carriers {!of_exn} understands. *)
+
+val corruption_to_string : corruption -> string
+(** Render the reason followed by every context field present, e.g.
+    ["checksum mismatch (file wal.nbsc, line 7, lsn 42, expected crc
+    deadbeef, actual crc 0badf00d)"]. *)
 
 val to_string : t -> string
 

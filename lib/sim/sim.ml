@@ -434,7 +434,11 @@ let run ~kind ~workload ?(costs = default_costs) ?on_db ~background ~duration
       if in_window !now then Metrics.record_victim_kill metrics;
       restart ~aborted:true c (restart_delay c)
     | Error
-        (`Duplicate_key | `No_table _ | `Txn_not_active | `Key_update) ->
+        (`Duplicate_key | `No_table _ | `Txn_not_active | `Key_update
+        | `Disk_full) ->
+      (* [`Disk_full] is dead code here — the simulator never injects
+         ENOSPC — but the manager's error set is closed, so it must be
+         covered. *)
       restart ~aborted:false c (restart_delay c)
   in
 

@@ -19,7 +19,8 @@ type error =
   | `No_table of string
   | `Txn_not_active
   | `Abort_only
-  | `Key_update ]
+  | `Key_update
+  | `Disk_full ]
 
 type txn = {
   id : txn_id;
@@ -49,6 +50,7 @@ type t = {
   mutable truncate_after : int;  (* re-check low water at this length *)
   mutable group_window : int;  (* commits per durability barrier *)
   mutable pending_syncs : int;  (* commits since the last barrier *)
+  mutable disk_full : bool;  (* degraded: a durable append hit ENOSPC *)
   wait_graph : Wait_graph.t;
   victims : (txn_id, unit) Hashtbl.t;  (* sentenced by deadlock handling *)
   mutable fairness : bool;
@@ -87,6 +89,7 @@ let create ?log ?obs catalog =
       truncate_after = truncate_check_interval;
       group_window = 1;
       pending_syncs = 0;
+      disk_full = false;
       wait_graph = Wait_graph.create ~obs ();
       victims = Hashtbl.create 16;
       fairness = true;
@@ -244,6 +247,23 @@ let flush_commits t =
     t.pending_syncs <- 0;
     maybe_truncate t
   end
+
+(* {2 Degraded mode: disk full}
+
+   The persist sink flags the manager when a durable append hits
+   [ENOSPC]: acknowledging new writes against a disk that cannot hold
+   their log records would turn the ack into a lie. While degraded,
+   write operations and commits are refused with [`Disk_full]; reads
+   and in-flight aborts proceed (rollback only needs the in-memory
+   log — its CLRs join the buffered suffix and flush once space
+   returns). The sink clears the flag on the next successful physical
+   append, so recovery from a transient full disk is automatic. *)
+
+let set_disk_full t = t.disk_full <- true
+
+let clear_disk_full t = t.disk_full <- false
+
+let disk_full t = t.disk_full
 
 let set_group_commit t window =
   if window <= 0 then invalid_arg "Manager.set_group_commit: window";
@@ -476,7 +496,12 @@ let resolve_table t name =
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
+(* Write operations check the degraded flag up front — before locks,
+   so a refused writer holds nothing. Reads skip this check. *)
+let check_space t = if t.disk_full then Error `Disk_full else Ok ()
+
 let insert t ~txn:txn_id ~table:table_name row =
+  let* () = check_space t in
   let* table = resolve_table t table_name in
   let key = Table.key_of_row table row in
   let* txn = check_access t txn_id ~key ~table:table_name in
@@ -494,6 +519,7 @@ let insert t ~txn:txn_id ~table:table_name row =
   end
 
 let update t ~txn:txn_id ~table:table_name ~key changes =
+  let* () = check_space t in
   let* txn = check_access t txn_id ~key ~table:table_name in
   let* table = resolve_table t table_name in
   let key_positions = Schema.key_positions (Table.schema table) in
@@ -517,6 +543,7 @@ let update t ~txn:txn_id ~table:table_name ~key changes =
       Ok ()
 
 let delete t ~txn:txn_id ~table:table_name ~key =
+  let* () = check_space t in
   let* txn = check_access t txn_id ~key ~table:table_name in
   let* table = resolve_table t table_name in
   let* () = take_lock t txn_id ~table:table_name ~key Compat.X in
@@ -556,6 +583,13 @@ let commit t txn_id =
   | Some txn ->
     if txn.txn_status <> Active then Error `Txn_not_active
     else if txn.abort_only then Error `Abort_only
+    else if t.disk_full then
+      (* An ack is a durability promise (modulo the group-commit
+         window); a full disk cannot keep it. The transaction stays
+         active — the caller may retry once space returns, or abort
+         (aborts proceed: rollback is in-memory and its records ride
+         the buffered suffix). *)
+      Error `Disk_full
     else begin
       let lsn =
         Log.append t.log ~txn:txn_id ~prev_lsn:txn.last_lsn Log_record.Commit
@@ -606,3 +640,5 @@ let pp_error ppf = function
   | `Txn_not_active -> Format.pp_print_string ppf "transaction not active"
   | `Abort_only -> Format.pp_print_string ppf "transaction must abort"
   | `Key_update -> Format.pp_print_string ppf "primary key update"
+  | `Disk_full ->
+    Format.pp_print_string ppf "disk full: writes refused until space returns"

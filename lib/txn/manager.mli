@@ -57,7 +57,12 @@ type error =
   | `No_table of string
   | `Txn_not_active
   | `Abort_only               (** transaction must roll back *)
-  | `Key_update ]             (** update touches a primary-key column *)
+  | `Key_update               (** update touches a primary-key column *)
+  | `Disk_full ]
+      (** the engine is degraded: a durable append hit [ENOSPC].
+          Writes and commits are refused; reads and aborts proceed.
+          Clears automatically once an append succeeds
+          ({!clear_disk_full}, driven by the persist sink). *)
 
 val create : ?log:Log.t -> ?obs:Nbsc_obs.Obs.Registry.t -> Catalog.t -> t
 (** All manager counters ([txn.ops], [txn.commits], [txn.aborts],
@@ -178,6 +183,19 @@ val abort : t -> txn_id -> (unit, error) result
     throughput; recovery semantics are otherwise unchanged (the
     on-disk log is always a prefix of the in-memory log, and a lost
     suffix only ever holds records of unsynced transactions). *)
+
+(** {2 Degraded mode: disk full}
+
+    Set by the persist sink when a physical WAL append fails with
+    [ENOSPC]; cleared by it when an append succeeds again. While the
+    flag is up, {!insert}/{!update}/{!delete}/{!commit} return
+    [`Disk_full] (before taking any lock) and the transformation
+    executor pauses its quanta; {!read}, {!read_dirty} and {!abort}
+    proceed — rollback only needs the in-memory log. *)
+
+val set_disk_full : t -> unit
+val clear_disk_full : t -> unit
+val disk_full : t -> bool
 
 val set_group_commit : t -> int -> unit
 (** Set the batch window (>= 1). Shrinking it below the pending count

@@ -1,0 +1,65 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected), the checksum every
+   durable line carries. Table-driven: 256-entry table computed once at
+   module initialisation, one lookup + xor per byte. Implemented here
+   rather than pulled in as a dependency — the container toolchain is
+   frozen, and the algorithm is 20 lines. *)
+
+type t = int32
+
+let poly = 0xEDB88320l
+
+let table =
+  Array.init 256 (fun n ->
+      let c = ref (Int32.of_int n) in
+      for _ = 0 to 7 do
+        c :=
+          if Int32.logand !c 1l <> 0l then
+            Int32.logxor (Int32.shift_right_logical !c 1) poly
+          else Int32.shift_right_logical !c 1
+      done;
+      !c)
+
+let update crc byte =
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xffl) in
+  Int32.logxor (Int32.shift_right_logical crc 8) (Array.unsafe_get table idx)
+
+let finish crc = Int32.logxor crc 0xffffffffl
+
+let of_substring s ~pos ~len =
+  let crc = ref 0xffffffffl in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  finish !crc
+
+let of_string s = of_substring s ~pos:0 ~len:(String.length s)
+
+(* Over a [Buffer.t] without materialising its contents — the WAL sink
+   checksums the encoded record straight out of its reusable buffer
+   (PR 6's no-intermediate-strings discipline). [Buffer.nth] is O(1). *)
+let of_buffer b =
+  let n = Buffer.length b in
+  let crc = ref 0xffffffffl in
+  for i = 0 to n - 1 do
+    crc := update !crc (Char.code (Buffer.nth b i))
+  done;
+  finish !crc
+
+let equal = Int32.equal
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let ok = ref true in
+    String.iter
+      (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> () | _ -> ok := false)
+      s;
+    if not !ok then None
+    else
+      (* [Int32.of_string] accepts the full unsigned 32-bit range for
+         hexadecimal literals. *)
+      match Int32.of_string ("0x" ^ s) with
+      | c -> Some c
+      | exception Failure _ -> None

@@ -288,6 +288,14 @@ let run_scenario op ~window dir =
   Persist.close p;
   !crashes
 
+(* The sites consulted only inside [Persist.open_dir] — never during a
+   crash-free run, so they get their own double-crash matrix below
+   instead of the single-crash sweep. *)
+let recovery_sites = [ "snapshot_load"; "recovery_replay"; "recovery_truncate" ]
+
+let runtime_sites =
+  List.filter (fun s -> not (List.mem s recovery_sites)) Fault.all_sites
+
 (* Dry run: play the scenario uncrashed with hit tracking on, recording
    how often each site is consulted. *)
 let dry_run op ~window =
@@ -296,7 +304,7 @@ let dry_run op ~window =
   let dir = fresh_dir () in
   let crashes = run_scenario op ~window dir in
   Alcotest.(check int) (op.op_name ^ ": dry run crash-free") 0 crashes;
-  let counts = List.map (fun s -> (s, Fault.hits s)) Fault.all_sites in
+  let counts = List.map (fun s -> (s, Fault.hits s)) runtime_sites in
   Fault.reset ();
   wipe dir;
   counts
@@ -335,6 +343,68 @@ let test_matrix op ~window () =
   Alcotest.(check int)
     (op.op_name ^ ": torn wal_append survived")
     1 crashes
+
+(* {1 Double crash: a crash during recovery itself}
+
+   The first crash interrupts the transformation mid-flight; the second
+   fires inside the [Persist.open_dir] that recovers from the first, at
+   one of the recovery-only sites. Recovery must be idempotent: the
+   third attempt starts from whatever the aborted recovery left behind
+   and must still converge to the clean-run oracle. *)
+
+(* Like [run_scenario], but calls [rearm] with the crash ordinal after
+   each injected fault — [run_scenario]'s [Fault.reset] would otherwise
+   wipe the not-yet-fired recovery arming. *)
+let run_scenario_rearming op ~window ~rearm dir =
+  let current_p = ref None in
+  let crashes = ref 0 in
+  let rec go attempt =
+    match run_attempt op dir ~window ~attempt ~current_p with
+    | p -> p
+    | exception Fault.Injected _ ->
+      incr crashes;
+      if !crashes > 5 then Alcotest.failf "%s: too many crashes" op.op_name;
+      Fault.reset ();
+      rearm !crashes;
+      (match !current_p with Some p -> Persist.crash p | None -> ());
+      current_p := None;
+      go (attempt + 1)
+  in
+  let p = go 0 in
+  let db = Persist.db p in
+  List.iter
+    (fun (tname, want) ->
+       H.check_relations_equal (op.op_name ^ "/" ^ tname) want
+         (Db.snapshot db tname))
+    (op.oracle db);
+  Persist.close p;
+  !crashes
+
+let test_double_crash op ~window () =
+  let counts = dry_run op ~window in
+  let n = List.assoc "wal_append" counts in
+  List.iter
+    (fun rsite ->
+       Fault.reset ();
+       let dir = fresh_dir () in
+       (* recovery_truncate only runs when the WAL has a torn tail, so
+          its primary crash must be a torn append. *)
+       let primary_mode =
+         if String.equal rsite "recovery_truncate" then Fault.Torn
+         else Fault.Crash
+       in
+       Fault.arm ~mode:primary_mode ~after:(n / 2) "wal_append";
+       let rearm ordinal =
+         if ordinal = 1 then Fault.arm rsite
+       in
+       let crashes = run_scenario_rearming op ~window ~rearm dir in
+       Fault.reset ();
+       wipe dir;
+       Alcotest.(check int)
+         (Printf.sprintf "%s: double crash at %s survived (window %d)"
+            op.op_name rsite window)
+         2 crashes)
+    recovery_sites
 
 (* {1 Directed resume: interrupt after population, no re-scan}
 
@@ -630,7 +700,12 @@ let () =
                      (Printf.sprintf "sites x %s (window %d)" op.op_name
                         window)
                      `Slow
-                     (test_matrix op ~window) ] ))
+                     (test_matrix op ~window);
+                   Alcotest.test_case
+                     (Printf.sprintf "recovery sites x %s (window %d)"
+                        op.op_name window)
+                     `Slow
+                     (test_double_crash op ~window) ] ))
             [ 1; 8 ])
        all_cases
      @ [ ( "directed",

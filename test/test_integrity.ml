@@ -1,0 +1,462 @@
+(* Storage integrity and I/O-fault tolerance: checksummed format
+   verification (bit flips, truncation, version headers), the
+   disk-error model (transient-EIO retry, ENOSPC degraded mode), the
+   offline scrub, and the fuzz property that corruption detection is
+   total — damage is either repaired to an oracle-justified committed
+   state or reported as [`Corrupt], never silently absorbed. *)
+
+open Nbsc_value
+open Nbsc_storage
+open Nbsc_txn
+open Nbsc_engine
+open Nbsc_core
+module H = Helpers
+module Obs = Nbsc_obs.Obs
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Manager.pp_error e
+
+let ok_p name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" name Persist.pp_error e
+
+let base_seed =
+  match Sys.getenv_opt "NBSC_CRASH_SEED" with
+  | Some s -> (try int_of_string s with Failure _ -> 42)
+  | None -> 42
+
+let counter = ref 0
+
+(* No unix dependency: uniqueness from a counter + random suffix. *)
+let fresh_dir () =
+  incr counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nbsc_integrity_%d_%d" !counter (Random.int 1_000_000))
+
+let wipe dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let setup_orders p =
+  let db = Persist.db p in
+  ignore (Db.create_table db ~name:"t" H.r_schema);
+  ok_p "checkpoint" (Persist.checkpoint p)
+
+let insert p a b c =
+  let db = Persist.db p in
+  let txn = Manager.begin_txn (Db.manager db) in
+  ok "insert" (Manager.insert (Db.manager db) ~txn ~table:"t" (H.ri a b c));
+  ok "commit" (Manager.commit (Db.manager db) txn)
+
+let rows p =
+  Table.fold (Db.table (Persist.db p) "t") ~init:[] ~f:(fun acc _ r ->
+      r.Record.row :: acc)
+  |> List.sort Row.compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let counter_value c = Obs.Counter.value c
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+(* A small valid store: table [t] with [n] committed single-row
+   transactions after the DDL checkpoint. *)
+let build_store ?(n = 5) dir =
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_orders p;
+  for i = 1 to n do
+    insert p i "v" i
+  done;
+  p
+
+(* {1 Bit flips: silent at write time, detected at read time} *)
+
+let expect_corrupt name = function
+  | Error (`Corrupt c) -> c
+  | Ok _ -> Alcotest.failf "%s: expected Corrupt, opened fine" name
+  | Error e -> Alcotest.failf "%s: expected Corrupt, got %a" name
+                 Persist.pp_error e
+
+let test_bit_flip_wal () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = build_store ~n:2 dir in
+  let before = counter_value (Disk_format.crc_failures ()) in
+  (* The flip damages the framed bytes after the CRC was computed:
+     nothing raises, the write "succeeds" — silent media rot. *)
+  Fault.arm ~mode:Fault.Bit_flip "wal_append";
+  insert p 3 "flipped" 3;
+  Fault.reset ();
+  Persist.close p;
+  let c = expect_corrupt "bit-flipped wal" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "context names the wal" true
+    (match c.Nbsc_error.c_path with
+     | Some path -> Filename.basename path = "wal.nbsc"
+     | None -> false);
+  Alcotest.(check bool) "context carries a line" true
+    (c.Nbsc_error.c_line <> None);
+  Alcotest.(check bool) "crc failure counted" true
+    (counter_value (Disk_format.crc_failures ()) > before);
+  (* The scrub sees the same damage without opening the store. *)
+  let r = match Db.Scrub.verify_dir ~dir with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "scrub: %s" (Nbsc_error.to_string e)
+  in
+  Alcotest.(check bool) "scrub flags it" false (Db.Scrub.ok r);
+  wipe dir
+
+let test_bit_flip_snapshot () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = build_store ~n:3 dir in
+  Fault.arm ~mode:Fault.Bit_flip "snapshot_write";
+  ok_p "checkpoint with flip" (Persist.checkpoint p);
+  Fault.reset ();
+  Persist.close p;
+  let c = expect_corrupt "bit-flipped snapshot" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "context names the snapshot" true
+    (match c.Nbsc_error.c_path with
+     | Some path -> Filename.basename path = "snapshot.nbsc"
+     | None -> false);
+  (* Rendered context is self-describing. *)
+  let s = Nbsc_error.corruption_to_string c in
+  Alcotest.(check bool) "message carries the file" true
+    (contains_sub s "snapshot.nbsc");
+  wipe dir
+
+(* {1 Version header} *)
+
+let test_header_rejection () =
+  let dir = fresh_dir () in
+  let p = build_store ~n:1 dir in
+  Persist.close p;
+  let spath = Disk_format.snapshot_path dir in
+  let original = read_file spath in
+  (* Headerless (pre-v2) file: strip line 1. *)
+  (match String.index_opt original '\n' with
+   | Some i ->
+     write_file spath
+       (String.sub original (i + 1) (String.length original - i - 1))
+   | None -> Alcotest.fail "snapshot has no lines");
+  let c = expect_corrupt "pre-v2 dir" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "pre-v2 message is specific" true
+    (contains_sub c.Nbsc_error.c_reason "pre-v");
+  (* Some other version's magic: supported-format message instead. *)
+  (match String.index_opt original '\n' with
+   | Some i ->
+     write_file spath
+       ("nbsc:snapshot:v99"
+        ^ String.sub original i (String.length original - i))
+   | None -> ());
+  let c = expect_corrupt "future version" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "version message is specific" true
+    (contains_sub c.Nbsc_error.c_reason "not supported");
+  wipe dir
+
+(* {1 Snapshot trailer: truncation at a line boundary} *)
+
+let test_trailer_detects_line_truncation () =
+  let dir = fresh_dir () in
+  let p = build_store ~n:4 dir in
+  ok_p "checkpoint" (Persist.checkpoint p);
+  Persist.close p;
+  let spath = Disk_format.snapshot_path dir in
+  let original = read_file spath in
+  let lines = String.split_on_char '\n' original in
+  (* Drop the second-to-last line (the last is "" from the trailing
+     newline; before it sits the trailer): a payload line vanishes but
+     every surviving line still checksums. *)
+  let n = List.length lines in
+  let cut = List.filteri (fun i _ -> i <> n - 3) lines in
+  write_file spath (String.concat "\n" cut);
+  let c = expect_corrupt "spliced snapshot" (Persist.open_dir ~dir) in
+  Alcotest.(check bool) "trailer count mismatch reported" true
+    (contains_sub c.Nbsc_error.c_reason "trailer");
+  wipe dir
+
+(* {1 Transient EIO: bounded retry} *)
+
+let test_transient_eio_retried () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = build_store ~n:1 dir in
+  let before = counter_value (Disk_format.io_retries ()) in
+  Fault.arm
+    ~mode:(Fault.Io_error { errno = Fault.EIO; transient = true })
+    "wal_append";
+  (* One blip: the arming fires once, the retry succeeds, the commit
+     never sees it. *)
+  insert p 2 "retried" 2;
+  Fault.reset ();
+  Alcotest.(check bool) "a retry was counted" true
+    (counter_value (Disk_format.io_retries ()) > before);
+  Persist.close p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "row durable despite the blip" 2
+    (List.length (rows p2));
+  Persist.close p2;
+  wipe dir
+
+(* {1 ENOSPC: degraded mode, reads stay up, change resumes} *)
+
+let hpred = Pred.Cmp ("c", Pred.Gt, Value.Int 6)
+
+let hspec =
+  { Spec.h_source = "T";
+    h_true_table = "archive";
+    h_false_table = "live";
+    h_pred = hpred }
+
+let cfg =
+  { Transform.default_config with
+    Transform.scan_batch = 4;
+    propagate_batch = 3;
+    drop_sources = false }
+
+let test_enospc_degrades_and_recovers () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  let db = Persist.db p in
+  let mgr = Db.manager db in
+  ignore (Db.create_table db ~name:"T" H.t_flat_schema);
+  (match Db.load db ~table:"T" (H.seed_t_rows ~n:40) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "load T: %a" Manager.pp_error e);
+  ok_p "setup checkpoint" (Persist.checkpoint p);
+  let tf = Transform.hsplit db ~config:cfg hspec in
+  (* A few quanta in, the disk fills. *)
+  for _ = 1 to 3 do
+    ignore (Db.step_jobs db)
+  done;
+  let stalls_before = counter_value (Disk_format.disk_full_stalls ()) in
+  Fault.arm
+    ~mode:(Fault.Io_error { errno = Fault.ENOSPC; transient = false })
+    "wal_append";
+  (* The write that hits the full disk is acked into the buffer (group
+     commit semantics) and flips the manager into degraded mode... *)
+  let txn = Manager.begin_txn mgr in
+  ignore (Manager.insert mgr ~txn ~table:"T" (H.ti 900_001 "w" 9 "z"));
+  ignore (Manager.commit mgr txn);
+  ignore (Db.step_jobs db);
+  Alcotest.(check bool) "manager degraded" true (Manager.disk_full mgr);
+  Alcotest.(check bool) "stall counted" true
+    (counter_value (Disk_format.disk_full_stalls ()) > stalls_before);
+  (* ...after which writers get the typed refusal... *)
+  let txn = Manager.begin_txn mgr in
+  (match Manager.insert mgr ~txn ~table:"T" (H.ti 900_002 "w" 9 "z") with
+   | Error `Disk_full -> ()
+   | Ok () -> Alcotest.fail "insert should be refused while disk is full"
+   | Error e -> Alcotest.failf "insert: %a" Manager.pp_error e);
+  ok "abort proceeds while degraded" (Manager.abort mgr txn);
+  (* ...checkpoints refuse rather than publish an uncovered snapshot... *)
+  (match Persist.checkpoint p with
+   | Error (`Disk_full _) -> ()
+   | Ok () -> Alcotest.fail "checkpoint should refuse while disk is full"
+   | Error e -> Alcotest.failf "checkpoint: %a" Persist.pp_error e);
+  (* ...reads stay serviceable... *)
+  Alcotest.(check bool) "reads stay up" true (Db.row_count db "T" > 0);
+  (* ...and the schema change pauses instead of failing: its progress
+     freezes while the quanta probe for space. *)
+  let frozen = (Transform.progress tf).Transform.scanned in
+  for _ = 1 to 5 do
+    ignore (Db.step_jobs db)
+  done;
+  Alcotest.(check int) "transformation paused" frozen
+    (Transform.progress tf).Transform.scanned;
+  Alcotest.(check bool) "still registered" true (Db.jobs db <> []);
+  (* Space returns: the next probe flushes, degraded mode clears
+     automatically, and the change runs to completion. *)
+  Fault.disarm "wal_append";
+  (match Db.run_jobs db with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "run_jobs after disarm: %s" m);
+  Alcotest.(check bool) "degraded mode cleared" false (Manager.disk_full mgr);
+  let t = Db.snapshot db "T" in
+  let pc = Pred.compile H.t_flat_schema hpred in
+  H.check_relations_equal "archive" (Nbsc_relalg.Relalg.select t pc)
+    (Db.snapshot db "archive");
+  H.check_relations_equal "live"
+    (Nbsc_relalg.Relalg.select t (fun row -> not (pc row)))
+    (Db.snapshot db "live");
+  ok_p "checkpoint after recovery" (Persist.checkpoint p);
+  Persist.close p;
+  (* The acked-while-degraded commit was buffered, then flushed: it
+     must be durable now. *)
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  Alcotest.(check int) "buffered commit durable" 41
+    (Db.row_count (Persist.db p2) "T");
+  Persist.close p2;
+  wipe dir
+
+(* {1 Scrub} *)
+
+let test_scrub_clean_then_corrupt () =
+  let dir = fresh_dir () in
+  let p = build_store ~n:3 dir in
+  ok_p "checkpoint" (Persist.checkpoint p);
+  insert p 9 "after" 9;
+  Persist.close p;
+  let r = match Db.Scrub.verify_dir ~dir with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "scrub: %s" (Nbsc_error.to_string e)
+  in
+  Alcotest.(check bool) "fresh store is clean" true (Db.Scrub.ok r);
+  Alcotest.(check int) "no errors" 0 (List.length (Db.Scrub.errors r));
+  (* Flip one payload byte in the WAL: scrub must localise it. *)
+  let wpath = Disk_format.wal_path dir in
+  let s = Bytes.of_string (read_file wpath) in
+  let pos = Bytes.length s - 5 in
+  Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor 0x01));
+  write_file wpath (Bytes.to_string s);
+  let r = match Db.Scrub.verify_dir ~dir with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "scrub: %s" (Nbsc_error.to_string e)
+  in
+  Alcotest.(check bool) "damage found" false (Db.Scrub.ok r);
+  let errs = Db.Scrub.errors r in
+  Alcotest.(check bool) "error localised to the wal" true
+    (List.exists
+       (fun c ->
+          match c.Nbsc_error.c_path with
+          | Some path -> Filename.basename path = "wal.nbsc"
+          | None -> false)
+       errs);
+  (* Missing directory is a directory-level error, not a report. *)
+  (match Db.Scrub.verify_dir ~dir:(dir ^ "_nonexistent") with
+   | Error (`Io _) -> ()
+   | Ok _ -> Alcotest.fail "scrub of a missing dir should error"
+   | Error e -> Alcotest.failf "scrub: %s" (Nbsc_error.to_string e));
+  wipe dir
+
+let test_scrub_tolerates_torn_tail () =
+  let dir = fresh_dir () in
+  let p = build_store ~n:2 dir in
+  Persist.close p;
+  let wpath = Disk_format.wal_path dir in
+  let oc = open_out_gen [ Open_append ] 0o644 wpath in
+  output_string oc "abcd1234:half-a-reco";
+  close_out oc;
+  let r = match Db.Scrub.verify_dir ~dir with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "scrub: %s" (Nbsc_error.to_string e)
+  in
+  (* The torn tail is the legitimate crash signature: noted, clean. *)
+  Alcotest.(check bool) "torn tail tolerated" true (Db.Scrub.ok r);
+  Alcotest.(check bool) "and noted" true
+    (List.exists
+       (fun f ->
+          Filename.basename f.Db.Scrub.f_path = "wal.nbsc"
+          && f.Db.Scrub.f_torn_tail)
+       r.Db.Scrub.files);
+  wipe dir
+
+(* {1 The fuzz property: corruption detection is total}
+
+   Build a valid store recording the state after every commit, then
+   damage one of the files — flip one random byte, or truncate at a
+   random offset. Reopening must either report [`Corrupt] or recover
+   to one of the recorded committed states (truncating the WAL loses a
+   suffix of commits, which is exactly a crash); anything else is
+   silent divergence. *)
+
+let prop_damage_never_silent =
+  QCheck.Test.make ~name:"one-byte flip / truncation never silent" ~count:60
+    QCheck.(quad (int_range 1 8) bool bool (int_bound 10_000))
+    (fun (nrows, damage_wal, flip, raw_pos) ->
+       let dir = fresh_dir () in
+       let p = match Persist.create_dir ~dir with
+         | Ok p -> p
+         | Error _ -> QCheck.Test.fail_report "create_dir failed"
+       in
+       setup_orders p;
+       (* Committed states: rows after 0, 1, .. nrows commits. *)
+       let states = ref [ [] ] in
+       for i = 1 to nrows do
+         insert p i "v" i;
+         states := rows p :: !states
+       done;
+       (* Also checkpoint sometimes, so snapshot damage matters. *)
+       if nrows mod 2 = 0 then ignore (Persist.checkpoint p);
+       for i = nrows + 1 to nrows + 2 do
+         insert p i "v" i;
+         states := rows p :: !states
+       done;
+       Persist.close p;
+       let path =
+         if damage_wal then Disk_format.wal_path dir
+         else Disk_format.snapshot_path dir
+       in
+       let original = read_file path in
+       let len = String.length original in
+       if len = 0 then QCheck.Test.fail_report "empty file";
+       let pos = raw_pos mod len in
+       (if flip then begin
+          let b = Bytes.of_string original in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+          write_file path (Bytes.to_string b)
+        end
+        else write_file path (String.sub original 0 pos));
+       let outcome = Persist.open_dir ~dir in
+       let result =
+         match outcome with
+         | Error (`Corrupt _) -> true
+         | Error _ -> false
+         | Ok p2 ->
+           let got = rows p2 in
+           Persist.close p2;
+           List.exists
+             (fun want ->
+                List.length want = List.length got
+                && List.for_all2 Row.equal want got)
+             !states
+       in
+       wipe dir;
+       if not result then
+         QCheck.Test.fail_reportf
+           "silent divergence: %s %s at %d (nrows=%d)"
+           (if damage_wal then "wal" else "snapshot")
+           (if flip then "flip" else "truncate")
+           pos nrows;
+       true)
+
+let () =
+  Random.init base_seed;
+  Alcotest.run "integrity"
+    [ ( "checksums",
+        [ Alcotest.test_case "bit flip in wal detected" `Quick
+            test_bit_flip_wal;
+          Alcotest.test_case "bit flip in snapshot detected" `Quick
+            test_bit_flip_snapshot;
+          Alcotest.test_case "header versions rejected" `Quick
+            test_header_rejection;
+          Alcotest.test_case "trailer detects line truncation" `Quick
+            test_trailer_detects_line_truncation ] );
+      ( "disk errors",
+        [ Alcotest.test_case "transient EIO retried" `Quick
+            test_transient_eio_retried;
+          Alcotest.test_case "ENOSPC degrades and recovers" `Quick
+            test_enospc_degrades_and_recovers ] );
+      ( "scrub",
+        [ Alcotest.test_case "clean then corrupt" `Quick
+            test_scrub_clean_then_corrupt;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_scrub_tolerates_torn_tail ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_damage_never_silent ] ) ]

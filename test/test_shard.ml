@@ -56,6 +56,44 @@ let test_pool_error_propagates () =
     (Domain_pool.run pool (fun i -> i));
   Domain_pool.shutdown pool
 
+(* A simulated crash ([Fault.Injected]) inside a worker quantum must
+   cross the domain boundary to the submitter like any exception — the
+   crash-matrix harness catches it at top level — and must not poison
+   the parked worker for the next quantum. *)
+let test_pool_injected_propagates () =
+  let module Fault = Nbsc_engine.Fault in
+  let pool = Domain_pool.create ~size:2 () in
+  (try
+     ignore
+       (Domain_pool.run pool (fun i ->
+            if i = 1 then
+              raise (Fault.Injected { site = "worker"; mode = Fault.Crash })
+            else i));
+     Alcotest.fail "expected Injected to re-raise on the submitter"
+   with Fault.Injected { site; _ } ->
+     Alcotest.(check string) "site travels" "worker" site);
+  (* The pool is reusable after the injected crash. *)
+  Alcotest.(check (array int)) "pool survives a crash" [| 0; 10 |]
+    (Domain_pool.run pool (fun i -> i * 10));
+  (try
+     ignore
+       (Domain_pool.run_shards
+          (Domain_pool.Sharded { pool; shards = 4 })
+          ~shards:4
+          (fun s ->
+             if s = 3 then
+               raise (Fault.Injected { site = "shard"; mode = Fault.Crash })
+             else s));
+     Alcotest.fail "expected Injected to re-raise from run_shards"
+   with Fault.Injected { site; _ } ->
+     Alcotest.(check string) "shard site travels" "shard" site);
+  Alcotest.(check (array int)) "pool survives again" [| 0; 1; 2; 3 |]
+    (Domain_pool.run_shards
+       (Domain_pool.Sharded { pool; shards = 4 })
+       ~shards:4
+       (fun s -> s));
+  Domain_pool.shutdown pool
+
 (* {1 Shard latches} *)
 
 let test_latch_shards () =
@@ -525,7 +563,9 @@ let () =
           Alcotest.test_case "size one is inline" `Quick
             test_pool_size_one_inline;
           Alcotest.test_case "errors propagate" `Quick
-            test_pool_error_propagates ] );
+            test_pool_error_propagates;
+          Alcotest.test_case "injected faults propagate" `Quick
+            test_pool_injected_propagates ] );
       ( "latch",
         [ Alcotest.test_case "shard latches" `Quick test_latch_shards;
           Alcotest.test_case "blocking holder" `Quick test_blocking_holder;
