@@ -1,4 +1,4 @@
-.PHONY: all build test check crash contention scrub bench-engine bench-shard fmt clean
+.PHONY: all build test check crash contention scrub bench-engine bench-shard bench-migrate fmt clean
 
 all: build
 
@@ -51,6 +51,15 @@ bench-engine:
 # runs at quick scale in ci/check.sh, where the scales match.
 bench-shard:
 	dune exec bench/main.exe -- shard --out BENCH_shard.json
+
+# Migration-strategy bench: eager vs lazy vs hybrid initial-image
+# migration for the same FOJ change under a live workload; writes
+# BENCH_migrate.json (the eager-vs-lazy trajectory) and gates the
+# aggregate workload throughput against the committed full-scale
+# baseline.
+bench-migrate:
+	dune exec bench/main.exe -- migrate --out BENCH_migrate.json \
+		--gate ci/bench_migrate_baseline.json
 
 # Reformat in place (requires ocamlformat).
 fmt:

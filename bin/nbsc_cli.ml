@@ -21,8 +21,8 @@ module Sc = Db.Schema_change
 
 let say fmt = Format.printf (fmt ^^ "@.")
 
-let start_sc db ~config spec =
-  match Sc.start db ~config spec with
+let start_sc db ?options ~config spec =
+  match Sc.start db ~config ?options spec with
   | Ok sc -> sc
   | Error e -> failwith (Nbsc_error.to_string e)
 
@@ -88,24 +88,27 @@ let split_spec =
     r_cols = [ "a"; "b"; "c" ]; s_cols = [ "c"; "d" ];
     split_key = [ "c" ]; assume_consistent = true }
 
-let run_demo which rows =
+let run_demo which rows migration =
   let config =
     { Transform.default_config with
       Transform.drop_sources = false;
       scan_batch = 64;
       propagate_batch = 64 }
   in
+  let options =
+    { (Transform.options_of_config config) with Sc.Options.strategy = migration }
+  in
   let db, sc =
     match which with
     | `Foj ->
       let db = build_foj_db ~rows in
-      (db, start_sc db ~config (Spec.Foj (foj_spec ~m2m:false)))
+      (db, start_sc db ~options ~config (Spec.Foj (foj_spec ~m2m:false)))
     | `M2m ->
       let db = build_foj_db ~rows in
-      (db, start_sc db ~config (Spec.Foj (foj_spec ~m2m:true)))
+      (db, start_sc db ~options ~config (Spec.Foj (foj_spec ~m2m:true)))
     | `Split ->
       let db = build_split_db ~rows in
-      (db, start_sc db ~config (Spec.Split split_spec))
+      (db, start_sc db ~options ~config (Spec.Split split_spec))
   in
   let mgr = Db.manager db in
   let rng = Random.State.make [| 99 |] in
@@ -128,6 +131,9 @@ let run_demo which rows =
    | Ok () -> ()
    | Error e -> failwith (Nbsc_error.to_string e));
   say "%a" Sc.pp_info (Sc.status sc);
+  say "migration=%s demand_migrations=%d"
+    (Sc.Options.migration_to_string migration)
+    (Transform.demand_migrations (Sc.transform sc));
   say "concurrent writes while transforming: %d" !writes;
   List.iter
     (fun t -> say "table %-3s %6d rows" t (Db.row_count db t))
@@ -148,6 +154,19 @@ let demo_kind =
   in
   Arg.conv (parse, print)
 
+let migration_conv =
+  let parse s =
+    match Sc.Options.migration_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg (Printf.sprintf "unknown strategy %S (eager|lazy|hybrid[:N])" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Sc.Options.migration_to_string m)
+  in
+  Arg.conv (parse, print)
+
 let demo_cmd =
   let kind =
     Arg.(required & pos 0 (some demo_kind) None
@@ -156,9 +175,14 @@ let demo_cmd =
   let rows =
     Arg.(value & opt int 5000 & info [ "rows" ] ~doc:"source table size")
   in
+  let migration =
+    Arg.(value & opt migration_conv Sc.Options.Eager
+         & info [ "strategy" ]
+             ~doc:"migration strategy: eager, lazy or hybrid[:N]")
+  in
   Cmd.v
     (Cmd.info "demo" ~doc:"run a narrated non-blocking transformation")
-    Term.(ret (const run_demo $ kind $ rows))
+    Term.(ret (const run_demo $ kind $ rows $ migration))
 
 (* {1 concurrent}
 

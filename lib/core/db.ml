@@ -1,6 +1,8 @@
 include Nbsc_engine.Db
 
 module Schema_change = struct
+  module Options = Options
+
   type handle = Transform.t
 
   type info = {
@@ -13,15 +15,15 @@ module Schema_change = struct
 
   let transform h = h
 
-  let start db ?config ?exec spec =
+  let start db ?config ?options ?exec spec =
     (* The builders validate specs with Invalid_argument (a contract
        several tests pin down); the façade folds that into a result. *)
     match
       (match spec with
-       | Spec.Foj s -> Transform.foj db ?config ?exec s
-       | Spec.Split s -> Transform.split db ?config ?exec s
-       | Spec.Hsplit s -> Transform.hsplit db ?config ?exec s
-       | Spec.Merge s -> Transform.merge db ?config ?exec s)
+       | Spec.Foj s -> Transform.foj db ?config ?options ?exec s
+       | Spec.Split s -> Transform.split db ?config ?options ?exec s
+       | Spec.Hsplit s -> Transform.hsplit db ?config ?options ?exec s
+       | Spec.Merge s -> Transform.merge db ?config ?options ?exec s)
     with
     | t -> Ok t
     | exception Invalid_argument m -> Error (`Invalid m)

@@ -16,6 +16,12 @@ end
 
 (** Managed lifecycle of one online schema change. *)
 module Schema_change : sig
+  module Options = Options
+  (** The one-record configuration ({!Nbsc_core.Options}): batch sizes,
+      synchronization strategy and migration strategy
+      ([Eager | Lazy | Hybrid of { sweep_quantum : int }]) in a single
+      value. *)
+
   type handle
   (** An in-flight (or finished) schema change, registered as a
       background job on its database — drive it with {!step}/{!run}
@@ -31,19 +37,25 @@ module Schema_change : sig
   }
 
   val start :
-    t -> ?config:Transform.config -> ?exec:Domain_pool.exec -> Spec.any ->
+    t -> ?config:Transform.config -> ?options:Options.t ->
+    ?exec:Domain_pool.exec -> Spec.any ->
     (handle, Nbsc_error.t) result
   (** Validate the spec, build the operator (target tables, indexes)
       and register the executor. A rejected specification returns
-      [`Invalid] — nothing raises. [exec] (default
+      [`Invalid] — nothing raises. [options] is the preferred
+      configuration ({!Options.t}); it supersedes the deprecated
+      [config] and [exec] arguments when given. [exec] (default
       {!Domain_pool.Serial}) shards the change's population and
       propagation across a domain pool. *)
 
   val resume :
-    ?config:Transform.config -> ?exec:Domain_pool.exec ->
+    ?config:Transform.config -> ?options:Options.t ->
+    ?exec:Domain_pool.exec ->
     Nbsc_engine.Persist.t -> (handle list, Nbsc_error.t) result
   (** Rebuild every schema change that was in flight when the reopened
-      database crashed (see [Transform.resume]). *)
+      database crashed (see [Transform.resume]). Pass the same
+      [options] the crashed jobs ran under — the migration strategy is
+      an execution policy, not durable state. *)
 
   val status : handle -> info
 

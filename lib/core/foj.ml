@@ -74,7 +74,7 @@ let rule_delete_r t ~lsn y =
     []
   | (k, record) :: _ ->
     t.st.applied <- t.st.applied + 1;
-    if not (C.has_s cctx record) then [ C.drop cctx k ]
+    if not (C.has_s cctx record) then [ C.drop cctx ~lsn k ]
     else begin
       let sk = C.s_key_of_t_row cctx record.Record.row in
       let others =
@@ -85,11 +85,11 @@ let rule_delete_r t ~lsn y =
         (* t{^y}{_x} is the only record containing s{^x}: preserve the
            S part as t{^null}{_x} before deleting. *)
         let survivor = C.strip_r cctx record.Record.row in
-        let k1 = C.drop cctx k in
+        let k1 = C.drop cctx ~lsn k in
         let k2 = C.put cctx ~lsn ~presence:C.s_bit survivor in
         [ k1; k2 ]
       end
-      else [ C.drop cctx k ]
+      else [ C.drop cctx ~lsn k ]
     end
 
 (* Rule 7 (R side): update of non-join attributes of r{^y}. *)
@@ -164,7 +164,7 @@ let rule_update_r_join t ~lsn y changes before =
       let matches_z =
         if Row.Key.has_null z then [] else C.by_join cctx z
       in
-      push [ C.drop cctx k ];
+      push [ C.drop cctx ~lsn k ];
       let r_part = C.strip_s cctx new_r_in_t in
       (match
          List.find_opt (fun (_, r2) -> not (C.has_r cctx r2)) matches_z
@@ -172,7 +172,7 @@ let rule_update_r_join t ~lsn y changes before =
        | Some (k2, r2) ->
          (* t{^null}{_z} found: merge into t{^y}{_z}. *)
          let merged = C.graft_s_from_t cctx ~src:r2.Record.row ~onto:r_part in
-         push [ C.drop cctx k2 ];
+         push [ C.drop cctx ~lsn k2 ];
          push [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) merged ]
        | None ->
          (match
@@ -244,7 +244,7 @@ let rule_delete_s t ~lsn sk =
     t.st.applied <- t.st.applied + 1;
     List.concat_map
       (fun (k, record) ->
-         if not (C.has_r cctx record) then [ C.drop cctx k ]
+         if not (C.has_r cctx record) then [ C.drop cctx ~lsn k ]
          else
            C.rekey cctx ~lsn ~old_key:k ~presence:C.r_bit
              (C.strip_s cctx record.Record.row))
@@ -290,7 +290,7 @@ let rule_update_s_join t ~lsn sk changes =
     (* Phase 1: detach s{^x} from every carrier. *)
     List.iter
       (fun (k, record) ->
-         if not (C.has_r cctx record) then push [ C.drop cctx k ]
+         if not (C.has_r cctx record) then push [ C.drop cctx ~lsn k ]
          else
            push
              (C.rekey cctx ~lsn ~old_key:k ~presence:C.r_bit

@@ -130,14 +130,14 @@ let put ctx ~lsn ~presence row =
     invalid_arg
       (Format.asprintf "Foj: rule produced duplicate T key for %a" Row.pp row)
 
-let drop ctx key =
-  match Table.delete ctx.t_tbl ~key with
+let drop ctx ~lsn key =
+  match Table.delete ctx.t_tbl ~lsn key with
   | Ok _ -> key
   | Error `Not_found ->
     invalid_arg
       (Format.asprintf "Foj: rule deleted missing T key %a" Row.Key.pp key)
 
 let rekey ctx ~lsn ~old_key ~presence row =
-  let k1 = drop ctx old_key in
+  let k1 = drop ctx ~lsn old_key in
   let k2 = put ctx ~lsn ~presence row in
   [ k1; k2 ]

@@ -117,7 +117,7 @@ val by_join : ctx -> Row.Key.t -> (Row.Key.t * Record.t) list
 val put : ctx -> lsn:Lsn.t -> presence:int -> Row.t -> Row.Key.t
 (** Insert; raises on duplicate key (rule bugs must not pass silently). *)
 
-val drop : ctx -> Row.Key.t -> Row.Key.t
+val drop : ctx -> lsn:Lsn.t -> Row.Key.t -> Row.Key.t
 
 val rekey : ctx -> lsn:Lsn.t -> old_key:Row.Key.t -> presence:int -> Row.t ->
   Row.Key.t list

@@ -71,7 +71,7 @@ let insert_r t ~lsn row =
             in
             let dropped =
               (* An S survivor (no R part) is consumed by the match. *)
-              if not (C.has_r cctx record2) then [ C.drop cctx k2 ] else []
+              if not (C.has_r cctx record2) then [ C.drop cctx ~lsn k2 ] else []
             in
             dropped
             @ [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
@@ -90,11 +90,11 @@ let delete_r t ~lsn y =
     st.Foj.applied <- st.Foj.applied + 1;
     List.concat_map
       (fun (k, record) ->
-         if not (C.has_s cctx record) then [ C.drop cctx k ]
+         if not (C.has_s cctx record) then [ C.drop cctx ~lsn k ]
          else begin
            let sk = C.s_key_of_t_row cctx record.Record.row in
            let survivors = others_with_s cctx ~except:k sk in
-           let k1 = C.drop cctx k in
+           let k1 = C.drop cctx ~lsn k in
            if survivors = [] then
              [ k1;
                C.put cctx ~lsn ~presence:C.s_bit
@@ -164,13 +164,13 @@ let update_r_join t ~lsn y changes before =
            if C.has_s cctx record then begin
              let sk = C.s_key_of_t_row cctx record.Record.row in
              let survivors = others_with_s cctx ~except:k sk in
-             push [ C.drop cctx k ];
+             push [ C.drop cctx ~lsn k ];
              if survivors = [] then
                push
                  [ C.put cctx ~lsn ~presence:C.s_bit
                      (C.strip_r cctx record.Record.row) ]
            end
-           else push [ C.drop cctx k ])
+           else push [ C.drop cctx ~lsn k ])
         carriers;
       (* Attach at the new join value. *)
       let r_part = C.strip_s cctx new_r_in_t in
@@ -183,7 +183,7 @@ let update_r_join t ~lsn y changes before =
               let joined =
                 C.graft_s_with_key cctx ~src:record2.Record.row ~onto:r_part
               in
-              if not (C.has_r cctx record2) then push [ C.drop cctx k2 ];
+              if not (C.has_r cctx record2) then push [ C.drop cctx ~lsn k2 ];
               push [ C.put cctx ~lsn ~presence:(C.r_bit lor C.s_bit) joined ])
            s_parts);
       !touched
@@ -233,11 +233,11 @@ let delete_s t ~lsn sk =
     st.Foj.applied <- st.Foj.applied + 1;
     List.concat_map
       (fun (k, record) ->
-         if not (C.has_r cctx record) then [ C.drop cctx k ]
+         if not (C.has_r cctx record) then [ C.drop cctx ~lsn k ]
          else begin
            let rk = C.r_key_of_t_row cctx record.Record.row in
            let survivors = others_with_r cctx ~except:k rk in
-           let k1 = C.drop cctx k in
+           let k1 = C.drop cctx ~lsn k in
            if survivors = [] then
              [ k1;
                C.put cctx ~lsn ~presence:C.r_bit
@@ -284,11 +284,11 @@ let update_s_join t ~lsn sk changes =
     (* Detach from every carrier. *)
     List.iter
       (fun (k, record) ->
-         if not (C.has_r cctx record) then push [ C.drop cctx k ]
+         if not (C.has_r cctx record) then push [ C.drop cctx ~lsn k ]
          else begin
            let rk = C.r_key_of_t_row cctx record.Record.row in
            let survivors = others_with_r cctx ~except:k rk in
-           push [ C.drop cctx k ];
+           push [ C.drop cctx ~lsn k ];
            if survivors = [] then
              push
                [ C.put cctx ~lsn ~presence:C.r_bit

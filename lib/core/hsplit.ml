@@ -71,7 +71,7 @@ let rule_delete t ~lsn key =
     [ (Table.name held_in, key) ]
   | Some (held_in, _) ->
     t.st.applied <- t.st.applied + 1;
-    (match Table.delete held_in ~key with
+    (match Table.delete held_in ~lsn key with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
     [ (Table.name held_in, key) ]
@@ -96,7 +96,7 @@ let rule_update t ~lsn key changes =
     else begin
       (* The predicate flipped: migrate. *)
       t.st.migrations <- t.st.migrations + 1;
-      (match Table.delete held_in ~key with
+      (match Table.delete held_in ~lsn key with
        | Ok _ -> ()
        | Error `Not_found -> assert false);
       (match Table.insert target ~lsn new_row with

@@ -64,7 +64,7 @@ let rule_delete t ~lsn key =
     [ (Table.name t.tgt, key) ]
   | Some _ ->
     t.st.applied <- t.st.applied + 1;
-    (match Table.delete t.tgt ~key with
+    (match Table.delete t.tgt ~lsn key with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
     [ (Table.name t.tgt, key) ]

@@ -1,0 +1,62 @@
+type sync = Blocking_commit | Nonblocking_abort | Nonblocking_commit
+
+type migration = Eager | Lazy | Hybrid of { sweep_quantum : int }
+
+type t = {
+  scan_batch : int;
+  propagate_batch : int;
+  analysis : Analysis.policy;
+  sync : sync;
+  strategy : migration;
+  drop_sources : bool;
+  sync_gate : unit -> bool;
+  pace : Governor.t option;
+  plan_mode : Plan.mode option;
+  exec : Domain_pool.exec option;
+}
+
+let default =
+  { scan_batch = 256;
+    propagate_batch = 256;
+    analysis = Analysis.default;
+    sync = Nonblocking_abort;
+    strategy = Eager;
+    drop_sources = true;
+    sync_gate = (fun () -> true);
+    pace = None;
+    plan_mode = None;
+    exec = None }
+
+let migration_of_string = function
+  | "eager" -> Some Eager
+  | "lazy" -> Some Lazy
+  | s ->
+    (match String.index_opt s ':' with
+     | Some i when String.equal (String.sub s 0 i) "hybrid" ->
+       (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some q when q > 0 -> Some (Hybrid { sweep_quantum = q })
+        | _ -> None)
+     | _ -> if String.equal s "hybrid" then Some (Hybrid { sweep_quantum = 32 })
+       else None)
+
+let migration_to_string = function
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+  | Hybrid { sweep_quantum } -> Printf.sprintf "hybrid:%d" sweep_quantum
+
+let pp_migration ppf m = Format.pp_print_string ppf (migration_to_string m)
+
+let sync_to_string = function
+  | Blocking_commit -> "blocking-commit"
+  | Nonblocking_abort -> "nonblocking-abort"
+  | Nonblocking_commit -> "nonblocking-commit"
+
+let sync_of_string = function
+  | "blocking-commit" | "blocking_commit" | "blocking" -> Some Blocking_commit
+  | "nonblocking-abort" | "nonblocking_abort" | "abort" -> Some Nonblocking_abort
+  | "nonblocking-commit" | "nonblocking_commit" | "commit" ->
+    Some Nonblocking_commit
+  | _ -> None
+
+let pp_sync ppf s = Format.pp_print_string ppf (sync_to_string s)

@@ -1,0 +1,73 @@
+(** Schema-change options — the one knob record.
+
+    Earlier revisions spread configuration over [Transform.config],
+    [?plan_mode], [?exec] and per-builder optional arguments; this
+    record collapses all of it into a single value threaded through
+    {!Transformation} builders, {!Transform.create}/[resume] and
+    [Db.Schema_change.start]. Two orthogonal strategy axes:
+
+    - {!sync} — how the final switch-over synchronizes with in-flight
+      transactions (the paper's three strategies, Sec. 3.4);
+    - {!migration} — how the initial image reaches the target tables:
+      - [Eager]: the classical fuzzy-scan population (paper, Sec. 3.2);
+        records are copied up front, at [scan_batch] records per
+        quantum.
+      - [Lazy]: records migrate on first access under the new schema
+        (SLSM-style); the background sweep visits cold records at the
+        minimum rate of one per quantum so the change still completes
+        on an idle system.
+      - [Hybrid { sweep_quantum }]: lazy demand migration plus a
+        background sweep of [sweep_quantum] cold records per quantum —
+        the dial between "all cost up front" and "all cost on access".
+
+    Migration strategy choice never changes the final relational
+    contents — only {e when} each record pays its transformation cost.
+    Under [Lazy]/[Hybrid] the executor registers an access hook with
+    the transaction manager; a record touched by any transaction while
+    the change is populating is transformed immediately (idempotently —
+    the log propagation re-applies at the same LSN and is ignored). *)
+
+type sync = Blocking_commit | Nonblocking_abort | Nonblocking_commit
+(** Constructors re-exported by {!Transform.strategy} — existing code
+    referring to [Transform.Nonblocking_abort] keeps compiling. *)
+
+type migration = Eager | Lazy | Hybrid of { sweep_quantum : int }
+
+type t = {
+  scan_batch : int;       (** source records per eager population quantum *)
+  propagate_batch : int;  (** log records per propagation quantum *)
+  analysis : Analysis.policy;
+      (** when to attempt synchronization (paper, Sec. 3.3) *)
+  sync : sync;            (** switch-over synchronization strategy *)
+  strategy : migration;   (** initial-image migration strategy *)
+  drop_sources : bool;    (** drop source tables when done *)
+  sync_gate : unit -> bool;
+      (** consulted before entering synchronization; return [false] to
+          keep propagating *)
+  pace : Governor.t option;
+      (** anti-starvation governor; one per transformation run *)
+  plan_mode : Plan.mode option;
+      (** force compiled/interpreted rule plans ([None] = operator
+          default) *)
+  exec : Domain_pool.exec option;
+      (** sharded execution for population and propagation ([None] =
+          serial) *)
+}
+
+val default : t
+(** [{ scan_batch = 256; propagate_batch = 256;
+      analysis = Analysis.default; sync = Nonblocking_abort;
+      strategy = Eager; drop_sources = true;
+      sync_gate = (fun () -> true); pace = None; plan_mode = None;
+      exec = None }] — byte-identical behaviour to the legacy
+    [Transform.default_config]. *)
+
+val migration_of_string : string -> migration option
+(** ["eager"], ["lazy"], ["hybrid"] (sweep quantum 32) or ["hybrid:N"]. *)
+
+val migration_to_string : migration -> string
+val pp_migration : Format.formatter -> migration -> unit
+
+val sync_of_string : string -> sync option
+val sync_to_string : sync -> string
+val pp_sync : Format.formatter -> sync -> unit

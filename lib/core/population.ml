@@ -431,6 +431,32 @@ let scan_many_sharded exec ~shards tables ~ingest =
         | None -> ())
     ()
 
+let scan_tagged tables ~ingest =
+  let cursors =
+    ref (List.map (fun (name, tbl) -> (name, Table.Fuzzy_cursor.make tbl)) tables)
+  in
+  let step c ~limit =
+    match !cursors with
+    | [] -> true
+    | (table, cursor) :: rest ->
+      let batch = Table.Fuzzy_cursor.next_batch cursor ~limit in
+      c.scanned <- c.scanned + List.length batch;
+      List.iter
+        (fun record ->
+           ingest ~table record;
+           c.produced <- c.produced + 1)
+        batch;
+      if Table.Fuzzy_cursor.finished cursor then begin
+        Table.Fuzzy_cursor.close cursor;
+        cursors := rest
+      end;
+      !cursors = []
+  in
+  make ~step
+    ~finished:(fun () -> !cursors = [])
+    ~close:(fun () -> List.iter (fun (_, c) -> Table.Fuzzy_cursor.close c) !cursors)
+    ()
+
 let scan_many ?(exec = Domain_pool.Serial) tables ~ingest =
   match exec with
   | Domain_pool.Serial -> scan_many_serial tables ~ingest

@@ -50,6 +50,14 @@ val scan_many :
     and operator mutation stays on the calling domain, after the
     barrier, in shard order. One shard is byte-identical to serial. *)
 
+val scan_tagged :
+  (string * Table.t) list -> ingest:(table:string -> Record.t -> unit) -> t
+(** Like {!scan_many}, but each record is delivered with the name of
+    the table it came from — the uniform sweep the lazy migration
+    strategies feed through the propagation rules. Serial only: lazy
+    sweeps run in (often single-record) quanta where sharding has
+    nothing to win. *)
+
 val step : t -> limit:int -> bool
 (** Do up to [limit] records of work; true when population is done. *)
 

@@ -45,6 +45,13 @@ type t = {
   mutable transferred : int;
   mutable lock_mapper :
     (table:string -> key:Row.Key.t -> (string * Row.Key.t) list) option;
+  (* Background sweep for the lazy migration strategies: migrates a
+     bounded number of still-cold source records per call. The thunk is
+     the transformation's demand scan; owning it here makes the
+     propagator the single background catch-up engine (log tail {e and}
+     cold records). *)
+  mutable sweeper : (limit:int -> bool) option;
+  mutable swept : int;
 }
 
 let create ?(skip = []) ?(exec = Domain_pool.Serial) mgr rules ~from =
@@ -85,7 +92,9 @@ let create ?(skip = []) ?(exec = Domain_pool.Serial) mgr rules ~from =
     skip_set;
     processed = 0;
     transferred = 0;
-    lock_mapper = None }
+    lock_mapper = None;
+    sweeper = None;
+    swept = 0 }
 
 let close t =
   if not t.closed then begin
@@ -264,6 +273,18 @@ let records_processed t = t.processed
 let locks_transferred t = t.transferred
 
 let set_lock_mapper t mapper = t.lock_mapper <- Some mapper
+
+let set_sweeper t sweeper = t.sweeper <- Some sweeper
+
+let sweep t ~limit =
+  match t.sweeper with
+  | None -> true
+  | Some f ->
+    let finished = f ~limit in
+    if not finished then t.swept <- t.swept + limit;
+    finished
+
+let swept t = t.swept
 
 let transfer_current_source_locks t =
   match t.lock_mapper with

@@ -98,6 +98,22 @@ val release_transferred : t -> owner:Log_record.txn_id -> unit
     force-aborting source transactions whose end records will never be
     propagated because the transformation is being torn down). *)
 
+val set_sweeper : t -> (limit:int -> bool) -> unit
+(** Attach the background sweep the lazy migration strategies use: a
+    bounded thunk that migrates up to [limit] still-cold source
+    records (typically a {!Population.scan_tagged} step feeding the
+    rules). Owning the sweep makes the propagator the single
+    background catch-up engine — log tail and cold records alike. *)
+
+val sweep : t -> limit:int -> bool
+(** Run one sweep quantum; true when every cold record has been
+    visited (vacuously true when no sweeper is attached). *)
+
+val swept : t -> int
+(** Total sweep work performed (in requested records), a coarse
+    progress indicator; exact migrated-record counts live on the
+    population's [scanned]/[produced] counters. *)
+
 val set_lock_mapper :
   t -> (table:string -> key:Row.Key.t -> (string * Row.Key.t) list) -> unit
 (** How a lock on a source record maps to target records; needed by

@@ -96,7 +96,7 @@ let decrement_s t ~lsn sk =
   | None -> None  (* tolerated: a torn fuzzy image repaired later *)
   | Some record ->
     if record.Record.counter <= 1 then begin
-      match Table.delete t.s_tbl ~key:sk with
+      match Table.delete t.s_tbl ~lsn sk with
       | Ok _ -> Some sk
       | Error `Not_found -> assert false
     end
@@ -150,7 +150,7 @@ let rule_delete t ~lsn y =
     [ (r_name t, y) ]
   | Some record ->
     t.st.applied <- t.st.applied + 1;
-    (match Table.delete t.r_tbl ~key:y with
+    (match Table.delete t.r_tbl ~lsn y with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
     let sk = split_of_r_row t record.Record.row in

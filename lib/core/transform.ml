@@ -10,7 +10,12 @@ module Db = Nbsc_engine.Db
 module Obs = Nbsc_obs.Obs
 module Json = Nbsc_obs.Json
 
-type strategy = Blocking_commit | Nonblocking_abort | Nonblocking_commit
+(* The sync-strategy constructors now live in {!Options}; the equation
+   keeps every existing [Transform.Nonblocking_abort] reference valid. *)
+type strategy = Options.sync =
+  | Blocking_commit
+  | Nonblocking_abort
+  | Nonblocking_commit
 
 type config = {
   scan_batch : int;
@@ -30,6 +35,25 @@ let default_config =
     drop_sources = true;
     sync_gate = (fun () -> true);
     pace = None }
+
+let config_of_options (o : Options.t) =
+  { scan_batch = o.Options.scan_batch;
+    propagate_batch = o.Options.propagate_batch;
+    analysis = o.Options.analysis;
+    strategy = o.Options.sync;
+    drop_sources = o.Options.drop_sources;
+    sync_gate = o.Options.sync_gate;
+    pace = o.Options.pace }
+
+let options_of_config (c : config) =
+  { Options.default with
+    Options.scan_batch = c.scan_batch;
+    propagate_batch = c.propagate_batch;
+    analysis = c.analysis;
+    sync = c.strategy;
+    drop_sources = c.drop_sources;
+    sync_gate = c.sync_gate;
+    pace = c.pace }
 
 (* With a governor attached, a starving transformation also works
    harder per quantum: the batch limit scales with the gain (capped —
@@ -73,6 +97,9 @@ type t = {
   mutable old_txns : Manager.txn_id list;
   mutable forced_aborts : int;
   mutable hook_installed : bool;
+  migration : Options.migration;
+  mutable demand_migrations : int;
+  mutable demand_hook : bool;  (* access hook registered in the manager *)
   obs : Obs.Registry.t;
   root_span : Obs.span;
   mutable phase_span : (string * Obs.span) option;
@@ -146,6 +173,9 @@ let name t =
   let (module T : Transformation.S) = t.tf in
   T.name
 
+let migration t = t.migration
+let demand_migrations t = t.demand_migrations
+
 let counters t =
   let (module T : Transformation.S) = t.tf in
   T.counters ()
@@ -211,6 +241,43 @@ let sync_spans t =
 let remove_probes t =
   Obs.Registry.remove t.obs ("transform." ^ t.job_name ^ ".lag");
   Obs.Registry.remove t.obs ("transform." ^ t.job_name ^ ".propagated")
+
+(* {2 Lazy demand migration (Options.Lazy / Hybrid)}
+
+   While populating, an access hook in the transaction manager migrates
+   any source record the instant a transaction touches it: the record's
+   current state is replayed through the propagation rules as if its
+   insert had just been logged. Idempotent by the rules' LSN gating —
+   when the log propagation later reaches the record's real operations
+   it finds the state already reflected. The hook removes itself from
+   the hot path once population (the background sweep) completes:
+   records written after that point ride the ordinary log propagation,
+   so demand migration has nothing left to do. *)
+
+let demand_migrate t ~table ~key =
+  if List.exists (String.equal table) t.src then
+    match Catalog.find_opt (Db.catalog t.db) table with
+    | None -> ()
+    | Some tbl ->
+      (match Table.find tbl key with
+       | None -> ()
+       | Some record ->
+         let (module T : Transformation.S) = t.tf in
+         ignore
+           (T.rules.Propagator.apply ~lsn:record.Record.lsn
+              (Log_record.Insert { table; row = record.Record.row }));
+         t.demand_migrations <- t.demand_migrations + 1)
+
+let install_demand_hook t =
+  Manager.add_access_hook t.mgr ~id:t.holder (fun ~table ~key ->
+      if t.tphase = Populating then demand_migrate t ~table ~key);
+  t.demand_hook <- true
+
+let remove_demand_hook t =
+  if t.demand_hook then begin
+    Manager.remove_access_hook t.mgr ~id:t.holder;
+    t.demand_hook <- false
+  end
 
 (* {2 Two-schema locking (paper, Sec. 4.3)}
 
@@ -307,6 +374,7 @@ let finalize t =
     Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
     t.hook_installed <- false
   end;
+  remove_demand_hook t;
   Manager.unfreeze_tables t.mgr t.src;
   if t.config.drop_sources then
     List.iter
@@ -397,8 +465,21 @@ let try_sync t =
 let step_quantum t =
   (match t.tphase with
    | Populating ->
-     if Population.step t.pop ~limit:(paced_batch t.config t.config.scan_batch)
-     then begin
+     let finished =
+       match t.migration with
+       | Options.Eager ->
+         Population.step t.pop
+           ~limit:(paced_batch t.config t.config.scan_batch)
+       | Options.Lazy ->
+         (* Minimal background sweep: demand migration carries the hot
+            set; one cold record per quantum guarantees completion on
+            an idle system. *)
+         Propagator.sweep t.prop ~limit:1
+       | Options.Hybrid { sweep_quantum } ->
+         Propagator.sweep t.prop ~limit:(max 1 sweep_quantum)
+     in
+     if finished then begin
+       remove_demand_hook t;
        write_fuzzy_mark t.mgr;
        t.tphase <- Propagating
      end
@@ -505,7 +586,21 @@ type resume_info = {
   r_skip : Manager.txn_id list;
 }
 
-let create db ?(config = default_config) ?resume ?job_name ?exec packed =
+let create db ?config ?options ?resume ?job_name ?exec packed =
+  let config =
+    match (options, config) with
+    | Some o, _ -> config_of_options o
+    | None, Some c -> c
+    | None, None -> default_config
+  in
+  let migration =
+    match options with Some o -> o.Options.strategy | None -> Options.Eager
+  in
+  let exec =
+    match options with
+    | Some { Options.exec = Some _ as e; _ } -> e
+    | _ -> exec
+  in
   let (module T : Transformation.S) = packed in
   let mgr = Db.manager db in
   let prop, tphase, route =
@@ -568,11 +663,22 @@ let create db ?(config = default_config) ?resume ?job_name ?exec packed =
       old_txns = [];
       forced_aborts = 0;
       hook_installed = false;
+      migration;
+      demand_migrations = 0;
+      demand_hook = false;
       obs;
       root_span;
       phase_span = None }
   in
   sync_spans t;
+  (match t.migration with
+   | Options.Eager -> ()
+   | Options.Lazy | Options.Hybrid _ ->
+     (* The propagator doubles as the cold-record sweeper; the demand
+        hook covers the hot set. Only meaningful while populating — a
+        resumed Propagating/Draining job has its initial image already. *)
+     Propagator.set_sweeper prop (fun ~limit -> Population.step t.pop ~limit);
+     if t.tphase = Populating then install_demand_hook t);
   Obs.Registry.probe obs ("transform." ^ t.job_name ^ ".lag") (fun () ->
       float_of_int (Propagator.lag t.prop));
   Obs.Registry.probe obs ("transform." ^ t.job_name ^ ".propagated") (fun () ->
@@ -603,17 +709,17 @@ let create db ?(config = default_config) ?resume ?job_name ?exec packed =
    | None -> ());
   t
 
-let foj db ?config ?exec spec =
-  create db ?config ?exec (Transformation.foj ?exec db spec)
+let foj db ?config ?options ?exec spec =
+  create db ?config ?options ?exec (Transformation.foj ?options ?exec db spec)
 
-let split db ?config ?exec spec =
-  create db ?config ?exec (Transformation.split ?exec db spec)
+let split db ?config ?options ?exec spec =
+  create db ?config ?options ?exec (Transformation.split ?options ?exec db spec)
 
-let hsplit db ?config ?exec spec =
-  create db ?config ?exec (Transformation.hsplit ?exec db spec)
+let hsplit db ?config ?options ?exec spec =
+  create db ?config ?options ?exec (Transformation.hsplit ?options ?exec db spec)
 
-let merge db ?config ?exec spec =
-  create db ?config ?exec (Transformation.merge ?exec db spec)
+let merge db ?config ?options ?exec spec =
+  create db ?config ?options ?exec (Transformation.merge ?options ?exec db spec)
 
 (* {2 Crash resume} *)
 
@@ -623,7 +729,7 @@ let targets_of_spec = function
   | Spec.Hsplit s -> [ s.Spec.h_true_table; s.Spec.h_false_table ]
   | Spec.Merge s -> [ s.Spec.m_target ]
 
-let resume_one db ?config ?exec ~losers (name, state) =
+let resume_one db ?config ?options ?exec ~losers (name, state) =
   match decode_job_state state with
   | exception Failure m -> Error (Nbsc_error.corrupt m)
   | tag, position, spec_payload ->
@@ -660,12 +766,12 @@ let resume_one db ?config ?exec ~losers (name, state) =
                r_position = position;
                r_skip = losers }
        in
-       (match Transformation.of_payload ?exec db spec_payload with
+       (match Transformation.of_payload ?options ?exec db spec_payload with
         | Error m -> Error (Nbsc_error.corrupt m)
         | Ok packed ->
-          Ok (create db ?config ?resume ~job_name:name ?exec packed)))
+          Ok (create db ?config ?options ?resume ~job_name:name ?exec packed)))
 
-let resume ?config ?exec persist =
+let resume ?config ?options ?exec persist =
   let db = Persist.db persist in
   let losers =
     match Persist.last_recovery persist with
@@ -675,7 +781,7 @@ let resume ?config ?exec persist =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | ((name, _) as job) :: rest ->
-      (match resume_one db ?config ?exec ~losers job with
+      (match resume_one db ?config ?options ?exec ~losers job with
        | Error e -> Error (`Job_failed (name, Nbsc_error.to_string e))
        | exception Failure m -> Error (`Job_failed (name, m))
        | Ok t -> go (t :: acc) rest)
@@ -690,6 +796,7 @@ let abort t =
       Manager.remove_extra_lock_hook t.mgr ~id:t.holder;
       t.hook_installed <- false
     end;
+    remove_demand_hook t;
     unlatch_sources t;
     Manager.unfreeze_tables t.mgr t.src;
     (* Drop transferred locks on the targets, then the targets. *)

@@ -36,7 +36,10 @@ open Nbsc_engine
 (** In signatures below, [Db.t] is the engine's {!Nbsc_engine.Db.t} —
     the same type [Nbsc_core.Db.t] re-exports. *)
 
-type strategy =
+(** Synchronization strategy, re-exported from {!Options.sync} so the
+    constructors remain addressable as [Transform.Nonblocking_abort]
+    etc. (the historical spelling). *)
+type strategy = Options.sync =
   | Blocking_commit
       (** block newcomers, let current transactions finish, then switch
           — violates the non-blocking requirement; the paper's foil *)
@@ -73,7 +76,21 @@ type config = {
 val default_config : config
 (** [{ scan_batch = 256; propagate_batch = 256;
       analysis = Analysis.default; strategy = Nonblocking_abort;
-      drop_sources = true; sync_gate = fun () -> true; pace = None }] *)
+      drop_sources = true; sync_gate = fun () -> true; pace = None }]
+
+    @deprecated [config] predates {!Options.t}; new code should pass
+    [?options] instead. [config] remains as a thin subset — it cannot
+    express migration strategy, plan mode or sharded execution. *)
+
+val config_of_options : Options.t -> config
+(** Project the one-record options onto the legacy [config] subset
+    (drops [strategy]/[plan_mode]/[exec]). *)
+
+val options_of_config : config -> Options.t
+(** Embed a legacy [config] into {!Options.t} with the remaining
+    fields at their defaults ([Eager], no plan-mode override, serial
+    execution) — the upgrade path for callers still building
+    [config] values. *)
 
 type phase =
   | Populating
@@ -116,7 +133,8 @@ type resume_info = {
 }
 
 val create :
-  Nbsc_engine.Db.t -> ?config:config -> ?resume:resume_info -> ?job_name:string ->
+  Nbsc_engine.Db.t -> ?config:config -> ?options:Options.t ->
+  ?resume:resume_info -> ?job_name:string ->
   ?exec:Domain_pool.exec -> Transformation.packed -> t
 (** Wrap any {!Transformation.S} operator in an executor and register
     it as a background job on the database. When the operator is
@@ -129,7 +147,20 @@ val create :
     (default {!Domain_pool.Serial}) shards the executor's {e propagator}
     — a packed operator's population carries its own execution mode,
     chosen when the operator was built; the convenience constructors
-    below pass one [?exec] to both. *)
+    below pass one [?exec] to both.
+
+    [options] ({!Options.t}) supersedes [config] (and, through its
+    [plan_mode]/[exec] fields, the deprecated per-call arguments) when
+    given. Under [options.strategy = Lazy | Hybrid _] the executor
+    runs demand-driven migration: an access hook in the transaction
+    manager transforms each source record on first touch, and the
+    propagator doubles as a background sweeper over the cold records
+    ([Lazy]: one per quantum; [Hybrid { sweep_quantum }]: that many).
+    The populating phase ends when the sweep has visited every record;
+    everything after (propagation, synchronization, crash resume) is
+    strategy-independent. A lazy job that crashes while populating
+    restarts from scratch on resume, exactly like an eager one — the
+    sweep is a fuzzy scan and both are idempotent. *)
 
 (** {2 Convenience constructors for the paper's operators}
 
@@ -143,16 +174,20 @@ val create :
     the bare executor. *)
 
 val foj :
-  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.foj -> t
+  Nbsc_engine.Db.t -> ?config:config -> ?options:Options.t ->
+  ?exec:Domain_pool.exec -> Spec.foj -> t
 
 val split :
-  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.split -> t
+  Nbsc_engine.Db.t -> ?config:config -> ?options:Options.t ->
+  ?exec:Domain_pool.exec -> Spec.split -> t
 
 val hsplit :
-  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.hsplit -> t
+  Nbsc_engine.Db.t -> ?config:config -> ?options:Options.t ->
+  ?exec:Domain_pool.exec -> Spec.hsplit -> t
 
 val merge :
-  Nbsc_engine.Db.t -> ?config:config -> ?exec:Domain_pool.exec -> Spec.merge -> t
+  Nbsc_engine.Db.t -> ?config:config -> ?options:Options.t ->
+  ?exec:Domain_pool.exec -> Spec.merge -> t
 
 val step : t -> [ `Running | `Done | `Failed of string ]
 (** One bounded quantum of background work. *)
@@ -181,8 +216,15 @@ val job_name : t -> string
 val counters : t -> (string * int) list
 (** The operator's labelled counters (see {!Transformation.S.counters}). *)
 
+val migration : t -> Options.migration
+(** The migration strategy this executor runs under. *)
+
+val demand_migrations : t -> int
+(** Records migrated by the access hook (first-touch demand migration)
+    — 0 under [Eager]. *)
+
 val resume :
-  ?config:config -> ?exec:Domain_pool.exec -> Persist.t ->
+  ?config:config -> ?options:Options.t -> ?exec:Domain_pool.exec -> Persist.t ->
   (t list, Nbsc_error.t) result
 (** Rebuild and re-register every schema-change job that was in flight
     when the (re)opened database crashed ({!Persist.pending_jobs}).
@@ -194,7 +236,13 @@ val resume :
     durable state cannot cover a resume (targets missing from the
     snapshot, position behind the retained log), drops its half-built
     targets and restarts from scratch. Errors on a payload that cannot
-    be decoded. *)
+    be decoded.
+
+    Pass the same [options] the crashed job ran under: the migration
+    strategy is an execution policy, not part of the durable state, so
+    the resumed executor re-derives it from [options] (a lazy job that
+    crashed mid-sweep restarts its population — sweep and demand
+    migration are idempotent, so re-converging is safe). *)
 
 val abort : t -> unit
 (** Stop the transformation: log propagation ceases, transformed tables

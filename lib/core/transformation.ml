@@ -42,9 +42,13 @@ type packed = (module S)
    the targets were restored from the snapshot and the builder re-runs
    to rebuild the operator around them. A pre-existing table is only
    accepted with the exact schema the spec derives. *)
-let ensure_table catalog ?indexes ~name schema =
+(* Target tables go through the engine facade's [create_table] so the
+   manager wires its version-retention hint into them — bulk population
+   writes must stay free of version churn while no snapshot is live. *)
+let ensure_table db ?indexes ~name schema =
+  let catalog = Db.catalog db in
   match Catalog.find_opt catalog name with
-  | None -> ignore (Catalog.create_table catalog ?indexes ~name schema)
+  | None -> ignore (Db.create_table db ?indexes ~name schema)
   | Some tbl ->
     if not (Schema.equal (Table.schema tbl) schema) then
       invalid_arg
@@ -67,6 +71,39 @@ let start_propagator ?exec mgr rules =
       mark active
   in
   Propagator.create ?exec mgr rules ~from
+
+(* {1 Lazy migration: the uniform demand scan}
+
+   Under [Options.Lazy]/[Hybrid] the eager, operator-specialized
+   population is replaced by a uniform sweep that replays each source
+   record's {e current} state through the propagation rules, exactly as
+   if its insert had just been logged. The rules are LSN-gated
+   idempotent upserts, so a record already migrated — by an access-hook
+   demand migration or by actual log propagation — is simply ignored.
+   This gives every operator lazy migration for free: no second
+   population path per operator. *)
+
+let demand_population catalog ~sources ~(rules : Propagator.rules) =
+  let tables = List.map (fun n -> (n, Catalog.find catalog n)) sources in
+  Population.scan_tagged tables ~ingest:(fun ~table record ->
+      ignore
+        (rules.Propagator.apply ~lsn:record.Record.lsn
+           (Log_record.Insert { table; row = record.Record.row })))
+
+let opt_plan_mode options plan_mode =
+  match options with
+  | Some { Options.plan_mode = Some _ as m; _ } -> m
+  | _ -> plan_mode
+
+let opt_exec options exec =
+  match options with
+  | Some { Options.exec = Some _ as e; _ } -> e
+  | _ -> exec
+
+let lazy_migration options =
+  match options with
+  | Some o -> o.Options.strategy <> Options.Eager
+  | None -> false
 
 let counter (module T : S) name =
   match List.assoc_opt name (T.counters ()) with
@@ -98,16 +135,17 @@ let foj_target_to_sources fj ~key =
   (if Row.Key.has_null r_part then [] else [ (spec.Spec.r_table, r_part) ])
   @ if Row.Key.has_null s_part then [] else [ (spec.Spec.s_table, s_part) ]
 
-let foj ?(transfer_locks = true) ?plan_mode ?exec db spec =
+let foj ?(transfer_locks = true) ?plan_mode ?options ?exec db spec =
+  let plan_mode = opt_plan_mode options plan_mode in
+  let exec = opt_exec options exec in
   let catalog = Db.catalog db in
   let layout = Spec.foj_layout catalog spec in
-  ensure_table catalog
+  ensure_table db
     ~indexes:(Spec.foj_t_indexes layout)
     ~name:spec.Spec.t_table (Spec.foj_t_schema layout);
   let fj = Foj.create ?mode:plan_mode catalog layout in
   let r_tbl = Catalog.find catalog spec.Spec.r_table in
   let s_tbl = Catalog.find catalog spec.Spec.s_table in
-  let pop = Population.foj ?exec fj ~r_tbl ~s_tbl in
   let apply =
     if spec.Spec.many_to_many then
       fun ~lsn op ->
@@ -120,6 +158,12 @@ let foj ?(transfer_locks = true) ?plan_mode ?exec db spec =
     Propagator.rules ~transfer_locks
       ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
       ~targets:[ spec.Spec.t_table ] ~apply ()
+  in
+  let pop =
+    if lazy_migration options then
+      demand_population catalog
+        ~sources:[ spec.Spec.r_table; spec.Spec.s_table ] ~rules
+    else Population.foj ?exec fj ~r_tbl ~s_tbl
   in
   (module struct
     let name = "foj"
@@ -172,11 +216,13 @@ let split_target_to_sources sp db ~table ~key =
         (Table.index_lookup t_tbl ~index:Spec.ix_t_split key)
   else []
 
-let split ?plan_mode ?exec db spec =
+let split ?plan_mode ?options ?exec db spec =
+  let plan_mode = opt_plan_mode options plan_mode in
+  let exec = opt_exec options exec in
   let catalog = Db.catalog db in
   let layout = Spec.split_layout catalog spec in
-  ensure_table catalog ~name:spec.Spec.r_table' (Spec.split_r_schema layout);
-  ensure_table catalog ~name:spec.Spec.s_table' (Spec.split_s_schema layout);
+  ensure_table db ~name:spec.Spec.r_table' (Spec.split_r_schema layout);
+  ensure_table db ~name:spec.Spec.s_table' (Spec.split_s_schema layout);
   let t_tbl = Catalog.find catalog spec.Spec.t_table' in
   Table.add_index t_tbl ~name:Spec.ix_t_split ~columns:spec.Spec.split_key;
   let sp = Split.create ?mode:plan_mode catalog layout in
@@ -184,7 +230,6 @@ let split ?plan_mode ?exec db spec =
     if spec.Spec.assume_consistent then None
     else Some (Consistency.create catalog sp ~log:(Db.log db))
   in
-  let pop = Population.split ?exec sp ~t_tbl in
   let rules =
     { Propagator.sources = [ spec.Spec.t_table' ];
       targets = [ spec.Spec.r_table'; spec.Spec.s_table' ];
@@ -192,6 +237,11 @@ let split ?plan_mode ?exec db spec =
       cc;
       cc_s_table = Some spec.Spec.s_table';
       transfer_locks = true }
+  in
+  let pop =
+    if lazy_migration options then
+      demand_population catalog ~sources:[ spec.Spec.t_table' ] ~rules
+    else Population.split ?exec sp ~t_tbl
   in
   (module struct
     let name = "split"
@@ -217,21 +267,24 @@ let split ?plan_mode ?exec db spec =
 
 (* {1 Horizontal (selection) split} *)
 
-let hsplit ?exec db spec =
+let hsplit ?options ?exec db spec =
+  let exec = opt_exec options exec in
   let catalog = Db.catalog db in
   let layout = Spec.hsplit_layout catalog spec in
-  ensure_table catalog ~name:spec.Spec.h_true_table layout.Spec.h_schema;
-  ensure_table catalog ~name:spec.Spec.h_false_table layout.Spec.h_schema;
+  ensure_table db ~name:spec.Spec.h_true_table layout.Spec.h_schema;
+  ensure_table db ~name:spec.Spec.h_false_table layout.Spec.h_schema;
   let hs = Hsplit.create catalog layout in
   let source = Catalog.find catalog spec.Spec.h_source in
-  let pop =
-    Population.scan_one ?exec source ~ingest:(Hsplit.ingest_initial hs)
-  in
   let rules =
     Propagator.rules ~sources:[ spec.Spec.h_source ]
       ~targets:[ spec.Spec.h_true_table; spec.Spec.h_false_table ]
       ~apply:(fun ~lsn op -> Hsplit.apply hs ~lsn op)
       ()
+  in
+  let pop =
+    if lazy_migration options then
+      demand_population catalog ~sources:[ spec.Spec.h_source ] ~rules
+    else Population.scan_one ?exec source ~ingest:(Hsplit.ingest_initial hs)
   in
   (module struct
     let name = "hsplit"
@@ -260,20 +313,23 @@ let hsplit ?exec db spec =
 
 (* {1 Merge (union)} *)
 
-let merge ?exec db spec =
+let merge ?options ?exec db spec =
+  let exec = opt_exec options exec in
   let catalog = Db.catalog db in
   let layout = Spec.merge_layout catalog spec in
-  ensure_table catalog ~name:spec.Spec.m_target layout.Spec.m_schema;
+  ensure_table db ~name:spec.Spec.m_target layout.Spec.m_schema;
   let mg = Merge.create catalog layout in
   let sources = List.map (Catalog.find catalog) spec.Spec.m_sources in
-  let pop =
-    Population.scan_many ?exec sources ~ingest:(Merge.ingest_initial mg)
-  in
   let rules =
     Propagator.rules ~sources:spec.Spec.m_sources
       ~targets:[ spec.Spec.m_target ]
       ~apply:(fun ~lsn op -> Merge.apply mg ~lsn op)
       ()
+  in
+  let pop =
+    if lazy_migration options then
+      demand_population catalog ~sources:spec.Spec.m_sources ~rules
+    else Population.scan_many ?exec sources ~ingest:(Merge.ingest_initial mg)
   in
   (module struct
     let name = "merge"
@@ -300,15 +356,15 @@ let merge ?exec db spec =
 
 (* {1 Rebuilding from a durable payload} *)
 
-let of_payload ?exec db payload =
+let of_payload ?options ?exec db payload =
   match Spec.decode payload with
   | exception Failure m -> Error m
   | spec ->
     (try
        Ok
          (match spec with
-          | Spec.Foj s -> foj ?exec db s
-          | Spec.Split s -> split ?exec db s
-          | Spec.Hsplit s -> hsplit ?exec db s
-          | Spec.Merge s -> merge ?exec db s)
+          | Spec.Foj s -> foj ?options ?exec db s
+          | Spec.Split s -> split ?options ?exec db s
+          | Spec.Hsplit s -> hsplit ?options ?exec db s
+          | Spec.Merge s -> merge ?options ?exec db s)
      with Invalid_argument m | Failure m -> Error m)

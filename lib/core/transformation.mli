@@ -114,25 +114,38 @@ val counter : packed -> string -> int
     create target tables and indexes) and packs the operator's [S]
     implementation. [transfer_locks] is true for schema changes and
     false for materialized views (the view never takes over from its
-    sources). *)
+    sources).
+
+    [options] is the one-record configuration ({!Options.t}): its
+    [plan_mode]/[exec] fields supersede the same-named deprecated
+    optional arguments when set, and [strategy = Lazy | Hybrid _]
+    replaces the operator's eager population with the uniform demand
+    scan — each source record's current state replayed through the
+    propagation rules (LSN-gated, so double migration is a no-op). *)
 
 val foj :
   ?transfer_locks:bool ->
   ?plan_mode:Plan.mode ->
+  ?options:Options.t ->
   ?exec:Domain_pool.exec ->
   Nbsc_engine.Db.t ->
   Spec.foj ->
   packed
 
 val split :
-  ?plan_mode:Plan.mode -> ?exec:Domain_pool.exec -> Nbsc_engine.Db.t ->
-  Spec.split -> packed
+  ?plan_mode:Plan.mode -> ?options:Options.t -> ?exec:Domain_pool.exec ->
+  Nbsc_engine.Db.t -> Spec.split -> packed
 
-val hsplit : ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> Spec.hsplit -> packed
-val merge : ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> Spec.merge -> packed
+val hsplit :
+  ?options:Options.t -> ?exec:Domain_pool.exec -> Nbsc_engine.Db.t ->
+  Spec.hsplit -> packed
+
+val merge :
+  ?options:Options.t -> ?exec:Domain_pool.exec -> Nbsc_engine.Db.t ->
+  Spec.merge -> packed
 
 val of_payload :
-  ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> string ->
+  ?options:Options.t -> ?exec:Domain_pool.exec -> Nbsc_engine.Db.t -> string ->
   (packed, string) result
 (** Rebuild an operator from an encoded specification ({!S.spec_payload})
     — the crash-resume path. Unlike first-time preparation, the target

@@ -62,12 +62,14 @@ module Observe = struct
 end
 
 let create_table t ?indexes ~name schema =
-  Catalog.create_table t.cat ?indexes ~name schema
+  let table = Catalog.create_table t.cat ?indexes ~name schema in
+  Manager.track_table t.mgr table;
+  table
 
 let table t name = Catalog.find t.cat name
 
-let with_txn t f =
-  let txn = Manager.begin_txn t.mgr in
+let with_txn ?isolation t f =
+  let txn = Manager.begin_txn ?isolation t.mgr in
   let abort_noting_failure () =
     match Manager.abort t.mgr txn with
     | Ok () -> ()

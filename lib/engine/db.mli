@@ -62,11 +62,14 @@ val create_table :
 val table : t -> string -> Table.t
 (** @raise Not_found *)
 
-val with_txn : t -> (Manager.txn_id -> ('a, Manager.error) result) ->
+val with_txn : ?isolation:Manager.isolation -> t ->
+  (Manager.txn_id -> ('a, Manager.error) result) ->
   ('a, Manager.error) result
 (** Run [f] in a fresh transaction; commit on [Ok], roll back on
     [Error]. A commit failure also rolls back. If the rollback itself
-    fails its error is logged (it cannot mask [f]'s result). *)
+    fails its error is logged (it cannot mask [f]'s result).
+    [isolation] (default [`Read_committed], the classical locked-read
+    mode) selects [`Snapshot] MVCC reads — see {!Manager.begin_txn}. *)
 
 val load : t -> table:string -> Row.t list -> (unit, Manager.error) result
 (** Bulk-insert rows in one transaction. *)

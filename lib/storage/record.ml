@@ -6,16 +6,18 @@ type flag = Consistent | Unknown
 type t = {
   row : Row.t;
   lsn : Lsn.t;
+  txn : int;
   counter : int;
   flag : flag;
   aux : int;
 }
 
-let make ?(counter = 1) ?(flag = Consistent) ?(aux = 0) ~lsn row =
-  { row; lsn; counter; flag; aux }
+let make ?(txn = 0) ?(counter = 1) ?(flag = Consistent) ?(aux = 0) ~lsn row =
+  { row; lsn; txn; counter; flag; aux }
 
 let with_row t row = { t with row }
 let with_lsn t lsn = { t with lsn }
+let with_txn t txn = { t with txn }
 let with_counter t counter = { t with counter }
 let with_flag t flag = { t with flag }
 let with_aux t aux = { t with aux }

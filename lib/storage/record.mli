@@ -12,7 +12,11 @@
       it to record which side(s) of the join a transformed record
       carries (r-part / s-part), disambiguating "joined with the NULL
       record" from an S record whose non-key attributes are genuinely
-      NULL — a corner the paper leaves implicit. 0 means "unset". *)
+      NULL — a corner the paper leaves implicit. 0 means "unset";
+    - a {b txn} stamp: the transaction that wrote this version, used by
+      MVCC visibility. 0 is the committed-system sentinel — the version
+      counts as committed at its own [lsn] (bulk loads, records restored
+      from a snapshot, propagator/population writes, CLR restores). *)
 
 open Nbsc_value
 open Nbsc_wal
@@ -22,14 +26,17 @@ type flag = Consistent | Unknown
 type t = {
   row : Row.t;
   lsn : Lsn.t;
+  txn : int;
   counter : int;
   flag : flag;
   aux : int;
 }
 
-val make : ?counter:int -> ?flag:flag -> ?aux:int -> lsn:Lsn.t -> Row.t -> t
+val make :
+  ?txn:int -> ?counter:int -> ?flag:flag -> ?aux:int -> lsn:Lsn.t -> Row.t -> t
 val with_row : t -> Row.t -> t
 val with_lsn : t -> Lsn.t -> t
+val with_txn : t -> int -> t
 val with_counter : t -> int -> t
 val with_flag : t -> flag -> t
 val with_aux : t -> int -> t

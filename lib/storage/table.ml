@@ -16,6 +16,18 @@ type shard_view = {
   mutable sv_cursors : int;
 }
 
+(* One superseded row state, kept for snapshot readers. [v_row = None]
+   is a delete tombstone: a reader whose snapshot covers the deleting
+   transaction resolves to "no row" instead of falling through to an
+   older committed version. Stamps are the overwritten record's own
+   (lsn, txn) — commit-LSN resolution happens above storage, which only
+   records what it was told. *)
+type version = {
+  v_row : Row.t option;
+  v_lsn : Lsn.t;
+  v_txn : int;
+}
+
 type t = {
   name : string;
   schema : Schema.t;
@@ -25,6 +37,10 @@ type t = {
   key_positions : int array;
   key_member : bool array;  (* indexed by column position *)
   heap : Record.t Row.Key.Tbl.t;
+  (* Version chains, newest first; the heap record is always the newest
+     state and is not duplicated here. Bounded by [gc_versions]. *)
+  versions : version list Row.Key.Tbl.t;
+  mutable nversions : int;
   mutable indexes : Index.t list;
   mutable ordered : Ordered_index.t list;
   (* Arrival order of keys; the fuzzy cursor walks this like a page
@@ -36,6 +52,16 @@ type t = {
   mutable arrival_len : int;
   mutable live_cursors : int;
   mutable shard_view : shard_view option;
+  (* Consulted before materializing a version entry for an overwritten
+     committed (system, txn = 0) state. The transaction manager wires
+     this to "is any snapshot transaction active?", so the bulk system
+     writes of population and propagation pay nothing when nobody can
+     ever resolve the overwritten state: a snapshot that begins later
+     pins at a higher LSN and reads the new heap record directly.
+     Uncommitted user writes always push — a snapshot may begin before
+     they commit. Default: retain everything (bare tables without a
+     manager stay fully versioned). *)
+  mutable retain_versions : unit -> bool;
 }
 
 let create ?(indexes = []) ~name schema =
@@ -50,11 +76,14 @@ let create ?(indexes = []) ~name schema =
     key_positions;
     key_member;
     heap = Row.Key.Tbl.create 1024;
+    versions = Row.Key.Tbl.create 64;
+    nversions = 0;
     indexes = List.map mk indexes;
     ordered = [];
     arrival = Array.make 1024 [||];
     arrival_len = 0;
     live_cursors = 0;
+    retain_versions = (fun () -> true);
     shard_view = None }
 
 (* Key-hash partitioning shared by every shard-aware component (cursor
@@ -149,6 +178,101 @@ let push_arrival t key =
   | Some sv -> sv_push sv (shard_of_key ~shards:sv.sv_shards key) key
   | None -> ()
 
+(* {2 Version chains} *)
+
+let push_version t key v =
+  let chain =
+    match Row.Key.Tbl.find_opt t.versions key with
+    | Some c -> c
+    | None -> []
+  in
+  Row.Key.Tbl.replace t.versions key (v :: chain);
+  t.nversions <- t.nversions + 1
+
+let push_old_record t key (old : Record.t) =
+  push_version t key
+    { v_row = Some old.Record.row; v_lsn = old.Record.lsn;
+      v_txn = old.Record.txn }
+
+let set_retain_hint t f = t.retain_versions <- f
+
+(* Whether overwriting a state written by [txn] must keep the old
+   version: always for user transactions (their heap record stays
+   invisible to snapshots until they commit), and for system writes
+   only while the hint says a snapshot might still resolve it. *)
+let must_retain t ~txn = txn <> 0 || t.retain_versions ()
+
+let versions t key =
+  match Row.Key.Tbl.find_opt t.versions key with
+  | Some c -> c
+  | None -> []
+
+let versions_count t = t.nversions
+
+let gc_versions t ~horizon ~classify =
+  let reclaimed = ref 0 in
+  (* Collect updates first: the stdlib hashtable must not be mutated
+     while being iterated. *)
+  let updates = ref [] in
+  Row.Key.Tbl.iter
+    (fun key chain ->
+       (* A version is reachable only while no newer committed state at
+          or below the horizon covers it: every live and future snapshot
+          sits at or above the horizon and resolves to that newer state
+          first. The heap record is the newest state of all. *)
+       let covered =
+         ref
+           (match Row.Key.Tbl.find_opt t.heap key with
+            | Some r ->
+              (match classify ~txn:r.Record.txn ~lsn:r.Record.lsn with
+               | `At c -> Lsn.(c <= horizon)
+               | `Dead | `Live -> false)
+            | None -> false)
+       in
+       let keep =
+         List.filter
+           (fun v ->
+              match classify ~txn:v.v_txn ~lsn:v.v_lsn with
+              | `Live ->
+                (* An uncommitted writer's overwritten state — only that
+                   writer can reach it, but keep it unconditionally:
+                   cheap, and robust against unlocked system writes. *)
+                true
+              | `Dead ->
+                incr reclaimed;
+                false
+              | `At c ->
+                if !covered then begin
+                  incr reclaimed;
+                  false
+                end
+                else if Lsn.(c <= horizon) then begin
+                  covered := true;
+                  (* This is the version every snapshot at or above the
+                     horizon resolves to — keep it, unless it is a
+                     tombstone with no live heap record, where end-of-
+                     chain already means "no row". *)
+                  match v.v_row with
+                  | None ->
+                    incr reclaimed;
+                    false
+                  | Some _ -> true
+                end
+                else true)
+           chain
+       in
+       if List.compare_lengths keep chain <> 0 then
+         updates := (key, keep) :: !updates)
+    t.versions;
+  List.iter
+    (fun (key, keep) ->
+       match keep with
+       | [] -> Row.Key.Tbl.remove t.versions key
+       | keep -> Row.Key.Tbl.replace t.versions key keep)
+    !updates;
+  t.nversions <- t.nversions - !reclaimed;
+  !reclaimed
+
 let index_insert t key row =
   List.iter (fun ix -> Index.insert ix ~key row) t.indexes;
   List.iter (fun ix -> Ordered_index.insert ix ~key row) t.ordered
@@ -157,7 +281,7 @@ let index_remove t key row =
   List.iter (fun ix -> Index.remove ix ~key row) t.indexes;
   List.iter (fun ix -> Ordered_index.remove ix ~key row) t.ordered
 
-let insert t ~lsn ?counter ?flag ?aux row =
+let insert t ~lsn ?txn ?counter ?flag ?aux row =
   if Row.arity row <> Schema.arity t.schema then
     invalid_arg
       (Printf.sprintf "Table.insert(%s): arity %d, expected %d" t.name
@@ -165,7 +289,7 @@ let insert t ~lsn ?counter ?flag ?aux row =
   let key = key_of_row t row in
   if Row.Key.Tbl.mem t.heap key then Error `Duplicate_key
   else begin
-    Row.Key.Tbl.replace t.heap key (Record.make ?counter ?flag ?aux ~lsn row);
+    Row.Key.Tbl.replace t.heap key (Record.make ?txn ?counter ?flag ?aux ~lsn row);
     index_insert t key row;
     push_arrival t key;
     Ok ()
@@ -180,13 +304,16 @@ let check_not_key t changes =
               t.name i))
     changes
 
-let update t ~lsn ~key changes =
+let update t ~lsn ?(txn = 0) ~key changes =
   match Row.Key.Tbl.find_opt t.heap key with
   | None -> Error `Not_found
   | Some record ->
     check_not_key t changes;
+    if must_retain t ~txn then push_old_record t key record;
     let row' = Row.update record.Record.row changes in
-    let record' = Record.with_lsn (Record.with_row record row') lsn in
+    let record' =
+      Record.with_txn (Record.with_lsn (Record.with_row record row') lsn) txn
+    in
     (* An update that leaves every indexed column alone leaves that
        index's entry (projection and key) unchanged — skip the
        remove+reinsert. Most workload updates touch no index at all. *)
@@ -213,15 +340,29 @@ let set_record t ~key record =
   | Some old ->
     if not (Row.Key.equal (key_of_row t record.Record.row) key) then
       invalid_arg (Printf.sprintf "Table.set_record(%s): key mismatch" t.name);
+    (* [set_record] callers are all system-side (counter bumps, the
+       consistency checker): gate like a system write. *)
+    if must_retain t ~txn:0 then push_old_record t key old;
     index_remove t key old.Record.row;
     Row.Key.Tbl.replace t.heap key record;
     index_insert t key record.Record.row;
     Ok ()
 
-let delete t ~key =
+let delete t ~lsn ?(txn = 0) key =
   match Row.Key.Tbl.find_opt t.heap key with
   | None -> Error `Not_found
   | Some record ->
+    (* The tombstone records the delete itself: a snapshot that covers
+       the deleting transaction must resolve to "no row", not fall
+       through to the pre-delete version. Unlike update, an elided
+       delete push is unsafe whenever a chain already exists — with
+       the heap record gone, a later snapshot's chain walk would fall
+       through to a stale pre-delete version — so retain in that case
+       regardless of the hint. *)
+    if must_retain t ~txn || Row.Key.Tbl.mem t.versions key then begin
+      push_old_record t key record;
+      push_version t key { v_row = None; v_lsn = lsn; v_txn = txn }
+    end;
     Row.Key.Tbl.remove t.heap key;
     index_remove t key record.Record.row;
     maybe_compact t;

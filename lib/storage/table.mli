@@ -31,11 +31,13 @@ val key_of_row : t -> Row.t -> Row.Key.t
 val find : t -> Row.Key.t -> Record.t option
 val mem : t -> Row.Key.t -> bool
 
-val insert : t -> lsn:Lsn.t -> ?counter:int -> ?flag:Record.flag ->
+val insert : t -> lsn:Lsn.t -> ?txn:int -> ?counter:int -> ?flag:Record.flag ->
   ?aux:int -> Row.t -> (unit, [ `Duplicate_key ]) result
+(** [txn] stamps the record's writer for MVCC visibility; the default 0
+    means "committed at [lsn]" (system, bulk-load and restore writes). *)
 
-val update : t -> lsn:Lsn.t -> key:Row.Key.t -> (int * Value.t) list ->
-  (Record.t, [ `Not_found ]) result
+val update : t -> lsn:Lsn.t -> ?txn:int -> key:Row.Key.t ->
+  (int * Value.t) list -> (Record.t, [ `Not_found ]) result
 (** Returns the {e new} record. Updating key columns re-keys the heap
     (fails [`Duplicate_key] is impossible here: callers that change key
     columns must delete+insert instead — the engine enforces this; the
@@ -49,8 +51,63 @@ val set_record : t -> key:Row.Key.t -> Record.t ->
     rules to adjust counter/flag/LSN in one step).
     @raise Invalid_argument if the new row has a different key. *)
 
-val delete : t -> key:Row.Key.t -> (Record.t, [ `Not_found ]) result
-(** Returns the deleted record. *)
+val delete : t -> lsn:Lsn.t -> ?txn:int -> Row.Key.t ->
+  (Record.t, [ `Not_found ]) result
+(** Returns the deleted record. [lsn]/[txn] stamp the delete tombstone
+    pushed onto the key's version chain. *)
+
+(** {2 Version chains (MVCC)}
+
+    Every mutation pushes the overwritten record state onto the key's
+    version chain (deletes additionally push a tombstone), so snapshot
+    readers can resolve the row image as of an older LSN without any
+    lock. Storage records stamps verbatim; commit-LSN resolution — which
+    transaction stamp means "committed where" — belongs to the caller
+    ({!Nbsc_txn.Manager}), which supplies it to {!gc_versions} as a
+    classifier. *)
+
+val set_retain_hint : t -> (unit -> bool) -> unit
+(** Version-retention hint for {e system} (txn = 0) overwrites, which
+    commit at their own LSN: when the hint returns [false] the
+    overwritten state is not pushed — a snapshot beginning later pins
+    at a higher LSN and reads the new heap record directly, so only a
+    snapshot already active at overwrite time could need it. The
+    transaction manager wires this to "is any snapshot transaction
+    active?", which makes bulk population/propagation writes free of
+    version churn on a snapshot-less system. User-transaction
+    overwrites always push regardless of the hint (their heap record
+    stays invisible until commit), as do deletes of keys that already
+    carry a chain (the tombstone must shadow stale entries). Default:
+    always retain. *)
+
+(** One superseded row state. [v_row = None] is a delete tombstone. *)
+type version = {
+  v_row : Row.t option;
+  v_lsn : Lsn.t;
+  v_txn : int;
+}
+
+val versions : t -> Row.Key.t -> version list
+(** The key's superseded states, newest first. The current heap record
+    ({!find}) is not duplicated here — a visibility walk consults it
+    first, then this chain. *)
+
+val versions_count : t -> int
+(** Total chain entries across all keys (the [storage.versions_live]
+    gauge reads this). *)
+
+val gc_versions :
+  t ->
+  horizon:Lsn.t ->
+  classify:(txn:int -> lsn:Lsn.t -> [ `At of Lsn.t | `Dead | `Live ]) ->
+  int
+(** Reclaim chain entries no snapshot at or above [horizon] can reach:
+    entries of dead (aborted or unknown) transactions, and everything
+    covered by a newer state committed at or below the horizon.
+    [classify] resolves a stamp to [`At commit_lsn] (committed), [`Dead]
+    or [`Live] (still active — always retained). Returns the number of
+    entries reclaimed. The caller must pick [horizon] at or below the
+    oldest active snapshot LSN. *)
 
 val index_definitions : t -> (string * string list) list
 (** Name and column list of every hash index (snapshots rebuild them

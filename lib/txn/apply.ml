@@ -9,7 +9,7 @@ let op_to_table table ~lsn (op : Log_record.op) =
     (Table.insert table ~lsn row
      :> (unit, [ `Duplicate_key | `Not_found ]) result)
   | Log_record.Delete { key; _ } ->
-    (match Table.delete table ~key with
+    (match Table.delete table ~lsn key with
      | Ok _ -> Ok ()
      | Error `Not_found -> Error `Not_found)
   | Log_record.Update { key; changes; _ } ->

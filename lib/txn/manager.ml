@@ -22,12 +22,15 @@ type error =
   | `Key_update
   | `Disk_full ]
 
+type isolation = [ `Read_committed | `Snapshot ]
+
 type txn = {
   id : txn_id;
   mutable txn_status : status;
   mutable first_lsn : Lsn.t;
   mutable last_lsn : Lsn.t;
   mutable abort_only : bool;
+  snapshot : Lsn.t option;  (* Snapshot isolation: reads as of this LSN *)
 }
 
 type pin = int
@@ -63,6 +66,12 @@ type t = {
       list;
   mutable post_op_hook :
     (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option;
+  mutable access_hooks :
+    (int * (table:string -> key:Row.Key.t -> unit)) list;
+  (* Active `Snapshot transactions. Feeds the tables' version-retention
+     hint: while zero, system overwrites skip version pushes entirely
+     (nobody can ever resolve the superseded state). *)
+  mutable snapshot_txns : int;
   obs : Obs.Registry.t;
   n_ops : Obs.Counter.t;
   n_commits : Obs.Counter.t;
@@ -71,6 +80,7 @@ type t = {
   n_deadlocks : Obs.Counter.t;
   n_victims : Obs.Counter.t;
   g_low_water : Obs.Gauge.t;
+  n_versions_reclaimed : Obs.Counter.t;
   h_batch : Obs.Histogram.t;  (* engine.commit_batch_size *)
 }
 
@@ -97,6 +107,8 @@ let create ?log ?obs catalog =
       frozen = [];
       extra_lock_hooks = [];
       post_op_hook = None;
+      access_hooks = [];
+      snapshot_txns = 0;
       obs;
       n_ops = Obs.Registry.counter obs "txn.ops";
       n_commits = Obs.Registry.counter obs "txn.commits";
@@ -105,6 +117,8 @@ let create ?log ?obs catalog =
       n_deadlocks = Obs.Registry.counter obs "txn.deadlocks";
       n_victims = Obs.Registry.counter obs "txn.victims";
       g_low_water = Obs.Registry.gauge obs "wal.low_water";
+      n_versions_reclaimed =
+        Obs.Registry.counter obs "storage.versions_reclaimed";
       h_batch =
         Obs.Registry.histogram
           ~edges:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ]
@@ -120,6 +134,12 @@ let create ?log ?obs catalog =
       float_of_int (Log.segments t.log));
   Obs.Registry.probe obs "wal.truncated_total" (fun () ->
       float_of_int (Log.truncated_total t.log));
+  (* Version-chain population is derived state, so a probe. *)
+  Obs.Registry.probe obs "storage.versions_live" (fun () ->
+      float_of_int
+        (List.fold_left
+           (fun acc table -> acc + Table.versions_count table)
+           0 (Catalog.tables t.catalog)));
   (* Allocation pressure per committed transaction: GC words allocated
      since this manager was created, averaged over its commits. A cheap
      engine-wide probe — the bench gates on it staying flat. *)
@@ -135,7 +155,18 @@ let create ?log ?obs catalog =
         let words = s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words in
         (words -. alloc_base) /. float_of_int commits
       end);
+  (* Wire the version-retention hint into every table this manager
+     governs, so system overwrites only pay for version chains while a
+     snapshot transaction is actually active. Tables created later are
+     wired by [track_table] (the engine facade calls it). *)
+  List.iter
+    (fun table ->
+       Table.set_retain_hint table (fun () -> t.snapshot_txns > 0))
+    (Catalog.tables catalog);
   t
+
+let track_table t table =
+  Table.set_retain_hint table (fun () -> t.snapshot_txns > 0)
 
 let obs t = t.obs
 let log t = t.log
@@ -155,14 +186,20 @@ let is_victim t id = Hashtbl.mem t.victims id
 let bump_txn_ids t ~above =
   if above >= t.next_id then t.next_id <- above + 1
 
-let begin_txn t =
+let begin_txn ?(isolation = `Read_committed) t =
   let id = t.next_id in
   t.next_id <- id + 1;
   let lsn = Log.append t.log ~txn:id ~prev_lsn:Lsn.zero Log_record.Begin in
+  (* A snapshot transaction reads as of its Begin record: every commit
+     that preceded it has a Commit LSN strictly below [lsn]. *)
+  let snapshot =
+    match isolation with `Snapshot -> Some lsn | `Read_committed -> None
+  in
   let txn =
     { id; txn_status = Active; first_lsn = lsn; last_lsn = lsn;
-      abort_only = false }
+      abort_only = false; snapshot }
   in
+  if snapshot <> None then t.snapshot_txns <- t.snapshot_txns + 1;
   Hashtbl.replace t.txns id txn;
   Hashtbl.replace t.actives id txn;
   id
@@ -189,6 +226,57 @@ let active_snapshot t =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let active_count t = Hashtbl.length t.actives
+
+(* {2 MVCC visibility}
+
+   Version stamps resolve through the (never-pruned) [txns] table:
+   stamp 0 is the committed-system sentinel ("committed at its own
+   LSN" - bulk loads, snapshot restores, system/CLR writes); any other
+   stamp is a transaction whose Commit record - its [last_lsn] - is
+   the version's commit point. *)
+
+let classify_version t ~txn ~lsn =
+  if txn = 0 then `At lsn
+  else
+    match Hashtbl.find_opt t.txns txn with
+    | Some tx ->
+      (match tx.txn_status with
+       | Committed -> `At tx.last_lsn
+       | Active -> `Live
+       | Aborted -> `Dead)
+    | None -> `Dead  (* unknown stamps cannot be resurrected: dead *)
+
+let oldest_snapshot t =
+  Hashtbl.fold
+    (fun _ txn acc ->
+       match (txn.snapshot, acc) with
+       | None, acc -> acc
+       | (Some _ as s), None -> s
+       | Some s, Some a -> Some (if Lsn.(s < a) then s else a))
+    t.actives None
+
+(* Resolve the row image of [key] as of LSN [at], for reader [self]:
+   the newest state that is the reader's own write or committed at or
+   below [at]. The heap record is the newest state; older ones hang
+   off the version chain, newest first. A tombstone ([v_row = None])
+   resolves to "no row". Lock-free by construction. *)
+let resolve_visible t ~self ~at table key =
+  let visible ~txn ~lsn =
+    txn = self
+    || (match classify_version t ~txn ~lsn with
+        | `At c -> Lsn.(c <= at)
+        | `Live | `Dead -> false)
+  in
+  let rec walk = function
+    | [] -> None
+    | v :: rest ->
+      if visible ~txn:v.Table.v_txn ~lsn:v.Table.v_lsn then v.Table.v_row
+      else walk rest
+  in
+  match Table.find table key with
+  | Some r when visible ~txn:r.Record.txn ~lsn:r.Record.lsn ->
+    Some r.Record.row
+  | Some _ | None -> walk (Table.versions table key)
 
 (* {2 WAL retention}
 
@@ -220,11 +308,37 @@ let wal_low_water t =
    | None -> ());
   !low
 
+(* Version-chain GC horizon: nothing at or below it is needed by any
+   active snapshot, and the WAL below the low-water mark can no longer
+   replay into it. Pinning to [wal_low_water] keeps chains recoverable
+   exactly as long as the log records that produced them. *)
+let gc_versions t =
+  let low = wal_low_water t in
+  let oldest = oldest_snapshot t in
+  let horizon =
+    match oldest with
+    | Some s -> if Lsn.(s < low) then s else low
+    | None -> low
+  in
+  (* Invariant: never reclaim state an active snapshot still resolves. *)
+  (match oldest with
+   | Some s -> assert (Lsn.(horizon <= s))
+   | None -> ());
+  let classify ~txn ~lsn = classify_version t ~txn ~lsn in
+  let reclaimed =
+    List.fold_left
+      (fun acc table -> acc + Table.gc_versions table ~horizon ~classify)
+      0 (Catalog.tables t.catalog)
+  in
+  if reclaimed > 0 then Obs.Counter.add t.n_versions_reclaimed reclaimed;
+  reclaimed
+
 let truncate_wal t =
   let low = wal_low_water t in
   Log.truncate_to t.log low;
   Obs.Gauge.set t.g_low_water (float_of_int (Lsn.to_int low));
   t.truncate_after <- Log.length t.log + truncate_check_interval;
+  ignore (gc_versions t);
   low
 
 let maybe_truncate t =
@@ -297,6 +411,20 @@ let remove_extra_lock_hook t ~id =
 
 let set_post_op_hook t hook = t.post_op_hook <- hook
 
+(* Access hooks observe every successful keyed operation (reads
+   included) - the lazy-migration machinery uses them to migrate a
+   record on first touch under the new schema. *)
+let add_access_hook t ~id hook =
+  t.access_hooks <- (id, hook) :: List.remove_assoc id t.access_hooks
+
+let remove_access_hook t ~id =
+  t.access_hooks <- List.remove_assoc id t.access_hooks
+
+let fire_access t ~table ~key =
+  match t.access_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun (_, hook) -> hook ~table ~key) hooks
+
 let fire_post_op t ~txn ~lsn op =
   match t.post_op_hook with
   | None -> ()
@@ -340,6 +468,7 @@ let check_access t ?key txn_id ~table =
 
 let finish t txn final_status =
   txn.txn_status <- final_status;
+  if txn.snapshot <> None then t.snapshot_txns <- t.snapshot_txns - 1;
   Hashtbl.remove t.actives txn.id;
   Wait_graph.remove_txn t.wait_graph ~owner:txn.id;
   Lock_table.release_owner t.locks ~owner:txn.id
@@ -510,11 +639,12 @@ let insert t ~txn:txn_id ~table:table_name row =
   else begin
     let op = Log_record.Insert { table = table_name; row } in
     let lsn = log_op t txn op in
-    (match Table.insert table ~lsn row with
+    (match Table.insert table ~lsn ~txn:txn_id row with
      | Ok () -> ()
      | Error `Duplicate_key -> assert false);
     Obs.Counter.incr t.n_ops;
     fire_post_op t ~txn:txn_id ~lsn op;
+    fire_access t ~table:table_name ~key;
     Ok ()
   end
 
@@ -535,11 +665,12 @@ let update t ~txn:txn_id ~table:table_name ~key changes =
       in
       let op = Log_record.Update { table = table_name; key; changes; before } in
       let lsn = log_op t txn op in
-      (match Table.update table ~lsn ~key changes with
+      (match Table.update table ~lsn ~txn:txn_id ~key changes with
        | Ok _ -> ()
        | Error `Not_found -> assert false);
       Obs.Counter.incr t.n_ops;
       fire_post_op t ~txn:txn_id ~lsn op;
+      fire_access t ~table:table_name ~key;
       Ok ()
 
 let delete t ~txn:txn_id ~table:table_name ~key =
@@ -554,20 +685,34 @@ let delete t ~txn:txn_id ~table:table_name ~key =
       Log_record.Delete { table = table_name; key; before = record.Record.row }
     in
     let lsn = log_op t txn op in
-    (match Table.delete table ~key with
+    (match Table.delete table ~lsn ~txn:txn_id key with
      | Ok _ -> ()
      | Error `Not_found -> assert false);
     Obs.Counter.incr t.n_ops;
     fire_post_op t ~txn:txn_id ~lsn op;
+    fire_access t ~table:table_name ~key;
     Ok ()
 
 let read t ~txn:txn_id ~table:table_name ~key =
-  let* _txn = check_access t txn_id ~key ~table:table_name in
-  let* table = resolve_table t table_name in
-  let* () = take_lock t txn_id ~table:table_name ~key Compat.S in
-  match Table.find table key with
-  | None -> Ok None
-  | Some record -> Ok (Some record.Record.row)
+  match find_txn t txn_id with
+  | Some ({ snapshot = Some at; _ } as txn) when txn.txn_status = Active ->
+    (* Snapshot read: resolve the visible version without any lock and
+       without the latch/freeze pre-flight - a sync phase blocking
+       lock-based readers is a non-event here. *)
+    if txn.abort_only then Error `Abort_only
+    else
+      let* table = resolve_table t table_name in
+      let row = resolve_visible t ~self:txn_id ~at table key in
+      fire_access t ~table:table_name ~key;
+      Ok row
+  | Some _ | None ->
+    let* _txn = check_access t txn_id ~key ~table:table_name in
+    let* table = resolve_table t table_name in
+    let* () = take_lock t txn_id ~table:table_name ~key Compat.S in
+    fire_access t ~table:table_name ~key;
+    (match Table.find table key with
+     | None -> Ok None
+     | Some record -> Ok (Some record.Record.row))
 
 let read_dirty t ~table:table_name ~key =
   match Catalog.find_opt t.catalog table_name with

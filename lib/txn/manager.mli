@@ -68,7 +68,9 @@ val create : ?log:Log.t -> ?obs:Nbsc_obs.Obs.Registry.t -> Catalog.t -> t
 (** All manager counters ([txn.ops], [txn.commits], [txn.aborts],
     [txn.blocked], [txn.deadlocks], [txn.victims], the [txn.active],
     [wal.records], [wal.segments] and [wal.truncated_total] probes, the
-    [wal.low_water] gauge, and the wait graph's [lock.*] set) register
+    [storage.versions_live] probe and [storage.versions_reclaimed]
+    counter, the [wal.low_water] gauge, and the wait graph's [lock.*]
+    set) register
     in [obs] when given, or in a private registry otherwise. With a trace sink
     attached, the manager also emits [lock.wait], [txn.deadlock],
     [txn.wound], [txn.commit] and [txn.abort] points. *)
@@ -97,8 +99,15 @@ val is_victim : t -> txn_id -> bool
     another transaction deadlocked on. Lets clients distinguish "my
     transaction died under me" from ordinary failures. *)
 
-val begin_txn : t -> txn_id
-(** Ids are strictly increasing — age for wait-die. *)
+type isolation = [ `Read_committed | `Snapshot ]
+
+val begin_txn : ?isolation:isolation -> t -> txn_id
+(** Ids are strictly increasing — age for wait-die. Under [`Snapshot]
+    (default [`Read_committed]) the transaction's reads resolve against
+    the MVCC version chains as of its Begin LSN: no S locks, and
+    latches/freezes — the blocking edges of every synchronization
+    strategy — do not apply to its reads. Its writes still go through
+    ordinary 2PL. *)
 
 val bump_txn_ids : t -> above:txn_id -> unit
 (** Ensure future ids are strictly greater than [above]. A database
@@ -152,7 +161,36 @@ val wal_low_water : t -> Lsn.t
 
 val truncate_wal : t -> Lsn.t
 (** Truncate the log to {!wal_low_water} (freeing whole segments),
-    update the [wal.low_water] gauge, and return the mark. *)
+    update the [wal.low_water] gauge, run {!gc_versions}, and return
+    the mark. *)
+
+(** {2 MVCC} *)
+
+val track_table : t -> Table.t -> unit
+(** Wire the table's version-retention hint ({!Table.set_retain_hint})
+    to this manager's "any snapshot transaction active?" state, so
+    system overwrites on it skip version pushes while no snapshot
+    could resolve them. [create] wires every table already in the
+    catalog; the engine facade calls this for tables created later. *)
+
+val oldest_snapshot : t -> Lsn.t option
+(** The lowest snapshot LSN among active [`Snapshot] transactions. *)
+
+val classify_version : t -> txn:int -> lsn:Lsn.t ->
+  [ `At of Lsn.t | `Dead | `Live ]
+(** Resolve a version stamp: [`At commit_lsn] for committed state
+    (stamp 0 — system writes — commits at its own [lsn]), [`Live] for
+    a still-active writer, [`Dead] for aborted or unknown writers. *)
+
+val gc_versions : t -> int
+(** Reclaim version-chain entries no active snapshot can reach, from
+    every table in the catalog. The horizon is
+    [min (oldest_snapshot, wal_low_water)] — chains stay resolvable at
+    least as far back as the retained WAL. Returns the number of
+    entries reclaimed (also accumulated in the
+    [storage.versions_reclaimed] counter; live entries are visible via
+    the [storage.versions_live] probe). Runs automatically with every
+    {!truncate_wal}. *)
 
 val insert : t -> txn:txn_id -> table:string -> Row.t -> (unit, error) result
 val update : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
@@ -161,7 +199,9 @@ val delete : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
   (unit, error) result
 val read : t -> txn:txn_id -> table:string -> key:Row.Key.t ->
   (Row.t option, error) result
-(** Takes an S lock; [Ok None] if no record has this key. *)
+(** Takes an S lock; [Ok None] if no record has this key. For a
+    [`Snapshot] transaction: lock-free, resolves the committed version
+    visible at the transaction's snapshot LSN (own writes included). *)
 
 val read_dirty : t -> table:string -> key:Row.Key.t -> Row.t option
 (** Lock-free read, for fuzzy scans and the consistency checker. *)
@@ -245,6 +285,16 @@ val set_post_op_hook :
     the trigger mechanism of the Ronström-style comparator (the extra
     work runs inside the user transaction, which is exactly the
     overhead the paper's log-based method avoids). *)
+
+val add_access_hook :
+  t -> id:int -> (table:string -> key:Row.Key.t -> unit) -> unit
+(** Register an access hook under [id] (replacing any hook with the
+    same id). Called synchronously after every {e successful} keyed
+    operation — reads included — with the table and key touched. The
+    lazy-migration machinery uses this to migrate records on first
+    access under the new schema. *)
+
+val remove_access_hook : t -> id:int -> unit
 
 (** Operation counts, for metrics. *)
 module Stats : sig

@@ -46,13 +46,19 @@ let cfg =
     propagate_batch = 5;
     drop_sources = false }
 
+(* The same knobs as an [Options.t] with a non-eager migration
+   strategy, for the lazy/hybrid arms of the matrix. *)
+let opts_of migration =
+  Options.{ (Transform.options_of_config cfg) with strategy = migration }
+
 (* One operator scenario of the matrix. *)
 type op_case = {
   op_name : string;
   op_sources : string list;
   op_targets : string list;
   setup : Persist.t -> unit;  (* create + load sources, checkpoint *)
-  start : Db.t -> unit;       (* kick off the transformation *)
+  start : ?options:Options.t -> Db.t -> unit;
+      (* kick off the transformation *)
   traffic : H.driver -> unit; (* one round of committed user work *)
   oracle : Db.t -> (string * Nbsc_relalg.Relalg.t) list;
       (* target -> expected relation, from the final sources *)
@@ -79,7 +85,8 @@ let foj_case =
           | Ok () -> ()
           | Error e -> Alcotest.failf "load S: %a" Manager.pp_error e);
          checkpoint_ddl p);
-    start = (fun db -> ignore (Transform.foj db ~config:cfg H.foj_spec));
+    start =
+      (fun ?options db -> ignore (Transform.foj db ~config:cfg ?options H.foj_spec));
     traffic =
       (fun d ->
          H.random_r_op d;
@@ -100,9 +107,10 @@ let split_case =
     op_targets = [ "R"; "S" ];
     setup = setup_flat_t;
     start =
-      (fun db ->
+      (fun ?options db ->
          ignore
-           (Transform.split db ~config:cfg (H.split_spec ~assume_consistent:true)));
+           (Transform.split db ~config:cfg ?options
+              (H.split_spec ~assume_consistent:true)));
     traffic = (fun d -> H.random_t_op ~consistent:true d);
     oracle =
       (fun db ->
@@ -129,7 +137,8 @@ let hsplit_case =
     op_sources = [ "T" ];
     op_targets = [ "archive"; "live" ];
     setup = setup_flat_t;
-    start = (fun db -> ignore (Transform.hsplit db ~config:cfg hspec));
+    start =
+      (fun ?options db -> ignore (Transform.hsplit db ~config:cfg ?options hspec));
     traffic = (fun d -> H.random_t_op ~consistent:true d);
     oracle =
       (fun db ->
@@ -184,9 +193,9 @@ let merge_case =
           | Error e -> Alcotest.failf "load B: %a" Manager.pp_error e);
          checkpoint_ddl p);
     start =
-      (fun db ->
+      (fun ?options db ->
          ignore
-           (Transform.merge db ~config:cfg
+           (Transform.merge db ~config:cfg ?options
               { Spec.m_sources = [ "A"; "B" ]; m_target = "AB" }));
     traffic = merge_traffic;
     oracle =
@@ -207,7 +216,7 @@ let all_cases = [ foj_case; split_case; hsplit_case; merge_case ]
    [Fault.Injected] escaping at any point is the simulated crash; the
    caller abandons the database and calls [run_attempt] again. *)
 
-let run_attempt op dir ~window ~attempt ~current_p =
+let run_attempt ?options op dir ~window ~attempt ~current_p =
   let p =
     if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
       ok_p "open" (Persist.open_dir ~dir)
@@ -223,14 +232,14 @@ let run_attempt op dir ~window ~attempt ~current_p =
   Manager.set_group_commit (Db.manager db) window;
   let catalog = Db.catalog db in
   if not (List.for_all (Catalog.mem catalog) op.op_sources) then op.setup p;
-  (match Transform.resume ~config:cfg p with
+  (match Transform.resume ~config:cfg ?options p with
    | Error e -> Alcotest.failf "%s: resume: %s" op.op_name (Nbsc_error.to_string e)
    | Ok [] ->
      (* Nothing pending: either the transformation never made it into
         the durable state (restart it) or it completed and was
         checkpointed (targets restored from the snapshot). *)
      if not (List.for_all (Catalog.mem catalog) op.op_targets) then
-       op.start db
+       op.start ?options db
    | Ok tfs ->
      List.iter
        (fun tf ->
@@ -264,11 +273,11 @@ let run_attempt op dir ~window ~attempt ~current_p =
 
 (* Run a scenario to the end, crashing and reopening on every injected
    fault. Returns the number of crashes survived. *)
-let run_scenario op ~window dir =
+let run_scenario ?options op ~window dir =
   let current_p = ref None in
   let crashes = ref 0 in
   let rec go attempt =
-    match run_attempt op dir ~window ~attempt ~current_p with
+    match run_attempt ?options op dir ~window ~attempt ~current_p with
     | p -> p
     | exception Fault.Injected _ ->
       incr crashes;
@@ -298,28 +307,28 @@ let runtime_sites =
 
 (* Dry run: play the scenario uncrashed with hit tracking on, recording
    how often each site is consulted. *)
-let dry_run op ~window =
+let dry_run ?options op ~window =
   Fault.reset ();
   Fault.set_tracking true;
   let dir = fresh_dir () in
-  let crashes = run_scenario op ~window dir in
+  let crashes = run_scenario ?options op ~window dir in
   Alcotest.(check int) (op.op_name ^ ": dry run crash-free") 0 crashes;
   let counts = List.map (fun s -> (s, Fault.hits s)) runtime_sites in
   Fault.reset ();
   wipe dir;
   counts
 
-let run_armed op ~window ~site ~mode ~after =
+let run_armed ?options op ~window ~site ~mode ~after =
   Fault.reset ();
   let dir = fresh_dir () in
   Fault.arm ~mode ~after site;
-  let crashes = run_scenario op ~window dir in
+  let crashes = run_scenario ?options op ~window dir in
   Fault.reset ();
   wipe dir;
   crashes
 
-let test_matrix op ~window () =
-  let counts = dry_run op ~window in
+let test_matrix ?options op ~window () =
+  let counts = dry_run ?options op ~window in
   List.iter
     (fun (site, n) ->
        Alcotest.(check bool)
@@ -327,7 +336,7 @@ let test_matrix op ~window () =
          true (n > 0);
        (* Crash mid-range: after half the consultations seen uncrashed. *)
        let crashes =
-         run_armed op ~window ~site ~mode:Fault.Crash ~after:(n / 2)
+         run_armed ?options op ~window ~site ~mode:Fault.Crash ~after:(n / 2)
        in
        Alcotest.(check int)
          (Printf.sprintf "%s: crash at %s survived (window %d)" op.op_name
@@ -338,7 +347,8 @@ let test_matrix op ~window () =
      file before the crash; reopen must drop the unterminated tail. *)
   let n = List.assoc "wal_append" counts in
   let crashes =
-    run_armed op ~window ~site:"wal_append" ~mode:Fault.Torn ~after:(n / 2)
+    run_armed ?options op ~window ~site:"wal_append" ~mode:Fault.Torn
+      ~after:(n / 2)
   in
   Alcotest.(check int)
     (op.op_name ^ ": torn wal_append survived")
@@ -540,6 +550,76 @@ let test_populating_crash_restarts () =
   Persist.close p2;
   wipe dir
 
+(* {1 Directed lazy migration: crash mid-sweep, restart, converge}
+
+   A lazy (or hybrid) change interrupted while its background sweep is
+   still visiting cold records — with some records already migrated on
+   demand by user traffic — restarts population from scratch on
+   resume, exactly like an eager one: the sweep is a fuzzy scan and
+   both demand migration and re-population are idempotent. *)
+let test_lazy_crash_mid_sweep migration () =
+  Fault.reset ();
+  let dir = fresh_dir () in
+  let p = ok_p "create" (Persist.create_dir ~dir) in
+  setup_flat_t p;
+  let db = Persist.db p in
+  let options = opts_of migration in
+  let tf =
+    Transform.split db ~options (H.split_spec ~assume_consistent:true)
+  in
+  let d = H.driver ~seed:base_seed db in
+  (* A few sweep quanta with traffic: every committed operation demand-
+     migrates the record it touches. Few enough that even the hybrid
+     sweep (8 of the 60 records per quantum) is still mid-flight. *)
+  for _ = 1 to 4 do
+    ignore (Transform.step tf);
+    H.random_t_op ~consistent:true d
+  done;
+  Alcotest.(check bool) "still populating" true
+    (Transform.phase tf = Transform.Populating);
+  Alcotest.(check bool) "demand migrations happened" true
+    (Transform.demand_migrations tf > 0);
+  ok_p "checkpoint" (Persist.checkpoint p);
+  H.random_t_op ~consistent:true d;
+  let committed_t = Db.snapshot db "T" in
+  Persist.crash p;
+  let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+  let db2 = Persist.db p2 in
+  H.check_relations_equal "T recovered" committed_t (Db.snapshot db2 "T");
+  (match Transform.resume ~options p2 with
+   | Error e -> Alcotest.fail (Nbsc_error.to_string e)
+   | Ok [ tf2 ] ->
+     Alcotest.(check bool) "restarted in population" true
+       (Transform.phase tf2 = Transform.Populating);
+     Alcotest.(check bool) "same strategy after resume" true
+       (Transform.migration tf2 = migration);
+     let d2 = H.driver ~seed:(base_seed + 1) db2 in
+     d2.H.next_r_key <- 2_000_000;
+     let budget = ref 60 in
+     (match
+        Db.run_jobs db2 ~max_rounds:2_000 ~between:(fun () ->
+            if !budget > 0 && Db.jobs db2 <> [] then begin
+              decr budget;
+              H.random_t_op ~consistent:true d2
+            end)
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+   | Ok tfs ->
+     Alcotest.failf "expected one pending job, got %d" (List.length tfs));
+  let want_r, want_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ];
+        s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ];
+        s_key = [ "c" ] }
+      (Db.snapshot db2 "T")
+  in
+  H.check_relations_equal "lazy restarted split R" want_r (Db.snapshot db2 "R");
+  H.check_relations_equal "lazy restarted split S" want_s (Db.snapshot db2 "S");
+  Persist.close p2;
+  wipe dir
+
 (* {1 Directed group commit: acked commits survive a checkpoint crash}
 
    With a group-commit window open, acked commits sit in the sink
@@ -708,9 +788,30 @@ let () =
                      (test_double_crash op ~window) ] ))
             [ 1; 8 ])
        all_cases
+     (* The lazy/hybrid migration arms: the full site sweep again, with
+        the background sweeper standing in for eager population (one
+        group-commit window keeps the runtime bounded). *)
+     @ List.concat_map
+         (fun (label, migration) ->
+            List.map
+              (fun op ->
+                 ( Printf.sprintf "matrix %s %s" op.op_name label,
+                   [ Alcotest.test_case
+                       (Printf.sprintf "sites x %s (%s)" op.op_name label)
+                       `Slow
+                       (test_matrix ~options:(opts_of migration) op ~window:1)
+                   ] ))
+              all_cases)
+         [ ("lazy", Options.Lazy);
+           ("hybrid", Options.Hybrid { sweep_quantum = 8 }) ]
      @ [ ( "directed",
            [ Alcotest.test_case "resume skips population" `Quick
                test_resume_skips_population;
+             Alcotest.test_case "lazy crash mid-sweep restarts" `Quick
+               (test_lazy_crash_mid_sweep Options.Lazy);
+             Alcotest.test_case "hybrid crash mid-sweep restarts" `Quick
+               (test_lazy_crash_mid_sweep
+                  (Options.Hybrid { sweep_quantum = 8 }));
              Alcotest.test_case "populating crash restarts" `Quick
                test_populating_crash_restarts;
              Alcotest.test_case "acked commits survive checkpoint crash"

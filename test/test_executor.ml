@@ -148,7 +148,7 @@ let copy_operator db ~source ~target =
            [ (target, key) ]
          | Some _ ->
            incr applied;
-           ignore (Table.delete tgt_tbl ~key);
+           ignore (Table.delete tgt_tbl ~lsn key);
            [ (target, key) ]
          | None ->
            incr ignored;

@@ -38,7 +38,7 @@ let test_range_basics () =
 let test_maintained_on_mutation () =
   let t = mk_table 10 in
   ignore (Table.update t ~lsn:(Lsn.of_int 99) ~key:(k 1) [ (2, Value.Int 42) ]);
-  ignore (Table.delete t ~key:(k 2));
+  ignore (Table.delete t ~lsn:(Lsn.of_int 100) (k 2));
   let hits = Table.ordered_range t ~index:"by_c" ~lo:(k 42, true) ~hi:(k 42, true) () in
   Alcotest.(check int) "moved to 42" 1 (List.length hits);
   let at2 = Table.ordered_range t ~index:"by_c" ~lo:(k 2, true) ~hi:(k 2, true) () in

@@ -28,12 +28,12 @@ let test_insert_find_delete () =
      Alcotest.(check bool) "row" true (Row.equal r.Record.row (row 1 "x" 7));
      Alcotest.(check int) "lsn" 1 (Lsn.to_int r.Record.lsn)
    | None -> Alcotest.fail "missing");
-  (match Table.delete t ~key:(key 1) with
+  (match Table.delete t ~lsn:(lsn 2) (key 1) with
    | Ok r -> Alcotest.(check bool) "deleted row" true (Row.equal r.Record.row (row 1 "x" 7))
    | Error `Not_found -> Alcotest.fail "delete failed");
   Alcotest.(check bool) "gone" true (Table.find t (key 1) = None);
   Alcotest.(check bool) "delete missing" true
-    (Table.delete t ~key:(key 1) = Error `Not_found)
+    (Table.delete t ~lsn:(lsn 3) (key 1) = Error `Not_found)
 
 let test_update () =
   let t = mk () in
@@ -75,7 +75,7 @@ let test_index_maintenance () =
   Alcotest.(check bool) "moved into 8" true
     (sorted (Table.index_lookup t ~index:"by_c" (c 8)) = [ key 1; key 3 ]);
   (* Delete removes from the index. *)
-  ignore (Table.delete t ~key:(key 3));
+  ignore (Table.delete t ~lsn:(lsn 9) (key 3));
   Alcotest.(check bool) "delete removes" true
     (Table.index_lookup t ~index:"by_c" (c 8) = [ key 1 ]);
   Alcotest.check_raises "unknown index" Not_found (fun () ->
@@ -146,9 +146,9 @@ let test_fuzzy_cursor_concurrent_mutations () =
   (* Delete a not-yet-scanned record, insert a new one, re-insert a
      scanned one after deleting it (the re-insert must NOT be reported
      twice). *)
-  ignore (Table.delete t ~key:(key 40));
+  ignore (Table.delete t ~lsn:(lsn 90) (key 40));
   ignore (Table.insert t ~lsn:(lsn 51) (row 51 "new" 51));
-  ignore (Table.delete t ~key:(key 5));
+  ignore (Table.delete t ~lsn:(lsn 91) (key 5));
   ignore (Table.insert t ~lsn:(lsn 52) (row 5 "again" 5));
   let rest = ref [] in
   let continue = ref true in
@@ -181,7 +181,7 @@ let test_arrival_compaction_under_churn () =
   done;
   for round = 1 to 40 do
     for i = 1 to n do
-      ignore (Table.delete t ~key:(key i));
+      ignore (Table.delete t ~lsn:(lsn (100 + i)) (key i));
       ignore (Table.insert t ~lsn:(lsn ((round * n) + i)) (row i "x" i))
     done
   done;
@@ -215,7 +215,7 @@ let test_live_cursor_blocks_compaction () =
      cursor's position indexes into the array). *)
   for round = 1 to 2 do
     for i = 1 to n do
-      ignore (Table.delete t ~key:(key i));
+      ignore (Table.delete t ~lsn:(lsn (100 + i)) (key i));
       ignore (Table.insert t ~lsn:(lsn ((round * n) + i)) (row i "x" i))
     done
   done;
@@ -231,7 +231,7 @@ let test_live_cursor_blocks_compaction () =
   Table.Fuzzy_cursor.close c;
   Table.Fuzzy_cursor.close c;  (* idempotent *)
   (* With the cursor closed the next mutation compacts. *)
-  ignore (Table.delete t ~key:(key 1));
+  ignore (Table.delete t ~lsn:(lsn 99) (key 1));
   Alcotest.(check bool)
     (Printf.sprintf "compacted after close (len %d)" (Table.arrival_length t))
     true
@@ -275,7 +275,7 @@ let prop_index_agrees_with_heap =
             | 0 -> ignore (Table.insert t ~lsn:(lsn !l) (row a "b" c))
             | 1 ->
               ignore (Table.update t ~lsn:(lsn !l) ~key:(key a) [ (2, Value.Int c) ])
-            | _ -> ignore (Table.delete t ~key:(key a)))
+            | _ -> ignore (Table.delete t ~lsn:(lsn 1000) (key a)))
          ops;
        (* Check every c value in 0..5. *)
        List.for_all
