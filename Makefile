@@ -1,4 +1,4 @@
-.PHONY: all build test check crash contention scrub bench-engine bench-shard bench-migrate fmt clean
+.PHONY: all build test check crash contention scrub bench-engine bench-shard bench-migrate bench-compare fmt clean
 
 all: build
 
@@ -60,6 +60,17 @@ bench-shard:
 bench-migrate:
 	dune exec bench/main.exe -- migrate --out BENCH_migrate.json \
 		--gate ci/bench_migrate_baseline.json
+
+# Competitor-strategy bench: the paper's log-redo method vs the
+# DBLog-style virtual-cut populator vs the shadow-table baseline, all
+# running the same FOJ change under the same live workload; writes
+# BENCH_compare.json (throughput impact, catch-up lag, WAL high-water,
+# crash-resume cost) and gates the paper run's workload throughput
+# against the committed baseline. Exits non-zero if any strategy
+# diverges from its relational oracle.
+bench-compare:
+	dune exec bench/main.exe -- compare --out BENCH_compare.json \
+		--gate ci/bench_compare_baseline.json
 
 # Reformat in place (requires ocamlformat).
 fmt:

@@ -5,8 +5,8 @@
 
    Usage: main.exe [target ...] [--trace FILE] [--out FILE] [--gate FILE]
      targets: fig1 fig2 fig3 fig4a fig4b fig4c fig4d foj sync methods
-              ablate deadlock wal engine shard migrate micro trace all
-              quick
+              ablate deadlock wal engine shard migrate compare micro
+              trace all quick
    The wal target measures the segmented log (append throughput under
    truncation, bounded-memory soak) and writes its JSON to [--out]
    when given. The engine target runs the end-to-end mixed workload
@@ -1365,6 +1365,416 @@ let migrate_bench ~quick ~out ~gate =
        end
        else say "gate: ok")
 
+(* {1 Competitor-strategy comparison}
+
+   The same FOJ change run by three implementations head-to-head: the
+   paper's log-redo method (eager, fuzzy scan), the same executor with
+   the DBLog-style virtual-cut populator (watermark-bracketed chunks),
+   and the classical shadow-table method (audit-log trigger plus a
+   latched chunked backfill with an atomic cutover). All three face the
+   identical single-operation workload — locked updates, locked reads,
+   snapshot reads, one transaction per quantum — and each final target
+   must equal the relational FOJ oracle over its own final sources
+   (divergence exits non-zero). Reported per strategy: workload
+   throughput and refusals (the shadow latches show up here), peak
+   catch-up lag (propagator lag, resp. audit-log depth), the WAL
+   record high-water, and the quanta a crash-and-resume costs (the
+   paper method resumes from its checkpointed position; the shadow
+   method starts over — that asymmetry is the point). Writes
+   BENCH_compare.json via [--out]; [--gate FILE] compares the paper
+   run's workload throughput against a committed baseline and fails on
+   a >30% regression. *)
+
+type compare_run = {
+  cr_label : string;
+  cr_quanta : int;
+  cr_total_s : float;
+  cr_txns : int;
+  cr_refused : int;
+  cr_txn_per_s : float;
+  cr_lag_peak : int;
+  cr_wal_high_water : int;
+  cr_resume_quanta : int;
+}
+
+let compare_bench ~quick ~out ~gate =
+  header "Competitor strategies: paper vs shadow-table vs virtual-cut (FOJ)";
+  let module Db = Nbsc_engine.Db in
+  let module Manager = Nbsc_txn.Manager in
+  let module Log = Nbsc_wal.Log in
+  let module Persist = Nbsc_engine.Persist in
+  let module Shadow = Nbsc_baseline.Shadow_table in
+  let scale = if quick then 1_500 else 8_000 in
+  let r_schema =
+    Schema.make ~key:[ "a" ]
+      [ Schema.column ~nullable:false "a" Value.TInt;
+        Schema.column "b" Value.TText; Schema.column "c" Value.TInt ]
+  in
+  let s_schema =
+    Schema.make ~key:[ "c" ]
+      [ Schema.column ~nullable:false "c" Value.TInt;
+        Schema.column "d" Value.TText ]
+  in
+  let spec =
+    { Spec.r_table = "R"; s_table = "S"; t_table = "T";
+      join_r = [ "c" ]; join_s = [ "c" ]; t_join = [ "c" ];
+      r_carry = [ "a"; "b" ]; s_carry = [ "d" ]; many_to_many = false }
+  in
+  let load db table rows =
+    match Db.load db ~table rows with
+    | Ok () -> ()
+    | Error e ->
+      failwith (Format.asprintf "load %s: %a" table Manager.pp_error e)
+  in
+  let seed_sources ?(n = scale) db =
+    let ns = n * 2 / 5 in
+    ignore (Db.create_table db ~name:"R" r_schema);
+    ignore (Db.create_table db ~name:"S" s_schema);
+    let rec chunked lo hi step f =
+      if lo <= hi then begin
+        f lo (min hi (lo + step - 1));
+        chunked (lo + step) hi step f
+      end
+    in
+    chunked 1 n 2048 (fun lo hi ->
+        load db "R"
+          (List.init (hi - lo + 1) (fun i ->
+               let k = lo + i in
+               Row.make
+                 [ Value.Int k; Value.Text ("r" ^ string_of_int k);
+                   Value.Int ((k mod ns) + 1) ])));
+    chunked 1 ns 2048 (fun lo hi ->
+        load db "S"
+          (List.init (hi - lo + 1) (fun i ->
+               let k = lo + i in
+               Row.make [ Value.Int k; Value.Text ("s" ^ string_of_int k) ])))
+  in
+  let options =
+    Options.{ default with scan_batch = 256; propagate_batch = 256;
+              drop_sources = false }
+  in
+  let vc_options = { options with Options.population = Options.Virtual_cut } in
+  let oracle_check label db =
+    let oracle =
+      Nbsc_relalg.Relalg.full_outer_join
+        { Nbsc_relalg.Relalg.r_join = [ "c" ]; s_join = [ "c" ];
+          out_join = [ "c" ]; r_cols = [ "a"; "b" ]; s_cols = [ "d" ];
+          out_key = [ "a" ] }
+        (Db.snapshot db "R") (Db.snapshot db "S")
+    in
+    if not (Nbsc_relalg.Relalg.equal_as_sets oracle (Db.snapshot db "T"))
+    then begin
+      say "compare bench: %s diverged from the FOJ oracle" label;
+      exit 1
+    end
+  in
+  (* The shared workload-under-change loop: [step] advances the change
+     one quantum (true = done), [lag] is the strategy's catch-up gauge
+     (propagator lag, resp. audit-log depth). *)
+  let run_loop label db ~step ~lag =
+    let mgr = Db.manager db in
+    let log = Manager.log mgr in
+    let rng = Random.State.make [| 11 |] in
+    let txns = ref 0 and refused = ref 0 in
+    let run_txn () =
+      let k = Row.make [ Value.Int (1 + Random.State.int rng scale) ] in
+      let res =
+        match Random.State.int rng 100 with
+        | d when d < 40 ->
+          Db.with_txn db (fun txn ->
+              Manager.update mgr ~txn ~table:"R" ~key:k
+                [ (1, Value.Text ("u" ^ string_of_int d)) ])
+        | d when d < 70 ->
+          Db.with_txn db (fun txn ->
+              match Manager.read mgr ~txn ~table:"R" ~key:k with
+              | Ok _ -> Ok ()
+              | Error e -> Error e)
+        | _ ->
+          Db.with_txn ~isolation:`Snapshot db (fun txn ->
+              match Manager.read mgr ~txn ~table:"R" ~key:k with
+              | Ok _ -> Ok ()
+              | Error e -> Error e)
+      in
+      match res with Ok () -> incr txns | Error _ -> incr refused
+    in
+    let quanta = ref 0 and lag_peak = ref 0 and wal_hw = ref 0 in
+    let finished = ref false in
+    let t0 = Unix.gettimeofday () in
+    while not !finished do
+      finished := step ();
+      incr quanta;
+      lag_peak := max !lag_peak (lag ());
+      wal_hw := max !wal_hw (Log.live_high_water log);
+      (* Ten workload transactions per quantum: enough samples that the
+         throughput (and the shadow method's latch refusals) are
+         measured, not timer noise. *)
+      if not !finished then
+        for _ = 1 to 10 do run_txn () done;
+      if !quanta > scale * 30 then
+        failwith ("compare bench: " ^ label ^ " did not converge")
+    done;
+    let total_s = Unix.gettimeofday () -. t0 in
+    (!quanta, total_s, !txns, !refused, !lag_peak, !wal_hw)
+  in
+  (* Crash-resume cost, measured on a small persisted instance: drive
+     the change past its population, checkpoint, crash mid-flight, and
+     count the quanta the reopened database needs to converge. The
+     paper-framework strategies resume from the checkpointed propagator
+     position; the shadow method has no durable job state — its
+     partial targets are dropped and the whole backfill repeats. *)
+  let mini = if quick then 400 else 1_000 in
+  let mini_options population =
+    { options with Options.scan_batch = 32; propagate_batch = 32; population }
+  in
+  let fresh_dir label =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "nbsc_compare_%d_%s" (Unix.getpid ()) label)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+    else Unix.mkdir dir 0o755;
+    dir
+  in
+  let wipe dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    end
+  in
+  let ok_p what = function
+    | Ok v -> v
+    | Error e -> failwith (Format.asprintf "%s: %a" what Persist.pp_error e)
+  in
+  let mini_traffic db rng =
+    let mgr = Db.manager db in
+    let k = Row.make [ Value.Int (1 + Random.State.int rng mini) ] in
+    ignore
+      (Db.with_txn db (fun txn ->
+           Manager.update mgr ~txn ~table:"R" ~key:k
+             [ (1, Value.Text "crashy") ]))
+  in
+  let resume_quanta_paper label population =
+    let dir = fresh_dir label in
+    let p = ok_p "create" (Persist.create_dir ~dir) in
+    let db = Persist.db p in
+    seed_sources ~n:mini db;
+    ok_p "checkpoint" (Persist.checkpoint p);
+    let opts = mini_options population in
+    let tf = Transform.foj db ~options:opts spec in
+    let rng = Random.State.make [| 23 |] in
+    (* Past the population, so the checkpoint can cover a resume. *)
+    while Transform.phase tf = Transform.Populating do
+      (match Transform.step tf with
+       | `Running | `Done -> ()
+       | `Failed m -> failwith ("compare bench: " ^ m));
+      mini_traffic db rng
+    done;
+    ok_p "checkpoint" (Persist.checkpoint p);
+    for _ = 1 to 8 do
+      ignore (Transform.step tf);
+      mini_traffic db rng
+    done;
+    Persist.crash p;
+    let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+    let db2 = Persist.db p2 in
+    let tf2 =
+      match Transform.resume ~options:opts p2 with
+      | Ok [ tf2 ] -> tf2
+      | Ok l -> failwith (Printf.sprintf "resume: %d jobs" (List.length l))
+      | Error e -> failwith ("resume: " ^ Nbsc_error.to_string e)
+    in
+    let quanta = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      (match Transform.step tf2 with
+       | `Running -> ()
+       | `Done -> finished := true
+       | `Failed m -> failwith ("compare bench: resumed: " ^ m));
+      incr quanta;
+      if !quanta > mini * 30 then failwith "compare bench: resume stuck"
+    done;
+    oracle_check (label ^ " (resumed)") db2;
+    Persist.close p2;
+    wipe dir;
+    !quanta
+  in
+  let resume_quanta_shadow () =
+    let dir = fresh_dir "shadow" in
+    let p = ok_p "create" (Persist.create_dir ~dir) in
+    let db = Persist.db p in
+    seed_sources ~n:mini db;
+    ok_p "checkpoint" (Persist.checkpoint p);
+    let sh =
+      Shadow.create db ~drop_sources:false ~chunk:32
+        (Transformation.foj ~options:(mini_options Options.Fuzzy) db spec)
+    in
+    let rng = Random.State.make [| 23 |] in
+    (* Crash roughly mid-backfill. *)
+    while Shadow.backfilled sh < mini / 2 do
+      ignore (Shadow.step sh ~limit:32);
+      mini_traffic db rng
+    done;
+    ok_p "checkpoint" (Persist.checkpoint p);
+    Persist.crash p;
+    let p2 = ok_p "reopen" (Persist.open_dir ~dir) in
+    let db2 = Persist.db p2 in
+    (* No durable job state: drop the half-built target, start over. *)
+    let catalog = Db.catalog db2 in
+    if Nbsc_storage.Catalog.mem catalog "T" then
+      Nbsc_storage.Catalog.drop catalog "T";
+    let sh2 =
+      Shadow.create db2 ~drop_sources:false ~chunk:32
+        (Transformation.foj ~options:(mini_options Options.Fuzzy) db2 spec)
+    in
+    let quanta = ref 0 in
+    while not (Shadow.step sh2 ~limit:32) do
+      incr quanta;
+      if !quanta > mini * 30 then failwith "compare bench: shadow stuck"
+    done;
+    oracle_check "shadow (restarted)" db2;
+    Persist.close p2;
+    wipe dir;
+    !quanta
+  in
+  let run_paper label options =
+    let db = Db.create () in
+    seed_sources db;
+    let tf = Transform.foj db ~options spec in
+    let step () =
+      match Transform.step tf with
+      | `Running -> false
+      | `Done -> true
+      | `Failed m -> failwith ("compare bench: " ^ label ^ ": " ^ m)
+    in
+    let lag () = (Transform.progress tf).Transform.lag in
+    let quanta, total_s, txns, refused, lag_peak, wal_hw =
+      run_loop label db ~step ~lag
+    in
+    oracle_check label db;
+    let resume =
+      resume_quanta_paper label options.Options.population
+    in
+    { cr_label = label; cr_quanta = quanta; cr_total_s = total_s;
+      cr_txns = txns; cr_refused = refused;
+      cr_txn_per_s =
+        (if total_s > 0. then float_of_int txns /. total_s else 0.);
+      cr_lag_peak = lag_peak; cr_wal_high_water = wal_hw;
+      cr_resume_quanta = resume }
+  in
+  let run_shadow () =
+    let db = Db.create () in
+    seed_sources db;
+    let sh =
+      Shadow.create db ~drop_sources:false ~chunk:256
+        (Transformation.foj ~options db spec)
+    in
+    let step () = Shadow.step sh ~limit:256 in
+    let lag () = Shadow.audit_pending sh in
+    let quanta, total_s, txns, refused, lag_peak, wal_hw =
+      run_loop "shadow" db ~step ~lag
+    in
+    oracle_check "shadow" db;
+    say
+      "shadow: %d writes captured, %d replayed, %d latched windows"
+      (Shadow.captured sh) (Shadow.replayed sh) (Shadow.latched_windows sh);
+    { cr_label = "shadow"; cr_quanta = quanta; cr_total_s = total_s;
+      cr_txns = txns; cr_refused = refused;
+      cr_txn_per_s =
+        (if total_s > 0. then float_of_int txns /. total_s else 0.);
+      cr_lag_peak = lag_peak; cr_wal_high_water = wal_hw;
+      cr_resume_quanta = resume_quanta_shadow () }
+  in
+  let runs =
+    [ run_paper "paper" options;
+      run_paper "virtual-cut" vc_options;
+      run_shadow () ]
+  in
+  List.iter
+    (fun r ->
+       say
+         "%-12s %6d quanta, %.3fs, %d txns (%.0f txn/s, %d refused), \
+          lag peak %d, wal high-water %d, crash-resume %d quanta"
+         r.cr_label r.cr_quanta r.cr_total_s r.cr_txns r.cr_txn_per_s
+         r.cr_refused r.cr_lag_peak r.cr_wal_high_water r.cr_resume_quanta)
+    runs;
+  say "all strategies converged to their FOJ oracle";
+  let find l = List.find (fun r -> String.equal r.cr_label l) runs in
+  let paper = find "paper" in
+  let shadow = find "shadow" in
+  let vc = find "virtual-cut" in
+  let ratio a b = if b > 0. then a /. b else 0. in
+  let run_json r =
+    Json.Obj
+      [ ("strategy", Json.String r.cr_label);
+        ("quanta", Json.Int r.cr_quanta);
+        ("total_s", Json.Float r.cr_total_s);
+        ("txns", Json.Int r.cr_txns);
+        ("refused", Json.Int r.cr_refused);
+        ("txn_per_s", Json.Float r.cr_txn_per_s);
+        ("catchup_lag_peak", Json.Int r.cr_lag_peak);
+        ("wal_high_water", Json.Int r.cr_wal_high_water);
+        ("crash_resume_quanta", Json.Int r.cr_resume_quanta) ]
+  in
+  let json =
+    Json.Obj
+      [ ("bench", Json.String "compare");
+        ("quick", Json.Bool quick);
+        ("scale", Json.Int scale);
+        ("runs", Json.List (List.map run_json runs));
+        ("paper_txn_per_s", Json.Float paper.cr_txn_per_s);
+        ("shadow_vs_paper_txn", Json.Float (ratio shadow.cr_txn_per_s paper.cr_txn_per_s));
+        ("vc_vs_paper_txn", Json.Float (ratio vc.cr_txn_per_s paper.cr_txn_per_s));
+        ( "shadow_vs_paper_resume",
+          Json.Float
+            (ratio
+               (float_of_int shadow.cr_resume_quanta)
+               (float_of_int paper.cr_resume_quanta)) ) ]
+  in
+  (match out with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Json.to_string json);
+     output_char oc '\n';
+     close_out oc;
+     say "results written to %s" path
+   | None -> say "%s" (Json.to_string json));
+  match gate with
+  | None -> ()
+  | Some path ->
+    let contents =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    (match Json.of_string (String.trim contents) with
+     | Error m -> failwith (Printf.sprintf "gate %s: bad JSON: %s" path m)
+     | Ok j ->
+       let committed =
+         match
+           Json.member "paper_txn_per_s" j
+           |> Option.map (fun v -> Json.to_float v)
+         with
+         | Some (Some f) -> f
+         | _ -> failwith (Printf.sprintf "gate %s: no paper_txn_per_s" path)
+       in
+       let floor = 0.7 *. committed in
+       say "gate: fresh %.0f txn/s vs committed %.0f txn/s (floor %.0f)"
+         paper.cr_txn_per_s committed floor;
+       if paper.cr_txn_per_s < floor then begin
+         say
+           "gate: FAIL - >30%% paper-strategy workload-throughput \
+            regression";
+         exit 1
+       end
+       else say "gate: ok")
+
 (* {1 Driver} *)
 
 let () =
@@ -1437,6 +1847,7 @@ let () =
       ~trace:(if List.mem "engine" targets then trace_out else None);
   if wants "shard" then shard_bench ~quick ~out:json_out ~gate:gate_file;
   if wants "migrate" then migrate_bench ~quick ~out:json_out ~gate:gate_file;
+  if wants "compare" then compare_bench ~quick ~out:json_out ~gate:gate_file;
   if List.mem "trace" targets then trace_bench ~quick ~out:trace_out;
   if wants "micro" then micro ();
   say "";

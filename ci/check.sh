@@ -143,6 +143,40 @@ for key in '"bench":"migrate"' '"eager"' '"lazy"' '"hybrid"' \
   }
 done
 
+# Competitor-strategy bench (full scale — it is cheap): the paper's
+# log-redo method, the DBLog-style virtual-cut populator, and the
+# shadow-table baseline run the same FOJ change under the same live
+# workload. The bench itself exits non-zero if any strategy's target
+# diverges from its relational FOJ oracle (crash-resume mini-runs
+# included), and the gate holds the paper run's workload throughput
+# within 30% of the committed baseline. The measured window is tens of
+# milliseconds, so the rate is noisy on a loaded host: best of three.
+echo "== bench compare smoke + oracle equality + regression gate =="
+compare_out=$(mktemp /tmp/nbsc_bench_compare.XXXXXX.json)
+trap 'rm -f "$trace_out" "$wal_out" "$engine_out" "$shard_out" "$migrate_out" "$compare_out"' EXIT
+compare_ok=0
+for attempt in 1 2 3; do
+  if dune exec bench/main.exe -- compare --out "$compare_out" \
+    --gate ci/bench_compare_baseline.json >/dev/null; then
+    compare_ok=1
+    break
+  fi
+  echo "bench compare gate: attempt $attempt failed, retrying"
+done
+if [ "$compare_ok" != 1 ]; then
+  echo "bench compare gate failed on all attempts" >&2
+  exit 1
+fi
+test -s "$compare_out"
+for key in '"bench":"compare"' '"paper"' '"virtual-cut"' '"shadow"' \
+  '"catchup_lag_peak"' '"wal_high_water"' '"crash_resume_quanta"' \
+  '"paper_txn_per_s"' '"shadow_vs_paper_resume"'; do
+  grep -q "$key" "$compare_out" || {
+    echo "bench compare JSON missing $key" >&2
+    exit 1
+  }
+done
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== ocamlformat check =="
   dune build @fmt

@@ -1,11 +1,13 @@
 open Nbsc_storage
 open Nbsc_txn
+open Nbsc_engine
 open Nbsc_core
 
 type engine = E_foj of Foj.t | E_split of Split.t
 
 type t = {
   mgr : Manager.t;
+  id : int;  (* post-op hook registry id — removal must be ours only *)
   engine : engine;
   mutable triggered : int;
   mutable last : int;
@@ -16,24 +18,25 @@ let applied = function
   | E_split sp -> (Split.stats sp).Split.applied + (Split.stats sp).Split.ignored
 
 let install t =
-  Manager.set_post_op_hook t.mgr
-    (Some
-       (fun ~txn:_ ~lsn op ->
-          let before = applied t.engine in
-          (match t.engine with
-           | E_foj fj -> ignore (Foj.apply fj ~lsn op)
-           | E_split sp -> ignore (Split.apply sp ~lsn op));
-          t.last <- applied t.engine - before;
-          t.triggered <- t.triggered + t.last))
+  Manager.add_post_op_hook t.mgr ~id:t.id (fun ~txn:_ ~lsn op ->
+      let before = applied t.engine in
+      (match t.engine with
+       | E_foj fj -> ignore (Foj.apply fj ~lsn op)
+       | E_split sp -> ignore (Split.apply sp ~lsn op));
+      t.last <- applied t.engine - before;
+      t.triggered <- t.triggered + t.last)
 
-(* Populate the target synchronously — Ronström interleaves a scan with
-   the triggers; the bench only studies the steady-state trigger
-   overhead, so the initial copy is done in one (conceptually latched)
-   sweep. *)
+(* Populate the target in bounded chunks, consulting the standard
+   quantum fault-injection site between chunks — Ronström's scan is
+   conceptually latched, but its copy loop crashes at the same points
+   the framework's population does, so the crash matrix can arm it. *)
 let populate pop =
-  while not (Population.step pop ~limit:max_int) do
-    ()
-  done
+  let rec go () =
+    let finished = Population.step pop ~limit:256 in
+    Fault.hit "quantum_end";
+    if not finished then go ()
+  in
+  go ()
 
 let install_foj db spec =
   let catalog = Db.catalog db in
@@ -47,7 +50,11 @@ let install_foj db spec =
   let s_tbl = Catalog.find catalog spec.Spec.s_table in
   populate (Population.foj fj ~r_tbl ~s_tbl);
   let t =
-    { mgr = Db.manager db; engine = E_foj fj; triggered = 0; last = 0 }
+    { mgr = Db.manager db;
+      id = Db.fresh_holder db;
+      engine = E_foj fj;
+      triggered = 0;
+      last = 0 }
   in
   install t;
   t
@@ -66,11 +73,15 @@ let install_split db spec =
   let sp = Split.create catalog layout in
   populate (Population.split sp ~t_tbl);
   let t =
-    { mgr = Db.manager db; engine = E_split sp; triggered = 0; last = 0 }
+    { mgr = Db.manager db;
+      id = Db.fresh_holder db;
+      engine = E_split sp;
+      triggered = 0;
+      last = 0 }
   in
   install t;
   t
 
-let uninstall t = Manager.set_post_op_hook t.mgr None
+let uninstall t = Manager.remove_post_op_hook t.mgr ~id:t.id
 let triggered_ops t = t.triggered
 let last_op_work t = t.last

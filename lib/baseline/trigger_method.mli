@@ -24,7 +24,10 @@ val install_foj : Db.t -> Spec.foj -> t
 val install_split : Db.t -> Spec.split -> t
 
 val uninstall : t -> unit
-(** Remove the hook (the transformed tables stay). *)
+(** Remove this installation's hook — and only this one: hooks live in
+    an id-keyed registry, so two concurrently installed trigger methods
+    (or a trigger method next to a shadow-table audit log) do not
+    clobber each other. The transformed tables stay. *)
 
 val triggered_ops : t -> int
 (** Rule applications performed inside user transactions so far. *)

@@ -2,12 +2,15 @@ type sync = Blocking_commit | Nonblocking_abort | Nonblocking_commit
 
 type migration = Eager | Lazy | Hybrid of { sweep_quantum : int }
 
+type population = Fuzzy | Virtual_cut
+
 type t = {
   scan_batch : int;
   propagate_batch : int;
   analysis : Analysis.policy;
   sync : sync;
   strategy : migration;
+  population : population;
   drop_sources : bool;
   sync_gate : unit -> bool;
   pace : Governor.t option;
@@ -21,11 +24,38 @@ let default =
     analysis = Analysis.default;
     sync = Nonblocking_abort;
     strategy = Eager;
+    population = Fuzzy;
     drop_sources = true;
     sync_gate = (fun () -> true);
     pace = None;
     plan_mode = None;
     exec = None }
+
+(* Field validation. String parsers reject bad values at the parse
+   boundary, but options records are also built programmatically
+   (record update syntax bypasses every parser), so the engine
+   re-validates at [Transform.create] via [check]. *)
+let validate t =
+  if t.scan_batch < 1 then
+    Error
+      (`Invalid
+        (Printf.sprintf "scan_batch must be >= 1 (got %d)" t.scan_batch))
+  else if t.propagate_batch < 1 then
+    Error
+      (`Invalid
+        (Printf.sprintf "propagate_batch must be >= 1 (got %d)"
+           t.propagate_batch))
+  else
+    match t.strategy with
+    | Hybrid { sweep_quantum } when sweep_quantum < 1 ->
+      Error
+        (`Invalid
+          (Printf.sprintf "hybrid sweep_quantum must be >= 1 (got %d)"
+             sweep_quantum))
+    | Eager | Lazy | Hybrid _ -> Ok t
+
+let check t =
+  match validate t with Ok t -> t | Error e -> Nbsc_error.fail e
 
 let migration_of_string = function
   | "eager" -> Some Eager
@@ -60,3 +90,14 @@ let sync_of_string = function
   | _ -> None
 
 let pp_sync ppf s = Format.pp_print_string ppf (sync_to_string s)
+
+let population_of_string = function
+  | "fuzzy" -> Some Fuzzy
+  | "virtual-cut" | "virtual_cut" | "vc" -> Some Virtual_cut
+  | _ -> None
+
+let population_to_string = function
+  | Fuzzy -> "fuzzy"
+  | Virtual_cut -> "virtual-cut"
+
+let pp_population ppf p = Format.pp_print_string ppf (population_to_string p)

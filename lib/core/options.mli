@@ -33,6 +33,22 @@ type sync = Blocking_commit | Nonblocking_abort | Nonblocking_commit
 
 type migration = Eager | Lazy | Hybrid of { sweep_quantum : int }
 
+(** How the eager population scan handles writes concurrent with a
+    chunk in flight:
+
+    - [Fuzzy]: the paper's fuzzy scan (Sec. 3.2) — scanned images may
+      be stale; log propagation re-applies every concurrent write and
+      the LSN gates sort it out.
+    - [Virtual_cut]: DBLog-style watermark chunks — each chunk scan is
+      bracketed by low/high {!Nbsc_wal.Log_record.Watermark} records;
+      chunk rows superseded by log records between the watermarks are
+      discarded and re-read at their current state, so the populated
+      image is consistent per chunk without ever locking the scan.
+
+    Only meaningful under [strategy = Eager]; the lazy strategies
+    migrate on demand and have no bulk scan to bracket. *)
+type population = Fuzzy | Virtual_cut
+
 type t = {
   scan_batch : int;       (** source records per eager population quantum *)
   propagate_batch : int;  (** log records per propagation quantum *)
@@ -40,6 +56,8 @@ type t = {
       (** when to attempt synchronization (paper, Sec. 3.3) *)
   sync : sync;            (** switch-over synchronization strategy *)
   strategy : migration;   (** initial-image migration strategy *)
+  population : population;
+      (** eager population scan discipline (fuzzy vs virtual cut) *)
   drop_sources : bool;    (** drop source tables when done *)
   sync_gate : unit -> bool;
       (** consulted before entering synchronization; return [false] to
@@ -57,10 +75,21 @@ type t = {
 val default : t
 (** [{ scan_batch = 256; propagate_batch = 256;
       analysis = Analysis.default; sync = Nonblocking_abort;
-      strategy = Eager; drop_sources = true;
+      strategy = Eager; population = Fuzzy; drop_sources = true;
       sync_gate = (fun () -> true); pace = None; plan_mode = None;
       exec = None }] — byte-identical behaviour to the legacy
     [Transform.default_config]. *)
+
+val validate : t -> (t, Nbsc_error.t) result
+(** Reject records whose numeric knobs cannot drive the quantum loop:
+    [scan_batch] and [propagate_batch] must be at least 1, and a
+    [Hybrid] sweep quantum must be at least 1. String parsers catch
+    these at the parse boundary, but options records built with record
+    update syntax bypass the parsers, so {!Transform.create} calls
+    this on every construction path. *)
+
+val check : t -> t
+(** [validate], raising {!Nbsc_error.Error} on rejection. *)
 
 val migration_of_string : string -> migration option
 (** ["eager"], ["lazy"], ["hybrid"] (sweep quantum 32) or ["hybrid:N"]. *)
@@ -71,3 +100,9 @@ val pp_migration : Format.formatter -> migration -> unit
 val sync_of_string : string -> sync option
 val sync_to_string : sync -> string
 val pp_sync : Format.formatter -> sync -> unit
+
+val population_of_string : string -> population option
+(** ["fuzzy"], ["virtual-cut"] (also ["virtual_cut"], ["vc"]). *)
+
+val population_to_string : population -> string
+val pp_population : Format.formatter -> population -> unit

@@ -174,7 +174,8 @@ let handle_record t (r : Log_record.t) =
      | Some cc -> Consistency.on_cc_ok cc ~lsn:r.Log_record.lsn key image
      | None -> ())
   | Log_record.Begin | Log_record.Abort_begin | Log_record.Fuzzy_mark _
-  | Log_record.Checkpoint _ | Log_record.Job_state _ | Log_record.Job_done _ ->
+  | Log_record.Checkpoint _ | Log_record.Job_state _ | Log_record.Job_done _
+  | Log_record.Watermark _ ->
     ()
 
 (* Which shard a record belongs to: operations route by the source

@@ -587,11 +587,24 @@ type resume_info = {
 }
 
 let create db ?config ?options ?resume ?job_name ?exec packed =
+  (* The funnel for every construction path (builders, resume, bench,
+     Db.Schema_change) — validate here and no programmatically-built
+     record with a zero batch or sweep quantum can wedge the quantum
+     loop. [check] raises a clear [Nbsc_error] on rejection. *)
+  (match options with Some o -> ignore (Options.check o) | None -> ());
   let config =
     match (options, config) with
     | Some o, _ -> config_of_options o
     | None, Some c -> c
     | None, None -> default_config
+  in
+  let config =
+    if config.scan_batch < 1 || config.propagate_batch < 1 then
+      Nbsc_error.fail
+        (Nbsc_error.invalidf
+           "config batches must be >= 1 (scan %d, propagate %d)"
+           config.scan_batch config.propagate_batch)
+    else config
   in
   let migration =
     match options with Some o -> o.Options.strategy | None -> Options.Eager

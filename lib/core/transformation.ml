@@ -105,6 +105,37 @@ let lazy_migration options =
   | Some o -> o.Options.strategy <> Options.Eager
   | None -> false
 
+(* {1 Virtual-cut population}
+
+   [Options.population = Virtual_cut] swaps the operator-specialized
+   fuzzy population for the DBLog-style watermark populator
+   ({!Virtual_cut}), which routes every chunk row through the
+   propagation rules — the same uniform path as the lazy demand scan,
+   so it too works for every operator with no per-operator code. Only
+   meaningful under [Eager]; lazy strategies have no bulk scan. *)
+
+let virtual_cut_population db ~job ~sources ~rules ~options ~fallback =
+  match options with
+  | Some o
+    when o.Options.strategy = Options.Eager
+      && o.Options.population = Options.Virtual_cut ->
+    let catalog = Db.catalog db in
+    let tables = List.map (fun n -> (n, Catalog.find catalog n)) sources in
+    (* Chunks deliberately span several quanta (3 x the per-step scan
+       budget): a chunk scanned and sealed within one step has an empty
+       watermark window, and the whole point is to give concurrent
+       writes a window to land in. *)
+    let chunk = max 1 (3 * o.Options.scan_batch) in
+    let v = Virtual_cut.create (Db.manager db) ~job ~sources:tables ~rules ~chunk in
+    (Virtual_cut.population v, Some v)
+  | _ -> (fallback (), None)
+
+let vc_counters = function
+  | None -> []
+  | Some v ->
+    [ ("vc_discarded", Virtual_cut.discarded v);
+      ("vc_chunks", Virtual_cut.chunks v) ]
+
 let counter (module T : S) name =
   match List.assoc_opt name (T.counters ()) with
   | Some n -> n
@@ -159,11 +190,16 @@ let foj ?(transfer_locks = true) ?plan_mode ?options ?exec db spec =
       ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
       ~targets:[ spec.Spec.t_table ] ~apply ()
   in
-  let pop =
+  let pop, vc =
     if lazy_migration options then
-      demand_population catalog
-        ~sources:[ spec.Spec.r_table; spec.Spec.s_table ] ~rules
-    else Population.foj ?exec fj ~r_tbl ~s_tbl
+      ( demand_population catalog
+          ~sources:[ spec.Spec.r_table; spec.Spec.s_table ] ~rules,
+        None )
+    else
+      virtual_cut_population db ~job:"foj"
+        ~sources:[ spec.Spec.r_table; spec.Spec.s_table ]
+        ~rules ~options
+        ~fallback:(fun () -> Population.foj ?exec fj ~r_tbl ~s_tbl)
   in
   (module struct
     let name = "foj"
@@ -183,6 +219,7 @@ let foj ?(transfer_locks = true) ?plan_mode ?options ?exec db spec =
       let st = Foj.stats fj in
       [ ("applied", st.Foj.applied); ("ignored", st.Foj.ignored);
         ("foreign", st.Foj.foreign) ]
+      @ vc_counters vc
     let sync_hooks = no_hooks
   end : S)
 
@@ -238,10 +275,13 @@ let split ?plan_mode ?options ?exec db spec =
       cc_s_table = Some spec.Spec.s_table';
       transfer_locks = true }
   in
-  let pop =
+  let pop, vc =
     if lazy_migration options then
-      demand_population catalog ~sources:[ spec.Spec.t_table' ] ~rules
-    else Population.split ?exec sp ~t_tbl
+      (demand_population catalog ~sources:[ spec.Spec.t_table' ] ~rules, None)
+    else
+      virtual_cut_population db ~job:"split"
+        ~sources:[ spec.Spec.t_table' ] ~rules ~options
+        ~fallback:(fun () -> Population.split ?exec sp ~t_tbl)
   in
   (module struct
     let name = "split"
@@ -262,6 +302,7 @@ let split ?plan_mode ?options ?exec db spec =
       let st = Split.stats sp in
       [ ("applied", st.Split.applied); ("ignored", st.Split.ignored);
         ("foreign", st.Split.foreign); ("unknown", Split.unknown_count sp) ]
+      @ vc_counters vc
     let sync_hooks = no_hooks
   end : S)
 
@@ -281,10 +322,14 @@ let hsplit ?options ?exec db spec =
       ~apply:(fun ~lsn op -> Hsplit.apply hs ~lsn op)
       ()
   in
-  let pop =
+  let pop, vc =
     if lazy_migration options then
-      demand_population catalog ~sources:[ spec.Spec.h_source ] ~rules
-    else Population.scan_one ?exec source ~ingest:(Hsplit.ingest_initial hs)
+      (demand_population catalog ~sources:[ spec.Spec.h_source ] ~rules, None)
+    else
+      virtual_cut_population db ~job:"hsplit"
+        ~sources:[ spec.Spec.h_source ] ~rules ~options
+        ~fallback:(fun () ->
+          Population.scan_one ?exec source ~ingest:(Hsplit.ingest_initial hs))
   in
   (module struct
     let name = "hsplit"
@@ -308,6 +353,7 @@ let hsplit ?options ?exec db spec =
       let st = Hsplit.stats hs in
       [ ("applied", st.Hsplit.applied); ("ignored", st.Hsplit.ignored);
         ("foreign", st.Hsplit.foreign); ("migrations", st.Hsplit.migrations) ]
+      @ vc_counters vc
     let sync_hooks = no_hooks
   end : S)
 
@@ -326,10 +372,14 @@ let merge ?options ?exec db spec =
       ~apply:(fun ~lsn op -> Merge.apply mg ~lsn op)
       ()
   in
-  let pop =
+  let pop, vc =
     if lazy_migration options then
-      demand_population catalog ~sources:spec.Spec.m_sources ~rules
-    else Population.scan_many ?exec sources ~ingest:(Merge.ingest_initial mg)
+      (demand_population catalog ~sources:spec.Spec.m_sources ~rules, None)
+    else
+      virtual_cut_population db ~job:"merge" ~sources:spec.Spec.m_sources
+        ~rules ~options
+        ~fallback:(fun () ->
+          Population.scan_many ?exec sources ~ingest:(Merge.ingest_initial mg))
   in
   (module struct
     let name = "merge"
@@ -351,6 +401,7 @@ let merge ?options ?exec db spec =
       let st = Merge.stats mg in
       [ ("applied", st.Merge.applied); ("ignored", st.Merge.ignored);
         ("foreign", st.Merge.foreign); ("collisions", st.Merge.collisions) ]
+      @ vc_counters vc
     let sync_hooks = no_hooks
   end : S)
 

@@ -1,0 +1,50 @@
+(** DBLog-style virtual-cut population — a drop-in alternative to the
+    paper's fuzzy scan (selected with
+    [Options.population = Virtual_cut]).
+
+    The fuzzy scan tolerates concurrent writes by letting the scanned
+    image be stale and relying on log propagation to patch it up. The
+    virtual cut (after the DBLog watermark algorithm of Andreakis and
+    Papapanagiotou)
+    instead detects staleness per chunk, without ever locking the
+    scan: each chunk of the source scan is bracketed by a low and a
+    high {!Nbsc_wal.Log_record.Watermark} record in the WAL. Any
+    source-table write logged between the two watermarks supersedes
+    the buffered scan result for its key — that row is discarded and
+    re-read at its current state before the chunk is applied, so every
+    row the populator emits was current at some point inside the
+    chunk's window.
+
+    Rows are replayed through the transformation's propagation rules
+    (the uniform path the lazy demand scan uses), so the LSN-gated
+    rules absorb the overlap between re-read rows and subsequent log
+    propagation for every operator uniformly. *)
+
+open Nbsc_storage
+open Nbsc_txn
+
+type t
+
+val create :
+  Manager.t ->
+  job:string ->
+  sources:(string * Table.t) list ->
+  rules:Propagator.rules ->
+  chunk:int ->
+  t
+(** [job] names the transformation in the watermark records; [chunk]
+    is the target number of buffered rows per watermark pair (the scan
+    still advances at most [limit] rows per population step, so one
+    chunk typically spans several quanta — which is what gives
+    concurrent writes a window to land in).
+    @raise Invalid_argument if [chunk < 1]. *)
+
+val population : t -> Population.t
+(** The populator as a standard bounded-step population. *)
+
+val discarded : t -> int
+(** Buffered rows superseded inside a watermark window (each was
+    discarded and re-read at its current state). *)
+
+val chunks : t -> int
+(** Watermark pairs written so far. *)

@@ -45,7 +45,7 @@ let analysis log =
         | Log_record.Abort_begin | Log_record.Op _ | Log_record.Clr _
         | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
         | Log_record.Checkpoint _ | Log_record.Job_state _
-        | Log_record.Job_done _ -> ()
+        | Log_record.Job_done _ | Log_record.Watermark _ -> ()
       end);
   let losers =
     Hashtbl.fold (fun txn () acc -> txn :: acc) active []
@@ -93,7 +93,7 @@ let replay_into catalog log =
       | Log_record.Begin | Log_record.Commit | Log_record.Abort_begin
       | Log_record.Abort_done | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _
       | Log_record.Cc_ok _ | Log_record.Checkpoint _ | Log_record.Job_state _
-      | Log_record.Job_done _ -> ());
+      | Log_record.Job_done _ | Log_record.Watermark _ -> ());
   (* Undo: roll losers back.  No new log records are produced — the
      recovered catalog is the deliverable, not a continued log. *)
   let undo_applied = ref 0 in
@@ -121,7 +121,8 @@ let replay_into catalog log =
       | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
       | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
       | Log_record.Checkpoint _ | Log_record.Job_state _
-      | Log_record.Job_done _ -> undo_chain r.Log_record.prev_lsn
+      | Log_record.Job_done _ | Log_record.Watermark _ ->
+        undo_chain r.Log_record.prev_lsn
     end
   in
   List.iter (fun txn -> undo_chain (last_lsn_of txn)) losers;

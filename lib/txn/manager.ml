@@ -64,8 +64,8 @@ type t = {
     * (txn:txn_id -> table:string -> key:Row.Key.t -> mode:Compat.mode ->
        Lock_table_many.request list))
       list;
-  mutable post_op_hook :
-    (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option;
+  mutable post_op_hooks :
+    (int * (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit)) list;
   mutable access_hooks :
     (int * (table:string -> key:Row.Key.t -> unit)) list;
   (* Active `Snapshot transactions. Feeds the tables' version-retention
@@ -106,7 +106,7 @@ let create ?log ?obs catalog =
       next_id = 1;
       frozen = [];
       extra_lock_hooks = [];
-      post_op_hook = None;
+      post_op_hooks = [];
       access_hooks = [];
       snapshot_txns = 0;
       obs;
@@ -409,7 +409,24 @@ let add_extra_lock_hook t ~id hook =
 let remove_extra_lock_hook t ~id =
   t.extra_lock_hooks <- List.remove_assoc id t.extra_lock_hooks
 
-let set_post_op_hook t hook = t.post_op_hook <- hook
+(* Post-op hooks are an id-keyed registry like [access_hooks]: several
+   consumers (two trigger-method baselines, a shadow-table audit log)
+   coexist, and each uninstalls only its own id. A single mutable slot
+   here once let a second install silently clobber the first. *)
+let add_post_op_hook t ~id hook =
+  t.post_op_hooks <- (id, hook) :: List.remove_assoc id t.post_op_hooks
+
+let remove_post_op_hook t ~id =
+  t.post_op_hooks <- List.remove_assoc id t.post_op_hooks
+
+(* Legacy single-slot interface, kept as a reserved id in the registry
+   so existing callers keep their install/replace/remove semantics. *)
+let legacy_post_op_id = 0
+
+let set_post_op_hook t hook =
+  match hook with
+  | Some hook -> add_post_op_hook t ~id:legacy_post_op_id hook
+  | None -> remove_post_op_hook t ~id:legacy_post_op_id
 
 (* Access hooks observe every successful keyed operation (reads
    included) - the lazy-migration machinery uses them to migrate a
@@ -426,9 +443,9 @@ let fire_access t ~table ~key =
   | hooks -> List.iter (fun (_, hook) -> hook ~table ~key) hooks
 
 let fire_post_op t ~txn ~lsn op =
-  match t.post_op_hook with
-  | None -> ()
-  | Some hook -> hook ~txn ~lsn op
+  match t.post_op_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun (_, hook) -> hook ~txn ~lsn op) hooks
 
 (* Freezes are additive so concurrent transformations can each freeze
    their own source tables; [unfreeze_tables] lifts only the named
@@ -507,13 +524,17 @@ let rollback t txn =
               (* Strict 2PL means our updates cannot have been clobbered;
                  failure here is a bug. *)
               assert false);
+           (* Compensations are writes too: trigger-style maintenance
+              (post-op consumers) must see the inverse or an aborted
+              transaction leaves their derived state stale. *)
+           fire_post_op t ~txn:txn.id ~lsn:clr_lsn inverse;
            undo record.Log_record.prev_lsn)
       | Log_record.Clr { undo_next; _ } -> undo undo_next
       | Log_record.Begin -> ()
       | Log_record.Commit | Log_record.Abort_begin | Log_record.Abort_done
       | Log_record.Fuzzy_mark _ | Log_record.Cc_begin _ | Log_record.Cc_ok _
       | Log_record.Checkpoint _ | Log_record.Job_state _
-      | Log_record.Job_done _ ->
+      | Log_record.Job_done _ | Log_record.Watermark _ ->
         undo record.Log_record.prev_lsn
     end
   in

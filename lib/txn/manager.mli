@@ -279,12 +279,24 @@ val freeze_tables : t -> string list -> unit
 val unfreeze_tables : t -> string list -> unit
 (** Lift the freeze on exactly these tables. *)
 
+val add_post_op_hook :
+  t -> id:int -> (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) -> unit
+(** Register a post-op hook under [id] (replacing any hook with the
+    same id). Hooks are called synchronously after every successful
+    write operation — including the compensating inverses applied
+    during rollback — the trigger mechanism of the Ronström-style
+    comparator and the shadow-table audit log (the extra work runs
+    inside the user transaction, which is exactly the overhead the
+    paper's log-based method avoids). Several consumers may register
+    concurrently; each removes only its own id. *)
+
+val remove_post_op_hook : t -> id:int -> unit
+
 val set_post_op_hook :
   t -> (txn:txn_id -> lsn:Lsn.t -> Log_record.op -> unit) option -> unit
-(** Called synchronously after every successful write operation —
-    the trigger mechanism of the Ronström-style comparator (the extra
-    work runs inside the user transaction, which is exactly the
-    overhead the paper's log-based method avoids). *)
+(** Legacy single-slot interface: [Some h] registers [h] under a
+    reserved id, [None] removes it. Prefer {!add_post_op_hook} /
+    {!remove_post_op_hook}. *)
 
 val add_access_hook :
   t -> id:int -> (table:string -> key:Row.Key.t -> unit) -> unit

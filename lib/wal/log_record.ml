@@ -40,6 +40,7 @@ type body =
   | Checkpoint of { active : (txn_id * Lsn.t) list }
   | Job_state of { job : string; state : string }
   | Job_done of { job : string }
+  | Watermark of { job : string; high : bool }
 
 type t = {
   lsn : Lsn.t;
@@ -100,6 +101,7 @@ let encode_body = function
   | Checkpoint { active } -> [ "ckpt"; encode_active active ]
   | Job_state { job; state } -> [ "job"; job; state ]
   | Job_done { job } -> [ "job_done"; job ]
+  | Watermark { job; high } -> [ "wmark"; job; (if high then "hi" else "lo") ]
 
 let decode_body = function
   | [ "begin" ] -> Begin
@@ -116,6 +118,11 @@ let decode_body = function
   | [ "ckpt"; active ] -> Checkpoint { active = decode_active active }
   | [ "job"; job; state ] -> Job_state { job; state }
   | [ "job_done"; job ] -> Job_done { job }
+  | [ "wmark"; job; bound ] ->
+    (match bound with
+     | "hi" -> Watermark { job; high = true }
+     | "lo" -> Watermark { job; high = false }
+     | _ -> failwith "Log_record: bad watermark bound")
   | _ -> failwith "Log_record: bad body encoding"
 
 let encode t =
@@ -193,6 +200,10 @@ let encode_body_into ~scratch buf = function
   | Job_done { job } ->
     Codec.add_chunk buf "job_done";
     Codec.add_chunk buf job
+  | Watermark { job; high } ->
+    Codec.add_chunk buf "wmark";
+    Codec.add_chunk buf job;
+    Codec.add_chunk buf (if high then "hi" else "lo")
 
 let encode_into ~scratch buf t =
   Codec.add_chunk buf (Lsn.to_string t.lsn);
@@ -244,6 +255,8 @@ let pp_body ppf = function
     Format.fprintf ppf "CHECKPOINT[%a]" pp_active active
   | Job_state { job; _ } -> Format.fprintf ppf "JOB-STATE %s" job
   | Job_done { job } -> Format.fprintf ppf "JOB-DONE %s" job
+  | Watermark { job; high } ->
+    Format.fprintf ppf "WMARK-%s %s" (if high then "HI" else "LO") job
 
 let pp ppf t =
   Format.fprintf ppf "%a T%d prev=%a %a" Lsn.pp t.lsn t.txn Lsn.pp t.prev_lsn

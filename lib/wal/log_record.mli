@@ -70,6 +70,12 @@ type body =
           [Job_state] from the WAL (a job's final target writes are
           unlogged, so a completion marker could otherwise outlive
           them). *)
+  | Watermark of { job : string; high : bool }
+      (** DBLog-style chunk bracket written by the virtual-cut
+          populator: a low watermark ([high = false]) opens a chunk
+          scan and a high watermark closes it. Log records between the
+          pair identify in-chunk rows superseded by concurrent writes;
+          replay and recovery ignore watermarks. *)
 
 type t = {
   lsn : Lsn.t;

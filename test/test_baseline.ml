@@ -4,7 +4,7 @@
 open Nbsc_value
 open Nbsc_storage
 open Nbsc_txn
-open Nbsc_engine
+open Nbsc_core
 open Nbsc_baseline
 module H = Helpers
 
@@ -117,6 +117,149 @@ let test_trigger_work_attribution () =
   ok "c" (Manager.commit mgr txn);
   Trigger_method.uninstall tr
 
+(* Two concurrent installations must not clobber each other: post-op
+   hooks live in an id-keyed registry, and uninstall removes only the
+   caller's own id. Pre-registry, the second install silently replaced
+   the first and either uninstall removed whichever hook was left. *)
+let test_trigger_two_installs () =
+  let r_rows, s_rows = H.seed_rows ~r:20 ~s:8 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let oracle_t2 () =
+    (* Same join, different target table — the oracle is target-name
+       agnostic. *)
+    H.foj_oracle db
+  in
+  let tr1 = Trigger_method.install_foj db H.foj_spec in
+  let tr2 =
+    Trigger_method.install_foj db { H.foj_spec with Spec.t_table = "T2" }
+  in
+  let write_r key text =
+    let txn = Manager.begin_txn mgr in
+    ok "u" (Manager.update mgr ~txn ~table:"R"
+              ~key:(Row.make [ Value.Int key ]) [ (1, Value.Text text) ]);
+    ok "c" (Manager.commit mgr txn)
+  in
+  (* Both hooks fire for the same write. *)
+  write_r 3 "both";
+  H.check_relations_equal "T fresh under two installs" (H.foj_oracle db)
+    (Db.snapshot db "T");
+  H.check_relations_equal "T2 fresh under two installs" (oracle_t2 ())
+    (Db.snapshot db "T2");
+  (* Uninstalling the second must leave the first maintaining T. *)
+  Trigger_method.uninstall tr2;
+  write_r 5 "only-tr1";
+  H.check_relations_equal "T still fresh after tr2 uninstall"
+    (H.foj_oracle db) (Db.snapshot db "T");
+  Alcotest.(check bool) "T2 now stale" false
+    (Nbsc_relalg.Relalg.equal_as_sets (oracle_t2 ()) (Db.snapshot db "T2"));
+  Trigger_method.uninstall tr1;
+  write_r 7 "nobody";
+  Alcotest.(check bool) "T stale after tr1 uninstall" false
+    (Nbsc_relalg.Relalg.equal_as_sets (H.foj_oracle db) (Db.snapshot db "T"))
+
+(* {1 Shadow-table method} *)
+
+let converge_shadow ?(between = fun () -> ()) sh =
+  let steps = ref 0 in
+  while not (Shadow_table.step sh ~limit:8) do
+    incr steps;
+    if !steps > 100_000 then Alcotest.fail "shadow did not converge";
+    between ()
+  done;
+  !steps
+
+let test_shadow_foj () =
+  let r_rows, s_rows = H.seed_rows ~r:60 ~s:20 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let packed = Transformation.foj db H.foj_spec in
+  let sh = Shadow_table.create db ~drop_sources:false ~chunk:8 packed in
+  let d = H.driver db in
+  (* Writes before the backfill starts are pure audit captures. *)
+  for _ = 1 to 5 do H.random_r_op d; H.random_s_op d done;
+  let tick = ref 0 in
+  let steps =
+    converge_shadow sh ~between:(fun () ->
+        incr tick;
+        if !tick mod 2 = 0 then begin
+          H.random_r_op d;
+          H.random_s_op d
+        end)
+  in
+  Alcotest.(check bool) "many quanta" true (steps > 10);
+  H.check_relations_equal "T = oracle" (H.foj_oracle db) (Db.snapshot db "T");
+  Alcotest.(check bool) "audit captured writes" true
+    (Shadow_table.captured sh > 0);
+  Alcotest.(check bool) "several latched windows" true
+    (Shadow_table.latched_windows sh > 2);
+  Alcotest.(check int) "audit drained" 0 (Shadow_table.audit_pending sh);
+  Alcotest.(check bool) "sources kept" true (Catalog.mem (Db.catalog db) "R")
+
+(* An aborted transaction's writes are captured {e and} compensated:
+   rollback fires the post-op hooks with the CLR inverses, so the
+   audit replay nets the aborted insert out. Without that, the shadow
+   target keeps a phantom row no oracle ever contains. *)
+let test_shadow_aborted_writes () =
+  let r_rows, s_rows = H.seed_rows ~r:25 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let packed = Transformation.foj db H.foj_spec in
+  let sh = Shadow_table.create db ~drop_sources:false ~chunk:8 packed in
+  let txn = Manager.begin_txn mgr in
+  ok "i" (Manager.insert mgr ~txn ~table:"R" (H.ri 777 "phantom" 3));
+  ignore (Manager.abort mgr txn);
+  ignore (converge_shadow sh);
+  H.check_relations_equal "no phantom from aborted txn" (H.foj_oracle db)
+    (Db.snapshot db "T")
+
+let test_shadow_split () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:50) in
+  let packed =
+    Transformation.split db (H.split_spec ~assume_consistent:true)
+  in
+  let sh = Shadow_table.create db ~drop_sources:false ~chunk:8 packed in
+  let d = H.driver db in
+  let tick = ref 0 in
+  ignore
+    (converge_shadow sh ~between:(fun () ->
+         incr tick;
+         if !tick mod 2 = 0 then H.random_t_op ~consistent:true d));
+  let t = Db.snapshot db "T" in
+  let expected_r, expected_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ]; s_key = [ "c" ] }
+      t
+  in
+  H.check_relations_equal "R = oracle" expected_r (Db.snapshot db "R");
+  H.check_relations_equal "S = oracle" expected_s (Db.snapshot db "S")
+
+let test_shadow_blocks_during_chunk () =
+  let r_rows, s_rows = H.seed_rows ~r:30 ~s:10 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let mgr = Db.manager db in
+  let packed = Transformation.foj db H.foj_spec in
+  let sh = Shadow_table.create db ~drop_sources:false ~chunk:8 packed in
+  (* Step one: the latch for the first chunk is taken. *)
+  ignore (Shadow_table.step sh ~limit:8);
+  let txn = Manager.begin_txn mgr in
+  (match
+     Manager.update mgr ~txn ~table:"R"
+       ~key:(Row.make [ Value.Int 1 ])
+       [ (1, Value.Text "nope") ]
+   with
+   | Error (`Latched "R") -> ()
+   | _ -> Alcotest.fail "expected Latched during shadow chunk");
+  ignore (Manager.abort mgr txn);
+  (* Step two scans the chunk and releases: writes flow again. *)
+  ignore (Shadow_table.step sh ~limit:8);
+  let txn = Manager.begin_txn mgr in
+  ok "u" (Manager.update mgr ~txn ~table:"R"
+            ~key:(Row.make [ Value.Int 1 ]) [ (1, Value.Text "yes") ]);
+  ok "c" (Manager.commit mgr txn);
+  ignore (converge_shadow sh);
+  H.check_relations_equal "converged" (H.foj_oracle db) (Db.snapshot db "T")
+
 let () =
   Alcotest.run "baseline"
     [ ( "insert-into-select",
@@ -127,4 +270,15 @@ let () =
         [ Alcotest.test_case "keeps T fresh" `Quick test_trigger_keeps_t_fresh;
           Alcotest.test_case "split variant" `Quick test_trigger_split;
           Alcotest.test_case "work attribution" `Quick
-            test_trigger_work_attribution ] ) ]
+            test_trigger_work_attribution;
+          Alcotest.test_case "two installs coexist" `Quick
+            test_trigger_two_installs ] );
+      ( "shadow-table",
+        [ Alcotest.test_case "FOJ converges under traffic" `Quick
+            test_shadow_foj;
+          Alcotest.test_case "aborted writes compensated" `Quick
+            test_shadow_aborted_writes;
+          Alcotest.test_case "split converges under traffic" `Quick
+            test_shadow_split;
+          Alcotest.test_case "chunk latches block writers" `Quick
+            test_shadow_blocks_during_chunk ] ) ]

@@ -354,6 +354,150 @@ let test_matrix ?options op ~window () =
     (op.op_name ^ ": torn wal_append survived")
     1 crashes
 
+(* {1 Competitor strategies: shadow-table and trigger-method arms}
+
+   Neither baseline persists a resumable job state — their target
+   writes are unlogged, so a crash means restart-from-scratch: drop
+   whatever partial targets the snapshot restored and rebuild. The
+   harness mirrors [run_attempt]/[run_scenario], but arms only the
+   sites a dry run shows the scenario actually consults (a trigger
+   run, e.g., never reaches [sync_commit]). *)
+
+module Sh = Nbsc_baseline.Shadow_table
+module Tm = Nbsc_baseline.Trigger_method
+
+let shadow_attempt dir ~attempt ~current_p =
+  let p =
+    if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
+      ok_p "open" (Persist.open_dir ~dir)
+    else ok_p "create" (Persist.create_dir ~dir)
+  in
+  current_p := Some p;
+  let db = Persist.db p in
+  Manager.set_group_commit (Db.manager db) 1;
+  let catalog = Db.catalog db in
+  if not (Catalog.mem catalog "T") then setup_flat_t p;
+  (* Restart from scratch: partial targets from a previous attempt are
+     unlogged state and must go. *)
+  List.iter
+    (fun tgt -> if Catalog.mem catalog tgt then Catalog.drop catalog tgt)
+    [ "R"; "S" ];
+  let packed = Transformation.split db (H.split_spec ~assume_consistent:true) in
+  let sh = Sh.create db ~drop_sources:false ~chunk:8 packed in
+  let d = H.driver ~seed:(base_seed + attempt) db in
+  d.H.next_r_key <- 1_000_000 + (attempt * 10_000);
+  let rounds = ref 0 in
+  while not (Sh.step sh ~limit:8) do
+    incr rounds;
+    if !rounds > 2_000 then Alcotest.fail "shadow did not converge";
+    if !rounds <= 120 then H.random_t_op ~consistent:true d;
+    if !rounds mod 25 = 0 then ok_p "mid checkpoint" (Persist.checkpoint p)
+  done;
+  ok_p "final checkpoint" (Persist.checkpoint p);
+  p
+
+let trigger_attempt dir ~attempt ~current_p =
+  let p =
+    if Sys.file_exists (Filename.concat dir "snapshot.nbsc") then
+      ok_p "open" (Persist.open_dir ~dir)
+    else ok_p "create" (Persist.create_dir ~dir)
+  in
+  current_p := Some p;
+  let db = Persist.db p in
+  Manager.set_group_commit (Db.manager db) 1;
+  let catalog = Db.catalog db in
+  if not (Catalog.mem catalog "R" && Catalog.mem catalog "S") then
+    foj_case.setup p;
+  if Catalog.mem catalog "T" then Catalog.drop catalog "T";
+  (* install_foj's populate loop consults quantum_end between chunks —
+     the armed crash fires inside it. *)
+  let tr = Tm.install_foj db H.foj_spec in
+  let d = H.driver ~seed:(base_seed + attempt) db in
+  d.H.next_r_key <- 1_000_000 + (attempt * 10_000);
+  d.H.next_s_key <- 1_000_000 + (attempt * 10_000);
+  for i = 1 to 40 do
+    H.random_r_op d;
+    H.random_s_op d;
+    if i mod 15 = 0 then ok_p "mid checkpoint" (Persist.checkpoint p)
+  done;
+  Tm.uninstall tr;
+  ok_p "final checkpoint" (Persist.checkpoint p);
+  p
+
+let run_baseline_scenario attempt_fn ~oracle_check dir =
+  let current_p = ref None in
+  let crashes = ref 0 in
+  let rec go attempt =
+    match attempt_fn dir ~attempt ~current_p with
+    | p -> p
+    | exception Fault.Injected _ ->
+      incr crashes;
+      if !crashes > 5 then Alcotest.fail "baseline: too many crashes";
+      Fault.reset ();
+      (match !current_p with Some p -> Persist.crash p | None -> ());
+      current_p := None;
+      go (attempt + 1)
+  in
+  let p = go 0 in
+  oracle_check (Persist.db p);
+  Persist.close p;
+  !crashes
+
+let test_baseline_matrix ~name ~must_hit attempt_fn ~oracle_check () =
+  Fault.reset ();
+  Fault.set_tracking true;
+  let dir = fresh_dir () in
+  let crashes = run_baseline_scenario attempt_fn ~oracle_check dir in
+  Alcotest.(check int) (name ^ ": dry run crash-free") 0 crashes;
+  let counts =
+    List.filter
+      (fun (_, n) -> n > 0)
+      (List.map (fun s -> (s, Fault.hits s)) runtime_sites)
+  in
+  Fault.reset ();
+  wipe dir;
+  List.iter
+    (fun site ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: site %s exercised" name site)
+         true (List.mem_assoc site counts))
+    must_hit;
+  List.iter
+    (fun (site, n) ->
+       Fault.reset ();
+       let dir = fresh_dir () in
+       Fault.arm ~mode:Fault.Crash ~after:(n / 2) site;
+       let crashes = run_baseline_scenario attempt_fn ~oracle_check dir in
+       Fault.reset ();
+       wipe dir;
+       Alcotest.(check int)
+         (Printf.sprintf "%s: crash at %s survived" name site)
+         1 crashes)
+    counts
+
+let split_oracle_check db =
+  let want_r, want_s =
+    Nbsc_relalg.Relalg.split
+      { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+        r_key = [ "a" ];
+        s_key = [ "c" ] }
+      (Db.snapshot db "T")
+  in
+  H.check_relations_equal "shadow/R" want_r (Db.snapshot db "R");
+  H.check_relations_equal "shadow/S" want_s (Db.snapshot db "S")
+
+let test_shadow_matrix =
+  test_baseline_matrix ~name:"shadow"
+    ~must_hit:[ "quantum_end"; "sync_commit"; "wal_append" ]
+    shadow_attempt ~oracle_check:split_oracle_check
+
+let test_trigger_matrix =
+  test_baseline_matrix ~name:"trigger" ~must_hit:[ "quantum_end"; "wal_append" ]
+    trigger_attempt
+    ~oracle_check:(fun db ->
+        H.check_relations_equal "trigger/T" (H.foj_oracle db)
+          (Db.snapshot db "T"))
+
 (* {1 Double crash: a crash during recovery itself}
 
    The first crash interrupts the transformation mid-flight; the second
@@ -804,6 +948,29 @@ let () =
               all_cases)
          [ ("lazy", Options.Lazy);
            ("hybrid", Options.Hybrid { sweep_quantum = 8 }) ]
+     (* The virtual-cut population arm: eager migration again, but the
+        fuzzy scan replaced by the DBLog-style watermark populator. *)
+     @ (let vc_opts =
+          Options.
+            { (Transform.options_of_config cfg) with
+              population = Options.Virtual_cut }
+        in
+        List.map
+          (fun op ->
+             ( Printf.sprintf "matrix %s virtual-cut" op.op_name,
+               [ Alcotest.test_case
+                   (Printf.sprintf "sites x %s (virtual-cut)" op.op_name)
+                   `Slow
+                   (test_matrix ~options:vc_opts op ~window:1) ] ))
+          all_cases)
+     (* Competitor baselines: crash anywhere, restart from scratch,
+        still converge to the oracle. *)
+     @ [ ( "matrix shadow-table",
+           [ Alcotest.test_case "sites x shadow split" `Slow
+               test_shadow_matrix ] );
+         ( "matrix trigger",
+           [ Alcotest.test_case "sites x trigger foj" `Slow
+               test_trigger_matrix ] ) ]
      @ [ ( "directed",
            [ Alcotest.test_case "resume skips population" `Quick
                test_resume_skips_population;

@@ -1,0 +1,215 @@
+(* Virtual-cut (DBLog-style watermark) population: differential
+   equivalence against the fuzzy scan, the directed discard path, and
+   the options-validation bugfix. *)
+
+open Nbsc_core
+module H = Helpers
+
+(* Small batches so chunks span several quanta and watermark windows
+   actually see traffic. *)
+let base_options =
+  { Options.default with
+    Options.scan_batch = 4;
+    propagate_batch = 8;
+    drop_sources = false }
+
+let vc_options =
+  { base_options with Options.population = Options.Virtual_cut }
+
+let counter tf name =
+  match List.assoc_opt name (Transform.counters tf) with
+  | Some n -> n
+  | None -> 0
+
+(* {1 Differential: FOJ} *)
+
+let run_foj ~options ~seed =
+  let r_rows, s_rows = H.seed_rows ~r:60 ~s:20 in
+  let db = H.fresh_foj_db ~r_rows ~s_rows in
+  let packed = Transformation.foj ~options db H.foj_spec in
+  let tf = Transform.create db ~options packed in
+  let d = H.driver ~seed db in
+  (match
+     Transform.run tf ~between:(fun () ->
+         if Transform.routing tf = `Sources then begin
+           H.random_r_op d;
+           H.random_s_op d
+         end)
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "foj run: %s" m);
+  (db, tf)
+
+let test_foj_differential () =
+  (* Same fixed seed for both strategies; each run must converge to
+     the relational oracle over its own final sources. *)
+  List.iter
+    (fun seed ->
+       let fdb, _ = run_foj ~options:base_options ~seed in
+       H.check_relations_equal
+         (Printf.sprintf "fuzzy seed %d" seed)
+         (H.foj_oracle fdb) (Db.snapshot fdb "T");
+       let vdb, vtf = run_foj ~options:vc_options ~seed in
+       H.check_relations_equal
+         (Printf.sprintf "virtual-cut seed %d" seed)
+         (H.foj_oracle vdb) (Db.snapshot vdb "T");
+       Alcotest.(check bool)
+         (Printf.sprintf "watermark chunks written (seed %d)" seed)
+         true
+         (counter vtf "vc_chunks" > 0))
+    [ 7; 21; 1042 ]
+
+(* {1 Differential: split} *)
+
+let split_oracle db =
+  Nbsc_relalg.Relalg.split
+    { Nbsc_relalg.Relalg.r_cols' = [ "a"; "b"; "c" ]; s_cols' = [ "c"; "d" ];
+      r_key = [ "a" ]; s_key = [ "c" ] }
+    (Db.snapshot db "T")
+
+let run_split ~options ~seed =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:60) in
+  let packed =
+    Transformation.split ~options db (H.split_spec ~assume_consistent:true)
+  in
+  let tf = Transform.create db ~options packed in
+  let d = H.driver ~seed db in
+  (match
+     Transform.run tf ~between:(fun () ->
+         if Transform.routing tf = `Sources then H.random_t_op ~consistent:true d)
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "split run: %s" m);
+  (db, tf)
+
+let test_split_differential () =
+  List.iter
+    (fun seed ->
+       List.iter
+         (fun options ->
+            let db, _ = run_split ~options ~seed in
+            let expected_r, expected_s = split_oracle db in
+            let tag =
+              Printf.sprintf "%s seed %d"
+                (Options.population_to_string options.Options.population)
+                seed
+            in
+            H.check_relations_equal (tag ^ ": R") expected_r
+              (Db.snapshot db "R");
+            H.check_relations_equal (tag ^ ": S") expected_s
+              (Db.snapshot db "S"))
+         [ base_options; vc_options ])
+    [ 3; 99 ]
+
+(* {1 Directed discard}
+
+   With scan_batch 2 the chunk target is 6 buffered rows, spanning
+   three quanta; updating a key buffered in the first quantum on every
+   inter-quantum tick guarantees the first chunk's watermark window
+   contains a superseding write — the buffered row must be discarded
+   and re-read. *)
+let test_discard_path () =
+  let options = { vc_options with Options.scan_batch = 2 } in
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:30) in
+  let mgr = Db.manager db in
+  let packed =
+    Transformation.split ~options db (H.split_spec ~assume_consistent:true)
+  in
+  let tf = Transform.create db ~options packed in
+  let tick = ref 0 in
+  (match
+     Transform.run tf ~between:(fun () ->
+         incr tick;
+         if Transform.routing tf = `Sources then
+           ignore
+             (let txn = Nbsc_txn.Manager.begin_txn mgr in
+              match
+                Nbsc_txn.Manager.update mgr ~txn ~table:"T"
+                  ~key:(Nbsc_value.Row.make [ Nbsc_value.Value.Int 1 ])
+                  [ (1, Nbsc_value.Value.Text ("tick" ^ string_of_int !tick)) ]
+              with
+              | Ok () -> Nbsc_txn.Manager.commit mgr txn
+              | Error _ ->
+                ignore (Nbsc_txn.Manager.abort mgr txn);
+                Ok ()))
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.failf "discard run: %s" m);
+  Alcotest.(check bool) "rows were discarded and re-read" true
+    (counter tf "vc_discarded" > 0);
+  Alcotest.(check bool) "several chunks" true (counter tf "vc_chunks" > 1);
+  let expected_r, expected_s = split_oracle db in
+  H.check_relations_equal "R converged" expected_r (Db.snapshot db "R");
+  H.check_relations_equal "S converged" expected_s (Db.snapshot db "S")
+
+(* {1 Options validation (bugfix)} *)
+
+let is_invalid = function
+  | Error (`Invalid _) -> true
+  | _ -> false
+
+let test_validate_rejects () =
+  Alcotest.(check bool) "scan_batch 0" true
+    (is_invalid (Options.validate { Options.default with Options.scan_batch = 0 }));
+  Alcotest.(check bool) "propagate_batch -1" true
+    (is_invalid
+       (Options.validate
+          { Options.default with Options.propagate_batch = -1 }));
+  Alcotest.(check bool) "hybrid sweep_quantum 0" true
+    (is_invalid
+       (Options.validate
+          { Options.default with
+            Options.strategy = Options.Hybrid { sweep_quantum = 0 } }));
+  (match Options.validate Options.default with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "default must validate")
+
+(* The record-update path bypasses every string parser; the funnel in
+   [Transform.create] must still reject it with a clear error. *)
+let test_create_rejects_programmatic () =
+  let db = H.fresh_split_db ~t_rows:(H.seed_t_rows ~n:5) in
+  let packed =
+    Transformation.split db (H.split_spec ~assume_consistent:true)
+  in
+  let expect_invalid name options =
+    match Transform.create db ~options packed with
+    | exception Nbsc_error.Error (`Invalid _) -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid" name
+  in
+  expect_invalid "scan_batch 0"
+    { Options.default with Options.scan_batch = 0 };
+  expect_invalid "sweep_quantum 0"
+    { Options.default with
+      Options.strategy = Options.Hybrid { sweep_quantum = 0 } }
+
+let test_parse_rejects () =
+  Alcotest.(check bool) "hybrid:0" true
+    (Options.migration_of_string "hybrid:0" = None);
+  Alcotest.(check bool) "hybrid:-3" true
+    (Options.migration_of_string "hybrid:-3" = None);
+  Alcotest.(check bool) "population bogus" true
+    (Options.population_of_string "bogus" = None);
+  Alcotest.(check bool) "population virtual-cut" true
+    (Options.population_of_string "virtual-cut" = Some Options.Virtual_cut);
+  Alcotest.(check bool) "population vc alias" true
+    (Options.population_of_string "vc" = Some Options.Virtual_cut);
+  Alcotest.(check bool) "population fuzzy" true
+    (Options.population_of_string "fuzzy" = Some Options.Fuzzy)
+
+let () =
+  Alcotest.run "virtual-cut"
+    [ ( "differential",
+        [ Alcotest.test_case "FOJ fuzzy vs virtual-cut" `Quick
+            test_foj_differential;
+          Alcotest.test_case "split fuzzy vs virtual-cut" `Quick
+            test_split_differential ] );
+      ( "watermarks",
+        [ Alcotest.test_case "superseded rows discarded" `Quick
+            test_discard_path ] );
+      ( "options",
+        [ Alcotest.test_case "validate rejects bad knobs" `Quick
+            test_validate_rejects;
+          Alcotest.test_case "create rejects programmatic records" `Quick
+            test_create_rejects_programmatic;
+          Alcotest.test_case "parsers reject bad strings" `Quick
+            test_parse_rejects ] ) ]
